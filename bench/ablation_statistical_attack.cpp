@@ -1,0 +1,128 @@
+// Section VI-B "Statistical Attacks", simulated on a skewed Nursery-shaped
+// corpus.
+//
+// The server cannot read queries, but it sees which encrypted indexes every
+// capability matches. If it also knows the keyword frequency distribution,
+// it can guess the underlying query by matching the observed result-set
+// size against the sizes every candidate query would produce. We measure how
+// often that guess is unique — i.e., the attack succeeds — for queries with
+// 1, 2 and 3 active dimensions. The paper's countermeasure (require a
+// minimum number of active dimensions, our QueryPolicy) works exactly
+// because the candidate space grows combinatorially with active
+// dimensions. Pure plaintext combinatorics; no cryptography involved.
+#include <functional>
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace apks;
+using namespace apks::bench;
+
+namespace {
+
+// Result-set size of an equality-conjunction over chosen (dim, value)
+// pairs. Nursery being a full product, this is a closed form, but we count
+// over the real rows to stay honest.
+std::size_t result_size(const std::vector<PlainIndex>& rows,
+                        const std::vector<std::pair<std::size_t,
+                                                    std::string>>& terms) {
+  std::size_t n = 0;
+  for (const auto& row : rows) {
+    bool ok = true;
+    for (const auto& [dim, value] : terms) {
+      ok = ok && row.values[dim] == value;
+    }
+    n += ok ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  // A skewed corpus: the full-product Nursery has perfectly uniform value
+  // frequencies (result sizes then only leak the dimension — a degenerate
+  // best case). Real databases are skewed, so sample 3000 rows with
+  // geometric value weights; that is the regime the paper's countermeasure
+  // addresses.
+  const auto& attrs = nursery_attributes();
+  ChaChaRng rng("stat-attack");
+  std::vector<PlainIndex> rows;
+  for (int i = 0; i < 3000; ++i) {
+    PlainIndex row;
+    for (std::size_t a = 0; a < 9; ++a) {
+      const std::size_t universe = attrs[a].values.size();
+      // Geometric-ish skew: value j with weight ~ 2^-j.
+      std::size_t j = 0;
+      while (j + 1 < universe && rng.next_below(2) == 0) ++j;
+      row.values.push_back(attrs[a].values[j]);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  print_header(
+      "Ablation (Sec. VI-B): statistical attack vs min-active-dims policy",
+      "with frequency knowledge, result-set sizes fingerprint narrow "
+      "queries; requiring more active dimensions explodes the candidate "
+      "set");
+
+  std::printf("%12s %14s %18s %16s\n", "active dims", "queries tried",
+              "avg candidates", "uniquely IDed");
+  for (std::size_t active = 1; active <= 3; ++active) {
+    // Candidate universe: all equality conjunctions with `active` dims
+    // (the attacker's hypothesis space), bucketed by result size.
+    std::map<std::size_t, std::size_t> size_counts;
+    std::vector<std::vector<std::pair<std::size_t, std::string>>> all;
+    std::vector<std::size_t> dims(active);
+    // Enumerate dimension combinations (first 8 input attributes).
+    std::function<void(std::size_t, std::size_t)> enum_dims =
+        [&](std::size_t start, std::size_t depth) {
+          if (depth == active) {
+            // Enumerate value choices.
+            std::vector<std::pair<std::size_t, std::string>> terms(active);
+            std::function<void(std::size_t)> enum_vals = [&](std::size_t d) {
+              if (d == active) {
+                all.push_back(terms);
+                return;
+              }
+              for (const auto& v : attrs[dims[d]].values) {
+                terms[d] = {dims[d], v};
+                enum_vals(d + 1);
+              }
+            };
+            enum_vals(0);
+            return;
+          }
+          for (std::size_t i = start; i < 8; ++i) {
+            dims[depth] = i;
+            enum_dims(i + 1, depth + 1);
+          }
+        };
+    enum_dims(0, 0);
+    for (const auto& terms : all) {
+      size_counts[result_size(rows, terms)]++;
+    }
+
+    // Attack trials: random victim queries; the attacker reduces to the
+    // candidates sharing the observed result size.
+    const int kTrials = 300;
+    double sum_candidates = 0;
+    int unique = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto& victim = all[rng.next_below(all.size())];
+      const std::size_t observed = result_size(rows, victim);
+      const std::size_t candidates = size_counts.at(observed);
+      sum_candidates += static_cast<double>(candidates);
+      unique += candidates == 1 ? 1 : 0;
+    }
+    std::printf("%12zu %14zu %18.1f %15.1f%%\n", active, all.size(),
+                sum_candidates / kTrials, 100.0 * unique / kTrials);
+  }
+  std::printf(
+      "\nreading: a QueryPolicy with min_active_dims >= 2 removes the "
+      "high-confidence single-dimension fingerprints; anonymity sets grow "
+      "with every additional required dimension. (Size-only attacker; "
+      "intersection attacks over multiple capabilities remain out of "
+      "scope, as in the paper.)\n");
+  return 0;
+}

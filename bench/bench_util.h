@@ -1,0 +1,72 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper's Section
+// VII and prints the measured series next to the paper's reported numbers.
+// Absolute times differ (the paper used a 3.4 GHz Pentium D with PBC in
+// 2011); the claims under test are the *shapes*: scaling exponents, who
+// wins, and by roughly what factor. Iteration counts adapt to op cost so
+// every binary finishes in minutes on one core.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/apks.h"
+#include "data/nursery.h"
+#include "data/workload.h"
+
+namespace apks::bench {
+
+using Clock = std::chrono::steady_clock;
+
+// Times `fn` repeatedly until ~`budget_ms` elapsed (at least once, at most
+// `max_iters`); returns mean seconds per call.
+inline double time_op(const std::function<void()>& fn, double budget_ms = 500,
+                      int max_iters = 20) {
+  const auto start = Clock::now();
+  int iters = 0;
+  for (;;) {
+    fn();
+    ++iters;
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (elapsed >= budget_ms || iters >= max_iters) {
+      return elapsed / 1000.0 / iters;
+    }
+  }
+}
+
+// Noise-robust variant: runs `batches` independent time_op measurements and
+// returns the median — one-core machines see scheduler spikes that would
+// otherwise put outliers into a published series.
+inline double time_op_median(const std::function<void()>& fn,
+                             double budget_ms = 300, int max_iters = 8,
+                             int batches = 3) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(batches));
+  for (int b = 0; b < batches; ++b) {
+    samples.push_back(time_op(fn, budget_ms, max_iters));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper reference: %s\n", paper_note);
+}
+
+// The n values of the paper's sweeps: n = 9k + 1 for expansion factors
+// k = 1..8 (Table III uses all eight; the figures stop at 46).
+inline std::vector<std::size_t> paper_n_values(std::size_t max_k) {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 1; k <= max_k; ++k) out.push_back(9 * k + 1);
+  return out;
+}
+
+}  // namespace apks::bench

@@ -1,0 +1,93 @@
+// Fig. 8(c): capability generation and first-level delegation time vs n.
+//
+// Paper, set 1 (worst case): no hierarchy (k=1), the query constrains all
+// m' dimensions with d random keywords each, so the predicate vector has no
+// zero entries. Set 2 (realistic): d=1, expansion factor k = 1..8, at most
+// 9 constrained fields — the "don't care" zeros make both operations grow
+// visibly slower with n. Delegation is cheaper than direct generation
+// (~35 s at n=46 on the paper's hardware). Both are O(n0^2); MRQED key
+// generation is O(n) (~2.3 s at n=46 there).
+#include "bench/bench_util.h"
+#include "mrqed/mrqed.h"
+
+using namespace apks;
+using namespace apks::bench;
+
+int main() {
+  const Pairing pairing(default_type_a_params());
+  ChaChaRng rng("fig8c");
+
+  print_header(
+      "Fig. 8(c): Capability generation & delegation vs n",
+      "both O(n^2); set 2 grows slower than set 1 (don't-care zeros); "
+      "delegation ~35s at n=46 on paper hardware, cheaper than GenCap; "
+      "MRQED GenKey O(n) ~2.3s");
+
+  std::printf("\nset 1 (worst case): m'=9, d=1..5, all dims constrained\n");
+  std::printf("%6s %6s %12s %14s\n", "n", "d", "GenCap_s", "Delegate_s");
+  for (std::size_t d = 1; d <= 5; ++d) {
+    const Apks scheme(pairing, nursery_schema(d));
+    ApksPublicKey pk;
+    ApksMasterKey msk;
+    scheme.setup(rng, pk, msk);
+    Capability cap;
+    const double gen_s = time_op(
+        [&] { cap = scheme.gen_cap_naive(msk, nursery_worst_case_query(d, rng), rng); },
+        1500, 5);
+    const double del_s = time_op(
+        [&] {
+          (void)scheme.delegate_cap_naive(
+              cap, nursery_worst_case_query(d, rng), rng);
+        },
+        1500, 5);
+    std::printf("%6zu %6zu %12.3f %14.3f\n", scheme.n(), d, gen_s, del_s);
+  }
+
+  std::printf("\nset 2 (realistic): d=1, expansion k=1..5, <=9 active fields\n");
+  std::printf("%6s %6s %12s %14s %14s\n", "n", "k", "GenCap_s", "Delegate_s",
+              "MRQED_GenKey_s");
+  std::size_t k = 0;
+  for (const std::size_t n : paper_n_values(5)) {
+    ++k;
+    const Apks scheme(pairing, nursery_expanded_schema(k, 1));
+    ApksPublicKey pk;
+    ApksMasterKey msk;
+    scheme.setup(rng, pk, msk);
+    Capability cap;
+    const double gen_s = time_op(
+        [&] {
+          cap = scheme.gen_cap_naive(
+              msk, nursery_expanded_realistic_query(k, 1, rng), rng);
+        },
+        1500, 5);
+    const double del_s = time_op(
+        [&] {
+          (void)scheme.delegate_cap_naive(
+              cap, nursery_expanded_realistic_query(k, 1, rng), rng);
+        },
+        1500, 5);
+
+    const Mrqed mrqed(pairing, 9, k);
+    MrqedPublicKey mpk;
+    MrqedMasterKey mmsk;
+    mrqed.setup(rng, mpk, mmsk);
+    const double mrqed_s = time_op(
+        [&] {
+          std::vector<MrqedRange> ranges(9);
+          const std::uint64_t domain = std::uint64_t{1} << k;
+          for (auto& r : ranges) {
+            const std::uint64_t a = rng.next_below(domain);
+            const std::uint64_t b = rng.next_below(domain);
+            r = {std::min(a, b), std::max(a, b)};
+          }
+          (void)mrqed.gen_key(mpk, mmsk, ranges, rng);
+        },
+        1000, 5);
+    std::printf("%6zu %6zu %12.3f %14.3f %14.3f\n", n, k, gen_s, del_s,
+                mrqed_s);
+  }
+  std::printf(
+      "expectation: set 2 grows slower than set 1 at equal n; delegation <= "
+      "generation; MRQED fastest (linear).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Micro-benchmark backing Section VII-B.4: single pairing cost with and
+// without preprocessing (paper: 5.5 ms / 2.5 ms on type-A parameters), plus
+// the primitive costs the higher-level numbers decompose into.
+#include <benchmark/benchmark.h>
+
+#include "pairing/pairing.h"
+
+namespace apks {
+namespace {
+
+struct Fixture {
+  Fixture() : e(default_type_a_params()), rng("micro-pairing") {
+    p = e.curve().random_point(rng);
+    q = e.curve().random_point(rng);
+    k = e.fq().random(rng);
+    pre = std::make_unique<PreprocessedPairing>(e.preprocess(p));
+  }
+  Pairing e;
+  ChaChaRng rng;
+  AffinePoint p, q;
+  Fq k{};
+  std::unique_ptr<PreprocessedPairing> pre;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_PairingPlain(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.e.pair(f.p, f.q));
+  }
+}
+BENCHMARK(BM_PairingPlain)->Unit(benchmark::kMillisecond);
+
+void BM_PairingPreprocessed(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pre->pair_with(f.q));
+  }
+}
+BENCHMARK(BM_PairingPreprocessed)->Unit(benchmark::kMillisecond);
+
+void BM_Preprocess(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.e.preprocess(f.p));
+  }
+}
+BENCHMARK(BM_Preprocess)->Unit(benchmark::kMillisecond);
+
+void BM_MillerLoopOnly(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.e.miller(f.p, f.q));
+  }
+}
+BENCHMARK(BM_MillerLoopOnly)->Unit(benchmark::kMillisecond);
+
+void BM_FinalExpOnly(benchmark::State& state) {
+  auto& f = fixture();
+  const Fp2El m = f.e.miller(f.p, f.q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.e.final_exp(m));
+  }
+}
+BENCHMARK(BM_FinalExpOnly)->Unit(benchmark::kMillisecond);
+
+void BM_ScalarMult(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.e.curve().mul_fq(f.p, f.k));
+  }
+}
+BENCHMARK(BM_ScalarMult)->Unit(benchmark::kMillisecond);
+
+void BM_FixedBaseScalarMult(benchmark::State& state) {
+  auto& f = fixture();
+  (void)f.e.curve().mul_base_fq(f.k);  // force table construction
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.e.curve().mul_base_fq(f.k));
+  }
+}
+BENCHMARK(BM_FixedBaseScalarMult)->Unit(benchmark::kMillisecond);
+
+void BM_GtExponentiation(benchmark::State& state) {
+  auto& f = fixture();
+  const GtEl g = f.e.gt_generator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.e.gt_pow(g, f.k));
+  }
+}
+BENCHMARK(BM_GtExponentiation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace apks
+
+BENCHMARK_MAIN();

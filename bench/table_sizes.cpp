@@ -1,0 +1,94 @@
+// Section VII sizes table: serialized object sizes at n = 46 (l = 1
+// delegation), against the paper's closed-form byte counts.
+//
+// Paper formulas (65-byte compressed elements, 20-byte scalars, n0 = n+3):
+//   PK  = 65*[n0(n0-1)+3] B  (~153 KB at n=46)
+//   MSK = 85*n0^2 B          (~204 KB)
+//   encrypted index = 65*(n0+1) B (~3.25 KB)
+//   capability      = 65*[n0^2+(l+3)n0] B (~169 KB at l=1)
+// Our encodings add small explicit headers; element payloads match.
+#include "bench/bench_util.h"
+#include "hpe/serialize.h"
+#include "mrqed/serialize.h"
+
+using namespace apks;
+using namespace apks::bench;
+
+namespace {
+
+double kb(std::size_t bytes) { return static_cast<double>(bytes) / 1024.0; }
+
+}  // namespace
+
+int main() {
+  const Pairing pairing(default_type_a_params());
+  ChaChaRng rng("sizes");
+  constexpr std::size_t kFactor = 5;  // n = 46
+  const Apks scheme(pairing, nursery_expanded_schema(kFactor, 1));
+  const std::size_t n = scheme.n();
+  const std::size_t n0 = n + 3;
+
+  print_header("Sizes at n=46 (Section VII text)",
+               "PK 153KB, MSK 204KB, index 3.25KB, capability(l=1) 169KB; "
+               "MRQED: 22.5KB / 22.5KB / 11.6KB / 14.4KB");
+
+  ApksPublicKey pk;
+  ApksMasterKey msk;
+  scheme.setup(rng, pk, msk);
+  const auto rows = nursery_rows();
+  const auto enc = scheme.gen_index(pk, expand_nursery_row(rows[7], kFactor),
+                                    rng);
+  Query q;
+  q.terms.assign(scheme.schema().original_dims(), QueryTerm::any());
+  q.terms[0] = QueryTerm::equals("usual");
+  const auto cap = scheme.gen_cap(msk, q, rng);
+  Query q2;
+  q2.terms.assign(scheme.schema().original_dims(), QueryTerm::any());
+  q2.terms[9] = QueryTerm::equals("proper");
+  const auto delegated = scheme.delegate_cap(cap, q2, rng);
+
+  const std::size_t pk_b = serialize_public_key(pairing, pk.hpe).size();
+  const std::size_t msk_b = serialize_master_key(pairing, msk.hpe).size();
+  const std::size_t ct_b = serialize_ciphertext(pairing, enc.ct).size();
+  const std::size_t cap_b = serialize_key(pairing, delegated.key).size();
+
+  std::printf("%-22s %12s %12s %14s\n", "object", "measured_KB", "paper_KB",
+              "paper_formula_KB");
+  std::printf("%-22s %12.1f %12s %14.1f\n", "APKS public key", kb(pk_b),
+              "153", kb(65 * (n0 * (n0 - 1) + 3)));
+  std::printf("%-22s %12.1f %12s %14.1f\n", "APKS master key", kb(msk_b),
+              "204", kb(85 * n0 * n0));
+  std::printf("%-22s %12.2f %12s %14.2f\n", "encrypted index", kb(ct_b),
+              "3.25", kb(65 * (n0 + 1)));
+  std::printf("%-22s %12.1f %12s %14.1f\n", "capability (l=1)", kb(cap_b),
+              "169", kb(65 * (n0 * n0 + 4 * n0)));
+
+  // MRQED sized to the same comparison point (9 dims, 5-level trees).
+  const Mrqed mrqed(pairing, 9, kFactor);
+  MrqedPublicKey mpk;
+  MrqedMasterKey mmsk;
+  mrqed.setup(rng, mpk, mmsk);
+  const auto mct = mrqed.encrypt(
+      mpk, std::vector<std::uint64_t>(9, 3), rng);
+  // Key for a mid-size range per dimension.
+  std::vector<MrqedRange> ranges(9, {1, (1u << kFactor) - 2});
+  const auto mkey = mrqed.gen_key(mpk, mmsk, ranges, rng);
+  std::printf("%-22s %12.1f %12s\n", "MRQED public key",
+              kb(serialize_mrqed_public_key(pairing, mpk).size()), "22.5");
+  std::printf("%-22s %12.1f %12s\n", "MRQED ciphertext",
+              kb(serialize_mrqed_ciphertext(pairing, mct).size()), "11.6");
+  std::printf("%-22s %12.1f %12s\n", "MRQED key",
+              kb(serialize_mrqed_key(pairing, mkey).size()), "14.4");
+
+  std::printf("\nnote: APKS measured sizes track the paper's formulas (the "
+              "small excess is explicit length headers). The key contrast — "
+              "APKS objects quadratic in n, index small, MRQED linear — is "
+              "reproduced.\n");
+  // Consistency check so the bench fails loudly if encodings drift:
+  // c1 is a 4-byte count plus n0 compressed points, c2 one GT element.
+  if (ct_b != 4 + 65 * n0 + 65) {
+    std::printf("ERROR: ciphertext size deviates from layout formula\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Query privacy: the dictionary attack of Section V, demonstrated against
+// the basic APKS scheme, and defeated by APKS+ proxy re-encryption.
+//
+// The honest-but-curious cloud server holds a user's capability and knows
+// the public key and the keyword universe. Against basic APKS it encrypts
+// every candidate index itself and tests the capability — recovering the
+// user's query keywords. Against APKS+ the same attack finds nothing,
+// because valid ciphertexts require the proxies' share of r.
+//
+// Build & run:  ./build/examples/query_privacy
+#include <cstdio>
+#include <string>
+
+#include "cloud/proxy.h"
+#include "core/apks_plus.h"
+
+using namespace apks;
+
+namespace {
+
+// A deliberately tiny universe so the attack is fast: one dimension
+// "illness" with six values — |W| = 6 trial encryptions, exactly the
+// |W1| x |W2| x ... complexity the paper quotes.
+Schema tiny_schema() {
+  return Schema({{"illness", nullptr, 1}, {"sex", nullptr, 1}});
+}
+
+const std::vector<std::string> kIllnesses{"flu",      "diabetes", "asthma",
+                                          "leukemia", "measles",  "covid"};
+const std::vector<std::string> kSexes{"Male", "Female"};
+
+}  // namespace
+
+int main() {
+  const Pairing pairing(default_type_a_params());
+  ChaChaRng rng("query-privacy");
+
+  // ---------------- Basic APKS: the attack succeeds ----------------------
+  {
+    const Apks scheme(pairing, tiny_schema());
+    ApksPublicKey pk;
+    ApksMasterKey msk;
+    scheme.setup(rng, pk, msk);
+
+    // The victim's secret query: illness = diabetes AND sex = Female.
+    const Query secret{{QueryTerm::equals("diabetes"),
+                        QueryTerm::equals("Female")}};
+    const Capability cap = scheme.gen_cap(msk, secret, rng);
+
+    std::printf("[basic APKS] server runs the dictionary attack...\n");
+    std::size_t trials = 0;
+    for (const auto& illness : kIllnesses) {
+      for (const auto& sex : kSexes) {
+        ++trials;
+        const auto forged =
+            scheme.gen_index(pk, PlainIndex{{illness, sex}}, rng);
+        if (scheme.search(cap, forged)) {
+          std::printf(
+              "[basic APKS] query RECOVERED after %zu trials: "
+              "illness=%s sex=%s\n",
+              trials, illness.c_str(), sex.c_str());
+        }
+      }
+    }
+  }
+
+  // ---------------- APKS+: the same attack fails -------------------------
+  {
+    const ApksPlus scheme(pairing, tiny_schema());
+    const auto setup = scheme.setup_plus(rng);
+    auto pipeline = make_proxy_pipeline(scheme, setup.r, /*proxies=*/2, rng);
+
+    const Query secret{{QueryTerm::equals("diabetes"),
+                        QueryTerm::equals("Female")}};
+    const Capability cap = scheme.gen_cap(setup.msk, secret, rng);
+
+    // Sanity: the legitimate pipeline still works.
+    auto legit = scheme.partial_gen_index(
+        setup.pk, PlainIndex{{"diabetes", "Female"}}, rng);
+    legit = pipeline.process(legit);
+    std::printf("[APKS+] legitimate upload matches: %s (expect yes)\n",
+                scheme.search(cap, legit) ? "yes" : "no");
+
+    std::printf("[APKS+] server runs the same dictionary attack...\n");
+    std::size_t hits = 0;
+    for (const auto& illness : kIllnesses) {
+      for (const auto& sex : kSexes) {
+        const auto forged = scheme.partial_gen_index(
+            setup.pk, PlainIndex{{illness, sex}}, rng);
+        if (scheme.search(cap, forged)) ++hits;
+      }
+    }
+    std::printf("[APKS+] attack hits: %zu / %zu (expect 0 — query privacy "
+                "holds)\n",
+                hits, kIllnesses.size() * kSexes.size());
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "auth/authority.h"
+
+namespace apks {
+
+std::vector<std::uint8_t> capability_message(const Pairing& pairing,
+                                             const Capability& cap,
+                                             const std::string& issuer) {
+  ByteWriter w;
+  w.bytes(serialize_key(pairing, cap.key));
+  w.str(issuer);
+  return w.take();
+}
+
+std::vector<std::uint8_t> serialize_signed_capability(
+    const Pairing& pairing, const SignedCapability& cap) {
+  ByteWriter w;
+  w.bytes(serialize_key(pairing, cap.cap.key));
+  w.str(cap.issuer);
+  write_point(pairing.curve(), cap.sig.u, w);
+  write_point(pairing.curve(), cap.sig.v, w);
+  return w.take();
+}
+
+SignedCapability deserialize_signed_capability(
+    const Pairing& pairing, std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  SignedCapability cap;
+  cap.cap.key = deserialize_key(pairing, r.bytes());
+  cap.issuer = r.str();
+  cap.sig.u = read_point(pairing.curve(), r);
+  cap.sig.v = read_point(pairing.curve(), r);
+  if (!r.done()) {
+    throw std::invalid_argument("signed capability: trailing bytes");
+  }
+  return cap;
+}
+
+TrustedAuthority::TrustedAuthority(const Apks& scheme, Rng& rng)
+    : scheme_(&scheme), ibs_(scheme.hpe().pairing()) {
+  scheme_->setup(rng, pk_, msk_);
+  auto s = ibs_.setup(rng);
+  ibs_msk_ = s.msk;
+  ibs_params_ = s.params;
+  ta_sig_key_ = ibs_.extract(ibs_msk_, "TA");
+}
+
+TrustedAuthority::TrustedAuthority(const Apks& scheme, ApksPublicKey pk,
+                                   ApksMasterKey msk, Rng& rng)
+    : scheme_(&scheme),
+      pk_(std::move(pk)),
+      msk_(std::move(msk)),
+      ibs_(scheme.hpe().pairing()) {
+  auto s = ibs_.setup(rng);
+  ibs_msk_ = s.msk;
+  ibs_params_ = s.params;
+  ta_sig_key_ = ibs_.extract(ibs_msk_, "TA");
+}
+
+SignedCapability TrustedAuthority::sign_capability(Capability cap,
+                                                   const IbsSigningKey& key,
+                                                   Rng& rng) const {
+  SignedCapability out;
+  out.issuer = key.identity;
+  const auto msg =
+      capability_message(scheme_->hpe().pairing(), cap, out.issuer);
+  out.sig = ibs_.sign(key, msg, rng);
+  out.cap = std::move(cap);
+  return out;
+}
+
+SignedCapability TrustedAuthority::issue(const Query& query, Rng& rng) {
+  return sign_capability(scheme_->gen_cap(msk_, query, rng), ta_sig_key_, rng);
+}
+
+std::unique_ptr<LocalAuthority> TrustedAuthority::make_lta(
+    const std::string& name, const Query& basic_scope, Rng& rng) {
+  Capability root = scheme_->gen_cap(msk_, basic_scope, rng);
+  IbsSigningKey key = ibs_.extract(ibs_msk_, name);
+  return std::unique_ptr<LocalAuthority>(
+      new LocalAuthority(*this, name, std::move(root), std::move(key)));
+}
+
+void LocalAuthority::register_user(const std::string& user_id,
+                                   UserAttributes attrs) {
+  users_[user_id] = std::move(attrs);
+}
+
+bool LocalAuthority::eligible(const std::string& user_id,
+                              const Query& query) const {
+  const auto it = users_.find(user_id);
+  if (it == users_.end()) return false;
+  const Schema& schema = ta_->scheme().schema();
+  if (query.terms.size() != schema.original_dims()) return false;
+  for (std::size_t dim = 0; dim < query.terms.size(); ++dim) {
+    const QueryTerm& term = query.terms[dim];
+    if (term.kind == QueryTerm::Kind::kAny) continue;
+    const auto attr = it->second.values.find(schema.dim(dim).name);
+    if (attr == it->second.values.end()) return false;
+    bool ok = false;
+    for (const auto& value : attr->second) {
+      if (schema.term_matches(dim, value, term)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::optional<SignedCapability> LocalAuthority::delegate_for_user(
+    const std::string& user_id, const Query& query, Rng& rng) const {
+  if (!eligible(user_id, query)) return std::nullopt;
+  // Policy check over the cumulative conjunction the capability will hold.
+  std::vector<Query> conjunction = root_.history;
+  conjunction.push_back(query);
+  if (!policy_.admits(conjunction)) return std::nullopt;
+  Capability delegated = ta_->scheme().delegate_cap(root_, query, rng);
+  return ta_->sign_capability(std::move(delegated), sig_key_, rng);
+}
+
+std::unique_ptr<LocalAuthority> LocalAuthority::make_sub_lta(
+    const std::string& name, const Query& restriction, Rng& rng) const {
+  Capability sub_root = ta_->scheme().delegate_cap(root_, restriction, rng);
+  IbsSigningKey key = ta_->ibs_.extract(ta_->ibs_msk_, name);
+  return std::unique_ptr<LocalAuthority>(
+      new LocalAuthority(*ta_, name, std::move(sub_root), std::move(key)));
+}
+
+bool CapabilityVerifier::verify(const SignedCapability& cap) const {
+  if (registered_.find(cap.issuer) == registered_.end()) return false;
+  const auto msg = capability_message(*pairing_, cap.cap, cap.issuer);
+  return ibs_.verify(params_, cap.issuer, msg, cap.sig);
+}
+
+}  // namespace apks

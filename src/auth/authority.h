@@ -1,0 +1,164 @@
+// The fine-grained search-authorization framework of Section III.
+//
+// A root trusted authority (TA) runs APKS Setup and IBS setup, then issues
+// basic capabilities to second-level local trusted authorities (LTAs) and
+// can go offline. Each LTA governs a local domain of users (and possibly
+// sub-LTAs): it keeps an attribute database, checks that a requested query
+// only touches attribute values the user possesses or is eligible for, and
+// answers with a *delegated* capability — always at least as restrictive as
+// the LTA's own. Every issued capability carries an identity-based
+// signature; the cloud server verifies it against the registered authority
+// list before serving a search.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "auth/ibs.h"
+#include "auth/policy.h"
+#include "core/apks.h"
+#include "hpe/serialize.h"
+
+namespace apks {
+
+// A capability as transmitted to the cloud server.
+struct SignedCapability {
+  Capability cap;
+  std::string issuer;  // authority identity the server checks registration of
+  IbsSignature sig;    // over serialize_key(cap.key) || issuer
+};
+
+// Attribute values a user possesses, per original schema dimension name.
+// A user may hold several values in one dimension (e.g. two illnesses).
+struct UserAttributes {
+  std::map<std::string, std::vector<std::string>> values;
+};
+
+class LocalAuthority;
+
+class TrustedAuthority {
+ public:
+  // Runs APKS Setup and IBS setup. The scheme object must outlive the TA.
+  TrustedAuthority(const Apks& scheme, Rng& rng);
+
+  // For APKS+ deployments: adopt an externally produced (blinded) master
+  // key instead of running plain Setup.
+  TrustedAuthority(const Apks& scheme, ApksPublicKey pk, ApksMasterKey msk,
+                   Rng& rng);
+
+  [[nodiscard]] const ApksPublicKey& public_key() const noexcept {
+    return pk_;
+  }
+  [[nodiscard]] const IbsPublicParams& ibs_params() const noexcept {
+    return ibs_params_;
+  }
+
+  // Creates a second-level LTA whose every capability is confined to
+  // `basic_scope` (the paper's example: provider = "hospital A").
+  [[nodiscard]] std::unique_ptr<LocalAuthority> make_lta(
+      const std::string& name, const Query& basic_scope, Rng& rng);
+
+  // Direct issuance by the TA itself (used rarely; the TA is semi-offline).
+  [[nodiscard]] SignedCapability issue(const Query& query, Rng& rng);
+
+  [[nodiscard]] const Apks& scheme() const noexcept { return *scheme_; }
+
+ private:
+  friend class LocalAuthority;
+  [[nodiscard]] SignedCapability sign_capability(Capability cap,
+                                                 const IbsSigningKey& key,
+                                                 Rng& rng) const;
+
+  const Apks* scheme_;
+  ApksPublicKey pk_;
+  ApksMasterKey msk_;
+  Ibs ibs_;
+  Fq ibs_msk_{};
+  IbsPublicParams ibs_params_;
+  IbsSigningKey ta_sig_key_;
+};
+
+class LocalAuthority {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  // The query scope this authority's capabilities are confined to.
+  [[nodiscard]] const std::vector<Query>& scope() const noexcept {
+    return root_.history;
+  }
+
+  void register_user(const std::string& user_id, UserAttributes attrs);
+
+  // Installs the statistical-attack countermeasure of Section VI-B (and
+  // optional delegation-depth bound); enforced on every delegation.
+  void set_policy(QueryPolicy policy) { policy_ = policy; }
+  [[nodiscard]] const QueryPolicy& policy() const noexcept { return policy_; }
+
+  // Section III eligibility: every non-don't-care term of `query` must be
+  // satisfied by at least one attribute value the user holds in that
+  // dimension.
+  [[nodiscard]] bool eligible(const std::string& user_id,
+                              const Query& query) const;
+
+  // Checks eligibility, then returns a capability for (scope AND query),
+  // signed by this authority. Returns std::nullopt if the user is not
+  // registered or not eligible.
+  [[nodiscard]] std::optional<SignedCapability> delegate_for_user(
+      const std::string& user_id, const Query& query, Rng& rng) const;
+
+  // Creates a sub-LTA whose scope is this LTA's scope AND `restriction`
+  // (the paper's multi-level authority tree).
+  [[nodiscard]] std::unique_ptr<LocalAuthority> make_sub_lta(
+      const std::string& name, const Query& restriction, Rng& rng) const;
+
+ private:
+  friend class TrustedAuthority;
+  LocalAuthority(const TrustedAuthority& ta, std::string name,
+                 Capability root, IbsSigningKey sig_key)
+      : ta_(&ta),
+        name_(std::move(name)),
+        root_(std::move(root)),
+        sig_key_(std::move(sig_key)) {}
+
+  const TrustedAuthority* ta_;
+  std::string name_;
+  Capability root_;  // this authority's own (restricted) capability
+  IbsSigningKey sig_key_;
+  std::map<std::string, UserAttributes> users_;
+  QueryPolicy policy_;
+};
+
+// Server-side admission check: verifies the capability signature against a
+// registered-authority list.
+class CapabilityVerifier {
+ public:
+  CapabilityVerifier(const Pairing& pairing, IbsPublicParams params)
+      : ibs_(pairing), params_(std::move(params)), pairing_(&pairing) {}
+
+  void register_authority(const std::string& name) {
+    registered_.insert(name);
+  }
+
+  [[nodiscard]] bool verify(const SignedCapability& cap) const;
+
+ private:
+  Ibs ibs_;
+  IbsPublicParams params_;
+  const Pairing* pairing_;
+  std::set<std::string> registered_;
+};
+
+// The byte string the IBS covers: the HPE key plus the issuer name.
+[[nodiscard]] std::vector<std::uint8_t> capability_message(
+    const Pairing& pairing, const Capability& cap, const std::string& issuer);
+
+// Wire format for capabilities in transit to the cloud server (key +
+// issuer + signature; the query history stays with the issuing authority).
+[[nodiscard]] std::vector<std::uint8_t> serialize_signed_capability(
+    const Pairing& pairing, const SignedCapability& cap);
+[[nodiscard]] SignedCapability deserialize_signed_capability(
+    const Pairing& pairing, std::span<const std::uint8_t> data);
+
+}  // namespace apks

@@ -1,0 +1,65 @@
+#include "auth/ibs.h"
+
+#include "common/sha256.h"
+
+namespace apks {
+
+Ibs::SetupResult Ibs::setup(Rng& rng) const {
+  SetupResult out;
+  out.msk = e_->fq().random_nonzero(rng);
+  out.params.p_pub = e_->curve().mul_base_fq(out.msk);
+  return out;
+}
+
+IbsSigningKey Ibs::extract(const Fq& msk, std::string_view identity) const {
+  IbsSigningKey key;
+  key.identity = std::string(identity);
+  key.d = e_->curve().mul_fq(
+      e_->curve().hash_to_point(std::string("ibs:id:") + key.identity), msk);
+  return key;
+}
+
+Fq Ibs::challenge(std::span<const std::uint8_t> message,
+                  const AffinePoint& u) const {
+  Sha256 h;
+  h.update("ibs:challenge");
+  std::array<std::uint8_t, Curve::kCompressedSize> ubuf{};
+  e_->curve().serialize(u, ubuf);
+  h.update(std::span<const std::uint8_t>(ubuf.data(), ubuf.size()));
+  h.update(message);
+  const auto digest = h.finish();
+  return e_->fq().from_bytes_mod(digest);
+}
+
+IbsSignature Ibs::sign(const IbsSigningKey& key,
+                       std::span<const std::uint8_t> message,
+                       Rng& rng) const {
+  const Curve& curve = e_->curve();
+  const FqField& fq = e_->fq();
+  const AffinePoint qid =
+      curve.hash_to_point(std::string("ibs:id:") + key.identity);
+  const Fq r = fq.random_nonzero(rng);
+  IbsSignature sig;
+  sig.u = curve.mul_fq(qid, r);
+  const Fq h = challenge(message, sig.u);
+  sig.v = curve.mul_fq(key.d, fq.add(r, h));
+  return sig;
+}
+
+bool Ibs::verify(const IbsPublicParams& params, std::string_view identity,
+                 std::span<const std::uint8_t> message,
+                 const IbsSignature& sig) const {
+  const Curve& curve = e_->curve();
+  if (sig.u.inf || sig.v.inf) return false;
+  if (!curve.on_curve(sig.u) || !curve.on_curve(sig.v)) return false;
+  const AffinePoint qid =
+      curve.hash_to_point(std::string("ibs:id:") + std::string(identity));
+  const Fq h = challenge(message, sig.u);
+  // e(V, g) == e(U + h*Qid, Ppub).
+  const GtEl lhs = e_->pair(sig.v, curve.generator());
+  const GtEl rhs = e_->pair(curve.add(sig.u, curve.mul_fq(qid, h)),
+                            params.p_pub);
+  return lhs == rhs;
+}
+
+}  // namespace apks

@@ -1,0 +1,61 @@
+// Authorization policies beyond attribute eligibility.
+//
+// Section VI-B: when the adversary knows keyword frequencies it can guess
+// the query behind a capability; the paper's countermeasure is to require
+// every authorized query to constrain at least a minimum number of
+// dimensions (narrow capabilities match few records, so the result set
+// leaks less and frequency analysis gets harder). QueryPolicy bundles that
+// rule with structural limits an authority may want to impose.
+#pragma once
+
+#include <cstddef>
+
+#include "core/schema.h"
+
+namespace apks {
+
+struct QueryPolicy {
+  // Minimum number of non-don't-care dimensions in the *cumulative* query
+  // (authority scope AND user request). 0 disables the check.
+  std::size_t min_active_dims = 0;
+  // Maximum delegation depth an issued capability may have (0 = unlimited).
+  // Deeper chains mean larger capabilities; authorities can bound them.
+  std::size_t max_delegation_depth = 0;
+
+  [[nodiscard]] static std::size_t active_dims(const Query& query) {
+    std::size_t active = 0;
+    for (const auto& term : query.terms) {
+      if (term.kind != QueryTerm::Kind::kAny) ++active;
+    }
+    return active;
+  }
+
+  // Active dimensions across a conjunction of queries (a dimension counts
+  // once even if several levels restrict it).
+  [[nodiscard]] static std::size_t active_dims(
+      const std::vector<Query>& conjunction) {
+    if (conjunction.empty()) return 0;
+    std::vector<bool> active(conjunction.front().terms.size(), false);
+    for (const auto& q : conjunction) {
+      for (std::size_t i = 0; i < q.terms.size() && i < active.size(); ++i) {
+        if (q.terms[i].kind != QueryTerm::Kind::kAny) active[i] = true;
+      }
+    }
+    std::size_t count = 0;
+    for (const bool a : active) count += a ? 1 : 0;
+    return count;
+  }
+
+  [[nodiscard]] bool admits(const std::vector<Query>& conjunction) const {
+    if (min_active_dims != 0 && active_dims(conjunction) < min_active_dims) {
+      return false;
+    }
+    if (max_delegation_depth != 0 &&
+        conjunction.size() > max_delegation_depth) {
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace apks

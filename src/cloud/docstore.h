@@ -1,0 +1,96 @@
+// Encrypted document storage.
+//
+// The paper treats document confidentiality as out of scope ("the data
+// contents are protected using separate, existing data encryption
+// schemes"); this is the library's implementation of that separate layer: a
+// blob store holding AEAD-sealed documents keyed by the doc_ref strings
+// that searches return. Key distribution for documents (e.g. via ABE)
+// remains the deployment's choice — owners keep their document keys and
+// hand them to authorized users out of band.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/aead.h"
+#include "common/rng.h"
+
+namespace apks {
+
+struct DocumentKey {
+  std::array<std::uint8_t, kAeadKeySize> key{};
+
+  [[nodiscard]] static DocumentKey random(Rng& rng) {
+    DocumentKey k;
+    rng.fill(k.key);
+    return k;
+  }
+};
+
+class DocumentStore {
+ public:
+  // Seals and stores `content` under `doc_ref`; the ref doubles as the AEAD
+  // associated data so a blob cannot be silently re-labelled. A fresh
+  // random nonce is stored alongside the blob.
+  void put(const std::string& doc_ref, const DocumentKey& key,
+           std::span<const std::uint8_t> content, Rng& rng);
+
+  void put(const std::string& doc_ref, const DocumentKey& key,
+           std::string_view content, Rng& rng) {
+    put(doc_ref, key,
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(content.data()),
+            content.size()),
+        rng);
+  }
+
+  // Fetches and opens a document; nullopt if the ref is unknown or the key
+  // is wrong / the blob was tampered with.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(
+      const std::string& doc_ref, const DocumentKey& key) const;
+
+  [[nodiscard]] std::optional<std::string> get_text(
+      const std::string& doc_ref, const DocumentKey& key) const {
+    const auto bytes = get(doc_ref, key);
+    if (!bytes.has_value()) return std::nullopt;
+    return std::string(bytes->begin(), bytes->end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return blobs_.size(); }
+
+  // The cloud's view of a stored blob (for tamper-injection in tests).
+  struct Blob {
+    std::array<std::uint8_t, kAeadNonceSize> nonce{};
+    std::vector<std::uint8_t> sealed;
+  };
+  [[nodiscard]] Blob* find(const std::string& doc_ref) {
+    const auto it = blobs_.find(doc_ref);
+    return it == blobs_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, Blob> blobs_;
+};
+
+inline void DocumentStore::put(const std::string& doc_ref,
+                               const DocumentKey& key,
+                               std::span<const std::uint8_t> content,
+                               Rng& rng) {
+  Blob blob;
+  rng.fill(blob.nonce);
+  const std::span<const std::uint8_t> aad(
+      reinterpret_cast<const std::uint8_t*>(doc_ref.data()), doc_ref.size());
+  blob.sealed = aead_seal(key.key, blob.nonce, aad, content);
+  blobs_[doc_ref] = std::move(blob);
+}
+
+inline std::optional<std::vector<std::uint8_t>> DocumentStore::get(
+    const std::string& doc_ref, const DocumentKey& key) const {
+  const auto it = blobs_.find(doc_ref);
+  if (it == blobs_.end()) return std::nullopt;
+  const std::span<const std::uint8_t> aad(
+      reinterpret_cast<const std::uint8_t*>(doc_ref.data()), doc_ref.size());
+  return aead_open(key.key, it->second.nonce, aad, it->second.sealed);
+}
+
+}  // namespace apks

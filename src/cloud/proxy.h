@@ -1,0 +1,83 @@
+// Semi-trusted proxy servers for APKS+ (Section V, Fig. 6).
+//
+// Each proxy holds one multiplicative share of the TA's secret r and
+// rescales partially-encrypted indexes on the owners' behalf. With P > 1
+// proxies a ciphertext must traverse all of them before the cloud server
+// will ever match it; compromising any proper subset reveals nothing about
+// r. Proxies also rate-limit transformations as the paper's (coarse)
+// defence against probe-response attacks.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/apks_plus.h"
+
+namespace apks {
+
+class ProxyServer {
+ public:
+  // `share` is this proxy's share r_i of r = r_1 ... r_P; the proxy stores
+  // and applies r_i^{-1}.
+  ProxyServer(const ApksPlus& scheme, const Fq& share,
+              std::size_t rate_limit = 0)
+      : scheme_(&scheme),
+        inv_share_(scheme.hpe().pairing().fq().inv(share)),
+        rate_limit_(rate_limit) {}
+
+  [[nodiscard]] EncryptedIndex transform(const EncryptedIndex& partial) {
+    if (rate_limit_ != 0 && transformed_ >= rate_limit_) {
+      throw std::runtime_error(
+          "proxy: transformation budget exhausted (probe-response defence)");
+    }
+    ++transformed_;
+    return scheme_->proxy_transform(inv_share_, partial);
+  }
+
+  [[nodiscard]] std::size_t transformed_count() const noexcept {
+    return transformed_;
+  }
+
+ private:
+  const ApksPlus* scheme_;
+  Fq inv_share_;
+  std::size_t rate_limit_;  // 0 = unlimited
+  std::size_t transformed_ = 0;
+};
+
+// A chain of proxies every upload must traverse (any order works: the
+// shares commute).
+class ProxyPipeline {
+ public:
+  void add(ProxyServer proxy) { proxies_.push_back(std::move(proxy)); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return proxies_.size(); }
+
+  [[nodiscard]] EncryptedIndex process(EncryptedIndex partial) {
+    for (auto& proxy : proxies_) {
+      partial = proxy.transform(partial);
+    }
+    return partial;
+  }
+
+ private:
+  std::vector<ProxyServer> proxies_;
+};
+
+// Convenience wiring for a full APKS+ deployment: TA secret split across P
+// proxies, ready for owners to push partial indexes through.
+[[nodiscard]] inline ProxyPipeline make_proxy_pipeline(const ApksPlus& scheme,
+                                                       const Fq& r,
+                                                       std::size_t proxies,
+                                                       Rng& rng,
+                                                       std::size_t rate_limit =
+                                                           0) {
+  ProxyPipeline pipeline;
+  for (const auto& share : HpePlus::split_secret(
+           scheme.hpe().pairing().fq(), r, proxies, rng)) {
+    pipeline.add(ProxyServer(scheme, share, rate_limit));
+  }
+  return pipeline;
+}
+
+}  // namespace apks

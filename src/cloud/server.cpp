@@ -1,0 +1,80 @@
+#include "cloud/server.h"
+
+#include <atomic>
+#include <thread>
+
+namespace apks {
+
+std::uint64_t CloudServer::store(EncryptedIndex index, std::string doc_ref) {
+  const std::uint64_t id = next_id_++;
+  records_.push_back({id, std::move(doc_ref), std::move(index)});
+  return id;
+}
+
+std::vector<std::string> CloudServer::search(const SignedCapability& cap,
+                                             SearchStats* stats) const {
+  SearchStats local;
+  if (!verifier_.verify(cap)) {
+    if (stats != nullptr) *stats = local;
+    return {};
+  }
+  local.authorized = true;
+  auto out = search_unchecked(cap.cap, &local);
+  local.authorized = true;  // search_unchecked resets the flag
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<std::string> CloudServer::search_unchecked(
+    const Capability& cap, SearchStats* stats) const {
+  SearchStats local;
+  const PreparedCapability prepared = scheme_->prepare(cap);
+  std::vector<std::string> matches;
+  for (const auto& record : records_) {
+    ++local.scanned;
+    if (scheme_->search_prepared(prepared, record.index)) {
+      ++local.matched;
+      matches.push_back(record.doc_ref);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return matches;
+}
+
+std::vector<std::string> CloudServer::search_parallel(
+    const Capability& cap, std::size_t threads, SearchStats* stats) const {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, std::max<std::size_t>(1, records_.size()));
+  if (threads <= 1) return search_unchecked(cap, stats);
+
+  const PreparedCapability prepared = scheme_->prepare(cap);
+  std::vector<char> hit(records_.size(), 0);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= records_.size()) return;
+      hit[i] = scheme_->search_prepared(prepared, records_[i].index) ? 1 : 0;
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  SearchStats local;
+  local.scanned = records_.size();
+  std::vector<std::string> matches;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (hit[i] != 0) {
+      ++local.matched;
+      matches.push_back(records_[i].doc_ref);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return matches;
+}
+
+}  // namespace apks

@@ -1,0 +1,70 @@
+// The honest-but-curious cloud server of the system model (Fig. 1 / Fig. 6).
+//
+// Stores encrypted indexes contributed by multiple owners and serves
+// searches: it verifies the capability's authority signature, preprocesses
+// the capability's pairing argument once, then scans the whole database
+// (searchable encryption reveals nothing that would allow sub-linear
+// filtering). Returns the document references of matching records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "auth/authority.h"
+#include "core/apks.h"
+
+namespace apks {
+
+class CloudServer {
+ public:
+  struct Record {
+    std::uint64_t id;
+    std::string doc_ref;  // opaque handle to the (separately encrypted) docs
+    EncryptedIndex index;
+  };
+
+  struct SearchStats {
+    bool authorized = false;
+    std::size_t scanned = 0;
+    std::size_t matched = 0;
+  };
+
+  CloudServer(const Apks& scheme, CapabilityVerifier verifier)
+      : scheme_(&scheme), verifier_(std::move(verifier)) {}
+
+  // Owner upload. Returns the record id.
+  std::uint64_t store(EncryptedIndex index, std::string doc_ref);
+
+  [[nodiscard]] std::size_t record_count() const noexcept {
+    return records_.size();
+  }
+
+  // Full search protocol: signature check, preprocessing, linear scan.
+  // Returns matching doc_refs (empty if the capability is not authorized —
+  // inspect stats.authorized to distinguish).
+  [[nodiscard]] std::vector<std::string> search(const SignedCapability& cap,
+                                                SearchStats* stats = nullptr)
+      const;
+
+  // Search with a raw capability (no authorization layer) — used by
+  // benchmarks to time the cryptographic scan in isolation.
+  [[nodiscard]] std::vector<std::string> search_unchecked(
+      const Capability& cap, SearchStats* stats = nullptr) const;
+
+  // Parallel scan across `threads` workers (the paper notes the linear
+  // scan parallelizes trivially across server cores). threads == 0 uses
+  // the hardware concurrency. Results are in record order regardless of
+  // the thread count.
+  [[nodiscard]] std::vector<std::string> search_parallel(
+      const Capability& cap, std::size_t threads,
+      SearchStats* stats = nullptr) const;
+
+ private:
+  const Apks* scheme_;
+  CapabilityVerifier verifier_;
+  std::vector<Record> records_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace apks

@@ -1,0 +1,130 @@
+#include "common/aead.h"
+
+#include "common/bigint.h"
+#include "common/chacha.h"
+
+namespace apks {
+
+std::array<std::uint8_t, 16> poly1305(std::span<const std::uint8_t, 32> key,
+                                      std::span<const std::uint8_t> message) {
+  // p = 2^130 - 5; r clamped per RFC 8439. Accumulator arithmetic uses the
+  // multiprecision core (3 limbs hold values < 2^131).
+  using Acc = BigInt<3>;
+  Acc p;
+  p.set_bit(130);
+  p = p - Acc{5};
+
+  std::array<std::uint8_t, 16> rbytes{};
+  std::copy(key.begin(), key.begin() + 16, rbytes.begin());
+  rbytes[3] &= 15;
+  rbytes[7] &= 15;
+  rbytes[11] &= 15;
+  rbytes[15] &= 15;
+  rbytes[4] &= 252;
+  rbytes[8] &= 252;
+  rbytes[12] &= 252;
+  // Little-endian load.
+  Acc r;
+  for (std::size_t i = 0; i < 16; ++i) {
+    r.w[i / 8] |= static_cast<std::uint64_t>(rbytes[i]) << (8 * (i % 8));
+  }
+
+  Acc acc;
+  std::size_t off = 0;
+  while (off < message.size()) {
+    const std::size_t take = std::min<std::size_t>(16, message.size() - off);
+    Acc block;
+    for (std::size_t i = 0; i < take; ++i) {
+      block.w[i / 8] |= static_cast<std::uint64_t>(message[off + i])
+                        << (8 * (i % 8));
+    }
+    block.set_bit(8 * take);  // the 0x01 pad byte
+    acc = add_mod(acc, block, p);  // both < p after reduction below
+    // acc = (acc * r) mod p
+    const auto wide = Acc::mul_wide(acc, r);
+    acc = mod(wide, p);
+    off += take;
+  }
+
+  // tag = (acc + s) mod 2^128.
+  Acc s;
+  for (std::size_t i = 0; i < 16; ++i) {
+    s.w[i / 8] |= static_cast<std::uint64_t>(key[16 + i]) << (8 * (i % 8));
+  }
+  Acc tag;
+  Acc::add_carry(tag, acc, s);
+  std::array<std::uint8_t, 16> out{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[i] = static_cast<std::uint8_t>(tag.w[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+namespace {
+
+// Poly1305 input for AEAD: aad || pad || ct || pad || len(aad) || len(ct).
+std::vector<std::uint8_t> mac_data(std::span<const std::uint8_t> aad,
+                                   std::span<const std::uint8_t> ct) {
+  std::vector<std::uint8_t> m;
+  m.reserve(aad.size() + ct.size() + 32);
+  m.insert(m.end(), aad.begin(), aad.end());
+  m.resize((m.size() + 15) / 16 * 16, 0);
+  m.insert(m.end(), ct.begin(), ct.end());
+  m.resize((m.size() + 15) / 16 * 16, 0);
+  auto push_len = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      m.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  push_len(aad.size());
+  push_len(ct.size());
+  return m;
+}
+
+std::array<std::uint8_t, 32> poly_key(
+    std::span<const std::uint8_t, kAeadKeySize> key,
+    std::span<const std::uint8_t, kAeadNonceSize> nonce) {
+  std::array<std::uint8_t, 64> block{};
+  chacha20_block(key, 0, nonce, block);
+  std::array<std::uint8_t, 32> out{};
+  std::copy(block.begin(), block.begin() + 32, out.begin());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> aead_seal(
+    std::span<const std::uint8_t, kAeadKeySize> key,
+    std::span<const std::uint8_t, kAeadNonceSize> nonce,
+    std::span<const std::uint8_t> aad,
+    std::span<const std::uint8_t> plaintext) {
+  std::vector<std::uint8_t> out(plaintext.begin(), plaintext.end());
+  chacha20_xor(key, 1, nonce, out);
+  const auto otk = poly_key(key, nonce);
+  const auto tag = poly1305(otk, mac_data(aad, out));
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> aead_open(
+    std::span<const std::uint8_t, kAeadKeySize> key,
+    std::span<const std::uint8_t, kAeadNonceSize> nonce,
+    std::span<const std::uint8_t> aad,
+    std::span<const std::uint8_t> sealed) {
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  const auto ct = sealed.first(sealed.size() - kAeadTagSize);
+  const auto tag = sealed.last(kAeadTagSize);
+  const auto otk = poly_key(key, nonce);
+  const auto expect = poly1305(otk, mac_data(aad, ct));
+  // Constant-time comparison.
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kAeadTagSize; ++i) {
+    diff = static_cast<std::uint8_t>(diff | (tag[i] ^ expect[i]));
+  }
+  if (diff != 0) return std::nullopt;
+  std::vector<std::uint8_t> out(ct.begin(), ct.end());
+  chacha20_xor(key, 1, nonce, out);
+  return out;
+}
+
+}  // namespace apks

@@ -1,0 +1,39 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439).
+//
+// The paper assumes the actual PHR documents are protected by separate
+// encryption; this AEAD is the library's batteries-included choice for that
+// layer (see cloud/docstore.h). Implemented from scratch like the rest of
+// the crypto stack; validated against the RFC test vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace apks {
+
+// Poly1305 one-time authenticator. key = r || s (32 bytes).
+[[nodiscard]] std::array<std::uint8_t, 16> poly1305(
+    std::span<const std::uint8_t, 32> key,
+    std::span<const std::uint8_t> message);
+
+inline constexpr std::size_t kAeadKeySize = 32;
+inline constexpr std::size_t kAeadNonceSize = 12;
+inline constexpr std::size_t kAeadTagSize = 16;
+
+// Returns ciphertext || tag.
+[[nodiscard]] std::vector<std::uint8_t> aead_seal(
+    std::span<const std::uint8_t, kAeadKeySize> key,
+    std::span<const std::uint8_t, kAeadNonceSize> nonce,
+    std::span<const std::uint8_t> aad, std::span<const std::uint8_t> plaintext);
+
+// Verifies and decrypts ciphertext || tag; nullopt on authentication
+// failure.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> aead_open(
+    std::span<const std::uint8_t, kAeadKeySize> key,
+    std::span<const std::uint8_t, kAeadNonceSize> nonce,
+    std::span<const std::uint8_t> aad, std::span<const std::uint8_t> sealed);
+
+}  // namespace apks

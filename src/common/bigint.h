@@ -1,0 +1,226 @@
+// Fixed-width little-endian big integers.
+//
+// BigInt<L> is a plain value type over L 64-bit limbs. Arithmetic helpers
+// delegate to the limb-level routines in limbs.h. All operations are
+// wrap-around unless documented otherwise; callers that need the carry use
+// the *_carry variants.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/limbs.h"
+
+namespace apks {
+
+template <std::size_t L>
+struct BigInt {
+  static_assert(L >= 1 && L <= limb::kMaxDivLimbs / 2);
+  static constexpr std::size_t kLimbs = L;
+  static constexpr std::size_t kBytes = 8 * L;
+
+  std::array<std::uint64_t, L> w{};
+
+  constexpr BigInt() = default;
+  constexpr explicit BigInt(std::uint64_t v) { w[0] = v; }
+
+  [[nodiscard]] static BigInt zero() { return BigInt{}; }
+  [[nodiscard]] static BigInt one() { return BigInt{1}; }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    return limb::is_zero(w.data(), L);
+  }
+  [[nodiscard]] bool is_odd() const noexcept { return (w[0] & 1) != 0; }
+
+  [[nodiscard]] std::size_t bit_length() const noexcept {
+    return limb::bit_length(w.data(), L);
+  }
+  [[nodiscard]] bool bit(std::size_t i) const noexcept {
+    assert(i < 64 * L);
+    return ((w[i / 64] >> (i % 64)) & 1) != 0;
+  }
+  void set_bit(std::size_t i) noexcept {
+    assert(i < 64 * L);
+    w[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return limb::cmp(a.w.data(), b.w.data(), L) == 0;
+  }
+  friend auto operator<=>(const BigInt& a, const BigInt& b) noexcept {
+    return limb::cmp(a.w.data(), b.w.data(), L) <=> 0;
+  }
+
+  // r = a + b mod 2^(64L); returns carry.
+  static std::uint64_t add_carry(BigInt& r, const BigInt& a,
+                                 const BigInt& b) noexcept {
+    return limb::add_n(r.w.data(), a.w.data(), b.w.data(), L);
+  }
+  // r = a - b mod 2^(64L); returns borrow.
+  static std::uint64_t sub_borrow(BigInt& r, const BigInt& a,
+                                  const BigInt& b) noexcept {
+    return limb::sub_n(r.w.data(), a.w.data(), b.w.data(), L);
+  }
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b) noexcept {
+    BigInt r;
+    add_carry(r, a, b);
+    return r;
+  }
+  friend BigInt operator-(const BigInt& a, const BigInt& b) noexcept {
+    BigInt r;
+    sub_borrow(r, a, b);
+    return r;
+  }
+
+  // Full-width product.
+  [[nodiscard]] static BigInt<2 * L> mul_wide(const BigInt& a,
+                                              const BigInt& b) noexcept {
+    BigInt<2 * L> r;
+    limb::mul(r.w.data(), a.w.data(), L, b.w.data(), L);
+    return r;
+  }
+
+  [[nodiscard]] BigInt shl(unsigned k) const noexcept {
+    BigInt r;
+    if (k >= 64 * L) return r;
+    const unsigned limbs_shift = k / 64;
+    const unsigned bits = k % 64;
+    BigInt t{};
+    for (std::size_t i = limbs_shift; i < L; ++i) t.w[i] = w[i - limbs_shift];
+    limb::shl_small(r.w.data(), t.w.data(), L, bits);
+    return r;
+  }
+  [[nodiscard]] BigInt shr(unsigned k) const noexcept {
+    BigInt r;
+    if (k >= 64 * L) return r;
+    const unsigned limbs_shift = k / 64;
+    const unsigned bits = k % 64;
+    BigInt t{};
+    for (std::size_t i = 0; i + limbs_shift < L; ++i) t.w[i] = w[i + limbs_shift];
+    limb::shr_small(r.w.data(), t.w.data(), L, bits);
+    return r;
+  }
+
+  // Big-endian byte conversion (kBytes bytes, most significant first).
+  void to_bytes(std::span<std::uint8_t, kBytes> out) const noexcept {
+    for (std::size_t i = 0; i < L; ++i) {
+      const std::uint64_t v = w[L - 1 - i];
+      for (std::size_t j = 0; j < 8; ++j) {
+        out[8 * i + j] = static_cast<std::uint8_t>(v >> (56 - 8 * j));
+      }
+    }
+  }
+  [[nodiscard]] static BigInt from_bytes(
+      std::span<const std::uint8_t> in) noexcept {
+    // Interprets `in` (big-endian) mod 2^(64L); accepts up to kBytes bytes.
+    assert(in.size() <= kBytes);
+    BigInt r;
+    std::size_t bit = 0;
+    for (std::size_t i = in.size(); i-- > 0;) {
+      r.w[bit / 64] |= static_cast<std::uint64_t>(in[i]) << (bit % 64);
+      bit += 8;
+    }
+    return r;
+  }
+};
+
+// Reduction: r = a mod m, where a has A limbs and m has L limbs (m != 0).
+template <std::size_t A, std::size_t L>
+[[nodiscard]] BigInt<L> mod(const BigInt<A>& a, const BigInt<L>& m) noexcept {
+  static_assert(A >= L);
+  // limb::divrem trims the divisor and writes only the trimmed width of the
+  // remainder, so the buffer must start zeroed.
+  std::uint64_t rem[L] = {};
+  limb::divrem(nullptr, rem, a.w.data(), A, m.w.data(), L);
+  BigInt<L> r;
+  std::memcpy(r.w.data(), rem, L * sizeof(std::uint64_t));
+  return r;
+}
+
+// q = a / b, r = a mod b over the same width.
+template <std::size_t L>
+void divrem(const BigInt<L>& a, const BigInt<L>& b, BigInt<L>& q,
+            BigInt<L>& r) noexcept {
+  // Zeroed: divrem writes only the significant limbs of each output.
+  std::uint64_t qq[L] = {};
+  std::uint64_t rr[L] = {};
+  limb::divrem(qq, rr, a.w.data(), L, b.w.data(), L);
+  std::memcpy(q.w.data(), qq, L * sizeof(std::uint64_t));
+  std::memcpy(r.w.data(), rr, L * sizeof(std::uint64_t));
+}
+
+// Modular addition/subtraction for a, b < m.
+template <std::size_t L>
+[[nodiscard]] BigInt<L> add_mod(const BigInt<L>& a, const BigInt<L>& b,
+                                const BigInt<L>& m) noexcept {
+  BigInt<L> r;
+  const std::uint64_t carry = BigInt<L>::add_carry(r, a, b);
+  if (carry != 0 || r >= m) {
+    BigInt<L>::sub_borrow(r, r, m);
+  }
+  return r;
+}
+
+template <std::size_t L>
+[[nodiscard]] BigInt<L> sub_mod(const BigInt<L>& a, const BigInt<L>& b,
+                                const BigInt<L>& m) noexcept {
+  BigInt<L> r;
+  const std::uint64_t borrow = BigInt<L>::sub_borrow(r, a, b);
+  if (borrow != 0) {
+    BigInt<L>::add_carry(r, r, m);
+  }
+  return r;
+}
+
+// r = a * b mod m (schoolbook + Knuth division; use Montgomery for hot paths).
+template <std::size_t L>
+[[nodiscard]] BigInt<L> mul_mod(const BigInt<L>& a, const BigInt<L>& b,
+                                const BigInt<L>& m) noexcept {
+  return mod(BigInt<L>::mul_wide(a, b), m);
+}
+
+// Hex round-trips (most significant digit first, no "0x" prefix).
+template <std::size_t L>
+[[nodiscard]] std::string to_hex(const BigInt<L>& a) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(16 * L);
+  for (std::size_t i = L; i-- > 0;) {
+    for (int j = 60; j >= 0; j -= 4) {
+      s.push_back(kDigits[(a.w[i] >> j) & 0xF]);
+    }
+  }
+  const std::size_t pos = s.find_first_not_of('0');
+  if (pos == std::string::npos) return "0";
+  return s.substr(pos);
+}
+
+template <std::size_t L>
+[[nodiscard]] BigInt<L> bigint_from_hex(std::string_view hex) {
+  BigInt<L> r;
+  std::size_t bit = 0;
+  for (std::size_t i = hex.size(); i-- > 0 && bit < 64 * L;) {
+    const char c = hex[i];
+    std::uint64_t v = 0;
+    if (c >= '0' && c <= '9') {
+      v = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v = static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      continue;  // allow separators
+    }
+    r.w[bit / 64] |= v << (bit % 64);
+    bit += 4;
+  }
+  return r;
+}
+
+}  // namespace apks

@@ -1,0 +1,3 @@
+// bytes.h is header-only; this translation unit exists to give the target a
+// stable archive member and to hold future out-of-line helpers.
+#include "common/bytes.h"

@@ -1,0 +1,95 @@
+// Simple length-prefixed binary serialization helpers.
+//
+// ByteWriter appends primitive values and raw buffers; ByteReader consumes
+// them in the same order. Used to measure and round-trip the wire sizes of
+// public keys, ciphertexts and capabilities (the paper reports these sizes
+// in Section VII).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apks {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    raw(data);
+  }
+  void str(std::string_view s) {
+    bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() { return take(1)[0]; }
+  [[nodiscard]] std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> raw(std::size_t n) {
+    return take(n);
+  }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() { return take(u32()); }
+  [[nodiscard]] std::string str() {
+    const auto b = bytes();
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw std::out_of_range("ByteReader: truncated input");
+    }
+    const auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace apks

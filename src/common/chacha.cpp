@@ -1,0 +1,80 @@
+#include "common/chacha.h"
+
+namespace apks {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b;
+  d = rotl32(d ^ a, 16);
+  c += d;
+  b = rotl32(b ^ c, 12);
+  a += b;
+  d = rotl32(d ^ a, 8);
+  c += d;
+  b = rotl32(b ^ c, 7);
+}
+
+inline std::uint32_t load32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void chacha20_block(std::span<const std::uint8_t, 32> key,
+                    std::uint32_t counter,
+                    std::span<const std::uint8_t, 12> nonce,
+                    std::span<std::uint8_t, 64> out) {
+  std::array<std::uint32_t, 16> state{};
+  static constexpr std::uint32_t kSigma[4] = {0x61707865u, 0x3320646eu,
+                                              0x79622d32u, 0x6b206574u};
+  for (std::size_t i = 0; i < 4; ++i) state[i] = kSigma[i];
+  for (std::size_t i = 0; i < 8; ++i) state[4 + i] = load32(&key[4 * i]);
+  state[12] = counter;
+  for (std::size_t i = 0; i < 3; ++i) state[13 + i] = load32(&nonce[4 * i]);
+
+  std::array<std::uint32_t, 16> x = state;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+void chacha20_xor(std::span<const std::uint8_t, 32> key,
+                  std::uint32_t counter,
+                  std::span<const std::uint8_t, 12> nonce,
+                  std::span<std::uint8_t> data) {
+  std::array<std::uint8_t, 64> block{};
+  std::size_t off = 0;
+  while (off < data.size()) {
+    chacha20_block(key, counter++, nonce, block);
+    const std::size_t take = std::min<std::size_t>(64, data.size() - off);
+    for (std::size_t i = 0; i < take; ++i) {
+      data[off + i] = static_cast<std::uint8_t>(data[off + i] ^ block[i]);
+    }
+    off += take;
+  }
+}
+
+}  // namespace apks

@@ -1,0 +1,23 @@
+// ChaCha20 block function and stream cipher (RFC 8439), shared by the
+// deterministic RNG and the AEAD construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace apks {
+
+// One 64-byte keystream block for (key, counter, nonce).
+void chacha20_block(std::span<const std::uint8_t, 32> key,
+                    std::uint32_t counter,
+                    std::span<const std::uint8_t, 12> nonce,
+                    std::span<std::uint8_t, 64> out);
+
+// XORs `data` in place with the keystream starting at block `counter`.
+void chacha20_xor(std::span<const std::uint8_t, 32> key,
+                  std::uint32_t counter,
+                  std::span<const std::uint8_t, 12> nonce,
+                  std::span<std::uint8_t> data);
+
+}  // namespace apks

@@ -1,0 +1,68 @@
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/chacha.h"
+#include "common/rng.h"
+#include "common/sha256.h"
+
+namespace apks {
+
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Rejection sampling on the top of the range to avoid modulo bias.
+  const std::uint64_t limit = bound * (~std::uint64_t{0} / bound);
+  for (;;) {
+    const std::uint64_t v = next_u64();
+    if (v < limit) return v % bound;
+  }
+}
+
+ChaChaRng::ChaChaRng(std::span<const std::uint8_t, 32> seed) {
+  std::copy(seed.begin(), seed.end(), key_.begin());
+}
+
+ChaChaRng::ChaChaRng(std::string_view label, std::uint64_t counter) {
+  Sha256 h;
+  h.update(label);
+  std::uint8_t cb[8];
+  for (int i = 0; i < 8; ++i) {
+    cb[i] = static_cast<std::uint8_t>(counter >> (8 * i));
+  }
+  h.update(std::span<const std::uint8_t>(cb, 8));
+  const auto digest = h.finish();
+  *this = ChaChaRng(std::span<const std::uint8_t, 32>(digest));
+}
+
+void ChaChaRng::refill() {
+  static constexpr std::array<std::uint8_t, 12> kZeroNonce{};
+  chacha20_block(key_, counter_++, kZeroNonce, block_);
+  pos_ = 0;
+}
+
+void ChaChaRng::fill(std::span<std::uint8_t> out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    if (pos_ == 64) refill();
+    const std::size_t take = std::min(out.size() - off, 64 - pos_);
+    std::memcpy(out.data() + off, block_.data() + pos_, take);
+    pos_ += take;
+    off += take;
+  }
+}
+
+void SystemRng::fill(std::span<std::uint8_t> out) {
+  static FILE* f = std::fopen("/dev/urandom", "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open /dev/urandom");
+  if (std::fread(out.data(), 1, out.size(), f) != out.size()) {
+    throw std::runtime_error("short read from /dev/urandom");
+  }
+}
+
+Rng& default_rng() {
+  static SystemRng rng;
+  return rng;
+}
+
+}  // namespace apks

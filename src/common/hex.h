@@ -1,0 +1,17 @@
+// Hex encoding/decoding for byte buffers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apks {
+
+[[nodiscard]] std::string hex_encode(std::span<const std::uint8_t> data);
+
+// Throws std::invalid_argument on non-hex input or odd length.
+[[nodiscard]] std::vector<std::uint8_t> hex_decode(std::string_view hex);
+
+}  // namespace apks

@@ -1,0 +1,252 @@
+#include "common/limbs.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace apks::limb {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+u64 add_n(u64* r, const u64* a, const u64* b, std::size_t n) noexcept {
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 t = static_cast<u128>(a[i]) + b[i] + carry;
+    r[i] = static_cast<u64>(t);
+    carry = static_cast<u64>(t >> 64);
+  }
+  return carry;
+}
+
+u64 sub_n(u64* r, const u64* a, const u64* b, std::size_t n) noexcept {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 t = static_cast<u128>(a[i]) - b[i] - borrow;
+    r[i] = static_cast<u64>(t);
+    borrow = static_cast<u64>((t >> 64) & 1);
+  }
+  return borrow;
+}
+
+u64 add_1(u64* r, const u64* a, std::size_t n, u64 b) noexcept {
+  u64 carry = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 t = static_cast<u128>(a[i]) + carry;
+    r[i] = static_cast<u64>(t);
+    carry = static_cast<u64>(t >> 64);
+  }
+  return carry;
+}
+
+u64 sub_1(u64* r, const u64* a, std::size_t n, u64 b) noexcept {
+  u64 borrow = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 t = static_cast<u128>(a[i]) - borrow;
+    r[i] = static_cast<u64>(t);
+    borrow = static_cast<u64>((t >> 64) & 1);
+  }
+  return borrow;
+}
+
+u64 addmul_1(u64* r, const u64* a, std::size_t n, u64 b) noexcept {
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u128 t = static_cast<u128>(a[i]) * b + r[i] + carry;
+    r[i] = static_cast<u64>(t);
+    carry = static_cast<u64>(t >> 64);
+  }
+  return carry;
+}
+
+void mul(u64* r, const u64* a, std::size_t an, const u64* b,
+         std::size_t bn) noexcept {
+  std::memset(r, 0, (an + bn) * sizeof(u64));
+  for (std::size_t i = 0; i < bn; ++i) {
+    r[an + i] += addmul_1(r + i, a, an, b[i]);
+  }
+}
+
+int cmp(const u64* a, const u64* b, std::size_t n) noexcept {
+  for (std::size_t i = n; i-- > 0;) {
+    if (a[i] < b[i]) return -1;
+    if (a[i] > b[i]) return 1;
+  }
+  return 0;
+}
+
+bool is_zero(const u64* a, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != 0) return false;
+  }
+  return true;
+}
+
+std::size_t bit_length(const u64* a, std::size_t n) noexcept {
+  for (std::size_t i = n; i-- > 0;) {
+    if (a[i] != 0) {
+      return 64 * i +
+             (64 - static_cast<std::size_t>(__builtin_clzll(a[i])));
+    }
+  }
+  return 0;
+}
+
+u64 shl_small(u64* r, const u64* a, std::size_t n, unsigned k) noexcept {
+  assert(k < 64);
+  if (k == 0) {
+    std::memmove(r, a, n * sizeof(u64));
+    return 0;
+  }
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 v = a[i];
+    r[i] = (v << k) | carry;
+    carry = v >> (64 - k);
+  }
+  return carry;
+}
+
+void shr_small(u64* r, const u64* a, std::size_t n, unsigned k) noexcept {
+  assert(k < 64);
+  if (k == 0) {
+    std::memmove(r, a, n * sizeof(u64));
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 lo = a[i] >> k;
+    const u64 hi = (i + 1 < n) ? (a[i + 1] << (64 - k)) : 0;
+    r[i] = lo | hi;
+  }
+}
+
+namespace {
+
+// Divides the (possibly shorter) numerator by a single-limb divisor.
+void divrem_1(u64* q, u64* r_out, const u64* a, std::size_t an,
+              u64 d) noexcept {
+  u128 rem = 0;
+  for (std::size_t i = an; i-- > 0;) {
+    const u128 cur = (rem << 64) | a[i];
+    const u64 qi = static_cast<u64>(cur / d);
+    rem = cur % d;
+    if (q != nullptr) q[i] = qi;
+  }
+  if (r_out != nullptr) r_out[0] = static_cast<u64>(rem);
+}
+
+}  // namespace
+
+void divrem(u64* q, u64* r_out, const u64* a, std::size_t an, const u64* b,
+            std::size_t bn) noexcept {
+  assert(an <= kMaxDivLimbs && bn <= kMaxDivLimbs && bn >= 1 && an >= bn);
+  // Trim leading zero limbs of the divisor.
+  while (bn > 1 && b[bn - 1] == 0) --bn;
+  assert(!is_zero(b, bn));
+
+  if (bn == 1) {
+    divrem_1(q, r_out, a, an, b[0]);
+    return;
+  }
+
+  // Normalize so the top limb of the divisor has its high bit set.
+  const unsigned shift =
+      static_cast<unsigned>(__builtin_clzll(b[bn - 1]));
+  u64 u[kMaxDivLimbs + 1];  // normalized numerator, one extra limb
+  u64 v[kMaxDivLimbs];      // normalized divisor
+  u[an] = shl_small(u, a, an, shift);
+  shl_small(v, b, bn, shift);
+
+  const std::size_t m = an - bn;  // number of quotient limbs - 1
+  const u64 vtop = v[bn - 1];
+  const u64 vsecond = v[bn - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate quotient digit from the top two limbs of the current window.
+    const u128 num = (static_cast<u128>(u[j + bn]) << 64) | u[j + bn - 1];
+    u64 qhat;
+    u128 rhat;
+    if (u[j + bn] >= vtop) {
+      qhat = ~static_cast<u64>(0);
+      rhat = num - static_cast<u128>(qhat) * vtop;
+    } else {
+      qhat = static_cast<u64>(num / vtop);
+      rhat = num % vtop;
+    }
+    while (rhat <= ~static_cast<u128>(0) >> 64 &&
+           static_cast<u128>(qhat) * vsecond >
+               ((rhat << 64) | u[j + bn - 2])) {
+      --qhat;
+      rhat += vtop;
+    }
+    // u[j..j+bn] -= qhat * v
+    u64 borrow = 0;
+    u64 carry = 0;
+    for (std::size_t i = 0; i < bn; ++i) {
+      const u128 p = static_cast<u128>(qhat) * v[i] + carry;
+      carry = static_cast<u64>(p >> 64);
+      const u128 t = static_cast<u128>(u[j + i]) - static_cast<u64>(p) - borrow;
+      u[j + i] = static_cast<u64>(t);
+      borrow = static_cast<u64>((t >> 64) & 1);
+    }
+    const u128 t = static_cast<u128>(u[j + bn]) - carry - borrow;
+    u[j + bn] = static_cast<u64>(t);
+    if ((t >> 64) & 1) {
+      // qhat was one too large; add the divisor back.
+      --qhat;
+      u64 c = 0;
+      for (std::size_t i = 0; i < bn; ++i) {
+        const u128 s = static_cast<u128>(u[j + i]) + v[i] + c;
+        u[j + i] = static_cast<u64>(s);
+        c = static_cast<u64>(s >> 64);
+      }
+      u[j + bn] += c;
+    }
+    if (q != nullptr) q[j] = qhat;
+  }
+
+  if (r_out != nullptr) {
+    shr_small(r_out, u, bn, shift);
+  }
+}
+
+u64 mont_n0inv(u64 m0) noexcept {
+  assert((m0 & 1) != 0);
+  // Newton iteration: x_{k+1} = x_k (2 - m0 x_k); 6 steps give 64 bits.
+  u64 x = m0;  // correct mod 2^3
+  for (int i = 0; i < 6; ++i) {
+    x *= 2 - m0 * x;
+  }
+  return ~x + 1;  // -(m0^{-1}) mod 2^64
+}
+
+void mont_mul(u64* r, const u64* a, const u64* b, const u64* m, u64 n0inv,
+              std::size_t n) noexcept {
+  assert(n <= kMaxDivLimbs);
+  // CIOS: t has n+2 limbs.
+  u64 t[kMaxDivLimbs + 2];
+  std::memset(t, 0, (n + 2) * sizeof(u64));
+  for (std::size_t i = 0; i < n; ++i) {
+    // t += a * b[i]
+    u64 carry = addmul_1(t, a, n, b[i]);
+    u128 s = static_cast<u128>(t[n]) + carry;
+    t[n] = static_cast<u64>(s);
+    t[n + 1] += static_cast<u64>(s >> 64);
+    // reduce one limb
+    const u64 u_ = t[0] * n0inv;
+    carry = addmul_1(t, m, n, u_);
+    s = static_cast<u128>(t[n]) + carry;
+    t[n] = static_cast<u64>(s);
+    t[n + 1] += static_cast<u64>(s >> 64);
+    // shift t right by one limb
+    for (std::size_t k = 0; k <= n; ++k) t[k] = t[k + 1];
+    t[n + 1] = 0;
+  }
+  // Final conditional subtraction.
+  if (t[n] != 0 || cmp(t, m, n) >= 0) {
+    sub_n(r, t, m, n);
+  } else {
+    std::memcpy(r, t, n * sizeof(u64));
+  }
+}
+
+}  // namespace apks::limb

@@ -1,0 +1,76 @@
+// Low-level multiprecision limb arithmetic.
+//
+// All routines operate on little-endian arrays of 64-bit limbs. They are the
+// non-template core underneath BigInt<L>; keeping them out-of-line keeps code
+// size down and makes them independently testable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace apks::limb {
+
+// r = a + b (all n limbs). Returns the outgoing carry (0 or 1).
+// r may alias a or b.
+std::uint64_t add_n(std::uint64_t* r, const std::uint64_t* a,
+                    const std::uint64_t* b, std::size_t n) noexcept;
+
+// r = a - b (all n limbs). Returns the outgoing borrow (0 or 1).
+// r may alias a or b.
+std::uint64_t sub_n(std::uint64_t* r, const std::uint64_t* a,
+                    const std::uint64_t* b, std::size_t n) noexcept;
+
+// r = a + b where b is a single limb. Returns the carry.
+std::uint64_t add_1(std::uint64_t* r, const std::uint64_t* a, std::size_t n,
+                    std::uint64_t b) noexcept;
+
+// r = a - b where b is a single limb. Returns the borrow.
+std::uint64_t sub_1(std::uint64_t* r, const std::uint64_t* a, std::size_t n,
+                    std::uint64_t b) noexcept;
+
+// r[0..an+bn) = a[0..an) * b[0..bn). r must not alias a or b.
+void mul(std::uint64_t* r, const std::uint64_t* a, std::size_t an,
+         const std::uint64_t* b, std::size_t bn) noexcept;
+
+// r += a * b (single limb b) over n limbs of a; returns the limb that would
+// be added at position n (carry-out). r must have at least n limbs.
+std::uint64_t addmul_1(std::uint64_t* r, const std::uint64_t* a, std::size_t n,
+                       std::uint64_t b) noexcept;
+
+// Compares a and b over n limbs: -1, 0, or +1.
+int cmp(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) noexcept;
+
+// True if all n limbs are zero.
+bool is_zero(const std::uint64_t* a, std::size_t n) noexcept;
+
+// Number of significant bits (0 for zero).
+std::size_t bit_length(const std::uint64_t* a, std::size_t n) noexcept;
+
+// r = a << k (k < 64), n limbs; returns the bits shifted out of the top limb.
+std::uint64_t shl_small(std::uint64_t* r, const std::uint64_t* a, std::size_t n,
+                        unsigned k) noexcept;
+
+// r = a >> k (k < 64), n limbs.
+void shr_small(std::uint64_t* r, const std::uint64_t* a, std::size_t n,
+               unsigned k) noexcept;
+
+// Knuth algorithm D division.
+//   q[0..an-bn] = a / b,  r_out[0..bn) = a mod b.
+// Requirements: bn >= 1, b[bn-1] != 0 after normalization handled internally,
+// an >= bn. q may be null if only the remainder is wanted.
+// a and b are not modified. Scratch-free interface; uses internal buffers up
+// to kMaxDivLimbs limbs.
+inline constexpr std::size_t kMaxDivLimbs = 40;
+void divrem(std::uint64_t* q, std::uint64_t* r_out, const std::uint64_t* a,
+            std::size_t an, const std::uint64_t* b, std::size_t bn) noexcept;
+
+// -m^{-1} mod 2^64 for odd m (Montgomery n0'). Newton iteration.
+std::uint64_t mont_n0inv(std::uint64_t m0) noexcept;
+
+// Montgomery multiplication (CIOS): r = a * b * R^{-1} mod m, where
+// R = 2^{64n}. m must be odd; a, b < m. r may alias a or b.
+void mont_mul(std::uint64_t* r, const std::uint64_t* a, const std::uint64_t* b,
+              const std::uint64_t* m, std::uint64_t n0inv,
+              std::size_t n) noexcept;
+
+}  // namespace apks::limb

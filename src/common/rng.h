@@ -1,0 +1,66 @@
+// Random number generation.
+//
+// All randomness in the library flows through the Rng interface so tests and
+// benchmarks can inject a seeded deterministic generator (ChaCha20-based)
+// while production callers can use OS entropy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+namespace apks {
+
+class Rng {
+ public:
+  virtual ~Rng() = default;
+  // Fills `out` with random bytes.
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  [[nodiscard]] std::uint64_t next_u64() {
+    std::array<std::uint8_t, 8> b{};
+    fill(b);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    }
+    return v;
+  }
+
+  // Uniform value in [0, bound) via rejection sampling. bound must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound);
+};
+
+// ChaCha20 block function based deterministic generator. Stream position is
+// the (block counter, offset) pair; reseeding restarts the stream.
+class ChaChaRng final : public Rng {
+ public:
+  // 32-byte key seed; deterministic stream.
+  explicit ChaChaRng(std::span<const std::uint8_t, 32> seed);
+  // Convenience: seed derived from SHA-256 of the label + counter.
+  explicit ChaChaRng(std::string_view label, std::uint64_t counter = 0);
+
+  void fill(std::span<std::uint8_t> out) override;
+
+ private:
+  void refill();
+
+  std::array<std::uint8_t, 32> key_{};
+  std::uint32_t counter_ = 0;
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t pos_ = 64;
+};
+
+// Reads from the operating system entropy source (/dev/urandom).
+// Throws std::runtime_error if the source is unavailable.
+class SystemRng final : public Rng {
+ public:
+  void fill(std::span<std::uint8_t> out) override;
+};
+
+// Process-wide default generator (SystemRng), for convenience call sites.
+[[nodiscard]] Rng& default_rng();
+
+}  // namespace apks

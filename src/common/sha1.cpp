@@ -1,0 +1,107 @@
+#include "common/sha1.h"
+
+#include <cstring>
+
+namespace apks {
+
+namespace {
+inline std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buf_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  total_len_ += data.size();
+  std::size_t off = 0;
+  if (buf_len_ != 0) {
+    const std::size_t take = std::min(data.size(), 64 - buf_len_);
+    std::memcpy(buf_.data() + buf_len_, data.data(), take);
+    buf_len_ += take;
+    off = take;
+    if (buf_len_ == 64) {
+      process_block(buf_.data());
+      buf_len_ = 0;
+    }
+  }
+  while (off + 64 <= data.size()) {
+    process_block(data.data() + off);
+    off += 64;
+  }
+  if (off < data.size()) {
+    std::memcpy(buf_.data(), data.data() + off, data.size() - off);
+    buf_len_ = data.size() - off;
+  }
+}
+
+Sha1::Digest Sha1::finish() {
+  const std::uint64_t bit_len = total_len_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(std::span<const std::uint8_t>(&pad, 1));
+  const std::uint8_t zero = 0;
+  while (buf_len_ != 56) {
+    update(std::span<const std::uint8_t>(&zero, 1));
+  }
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(std::span<const std::uint8_t>(len_bytes, 8));
+  Digest d;
+  for (int i = 0; i < 5; ++i) {
+    d[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >> 24);
+    d[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >> 16);
+    d[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)] >> 8);
+    d[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(h_[static_cast<std::size_t>(i)]);
+  }
+  reset();
+  return d;
+}
+
+}  // namespace apks

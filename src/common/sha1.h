@@ -1,0 +1,48 @@
+// SHA-1 (FIPS 180-4). The paper maps attribute values into F_q with SHA-1;
+// we also use it for identity hashing where 160-bit output matches the
+// 160-bit group order of the type-A parameters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace apks {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  [[nodiscard]] Digest finish();
+
+  [[nodiscard]] static Digest hash(std::string_view s) {
+    Sha1 h;
+    h.update(s);
+    return h.finish();
+  }
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace apks

@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4). Used for wide hash-to-field expansion and as the
+// PRF inside the deterministic RNG seeding helpers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace apks {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  [[nodiscard]] Digest finish();
+
+  [[nodiscard]] static Digest hash(std::string_view s) {
+    Sha256 h;
+    h.update(s);
+    return h.finish();
+  }
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) {
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace apks

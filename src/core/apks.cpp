@@ -1,0 +1,77 @@
+#include "core/apks.h"
+
+namespace apks {
+
+std::vector<Fq> Apks::encode_index_vector(const PlainIndex& index) const {
+  const FqField& fq = hpe_.pairing().fq();
+  const ConvertedIndex converted = schema_.convert_index(index);
+  return psi_encode(fq, schema_, hash_index(fq, schema_, converted));
+}
+
+std::vector<Fq> Apks::encode_query_vector(const Query& query,
+                                          Rng& rng) const {
+  const FqField& fq = hpe_.pairing().fq();
+  const ConvertedQuery converted = schema_.convert_query(query);
+  return phi_encode(fq, schema_, hash_query(fq, schema_, converted), rng);
+}
+
+GtEl Apks::match_flag() const {
+  const Pairing& e = hpe_.pairing();
+  return e.gt_pow(e.gt_generator(), hash_to_fq(e.fq(), "apks:match-flag"));
+}
+
+EncryptedIndex Apks::gen_index(const ApksPublicKey& pk,
+                               const PlainIndex& index, Rng& rng) const {
+  return {hpe_.encrypt(pk.hpe, encode_index_vector(index), match_flag(), rng)};
+}
+
+Capability Apks::gen_cap(const ApksMasterKey& msk, const Query& query,
+                         Rng& rng) const {
+  Capability cap;
+  cap.key = hpe_.gen_key(msk.hpe, encode_query_vector(query, rng), rng);
+  cap.history.push_back(query);
+  return cap;
+}
+
+bool Apks::search(const Capability& cap, const EncryptedIndex& index) const {
+  return hpe_.decrypt(index.ct, cap.key) == match_flag();
+}
+
+PreparedCapability Apks::prepare(const Capability& cap) const {
+  return {hpe_.preprocess_key(cap.key)};
+}
+
+bool Apks::search_prepared(const PreparedCapability& cap,
+                           const EncryptedIndex& index) const {
+  return hpe_.decrypt_pre(index.ct, cap.dec) == match_flag();
+}
+
+Capability Apks::delegate_cap(const Capability& parent,
+                              const Query& restriction, Rng& rng) const {
+  Capability child;
+  child.key =
+      hpe_.delegate(parent.key, encode_query_vector(restriction, rng), rng);
+  child.history = parent.history;
+  child.history.push_back(restriction);
+  return child;
+}
+
+Capability Apks::gen_cap_naive(const ApksMasterKey& msk, const Query& query,
+                               Rng& rng) const {
+  Capability cap;
+  cap.key = hpe_.gen_key_naive(msk.hpe, encode_query_vector(query, rng), rng);
+  cap.history.push_back(query);
+  return cap;
+}
+
+Capability Apks::delegate_cap_naive(const Capability& parent,
+                                    const Query& restriction, Rng& rng) const {
+  Capability child;
+  child.key = hpe_.delegate_naive(parent.key,
+                                  encode_query_vector(restriction, rng), rng);
+  child.history = parent.history;
+  child.history.push_back(restriction);
+  return child;
+}
+
+}  // namespace apks

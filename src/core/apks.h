@@ -1,0 +1,103 @@
+// APKS — Authorized Private Keyword Search (the paper's basic solution,
+// Section IV, Fig. 5).
+//
+// Setup       : HPE setup over n = sum_i d_i + 1 dimensional vectors.
+// GenIndex    : convert + hash + psi-encode an owner's index, HPE-encrypt a
+//               public match flag under it.
+// GenCap      : convert + hash + phi-encode a query, issue the HPE key.
+// Search      : HPE-decrypt; match iff the flag reappears.
+// DelegateCap : HPE delegation — the child capability answers Q1 AND Q2.
+#pragma once
+
+#include "core/encoding.h"
+#include "hpe/hpe.h"
+
+namespace apks {
+
+struct ApksPublicKey {
+  HpePublicKey hpe;
+};
+
+struct ApksMasterKey {
+  HpeMasterKey hpe;
+};
+
+struct EncryptedIndex {
+  HpeCiphertext ct;
+};
+
+struct Capability {
+  HpeKey key;
+  // The conjunction of queries this capability answers (level i entry is
+  // the i-th delegated restriction). Kept by the issuing authority and the
+  // holder for bookkeeping/eligibility checks; the cloud server only needs
+  // `key`.
+  std::vector<Query> history;
+};
+
+// A capability with the server-side pairing preprocessing applied.
+struct PreparedCapability {
+  std::vector<PreprocessedPairing> dec;
+};
+
+class Apks {
+ public:
+  Apks(const Pairing& pairing, Schema schema)
+      : schema_(std::move(schema)),
+        hpe_(pairing, schema_.vector_length()) {}
+
+  [[nodiscard]] const Schema& schema() const noexcept { return schema_; }
+  [[nodiscard]] const Hpe& hpe() const noexcept { return hpe_; }
+  // n of the paper (vector length, minus nothing: includes the +1 slot).
+  [[nodiscard]] std::size_t n() const noexcept {
+    return schema_.vector_length();
+  }
+
+  void setup(Rng& rng, ApksPublicKey& pk, ApksMasterKey& msk) const {
+    hpe_.setup(rng, pk.hpe, msk.hpe);
+  }
+
+  [[nodiscard]] EncryptedIndex gen_index(const ApksPublicKey& pk,
+                                         const PlainIndex& index,
+                                         Rng& rng) const;
+
+  [[nodiscard]] Capability gen_cap(const ApksMasterKey& msk,
+                                   const Query& query, Rng& rng) const;
+
+  [[nodiscard]] bool search(const Capability& cap,
+                            const EncryptedIndex& index) const;
+
+  // Server-side: preprocess once, then search many indexes cheaper.
+  [[nodiscard]] PreparedCapability prepare(const Capability& cap) const;
+  [[nodiscard]] bool search_prepared(const PreparedCapability& cap,
+                                     const EncryptedIndex& index) const;
+
+  [[nodiscard]] Capability delegate_cap(const Capability& parent,
+                                        const Query& restriction,
+                                        Rng& rng) const;
+
+  // Paper-faithful cost variants (see Hpe::gen_key_naive): identical output
+  // distribution, per-component exponentiation counts matching the paper's
+  // Fig. 8(c) measurements. The default gen_cap/delegate_cap share the
+  // predicate-sum across components and are ~an order of magnitude faster.
+  [[nodiscard]] Capability gen_cap_naive(const ApksMasterKey& msk,
+                                         const Query& query, Rng& rng) const;
+  [[nodiscard]] Capability delegate_cap_naive(const Capability& parent,
+                                              const Query& restriction,
+                                              Rng& rng) const;
+
+  // The public GT flag encrypted into every index; Search tests for it.
+  // (Stands in for the paper's Msg||0^lambda padding check — see DESIGN.md.)
+  [[nodiscard]] GtEl match_flag() const;
+
+ protected:
+  [[nodiscard]] std::vector<Fq> encode_index_vector(
+      const PlainIndex& index) const;
+  [[nodiscard]] std::vector<Fq> encode_query_vector(const Query& query,
+                                                    Rng& rng) const;
+
+  Schema schema_;
+  Hpe hpe_;
+};
+
+}  // namespace apks

@@ -1,0 +1,59 @@
+// APKS+ — the query-privacy enhanced solution (paper Section V).
+//
+// Owners produce *partial* encrypted indexes with the public key; one or
+// more proxy servers holding multiplicative shares of r^{-1} transform them
+// before they reach the cloud. Capabilities are issued on the blinded basis
+// r*B*, so ciphertexts forged from pk alone never match — defeating the
+// dictionary attack that breaks query privacy in the basic solution.
+#pragma once
+
+#include "core/apks.h"
+#include "hpe/hpe_plus.h"
+
+namespace apks {
+
+struct ApksPlusSetupResult {
+  ApksPublicKey pk;
+  ApksMasterKey msk;  // blinded: bstar holds r * B*
+  Fq r{};             // TA-held transformation secret
+};
+
+class ApksPlus : public Apks {
+ public:
+  ApksPlus(const Pairing& pairing, Schema schema)
+      : Apks(pairing, std::move(schema)),
+        plus_(pairing, schema_.vector_length()) {}
+
+  [[nodiscard]] ApksPlusSetupResult setup_plus(Rng& rng) const {
+    auto s = plus_.setup(rng);
+    return {{std::move(s.pk)}, {std::move(s.msk)}, s.r};
+  }
+
+  // Owner-side partial index generation (identical cost to basic GenIndex).
+  [[nodiscard]] EncryptedIndex partial_gen_index(const ApksPublicKey& pk,
+                                                 const PlainIndex& index,
+                                                 Rng& rng) const {
+    return gen_index(pk, index, rng);
+  }
+
+  // Proxy-side transformation with the proxy's share of r^{-1}.
+  [[nodiscard]] EncryptedIndex proxy_transform(const Fq& inv_share,
+                                               const EncryptedIndex& e) const {
+    return {plus_.proxy_transform(inv_share, e.ct)};
+  }
+
+  // Splits r into multiplicative proxy shares (each proxy later applies the
+  // inverse of its share).
+  [[nodiscard]] std::vector<Fq> split_secret(const Fq& r, std::size_t proxies,
+                                             Rng& rng) const {
+    return HpePlus::split_secret(hpe_.pairing().fq(), r, proxies, rng);
+  }
+
+  // GenCap / Search / DelegateCap are inherited unchanged: the blinding
+  // lives entirely inside the master key and the proxy transformation.
+
+ private:
+  HpePlus plus_;
+};
+
+}  // namespace apks

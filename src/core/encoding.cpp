@@ -1,0 +1,111 @@
+#include "core/encoding.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+std::vector<Fq> poly_from_roots(const FqField& fq,
+                                const std::vector<Fq>& roots) {
+  // Start with the constant polynomial 1, multiply by (Z - w) per root.
+  std::vector<Fq> c{fq.one()};
+  for (const Fq& w : roots) {
+    std::vector<Fq> next(c.size() + 1, fq.zero());
+    for (std::size_t j = 0; j < c.size(); ++j) {
+      next[j + 1] = fq.add(next[j + 1], c[j]);            // Z * c_j
+      next[j] = fq.sub(next[j], fq.mul(w, c[j]));         // -w * c_j
+    }
+    c = std::move(next);
+  }
+  return c;
+}
+
+std::vector<Fq> psi_encode(const FqField& fq, const Schema& schema,
+                           const std::vector<Fq>& keywords) {
+  const auto& fields = schema.fields();
+  if (keywords.size() != fields.size()) {
+    throw std::invalid_argument("psi_encode: keyword arity mismatch");
+  }
+  std::vector<Fq> x;
+  x.reserve(schema.vector_length());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    // Block (z^{d}, z^{d-1}, ..., z).
+    std::vector<Fq> powers(fields[i].degree);
+    Fq acc = keywords[i];
+    for (std::size_t j = 0; j < fields[i].degree; ++j) {
+      powers[j] = acc;  // z^{j+1}
+      acc = fq.mul(acc, keywords[i]);
+    }
+    for (std::size_t j = fields[i].degree; j-- > 0;) {
+      x.push_back(powers[j]);
+    }
+  }
+  x.push_back(fq.one());
+  return x;
+}
+
+std::vector<Fq> phi_encode(const FqField& fq, const Schema& schema,
+                           const std::vector<FieldPredicate>& preds,
+                           Rng& rng) {
+  const auto& fields = schema.fields();
+  if (preds.size() != fields.size()) {
+    throw std::invalid_argument("phi_encode: predicate arity mismatch");
+  }
+  std::vector<Fq> v;
+  v.reserve(schema.vector_length());
+  Fq c0 = fq.zero();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const std::size_t d = fields[i].degree;
+    if (preds[i].dont_care) {
+      for (std::size_t j = 0; j < d; ++j) v.push_back(fq.zero());
+      continue;
+    }
+    if (preds[i].roots.empty() || preds[i].roots.size() > d) {
+      throw std::invalid_argument("phi_encode: OR budget violated");
+    }
+    auto coeffs = poly_from_roots(fq, preds[i].roots);  // degree t <= d
+    const Fq r = fq.random_nonzero(rng);
+    for (auto& c : coeffs) c = fq.mul(c, r);
+    // Slots hold coefficients of Z^d ... Z^1 (zero-padded above degree t).
+    for (std::size_t j = d; j >= 1; --j) {
+      v.push_back(j < coeffs.size() ? coeffs[j] : fq.zero());
+    }
+    c0 = fq.add(c0, coeffs[0]);
+  }
+  v.push_back(c0);
+  return v;
+}
+
+std::vector<Fq> hash_index(const FqField& fq, const Schema& schema,
+                           const ConvertedIndex& index) {
+  const auto& fields = schema.fields();
+  if (index.keywords.size() != fields.size()) {
+    throw std::invalid_argument("hash_index: arity mismatch");
+  }
+  std::vector<Fq> out;
+  out.reserve(fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out.push_back(hash_to_fq(fq, Schema::keyword(fields[i],
+                                                 index.keywords[i])));
+  }
+  return out;
+}
+
+std::vector<FieldPredicate> hash_query(const FqField& fq, const Schema& schema,
+                                       const ConvertedQuery& q) {
+  const auto& fields = schema.fields();
+  if (q.per_field.size() != fields.size()) {
+    throw std::invalid_argument("hash_query: arity mismatch");
+  }
+  std::vector<FieldPredicate> out(fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (q.per_field[i].empty()) continue;
+    out[i].dont_care = false;
+    for (const auto& value : q.per_field[i]) {
+      out[i].roots.push_back(
+          hash_to_fq(fq, Schema::keyword(fields[i], value)));
+    }
+  }
+  return out;
+}
+
+}  // namespace apks

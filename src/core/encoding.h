@@ -1,0 +1,54 @@
+// The psi / phi vector encodings of Section IV-C.1.
+//
+// psi maps a converted index row to the plaintext vector
+//   x = (z_1^{d_1}, ..., z_1, z_2^{d_2}, ..., z_2, ..., 1),
+// phi maps a converted CNF query to the predicate vector of coefficients of
+//   p(Z) = sum_i r_i (Z_i - w_{i,1}) ... (Z_i - w_{i,t_i}),
+// so that x . v = sum_i r_i p_i(z_i), which is 0 iff every non-don't-care
+// dimension matches (up to negligible cancellation probability over the
+// random r_i).
+#pragma once
+
+#include <vector>
+
+#include "core/schema.h"
+#include "math/fq.h"
+
+namespace apks {
+
+// Per converted field: either "don't care" (contributes nothing) or the
+// hashed OR-keywords (roots of the field's query polynomial).
+struct FieldPredicate {
+  bool dont_care = true;
+  std::vector<Fq> roots;
+};
+
+// psi: hashed converted-index keywords -> plaintext vector (length n).
+// `keywords[i]` is H(field_i : value_i); degrees come from the schema.
+[[nodiscard]] std::vector<Fq> psi_encode(const FqField& fq,
+                                         const Schema& schema,
+                                         const std::vector<Fq>& keywords);
+
+// phi: per-field predicates -> predicate vector (length n). Uses fresh
+// random multipliers r_i for non-don't-care fields.
+[[nodiscard]] std::vector<Fq> phi_encode(const FqField& fq,
+                                         const Schema& schema,
+                                         const std::vector<FieldPredicate>& preds,
+                                         Rng& rng);
+
+// Hashes a converted index into per-field F_q keywords.
+[[nodiscard]] std::vector<Fq> hash_index(const FqField& fq,
+                                         const Schema& schema,
+                                         const ConvertedIndex& index);
+
+// Hashes a converted query into per-field predicates.
+[[nodiscard]] std::vector<FieldPredicate> hash_query(const FqField& fq,
+                                                     const Schema& schema,
+                                                     const ConvertedQuery& q);
+
+// Expands prod_j (Z - roots[j]) into monomial coefficients c[0..t], where
+// c[j] multiplies Z^j. Exposed for tests.
+[[nodiscard]] std::vector<Fq> poly_from_roots(const FqField& fq,
+                                              const std::vector<Fq>& roots);
+
+}  // namespace apks

@@ -1,0 +1,264 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apks {
+
+namespace {
+
+std::string interval_label(std::uint64_t lo, std::uint64_t hi) {
+  if (lo == hi) return std::to_string(lo);
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+}  // namespace
+
+AttributeHierarchy AttributeHierarchy::numeric(std::string field,
+                                               std::uint64_t lo,
+                                               std::uint64_t hi,
+                                               std::size_t branching,
+                                               std::size_t depth) {
+  if (hi < lo) throw std::invalid_argument("hierarchy: hi < lo");
+  if (branching < 2) throw std::invalid_argument("hierarchy: branching < 2");
+  if (depth < 1) throw std::invalid_argument("hierarchy: depth < 1");
+  AttributeHierarchy h;
+  h.field_ = std::move(field);
+  h.numeric_ = true;
+  h.height_ = depth;
+
+  Node root;
+  root.label = interval_label(lo, hi);
+  root.level = 1;
+  root.lo = lo;
+  root.hi = hi;
+  h.nodes_.push_back(root);
+
+  // Breadth-first split; intervals of width < branching get one child per
+  // value (keeping the tree balanced in depth by duplicating single-value
+  // nodes down to the leaf level).
+  std::vector<std::size_t> frontier{0};
+  for (std::size_t level = 2; level <= depth; ++level) {
+    std::vector<std::size_t> next;
+    for (const std::size_t parent_idx : frontier) {
+      const std::uint64_t plo = h.nodes_[parent_idx].lo;
+      const std::uint64_t phi = h.nodes_[parent_idx].hi;
+      const std::uint64_t width = phi - plo + 1;
+      const std::uint64_t parts =
+          std::min<std::uint64_t>(branching, width);
+      for (std::uint64_t c = 0; c < parts; ++c) {
+        const std::uint64_t clo = plo + (width * c) / parts;
+        const std::uint64_t chi = plo + (width * (c + 1)) / parts - 1;
+        Node child;
+        child.lo = clo;
+        child.hi = chi;
+        child.level = level;
+        child.parent = parent_idx;
+        child.label = interval_label(clo, chi);
+        if (parts == 1) {
+          // Single-value chain: disambiguate repeated labels with depth tag.
+          child.label += "@" + std::to_string(level);
+        }
+        h.nodes_.push_back(child);
+        const std::size_t child_idx = h.nodes_.size() - 1;
+        h.nodes_[parent_idx].children.push_back(child_idx);
+        next.push_back(child_idx);
+      }
+    }
+    frontier = std::move(next);
+  }
+  h.index_labels();
+  return h;
+}
+
+AttributeHierarchy AttributeHierarchy::semantic(std::string field,
+                                                const Spec& root) {
+  AttributeHierarchy h;
+  h.field_ = std::move(field);
+  h.numeric_ = false;
+
+  // Recursive insertion, tracking depth.
+  struct Frame {
+    const Spec* spec;
+    std::size_t parent;
+    std::size_t level;
+  };
+  std::vector<Frame> stack{{&root, kNoParent, 1}};
+  std::size_t max_depth = 0;
+  std::size_t min_leaf_depth = static_cast<std::size_t>(-1);
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    Node node;
+    node.label = f.spec->label;
+    node.level = f.level;
+    node.parent = f.parent;
+    h.nodes_.push_back(node);
+    const std::size_t idx = h.nodes_.size() - 1;
+    if (f.parent != kNoParent) h.nodes_[f.parent].children.push_back(idx);
+    max_depth = std::max(max_depth, f.level);
+    if (f.spec->children.empty()) {
+      min_leaf_depth = std::min(min_leaf_depth, f.level);
+    }
+    for (const auto& c : f.spec->children) {
+      stack.push_back({&c, idx, f.level + 1});
+    }
+  }
+  if (min_leaf_depth != max_depth) {
+    throw std::invalid_argument(
+        "hierarchy: semantic tree must be balanced (all leaves at one depth)");
+  }
+  h.height_ = max_depth;
+  h.index_labels();
+  return h;
+}
+
+void AttributeHierarchy::index_labels() {
+  label_index_.clear();
+  label_index_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    label_index_.emplace_back(nodes_[i].label, i);
+  }
+  std::sort(label_index_.begin(), label_index_.end());
+  for (std::size_t i = 1; i < label_index_.size(); ++i) {
+    if (label_index_[i].first == label_index_[i - 1].first) {
+      throw std::invalid_argument("hierarchy: duplicate label " +
+                                  label_index_[i].first);
+    }
+  }
+}
+
+std::optional<std::size_t> AttributeHierarchy::find(
+    std::string_view label) const {
+  const auto it = std::lower_bound(
+      label_index_.begin(), label_index_.end(), label,
+      [](const auto& entry, std::string_view l) { return entry.first < l; });
+  if (it == label_index_.end() || it->first != label) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> AttributeHierarchy::path_for_leaf(
+    std::string_view leaf_label) const {
+  const auto idx = find(leaf_label);
+  if (!idx.has_value()) {
+    throw std::invalid_argument("hierarchy: unknown label '" +
+                                std::string(leaf_label) + "'");
+  }
+  const Node* node = &nodes_[*idx];
+  if (!node->children.empty()) {
+    throw std::invalid_argument("hierarchy: '" + std::string(leaf_label) +
+                                "' is not a leaf");
+  }
+  std::vector<std::string> path(height_);
+  std::size_t cur = *idx;
+  for (std::size_t level = height_; level-- > 0;) {
+    path[level] = nodes_[cur].label;
+    cur = nodes_[cur].parent;
+  }
+  return path;
+}
+
+std::vector<std::string> AttributeHierarchy::path_for_value(
+    std::uint64_t v) const {
+  if (!numeric_) {
+    throw std::logic_error("hierarchy: path_for_value on semantic tree");
+  }
+  if (v < nodes_[0].lo || v > nodes_[0].hi) {
+    throw std::invalid_argument("hierarchy: value outside domain");
+  }
+  std::vector<std::string> path;
+  path.reserve(height_);
+  std::size_t cur = 0;
+  for (;;) {
+    path.push_back(nodes_[cur].label);
+    if (nodes_[cur].children.empty()) break;
+    bool found = false;
+    for (const std::size_t c : nodes_[cur].children) {
+      if (v >= nodes_[c].lo && v <= nodes_[c].hi) {
+        cur = c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::logic_error("hierarchy: broken interval tree");
+  }
+  return path;
+}
+
+std::vector<std::string> AttributeHierarchy::labels_at_level(
+    std::size_t level) const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    if (n.level == level) out.push_back(n.label);
+  }
+  return out;
+}
+
+std::vector<std::string> AttributeHierarchy::cover_range(
+    std::uint64_t lo, std::uint64_t hi, std::size_t level) const {
+  if (!numeric_) {
+    throw std::logic_error("hierarchy: cover_range on semantic tree");
+  }
+  if (level < 1 || level > height_) {
+    throw std::invalid_argument("hierarchy: bad level");
+  }
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    if (n.level == level && n.hi >= lo && n.lo <= hi) {
+      out.push_back(n.label);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> AttributeHierarchy::multi_level_cover(
+    std::uint64_t lo, std::uint64_t hi, bool* exact) const {
+  if (!numeric_) {
+    throw std::logic_error("hierarchy: multi_level_cover on semantic tree");
+  }
+  if (lo > hi || lo < nodes_[0].lo || hi > nodes_[0].hi) {
+    throw std::invalid_argument("hierarchy: bad range");
+  }
+  std::vector<std::size_t> cover;
+  bool tight = true;
+  // Greedy descent: take any node fully inside the range; recurse into
+  // partially overlapping internal nodes; partially overlapping leaves
+  // force an over-approximation.
+  std::vector<std::size_t> stack{0};
+  while (!stack.empty()) {
+    const std::size_t idx = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[idx];
+    if (node.hi < lo || node.lo > hi) continue;
+    if (node.lo >= lo && node.hi <= hi) {
+      cover.push_back(idx);
+      continue;
+    }
+    if (node.children.empty()) {
+      cover.push_back(idx);  // partial leaf: cover is not tight
+      tight = false;
+      continue;
+    }
+    for (const std::size_t c : node.children) stack.push_back(c);
+  }
+  if (exact != nullptr) *exact = tight;
+  return cover;
+}
+
+bool AttributeHierarchy::range_is_exact(std::uint64_t lo, std::uint64_t hi,
+                                        std::size_t level) const {
+  if (!numeric_) return false;
+  std::uint64_t cover_lo = ~std::uint64_t{0};
+  std::uint64_t cover_hi = 0;
+  bool any = false;
+  for (const auto& n : nodes_) {
+    if (n.level == level && n.hi >= lo && n.lo <= hi) {
+      cover_lo = std::min(cover_lo, n.lo);
+      cover_hi = std::max(cover_hi, n.hi);
+      any = true;
+    }
+  }
+  return any && cover_lo == lo && cover_hi == hi;
+}
+
+}  // namespace apks

@@ -1,0 +1,112 @@
+// Attribute hierarchies (paper Section IV-C, Fig. 3).
+//
+// A hierarchy over a keyword field is a balanced tree: each internal node is
+// a "simple range" (numeric interval or semantic category) that is the union
+// of its children. Level 1 is the root; leaves sit at level k (the
+// "expansion factor"). Index conversion publishes the whole root-to-leaf
+// path of a value; query conversion picks up to d same-level nodes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apks {
+
+class AttributeHierarchy {
+ public:
+  struct Node {
+    std::string label;
+    std::size_t level = 0;            // 1 = root
+    std::size_t parent = kNoParent;   // index into nodes_
+    std::vector<std::size_t> children;
+    // Numeric coverage [lo, hi] (inclusive); unused for semantic trees.
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+  };
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  // Balanced numeric hierarchy over the integer domain [lo, hi]: `depth`
+  // levels, each internal node splitting its interval into `branching`
+  // near-equal children. Leaves are the finest simple ranges (for
+  // branching^(depth-1) >= domain size, leaves are single values).
+  [[nodiscard]] static AttributeHierarchy numeric(std::string field,
+                                                  std::uint64_t lo,
+                                                  std::uint64_t hi,
+                                                  std::size_t branching,
+                                                  std::size_t depth);
+
+  // Semantic hierarchy from a nested spec, e.g.
+  //   {"MA", {{"East MA", {{"Boston", {}}, {"Worcester", {}}}}, ...}}.
+  struct Spec {
+    std::string label;
+    std::vector<Spec> children;
+  };
+  [[nodiscard]] static AttributeHierarchy semantic(std::string field,
+                                                   const Spec& root);
+
+  [[nodiscard]] const std::string& field() const noexcept { return field_; }
+  // Height k: every root-to-leaf path has exactly k nodes (balanced).
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const Node& node(std::size_t idx) const {
+    return nodes_.at(idx);
+  }
+
+  // Finds a node by label; labels are unique within a hierarchy.
+  [[nodiscard]] std::optional<std::size_t> find(std::string_view label) const;
+
+  // Root-to-leaf path labels (size == height()) for a leaf label.
+  // Throws std::invalid_argument for unknown or non-leaf labels.
+  [[nodiscard]] std::vector<std::string> path_for_leaf(
+      std::string_view leaf_label) const;
+
+  // Numeric: path for the leaf whose interval contains v.
+  [[nodiscard]] std::vector<std::string> path_for_value(std::uint64_t v) const;
+
+  // All labels at a level (the "level-l attribute" T_l(Z) of the paper).
+  [[nodiscard]] std::vector<std::string> labels_at_level(
+      std::size_t level) const;
+
+  // Numeric: the minimal set of level-`level` nodes covering [lo, hi].
+  // Returns labels in domain order. Nodes partially overlapping the range
+  // are included (the paper's simple-range queries align to node
+  // boundaries; callers pick a level where the range is exactly
+  // representable or accept the coarser cover).
+  [[nodiscard]] std::vector<std::string> cover_range(std::uint64_t lo,
+                                                     std::uint64_t hi,
+                                                     std::size_t level) const;
+
+  // True when [lo, hi] is exactly the union of some level-`level` nodes.
+  [[nodiscard]] bool range_is_exact(std::uint64_t lo, std::uint64_t hi,
+                                    std::size_t level) const;
+
+  // Minimal exact cover of [lo, hi] using nodes from *any* level (the
+  // MRQED-style decomposition the paper's Section IV declines to use: the
+  // resulting nodes span several levels, so expressing them in one APKS
+  // query needs an OR term in every touched sub-field and the OR budget
+  // explodes — see bench/ablation_range_cover). `exact` reports whether the
+  // cover is tight; when the tree's leaves are coarser than the range
+  // endpoints the cover over-approximates at leaf granularity.
+  [[nodiscard]] std::vector<std::size_t> multi_level_cover(
+      std::uint64_t lo, std::uint64_t hi, bool* exact = nullptr) const;
+
+  [[nodiscard]] bool is_numeric() const noexcept { return numeric_; }
+
+ private:
+  AttributeHierarchy() = default;
+  void index_labels();
+
+  std::string field_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  std::size_t height_ = 0;
+  bool numeric_ = false;
+  std::vector<std::pair<std::string, std::size_t>> label_index_;  // sorted
+};
+
+}  // namespace apks

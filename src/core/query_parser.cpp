@@ -1,0 +1,185 @@
+#include "core/query_parser.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace apks {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+[[noreturn]] void fail(const std::string& what, std::string_view term) {
+  throw std::invalid_argument("query parse error: " + what + " in '" +
+                              std::string(term) + "'");
+}
+
+std::uint64_t parse_u64(std::string_view s, std::string_view term) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    fail("expected a number, got '" + std::string(s) + "'", term);
+  }
+  return v;
+}
+
+// Finds the dimension index whose name is the longest prefix of `term`
+// followed by an operator. Returns the operator position.
+std::size_t find_dim(const Schema& schema, std::string_view term,
+                     std::size_t& op_pos) {
+  // Operators: '=', " in ", ':', " under ".
+  std::size_t best = schema.original_dims();
+  std::size_t best_len = 0;
+  for (std::size_t i = 0; i < schema.original_dims(); ++i) {
+    const auto& name = schema.dim(i).name;
+    if (term.size() > name.size() &&
+        term.substr(0, name.size()) == name &&
+        name.size() > best_len) {
+      const char next = term[name.size()];
+      if (next == ' ' || next == '=' || next == ':') {
+        best = i;
+        best_len = name.size();
+      }
+    }
+  }
+  if (best == schema.original_dims()) {
+    fail("unknown dimension", term);
+  }
+  op_pos = best_len;
+  return best;
+}
+
+}  // namespace
+
+Query parse_query(const Schema& schema, std::string_view text) {
+  Query q;
+  q.terms.assign(schema.original_dims(), QueryTerm::any());
+  std::vector<bool> seen(schema.original_dims(), false);
+
+  for (std::string_view raw : split(text, ';')) {
+    const std::string_view term = trim(raw);
+    if (term.empty()) continue;
+    std::size_t op_pos = 0;
+    const std::size_t dim = find_dim(schema, term, op_pos);
+    if (seen[dim]) fail("duplicate dimension '" + schema.dim(dim).name + "'",
+                        term);
+    seen[dim] = true;
+    std::string_view rest = trim(term.substr(op_pos));
+
+    if (rest.size() >= 1 && rest[0] == '=') {
+      const std::string_view value = trim(rest.substr(1));
+      if (value.empty()) fail("missing value after '='", term);
+      if (value == "*") continue;  // explicit don't-care
+      q.terms[dim] = QueryTerm::equals(std::string(value));
+    } else if (rest.size() >= 3 && rest.substr(0, 3) == "in ") {
+      std::vector<std::string> values;
+      for (const auto& v : split(rest.substr(3), ',')) {
+        const auto t = trim(v);
+        if (t.empty()) fail("empty value in subset", term);
+        values.emplace_back(t);
+      }
+      q.terms[dim] = QueryTerm::subset(std::move(values));
+    } else if (rest.size() >= 6 && rest.substr(0, 6) == "under ") {
+      std::vector<std::string> nodes;
+      for (const auto& v : split(rest.substr(6), ',')) {
+        const auto t = trim(v);
+        if (t.empty()) fail("empty node in semantic range", term);
+        nodes.emplace_back(t);
+      }
+      q.terms[dim] = QueryTerm::semantic(std::move(nodes));
+    } else if (rest.size() >= 1 && rest[0] == ':') {
+      // "lo-hi@level" (level optional: defaults to the hierarchy height).
+      std::string_view body = trim(rest.substr(1));
+      std::size_t level = 0;
+      if (const std::size_t at = body.rfind('@'); at != std::string_view::npos) {
+        level = parse_u64(trim(body.substr(at + 1)), term);
+        body = trim(body.substr(0, at));
+      }
+      const std::size_t dash = body.find('-');
+      if (dash == std::string_view::npos) {
+        fail("range must look like lo-hi[@level]", term);
+      }
+      const std::uint64_t lo = parse_u64(trim(body.substr(0, dash)), term);
+      const std::uint64_t hi = parse_u64(trim(body.substr(dash + 1)), term);
+      if (level == 0) {
+        const auto& h = schema.dim(dim).hierarchy;
+        if (h == nullptr) fail("range on a flat dimension", term);
+        level = h->height();
+      }
+      q.terms[dim] = QueryTerm::range(lo, hi, level);
+    } else {
+      fail("expected '=', ':', 'in' or 'under'", term);
+    }
+  }
+  return q;
+}
+
+std::string format_query(const Schema& schema, const Query& query) {
+  if (query.terms.size() != schema.original_dims()) {
+    throw std::invalid_argument("format_query: arity mismatch");
+  }
+  std::string out;
+  for (std::size_t i = 0; i < query.terms.size(); ++i) {
+    const auto& term = query.terms[i];
+    if (term.kind == QueryTerm::Kind::kAny) continue;
+    if (!out.empty()) out += "; ";
+    out += schema.dim(i).name;
+    switch (term.kind) {
+      case QueryTerm::Kind::kEquality:
+        out += " = " + term.values.front();
+        break;
+      case QueryTerm::Kind::kSubset:
+      case QueryTerm::Kind::kSemantic: {
+        out += term.kind == QueryTerm::Kind::kSubset ? " in " : " under ";
+        for (std::size_t j = 0; j < term.values.size(); ++j) {
+          if (j != 0) out += ", ";
+          out += term.values[j];
+        }
+        break;
+      }
+      case QueryTerm::Kind::kRange:
+        out += " : " + std::to_string(term.lo) + "-" + std::to_string(term.hi) +
+               " @ " + std::to_string(term.level);
+        break;
+      case QueryTerm::Kind::kAny:
+        break;
+    }
+  }
+  return out;
+}
+
+PlainIndex parse_index(const Schema& schema, std::string_view text) {
+  PlainIndex idx;
+  for (const auto& part : split(text, ',')) {
+    idx.values.emplace_back(trim(part));
+  }
+  if (idx.values.size() != schema.original_dims()) {
+    throw std::invalid_argument(
+        "index parse error: expected " +
+        std::to_string(schema.original_dims()) + " values, got " +
+        std::to_string(idx.values.size()));
+  }
+  return idx;
+}
+
+}  // namespace apks

@@ -1,0 +1,36 @@
+// Text syntax for multi-dimensional queries.
+//
+// A query is a ';'-separated list of per-dimension terms; dimensions not
+// mentioned are "don't care". Term forms:
+//
+//   sex = Male                      equality
+//   illness in diabetes, asthma    subset (OR of equalities)
+//   age : 34-100 @ 2               numeric range at hierarchy level 2
+//   region under East MA           semantic range (internal node[s])
+//   provider = *                   explicit don't-care
+//
+// Whitespace around tokens is ignored. parse_query resolves dimension names
+// against a schema and returns a Query aligned to it; errors carry a
+// human-readable description.
+#pragma once
+
+#include <string_view>
+
+#include "core/schema.h"
+
+namespace apks {
+
+// Throws std::invalid_argument with a descriptive message on syntax errors,
+// unknown dimensions, duplicate terms, or malformed ranges.
+[[nodiscard]] Query parse_query(const Schema& schema, std::string_view text);
+
+// Renders a query back to the textual syntax (don't-care dims omitted).
+[[nodiscard]] std::string format_query(const Schema& schema,
+                                       const Query& query);
+
+// Parses a comma-separated index row ("61, Male, Boston, diabetes, ...")
+// aligned to the schema's dimensions.
+[[nodiscard]] PlainIndex parse_index(const Schema& schema,
+                                     std::string_view text);
+
+}  // namespace apks

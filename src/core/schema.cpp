@@ -1,0 +1,248 @@
+#include "core/schema.h"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace apks {
+
+QueryTerm QueryTerm::equals(std::string v) {
+  QueryTerm t;
+  t.kind = Kind::kEquality;
+  t.values.push_back(std::move(v));
+  return t;
+}
+
+QueryTerm QueryTerm::subset(std::vector<std::string> vs) {
+  QueryTerm t;
+  t.kind = Kind::kSubset;
+  t.values = std::move(vs);
+  return t;
+}
+
+QueryTerm QueryTerm::range(std::uint64_t lo, std::uint64_t hi,
+                           std::size_t level) {
+  QueryTerm t;
+  t.kind = Kind::kRange;
+  t.lo = lo;
+  t.hi = hi;
+  t.level = level;
+  return t;
+}
+
+QueryTerm QueryTerm::semantic(std::vector<std::string> nodes) {
+  QueryTerm t;
+  t.kind = Kind::kSemantic;
+  t.values = std::move(nodes);
+  return t;
+}
+
+namespace {
+
+std::uint64_t parse_numeric(const std::string& s, const std::string& dim) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("Schema: dimension '" + dim +
+                                "' expects a numeric value, got '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Schema::Schema(std::vector<Dimension> dims) : dims_(std::move(dims)) {
+  if (dims_.empty()) throw std::invalid_argument("Schema: no dimensions");
+  first_field_.reserve(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const auto& d = dims_[i];
+    if (d.max_or == 0) {
+      throw std::invalid_argument("Schema: max_or must be >= 1");
+    }
+    first_field_.push_back(fields_.size());
+    if (d.hierarchy == nullptr) {
+      fields_.push_back({d.name, d.max_or, i, 0});
+    } else {
+      for (std::size_t level = 1; level <= d.hierarchy->height(); ++level) {
+        fields_.push_back({d.name + "#" + std::to_string(level), d.max_or, i,
+                           level});
+      }
+    }
+  }
+  n_ = 1;
+  for (const auto& f : fields_) n_ += f.degree;
+}
+
+std::string Schema::keyword(const ConvertedField& field,
+                            std::string_view value) {
+  return field.name + ":" + std::string(value);
+}
+
+ConvertedIndex Schema::convert_index(const PlainIndex& index) const {
+  if (index.values.size() != dims_.size()) {
+    throw std::invalid_argument("Schema: index arity mismatch");
+  }
+  ConvertedIndex out;
+  out.keywords.reserve(fields_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const auto& d = dims_[i];
+    const auto& value = index.values[i];
+    if (d.hierarchy == nullptr) {
+      out.keywords.push_back(value);
+      continue;
+    }
+    const std::vector<std::string> path =
+        d.hierarchy->is_numeric()
+            ? d.hierarchy->path_for_value(parse_numeric(value, d.name))
+            : d.hierarchy->path_for_leaf(value);
+    for (auto& label : path) out.keywords.push_back(label);
+  }
+  return out;
+}
+
+ConvertedQuery Schema::convert_query(const Query& query) const {
+  if (query.terms.size() != dims_.size()) {
+    throw std::invalid_argument("Schema: query arity mismatch");
+  }
+  ConvertedQuery out;
+  out.per_field.resize(fields_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const auto& d = dims_[i];
+    const auto& term = query.terms[i];
+    const std::size_t base = first_field_[i];
+    using Kind = QueryTerm::Kind;
+    switch (term.kind) {
+      case Kind::kAny:
+        break;  // all sub-fields stay "don't care"
+      case Kind::kEquality:
+      case Kind::kSubset: {
+        if (term.values.empty() || term.values.size() > d.max_or) {
+          throw std::invalid_argument("Schema: OR budget exceeded on '" +
+                                      d.name + "'");
+        }
+        if (d.hierarchy == nullptr) {
+          out.per_field[base] = term.values;
+        } else {
+          // Leaf-granularity constraint: target the deepest sub-field.
+          const std::size_t leaf_field = base + d.hierarchy->height() - 1;
+          std::vector<std::string> leaves;
+          for (const auto& v : term.values) {
+            // Normalize numeric values to their leaf label.
+            if (d.hierarchy->is_numeric()) {
+              leaves.push_back(d.hierarchy
+                                   ->path_for_value(parse_numeric(v, d.name))
+                                   .back());
+            } else {
+              leaves.push_back(d.hierarchy->path_for_leaf(v).back());
+            }
+          }
+          out.per_field[leaf_field] = std::move(leaves);
+        }
+        break;
+      }
+      case Kind::kRange: {
+        if (d.hierarchy == nullptr || !d.hierarchy->is_numeric()) {
+          throw std::invalid_argument(
+              "Schema: range query needs a numeric hierarchy on '" + d.name +
+              "'");
+        }
+        const auto cover =
+            d.hierarchy->cover_range(term.lo, term.hi, term.level);
+        if (cover.empty()) {
+          throw std::invalid_argument("Schema: empty range on '" + d.name +
+                                      "'");
+        }
+        if (cover.size() > d.max_or) {
+          throw std::invalid_argument(
+              "Schema: range needs " + std::to_string(cover.size()) +
+              " simple ranges, exceeding d=" + std::to_string(d.max_or) +
+              " on '" + d.name + "' (choose a coarser level)");
+        }
+        out.per_field[base + term.level - 1] = cover;
+        break;
+      }
+      case Kind::kSemantic: {
+        if (d.hierarchy == nullptr) {
+          throw std::invalid_argument(
+              "Schema: semantic query needs a hierarchy on '" + d.name + "'");
+        }
+        if (term.values.empty() || term.values.size() > d.max_or) {
+          throw std::invalid_argument("Schema: OR budget exceeded on '" +
+                                      d.name + "'");
+        }
+        std::size_t level = 0;
+        for (const auto& v : term.values) {
+          const auto idx = d.hierarchy->find(v);
+          if (!idx.has_value()) {
+            throw std::invalid_argument("Schema: unknown node '" + v +
+                                        "' in '" + d.name + "'");
+          }
+          const std::size_t node_level = d.hierarchy->node(*idx).level;
+          if (level == 0) {
+            level = node_level;
+          } else if (level != node_level) {
+            throw std::invalid_argument(
+                "Schema: semantic OR terms must share one level on '" +
+                d.name + "'");
+          }
+        }
+        out.per_field[base + level - 1] = term.values;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool Schema::matches_plain(const PlainIndex& index, const Query& query) const {
+  const ConvertedIndex ci = convert_index(index);
+  const ConvertedQuery cq = convert_query(query);
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    if (cq.per_field[f].empty()) continue;  // don't care
+    const auto& allowed = cq.per_field[f];
+    if (std::find(allowed.begin(), allowed.end(), ci.keywords[f]) ==
+        allowed.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Schema::term_matches(std::size_t dim, const std::string& value,
+                          const QueryTerm& term) const {
+  if (dim >= dims_.size()) {
+    throw std::invalid_argument("Schema::term_matches: bad dimension");
+  }
+  if (term.kind == QueryTerm::Kind::kAny) return true;
+  // Evaluate via the converted forms of a single-dimension probe: build a
+  // query that is "any" everywhere except `dim` and an index row whose other
+  // values are irrelevant — instead of synthesizing a full row, convert just
+  // this dimension's value and term.
+  const auto& d = dims_[dim];
+  // Converted labels of the value across this dimension's sub-fields.
+  std::vector<std::string> labels;
+  if (d.hierarchy == nullptr) {
+    labels.push_back(value);
+  } else if (d.hierarchy->is_numeric()) {
+    labels = d.hierarchy->path_for_value(parse_numeric(value, d.name));
+  } else {
+    labels = d.hierarchy->path_for_leaf(value);
+  }
+  // Converted term: reuse convert_query on a minimal probe query.
+  Query probe;
+  probe.terms.assign(dims_.size(), QueryTerm::any());
+  probe.terms[dim] = term;
+  const ConvertedQuery cq = convert_query(probe);
+  const std::size_t base = first_field_[dim];
+  for (std::size_t l = 0; l < labels.size(); ++l) {
+    const auto& allowed = cq.per_field[base + l];
+    if (allowed.empty()) continue;
+    if (std::find(allowed.begin(), allowed.end(), labels[l]) ==
+        allowed.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace apks

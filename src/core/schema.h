@@ -1,0 +1,131 @@
+// Index/query schema and the conversion step of the paper's Fig. 4:
+// hierarchical fields expand into k sub-fields carrying the root-to-leaf
+// path; queries select one level per hierarchical dimension and become
+// bounded-OR CNF over the converted fields.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hierarchy.h"
+
+namespace apks {
+
+// One original dimension (attribute) of the searchable index.
+struct Dimension {
+  std::string name;
+  // Null for flat fields (e.g. "sex", "provider"); non-null fields expand
+  // into hierarchy->height() sub-fields.
+  std::shared_ptr<const AttributeHierarchy> hierarchy;
+  // d_i: maximum number of OR terms per converted sub-field of this
+  // dimension (the paper's d).
+  std::size_t max_or = 1;
+};
+
+// A converted (sub-)field of the index table.
+struct ConvertedField {
+  std::string name;       // "age#2" or "sex"
+  std::size_t degree;     // d_i — OR budget == polynomial degree
+  std::size_t orig_dim;   // index into Schema dimensions
+  std::size_t level;      // hierarchy level (1-based); 0 for flat fields
+};
+
+// An owner's plaintext index row: one value per original dimension.
+// Values of numeric hierarchical dimensions are decimal strings.
+struct PlainIndex {
+  std::vector<std::string> values;
+};
+
+// One query term over an original dimension.
+struct QueryTerm {
+  enum class Kind {
+    kAny,       // "don't care" (Z_i = *)
+    kEquality,  // Z_i = value (leaf granularity)
+    kSubset,    // Z_i in {values} (<= d leaf values, flat fields)
+    kRange,     // lo <= Z_i <= hi at a chosen hierarchy level (numeric)
+    kSemantic,  // Z_i under one of {values} (internal nodes, one level)
+  };
+  Kind kind = Kind::kAny;
+  std::vector<std::string> values;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::size_t level = 0;  // for kRange: hierarchy level of the simple ranges
+
+  [[nodiscard]] static QueryTerm any() { return {}; }
+  [[nodiscard]] static QueryTerm equals(std::string v);
+  [[nodiscard]] static QueryTerm subset(std::vector<std::string> vs);
+  [[nodiscard]] static QueryTerm range(std::uint64_t lo, std::uint64_t hi,
+                                       std::size_t level);
+  [[nodiscard]] static QueryTerm semantic(std::vector<std::string> nodes);
+};
+
+// A multi-dimensional keyword query: conjunction of per-dimension terms.
+struct Query {
+  std::vector<QueryTerm> terms;
+};
+
+// Converted index row: one keyword string per converted field.
+struct ConvertedIndex {
+  std::vector<std::string> keywords;
+};
+
+// Converted query (CNF): per converted field, either "don't care" (empty)
+// or an OR-list of keyword strings, length <= that field's degree.
+struct ConvertedQuery {
+  std::vector<std::vector<std::string>> per_field;
+};
+
+class Schema {
+ public:
+  explicit Schema(std::vector<Dimension> dims);
+
+  [[nodiscard]] std::size_t original_dims() const noexcept {
+    return dims_.size();
+  }
+  [[nodiscard]] const Dimension& dim(std::size_t i) const {
+    return dims_.at(i);
+  }
+  [[nodiscard]] const std::vector<ConvertedField>& fields() const noexcept {
+    return fields_;
+  }
+  // m' of the paper.
+  [[nodiscard]] std::size_t converted_dims() const noexcept {
+    return fields_.size();
+  }
+  // n = sum_i d_i + 1 — the HPE vector length.
+  [[nodiscard]] std::size_t vector_length() const noexcept { return n_; }
+
+  // Index conversion (Fig. 4a): expand hierarchical values to their paths.
+  [[nodiscard]] ConvertedIndex convert_index(const PlainIndex& index) const;
+
+  // Query conversion (Fig. 4b). Validates that every OR list fits the
+  // field's degree budget and that levels/kinds match the dimension type;
+  // throws std::invalid_argument otherwise.
+  [[nodiscard]] ConvertedQuery convert_query(const Query& query) const;
+
+  // True when `index` satisfies `query` in plaintext — the reference
+  // semantics the encrypted search must reproduce (used by tests/benches).
+  [[nodiscard]] bool matches_plain(const PlainIndex& index,
+                                   const Query& query) const;
+
+  // True when a single attribute value satisfies a term over dimension
+  // `dim`. This is what LTAs use for attribute-based eligibility checks
+  // (Section III: a user may only request queries over keyword sets they
+  // possess or are eligible for).
+  [[nodiscard]] bool term_matches(std::size_t dim, const std::string& value,
+                                  const QueryTerm& term) const;
+
+  // Namespaced keyword for a converted field value ("age#2:31-60").
+  [[nodiscard]] static std::string keyword(const ConvertedField& field,
+                                           std::string_view value);
+
+ private:
+  std::vector<Dimension> dims_;
+  std::vector<ConvertedField> fields_;
+  std::vector<std::size_t> first_field_;  // first converted field per dim
+  std::size_t n_ = 0;
+};
+
+}  // namespace apks

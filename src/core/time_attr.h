@@ -1,0 +1,61 @@
+// Revocation support via the paper's time attribute (Section IV-C).
+//
+// Every index carries a creation-time dimension; capabilities embed an
+// authorized search period as a simple-range term over it. A capability
+// whose period has passed cannot search newer indexes — revocation without
+// re-keying. The hierarchy is a balanced quaternary tree over months since
+// January 2000 (1024 leaves, covering 2000-2085), so periods of 1, 4, 16,
+// 64 or 256 months are single simple ranges.
+#pragma once
+
+#include <memory>
+
+#include "core/schema.h"
+
+namespace apks {
+
+inline constexpr std::uint64_t kTimeDomainSize = 1024;  // months
+inline constexpr std::size_t kTimeHierarchyDepth = 6;   // 4^5 = 1024 leaves
+
+// Months since 2000-01; month is 1-based.
+[[nodiscard]] inline std::uint64_t month_index(unsigned year, unsigned month) {
+  if (year < 2000 || month < 1 || month > 12) {
+    throw std::invalid_argument("month_index: out of supported range");
+  }
+  const std::uint64_t idx =
+      (static_cast<std::uint64_t>(year) - 2000) * 12 + (month - 1);
+  if (idx >= kTimeDomainSize) {
+    throw std::invalid_argument("month_index: beyond time domain");
+  }
+  return idx;
+}
+
+[[nodiscard]] inline std::shared_ptr<const AttributeHierarchy>
+make_time_hierarchy() {
+  return std::make_shared<AttributeHierarchy>(AttributeHierarchy::numeric(
+      "time", 0, kTimeDomainSize - 1, 4, kTimeHierarchyDepth));
+}
+
+// The schema dimension owners and authorities share for revocation.
+[[nodiscard]] inline Dimension make_time_dimension(std::size_t max_or) {
+  return {"time", make_time_hierarchy(), max_or};
+}
+
+// Index-side value for a creation date.
+[[nodiscard]] inline std::string time_value(unsigned year, unsigned month) {
+  return std::to_string(month_index(year, month));
+}
+
+// Capability-side term authorizing searches over [from, to] (inclusive),
+// expressed at hierarchy level `level` (defaults to the leaf level; use a
+// coarser level for long periods so the OR budget is respected).
+[[nodiscard]] inline QueryTerm time_period(unsigned from_year,
+                                           unsigned from_month,
+                                           unsigned to_year, unsigned to_month,
+                                           std::size_t level =
+                                               kTimeHierarchyDepth) {
+  return QueryTerm::range(month_index(from_year, from_month),
+                          month_index(to_year, to_month), level);
+}
+
+}  // namespace apks

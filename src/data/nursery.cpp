@@ -1,0 +1,97 @@
+#include "data/nursery.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+const std::vector<NurseryAttribute>& nursery_attributes() {
+  static const std::vector<NurseryAttribute> attrs = {
+      {"parents", {"usual", "pretentious", "great_pret"}},
+      {"has_nurs",
+       {"proper", "less_proper", "improper", "critical", "very_crit"}},
+      {"form", {"complete", "completed", "incomplete", "foster"}},
+      {"children", {"1", "2", "3", "more"}},
+      {"housing", {"convenient", "less_conv", "critical"}},
+      {"finance", {"convenient", "inconv"}},
+      {"social", {"nonprob", "slightly_prob", "problematic"}},
+      {"health", {"recommended", "priority", "not_recom"}},
+      {"class",
+       {"not_recom", "recommend", "very_recom", "priority", "spec_prior"}},
+  };
+  return attrs;
+}
+
+std::string nursery_class(const std::array<std::size_t, 8>& v) {
+  // Documented approximation of the DEX rules (see DESIGN.md):
+  // health == not_recom dominates everything (exactly as in the original,
+  // where it accounts for a third of the dataset); otherwise a monotone
+  // unsuitability score buckets the remaining rows.
+  const std::size_t health = v[7];
+  if (health == 2) return "not_recom";  // not_recom
+  std::size_t score = 0;
+  score += v[0];          // parents: usual(0) .. great_pret(2)
+  score += v[1];          // has_nurs: proper(0) .. very_crit(4)
+  score += v[2];          // form: complete(0) .. foster(3)
+  score += (v[3] >= 2) ? 1u : 0u;  // many children
+  score += v[4];          // housing
+  score += v[5];          // finance: inconv(1)
+  score += v[6];          // social
+  score += health;        // priority(1) adds pressure
+  if (score == 0) return "recommend";
+  if (score <= 2) return "very_recom";
+  if (score <= 5) return "priority";
+  return "spec_prior";
+}
+
+std::vector<PlainIndex> nursery_rows() {
+  const auto& attrs = nursery_attributes();
+  std::vector<PlainIndex> rows;
+  rows.reserve(12960);
+  std::array<std::size_t, 8> idx{};
+  for (;;) {
+    PlainIndex row;
+    row.values.reserve(9);
+    for (std::size_t a = 0; a < 8; ++a) {
+      row.values.push_back(attrs[a].values[idx[a]]);
+    }
+    row.values.push_back(nursery_class(idx));
+    rows.push_back(std::move(row));
+    // Odometer increment over the 8 input attributes.
+    std::size_t a = 8;
+    while (a-- > 0) {
+      if (++idx[a] < attrs[a].values.size()) break;
+      idx[a] = 0;
+      if (a == 0) return rows;
+    }
+  }
+}
+
+Schema nursery_schema(std::size_t d) {
+  std::vector<Dimension> dims;
+  for (const auto& attr : nursery_attributes()) {
+    dims.push_back({attr.name, nullptr, d});
+  }
+  return Schema(std::move(dims));
+}
+
+Schema nursery_expanded_schema(std::size_t factor, std::size_t d) {
+  if (factor == 0) throw std::invalid_argument("expanded schema: factor == 0");
+  std::vector<Dimension> dims;
+  for (const auto& attr : nursery_attributes()) {
+    for (std::size_t k = 0; k < factor; ++k) {
+      dims.push_back({attr.name + "@" + std::to_string(k), nullptr, d});
+    }
+  }
+  return Schema(std::move(dims));
+}
+
+PlainIndex expand_nursery_row(const PlainIndex& row, std::size_t factor) {
+  PlainIndex out;
+  out.values.reserve(row.values.size() * factor);
+  for (const auto& v : row.values) {
+    for (std::size_t k = 0; k < factor; ++k) out.values.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace apks

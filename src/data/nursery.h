@@ -1,0 +1,50 @@
+// The UCI Nursery dataset, regenerated.
+//
+// Nursery is the *complete Cartesian product* of its eight categorical
+// attribute domains — 3*5*4*4*3*2*3*3 = 12,960 rows — plus a ninth "class"
+// column originally produced by the DEX expert model. We regenerate the
+// product exactly and re-derive the class with a documented approximation
+// of the published rules (health = not_recom forces class not_recom; the
+// rest is a monotone score). Row count, dimensionality and per-attribute
+// keyword-universe sizes — the only properties the paper's benchmarks
+// depend on — are identical to the original.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+
+namespace apks {
+
+struct NurseryAttribute {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+// The eight input attributes plus the derived class attribute (index 8).
+[[nodiscard]] const std::vector<NurseryAttribute>& nursery_attributes();
+
+// All 12,960 instances, in lexicographic order of the attribute domains.
+// Each row has 9 values aligned with nursery_attributes().
+[[nodiscard]] std::vector<PlainIndex> nursery_rows();
+
+// The class label our approximation assigns to an 8-attribute combination.
+[[nodiscard]] std::string nursery_class(
+    const std::array<std::size_t, 8>& value_indexes);
+
+// Flat schema over all 9 nursery columns with OR budget d per dimension —
+// the configuration of the paper's experiments (m' = 9, d = 1..5).
+[[nodiscard]] Schema nursery_schema(std::size_t d);
+
+// The paper's fig. 8(b)/(c) trick: duplicate each original field `factor`
+// times "to mimic the expansions of hierarchical attributes", giving
+// m' = 9 * factor converted fields. Returns the schema and a converter that
+// expands a 9-value row into the duplicated row.
+[[nodiscard]] Schema nursery_expanded_schema(std::size_t factor,
+                                             std::size_t d);
+[[nodiscard]] PlainIndex expand_nursery_row(const PlainIndex& row,
+                                            std::size_t factor);
+
+}  // namespace apks

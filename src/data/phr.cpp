@@ -1,0 +1,93 @@
+#include "data/phr.h"
+
+#include "core/time_attr.h"
+
+namespace apks {
+
+namespace {
+
+template <typename T>
+const T& pick(const std::vector<T>& v, Rng& rng) {
+  return v[rng.next_below(v.size())];
+}
+
+}  // namespace
+
+std::shared_ptr<const AttributeHierarchy> phr_age_tree() {
+  static const auto tree = std::make_shared<AttributeHierarchy>(
+      AttributeHierarchy::numeric("age", 0, 100, 3, 3));
+  return tree;
+}
+
+std::shared_ptr<const AttributeHierarchy> phr_region_tree() {
+  static const auto tree = [] {
+    AttributeHierarchy::Spec spec{
+        "MA",
+        {{"East MA",
+          {{"Boston", {}}, {"Quincy", {}}, {"Cambridge", {}}}},
+         {"Central MA",
+          {{"Worcester", {}}, {"Framingham", {}}, {"Leominster", {}}}},
+         {"West MA",
+          {{"Springfield", {}}, {"Pittsfield", {}}, {"Holyoke", {}}}}}};
+    return std::make_shared<AttributeHierarchy>(
+        AttributeHierarchy::semantic("region", spec));
+  }();
+  return tree;
+}
+
+std::shared_ptr<const AttributeHierarchy> phr_illness_tree() {
+  static const auto tree = [] {
+    AttributeHierarchy::Spec spec{
+        "any illness",
+        {{"infectious", {{"flu", {}}, {"measles", {}}, {"covid", {}}}},
+         {"chronic", {{"diabetes", {}}, {"hypertension", {}}, {"asthma", {}}}},
+         {"oncological", {{"lung cancer", {}}, {"leukemia", {}},
+                          {"melanoma", {}}}}}};
+    return std::make_shared<AttributeHierarchy>(
+        AttributeHierarchy::semantic("illness", spec));
+  }();
+  return tree;
+}
+
+Schema phr_schema(const PhrSchemaOptions& options) {
+  std::vector<Dimension> dims{
+      {"age", phr_age_tree(), options.max_or},
+      {"sex", nullptr, 1},
+      {"region", phr_region_tree(), options.max_or},
+      {"illness", phr_illness_tree(), options.max_or},
+      {"provider", nullptr, 1},
+  };
+  if (options.with_time) {
+    dims.push_back(make_time_dimension(options.max_or));
+  }
+  return Schema(std::move(dims));
+}
+
+std::vector<PlainIndex> generate_phr_rows(std::size_t count, Rng& rng,
+                                          const PhrSchemaOptions& options) {
+  static const std::vector<std::string> sexes{"Male", "Female"};
+  static const std::vector<std::string> providers{
+      "Hospital A", "Hospital B", "Hospital C", "Clinic D"};
+  const auto cities = phr_region_tree()->labels_at_level(3);
+  const auto illnesses = phr_illness_tree()->labels_at_level(3);
+
+  std::vector<PlainIndex> rows;
+  rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PlainIndex row;
+    row.values.push_back(std::to_string(rng.next_below(101)));  // age
+    row.values.push_back(pick(sexes, rng));
+    row.values.push_back(pick(cities, rng));
+    row.values.push_back(pick(illnesses, rng));
+    row.values.push_back(pick(providers, rng));
+    if (options.with_time) {
+      const unsigned year = 2008 + static_cast<unsigned>(rng.next_below(4));
+      const unsigned month = 1 + static_cast<unsigned>(rng.next_below(12));
+      row.values.push_back(time_value(year, month));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace apks

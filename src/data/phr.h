@@ -1,0 +1,33 @@
+// Synthetic Personal Health Record corpus — the paper's motivating
+// application. Provides the PHR schema of the running examples (age and
+// region hierarchical, the rest flat, optional time dimension for
+// revocation) and a seeded patient generator.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/schema.h"
+
+namespace apks {
+
+struct PhrSchemaOptions {
+  std::size_t max_or = 2;      // d for every dimension
+  bool with_time = false;      // append the revocation time dimension
+};
+
+// Dimensions: age (numeric hierarchy 0-100), sex, region (semantic MA
+// tree), illness (semantic tree), provider [, time].
+[[nodiscard]] Schema phr_schema(const PhrSchemaOptions& options = {});
+
+// The region and illness trees used by the schema (exposed so examples and
+// tests can build semantic queries against known node labels).
+[[nodiscard]] std::shared_ptr<const AttributeHierarchy> phr_region_tree();
+[[nodiscard]] std::shared_ptr<const AttributeHierarchy> phr_illness_tree();
+[[nodiscard]] std::shared_ptr<const AttributeHierarchy> phr_age_tree();
+
+// Generates `count` random patient rows consistent with the schema.
+[[nodiscard]] std::vector<PlainIndex> generate_phr_rows(
+    std::size_t count, Rng& rng, const PhrSchemaOptions& options = {});
+
+}  // namespace apks

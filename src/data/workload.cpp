@@ -1,0 +1,71 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apks {
+
+std::vector<std::string> sample_values(
+    const std::vector<std::string>& universe, std::size_t count, Rng& rng) {
+  if (count > universe.size()) {
+    throw std::invalid_argument("sample_values: count exceeds universe");
+  }
+  std::vector<std::string> pool = universe;
+  // Partial Fisher-Yates.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.next_below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+Query nursery_worst_case_query(std::size_t d, Rng& rng) {
+  Query q;
+  for (const auto& attr : nursery_attributes()) {
+    const std::size_t count = std::min(d, attr.values.size());
+    q.terms.push_back(QueryTerm::subset(sample_values(attr.values, count,
+                                                      rng)));
+  }
+  return q;
+}
+
+Query nursery_expanded_worst_case_query(std::size_t factor, std::size_t d,
+                                        Rng& rng) {
+  Query q;
+  for (const auto& attr : nursery_attributes()) {
+    for (std::size_t k = 0; k < factor; ++k) {
+      const std::size_t count = std::min(d, attr.values.size());
+      q.terms.push_back(
+          QueryTerm::subset(sample_values(attr.values, count, rng)));
+    }
+  }
+  return q;
+}
+
+Query nursery_expanded_realistic_query(std::size_t factor, std::size_t d,
+                                       Rng& rng) {
+  Query q;
+  for (const auto& attr : nursery_attributes()) {
+    for (std::size_t k = 0; k < factor; ++k) {
+      if (k == 0) {
+        const std::size_t count = std::min(d, attr.values.size());
+        q.terms.push_back(
+            QueryTerm::subset(sample_values(attr.values, count, rng)));
+      } else {
+        q.terms.push_back(QueryTerm::any());
+      }
+    }
+  }
+  return q;
+}
+
+Query nursery_point_query(const PlainIndex& row) {
+  Query q;
+  for (const auto& value : row.values) {
+    q.terms.push_back(QueryTerm::equals(value));
+  }
+  return q;
+}
+
+}  // namespace apks

@@ -1,0 +1,38 @@
+// Query workload generators for the benchmark harness.
+//
+// Reproduces the two experiment regimes of the paper's Section VII:
+//  - worst case: every dimension constrained, exactly d OR keywords drawn
+//    from the dimension's universe (no zero entries in the predicate);
+//  - realistic case: at most `active` dimensions constrained, the rest
+//    "don't care" (zero predicate blocks make capability generation and
+//    delegation cheaper).
+#pragma once
+
+#include "common/rng.h"
+#include "core/schema.h"
+#include "data/nursery.h"
+
+namespace apks {
+
+// Draws `count` distinct values from a dimension's universe.
+[[nodiscard]] std::vector<std::string> sample_values(
+    const std::vector<std::string>& universe, std::size_t count, Rng& rng);
+
+// Worst-case query over the flat nursery schema: every dimension gets a
+// subset term with exactly min(d, |universe|) keywords.
+[[nodiscard]] Query nursery_worst_case_query(std::size_t d, Rng& rng);
+
+// Worst-case query over the duplicated-field schema of fig. 8(b)/(c).
+[[nodiscard]] Query nursery_expanded_worst_case_query(std::size_t factor,
+                                                      std::size_t d, Rng& rng);
+
+// Realistic query over the duplicated-field schema: only the first
+// duplicate of each original attribute is constrained (<= 9 active fields
+// regardless of the expansion factor) — the paper's second experiment set.
+[[nodiscard]] Query nursery_expanded_realistic_query(std::size_t factor,
+                                                     std::size_t d, Rng& rng);
+
+// A query matching one specific nursery row exactly (for hit-rate control).
+[[nodiscard]] Query nursery_point_query(const PlainIndex& row);
+
+}  // namespace apks

@@ -1,0 +1,120 @@
+#include "dpvs/dpvs.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+std::vector<GVec> Dpvs::basis_from_matrix(const MatrixFq& m) const {
+  if (m.rows() != dim_ || m.cols() != dim_) {
+    throw std::invalid_argument("Dpvs: matrix dimension mismatch");
+  }
+  const Curve& curve = e_->curve();
+  const FqField& fq = e_->fq();
+  // Fixed-base comb per entry, one shared batch normalization for the whole
+  // dim^2 table (a single field inversion instead of dim^2 of them).
+  std::vector<JacPoint> jac;
+  jac.reserve(dim_ * dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      jac.push_back(curve.mul_base_jac(fq.to_int(m.at(i, j))));
+    }
+  }
+  const auto affine = curve.batch_normalize(jac);
+  std::vector<GVec> basis(dim_, zero_vec());
+  for (std::size_t i = 0; i < dim_; ++i) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      basis[i][j] = affine[i * dim_ + j];
+    }
+  }
+  return basis;
+}
+
+Dpvs::DualBases Dpvs::gen_dual_bases(Rng& rng) const {
+  const FqField& fq = e_->fq();
+  DualBases out;
+  out.x = MatrixFq::random_invertible(dim_, fq, rng);
+  MatrixFq xt_inv;
+  if (!out.x.transpose().inverse(fq, xt_inv)) {
+    throw std::logic_error("Dpvs: invertible matrix has singular transpose");
+  }
+  out.b = basis_from_matrix(out.x);
+  out.bstar = basis_from_matrix(xt_inv);
+  return out;
+}
+
+GVec Dpvs::add(const GVec& a, const GVec& b) const {
+  if (a.size() != dim_ || b.size() != dim_) {
+    throw std::invalid_argument("Dpvs::add: dimension mismatch");
+  }
+  const Curve& curve = e_->curve();
+  GVec r(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) r[i] = curve.add(a[i], b[i]);
+  return r;
+}
+
+GVec Dpvs::scale(const Fq& k, const GVec& a) const {
+  if (a.size() != dim_) {
+    throw std::invalid_argument("Dpvs::scale: dimension mismatch");
+  }
+  const Curve& curve = e_->curve();
+  GVec r(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) r[i] = curve.mul_fq(a[i], k);
+  return r;
+}
+
+GVec Dpvs::lincomb(const std::vector<Fq>& coeffs,
+                   const std::vector<const GVec*>& vecs) const {
+  if (coeffs.size() != vecs.size()) {
+    throw std::invalid_argument("Dpvs::lincomb: size mismatch");
+  }
+  const Curve& curve = e_->curve();
+  GVec r(dim_);
+  std::vector<AffinePoint> column(vecs.size());
+  for (std::size_t j = 0; j < dim_; ++j) {
+    for (std::size_t i = 0; i < vecs.size(); ++i) {
+      if (vecs[i]->size() != dim_) {
+        throw std::invalid_argument("Dpvs::lincomb: vector dim mismatch");
+      }
+      column[i] = (*vecs[i])[j];
+    }
+    r[j] = curve.msm(column, coeffs);
+  }
+  return r;
+}
+
+GtEl Dpvs::pair_vec(const GVec& x, const GVec& y) const {
+  if (x.size() != dim_ || y.size() != dim_) {
+    throw std::invalid_argument("Dpvs::pair_vec: dimension mismatch");
+  }
+  const Fp2& fp2 = e_->fp2();
+  Fp2El f = fp2.one();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    f = fp2.mul(f, e_->miller(x[i], y[i]));
+  }
+  return e_->final_exp(f);
+}
+
+std::vector<PreprocessedPairing> Dpvs::preprocess_vec(const GVec& x) const {
+  if (x.size() != dim_) {
+    throw std::invalid_argument("Dpvs::preprocess_vec: dimension mismatch");
+  }
+  std::vector<PreprocessedPairing> out;
+  out.reserve(dim_);
+  for (const auto& pt : x) out.push_back(e_->preprocess(pt));
+  return out;
+}
+
+GtEl Dpvs::pair_vec_pre(const std::vector<PreprocessedPairing>& x,
+                        const GVec& y) const {
+  if (x.size() != dim_ || y.size() != dim_) {
+    throw std::invalid_argument("Dpvs::pair_vec_pre: dimension mismatch");
+  }
+  const Fp2& fp2 = e_->fp2();
+  Fp2El f = fp2.one();
+  for (std::size_t i = 0; i < dim_; ++i) {
+    f = fp2.mul(f, x[i].miller_with(y[i]));
+  }
+  return e_->final_exp(f);
+}
+
+}  // namespace apks

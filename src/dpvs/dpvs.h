@@ -1,0 +1,74 @@
+// Dual Pairing Vector Spaces (Okamoto-Takashima).
+//
+// V = G^N with canonical basis A (a_i = g in slot i, identity elsewhere).
+// A random X in GL(N, F_q) defines B = X * A; the dual B* = (X^T)^{-1} * A*
+// satisfies e(b_i, b*_j) = gT^{delta_ij}. HPE ciphertexts live in span(B),
+// keys in span(B*), and vector pairing evaluates inner products in the
+// exponent of gT.
+//
+// Basis vectors and all DPVS vectors are arrays of N curve points; linear
+// combinations cost one multi-scalar multiplication per coordinate, which is
+// what gives HPE its O(N^2) exponentiation counts for setup/encrypt/keygen.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "math/matrix_fq.h"
+#include "pairing/pairing.h"
+
+namespace apks {
+
+// A vector in V: N points of E(F_p)[q].
+using GVec = std::vector<AffinePoint>;
+
+class Dpvs {
+ public:
+  Dpvs(const Pairing& pairing, std::size_t dim)
+      : e_(&pairing), dim_(dim) {}
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] const Pairing& pairing() const noexcept { return *e_; }
+
+  struct DualBases {
+    std::vector<GVec> b;      // B = X * A (dim rows)
+    std::vector<GVec> bstar;  // B* = (X^T)^{-1} * A*
+    MatrixFq x;               // the basis-change matrix (part of HPE msk)
+  };
+
+  // Samples X <- GL(dim, F_q) and materializes both bases
+  // (2 * dim^2 scalar multiplications).
+  [[nodiscard]] DualBases gen_dual_bases(Rng& rng) const;
+
+  // Materializes a basis from an explicit coefficient matrix (rows are
+  // basis-vector exponents). Used by HPE+ where B* is re-scaled by r.
+  [[nodiscard]] std::vector<GVec> basis_from_matrix(const MatrixFq& m) const;
+
+  [[nodiscard]] GVec zero_vec() const {
+    return GVec(dim_, AffinePoint::infinity());
+  }
+
+  [[nodiscard]] GVec add(const GVec& a, const GVec& b) const;
+  [[nodiscard]] GVec scale(const Fq& k, const GVec& a) const;
+
+  // sum_i coeffs[i] * vecs[i], one MSM per coordinate.
+  [[nodiscard]] GVec lincomb(const std::vector<Fq>& coeffs,
+                             const std::vector<const GVec*>& vecs) const;
+
+  // prod_i e(x_i, y_i)  == gT^{<exponents(x), exponents(y)>}; N Miller loops
+  // plus a single shared final exponentiation.
+  [[nodiscard]] GtEl pair_vec(const GVec& x, const GVec& y) const;
+
+  // Variant with preprocessed first argument (the cloud server preprocesses
+  // a capability's decryption component once and reuses it per index).
+  [[nodiscard]] std::vector<PreprocessedPairing> preprocess_vec(
+      const GVec& x) const;
+  [[nodiscard]] GtEl pair_vec_pre(const std::vector<PreprocessedPairing>& x,
+                                  const GVec& y) const;
+
+ private:
+  const Pairing* e_;
+  std::size_t dim_;
+};
+
+}  // namespace apks

@@ -1,0 +1,37 @@
+// PBC "type A" pairing parameters.
+//
+// The curve is the supersingular E : y^2 = x^3 + x over F_p with
+// p = 3 (mod 4), #E(F_p) = p + 1 = h * q for a prime q. G1 = G2 = E(F_p)[q]
+// and the Tate pairing maps into the order-q subgroup of F_p^2*. The paper's
+// implementation uses exactly this family with |q| = 160 bits and
+// |p| = 512 bits (80-bit security).
+#pragma once
+
+#include "math/fp2.h"
+#include "math/fq.h"
+
+namespace apks {
+
+struct TypeAParams {
+  FpInt p;   // base field prime, = 3 (mod 4)
+  FqInt q;   // prime group order, q | p + 1
+  FpInt h;   // cofactor, p + 1 = h * q
+  FpInt gx;  // generator of E(F_p)[q], affine x (plain integer, < p)
+  FpInt gy;  // generator y
+};
+
+// Generates fresh type-A parameters with |q| = qbits. Deterministic for a
+// deterministic rng. Used by tools/gen_params; library users normally take
+// default_type_a_params().
+[[nodiscard]] TypeAParams generate_type_a(Rng& rng, std::size_t qbits = 160);
+
+// The embedded default parameter set (generated once with
+// tools/gen_params --seed "apks-type-a-default", then verified by tests:
+// primality of p and q, p+1 == h*q, generator order).
+[[nodiscard]] const TypeAParams& default_type_a_params();
+
+// Validates structural properties (primality, cofactor identity, p mod 4,
+// generator on curve with order q). Throws std::invalid_argument on failure.
+void validate_params(const TypeAParams& params, Rng& rng);
+
+}  // namespace apks

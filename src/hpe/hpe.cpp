@@ -1,0 +1,271 @@
+#include "hpe/hpe.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+Hpe::Hpe(const Pairing& pairing, std::size_t n)
+    : e_(&pairing), n_(n), dpvs_(pairing, n + 3) {
+  if (n == 0) throw std::invalid_argument("Hpe: n must be positive");
+}
+
+void Hpe::setup(Rng& rng, HpePublicKey& pk, HpeMasterKey& msk) const {
+  auto bases = dpvs_.gen_dual_bases(rng);
+  pk.n = n_;
+  pk.bhat.clear();
+  pk.bhat.reserve(n_ + 2);
+  for (std::size_t i = 0; i < n_; ++i) pk.bhat.push_back(bases.b[i]);
+  // d_{n+1} = b_{n+1} + b_{n+2}.
+  pk.bhat.push_back(dpvs_.add(bases.b[n_], bases.b[n_ + 1]));
+  pk.bhat.push_back(bases.b[n_ + 2]);
+  msk.x = std::move(bases.x);
+  msk.bstar = std::move(bases.bstar);
+}
+
+GVec Hpe::key_component(const Fq& sigma, const GVec& t, const Fq& eta,
+                        const GVec& w) const {
+  return dpvs_.lincomb({sigma, eta}, {&t, &w});
+}
+
+HpeKey Hpe::gen_key(const HpeMasterKey& msk, const std::vector<Fq>& v,
+                    Rng& rng) const {
+  if (v.size() != n_) throw std::invalid_argument("Hpe::gen_key: |v| != n");
+  if (msk.bstar.size() != dim()) {
+    throw std::invalid_argument("Hpe::gen_key: malformed master key");
+  }
+  const FqField& fq = e_->fq();
+
+  // T = sum_i v_i b*_i — shared by every component.
+  std::vector<const GVec*> brows;
+  brows.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) brows.push_back(&msk.bstar[i]);
+  const GVec t = dpvs_.lincomb(v, brows);
+
+  // W = b*_{n+1} - b*_{n+2}: the decryption-slot pair with coefficient sum 0.
+  const GVec w = dpvs_.lincomb({fq.one(), fq.neg(fq.one())},
+                               {&msk.bstar[n_], &msk.bstar[n_ + 1]});
+
+  HpeKey key;
+  key.level = 1;
+  // k_dec = sigma_dec T + eta_dec W + b*_{n+2}: slot sum (n+1)+(n+2) is 1,
+  // which is what pairs against the zeta d_{n+1} ciphertext slot.
+  key.dec = dpvs_.add(key_component(fq.random(rng), t, fq.random(rng), w),
+                      msk.bstar[n_ + 1]);
+  // Two randomizers (slot sum 0: decrypt to gT^0 on a predicate match).
+  key.ran.push_back(key_component(fq.random(rng), t, fq.random(rng), w));
+  key.ran.push_back(key_component(fq.random(rng), t, fq.random(rng), w));
+  // Delegation components share one phi so a child's appended vector is
+  // scaled consistently across coordinates.
+  const Fq phi = fq.random_nonzero(rng);
+  key.del.reserve(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    key.del.push_back(dpvs_.lincomb(
+        {fq.random(rng), phi, fq.random(rng)},
+        {&t, &msk.bstar[j], &w}));
+  }
+  return key;
+}
+
+HpeKey Hpe::gen_key_naive(const HpeMasterKey& msk, const std::vector<Fq>& v,
+                          Rng& rng) const {
+  if (v.size() != n_) {
+    throw std::invalid_argument("Hpe::gen_key_naive: |v| != n");
+  }
+  if (msk.bstar.size() != dim()) {
+    throw std::invalid_argument("Hpe::gen_key_naive: malformed master key");
+  }
+  const FqField& fq = e_->fq();
+
+  // Per-component combination sigma * (sum_i v_i b*_i) + eta * W [+ extra],
+  // recomputed from the sparse v every time (no shared T). Zero entries of
+  // v are skipped, so "don't care" dimensions shrink every component's MSM.
+  const GVec w = dpvs_.lincomb({fq.one(), fq.neg(fq.one())},
+                               {&msk.bstar[n_], &msk.bstar[n_ + 1]});
+  auto component = [&](const Fq& sigma, const Fq& eta, const GVec* extra,
+                       const Fq& extra_coeff) {
+    std::vector<Fq> coeffs;
+    std::vector<const GVec*> vecs;
+    coeffs.reserve(n_ + 2);
+    vecs.reserve(n_ + 2);
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (v[i].is_zero()) continue;
+      coeffs.push_back(fq.mul(sigma, v[i]));
+      vecs.push_back(&msk.bstar[i]);
+    }
+    coeffs.push_back(eta);
+    vecs.push_back(&w);
+    if (extra != nullptr) {
+      coeffs.push_back(extra_coeff);
+      vecs.push_back(extra);
+    }
+    return dpvs_.lincomb(coeffs, vecs);
+  };
+
+  HpeKey key;
+  key.level = 1;
+  key.dec = component(fq.random(rng), fq.random(rng), &msk.bstar[n_ + 1],
+                      fq.one());
+  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr,
+                              fq.zero()));
+  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr,
+                              fq.zero()));
+  const Fq phi = fq.random_nonzero(rng);
+  key.del.reserve(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    key.del.push_back(component(fq.random(rng), fq.random(rng),
+                                &msk.bstar[j], phi));
+  }
+  return key;
+}
+
+HpeKey Hpe::delegate_naive(const HpeKey& parent, const std::vector<Fq>& v_next,
+                           Rng& rng) const {
+  if (v_next.size() != n_) {
+    throw std::invalid_argument("Hpe::delegate_naive: |v| != n");
+  }
+  if (parent.del.size() != n_ || parent.ran.size() != parent.level + 1) {
+    throw std::invalid_argument("Hpe::delegate_naive: malformed parent key");
+  }
+  const FqField& fq = e_->fq();
+  const std::size_t nran = parent.ran.size();
+
+  // sum_j alpha_j ran_j + sigma * (sum_i v_i k*_del,i) [+ extra], with the
+  // appended-vector sum recomputed per component from the sparse v_next.
+  auto component = [&](const Fq& sigma, const GVec* extra,
+                       const Fq& extra_coeff) {
+    std::vector<Fq> coeffs;
+    std::vector<const GVec*> vecs;
+    coeffs.reserve(nran + n_ + 1);
+    vecs.reserve(nran + n_ + 1);
+    for (std::size_t j = 0; j < nran; ++j) {
+      coeffs.push_back(fq.random(rng));
+      vecs.push_back(&parent.ran[j]);
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (v_next[i].is_zero()) continue;
+      coeffs.push_back(fq.mul(sigma, v_next[i]));
+      vecs.push_back(&parent.del[i]);
+    }
+    if (extra != nullptr) {
+      coeffs.push_back(extra_coeff);
+      vecs.push_back(extra);
+    }
+    return dpvs_.lincomb(coeffs, vecs);
+  };
+
+  HpeKey child;
+  child.level = parent.level + 1;
+  child.dec = component(fq.random(rng), &parent.dec, fq.one());
+  child.ran.reserve(child.level + 1);
+  for (std::size_t j = 0; j < child.level + 1; ++j) {
+    child.ran.push_back(component(fq.random(rng), nullptr, fq.zero()));
+  }
+  const Fq phi_next = fq.random_nonzero(rng);
+  child.del.reserve(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    child.del.push_back(component(fq.random(rng), &parent.del[j], phi_next));
+  }
+  return child;
+}
+
+HpeCiphertext Hpe::encrypt(const HpePublicKey& pk, const std::vector<Fq>& x,
+                           const GtEl& m, Rng& rng) const {
+  if (x.size() != n_) throw std::invalid_argument("Hpe::encrypt: |x| != n");
+  if (pk.n != n_ || pk.bhat.size() != n_ + 2) {
+    throw std::invalid_argument("Hpe::encrypt: malformed public key");
+  }
+  const FqField& fq = e_->fq();
+  const Fq delta1 = fq.random(rng);
+  const Fq delta2 = fq.random(rng);
+  const Fq zeta = fq.random(rng);
+
+  std::vector<Fq> coeffs;
+  std::vector<const GVec*> vecs;
+  coeffs.reserve(n_ + 2);
+  vecs.reserve(n_ + 2);
+  for (std::size_t i = 0; i < n_; ++i) {
+    coeffs.push_back(fq.mul(delta1, x[i]));
+    vecs.push_back(&pk.bhat[i]);
+  }
+  coeffs.push_back(zeta);
+  vecs.push_back(&pk.bhat[n_]);  // d_{n+1}
+  coeffs.push_back(delta2);
+  vecs.push_back(&pk.bhat[n_ + 1]);  // b_{n+3}
+
+  HpeCiphertext ct;
+  ct.c1 = dpvs_.lincomb(coeffs, vecs);
+  ct.c2 = e_->gt_mul(e_->gt_pow(e_->gt_generator(), zeta), m);
+  return ct;
+}
+
+GtEl Hpe::decrypt(const HpeCiphertext& ct, const HpeKey& key) const {
+  return e_->gt_mul(ct.c2, e_->gt_inv(dpvs_.pair_vec(ct.c1, key.dec)));
+}
+
+std::vector<PreprocessedPairing> Hpe::preprocess_key(const HpeKey& key) const {
+  return dpvs_.preprocess_vec(key.dec);
+}
+
+GtEl Hpe::decrypt_pre(const HpeCiphertext& ct,
+                      const std::vector<PreprocessedPairing>& pre) const {
+  return e_->gt_mul(ct.c2, e_->gt_inv(dpvs_.pair_vec_pre(pre, ct.c1)));
+}
+
+HpeKey Hpe::delegate(const HpeKey& parent, const std::vector<Fq>& v_next,
+                     Rng& rng) const {
+  if (v_next.size() != n_) {
+    throw std::invalid_argument("Hpe::delegate: |v| != n");
+  }
+  if (parent.del.size() != n_ || parent.ran.size() != parent.level + 1) {
+    throw std::invalid_argument("Hpe::delegate: malformed parent key");
+  }
+  const FqField& fq = e_->fq();
+  const std::size_t nran = parent.ran.size();
+
+  // S = sum_i v_{next,i} k*_del,i — the appended predicate, shared below.
+  std::vector<const GVec*> drows;
+  drows.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) drows.push_back(&parent.del[i]);
+  const GVec s = dpvs_.lincomb(v_next, drows);
+
+  // Helper assembling  sum_j alpha_j ran_j + sigma S (+ extras).
+  auto combine = [&](const Fq& sigma, const GVec* extra,
+                     const Fq& extra_coeff) {
+    std::vector<Fq> coeffs;
+    std::vector<const GVec*> vecs;
+    coeffs.reserve(nran + 2);
+    vecs.reserve(nran + 2);
+    for (std::size_t j = 0; j < nran; ++j) {
+      coeffs.push_back(fq.random(rng));
+      vecs.push_back(&parent.ran[j]);
+    }
+    coeffs.push_back(sigma);
+    vecs.push_back(&s);
+    if (extra != nullptr) {
+      coeffs.push_back(extra_coeff);
+      vecs.push_back(extra);
+    }
+    return dpvs_.lincomb(coeffs, vecs);
+  };
+
+  HpeKey child;
+  child.level = parent.level + 1;
+  // k'_dec = k_dec + sum alpha_j ran_j + sigma_dec S.
+  child.dec =
+      dpvs_.add(parent.dec, combine(fq.random(rng), nullptr, fq.zero()));
+  // level+2 fresh randomizers.
+  child.ran.reserve(child.level + 1);
+  for (std::size_t j = 0; j < child.level + 1; ++j) {
+    child.ran.push_back(combine(fq.random(rng), nullptr, fq.zero()));
+  }
+  // Delegation components keep a shared phi' on the parent's del_j.
+  const Fq phi_next = fq.random_nonzero(rng);
+  child.del.reserve(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    child.del.push_back(
+        combine(fq.random(rng), &parent.del[j], phi_next));
+  }
+  return child;
+}
+
+}  // namespace apks

@@ -1,0 +1,157 @@
+#include "hpe/hpe_hier.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+std::size_t HierFormat::block_offset(std::size_t level) const {
+  if (level < 1 || level > block_sizes.size() + 1) {
+    throw std::invalid_argument("HierFormat: bad level");
+  }
+  std::size_t off = 0;
+  for (std::size_t l = 1; l < level; ++l) off += block_sizes[l - 1];
+  return off;
+}
+
+HpeHierarchical::HpeHierarchical(const Pairing& pairing, HierFormat format)
+    : hpe_(pairing, format.n()), format_(std::move(format)) {
+  if (format_.block_sizes.empty()) {
+    throw std::invalid_argument("HpeHierarchical: empty format");
+  }
+  for (const std::size_t d : format_.block_sizes) {
+    if (d == 0) throw std::invalid_argument("HpeHierarchical: empty block");
+  }
+}
+
+void HpeHierarchical::check_support(const std::vector<Fq>& v, std::size_t lo,
+                                    std::size_t hi) const {
+  if (v.size() != n()) {
+    throw std::invalid_argument("HpeHierarchical: |v| != n");
+  }
+  bool any = false;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const bool inside = i >= lo && i < hi;
+    if (!inside && !v[i].is_zero()) {
+      throw std::invalid_argument(
+          "HpeHierarchical: predicate vector leaves its block");
+    }
+    any = any || (inside && !v[i].is_zero());
+  }
+  if (!any) {
+    throw std::invalid_argument("HpeHierarchical: zero predicate block");
+  }
+}
+
+HpeHierKey HpeHierarchical::gen_key(const HpeMasterKey& msk,
+                                    const std::vector<Fq>& v,
+                                    Rng& rng) const {
+  check_support(v, 0, format_.block_offset(2));
+  const FqField& fq = hpe_.pairing().fq();
+  const Dpvs& dpvs = hpe_.dpvs();
+  const std::size_t nn = n();
+
+  // T = sum_i v_i b*_i over block 1; W = b*_{n+1} - b*_{n+2}.
+  std::vector<Fq> coeffs;
+  std::vector<const GVec*> vecs;
+  for (std::size_t i = 0; i < nn; ++i) {
+    if (v[i].is_zero()) continue;
+    coeffs.push_back(v[i]);
+    vecs.push_back(&msk.bstar[i]);
+  }
+  const GVec t = dpvs.lincomb(coeffs, vecs);
+  const GVec w = dpvs.lincomb({fq.one(), fq.neg(fq.one())},
+                              {&msk.bstar[nn], &msk.bstar[nn + 1]});
+
+  auto component = [&](const Fq& sigma, const Fq& eta, const GVec* extra,
+                       const Fq& extra_coeff) {
+    std::vector<Fq> cs{sigma, eta};
+    std::vector<const GVec*> vs{&t, &w};
+    if (extra != nullptr) {
+      cs.push_back(extra_coeff);
+      vs.push_back(extra);
+    }
+    return dpvs.lincomb(cs, vs);
+  };
+
+  HpeHierKey key;
+  key.level = 1;
+  key.dec = component(fq.random(rng), fq.random(rng), &msk.bstar[nn + 1],
+                      fq.one());
+  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr,
+                              fq.zero()));
+  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr,
+                              fq.zero()));
+  // Delegation components only for the remaining blocks' coordinates —
+  // the size saving over the general scheme.
+  const Fq phi = fq.random_nonzero(rng);
+  const std::size_t future_lo = format_.block_offset(2);
+  key.del.reserve(nn - future_lo);
+  for (std::size_t j = future_lo; j < nn; ++j) {
+    key.del.push_back(component(fq.random(rng), fq.random(rng),
+                                &msk.bstar[j], phi));
+  }
+  return key;
+}
+
+HpeHierKey HpeHierarchical::delegate(const HpeHierKey& parent,
+                                     const std::vector<Fq>& v_next,
+                                     Rng& rng) const {
+  if (parent.level >= format_.levels()) {
+    throw std::invalid_argument("HpeHierarchical: format exhausted");
+  }
+  const std::size_t next_level = parent.level + 1;
+  const std::size_t block_lo = format_.block_offset(next_level);
+  const std::size_t block_hi = format_.block_offset(next_level + 1);
+  check_support(v_next, block_lo, block_hi);
+  const std::size_t parent_lo = block_lo;  // parent.del starts here
+  if (parent.del.size() != n() - parent_lo ||
+      parent.ran.size() != parent.level + 1) {
+    throw std::invalid_argument("HpeHierarchical: malformed parent key");
+  }
+  const FqField& fq = hpe_.pairing().fq();
+  const Dpvs& dpvs = hpe_.dpvs();
+
+  // S = sum over the next block of v_next[j] * parent.del[j - parent_lo].
+  std::vector<Fq> coeffs;
+  std::vector<const GVec*> vecs;
+  for (std::size_t j = block_lo; j < block_hi; ++j) {
+    if (v_next[j].is_zero()) continue;
+    coeffs.push_back(v_next[j]);
+    vecs.push_back(&parent.del[j - parent_lo]);
+  }
+  const GVec s = dpvs.lincomb(coeffs, vecs);
+
+  auto combine = [&](const Fq& sigma, const GVec* extra,
+                     const Fq& extra_coeff) {
+    std::vector<Fq> cs;
+    std::vector<const GVec*> vs;
+    for (const auto& rvec : parent.ran) {
+      cs.push_back(fq.random(rng));
+      vs.push_back(&rvec);
+    }
+    cs.push_back(sigma);
+    vs.push_back(&s);
+    if (extra != nullptr) {
+      cs.push_back(extra_coeff);
+      vs.push_back(extra);
+    }
+    return dpvs.lincomb(cs, vs);
+  };
+
+  HpeHierKey child;
+  child.level = next_level;
+  child.dec = combine(fq.random(rng), &parent.dec, fq.one());
+  for (std::size_t j = 0; j < child.level + 1; ++j) {
+    child.ran.push_back(combine(fq.random(rng), nullptr, fq.zero()));
+  }
+  // Only the blocks beyond next_level keep delegation components.
+  const Fq phi_next = fq.random_nonzero(rng);
+  child.del.reserve(n() - block_hi);
+  for (std::size_t j = block_hi; j < n(); ++j) {
+    child.del.push_back(
+        combine(fq.random(rng), &parent.del[j - parent_lo], phi_next));
+  }
+  return child;
+}
+
+}  // namespace apks

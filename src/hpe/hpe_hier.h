@@ -1,0 +1,85 @@
+// The *hierarchical-format* HPE of Okamoto-Takashima 2009 — the other of
+// the "two schemes of HPE in [30]" the paper mentions (it uses the
+// general-delegation one; we provide both).
+//
+// A format mu = (d_1, ..., d_r) partitions the n coordinates into r blocks.
+// A level-l key embeds predicate vectors v_1..v_l where v_j is supported on
+// block j only, and delegation may only append a vector on block l+1. In
+// exchange for the rigidity, keys are smaller and delegation cheaper: a
+// level-l key carries delegation components only for the coordinates of
+// the *remaining* blocks, and a fully-delegated key (level r) carries none.
+#pragma once
+
+#include "hpe/hpe.h"
+
+namespace apks {
+
+struct HierFormat {
+  std::vector<std::size_t> block_sizes;  // d_1, ..., d_r; sum == n
+
+  [[nodiscard]] std::size_t levels() const noexcept {
+    return block_sizes.size();
+  }
+  [[nodiscard]] std::size_t n() const noexcept {
+    std::size_t total = 0;
+    for (const std::size_t d : block_sizes) total += d;
+    return total;
+  }
+  // First coordinate of block `level` (1-based level).
+  [[nodiscard]] std::size_t block_offset(std::size_t level) const;
+};
+
+// Key layout: `del` holds components for coordinates
+// [block_offset(level+1), n) only; `level` counts embedded vectors.
+struct HpeHierKey {
+  std::size_t level = 0;
+  GVec dec;
+  std::vector<GVec> ran;
+  std::vector<GVec> del;  // for the remaining blocks' coordinates
+};
+
+class HpeHierarchical {
+ public:
+  HpeHierarchical(const Pairing& pairing, HierFormat format);
+
+  [[nodiscard]] const HierFormat& format() const noexcept { return format_; }
+  [[nodiscard]] std::size_t n() const noexcept { return hpe_.n(); }
+  [[nodiscard]] const Hpe& base() const noexcept { return hpe_; }
+
+  // Setup / encryption are identical to the general scheme.
+  void setup(Rng& rng, HpePublicKey& pk, HpeMasterKey& msk) const {
+    hpe_.setup(rng, pk, msk);
+  }
+  [[nodiscard]] HpeCiphertext encrypt(const HpePublicKey& pk,
+                                      const std::vector<Fq>& x, const GtEl& m,
+                                      Rng& rng) const {
+    return hpe_.encrypt(pk, x, m, rng);
+  }
+
+  // Level-1 key; v must be supported on block 1 (checked).
+  [[nodiscard]] HpeHierKey gen_key(const HpeMasterKey& msk,
+                                   const std::vector<Fq>& v, Rng& rng) const;
+
+  // Appends v_next, which must be supported on block parent.level+1
+  // (checked); fails if the format is exhausted.
+  [[nodiscard]] HpeHierKey delegate(const HpeHierKey& parent,
+                                    const std::vector<Fq>& v_next,
+                                    Rng& rng) const;
+
+  [[nodiscard]] GtEl decrypt(const HpeCiphertext& ct,
+                             const HpeHierKey& key) const {
+    return hpe_.pairing().gt_mul(
+        ct.c2,
+        hpe_.pairing().gt_inv(hpe_.dpvs().pair_vec(ct.c1, key.dec)));
+  }
+
+ private:
+  // Checks v is zero outside [lo, hi) and nonzero somewhere inside.
+  void check_support(const std::vector<Fq>& v, std::size_t lo,
+                     std::size_t hi) const;
+
+  Hpe hpe_;
+  HierFormat format_;
+};
+
+}  // namespace apks

@@ -1,0 +1,42 @@
+#include "hpe/hpe_plus.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+HpePlusSetupResult HpePlus::setup(Rng& rng) const {
+  const FqField& fq = hpe_.pairing().fq();
+  HpePlusSetupResult out;
+  hpe_.setup(rng, out.pk, out.msk);
+  out.r = fq.random_nonzero(rng);
+  // Blind the dual basis: B~* = r B*. Keys generated from msk now live in
+  // r * span(B*) and only match proxy-transformed ciphertexts.
+  for (auto& row : out.msk.bstar) {
+    row = hpe_.dpvs().scale(out.r, row);
+  }
+  return out;
+}
+
+HpeCiphertext HpePlus::proxy_transform(const Fq& inv_share,
+                                       const HpeCiphertext& ct) const {
+  HpeCiphertext out;
+  out.c1 = hpe_.dpvs().scale(inv_share, ct.c1);
+  out.c2 = ct.c2;  // the GT component is not blinded
+  return out;
+}
+
+std::vector<Fq> HpePlus::split_secret(const FqField& fq, const Fq& r,
+                                      std::size_t parts, Rng& rng) {
+  if (parts == 0) throw std::invalid_argument("split_secret: parts == 0");
+  std::vector<Fq> shares;
+  shares.reserve(parts);
+  Fq prod = fq.one();
+  for (std::size_t i = 0; i + 1 < parts; ++i) {
+    shares.push_back(fq.random_nonzero(rng));
+    prod = fq.mul(prod, shares.back());
+  }
+  shares.push_back(fq.mul(r, fq.inv(prod)));
+  return shares;
+}
+
+}  // namespace apks

@@ -1,0 +1,57 @@
+// HPE+ — the query-privacy hardened HPE of the paper's Section V (Fig. 7).
+//
+// Setup additionally samples a secret r in F_q*. Capabilities are generated
+// on the blinded dual basis r*B*, while encryptors still use the public
+// Bhat. A partial ciphertext only becomes searchable after one (or a chain
+// of) semi-trusted proxies rescale c1 by r^{-1}: e(r^{-1} c1, r k) cancels.
+// Without r, an adversary holding only pk cannot forge ciphertexts that
+// match capabilities — which is exactly what defeats the dictionary attack
+// on public-key searchable encryption.
+#pragma once
+
+#include "hpe/hpe.h"
+
+namespace apks {
+
+struct HpePlusSetupResult {
+  HpePublicKey pk;    // identical shape to plain HPE
+  HpeMasterKey msk;   // bstar holds r * B*
+  Fq r{};             // the TA's transformation secret
+};
+
+class HpePlus {
+ public:
+  HpePlus(const Pairing& pairing, std::size_t n) : hpe_(pairing, n) {}
+
+  // Key generation, delegation and decryption are inherited unchanged: they
+  // operate on the blinded basis transparently.
+  [[nodiscard]] const Hpe& base() const noexcept { return hpe_; }
+
+  [[nodiscard]] HpePlusSetupResult setup(Rng& rng) const;
+
+  // HPE+-PartialEnc: executed by the data owner — plain HPE encryption
+  // under pk. Not searchable until proxy-transformed.
+  [[nodiscard]] HpeCiphertext partial_enc(const HpePublicKey& pk,
+                                          const std::vector<Fq>& x,
+                                          const GtEl& m, Rng& rng) const {
+    return hpe_.encrypt(pk, x, m, rng);
+  }
+
+  // HPE+-ProxyEnc: rescales c1 by the proxy's inverse share. With a single
+  // proxy the share is r^{-1}; with P proxies the ciphertext must pass
+  // through all of them (any order), multiplying to r^{-1}.
+  [[nodiscard]] HpeCiphertext proxy_transform(const Fq& inv_share,
+                                              const HpeCiphertext& ct) const;
+
+  // Splits r into `parts` multiplicative shares (r = r_1 * ... * r_P), one
+  // per proxy. Returns the shares; callers invert per proxy as needed.
+  [[nodiscard]] static std::vector<Fq> split_secret(const FqField& fq,
+                                                    const Fq& r,
+                                                    std::size_t parts,
+                                                    Rng& rng);
+
+ private:
+  Hpe hpe_;
+};
+
+}  // namespace apks

@@ -1,0 +1,185 @@
+#include "hpe/serialize.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+void write_fq(const FqField& fq, const Fq& v, ByteWriter& w) {
+  std::array<std::uint8_t, 24> buf{};
+  fq.to_int(v).to_bytes(buf);
+  // The top 4 bytes of the 3-limb representation are always zero for a
+  // 160-bit modulus; ship the 20 significant bytes, as the paper assumes.
+  w.raw(std::span<const std::uint8_t>(buf.data() + 4, 20));
+}
+
+Fq read_fq(const FqField& fq, ByteReader& r) {
+  const auto bytes = r.raw(20);
+  const FqInt v = FqInt::from_bytes(bytes);
+  if (v >= fq.modulus()) {
+    throw std::invalid_argument("read_fq: scalar out of range");
+  }
+  return fq.from_int(v);
+}
+
+void write_point(const Curve& curve, const AffinePoint& pt, ByteWriter& w) {
+  std::array<std::uint8_t, Curve::kCompressedSize> buf{};
+  curve.serialize(pt, buf);
+  w.raw(buf);
+}
+
+AffinePoint read_point(const Curve& curve, ByteReader& r) {
+  const auto bytes = r.raw(Curve::kCompressedSize);
+  std::array<std::uint8_t, Curve::kCompressedSize> buf{};
+  std::copy(bytes.begin(), bytes.end(), buf.begin());
+  return curve.deserialize(buf);
+}
+
+void write_gt(const Pairing& e, const GtEl& v, ByteWriter& w) {
+  std::array<std::uint8_t, Pairing::kGtCompressedSize> buf{};
+  e.gt_serialize(v, buf);
+  w.raw(buf);
+}
+
+GtEl read_gt(const Pairing& e, ByteReader& r) {
+  const auto bytes = r.raw(Pairing::kGtCompressedSize);
+  std::array<std::uint8_t, Pairing::kGtCompressedSize> buf{};
+  std::copy(bytes.begin(), bytes.end(), buf.begin());
+  return e.gt_deserialize(buf);
+}
+
+void write_gvec(const Curve& curve, const GVec& v, ByteWriter& w) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& pt : v) write_point(curve, pt, w);
+}
+
+GVec read_gvec(const Curve& curve, ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  // Validate the claimed count against the bytes actually present before
+  // reserving (hostile length prefixes must not drive allocations).
+  if (n > r.remaining() / Curve::kCompressedSize) {
+    throw std::invalid_argument("read_gvec: length field exceeds payload");
+  }
+  GVec v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) v.push_back(read_point(curve, r));
+  return v;
+}
+
+std::vector<std::uint8_t> serialize_ciphertext(const Pairing& e,
+                                               const HpeCiphertext& ct) {
+  ByteWriter w;
+  write_gvec(e.curve(), ct.c1, w);
+  write_gt(e, ct.c2, w);
+  return w.take();
+}
+
+HpeCiphertext deserialize_ciphertext(const Pairing& e,
+                                     std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  HpeCiphertext ct;
+  ct.c1 = read_gvec(e.curve(), r);
+  ct.c2 = read_gt(e, r);
+  if (!r.done()) throw std::invalid_argument("ciphertext: trailing bytes");
+  return ct;
+}
+
+std::vector<std::uint8_t> serialize_key(const Pairing& e, const HpeKey& key) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(key.level));
+  write_gvec(e.curve(), key.dec, w);
+  w.u32(static_cast<std::uint32_t>(key.ran.size()));
+  for (const auto& v : key.ran) write_gvec(e.curve(), v, w);
+  w.u32(static_cast<std::uint32_t>(key.del.size()));
+  for (const auto& v : key.del) write_gvec(e.curve(), v, w);
+  return w.take();
+}
+
+HpeKey deserialize_key(const Pairing& e, std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  HpeKey key;
+  key.level = r.u32();
+  key.dec = read_gvec(e.curve(), r);
+  const std::uint32_t nran = r.u32();
+  if (nran > r.remaining() / Curve::kCompressedSize) {
+    throw std::invalid_argument("key: randomizer count exceeds payload");
+  }
+  for (std::uint32_t i = 0; i < nran; ++i) {
+    key.ran.push_back(read_gvec(e.curve(), r));
+  }
+  const std::uint32_t ndel = r.u32();
+  if (ndel > r.remaining() / Curve::kCompressedSize) {
+    throw std::invalid_argument("key: delegation count exceeds payload");
+  }
+  for (std::uint32_t i = 0; i < ndel; ++i) {
+    key.del.push_back(read_gvec(e.curve(), r));
+  }
+  if (!r.done()) throw std::invalid_argument("key: trailing bytes");
+  return key;
+}
+
+std::vector<std::uint8_t> serialize_public_key(const Pairing& e,
+                                               const HpePublicKey& pk) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(pk.n));
+  w.u32(static_cast<std::uint32_t>(pk.bhat.size()));
+  for (const auto& v : pk.bhat) write_gvec(e.curve(), v, w);
+  return w.take();
+}
+
+HpePublicKey deserialize_public_key(const Pairing& e,
+                                    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  HpePublicKey pk;
+  pk.n = r.u32();
+  const std::uint32_t rows = r.u32();
+  if (rows > r.remaining() / Curve::kCompressedSize) {
+    throw std::invalid_argument("public key: row count exceeds payload");
+  }
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    pk.bhat.push_back(read_gvec(e.curve(), r));
+  }
+  if (!r.done()) throw std::invalid_argument("public key: trailing bytes");
+  return pk;
+}
+
+std::vector<std::uint8_t> serialize_master_key(const Pairing& e,
+                                               const HpeMasterKey& msk) {
+  ByteWriter w;
+  const FqField& fq = e.fq();
+  w.u32(static_cast<std::uint32_t>(msk.x.rows()));
+  for (std::size_t i = 0; i < msk.x.rows(); ++i) {
+    for (std::size_t j = 0; j < msk.x.cols(); ++j) {
+      write_fq(fq, msk.x.at(i, j), w);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(msk.bstar.size()));
+  for (const auto& v : msk.bstar) write_gvec(e.curve(), v, w);
+  return w.take();
+}
+
+HpeMasterKey deserialize_master_key(const Pairing& e,
+                                    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  HpeMasterKey msk;
+  const std::uint32_t n = r.u32();
+  if (n > 4096 || static_cast<std::uint64_t>(n) * n * 20 > r.remaining()) {
+    throw std::invalid_argument("master key: matrix size exceeds payload");
+  }
+  msk.x = MatrixFq(n, n, e.fq());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      msk.x.at(i, j) = read_fq(e.fq(), r);
+    }
+  }
+  const std::uint32_t rows = r.u32();
+  if (rows > r.remaining() / Curve::kCompressedSize) {
+    throw std::invalid_argument("master key: row count exceeds payload");
+  }
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    msk.bstar.push_back(read_gvec(e.curve(), r));
+  }
+  if (!r.done()) throw std::invalid_argument("master key: trailing bytes");
+  return msk;
+}
+
+}  // namespace apks

@@ -1,0 +1,114 @@
+// Quadratic extension F_p^2 = F_p[i] / (i^2 + 1), valid for p = 3 (mod 4).
+//
+// Hosts the pairing target group G_T (the order-q subgroup of F_p^2*).
+#pragma once
+
+#include "math/prime_field.h"
+
+namespace apks {
+
+inline constexpr std::size_t kFpLimbs = 8;
+using FpInt = BigInt<kFpLimbs>;
+using FpField = PrimeField<kFpLimbs>;
+using Fp = FpInt;  // Montgomery-form element of F_p
+
+struct Fp2El {
+  Fp a;  // real part
+  Fp b;  // coefficient of i
+
+  friend bool operator==(const Fp2El&, const Fp2El&) = default;
+};
+
+class Fp2 {
+ public:
+  explicit Fp2(const FpField& fp) : fp_(&fp) {}
+
+  [[nodiscard]] const FpField& base() const noexcept { return *fp_; }
+
+  [[nodiscard]] Fp2El zero() const { return {fp_->zero(), fp_->zero()}; }
+  [[nodiscard]] Fp2El one() const { return {fp_->one(), fp_->zero()}; }
+  [[nodiscard]] Fp2El from_base(const Fp& a) const { return {a, fp_->zero()}; }
+
+  [[nodiscard]] bool is_zero(const Fp2El& x) const {
+    return x.a.is_zero() && x.b.is_zero();
+  }
+  [[nodiscard]] bool is_one(const Fp2El& x) const {
+    return x.a == fp_->one() && x.b.is_zero();
+  }
+
+  [[nodiscard]] Fp2El add(const Fp2El& x, const Fp2El& y) const {
+    return {fp_->add(x.a, y.a), fp_->add(x.b, y.b)};
+  }
+  [[nodiscard]] Fp2El sub(const Fp2El& x, const Fp2El& y) const {
+    return {fp_->sub(x.a, y.a), fp_->sub(x.b, y.b)};
+  }
+  [[nodiscard]] Fp2El neg(const Fp2El& x) const {
+    return {fp_->neg(x.a), fp_->neg(x.b)};
+  }
+
+  // Karatsuba: (a+bi)(c+di) = (ac - bd) + ((a+b)(c+d) - ac - bd) i.
+  [[nodiscard]] Fp2El mul(const Fp2El& x, const Fp2El& y) const {
+    const Fp ac = fp_->mul(x.a, y.a);
+    const Fp bd = fp_->mul(x.b, y.b);
+    const Fp cross = fp_->mul(fp_->add(x.a, x.b), fp_->add(y.a, y.b));
+    return {fp_->sub(ac, bd), fp_->sub(cross, fp_->add(ac, bd))};
+  }
+
+  // (a+bi)^2 = (a+b)(a-b) + 2ab i.
+  [[nodiscard]] Fp2El sqr(const Fp2El& x) const {
+    const Fp t = fp_->mul(fp_->add(x.a, x.b), fp_->sub(x.a, x.b));
+    const Fp ab = fp_->mul(x.a, x.b);
+    return {t, fp_->add(ab, ab)};
+  }
+
+  [[nodiscard]] Fp2El conj(const Fp2El& x) const {
+    return {x.a, fp_->neg(x.b)};
+  }
+
+  // Norm a^2 + b^2 (an F_p element).
+  [[nodiscard]] Fp norm(const Fp2El& x) const {
+    return fp_->add(fp_->sqr(x.a), fp_->sqr(x.b));
+  }
+
+  [[nodiscard]] Fp2El inv(const Fp2El& x) const {
+    const Fp n_inv = fp_->inv(norm(x));
+    return {fp_->mul(x.a, n_inv), fp_->neg(fp_->mul(x.b, n_inv))};
+  }
+
+  // x^e with plain (non-Montgomery) exponent; 4-bit fixed window.
+  template <std::size_t EL>
+  [[nodiscard]] Fp2El pow(const Fp2El& x, const BigInt<EL>& e) const {
+    const std::size_t bits = e.bit_length();
+    if (bits == 0) return one();
+    Fp2El table[16];
+    table[0] = one();
+    table[1] = x;
+    for (std::size_t i = 2; i < 16; ++i) table[i] = mul(table[i - 1], x);
+    Fp2El acc = one();
+    bool started = false;
+    std::size_t i = (bits + 3) / 4;
+    while (i-- > 0) {
+      std::size_t nib = 0;
+      for (std::size_t j = 0; j < 4; ++j) {
+        const std::size_t b = 4 * i + (3 - j);
+        nib = (nib << 1) | ((b < 64 * EL && e.bit(b)) ? 1u : 0u);
+      }
+      if (started) {
+        acc = sqr(sqr(sqr(sqr(acc))));
+        if (nib != 0) acc = mul(acc, table[nib]);
+      } else if (nib != 0) {
+        acc = table[nib];
+        started = true;
+      }
+    }
+    return acc;
+  }
+
+  // Frobenius endomorphism x -> x^p. For p = 3 (mod 4) this is conjugation.
+  [[nodiscard]] Fp2El frobenius(const Fp2El& x) const { return conj(x); }
+
+ private:
+  const FpField* fp_;
+};
+
+}  // namespace apks

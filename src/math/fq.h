@@ -1,0 +1,39 @@
+// The 160-bit scalar field F_q (group order of the type-A pairing groups).
+//
+// Keywords, predicate-vector entries, matrix entries and exponents all live
+// in F_q. Elements are Montgomery-form BigInt<3>.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/sha1.h"
+#include "math/prime_field.h"
+
+namespace apks {
+
+inline constexpr std::size_t kFqLimbs = 3;
+using FqInt = BigInt<kFqLimbs>;
+using FqField = PrimeField<kFqLimbs>;
+using Fq = FqInt;  // Montgomery-form element of F_q
+
+// The keyword hash from the paper: H : {0,1}* -> F_q using SHA-1 (the 160-bit
+// digest is reduced mod q).
+[[nodiscard]] inline Fq hash_to_fq(const FqField& fq, std::string_view keyword) {
+  const auto digest = Sha1::hash(keyword);
+  return fq.from_bytes_mod(digest);
+}
+
+// Inner product sum_i a_i * b_i over F_q. Sizes must match.
+[[nodiscard]] inline Fq inner_product(const FqField& fq,
+                                      const std::vector<Fq>& a,
+                                      const std::vector<Fq>& b) {
+  assert(a.size() == b.size());
+  Fq acc = fq.zero();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = fq.add(acc, fq.mul(a[i], b[i]));
+  }
+  return acc;
+}
+
+}  // namespace apks

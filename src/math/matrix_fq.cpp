@@ -1,0 +1,113 @@
+#include "math/matrix_fq.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace apks {
+
+MatrixFq MatrixFq::identity(std::size_t n, const FqField& fq) {
+  MatrixFq m(n, n, fq);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = fq.one();
+  return m;
+}
+
+MatrixFq MatrixFq::random(std::size_t rows, std::size_t cols,
+                          const FqField& fq, Rng& rng) {
+  MatrixFq m(rows, cols, fq);
+  for (std::size_t i = 0; i < rows * cols; ++i) m.data_[i] = fq.random(rng);
+  return m;
+}
+
+MatrixFq MatrixFq::random_invertible(std::size_t n, const FqField& fq,
+                                     Rng& rng) {
+  for (;;) {
+    MatrixFq m = random(n, n, fq, rng);
+    MatrixFq inv;
+    if (m.inverse(fq, inv)) return m;
+  }
+}
+
+MatrixFq MatrixFq::transpose() const {
+  MatrixFq t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.data_.resize(data_.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t.at(c, r) = at(r, c);
+    }
+  }
+  return t;
+}
+
+MatrixFq MatrixFq::mul(const MatrixFq& other, const FqField& fq) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("MatrixFq::mul: dimension mismatch");
+  }
+  MatrixFq r(rows_, other.cols_, fq);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Fq aik = at(i, k);
+      if (aik.is_zero()) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        r.at(i, j) = fq.add(r.at(i, j), fq.mul(aik, other.at(k, j)));
+      }
+    }
+  }
+  return r;
+}
+
+bool MatrixFq::inverse(const FqField& fq, MatrixFq& out) const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("MatrixFq::inverse: matrix not square");
+  }
+  const std::size_t n = rows_;
+  MatrixFq a = *this;
+  MatrixFq inv = identity(n, fq);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < n && a.at(pivot, col).is_zero()) ++pivot;
+    if (pivot == n) return false;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a.at(pivot, j), a.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    // Scale pivot row to 1.
+    const Fq pinv = fq.inv(a.at(col, col));
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(col, j) = fq.mul(a.at(col, j), pinv);
+      inv.at(col, j) = fq.mul(inv.at(col, j), pinv);
+    }
+    // Eliminate all other rows.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const Fq f = a.at(r, col);
+      if (f.is_zero()) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        a.at(r, j) = fq.sub(a.at(r, j), fq.mul(f, a.at(col, j)));
+        inv.at(r, j) = fq.sub(inv.at(r, j), fq.mul(f, inv.at(col, j)));
+      }
+    }
+  }
+  out = std::move(inv);
+  return true;
+}
+
+std::vector<Fq> MatrixFq::apply(const std::vector<Fq>& x,
+                                const FqField& fq) const {
+  assert(x.size() == cols_);
+  std::vector<Fq> y(rows_, fq.zero());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Fq acc = fq.zero();
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc = fq.add(acc, fq.mul(at(r, c), x[c]));
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+}  // namespace apks

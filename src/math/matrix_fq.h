@@ -1,0 +1,56 @@
+// Dense matrix algebra over F_q.
+//
+// Used by the DPVS layer: the master secret of HPE is a random X in
+// GL(n, F_q); the dual basis uses (X^T)^{-1}.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/fq.h"
+
+namespace apks {
+
+class MatrixFq {
+ public:
+  MatrixFq() = default;
+  MatrixFq(std::size_t rows, std::size_t cols, const FqField& fq)
+      : rows_(rows), cols_(cols), data_(rows * cols, fq.zero()) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] Fq& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const Fq& at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] static MatrixFq identity(std::size_t n, const FqField& fq);
+  [[nodiscard]] static MatrixFq random(std::size_t rows, std::size_t cols,
+                                       const FqField& fq, Rng& rng);
+  // Samples uniformly from GL(n, F_q) by rejection (a random matrix is
+  // singular with probability ~ n/q, negligible for 160-bit q).
+  [[nodiscard]] static MatrixFq random_invertible(std::size_t n,
+                                                  const FqField& fq, Rng& rng);
+
+  [[nodiscard]] MatrixFq transpose() const;
+  [[nodiscard]] MatrixFq mul(const MatrixFq& other, const FqField& fq) const;
+
+  // Gauss-Jordan inverse. Returns false if the matrix is singular.
+  [[nodiscard]] bool inverse(const FqField& fq, MatrixFq& out) const;
+
+  // y = M * x (column vector).
+  [[nodiscard]] std::vector<Fq> apply(const std::vector<Fq>& x,
+                                      const FqField& fq) const;
+
+  friend bool operator==(const MatrixFq&, const MatrixFq&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Fq> data_;
+};
+
+}  // namespace apks

@@ -1,0 +1,92 @@
+#include "mrqed/aibe.h"
+
+namespace apks {
+
+Aibe::SetupResult Aibe::setup(Rng& rng) const {
+  const Curve& curve = e_->curve();
+  const FqField& fq = e_->fq();
+  SetupResult out;
+  out.msk.w = fq.random_nonzero(rng);
+  out.msk.t1 = fq.random_nonzero(rng);
+  out.msk.t2 = fq.random_nonzero(rng);
+  out.msk.t3 = fq.random_nonzero(rng);
+  out.msk.t4 = fq.random_nonzero(rng);
+  const auto& g = curve.generator();
+  out.params.v1 = curve.mul_fq(g, out.msk.t1);
+  out.params.v2 = curve.mul_fq(g, out.msk.t2);
+  out.params.v3 = curve.mul_fq(g, out.msk.t3);
+  out.params.v4 = curve.mul_fq(g, out.msk.t4);
+  out.params.omega = e_->gt_pow(
+      e_->gt_generator(), fq.mul(fq.mul(out.msk.t1, out.msk.t2), out.msk.w));
+  return out;
+}
+
+AibeIdBase Aibe::make_id_base(Rng& rng) const {
+  const Curve& curve = e_->curve();
+  const FqField& fq = e_->fq();
+  return {curve.mul_base_fq(fq.random_nonzero(rng)),
+          curve.mul_base_fq(fq.random_nonzero(rng))};
+}
+
+AffinePoint Aibe::f_of(const AibeIdBase& base, std::string_view id) const {
+  const Fq h = hash_to_fq(e_->fq(), std::string("aibe:") + std::string(id));
+  return e_->curve().add(base.g0, e_->curve().mul_fq(base.g1, h));
+}
+
+AibeKey Aibe::extract(const AibeMasterKey& msk, const AibeIdBase& base,
+                      std::string_view id, Rng& rng) const {
+  const Curve& curve = e_->curve();
+  const FqField& fq = e_->fq();
+  const AffinePoint f = f_of(base, id);
+  const Fq r1 = fq.random_nonzero(rng);
+  const Fq r2 = fq.random_nonzero(rng);
+  AibeKey key;
+  // d0 = g^{r1 t1 t2 + r2 t3 t4}
+  key.d0 = curve.mul_fq(
+      curve.generator(),
+      fq.add(fq.mul(r1, fq.mul(msk.t1, msk.t2)),
+             fq.mul(r2, fq.mul(msk.t3, msk.t4))));
+  // d1 = g^{-w t2} F^{-r1 t2},  d2 = g^{-w t1} F^{-r1 t1}
+  key.d1 = curve.add(
+      curve.mul_base_fq(fq.neg(fq.mul(msk.w, msk.t2))),
+      curve.mul_fq(f, fq.neg(fq.mul(r1, msk.t2))));
+  key.d2 = curve.add(
+      curve.mul_base_fq(fq.neg(fq.mul(msk.w, msk.t1))),
+      curve.mul_fq(f, fq.neg(fq.mul(r1, msk.t1))));
+  // d3 = F^{-r2 t4},  d4 = F^{-r2 t3}
+  key.d3 = curve.mul_fq(f, fq.neg(fq.mul(r2, msk.t4)));
+  key.d4 = curve.mul_fq(f, fq.neg(fq.mul(r2, msk.t3)));
+  return key;
+}
+
+AibeCiphertext Aibe::encrypt(const AibeParams& params, const AibeIdBase& base,
+                             std::string_view id, const GtEl& m,
+                             Rng& rng) const {
+  const Curve& curve = e_->curve();
+  const FqField& fq = e_->fq();
+  const AffinePoint f = f_of(base, id);
+  const Fq s = fq.random_nonzero(rng);
+  const Fq s1 = fq.random(rng);
+  const Fq s2 = fq.random(rng);
+  AibeCiphertext ct;
+  ct.cprime = e_->gt_mul(e_->gt_pow(params.omega, s), m);
+  ct.c0 = curve.mul_fq(f, s);
+  ct.c1 = curve.mul_fq(params.v1, fq.sub(s, s1));
+  ct.c2 = curve.mul_fq(params.v2, s1);
+  ct.c3 = curve.mul_fq(params.v3, fq.sub(s, s2));
+  ct.c4 = curve.mul_fq(params.v4, s2);
+  return ct;
+}
+
+GtEl Aibe::decrypt(const AibeCiphertext& ct, const AibeKey& key) const {
+  // One shared final exponentiation across the 5 pairings.
+  const Fp2& fp2 = e_->fp2();
+  Fp2El f = e_->miller(ct.c0, key.d0);
+  f = fp2.mul(f, e_->miller(ct.c1, key.d1));
+  f = fp2.mul(f, e_->miller(ct.c2, key.d2));
+  f = fp2.mul(f, e_->miller(ct.c3, key.d3));
+  f = fp2.mul(f, e_->miller(ct.c4, key.d4));
+  return e_->gt_mul(ct.cprime, e_->final_exp(f));
+}
+
+}  // namespace apks

@@ -1,0 +1,56 @@
+#include "mrqed/interval_tree.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+IntervalTree::IntervalTree(std::size_t depth) : depth_(depth) {
+  if (depth == 0 || depth > 62) {
+    throw std::invalid_argument("IntervalTree: depth out of range");
+  }
+}
+
+std::vector<IntervalNode> IntervalTree::path(std::uint64_t value) const {
+  if (value >= domain_size()) {
+    throw std::invalid_argument("IntervalTree: value outside domain");
+  }
+  std::vector<IntervalNode> nodes;
+  nodes.reserve(depth_ + 1);
+  for (std::size_t level = 0; level <= depth_; ++level) {
+    nodes.push_back({level, value >> (depth_ - level)});
+  }
+  return nodes;
+}
+
+std::vector<IntervalNode> IntervalTree::canonical_cover(
+    std::uint64_t lo, std::uint64_t hi) const {
+  if (lo > hi || hi >= domain_size()) {
+    throw std::invalid_argument("IntervalTree: bad range");
+  }
+  // Standard segment-tree decomposition on leaf indexes [lo, hi].
+  std::vector<IntervalNode> left, right;
+  std::uint64_t l = lo, r = hi + 1;  // half-open [l, r)
+  std::size_t level = depth_;
+  while (l < r) {
+    if ((l & 1) != 0) {
+      left.push_back({level, l});
+      ++l;
+    }
+    if ((r & 1) != 0) {
+      --r;
+      right.push_back({level, r});
+    }
+    l >>= 1;
+    r >>= 1;
+    --level;
+  }
+  for (std::size_t i = right.size(); i-- > 0;) left.push_back(right[i]);
+  return left;
+}
+
+std::string IntervalTree::node_id(std::size_t dim, const IntervalNode& n) {
+  return "mrqed:" + std::to_string(dim) + ":" + std::to_string(n.level) +
+         ":" + std::to_string(n.index);
+}
+
+}  // namespace apks

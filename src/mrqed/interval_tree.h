@@ -1,0 +1,56 @@
+// Binary interval trees for MRQED (Shi et al., S&P 2007).
+//
+// The domain [0, 2^depth) is organized as a perfect binary tree; a value's
+// ciphertext covers its root-to-leaf path (depth+1 node ids), and an
+// arbitrary range decomposes into O(2*depth) canonical nodes, so a range
+// key matches a value iff the canonical cover intersects the path — which
+// happens at exactly one node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apks {
+
+struct IntervalNode {
+  std::size_t level = 0;   // 0 = root
+  std::uint64_t index = 0;  // position within the level
+
+  friend bool operator==(const IntervalNode&, const IntervalNode&) = default;
+};
+
+class IntervalTree {
+ public:
+  explicit IntervalTree(std::size_t depth);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::uint64_t domain_size() const noexcept {
+    return std::uint64_t{1} << depth_;
+  }
+
+  // The depth+1 nodes on the path from the root to leaf `value`.
+  [[nodiscard]] std::vector<IntervalNode> path(std::uint64_t value) const;
+
+  // Minimal canonical cover of [lo, hi] (inclusive): disjoint nodes whose
+  // union is exactly the range. At most 2*depth nodes.
+  [[nodiscard]] std::vector<IntervalNode> canonical_cover(
+      std::uint64_t lo, std::uint64_t hi) const;
+
+  // [lo, hi] covered by node.
+  [[nodiscard]] std::uint64_t node_lo(const IntervalNode& n) const noexcept {
+    return n.index << (depth_ - n.level);
+  }
+  [[nodiscard]] std::uint64_t node_hi(const IntervalNode& n) const noexcept {
+    return ((n.index + 1) << (depth_ - n.level)) - 1;
+  }
+
+  // Stable identity string for hashing into the AIBE identity space.
+  [[nodiscard]] static std::string node_id(std::size_t dim,
+                                           const IntervalNode& n);
+
+ private:
+  std::size_t depth_;
+};
+
+}  // namespace apks

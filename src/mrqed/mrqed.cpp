@@ -1,0 +1,190 @@
+#include "mrqed/mrqed.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+Mrqed::Mrqed(const Pairing& pairing, std::size_t dims, std::size_t depth)
+    : e_(&pairing), aibe_(pairing), dims_(dims), tree_(depth) {
+  if (dims == 0) throw std::invalid_argument("Mrqed: dims == 0");
+}
+
+GtEl Mrqed::check_constant() const {
+  return e_->gt_pow(e_->gt_generator(),
+                    hash_to_fq(e_->fq(), "mrqed:check-constant"));
+}
+
+GtEl Mrqed::flag_constant() const {
+  return e_->gt_pow(e_->gt_generator(),
+                    hash_to_fq(e_->fq(), "mrqed:flag-constant"));
+}
+
+void Mrqed::setup(Rng& rng, MrqedPublicKey& pk, MrqedMasterKey& msk) const {
+  auto s = aibe_.setup(rng);
+  pk.aibe = s.params;
+  msk.aibe = s.msk;
+  pk.bases.assign(dims_, {});
+  for (std::size_t d = 0; d < dims_; ++d) {
+    pk.bases[d].reserve(tree_.depth() + 1);
+    for (std::size_t l = 0; l <= tree_.depth(); ++l) {
+      pk.bases[d].push_back(aibe_.make_id_base(rng));
+    }
+  }
+}
+
+MrqedCiphertext Mrqed::encrypt(const MrqedPublicKey& pk,
+                               const std::vector<std::uint64_t>& point,
+                               Rng& rng) const {
+  if (point.size() != dims_) {
+    throw std::invalid_argument("Mrqed::encrypt: arity mismatch");
+  }
+  const FqField& fq = e_->fq();
+  // Multiplicative shares of the flag: flag = prod_d share_d.
+  std::vector<GtEl> shares(dims_);
+  Fq exp_acc = fq.zero();
+  std::vector<Fq> exps(dims_);
+  for (std::size_t d = 0; d + 1 < dims_; ++d) {
+    exps[d] = fq.random(rng);
+    exp_acc = fq.add(exp_acc, exps[d]);
+  }
+  // flag = gT^f: last share gets f - sum of others, with the flag exponent
+  // fixed by construction of flag_constant().
+  const Fq flag_exp = hash_to_fq(fq, "mrqed:flag-constant");
+  exps[dims_ - 1] = fq.sub(flag_exp, exp_acc);
+  for (std::size_t d = 0; d < dims_; ++d) {
+    shares[d] = e_->gt_pow(e_->gt_generator(), exps[d]);
+  }
+
+  const GtEl check = check_constant();
+  MrqedCiphertext ct;
+  ct.dims.assign(dims_, {});
+  for (std::size_t d = 0; d < dims_; ++d) {
+    const auto path = tree_.path(point[d]);
+    ct.dims[d].reserve(path.size());
+    for (const auto& node : path) {
+      const std::string id = IntervalTree::node_id(d, node);
+      const AibeIdBase& base = pk.bases[d][node.level];
+      MrqedCiphertext::NodeCt nct{
+          aibe_.encrypt(pk.aibe, base, id, check, rng),
+          aibe_.encrypt(pk.aibe, base, id, shares[d], rng)};
+      ct.dims[d].push_back(std::move(nct));
+    }
+  }
+  return ct;
+}
+
+MrqedKey Mrqed::gen_key(const MrqedPublicKey& pk, const MrqedMasterKey& msk,
+                        const std::vector<MrqedRange>& ranges,
+                        Rng& rng) const {
+  if (ranges.size() != dims_) {
+    throw std::invalid_argument("Mrqed::gen_key: arity mismatch");
+  }
+  MrqedKey key;
+  key.dims.assign(dims_, {});
+  for (std::size_t d = 0; d < dims_; ++d) {
+    for (const auto& node : tree_.canonical_cover(ranges[d].lo,
+                                                  ranges[d].hi)) {
+      const std::string id = IntervalTree::node_id(d, node);
+      const AibeIdBase& base = pk.bases[d][node.level];
+      key.dims[d].push_back({node,
+                             aibe_.extract(msk.aibe, base, id, rng),
+                             aibe_.extract(msk.aibe, base, id, rng)});
+    }
+  }
+  return key;
+}
+
+Mrqed::PreparedKey Mrqed::prepare(const MrqedKey& key) const {
+  auto prepare_aibe = [&](const AibeKey& k) {
+    std::vector<PreprocessedPairing> out;
+    out.reserve(5);
+    out.push_back(e_->preprocess(k.d0));
+    out.push_back(e_->preprocess(k.d1));
+    out.push_back(e_->preprocess(k.d2));
+    out.push_back(e_->preprocess(k.d3));
+    out.push_back(e_->preprocess(k.d4));
+    return out;
+  };
+  PreparedKey prepared;
+  prepared.dims.reserve(key.dims.size());
+  for (const auto& dim : key.dims) {
+    std::vector<PreparedNodeKey> nodes;
+    nodes.reserve(dim.size());
+    for (const auto& nk : dim) {
+      nodes.push_back(
+          {nk.node, prepare_aibe(nk.check), prepare_aibe(nk.share)});
+    }
+    prepared.dims.push_back(std::move(nodes));
+  }
+  return prepared;
+}
+
+bool Mrqed::match_prepared(const MrqedCiphertext& ct, const PreparedKey& key,
+                           MatchStats* stats) const {
+  if (ct.dims.size() != dims_ || key.dims.size() != dims_) {
+    throw std::invalid_argument("Mrqed::match_prepared: arity mismatch");
+  }
+  const Fp2& fp2 = e_->fp2();
+  auto decrypt_pre = [&](const AibeCiphertext& c,
+                         const std::vector<PreprocessedPairing>& k) {
+    Fp2El f = k[0].miller_with(c.c0);
+    f = fp2.mul(f, k[1].miller_with(c.c1));
+    f = fp2.mul(f, k[2].miller_with(c.c2));
+    f = fp2.mul(f, k[3].miller_with(c.c3));
+    f = fp2.mul(f, k[4].miller_with(c.c4));
+    return e_->gt_mul(c.cprime, e_->final_exp(f));
+  };
+  MatchStats local;
+  const GtEl check = check_constant();
+  GtEl product = e_->gt_one();
+  for (std::size_t d = 0; d < dims_; ++d) {
+    bool dim_matched = false;
+    for (const auto& node_key : key.dims[d]) {
+      const auto& node_ct = ct.dims[d].at(node_key.node.level);
+      local.pairings += 5;
+      if (decrypt_pre(node_ct.check, node_key.check) != check) continue;
+      local.pairings += 5;
+      product = e_->gt_mul(product,
+                           decrypt_pre(node_ct.share, node_key.share));
+      dim_matched = true;
+      break;
+    }
+    if (!dim_matched) {
+      if (stats != nullptr) *stats = local;
+      return false;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return product == flag_constant();
+}
+
+bool Mrqed::match(const MrqedCiphertext& ct, const MrqedKey& key,
+                  MatchStats* stats) const {
+  if (ct.dims.size() != dims_ || key.dims.size() != dims_) {
+    throw std::invalid_argument("Mrqed::match: arity mismatch");
+  }
+  MatchStats local;
+  const GtEl check = check_constant();
+  GtEl product = e_->gt_one();
+  for (std::size_t d = 0; d < dims_; ++d) {
+    bool dim_matched = false;
+    for (const auto& node_key : key.dims[d]) {
+      const auto& node_ct = ct.dims[d].at(node_key.node.level);
+      local.pairings += 5;
+      if (aibe_.decrypt(node_ct.check, node_key.check) != check) continue;
+      local.pairings += 5;
+      product = e_->gt_mul(product,
+                           aibe_.decrypt(node_ct.share, node_key.share));
+      dim_matched = true;
+      break;
+    }
+    if (!dim_matched) {
+      if (stats != nullptr) *stats = local;
+      return false;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return product == flag_constant();
+}
+
+}  // namespace apks

@@ -1,0 +1,116 @@
+// MRQED^D — Multi-dimensional Range Query over Encrypted Data
+// (Shi, Bethencourt, Chan, Song, Perrig — IEEE S&P 2007), the baseline the
+// paper compares against in Section VII.
+//
+// Construction: one binary interval tree per dimension. Encrypting a point
+// (v_1, ..., v_D) produces, for every dimension d and every node on
+// path(v_d), an AIBE ciphertext of (a) a fixed CHECK constant and (b) the
+// d-th multiplicative share of the match flag. A range-query key carries
+// AIBE keys for the canonical cover of each dimension's range. Matching
+// scans each dimension's cover until a CHECK decrypts (5 pairings per
+// probe), then recovers the share; the product of all shares equals the
+// flag iff every dimension matched.
+//
+// Cost profile (what the paper's comparison uses): setup, encryption and
+// key generation are O(n) exponentiations; per-index search is ~5n pairings
+// — about 5x the n+3 pairings of APKS.
+#pragma once
+
+#include <optional>
+
+#include "mrqed/aibe.h"
+#include "mrqed/interval_tree.h"
+
+namespace apks {
+
+struct MrqedPublicKey {
+  AibeParams aibe;
+  // One identity-hash base per (dimension, level): the per-node parameters
+  // that give MRQED its linear setup cost.
+  std::vector<std::vector<AibeIdBase>> bases;  // [dim][level]
+};
+
+struct MrqedMasterKey {
+  AibeMasterKey aibe;
+};
+
+struct MrqedCiphertext {
+  // [dim][level]: check ciphertext + share ciphertext for the path node at
+  // that level.
+  struct NodeCt {
+    AibeCiphertext check;
+    AibeCiphertext share;
+  };
+  std::vector<std::vector<NodeCt>> dims;
+};
+
+struct MrqedRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+struct MrqedKey {
+  struct NodeKey {
+    IntervalNode node;
+    AibeKey check;
+    AibeKey share;
+  };
+  std::vector<std::vector<NodeKey>> dims;  // canonical cover per dimension
+};
+
+class Mrqed {
+ public:
+  // D dimensions, each over the domain [0, 2^depth).
+  Mrqed(const Pairing& pairing, std::size_t dims, std::size_t depth);
+
+  [[nodiscard]] std::size_t dims() const noexcept { return dims_; }
+  [[nodiscard]] const IntervalTree& tree() const noexcept { return tree_; }
+  // The paper's comparison parameter: n ~ D * (depth + 1) path nodes.
+  [[nodiscard]] std::size_t path_nodes_total() const noexcept {
+    return dims_ * (tree_.depth() + 1);
+  }
+
+  void setup(Rng& rng, MrqedPublicKey& pk, MrqedMasterKey& msk) const;
+
+  [[nodiscard]] MrqedCiphertext encrypt(const MrqedPublicKey& pk,
+                                        const std::vector<std::uint64_t>& point,
+                                        Rng& rng) const;
+
+  // Key for the hyper-rectangle given by one range per dimension.
+  [[nodiscard]] MrqedKey gen_key(const MrqedPublicKey& pk,
+                                 const MrqedMasterKey& msk,
+                                 const std::vector<MrqedRange>& ranges,
+                                 Rng& rng) const;
+
+  struct MatchStats {
+    std::size_t pairings = 0;  // 5 per AIBE decryption probe
+  };
+  [[nodiscard]] bool match(const MrqedCiphertext& ct, const MrqedKey& key,
+                           MatchStats* stats = nullptr) const;
+
+  // Server-side pairing preprocessing of a reusable range key (the same
+  // optimization the paper applies to both schemes when comparing search).
+  struct PreparedNodeKey {
+    IntervalNode node;
+    std::vector<PreprocessedPairing> check;  // 5 per AIBE key
+    std::vector<PreprocessedPairing> share;
+  };
+  struct PreparedKey {
+    std::vector<std::vector<PreparedNodeKey>> dims;
+  };
+  [[nodiscard]] PreparedKey prepare(const MrqedKey& key) const;
+  [[nodiscard]] bool match_prepared(const MrqedCiphertext& ct,
+                                    const PreparedKey& key,
+                                    MatchStats* stats = nullptr) const;
+
+  [[nodiscard]] GtEl check_constant() const;
+  [[nodiscard]] GtEl flag_constant() const;
+
+ private:
+  const Pairing* e_;
+  Aibe aibe_;
+  std::size_t dims_;
+  IntervalTree tree_;
+};
+
+}  // namespace apks

@@ -1,0 +1,181 @@
+#include "mrqed/serialize.h"
+
+#include <stdexcept>
+
+#include "hpe/serialize.h"
+
+namespace apks {
+
+namespace {
+
+void write_aibe_ct(const Pairing& e, const AibeCiphertext& ct,
+                   ByteWriter& w) {
+  write_gt(e, ct.cprime, w);
+  for (const auto* pt : {&ct.c0, &ct.c1, &ct.c2, &ct.c3, &ct.c4}) {
+    write_point(e.curve(), *pt, w);
+  }
+}
+
+AibeCiphertext read_aibe_ct(const Pairing& e, ByteReader& r) {
+  AibeCiphertext ct;
+  ct.cprime = read_gt(e, r);
+  for (auto* pt : {&ct.c0, &ct.c1, &ct.c2, &ct.c3, &ct.c4}) {
+    *pt = read_point(e.curve(), r);
+  }
+  return ct;
+}
+
+void write_aibe_key(const Pairing& e, const AibeKey& key, ByteWriter& w) {
+  for (const auto* pt : {&key.d0, &key.d1, &key.d2, &key.d3, &key.d4}) {
+    write_point(e.curve(), *pt, w);
+  }
+}
+
+AibeKey read_aibe_key(const Pairing& e, ByteReader& r) {
+  AibeKey key;
+  for (auto* pt : {&key.d0, &key.d1, &key.d2, &key.d3, &key.d4}) {
+    *pt = read_point(e.curve(), r);
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_mrqed_ciphertext(
+    const Pairing& e, const MrqedCiphertext& ct) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(ct.dims.size()));
+  for (const auto& dim : ct.dims) {
+    w.u32(static_cast<std::uint32_t>(dim.size()));
+    for (const auto& node : dim) {
+      write_aibe_ct(e, node.check, w);
+      write_aibe_ct(e, node.share, w);
+    }
+  }
+  return w.take();
+}
+
+MrqedCiphertext deserialize_mrqed_ciphertext(
+    const Pairing& e, std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  MrqedCiphertext ct;
+  const std::uint32_t dims = r.u32();
+  if (dims > r.remaining()) {
+    throw std::invalid_argument("mrqed ciphertext: dim count exceeds payload");
+  }
+  ct.dims.resize(dims);
+  for (auto& dim : ct.dims) {
+    const std::uint32_t nodes = r.u32();
+    if (nodes > r.remaining() / (2 * 6 * 65)) {
+      throw std::invalid_argument("mrqed ciphertext: node count bomb");
+    }
+    dim.reserve(nodes);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      MrqedCiphertext::NodeCt node;
+      node.check = read_aibe_ct(e, r);
+      node.share = read_aibe_ct(e, r);
+      dim.push_back(std::move(node));
+    }
+  }
+  if (!r.done()) {
+    throw std::invalid_argument("mrqed ciphertext: trailing bytes");
+  }
+  return ct;
+}
+
+std::vector<std::uint8_t> serialize_mrqed_key(const Pairing& e,
+                                              const MrqedKey& key) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(key.dims.size()));
+  for (const auto& dim : key.dims) {
+    w.u32(static_cast<std::uint32_t>(dim.size()));
+    for (const auto& node : dim) {
+      w.u32(static_cast<std::uint32_t>(node.node.level));
+      w.u64(node.node.index);
+      write_aibe_key(e, node.check, w);
+      write_aibe_key(e, node.share, w);
+    }
+  }
+  return w.take();
+}
+
+MrqedKey deserialize_mrqed_key(const Pairing& e,
+                               std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  MrqedKey key;
+  const std::uint32_t dims = r.u32();
+  if (dims > r.remaining()) {
+    throw std::invalid_argument("mrqed key: dim count exceeds payload");
+  }
+  key.dims.resize(dims);
+  for (auto& dim : key.dims) {
+    const std::uint32_t nodes = r.u32();
+    if (nodes > r.remaining() / (2 * 5 * 65)) {
+      throw std::invalid_argument("mrqed key: node count bomb");
+    }
+    dim.reserve(nodes);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      MrqedKey::NodeKey node;
+      node.node.level = r.u32();
+      node.node.index = r.u64();
+      node.check = read_aibe_key(e, r);
+      node.share = read_aibe_key(e, r);
+      dim.push_back(std::move(node));
+    }
+  }
+  if (!r.done()) throw std::invalid_argument("mrqed key: trailing bytes");
+  return key;
+}
+
+std::vector<std::uint8_t> serialize_mrqed_public_key(
+    const Pairing& e, const MrqedPublicKey& pk) {
+  ByteWriter w;
+  write_gt(e, pk.aibe.omega, w);
+  for (const auto* pt :
+       {&pk.aibe.v1, &pk.aibe.v2, &pk.aibe.v3, &pk.aibe.v4}) {
+    write_point(e.curve(), *pt, w);
+  }
+  w.u32(static_cast<std::uint32_t>(pk.bases.size()));
+  for (const auto& dim : pk.bases) {
+    w.u32(static_cast<std::uint32_t>(dim.size()));
+    for (const auto& base : dim) {
+      write_point(e.curve(), base.g0, w);
+      write_point(e.curve(), base.g1, w);
+    }
+  }
+  return w.take();
+}
+
+MrqedPublicKey deserialize_mrqed_public_key(
+    const Pairing& e, std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  MrqedPublicKey pk;
+  pk.aibe.omega = read_gt(e, r);
+  for (auto* pt : {&pk.aibe.v1, &pk.aibe.v2, &pk.aibe.v3, &pk.aibe.v4}) {
+    *pt = read_point(e.curve(), r);
+  }
+  const std::uint32_t dims = r.u32();
+  if (dims > r.remaining()) {
+    throw std::invalid_argument("mrqed public key: dim count exceeds payload");
+  }
+  pk.bases.resize(dims);
+  for (auto& dim : pk.bases) {
+    const std::uint32_t levels = r.u32();
+    if (levels > r.remaining() / (2 * 65)) {
+      throw std::invalid_argument("mrqed public key: level count bomb");
+    }
+    dim.reserve(levels);
+    for (std::uint32_t i = 0; i < levels; ++i) {
+      AibeIdBase base;
+      base.g0 = read_point(e.curve(), r);
+      base.g1 = read_point(e.curve(), r);
+      dim.push_back(base);
+    }
+  }
+  if (!r.done()) {
+    throw std::invalid_argument("mrqed public key: trailing bytes");
+  }
+  return pk;
+}
+
+}  // namespace apks

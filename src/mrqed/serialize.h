@@ -1,0 +1,25 @@
+// Wire encodings for MRQED^D objects (65-byte compressed points, 65-byte
+// compressed GT elements), used by the sizes table and round-trip tests.
+#pragma once
+
+#include "common/bytes.h"
+#include "mrqed/mrqed.h"
+
+namespace apks {
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_mrqed_ciphertext(
+    const Pairing& e, const MrqedCiphertext& ct);
+[[nodiscard]] MrqedCiphertext deserialize_mrqed_ciphertext(
+    const Pairing& e, std::span<const std::uint8_t> data);
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_mrqed_key(
+    const Pairing& e, const MrqedKey& key);
+[[nodiscard]] MrqedKey deserialize_mrqed_key(
+    const Pairing& e, std::span<const std::uint8_t> data);
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_mrqed_public_key(
+    const Pairing& e, const MrqedPublicKey& pk);
+[[nodiscard]] MrqedPublicKey deserialize_mrqed_public_key(
+    const Pairing& e, std::span<const std::uint8_t> data);
+
+}  // namespace apks

@@ -1,0 +1,189 @@
+#include "pairing/pairing.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+Pairing::Pairing(const TypeAParams& params)
+    : curve_(params), fp2_(curve_.fp()) {
+  gt_gen_ = pair(curve_.generator(), curve_.generator());
+  if (fp2_.is_one(gt_gen_)) {
+    throw std::logic_error("Pairing: degenerate generator pairing");
+  }
+}
+
+JacPoint Pairing::dbl_step(const JacPoint& t, LineCoeffs& line) const {
+  const FpField& fp = curve_.fp();
+  if (t.is_infinity()) {
+    line.one = true;
+    return t;
+  }
+  const Fp Y2 = fp.sqr(t.Y);
+  const Fp Z2 = fp.sqr(t.Z);
+  const Fp X2 = fp.sqr(t.X);
+  const Fp M = fp.add(fp.add(fp.dbl(X2), X2), fp.sqr(Z2));  // 3X^2 + Z^4
+  const Fp S = fp.dbl(fp.dbl(fp.mul(t.X, Y2)));             // 4XY^2
+  const Fp X3 = fp.sub(fp.sqr(M), fp.dbl(S));
+  const Fp Y3 = fp.sub(fp.mul(M, fp.sub(S, X3)),
+                       fp.dbl(fp.dbl(fp.dbl(fp.sqr(Y2)))));  // -8Y^4
+  const Fp Z3 = fp.dbl(fp.mul(t.Y, t.Z));
+  // Tangent at T, scaled by Z3*Z2 (subfield factor, killed by final exp):
+  //   l = (M*Z2) * x + (M*X - 2Y^2) + (Z3*Z2) * y
+  // evaluated at phi(Q) = (-x_Q, i y_Q) as (A x_Q + B) + (C y_Q) i.
+  line.A = fp.mul(M, Z2);
+  line.B = fp.sub(fp.mul(M, t.X), fp.dbl(Y2));
+  line.C = fp.mul(Z3, Z2);
+  line.one = false;
+  return {X3, Y3, Z3};
+}
+
+JacPoint Pairing::add_step(const JacPoint& t, const AffinePoint& p,
+                           LineCoeffs& line) const {
+  const FpField& fp = curve_.fp();
+  if (t.is_infinity()) {
+    // Vertical line through P; contributes a subfield factor only.
+    line.one = true;
+    return {p.x, p.y, fp.one()};
+  }
+  const Fp Z2 = fp.sqr(t.Z);
+  const Fp U = fp.mul(p.x, Z2);
+  const Fp S = fp.mul(p.y, fp.mul(Z2, t.Z));
+  const Fp H = fp.sub(U, t.X);
+  const Fp R = fp.sub(S, t.Y);
+  if (H.is_zero()) {
+    if (R.is_zero()) {
+      // T == P: fall back to the tangent line.
+      return dbl_step(t, line);
+    }
+    // T == -P: the chord is vertical; T + P = infinity.
+    line.one = true;
+    return {fp.one(), fp.one(), fp.zero()};
+  }
+  const Fp H2 = fp.sqr(H);
+  const Fp H3 = fp.mul(H2, H);
+  const Fp XH2 = fp.mul(t.X, H2);
+  const Fp X3 = fp.sub(fp.sub(fp.sqr(R), H3), fp.dbl(XH2));
+  const Fp Y3 = fp.sub(fp.mul(R, fp.sub(XH2, X3)), fp.mul(t.Y, H3));
+  const Fp Z3 = fp.mul(t.Z, H);
+  // Chord through T and P, scaled by Z3:
+  //   l = R * x + (R*x_P - Z3*y_P) ... evaluated at phi(Q):
+  //   (R x_Q + R x_P - Z3 y_P) + (Z3 y_Q) i.
+  line.A = R;
+  line.B = fp.sub(fp.mul(R, p.x), fp.mul(Z3, p.y));
+  line.C = Z3;
+  line.one = false;
+  return {X3, Y3, Z3};
+}
+
+Fp2El Pairing::eval_line(const LineCoeffs& line, const AffinePoint& q) const {
+  const FpField& fp = curve_.fp();
+  return {fp.add(fp.mul(line.A, q.x), line.B), fp.mul(line.C, q.y)};
+}
+
+GtEl Pairing::final_exp(const Fp2El& f) const {
+  final_exp_count_.fetch_add(1, std::memory_order_relaxed);
+  // z^{p-1} = conj(z) * z^{-1}, then raise to h = (p+1)/q.
+  const Fp2El unitary = fp2_.mul(fp2_.conj(f), fp2_.inv(f));
+  return fp2_.pow(unitary, curve_.params().h);
+}
+
+GtEl Pairing::pair(const AffinePoint& p, const AffinePoint& q) const {
+  return final_exp(miller(p, q));
+}
+
+Fp2El Pairing::miller(const AffinePoint& p, const AffinePoint& q) const {
+  miller_count_.fetch_add(1, std::memory_order_relaxed);
+  if (p.inf || q.inf) return fp2_.one();
+  Fp2El f = fp2_.one();
+  JacPoint t = curve_.to_jac(p);
+  const FqInt& order = curve_.params().q;
+  const std::size_t bits = order.bit_length();
+  LineCoeffs line;
+  for (std::size_t i = bits - 1; i-- > 0;) {
+    f = fp2_.sqr(f);
+    t = dbl_step(t, line);
+    if (!line.one) f = fp2_.mul(f, eval_line(line, q));
+    if (order.bit(i)) {
+      t = add_step(t, p, line);
+      if (!line.one) f = fp2_.mul(f, eval_line(line, q));
+    }
+  }
+  return f;
+}
+
+PreprocessedPairing Pairing::preprocess(const AffinePoint& p) const {
+  std::vector<LineCoeffs> lines;
+  if (p.inf) {
+    return PreprocessedPairing(*this, std::move(lines));
+  }
+  const FqInt& order = curve_.params().q;
+  const std::size_t bits = order.bit_length();
+  lines.reserve(2 * bits);
+  JacPoint t = curve_.to_jac(p);
+  LineCoeffs line;
+  for (std::size_t i = bits - 1; i-- > 0;) {
+    t = dbl_step(t, line);
+    lines.push_back(line);
+    if (order.bit(i)) {
+      t = add_step(t, p, line);
+      lines.push_back(line);
+    }
+  }
+  return PreprocessedPairing(*this, std::move(lines));
+}
+
+GtEl PreprocessedPairing::pair_with(const AffinePoint& q) const {
+  return parent_->final_exp(miller_with(q));
+}
+
+Fp2El PreprocessedPairing::miller_with(const AffinePoint& q) const {
+  parent_->miller_count_.fetch_add(1, std::memory_order_relaxed);
+  const Fp2& fp2 = parent_->fp2_;
+  if (lines_.empty() || q.inf) return fp2.one();
+  const FqInt& order = parent_->curve_.params().q;
+  const std::size_t bits = order.bit_length();
+  Fp2El f = fp2.one();
+  std::size_t idx = 0;
+  for (std::size_t i = bits - 1; i-- > 0;) {
+    f = fp2.sqr(f);
+    const LineCoeffs& dbl = lines_[idx++];
+    if (!dbl.one) f = fp2.mul(f, parent_->eval_line(dbl, q));
+    if (order.bit(i)) {
+      const LineCoeffs& add = lines_[idx++];
+      if (!add.one) f = fp2.mul(f, parent_->eval_line(add, q));
+    }
+  }
+  return f;
+}
+
+void Pairing::gt_serialize(const GtEl& a,
+                           std::span<std::uint8_t, kGtCompressedSize> out) const {
+  const FpField& fp = curve_.fp();
+  const FpInt b_plain = fp.to_int(a.b);
+  out[0] = static_cast<std::uint8_t>(2 + (b_plain.w[0] & 1));
+  fp.to_int(a.a).to_bytes(std::span<std::uint8_t, 64>(out.data() + 1, 64));
+}
+
+GtEl Pairing::gt_deserialize(
+    std::span<const std::uint8_t, kGtCompressedSize> in) const {
+  if (in[0] != 2 && in[0] != 3) {
+    throw std::invalid_argument("gt_deserialize: bad tag");
+  }
+  const FpField& fp = curve_.fp();
+  const FpInt a_plain =
+      FpInt::from_bytes(std::span<const std::uint8_t>(in.data() + 1, 64));
+  if (a_plain >= fp.modulus()) {
+    throw std::invalid_argument("gt_deserialize: value out of range");
+  }
+  const Fp a = fp.from_int(a_plain);
+  // Unitary: a^2 + b^2 = 1 => b = sqrt(1 - a^2).
+  Fp b;
+  if (!fp.sqrt(fp.sub(fp.one(), fp.sqr(a)), b)) {
+    throw std::invalid_argument("gt_deserialize: not a unitary element");
+  }
+  const bool want_odd = (in[0] == 3);
+  if ((fp.to_int(b).w[0] & 1) != (want_odd ? 1u : 0u)) b = fp.neg(b);
+  return {a, b};
+}
+
+}  // namespace apks

@@ -1,0 +1,159 @@
+// RFC 8439 known-answer tests for ChaCha20, Poly1305 and the AEAD, plus
+// document-store behaviour.
+#include <gtest/gtest.h>
+
+#include "cloud/docstore.h"
+#include "common/chacha.h"
+#include "common/hex.h"
+
+namespace apks {
+namespace {
+
+std::array<std::uint8_t, 32> key32(std::string_view hexstr) {
+  const auto v = hex_decode(hexstr);
+  std::array<std::uint8_t, 32> k{};
+  std::copy(v.begin(), v.end(), k.begin());
+  return k;
+}
+
+std::array<std::uint8_t, 12> nonce12(std::string_view hexstr) {
+  const auto v = hex_decode(hexstr);
+  std::array<std::uint8_t, 12> n{};
+  std::copy(v.begin(), v.end(), n.begin());
+  return n;
+}
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  // RFC 8439 section 2.3.2.
+  const auto key = key32(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = nonce12("000000090000004a00000000");
+  std::array<std::uint8_t, 64> block{};
+  chacha20_block(key, 1, nonce, block);
+  EXPECT_EQ(hex_encode(block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  // RFC 8439 section 2.4.2.
+  const auto key = key32(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = nonce12("000000000000004a00000000");
+  std::string msg =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.";
+  std::vector<std::uint8_t> data(msg.begin(), msg.end());
+  chacha20_xor(key, 1, nonce, data);
+  EXPECT_EQ(hex_encode(std::span<const std::uint8_t>(data.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+  // Round-trips.
+  chacha20_xor(key, 1, nonce, data);
+  EXPECT_EQ(std::string(data.begin(), data.end()), msg);
+}
+
+TEST(Poly1305, Rfc8439Vector) {
+  // RFC 8439 section 2.5.2.
+  const auto key = key32(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const std::string msg = "Cryptographic Forum Research Group";
+  const auto tag = poly1305(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(hex_encode(tag), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Aead, Rfc8439SealVector) {
+  // RFC 8439 section 2.8.2.
+  const auto key = key32(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+  const auto nonce = nonce12("070000004041424344454647");
+  const auto aad = hex_decode("50515253c0c1c2c3c4c5c6c7");
+  const std::string msg =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.";
+  const auto sealed = aead_seal(
+      key, nonce, aad,
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  ASSERT_EQ(sealed.size(), msg.size() + kAeadTagSize);
+  EXPECT_EQ(hex_encode(std::span<const std::uint8_t>(
+                sealed.data() + sealed.size() - 16, 16)),
+            "1ae10b594f09e26a7e902ecbd0600691");
+  // And opens again.
+  const auto opened = aead_open(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(std::string(opened->begin(), opened->end()), msg);
+}
+
+TEST(Aead, RejectsTampering) {
+  ChaChaRng rng("aead");
+  std::array<std::uint8_t, kAeadKeySize> key{};
+  std::array<std::uint8_t, kAeadNonceSize> nonce{};
+  rng.fill(key);
+  rng.fill(nonce);
+  const std::vector<std::uint8_t> aad{1, 2, 3};
+  const std::vector<std::uint8_t> pt{9, 8, 7, 6, 5};
+  auto sealed = aead_seal(key, nonce, aad, pt);
+  // Flip a ciphertext bit.
+  auto bad = sealed;
+  bad[0] ^= 1;
+  EXPECT_FALSE(aead_open(key, nonce, aad, bad).has_value());
+  // Flip a tag bit.
+  bad = sealed;
+  bad.back() ^= 1;
+  EXPECT_FALSE(aead_open(key, nonce, aad, bad).has_value());
+  // Wrong AAD.
+  EXPECT_FALSE(aead_open(key, nonce, pt, sealed).has_value());
+  // Too short.
+  EXPECT_FALSE(aead_open(key, nonce, aad,
+                         std::span<const std::uint8_t>(sealed.data(), 8))
+                   .has_value());
+  // Original still opens.
+  EXPECT_TRUE(aead_open(key, nonce, aad, sealed).has_value());
+}
+
+TEST(Aead, EmptyPlaintextAndAad) {
+  std::array<std::uint8_t, kAeadKeySize> key{};
+  std::array<std::uint8_t, kAeadNonceSize> nonce{};
+  const auto sealed = aead_seal(key, nonce, {}, {});
+  EXPECT_EQ(sealed.size(), kAeadTagSize);
+  const auto opened = aead_open(key, nonce, {}, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(DocumentStore, PutGetRoundTrip) {
+  ChaChaRng rng("docstore");
+  DocumentStore store;
+  const auto key = DocumentKey::random(rng);
+  store.put("phr-bob", key, "blood glucose 7.2 mmol/L", rng);
+  EXPECT_EQ(store.size(), 1u);
+  const auto text = store.get_text("phr-bob", key);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(*text, "blood glucose 7.2 mmol/L");
+}
+
+TEST(DocumentStore, WrongKeyOrRefFails) {
+  ChaChaRng rng("docstore2");
+  DocumentStore store;
+  const auto key = DocumentKey::random(rng);
+  const auto other = DocumentKey::random(rng);
+  store.put("doc", key, "secret", rng);
+  EXPECT_FALSE(store.get("doc", other).has_value());
+  EXPECT_FALSE(store.get("nope", key).has_value());
+}
+
+TEST(DocumentStore, CloudTamperingDetected) {
+  ChaChaRng rng("docstore3");
+  DocumentStore store;
+  const auto key = DocumentKey::random(rng);
+  store.put("doc", key, "secret", rng);
+  auto* blob = store.find("doc");
+  ASSERT_NE(blob, nullptr);
+  blob->sealed[0] ^= 0xFF;
+  EXPECT_FALSE(store.get("doc", key).has_value());
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,291 @@
+// End-to-end tests for the APKS and APKS+ schemes: encrypted search must
+// reproduce the plaintext matching semantics, delegation must restrict, and
+// the time attribute must effect revocation.
+#include <gtest/gtest.h>
+
+#include "core/apks_plus.h"
+#include "core/time_attr.h"
+
+namespace apks {
+namespace {
+
+std::shared_ptr<const AttributeHierarchy> age_h() {
+  return std::make_shared<AttributeHierarchy>(
+      AttributeHierarchy::numeric("age", 0, 100, 3, 3));
+}
+
+std::shared_ptr<const AttributeHierarchy> region_h() {
+  AttributeHierarchy::Spec spec{
+      "MA",
+      {{"East MA", {{"Boston", {}}, {"Quincy", {}}}},
+       {"Central MA", {{"Worcester", {}}, {"Framingham", {}}}},
+       {"West MA", {{"Springfield", {}}, {"Pittsfield", {}}}}}};
+  return std::make_shared<AttributeHierarchy>(
+      AttributeHierarchy::semantic("region", spec));
+}
+
+Schema phr_schema() {
+  return Schema({{"age", age_h(), 2},
+                 {"sex", nullptr, 1},
+                 {"region", region_h(), 2},
+                 {"illness", nullptr, 2},
+                 {"provider", nullptr, 1}});
+}
+
+class ApksTest : public ::testing::Test {
+ protected:
+  ApksTest()
+      : e_(default_type_a_params()),
+        apks_(e_, phr_schema()),
+        rng_("apks-test") {
+    apks_.setup(rng_, pk_, msk_);
+    alice_ = {{"25", "Female", "Worcester", "Flu", "Hospital A"}};
+    bob_ = {{"61", "Male", "Boston", "Diabetes", "Hospital B"}};
+    enc_alice_ = apks_.gen_index(pk_, alice_, rng_);
+    enc_bob_ = apks_.gen_index(pk_, bob_, rng_);
+  }
+
+  // Encrypted search result must equal the plaintext reference for every
+  // (query, index) pair we throw at it.
+  void expect_consistent(const Query& q) {
+    const auto cap = apks_.gen_cap(msk_, q, rng_);
+    EXPECT_EQ(apks_.search(cap, enc_alice_),
+              apks_.schema().matches_plain(alice_, q));
+    EXPECT_EQ(apks_.search(cap, enc_bob_),
+              apks_.schema().matches_plain(bob_, q));
+  }
+
+  Pairing e_;
+  Apks apks_;
+  ChaChaRng rng_;
+  ApksPublicKey pk_;
+  ApksMasterKey msk_;
+  PlainIndex alice_, bob_;
+  EncryptedIndex enc_alice_, enc_bob_;
+};
+
+TEST_F(ApksTest, EqualityQueries) {
+  expect_consistent(Query{{QueryTerm::any(), QueryTerm::equals("Female"),
+                           QueryTerm::any(), QueryTerm::any(),
+                           QueryTerm::any()}});
+  expect_consistent(Query{{QueryTerm::any(), QueryTerm::any(),
+                           QueryTerm::any(), QueryTerm::equals("Diabetes"),
+                           QueryTerm::any()}});
+}
+
+TEST_F(ApksTest, PaperExampleQuery) {
+  // (34 <= age <= 100) AND sex = Male AND region in East MA.
+  const Query q{{QueryTerm::range(34, 100, 2), QueryTerm::equals("Male"),
+                 QueryTerm::semantic({"East MA"}), QueryTerm::any(),
+                 QueryTerm::any()}};
+  const auto cap = apks_.gen_cap(msk_, q, rng_);
+  EXPECT_FALSE(apks_.search(cap, enc_alice_));
+  EXPECT_TRUE(apks_.search(cap, enc_bob_));
+}
+
+TEST_F(ApksTest, RangeAndSubsetQueries) {
+  expect_consistent(Query{{QueryTerm::range(0, 33, 2), QueryTerm::any(),
+                           QueryTerm::any(), QueryTerm::any(),
+                           QueryTerm::any()}});
+  expect_consistent(Query{{QueryTerm::any(), QueryTerm::any(),
+                           QueryTerm::any(),
+                           QueryTerm::subset({"Flu", "Diabetes"}),
+                           QueryTerm::any()}});
+  expect_consistent(Query{{QueryTerm::any(), QueryTerm::any(),
+                           QueryTerm::semantic({"Central MA", "West MA"}),
+                           QueryTerm::any(), QueryTerm::any()}});
+}
+
+TEST_F(ApksTest, AllDontCareMatchesAll) {
+  const Query q{{QueryTerm::any(), QueryTerm::any(), QueryTerm::any(),
+                 QueryTerm::any(), QueryTerm::any()}};
+  const auto cap = apks_.gen_cap(msk_, q, rng_);
+  EXPECT_TRUE(apks_.search(cap, enc_alice_));
+  EXPECT_TRUE(apks_.search(cap, enc_bob_));
+}
+
+TEST_F(ApksTest, PreparedSearchMatchesPlain) {
+  const Query q{{QueryTerm::any(), QueryTerm::equals("Male"),
+                 QueryTerm::any(), QueryTerm::any(), QueryTerm::any()}};
+  const auto cap = apks_.gen_cap(msk_, q, rng_);
+  const auto prepared = apks_.prepare(cap);
+  EXPECT_EQ(apks_.search_prepared(prepared, enc_alice_),
+            apks_.search(cap, enc_alice_));
+  EXPECT_EQ(apks_.search_prepared(prepared, enc_bob_),
+            apks_.search(cap, enc_bob_));
+}
+
+TEST_F(ApksTest, DelegationRestricts) {
+  // TA capability: provider scope only (the paper's hospital-A example,
+  // with Bob's hospital so something matches).
+  const Query q1{{QueryTerm::any(), QueryTerm::any(), QueryTerm::any(),
+                  QueryTerm::any(), QueryTerm::equals("Hospital B")}};
+  const auto cap1 = apks_.gen_cap(msk_, q1, rng_);
+  EXPECT_TRUE(apks_.search(cap1, enc_bob_));
+  EXPECT_FALSE(apks_.search(cap1, enc_alice_));
+
+  // LTA delegates: additionally require illness = Diabetes.
+  const Query q2{{QueryTerm::any(), QueryTerm::any(), QueryTerm::any(),
+                  QueryTerm::equals("Diabetes"), QueryTerm::any()}};
+  const auto cap12 = apks_.delegate_cap(cap1, q2, rng_);
+  EXPECT_EQ(cap12.history.size(), 2u);
+  EXPECT_TRUE(apks_.search(cap12, enc_bob_));
+  EXPECT_FALSE(apks_.search(cap12, enc_alice_));
+
+  // Further restrict to a sex that doesn't match Bob: nothing matches.
+  const Query q3{{QueryTerm::any(), QueryTerm::equals("Female"),
+                  QueryTerm::any(), QueryTerm::any(), QueryTerm::any()}};
+  const auto cap123 = apks_.delegate_cap(cap12, q3, rng_);
+  EXPECT_FALSE(apks_.search(cap123, enc_bob_));
+  EXPECT_FALSE(apks_.search(cap123, enc_alice_));
+}
+
+TEST_F(ApksTest, DelegatedCapabilityCannotWiden) {
+  // Parent: illness = Flu (matches Alice only). The child adds provider =
+  // Hospital B; since conjunction only narrows, the child cannot reach Bob.
+  const Query q1{{QueryTerm::any(), QueryTerm::any(), QueryTerm::any(),
+                  QueryTerm::equals("Flu"), QueryTerm::any()}};
+  const auto parent = apks_.gen_cap(msk_, q1, rng_);
+  const Query widen{{QueryTerm::any(), QueryTerm::any(), QueryTerm::any(),
+                     QueryTerm::any(), QueryTerm::equals("Hospital B")}};
+  const auto child = apks_.delegate_cap(parent, widen, rng_);
+  EXPECT_FALSE(apks_.search(child, enc_bob_));   // Flu constraint remains
+  EXPECT_FALSE(apks_.search(child, enc_alice_)); // provider B excludes Alice
+}
+
+TEST_F(ApksTest, FalsePositiveScanOverManyIndexes) {
+  // A stricter consistency sweep across a small corpus.
+  const std::vector<PlainIndex> corpus{
+      {{"5", "Male", "Boston", "Flu", "Hospital A"}},
+      {{"45", "Female", "Quincy", "Cancer", "Hospital B"}},
+      {{"70", "Male", "Springfield", "Diabetes", "Hospital A"}},
+      {{"33", "Female", "Worcester", "Asthma", "Hospital C"}},
+  };
+  const Query q{{QueryTerm::range(34, 100, 2), QueryTerm::any(),
+                 QueryTerm::any(), QueryTerm::subset({"Cancer", "Diabetes"}),
+                 QueryTerm::any()}};
+  const auto cap = apks_.gen_cap(msk_, q, rng_);
+  for (const auto& row : corpus) {
+    const auto enc = apks_.gen_index(pk_, row, rng_);
+    EXPECT_EQ(apks_.search(cap, enc), apks_.schema().matches_plain(row, q))
+        << row.values[0] << " " << row.values[3];
+  }
+}
+
+TEST_F(ApksTest, NIsMPrimeTimesDPlusOneShape) {
+  // Paper: n = sum_i d_i + 1 over converted fields.
+  EXPECT_EQ(apks_.n(), apks_.schema().vector_length());
+  EXPECT_EQ(apks_.hpe().dim(), apks_.n() + 3);
+}
+
+class RevocationTest : public ::testing::Test {
+ protected:
+  RevocationTest()
+      : e_(default_type_a_params()),
+        schema_({make_time_dimension(2),
+                 {"illness", nullptr, 1},
+                 {"provider", nullptr, 1}}),
+        apks_(e_, schema_),
+        rng_("revocation") {
+    apks_.setup(rng_, pk_, msk_);
+  }
+
+  Pairing e_;
+  Schema schema_;
+  Apks apks_;
+  ChaChaRng rng_;
+  ApksPublicKey pk_;
+  ApksMasterKey msk_;
+};
+
+TEST_F(RevocationTest, ExpiredCapabilityCannotSearchNewIndexes) {
+  // Index created 2010-03, re-encrypted (updated) 2011-07.
+  const PlainIndex old_idx{{time_value(2010, 3), "Flu", "Hospital A"}};
+  const PlainIndex new_idx{{time_value(2011, 7), "Flu", "Hospital A"}};
+  const auto enc_old = apks_.gen_index(pk_, old_idx, rng_);
+  const auto enc_new = apks_.gen_index(pk_, new_idx, rng_);
+
+  // Capability authorized for a 4-month-aligned window covering early 2010
+  // (level 5 nodes are 4-month blocks).
+  const auto cap = apks_.gen_cap(
+      msk_, Query{{time_period(2010, 1, 2010, 8, 5), QueryTerm::equals("Flu"),
+                   QueryTerm::any()}},
+      rng_);
+  EXPECT_TRUE(apks_.search(cap, enc_old));
+  EXPECT_FALSE(apks_.search(cap, enc_new));  // expired for the update
+}
+
+class ApksPlusTest : public ::testing::Test {
+ protected:
+  ApksPlusTest()
+      : e_(default_type_a_params()),
+        apks_(e_, phr_schema()),
+        rng_("apks-plus-test") {
+    setup_ = apks_.setup_plus(rng_);
+    bob_ = {{"61", "Male", "Boston", "Diabetes", "Hospital B"}};
+  }
+
+  Pairing e_;
+  ApksPlus apks_;
+  ChaChaRng rng_;
+  ApksPlusSetupResult setup_;
+  PlainIndex bob_;
+};
+
+TEST_F(ApksPlusTest, EndToEndThroughProxy) {
+  const Query q{{QueryTerm::any(), QueryTerm::equals("Male"),
+                 QueryTerm::any(), QueryTerm::equals("Diabetes"),
+                 QueryTerm::any()}};
+  const auto cap = apks_.gen_cap(setup_.msk, q, rng_);
+  auto enc = apks_.partial_gen_index(setup_.pk, bob_, rng_);
+  // Not searchable before the proxy transformation.
+  EXPECT_FALSE(apks_.search(cap, enc));
+  enc = apks_.proxy_transform(e_.fq().inv(setup_.r), enc);
+  EXPECT_TRUE(apks_.search(cap, enc));
+}
+
+TEST_F(ApksPlusTest, DictionaryAttackFails) {
+  // The server knows pk and the keyword universe. It forges an encrypted
+  // index for a guessed plaintext and tests the user's capability against
+  // it. In basic APKS this reveals the query; in APKS+ the forged index
+  // can never match.
+  const Query q{{QueryTerm::any(), QueryTerm::equals("Male"),
+                 QueryTerm::any(), QueryTerm::any(), QueryTerm::any()}};
+  const auto cap = apks_.gen_cap(setup_.msk, q, rng_);
+  // Forge every sex value; none may match without the proxy secret.
+  for (const auto* guess : {"Male", "Female"}) {
+    const PlainIndex forged{{"61", guess, "Boston", "Diabetes",
+                             "Hospital B"}};
+    const auto enc = apks_.partial_gen_index(setup_.pk, forged, rng_);
+    EXPECT_FALSE(apks_.search(cap, enc)) << guess;
+  }
+}
+
+TEST_F(ApksPlusTest, MultiProxyPipeline) {
+  const Query q{{QueryTerm::any(), QueryTerm::any(), QueryTerm::any(),
+                 QueryTerm::equals("Diabetes"), QueryTerm::any()}};
+  const auto cap = apks_.gen_cap(setup_.msk, q, rng_);
+  const auto shares = apks_.split_secret(setup_.r, 3, rng_);
+  auto enc = apks_.partial_gen_index(setup_.pk, bob_, rng_);
+  for (const auto& s : shares) {
+    EXPECT_FALSE(apks_.search(cap, enc));  // not searchable mid-pipeline
+    enc = apks_.proxy_transform(e_.fq().inv(s), enc);
+  }
+  EXPECT_TRUE(apks_.search(cap, enc));
+}
+
+TEST_F(ApksPlusTest, DelegationStillRestricts) {
+  const Query q1{{QueryTerm::any(), QueryTerm::any(), QueryTerm::any(),
+                  QueryTerm::any(), QueryTerm::equals("Hospital B")}};
+  const Query q2{{QueryTerm::any(), QueryTerm::equals("Female"),
+                  QueryTerm::any(), QueryTerm::any(), QueryTerm::any()}};
+  const auto cap1 = apks_.gen_cap(setup_.msk, q1, rng_);
+  const auto cap12 = apks_.delegate_cap(cap1, q2, rng_);
+  auto enc = apks_.partial_gen_index(setup_.pk, bob_, rng_);
+  enc = apks_.proxy_transform(e_.fq().inv(setup_.r), enc);
+  EXPECT_TRUE(apks_.search(cap1, enc));
+  EXPECT_FALSE(apks_.search(cap12, enc));  // Bob is Male
+}
+
+}  // namespace
+}  // namespace apks

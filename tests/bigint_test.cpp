@@ -1,0 +1,281 @@
+// Unit and property tests for the multiprecision core (limbs, BigInt,
+// Montgomery). Randomized checks use a fixed-seed ChaCha generator so
+// failures are reproducible.
+#include <gtest/gtest.h>
+
+#include "common/bigint.h"
+#include "common/montgomery.h"
+#include "common/rng.h"
+
+namespace apks {
+namespace {
+
+using B2 = BigInt<2>;
+using B4 = BigInt<4>;
+using B8 = BigInt<8>;
+
+template <std::size_t L>
+BigInt<L> random_bigint(Rng& rng) {
+  BigInt<L> r;
+  for (std::size_t i = 0; i < L; ++i) r.w[i] = rng.next_u64();
+  return r;
+}
+
+TEST(BigInt, ZeroAndOne) {
+  EXPECT_TRUE(B4::zero().is_zero());
+  EXPECT_FALSE(B4::one().is_zero());
+  EXPECT_TRUE(B4::one().is_odd());
+  EXPECT_EQ(B4::one().bit_length(), 1u);
+  EXPECT_EQ(B4::zero().bit_length(), 0u);
+}
+
+TEST(BigInt, Comparison) {
+  const B4 a{5};
+  const B4 b{7};
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, a);
+  B4 big;
+  big.w[3] = 1;
+  EXPECT_GT(big, b);
+}
+
+TEST(BigInt, AddSubRoundTrip) {
+  ChaChaRng rng("bigint-addsub");
+  for (int i = 0; i < 200; ++i) {
+    const auto a = random_bigint<4>(rng);
+    const auto b = random_bigint<4>(rng);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST(BigInt, AddCarryDetectsOverflow) {
+  B4 max;
+  for (auto& w : max.w) w = ~std::uint64_t{0};
+  B4 r;
+  EXPECT_EQ(B4::add_carry(r, max, B4::one()), 1u);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(B4::sub_borrow(r, B4::zero(), B4::one()), 1u);
+  EXPECT_EQ(r, max);
+}
+
+TEST(BigInt, MulWideMatchesSchoolbook64) {
+  // Cross-check against native 128-bit arithmetic on 1-limb inputs.
+  ChaChaRng rng("bigint-mul");
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const auto r = BigInt<1>::mul_wide(BigInt<1>{a}, BigInt<1>{b});
+    const unsigned __int128 expect =
+        static_cast<unsigned __int128>(a) * b;
+    EXPECT_EQ(r.w[0], static_cast<std::uint64_t>(expect));
+    EXPECT_EQ(r.w[1], static_cast<std::uint64_t>(expect >> 64));
+  }
+}
+
+TEST(BigInt, MulDistributes) {
+  ChaChaRng rng("bigint-dist");
+  for (int i = 0; i < 100; ++i) {
+    const auto a = random_bigint<3>(rng);
+    const auto b = random_bigint<3>(rng);
+    const auto c = random_bigint<3>(rng);
+    // a*(b+c) == a*b + a*c  when b+c does not overflow; force the top bit
+    // clear so the sum is exact.
+    auto b2 = b;
+    auto c2 = c;
+    b2.w[2] &= ~(std::uint64_t{1} << 63);
+    c2.w[2] &= ~(std::uint64_t{1} << 63);
+    const auto lhs = BigInt<3>::mul_wide(a, b2 + c2);
+    const auto rhs = BigInt<3>::mul_wide(a, b2) + BigInt<3>::mul_wide(a, c2);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(BigInt, ShiftRoundTrip) {
+  ChaChaRng rng("bigint-shift");
+  for (unsigned k : {0u, 1u, 7u, 63u, 64u, 65u, 100u, 190u}) {
+    const auto a = random_bigint<4>(rng);
+    // (a >> k) << k clears the low k bits only.
+    const auto r = a.shr(k).shl(k);
+    const auto masked = a.shr(k).shl(k);
+    EXPECT_EQ(r, masked);
+    // Shifting left then right loses only high bits.
+    const auto r2 = a.shl(k).shr(k);
+    for (std::size_t bit = 0; bit + k < 256; ++bit) {
+      EXPECT_EQ(r2.bit(bit), a.bit(bit)) << "k=" << k << " bit=" << bit;
+    }
+  }
+}
+
+TEST(BigInt, HexRoundTrip) {
+  ChaChaRng rng("bigint-hex");
+  for (int i = 0; i < 50; ++i) {
+    const auto a = random_bigint<4>(rng);
+    EXPECT_EQ(bigint_from_hex<4>(to_hex(a)), a);
+  }
+  EXPECT_EQ(to_hex(B4::zero()), "0");
+  EXPECT_EQ(to_hex(B4{0x1a2b}), "1a2b");
+  EXPECT_EQ(bigint_from_hex<4>("00ff"), B4{0xff});
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  ChaChaRng rng("bigint-bytes");
+  for (int i = 0; i < 50; ++i) {
+    const auto a = random_bigint<4>(rng);
+    std::array<std::uint8_t, 32> buf{};
+    a.to_bytes(buf);
+    EXPECT_EQ(B4::from_bytes(buf), a);
+  }
+}
+
+TEST(BigInt, DivRemIdentity) {
+  ChaChaRng rng("bigint-div");
+  for (int i = 0; i < 300; ++i) {
+    auto a = random_bigint<4>(rng);
+    auto b = random_bigint<4>(rng);
+    // Make the divisor span a random number of limbs to hit all paths.
+    const std::size_t limbs = 1 + rng.next_below(4);
+    for (std::size_t j = limbs; j < 4; ++j) b.w[j] = 0;
+    if (b.is_zero()) b = B4::one();
+    B4 q, r;
+    divrem(a, b, q, r);
+    EXPECT_LT(r, b);
+    // a == q*b + r (checked in double width).
+    const auto qb = B4::mul_wide(q, b);
+    BigInt<8> rr;
+    for (std::size_t j = 0; j < 4; ++j) rr.w[j] = r.w[j];
+    BigInt<8> aa;
+    for (std::size_t j = 0; j < 4; ++j) aa.w[j] = a.w[j];
+    EXPECT_EQ(qb + rr, aa);
+  }
+}
+
+TEST(BigInt, DivRemSingleLimbDivisor) {
+  B4 a;
+  a.w[0] = 0x123456789abcdef0ull;
+  a.w[1] = 0xfedcba9876543210ull;
+  const B4 b{0x10};
+  B4 q, r;
+  divrem(a, b, q, r);
+  EXPECT_EQ(r, B4{0});
+  EXPECT_EQ(q.w[0], 0x0123456789abcdefull);
+}
+
+TEST(BigInt, ModReducesWide) {
+  ChaChaRng rng("bigint-mod");
+  for (int i = 0; i < 100; ++i) {
+    const auto a = random_bigint<8>(rng);
+    auto m = random_bigint<4>(rng);
+    if (m.is_zero()) m = B4::one();
+    const auto r = mod(a, m);
+    EXPECT_LT(r, m);
+  }
+}
+
+TEST(BigInt, AddSubMod) {
+  ChaChaRng rng("bigint-addmod");
+  B4 m = bigint_from_hex<4>("ffffffffffffffffffffffffffffff61");  // arbitrary odd
+  for (int i = 0; i < 100; ++i) {
+    const auto a = mod(random_bigint<8>(rng), m);
+    const auto b = mod(random_bigint<8>(rng), m);
+    const auto s = add_mod(a, b, m);
+    EXPECT_LT(s, m);
+    EXPECT_EQ(sub_mod(s, b, m), a);
+    EXPECT_EQ(sub_mod(s, a, m), b);
+  }
+}
+
+TEST(Montgomery, N0InvCorrect) {
+  ChaChaRng rng("mont-n0");
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t m0 = rng.next_u64() | 1;
+    const std::uint64_t n0 = limb::mont_n0inv(m0);
+    // m0 * n0 == -1 mod 2^64
+    EXPECT_EQ(static_cast<std::uint64_t>(m0 * n0), ~std::uint64_t{0});
+  }
+}
+
+TEST(Montgomery, RoundTrip) {
+  const B4 m = bigint_from_hex<4>(
+      "f000000000000000000000000000000000000000000000000000000000000055");
+  MontCtx<4> ctx(m);
+  ChaChaRng rng("mont-rt");
+  for (int i = 0; i < 100; ++i) {
+    const auto a = mod(random_bigint<8>(rng), m);
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(a)), a);
+  }
+}
+
+TEST(Montgomery, MulMatchesSchoolbook) {
+  const B4 m = bigint_from_hex<4>(
+      "c90102faa48f18b5eac1f76bb88da067298b0956478b09c0d5b6b9f28e9c3fa1");
+  MontCtx<4> ctx(m);
+  ChaChaRng rng("mont-mul");
+  for (int i = 0; i < 200; ++i) {
+    const auto a = mod(random_bigint<8>(rng), m);
+    const auto b = mod(random_bigint<8>(rng), m);
+    const auto expect = mul_mod(a, b, m);
+    const auto got =
+        ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(Montgomery, PowMatchesRepeatedMul) {
+  const B2 m = bigint_from_hex<2>("ffffffffffffffffffffffffffffff61");
+  MontCtx<2> ctx(m);
+  ChaChaRng rng("mont-pow");
+  for (int i = 0; i < 20; ++i) {
+    const auto a = ctx.to_mont(mod(random_bigint<4>(rng), m));
+    const std::uint64_t e = rng.next_below(500);
+    B2 acc = ctx.r();
+    for (std::uint64_t j = 0; j < e; ++j) acc = ctx.mul(acc, a);
+    EXPECT_EQ(ctx.pow(a, B2{e}), acc) << "e=" << e;
+  }
+}
+
+TEST(Montgomery, PowZeroExponentIsOne) {
+  const B2 m = bigint_from_hex<2>("ffffffffffffffffffffffffffffff61");
+  MontCtx<2> ctx(m);
+  const auto a = ctx.to_mont(B2{12345});
+  EXPECT_EQ(ctx.pow(a, B2::zero()), ctx.r());
+}
+
+TEST(Montgomery, BinaryInverseMatchesFermat) {
+  B2 m;
+  m.w[0] = ~std::uint64_t{0};
+  m.w[1] = (~std::uint64_t{0}) >> 1;  // 2^127 - 1, prime
+  MontCtx<2> ctx(m);
+  ChaChaRng rng("mont-binv");
+  for (int i = 0; i < 60; ++i) {
+    auto a = mod(random_bigint<4>(rng), m);
+    if (a.is_zero()) a = B2::one();
+    const auto am = ctx.to_mont(a);
+    EXPECT_EQ(ctx.inv_binary(am), ctx.inv_fermat(am));
+    EXPECT_EQ(ctx.mul(am, ctx.inv_binary(am)), ctx.r());
+  }
+  // Edge cases: 1 and m-1.
+  EXPECT_EQ(ctx.inv_binary(ctx.r()), ctx.r());
+  const auto minus1 = ctx.to_mont(m - B2::one());
+  EXPECT_EQ(ctx.mul(minus1, ctx.inv_binary(minus1)), ctx.r());
+}
+
+TEST(Montgomery, FermatInverse) {
+  // Prime modulus (2^127 - 1 is prime; use 2 limbs).
+  B2 m;
+  m.w[0] = ~std::uint64_t{0};
+  m.w[1] = (~std::uint64_t{0}) >> 1;
+  MontCtx<2> ctx(m);
+  ChaChaRng rng("mont-inv");
+  for (int i = 0; i < 50; ++i) {
+    auto a = mod(random_bigint<4>(rng), m);
+    if (a.is_zero()) a = B2::one();
+    const auto am = ctx.to_mont(a);
+    const auto inv = ctx.inv_fermat(am);
+    EXPECT_EQ(ctx.mul(am, inv), ctx.r());
+  }
+}
+
+}  // namespace
+}  // namespace apks

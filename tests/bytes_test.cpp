@@ -1,0 +1,76 @@
+// Round-trip tests for the binary serialization helpers and hex codec.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/hex.h"
+
+namespace apks {
+namespace {
+
+TEST(Bytes, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.str("hello");
+  const auto data = w.take();
+
+  ByteReader r(data);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, LengthPrefixedBuffers) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  w.bytes(payload);
+  w.bytes({});
+  const auto data = w.take();
+  EXPECT_EQ(data.size(), 4 + 5 + 4 + 0u);
+
+  ByteReader r(data);
+  const auto got = r.bytes();
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), payload.begin()));
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, TruncatedInputThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  const auto data = w.take();
+  ByteReader r(data);
+  EXPECT_THROW((void)r.bytes(), std::out_of_range);
+}
+
+TEST(Bytes, ReaderTracksRemaining) {
+  ByteWriter w;
+  w.u64(1);
+  w.u64(2);
+  const auto data = w.take();
+  ByteReader r(data);
+  EXPECT_EQ(r.remaining(), 16u);
+  (void)r.u64();
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u64();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Hex, EncodeDecode) {
+  const std::vector<std::uint8_t> data{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(data), "0001abff");
+  EXPECT_EQ(hex_decode("0001abff"), data);
+  EXPECT_EQ(hex_decode("0001ABFF"), data);
+  EXPECT_TRUE(hex_decode("").empty());
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW((void)hex_decode("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW((void)hex_decode("zz"), std::invalid_argument);    // bad digit
+}
+
+}  // namespace
+}  // namespace apks

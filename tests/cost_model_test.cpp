@@ -1,0 +1,126 @@
+// Exact operation-count verification of the paper's complexity formulas.
+// Counting exponentiations and pairings is noise-free, so these are
+// assertions, not benchmarks:
+//   Setup    : 2 (n+3)^2 generator exponentiations (two DPVS bases)
+//   GenIndex : (n+3)(n+2) variable-base exponentiations (one MSM of n+2
+//              terms per coordinate)
+//   Search   : exactly n+3 Miller loops and 1 final exponentiation
+//   MRQED    : 5 pairings per probe, O(n) exponentiations elsewhere
+#include <gtest/gtest.h>
+
+#include "core/apks.h"
+#include "data/nursery.h"
+#include "mrqed/mrqed.h"
+
+namespace apks {
+namespace {
+
+class CostModelTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  CostModelTest()
+      : e_(default_type_a_params()),
+        apks_(e_, nursery_expanded_schema(GetParam(), 1)),
+        rng_("cost-model") {}
+
+  Pairing e_;
+  Apks apks_;
+  ChaChaRng rng_;
+};
+
+TEST_P(CostModelTest, SetupIsTwoNSquaredBaseExps) {
+  const std::size_t n0 = apks_.n() + 3;
+  e_.reset_op_counts();
+  ApksPublicKey pk;
+  ApksMasterKey msk;
+  apks_.setup(rng_, pk, msk);
+  EXPECT_EQ(e_.curve().base_mul_count(), 2 * n0 * n0);
+  // Setup performs no variable-base exponentiations at all (the d_{n+1}
+  // addition is a point add, not a mul).
+  EXPECT_EQ(e_.curve().scalar_mul_count(), 0u);
+}
+
+TEST_P(CostModelTest, EncryptIsQuadraticMsm) {
+  const std::size_t n0 = apks_.n() + 3;
+  ApksPublicKey pk;
+  ApksMasterKey msk;
+  apks_.setup(rng_, pk, msk);
+  const auto row = expand_nursery_row(nursery_rows()[0], GetParam());
+  e_.reset_op_counts();
+  (void)apks_.gen_index(pk, row, rng_);
+  // One MSM of n+2 basis vectors per coordinate: (n+3)(n+2) exp units.
+  EXPECT_EQ(e_.curve().scalar_mul_count(), n0 * (n0 - 1));
+  EXPECT_EQ(e_.curve().base_mul_count(), 0u);
+}
+
+TEST_P(CostModelTest, SearchIsExactlyNPlusThreePairings) {
+  ApksPublicKey pk;
+  ApksMasterKey msk;
+  apks_.setup(rng_, pk, msk);
+  const auto row = expand_nursery_row(nursery_rows()[0], GetParam());
+  const auto enc = apks_.gen_index(pk, row, rng_);
+  Query q;
+  q.terms.assign(apks_.schema().original_dims(), QueryTerm::any());
+  q.terms[0] = QueryTerm::equals("usual");
+  const auto cap = apks_.gen_cap(msk, q, rng_);
+
+  e_.reset_op_counts();
+  (void)apks_.search(cap, enc);
+  EXPECT_EQ(e_.miller_count(), apks_.n() + 3);
+  EXPECT_EQ(e_.final_exp_count(), 1u);
+
+  // Preprocessed search: same pairing count (the preprocessing moved the
+  // per-pairing cost, not the count).
+  const auto prepared = apks_.prepare(cap);
+  e_.reset_op_counts();
+  (void)apks_.search_prepared(prepared, enc);
+  EXPECT_EQ(e_.miller_count(), apks_.n() + 3);
+  EXPECT_EQ(e_.final_exp_count(), 1u);
+}
+
+TEST_P(CostModelTest, NaiveGenCapCostsMoreThanShared) {
+  ApksPublicKey pk;
+  ApksMasterKey msk;
+  apks_.setup(rng_, pk, msk);
+  Query q;
+  q.terms.assign(apks_.schema().original_dims(), QueryTerm::any());
+  q.terms[0] = QueryTerm::equals("usual");
+
+  e_.reset_op_counts();
+  (void)apks_.gen_cap(msk, q, rng_);
+  const std::uint64_t shared = e_.curve().scalar_mul_count();
+
+  e_.reset_op_counts();
+  (void)apks_.gen_cap_naive(msk, q, rng_);
+  const std::uint64_t naive = e_.curve().scalar_mul_count();
+
+  EXPECT_LT(shared, naive);
+  // Both are Theta(n^2): bounded by a small multiple of (n+3)^2.
+  const std::uint64_t n0 = apks_.n() + 3;
+  EXPECT_LE(naive, 6 * n0 * n0);
+  EXPECT_GE(shared, n0);  // and not trivially cheap
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, CostModelTest, ::testing::Values(1, 2),
+                         [](const auto& param_info) {
+                           return "k" + std::to_string(param_info.param);
+                         });
+
+TEST(CostModelMrqed, FivePairingsPerProbe) {
+  const Pairing e(default_type_a_params());
+  const Mrqed mrqed(e, 2, 3);
+  ChaChaRng rng("cost-mrqed");
+  MrqedPublicKey pk;
+  MrqedMasterKey msk;
+  mrqed.setup(rng, pk, msk);
+  const auto ct = mrqed.encrypt(pk, {0, 0}, rng);
+  const auto key = mrqed.gen_key(pk, msk, {{0, 0}, {0, 0}}, rng);
+  e.reset_op_counts();
+  Mrqed::MatchStats stats;
+  ASSERT_TRUE(mrqed.match(ct, key, &stats));
+  // Reported probe accounting agrees with the real Miller-loop count.
+  EXPECT_EQ(e.miller_count(), stats.pairings);
+  EXPECT_EQ(stats.pairings % 5, 0u);
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,158 @@
+// Tests for the dataset and workload generators.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/phr.h"
+#include "data/workload.h"
+
+namespace apks {
+namespace {
+
+TEST(Nursery, ExactRowCountAndArity) {
+  const auto rows = nursery_rows();
+  EXPECT_EQ(rows.size(), 12960u);  // 3*5*4*4*3*2*3*3
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.values.size(), 9u);
+  }
+}
+
+TEST(Nursery, AttributeUniverseSizes) {
+  const auto& attrs = nursery_attributes();
+  ASSERT_EQ(attrs.size(), 9u);
+  const std::vector<std::size_t> expected{3, 5, 4, 4, 3, 2, 3, 3, 5};
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    EXPECT_EQ(attrs[i].values.size(), expected[i]) << attrs[i].name;
+  }
+}
+
+TEST(Nursery, RowsAreDistinctAndCoverProduct) {
+  const auto rows = nursery_rows();
+  std::set<std::string> seen;
+  for (const auto& row : rows) {
+    std::string key;
+    for (std::size_t i = 0; i < 8; ++i) key += row.values[i] + "|";
+    seen.insert(key);
+  }
+  EXPECT_EQ(seen.size(), 12960u);
+}
+
+TEST(Nursery, HealthNotRecomForcesClass) {
+  const auto rows = nursery_rows();
+  std::size_t forced = 0;
+  for (const auto& row : rows) {
+    if (row.values[7] == "not_recom") {
+      EXPECT_EQ(row.values[8], "not_recom");
+      ++forced;
+    }
+  }
+  // Exactly one third of the dataset, as in the original.
+  EXPECT_EQ(forced, 4320u);
+}
+
+TEST(Nursery, ClassDistributionUsesAllLabels) {
+  const auto rows = nursery_rows();
+  std::map<std::string, std::size_t> counts;
+  for (const auto& row : rows) counts[row.values[8]]++;
+  EXPECT_EQ(counts.size(), 5u);
+  for (const auto& [label, count] : counts) {
+    EXPECT_GT(count, 0u) << label;
+  }
+}
+
+TEST(Nursery, SchemaShapesMatchPaper) {
+  // m' = 9, n = 9d + 1.
+  for (std::size_t d = 1; d <= 5; ++d) {
+    const Schema s = nursery_schema(d);
+    EXPECT_EQ(s.converted_dims(), 9u);
+    EXPECT_EQ(s.vector_length(), 9 * d + 1);
+  }
+  // Duplication: m' = 9k, n = 9k + 1 at d = 1 — the paper's n = 10..73.
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const Schema s = nursery_expanded_schema(k, 1);
+    EXPECT_EQ(s.converted_dims(), 9 * k);
+    EXPECT_EQ(s.vector_length(), 9 * k + 1);
+  }
+  EXPECT_THROW((void)nursery_expanded_schema(0, 1), std::invalid_argument);
+}
+
+TEST(Nursery, ExpandedRowsConvert) {
+  const auto rows = nursery_rows();
+  const Schema s = nursery_expanded_schema(3, 1);
+  const PlainIndex expanded = expand_nursery_row(rows[0], 3);
+  EXPECT_EQ(expanded.values.size(), 27u);
+  EXPECT_NO_THROW((void)s.convert_index(expanded));
+}
+
+TEST(Workload, WorstCaseQueryShape) {
+  ChaChaRng rng("wl1");
+  const Schema s = nursery_schema(3);
+  const Query q = nursery_worst_case_query(3, rng);
+  ASSERT_EQ(q.terms.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(q.terms[i].kind, QueryTerm::Kind::kSubset);
+    EXPECT_EQ(q.terms[i].values.size(),
+              std::min<std::size_t>(3, nursery_attributes()[i].values.size()));
+  }
+  EXPECT_NO_THROW((void)s.convert_query(q));
+}
+
+TEST(Workload, RealisticQueryHasDontCares) {
+  ChaChaRng rng("wl2");
+  const Query q = nursery_expanded_realistic_query(4, 1, rng);
+  ASSERT_EQ(q.terms.size(), 36u);
+  std::size_t active = 0;
+  for (const auto& t : q.terms) {
+    if (t.kind != QueryTerm::Kind::kAny) ++active;
+  }
+  EXPECT_EQ(active, 9u);
+}
+
+TEST(Workload, PointQueryMatchesOnlyItsRow) {
+  ChaChaRng rng("wl3");
+  const auto rows = nursery_rows();
+  const Schema s = nursery_schema(1);
+  const Query q = nursery_point_query(rows[100]);
+  EXPECT_TRUE(s.matches_plain(rows[100], q));
+  EXPECT_FALSE(s.matches_plain(rows[101], q));
+}
+
+TEST(Workload, SampleValuesDistinct) {
+  ChaChaRng rng("wl4");
+  const std::vector<std::string> universe{"a", "b", "c", "d", "e"};
+  const auto picked = sample_values(universe, 3, rng);
+  EXPECT_EQ(picked.size(), 3u);
+  EXPECT_EQ(std::set<std::string>(picked.begin(), picked.end()).size(), 3u);
+  EXPECT_THROW((void)sample_values(universe, 6, rng), std::invalid_argument);
+}
+
+TEST(Phr, SchemaAndRowsConsistent) {
+  const PhrSchemaOptions opts{.max_or = 2, .with_time = true};
+  const Schema s = phr_schema(opts);
+  EXPECT_EQ(s.original_dims(), 6u);
+  ChaChaRng rng("phr");
+  const auto rows = generate_phr_rows(50, rng, opts);
+  EXPECT_EQ(rows.size(), 50u);
+  for (const auto& row : rows) {
+    EXPECT_NO_THROW((void)s.convert_index(row));
+  }
+}
+
+TEST(Phr, GeneratorIsDeterministicPerSeed) {
+  ChaChaRng a("phr-seed"), b("phr-seed"), c("phr-other");
+  const auto r1 = generate_phr_rows(5, a);
+  const auto r2 = generate_phr_rows(5, b);
+  const auto r3 = generate_phr_rows(5, c);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(r1[i].values, r2[i].values);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 5; ++i) {
+    any_diff = any_diff || r1[i].values != r3[i].values;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,131 @@
+// Tests for dual pairing vector spaces: duality of the generated bases,
+// linearity of vector operations, and inner products in the exponent.
+#include <gtest/gtest.h>
+
+#include "dpvs/dpvs.h"
+
+namespace apks {
+namespace {
+
+class DpvsTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kDim = 5;
+  DpvsTest()
+      : e_(default_type_a_params()), dpvs_(e_, kDim), rng_("dpvs-test") {}
+  Pairing e_;
+  Dpvs dpvs_;
+  ChaChaRng rng_;
+};
+
+TEST_F(DpvsTest, DualBasesAreOrthonormal) {
+  const auto bases = dpvs_.gen_dual_bases(rng_);
+  const GtEl& gt = e_.gt_generator();
+  for (std::size_t i = 0; i < kDim; ++i) {
+    for (std::size_t j = 0; j < kDim; ++j) {
+      const GtEl v = dpvs_.pair_vec(bases.b[i], bases.bstar[j]);
+      if (i == j) {
+        EXPECT_EQ(v, gt) << i << "," << j;
+      } else {
+        EXPECT_TRUE(e_.gt_is_one(v)) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST_F(DpvsTest, PairVecComputesInnerProductInExponent) {
+  const auto bases = dpvs_.gen_dual_bases(rng_);
+  const FqField& fq = e_.fq();
+  // x = sum xi b_i, y = sum yi b*_i => e(x, y) = gT^{<x,y>}.
+  std::vector<Fq> xs, ys;
+  for (std::size_t i = 0; i < kDim; ++i) {
+    xs.push_back(fq.random(rng_));
+    ys.push_back(fq.random(rng_));
+  }
+  std::vector<const GVec*> brows, bsrows;
+  for (std::size_t i = 0; i < kDim; ++i) {
+    brows.push_back(&bases.b[i]);
+    bsrows.push_back(&bases.bstar[i]);
+  }
+  const GVec x = dpvs_.lincomb(xs, brows);
+  const GVec y = dpvs_.lincomb(ys, bsrows);
+  const GtEl expect = e_.gt_pow(e_.gt_generator(), inner_product(fq, xs, ys));
+  EXPECT_EQ(dpvs_.pair_vec(x, y), expect);
+}
+
+TEST_F(DpvsTest, OrthogonalVectorsPairToOne) {
+  const auto bases = dpvs_.gen_dual_bases(rng_);
+  const FqField& fq = e_.fq();
+  // <(1, t, 0, ...), (-t, 1, 0, ...)> = 0.
+  const Fq t = fq.random(rng_);
+  std::vector<Fq> xs(kDim, fq.zero()), ys(kDim, fq.zero());
+  xs[0] = fq.one();
+  xs[1] = t;
+  ys[0] = fq.neg(t);
+  ys[1] = fq.one();
+  std::vector<const GVec*> brows{&bases.b[0], &bases.b[1]};
+  std::vector<const GVec*> bsrows{&bases.bstar[0], &bases.bstar[1]};
+  const GVec x =
+      dpvs_.lincomb({xs[0], xs[1]}, brows);
+  const GVec y = dpvs_.lincomb({ys[0], ys[1]}, bsrows);
+  EXPECT_TRUE(e_.gt_is_one(dpvs_.pair_vec(x, y)));
+}
+
+TEST_F(DpvsTest, AddAndScaleAreLinear) {
+  const auto bases = dpvs_.gen_dual_bases(rng_);
+  const FqField& fq = e_.fq();
+  const Fq k = fq.random(rng_);
+  // e(k*(b1 + b2), b*_1) == gT^k.
+  const GVec sum = dpvs_.add(bases.b[0], bases.b[1]);
+  const GVec scaled = dpvs_.scale(k, sum);
+  EXPECT_EQ(dpvs_.pair_vec(scaled, bases.bstar[0]),
+            e_.gt_pow(e_.gt_generator(), k));
+  EXPECT_EQ(dpvs_.pair_vec(scaled, bases.bstar[1]),
+            e_.gt_pow(e_.gt_generator(), k));
+  EXPECT_TRUE(e_.gt_is_one(dpvs_.pair_vec(scaled, bases.bstar[2])));
+}
+
+TEST_F(DpvsTest, PreprocessedPairVecMatches) {
+  const auto bases = dpvs_.gen_dual_bases(rng_);
+  const FqField& fq = e_.fq();
+  std::vector<Fq> xs, ys;
+  std::vector<const GVec*> brows, bsrows;
+  for (std::size_t i = 0; i < kDim; ++i) {
+    xs.push_back(fq.random(rng_));
+    ys.push_back(fq.random(rng_));
+    brows.push_back(&bases.b[i]);
+    bsrows.push_back(&bases.bstar[i]);
+  }
+  const GVec x = dpvs_.lincomb(xs, brows);
+  const GVec y = dpvs_.lincomb(ys, bsrows);
+  const auto pre = dpvs_.preprocess_vec(y);
+  EXPECT_EQ(dpvs_.pair_vec_pre(pre, x), dpvs_.pair_vec(x, y));
+}
+
+TEST_F(DpvsTest, BasisFromMatrixIdentityIsCanonical) {
+  const auto id = MatrixFq::identity(kDim, e_.fq());
+  const auto basis = dpvs_.basis_from_matrix(id);
+  const auto& g = e_.curve().generator();
+  for (std::size_t i = 0; i < kDim; ++i) {
+    for (std::size_t j = 0; j < kDim; ++j) {
+      if (i == j) {
+        EXPECT_EQ(basis[i][j], g);
+      } else {
+        EXPECT_TRUE(basis[i][j].inf);
+      }
+    }
+  }
+}
+
+TEST_F(DpvsTest, DimensionMismatchesThrow) {
+  const auto bases = dpvs_.gen_dual_bases(rng_);
+  GVec bad(kDim - 1, AffinePoint::infinity());
+  EXPECT_THROW((void)dpvs_.add(bad, bases.b[0]), std::invalid_argument);
+  EXPECT_THROW((void)dpvs_.pair_vec(bad, bases.b[0]), std::invalid_argument);
+  EXPECT_THROW((void)dpvs_.scale(e_.fq().one(), bad), std::invalid_argument);
+  EXPECT_THROW((void)dpvs_.basis_from_matrix(
+                   MatrixFq::identity(kDim - 1, e_.fq())),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apks

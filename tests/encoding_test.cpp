@@ -1,0 +1,136 @@
+// Tests for the psi/phi polynomial encodings: x . v == 0 must coincide with
+// plaintext CNF matching.
+#include <gtest/gtest.h>
+
+#include "core/encoding.h"
+#include "ec/params.h"
+
+namespace apks {
+namespace {
+
+class EncodingTest : public ::testing::Test {
+ protected:
+  EncodingTest()
+      : fq_(default_type_a_params().q),
+        schema_({{"a", nullptr, 2}, {"b", nullptr, 1}, {"c", nullptr, 3}}),
+        rng_("encoding") {}
+
+  [[nodiscard]] bool inner_is_zero(const PlainIndex& idx,
+                                   const ConvertedQuery& q) {
+    const auto x = psi_encode(fq_, schema_, hash_index(fq_, schema_,
+                                                       schema_.convert_index(idx)));
+    const auto v = phi_encode(fq_, schema_, hash_query(fq_, schema_, q), rng_);
+    EXPECT_EQ(x.size(), schema_.vector_length());
+    EXPECT_EQ(v.size(), schema_.vector_length());
+    return inner_product(fq_, x, v).is_zero();
+  }
+
+  FqField fq_;
+  Schema schema_;
+  ChaChaRng rng_;
+};
+
+TEST_F(EncodingTest, PolyFromRootsSmall) {
+  // (Z - 2)(Z - 3) = Z^2 - 5Z + 6.
+  const std::vector<Fq> roots{fq_.from_u64(2), fq_.from_u64(3)};
+  const auto c = poly_from_roots(fq_, roots);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], fq_.from_u64(6));
+  EXPECT_EQ(c[1], fq_.neg(fq_.from_u64(5)));
+  EXPECT_EQ(c[2], fq_.one());
+  // Empty product is the constant 1.
+  const auto unit = poly_from_roots(fq_, {});
+  ASSERT_EQ(unit.size(), 1u);
+  EXPECT_EQ(unit[0], fq_.one());
+}
+
+TEST_F(EncodingTest, PolyVanishesExactlyAtRoots) {
+  std::vector<Fq> roots{fq_.random(rng_), fq_.random(rng_),
+                        fq_.random(rng_)};
+  const auto c = poly_from_roots(fq_, roots);
+  auto eval = [&](const Fq& z) {
+    Fq acc = fq_.zero();
+    Fq zp = fq_.one();
+    for (const auto& coeff : c) {
+      acc = fq_.add(acc, fq_.mul(coeff, zp));
+      zp = fq_.mul(zp, z);
+    }
+    return acc;
+  };
+  for (const auto& r : roots) EXPECT_TRUE(eval(r).is_zero());
+  EXPECT_FALSE(eval(fq_.random(rng_)).is_zero());
+}
+
+TEST_F(EncodingTest, EqualityMatch) {
+  const PlainIndex idx{{"x", "y", "z"}};
+  ConvertedQuery q{{{"x"}, {}, {}}};
+  EXPECT_TRUE(inner_is_zero(idx, q));
+  ConvertedQuery q2{{{"w"}, {}, {}}};
+  EXPECT_FALSE(inner_is_zero(idx, q2));
+}
+
+TEST_F(EncodingTest, ConjunctionAcrossDims) {
+  const PlainIndex idx{{"x", "y", "z"}};
+  ConvertedQuery all{{{"x"}, {"y"}, {"z"}}};
+  EXPECT_TRUE(inner_is_zero(idx, all));
+  ConvertedQuery one_wrong{{{"x"}, {"nope"}, {"z"}}};
+  EXPECT_FALSE(inner_is_zero(idx, one_wrong));
+}
+
+TEST_F(EncodingTest, DisjunctionWithinDim) {
+  const PlainIndex idx{{"x", "y", "z"}};
+  // a in {w, x} — matches via second alternative; c in {z, q, r}.
+  ConvertedQuery q{{{"w", "x"}, {}, {"z", "q", "r"}}};
+  EXPECT_TRUE(inner_is_zero(idx, q));
+  ConvertedQuery q2{{{"w", "v"}, {}, {}}};
+  EXPECT_FALSE(inner_is_zero(idx, q2));
+}
+
+TEST_F(EncodingTest, AllDontCareMatchesEverything) {
+  ConvertedQuery q{{{}, {}, {}}};
+  EXPECT_TRUE(inner_is_zero(PlainIndex{{"x", "y", "z"}}, q));
+  EXPECT_TRUE(inner_is_zero(PlainIndex{{"1", "2", "3"}}, q));
+}
+
+TEST_F(EncodingTest, PhiRejectsBudgetViolation) {
+  // Field b has degree 1: two roots must throw.
+  std::vector<FieldPredicate> preds(3);
+  preds[1].dont_care = false;
+  preds[1].roots = {fq_.random(rng_), fq_.random(rng_)};
+  EXPECT_THROW((void)phi_encode(fq_, schema_, preds, rng_),
+               std::invalid_argument);
+  // Empty root list on a non-don't-care field is malformed.
+  std::vector<FieldPredicate> preds2(3);
+  preds2[0].dont_care = false;
+  EXPECT_THROW((void)phi_encode(fq_, schema_, preds2, rng_),
+               std::invalid_argument);
+}
+
+TEST_F(EncodingTest, ArityValidation) {
+  EXPECT_THROW((void)psi_encode(fq_, schema_, std::vector<Fq>(2)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)phi_encode(fq_, schema_, std::vector<FieldPredicate>(2), rng_),
+      std::invalid_argument);
+}
+
+TEST_F(EncodingTest, VectorLengthIsSumDegreesPlusOne) {
+  EXPECT_EQ(schema_.vector_length(), 2u + 1u + 3u + 1u);
+  const PlainIndex idx{{"x", "y", "z"}};
+  const auto x = psi_encode(
+      fq_, schema_, hash_index(fq_, schema_, schema_.convert_index(idx)));
+  EXPECT_EQ(x.back(), fq_.one());  // trailing 1 slot
+}
+
+TEST_F(EncodingTest, HashIndexIsPerFieldNamespaced) {
+  // The same value string in different fields must hash differently,
+  // otherwise cross-field collisions would create spurious matches.
+  const PlainIndex idx{{"same", "same", "same"}};
+  const auto keywords =
+      hash_index(fq_, schema_, schema_.convert_index(idx));
+  EXPECT_NE(keywords[0], keywords[1]);
+  EXPECT_NE(keywords[1], keywords[2]);
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,229 @@
+// Field-axiom and special-function tests for PrimeField, F_q helpers and
+// F_p^2, plus Miller-Rabin sanity checks.
+#include <gtest/gtest.h>
+
+#include "math/fp2.h"
+#include "math/fq.h"
+#include "math/prime_field.h"
+
+namespace apks {
+namespace {
+
+// A 160-bit prime (2^160 - 47 is prime).
+FqInt test_q() {
+  FqInt q;
+  q.w[0] = static_cast<std::uint64_t>(-47);
+  q.w[1] = ~std::uint64_t{0};
+  q.w[2] = 0xFFFFFFFFull;
+  return q;
+}
+
+// A 127-bit prime for fast exhaustive-ish property tests: 2^127 - 1.
+BigInt<2> mersenne127() {
+  BigInt<2> p;
+  p.w[0] = ~std::uint64_t{0};
+  p.w[1] = (~std::uint64_t{0}) >> 1;
+  return p;
+}
+
+TEST(PrimeField, RejectsEvenModulus) {
+  EXPECT_THROW(PrimeField<2>(BigInt<2>{4}), std::invalid_argument);
+}
+
+TEST(PrimeField, FieldAxioms) {
+  PrimeField<2> f(mersenne127());
+  ChaChaRng rng("axioms");
+  for (int i = 0; i < 50; ++i) {
+    const auto a = f.random(rng);
+    const auto b = f.random(rng);
+    const auto c = f.random(rng);
+    EXPECT_EQ(f.add(a, b), f.add(b, a));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+    EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    EXPECT_EQ(f.add(a, f.neg(a)), f.zero());
+    EXPECT_EQ(f.mul(a, f.one()), a);
+    EXPECT_EQ(f.sub(a, b), f.add(a, f.neg(b)));
+    EXPECT_EQ(f.sqr(a), f.mul(a, a));
+  }
+}
+
+TEST(PrimeField, InverseIsInverse) {
+  PrimeField<2> f(mersenne127());
+  ChaChaRng rng("inv");
+  for (int i = 0; i < 30; ++i) {
+    const auto a = f.random_nonzero(rng);
+    EXPECT_EQ(f.mul(a, f.inv(a)), f.one());
+  }
+  EXPECT_THROW((void)f.inv(f.zero()), std::domain_error);
+}
+
+TEST(PrimeField, PowSmallCases) {
+  PrimeField<2> f(BigInt<2>{101});
+  const auto three = f.from_u64(3);
+  EXPECT_EQ(f.to_int(f.pow(three, BigInt<1>{0})), BigInt<2>{1});
+  EXPECT_EQ(f.to_int(f.pow(three, BigInt<1>{1})), BigInt<2>{3});
+  EXPECT_EQ(f.to_int(f.pow(three, BigInt<1>{4})), BigInt<2>{81});
+  EXPECT_EQ(f.to_int(f.pow(three, BigInt<1>{5})), BigInt<2>{243 % 101});
+  // Fermat's little theorem.
+  EXPECT_EQ(f.pow(three, BigInt<1>{100}), f.one());
+}
+
+TEST(PrimeField, FromBytesModReduces) {
+  PrimeField<2> f(BigInt<2>{101});
+  const std::array<std::uint8_t, 4> bytes{0x00, 0x00, 0x01, 0x00};  // 256
+  EXPECT_EQ(f.to_int(f.from_bytes_mod(bytes)), BigInt<2>{256 % 101});
+}
+
+TEST(PrimeField, RandomIsUniformish) {
+  PrimeField<2> f(BigInt<2>{101});
+  ChaChaRng rng("uniform");
+  std::array<int, 101> counts{};
+  for (int i = 0; i < 2000; ++i) {
+    counts[f.to_int(f.random(rng)).w[0]]++;
+  }
+  int nonzero_buckets = 0;
+  for (int c : counts) nonzero_buckets += (c > 0);
+  EXPECT_GT(nonzero_buckets, 90);  // nearly every residue hit
+}
+
+TEST(PrimeField, LegendreAndSqrt) {
+  // p = 103 = 3 mod 4.
+  PrimeField<1> f(BigInt<1>{103});
+  int qr = 0, qnr = 0;
+  for (std::uint64_t v = 1; v < 103; ++v) {
+    const auto a = f.from_u64(v);
+    const int leg = f.legendre(a);
+    if (leg == 1) {
+      ++qr;
+      BigInt<1> root;
+      ASSERT_TRUE(f.sqrt(a, root));
+      EXPECT_EQ(f.sqr(root), a);
+    } else {
+      ++qnr;
+      BigInt<1> root;
+      EXPECT_FALSE(f.sqrt(a, root));
+    }
+  }
+  EXPECT_EQ(qr, 51);
+  EXPECT_EQ(qnr, 51);
+}
+
+TEST(PrimeField, SqrtOfZero) {
+  PrimeField<1> f(BigInt<1>{103});
+  BigInt<1> root{99};
+  EXPECT_TRUE(f.sqrt(f.zero(), root));
+  EXPECT_TRUE(root.is_zero());
+}
+
+TEST(MillerRabin, KnownPrimesAndComposites) {
+  ChaChaRng rng("mr");
+  EXPECT_TRUE(is_probable_prime(BigInt<2>{2}, rng));
+  EXPECT_TRUE(is_probable_prime(BigInt<2>{3}, rng));
+  EXPECT_TRUE(is_probable_prime(BigInt<2>{101}, rng));
+  EXPECT_TRUE(is_probable_prime(mersenne127(), rng));
+  EXPECT_TRUE(is_probable_prime(test_q(), rng));
+  EXPECT_FALSE(is_probable_prime(BigInt<2>{1}, rng));
+  EXPECT_FALSE(is_probable_prime(BigInt<2>{0}, rng));
+  EXPECT_FALSE(is_probable_prime(BigInt<2>{100}, rng));
+  EXPECT_FALSE(is_probable_prime(BigInt<2>{561}, rng));    // Carmichael
+  EXPECT_FALSE(is_probable_prime(BigInt<2>{41041}, rng));  // Carmichael
+  // Product of two near-64-bit primes.
+  const auto semi = BigInt<1>::mul_wide(BigInt<1>{0xFFFFFFFFFFFFFFC5ull},
+                                        BigInt<1>{0xFFFFFFFFFFFFFFEFull});
+  EXPECT_FALSE(is_probable_prime(semi, rng));
+}
+
+TEST(Fq, HashToFqIsDeterministicAndInField) {
+  FqField fq(test_q());
+  const auto a = hash_to_fq(fq, "diabetes");
+  const auto b = hash_to_fq(fq, "diabetes");
+  const auto c = hash_to_fq(fq, "flu");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(fq.to_int(a), fq.modulus());
+}
+
+TEST(Fq, InnerProduct) {
+  FqField fq(test_q());
+  const std::vector<Fq> a{fq.from_u64(1), fq.from_u64(2), fq.from_u64(3)};
+  const std::vector<Fq> b{fq.from_u64(4), fq.from_u64(5), fq.from_u64(6)};
+  EXPECT_EQ(fq.to_int(inner_product(fq, a, b)), FqInt{32});
+  // Orthogonal vectors.
+  const std::vector<Fq> c{fq.from_u64(2), fq.neg(fq.from_u64(1)), fq.zero()};
+  const std::vector<Fq> d{fq.from_u64(1), fq.from_u64(2), fq.from_u64(77)};
+  EXPECT_TRUE(inner_product(fq, c, d).is_zero());
+}
+
+class Fp2Test : public ::testing::Test {
+ protected:
+  // 127-bit prime = 3 mod 4? 2^127 - 1 mod 4 = 3. Yes.
+  Fp2Test() : fp_(to_fp(mersenne127())), f2_(fp_) {}
+  static FpInt to_fp(const BigInt<2>& v) {
+    FpInt r;
+    r.w[0] = v.w[0];
+    r.w[1] = v.w[1];
+    return r;
+  }
+  FpField fp_;
+  Fp2 f2_;
+};
+
+TEST_F(Fp2Test, FieldAxioms) {
+  ChaChaRng rng("fp2");
+  for (int i = 0; i < 30; ++i) {
+    const Fp2El x{fp_.random(rng), fp_.random(rng)};
+    const Fp2El y{fp_.random(rng), fp_.random(rng)};
+    const Fp2El z{fp_.random(rng), fp_.random(rng)};
+    EXPECT_EQ(f2_.mul(x, y), f2_.mul(y, x));
+    EXPECT_EQ(f2_.mul(f2_.mul(x, y), z), f2_.mul(x, f2_.mul(y, z)));
+    EXPECT_EQ(f2_.mul(x, f2_.add(y, z)),
+              f2_.add(f2_.mul(x, y), f2_.mul(x, z)));
+    EXPECT_EQ(f2_.sqr(x), f2_.mul(x, x));
+    EXPECT_EQ(f2_.mul(x, f2_.one()), x);
+    EXPECT_EQ(f2_.add(x, f2_.neg(x)), f2_.zero());
+  }
+}
+
+TEST_F(Fp2Test, ImaginaryUnitSquaresToMinusOne) {
+  const Fp2El i{fp_.zero(), fp_.one()};
+  const Fp2El i2 = f2_.sqr(i);
+  EXPECT_EQ(i2.a, fp_.neg(fp_.one()));
+  EXPECT_TRUE(i2.b.is_zero());
+}
+
+TEST_F(Fp2Test, InverseAndConjugate) {
+  ChaChaRng rng("fp2inv");
+  for (int i = 0; i < 20; ++i) {
+    Fp2El x{fp_.random(rng), fp_.random(rng)};
+    if (f2_.is_zero(x)) x = f2_.one();
+    EXPECT_EQ(f2_.mul(x, f2_.inv(x)), f2_.one());
+    // x * conj(x) = norm(x) in the base field.
+    const auto prod = f2_.mul(x, f2_.conj(x));
+    EXPECT_EQ(prod.a, f2_.norm(x));
+    EXPECT_TRUE(prod.b.is_zero());
+  }
+}
+
+TEST_F(Fp2Test, PowMatchesRepeatedMul) {
+  ChaChaRng rng("fp2pow");
+  const Fp2El x{fp_.random(rng), fp_.random(rng)};
+  Fp2El acc = f2_.one();
+  for (std::uint64_t e = 0; e < 40; ++e) {
+    EXPECT_EQ(f2_.pow(x, BigInt<1>{e}), acc) << e;
+    acc = f2_.mul(acc, x);
+  }
+}
+
+TEST_F(Fp2Test, FrobeniusIsPthPower) {
+  ChaChaRng rng("frob");
+  const Fp2El x{fp_.random(rng), fp_.random(rng)};
+  BigInt<8> p8;
+  p8.w[0] = mersenne127().w[0];
+  p8.w[1] = mersenne127().w[1];
+  EXPECT_EQ(f2_.frobenius(x), f2_.pow(x, p8));
+}
+
+}  // namespace
+}  // namespace apks

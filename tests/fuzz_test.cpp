@@ -1,0 +1,143 @@
+// Deterministic fuzz tests: parsers and deserializers fed random and
+// mutated inputs must either succeed or throw a std:: exception — never
+// crash, hang, or return corrupt objects that later misbehave.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "core/query_parser.h"
+#include "data/phr.h"
+#include "hpe/serialize.h"
+#include "mrqed/serialize.h"
+
+namespace apks {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(rng.next_below(max_len + 1));
+  rng.fill(out);
+  return out;
+}
+
+template <typename Fn>
+void expect_no_crash(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::exception&) {
+    // Any std::exception is acceptable; crashes/UB are what we're hunting.
+  }
+}
+
+TEST(Fuzz, HexDecoderOnRandomStrings) {
+  ChaChaRng rng("fuzz-hex");
+  for (int i = 0; i < 300; ++i) {
+    std::string s;
+    const std::size_t len = rng.next_below(40);
+    for (std::size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>(32 + rng.next_below(95)));
+    }
+    expect_no_crash([&] { (void)hex_decode(s); });
+  }
+}
+
+TEST(Fuzz, QueryParserOnRandomStrings) {
+  const Schema schema = phr_schema({.max_or = 2});
+  ChaChaRng rng("fuzz-query");
+  const std::string alphabet = "abcxyzAGE age sex=*;:@-,0123456789 in under";
+  for (int i = 0; i < 500; ++i) {
+    std::string s;
+    const std::size_t len = rng.next_below(60);
+    for (std::size_t j = 0; j < len; ++j) {
+      s.push_back(alphabet[rng.next_below(alphabet.size())]);
+    }
+    expect_no_crash([&] { (void)parse_query(schema, s); });
+    expect_no_crash([&] { (void)parse_index(schema, s); });
+  }
+}
+
+TEST(Fuzz, ByteReaderOnRandomBuffers) {
+  ChaChaRng rng("fuzz-reader");
+  for (int i = 0; i < 300; ++i) {
+    const auto data = random_bytes(rng, 64);
+    expect_no_crash([&] {
+      ByteReader r(data);
+      while (!r.done()) {
+        switch (rng.next_below(4)) {
+          case 0:
+            (void)r.u8();
+            break;
+          case 1:
+            (void)r.u32();
+            break;
+          case 2:
+            (void)r.u64();
+            break;
+          default:
+            (void)r.bytes();
+            break;
+        }
+      }
+    });
+  }
+}
+
+class DeserializerFuzz : public ::testing::Test {
+ protected:
+  DeserializerFuzz() : e_(default_type_a_params()), rng_("fuzz-deser") {}
+  Pairing e_;
+  ChaChaRng rng_;
+};
+
+TEST_F(DeserializerFuzz, RandomBuffersRejected) {
+  for (int i = 0; i < 60; ++i) {
+    const auto data = random_bytes(rng_, 400);
+    expect_no_crash([&] { (void)deserialize_ciphertext(e_, data); });
+    expect_no_crash([&] { (void)deserialize_key(e_, data); });
+    expect_no_crash([&] { (void)deserialize_public_key(e_, data); });
+    expect_no_crash([&] { (void)deserialize_master_key(e_, data); });
+    expect_no_crash([&] { (void)deserialize_mrqed_key(e_, data); });
+    expect_no_crash([&] { (void)deserialize_mrqed_ciphertext(e_, data); });
+  }
+}
+
+TEST_F(DeserializerFuzz, MutatedValidCiphertexts) {
+  const Hpe hpe(e_, 2);
+  HpePublicKey pk;
+  HpeMasterKey msk;
+  hpe.setup(rng_, pk, msk);
+  std::vector<Fq> x{e_.fq().random(rng_), e_.fq().random(rng_)};
+  const auto ct = hpe.encrypt(pk, x, e_.gt_random(rng_), rng_);
+  const auto good = serialize_ciphertext(e_, ct);
+  for (int i = 0; i < 120; ++i) {
+    auto bad = good;
+    // 1-3 random byte mutations, occasionally a truncation or extension.
+    const std::size_t mutations = 1 + rng_.next_below(3);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      bad[rng_.next_below(bad.size())] ^=
+          static_cast<std::uint8_t>(1 + rng_.next_below(255));
+    }
+    if (rng_.next_below(4) == 0 && bad.size() > 8) {
+      bad.resize(bad.size() - 1 - rng_.next_below(8));
+    } else if (rng_.next_below(7) == 0) {
+      bad.push_back(0);
+    }
+    expect_no_crash([&] {
+      // If deserialization accepts the mutation (e.g. a y-sign flip that
+      // still decompresses), the object must still be safely usable.
+      const auto parsed = deserialize_ciphertext(e_, bad);
+      const auto key = hpe.gen_key(msk, x, rng_);
+      (void)hpe.decrypt(parsed, key);
+    });
+  }
+}
+
+TEST_F(DeserializerFuzz, LengthFieldBombs) {
+  // Hostile length prefixes must be rejected, not allocated.
+  ByteWriter w;
+  w.u32(0xFFFFFFFFu);  // ciphertext vector claims 4 billion points
+  const auto data = w.take();
+  EXPECT_THROW((void)deserialize_ciphertext(e_, data), std::exception);
+  EXPECT_THROW((void)deserialize_key(e_, data), std::exception);
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,82 @@
+// Known-answer and incremental-update tests for SHA-1 and SHA-256.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/sha1.h"
+#include "common/sha256.h"
+
+namespace apks {
+namespace {
+
+std::string sha1_hex(std::string_view s) {
+  const auto d = Sha1::hash(s);
+  return hex_encode(d);
+}
+
+std::string sha256_hex(std::string_view s) {
+  const auto d = Sha256::hash(s);
+  return hex_encode(d);
+}
+
+TEST(Sha1, KnownAnswers) {
+  EXPECT_EQ(sha1_hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(sha1_hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(sha1_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  EXPECT_EQ(sha1_hex("The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, MillionA) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_encode(h.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "authorized private keyword search over encrypted data";
+  Sha1 h;
+  for (char c : msg) h.update(std::string_view(&c, 1));
+  EXPECT_EQ(h.finish(), Sha1::hash(msg));
+}
+
+TEST(Sha1, ResetAfterFinish) {
+  Sha1 h;
+  h.update("first message");
+  (void)h.finish();
+  h.update("abc");
+  EXPECT_EQ(hex_encode(h.finish()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha256, KnownAnswers) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_encode(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg(517, 'x');  // crosses several block boundaries
+  Sha256 h;
+  h.update(std::string_view(msg).substr(0, 63));
+  h.update(std::string_view(msg).substr(63, 65));
+  h.update(std::string_view(msg).substr(128));
+  EXPECT_EQ(h.finish(), Sha256::hash(msg));
+}
+
+}  // namespace
+}  // namespace apks

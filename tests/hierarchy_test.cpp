@@ -1,0 +1,183 @@
+// Tests for attribute hierarchies (numeric range trees and semantic trees).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/hierarchy.h"
+
+namespace apks {
+namespace {
+
+// The paper's Fig. 3(a): age 0-100 split into decades via two levels.
+AttributeHierarchy age_hierarchy() {
+  // Levels: 1 root [0,100]; 2: ~thirds; 3: ~tenths. Use branching 3, depth 3.
+  return AttributeHierarchy::numeric("age", 0, 100, 3, 3);
+}
+
+// The paper's Fig. 3(b): region tree MA -> {East, Central, West} -> cities.
+AttributeHierarchy region_hierarchy() {
+  AttributeHierarchy::Spec spec{
+      "MA",
+      {{"East MA", {{"Boston", {}}, {"Quincy", {}}}},
+       {"Central MA", {{"Worcester", {}}, {"Framingham", {}}}},
+       {"West MA", {{"Springfield", {}}, {"Pittsfield", {}}}}}};
+  return AttributeHierarchy::semantic("region", spec);
+}
+
+TEST(Hierarchy, NumericStructure) {
+  const auto h = age_hierarchy();
+  EXPECT_EQ(h.height(), 3u);
+  EXPECT_TRUE(h.is_numeric());
+  EXPECT_EQ(h.labels_at_level(1).size(), 1u);
+  EXPECT_EQ(h.labels_at_level(2).size(), 3u);
+  EXPECT_EQ(h.labels_at_level(3).size(), 9u);
+  EXPECT_EQ(h.node(0).label, "0-100");
+}
+
+TEST(Hierarchy, NumericPathCoversValue) {
+  const auto h = age_hierarchy();
+  for (const std::uint64_t v : {0ull, 25ull, 33ull, 61ull, 100ull}) {
+    const auto path = h.path_for_value(v);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[0], "0-100");
+    // Every node on the path contains v.
+    for (const auto& label : path) {
+      const auto idx = h.find(label);
+      ASSERT_TRUE(idx.has_value());
+      EXPECT_LE(h.node(*idx).lo, v);
+      EXPECT_GE(h.node(*idx).hi, v);
+    }
+  }
+}
+
+TEST(Hierarchy, NumericPathRejectsOutOfDomain) {
+  const auto h = age_hierarchy();
+  EXPECT_THROW((void)h.path_for_value(101), std::invalid_argument);
+}
+
+TEST(Hierarchy, LevelsPartitionDomain) {
+  const auto h = age_hierarchy();
+  for (std::size_t level = 1; level <= 3; ++level) {
+    std::uint64_t covered = 0;
+    for (const auto& label : h.labels_at_level(level)) {
+      const auto idx = h.find(label);
+      ASSERT_TRUE(idx.has_value());
+      covered += h.node(*idx).hi - h.node(*idx).lo + 1;
+    }
+    EXPECT_EQ(covered, 101u) << "level " << level;
+  }
+}
+
+TEST(Hierarchy, CoverRangeMinimal) {
+  const auto h = age_hierarchy();
+  // Level 2 nodes are 0-33, 34-66, 67-100.
+  const auto cover = h.cover_range(0, 66, 2);
+  EXPECT_EQ(cover.size(), 2u);
+  EXPECT_TRUE(h.range_is_exact(0, 66, 2));
+  EXPECT_FALSE(h.range_is_exact(0, 50, 2));
+  // A range inside one node needs just that node.
+  EXPECT_EQ(h.cover_range(40, 60, 2).size(), 1u);
+  // Finest level: single values when the tree bottoms out.
+  const auto fine = h.cover_range(35, 36, 3);
+  EXPECT_EQ(fine.size(), 1u);  // both fall into one level-3 bucket
+}
+
+TEST(Hierarchy, SingleValueLeavesWhenDeep) {
+  const auto h = AttributeHierarchy::numeric("small", 0, 7, 2, 4);
+  EXPECT_EQ(h.labels_at_level(4).size(), 8u);
+  const auto path = h.path_for_value(5);
+  EXPECT_EQ(path.back(), "5");
+  EXPECT_TRUE(h.range_is_exact(5, 5, 4));
+}
+
+TEST(Hierarchy, SemanticStructureAndPaths) {
+  const auto h = region_hierarchy();
+  EXPECT_EQ(h.height(), 3u);
+  EXPECT_FALSE(h.is_numeric());
+  const auto path = h.path_for_leaf("Worcester");
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], "MA");
+  EXPECT_EQ(path[1], "Central MA");
+  EXPECT_EQ(path[2], "Worcester");
+}
+
+TEST(Hierarchy, SemanticRejectsNonLeafPaths) {
+  const auto h = region_hierarchy();
+  EXPECT_THROW((void)h.path_for_leaf("East MA"), std::invalid_argument);
+  EXPECT_THROW((void)h.path_for_leaf("nowhere"), std::invalid_argument);
+  EXPECT_THROW((void)h.path_for_value(3), std::logic_error);
+  EXPECT_THROW((void)h.cover_range(0, 1, 2), std::logic_error);
+}
+
+TEST(Hierarchy, SemanticRequiresBalance) {
+  AttributeHierarchy::Spec lopsided{
+      "root", {{"a", {{"a1", {}}}}, {"b", {}}}};
+  EXPECT_THROW((void)AttributeHierarchy::semantic("x", lopsided),
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, DuplicateLabelsRejected) {
+  AttributeHierarchy::Spec dup{"root", {{"a", {}}, {"a", {}}}};
+  EXPECT_THROW((void)AttributeHierarchy::semantic("x", dup),
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, MultiLevelCoverExactAndDisjoint) {
+  const auto h = AttributeHierarchy::numeric("v", 0, 63, 2, 7);  // leaves=1
+  ChaChaRng rng("mlc");
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t a = rng.next_below(64);
+    const std::uint64_t b = rng.next_below(64);
+    const std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
+    bool exact = false;
+    const auto cover = h.multi_level_cover(lo, hi, &exact);
+    EXPECT_TRUE(exact);  // single-value leaves: always exact
+    std::vector<int> hits(64, 0);
+    for (const std::size_t idx : cover) {
+      const auto& node = h.node(idx);
+      for (std::uint64_t v = node.lo; v <= node.hi; ++v) hits[v]++;
+    }
+    for (std::uint64_t v = 0; v < 64; ++v) {
+      EXPECT_EQ(hits[v], (v >= lo && v <= hi) ? 1 : 0) << v;
+    }
+    // Canonical covers over a binary tree use at most 2*depth nodes.
+    EXPECT_LE(cover.size(), 2 * (h.height() - 1));
+  }
+}
+
+TEST(Hierarchy, MultiLevelCoverReportsOverApproximation) {
+  // Tree bottoming out at width-2 leaves: odd endpoints cannot be exact.
+  const auto h = AttributeHierarchy::numeric("v", 0, 15, 2, 4);
+  bool exact = true;
+  const auto cover = h.multi_level_cover(1, 14, &exact);
+  EXPECT_FALSE(exact);
+  EXPECT_FALSE(cover.empty());
+  // An aligned range is exact.
+  (void)h.multi_level_cover(2, 13, &exact);
+  EXPECT_TRUE(exact);
+  EXPECT_THROW((void)h.multi_level_cover(5, 2), std::invalid_argument);
+}
+
+TEST(Hierarchy, FindIsExact) {
+  const auto h = region_hierarchy();
+  EXPECT_TRUE(h.find("Boston").has_value());
+  EXPECT_FALSE(h.find("boston").has_value());
+  EXPECT_FALSE(h.find("Bost").has_value());
+}
+
+TEST(Hierarchy, ConstructorValidation) {
+  EXPECT_THROW((void)AttributeHierarchy::numeric("x", 5, 4, 2, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)AttributeHierarchy::numeric("x", 0, 10, 1, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)AttributeHierarchy::numeric("x", 0, 10, 2, 0),
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, BadLevelArguments) {
+  const auto h = age_hierarchy();
+  EXPECT_THROW((void)h.cover_range(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW((void)h.cover_range(0, 10, 9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,153 @@
+// Tests for the hierarchical-format HPE variant: format enforcement,
+// correctness along the delegation path, and the key-size saving over the
+// general-delegation scheme.
+#include <gtest/gtest.h>
+
+#include "hpe/hpe_hier.h"
+
+namespace apks {
+namespace {
+
+class HpeHierTest : public ::testing::Test {
+ protected:
+  // Format (2, 3, 2): three blocks, n = 7.
+  HpeHierTest()
+      : e_(default_type_a_params()),
+        scheme_(e_, HierFormat{{2, 3, 2}}),
+        fq_(e_.fq()),
+        rng_("hpe-hier") {
+    scheme_.setup(rng_, pk_, msk_);
+    msg_ = e_.gt_random(rng_);
+  }
+
+  // Block-supported vector with given nonzero entries (offset, value).
+  std::vector<Fq> block_vec(std::size_t lo, std::size_t hi) {
+    std::vector<Fq> v(scheme_.n(), fq_.zero());
+    for (std::size_t i = lo; i < hi; ++i) v[i] = fq_.random_nonzero(rng_);
+    return v;
+  }
+
+  // x orthogonal to all given block vectors: since blocks are disjoint,
+  // solve each block independently (zero the last block coordinate).
+  std::vector<Fq> orthogonal_to_all(const std::vector<std::vector<Fq>>& vs) {
+    std::vector<Fq> x(scheme_.n(), fq_.zero());
+    for (std::size_t i = 0; i < scheme_.n(); ++i) x[i] = fq_.random(rng_);
+    for (const auto& v : vs) {
+      // Find the last nonzero coordinate of v, solve x there.
+      std::size_t pivot = scheme_.n();
+      for (std::size_t i = 0; i < scheme_.n(); ++i) {
+        if (!v[i].is_zero()) pivot = i;
+      }
+      Fq acc = fq_.zero();
+      for (std::size_t i = 0; i < scheme_.n(); ++i) {
+        if (i == pivot || v[i].is_zero()) continue;
+        acc = fq_.add(acc, fq_.mul(x[i], v[i]));
+      }
+      x[pivot] = fq_.neg(fq_.mul(acc, fq_.inv(v[pivot])));
+      EXPECT_TRUE(inner_product(fq_, x, v).is_zero());
+    }
+    return x;
+  }
+
+  Pairing e_;
+  HpeHierarchical scheme_;
+  const FqField& fq_;
+  ChaChaRng rng_;
+  HpePublicKey pk_;
+  HpeMasterKey msk_;
+  GtEl msg_;
+};
+
+TEST_F(HpeHierTest, FormatOffsets) {
+  const HierFormat f{{2, 3, 2}};
+  EXPECT_EQ(f.n(), 7u);
+  EXPECT_EQ(f.levels(), 3u);
+  EXPECT_EQ(f.block_offset(1), 0u);
+  EXPECT_EQ(f.block_offset(2), 2u);
+  EXPECT_EQ(f.block_offset(3), 5u);
+  EXPECT_EQ(f.block_offset(4), 7u);
+  EXPECT_THROW((void)f.block_offset(0), std::invalid_argument);
+  EXPECT_THROW((void)f.block_offset(5), std::invalid_argument);
+}
+
+TEST_F(HpeHierTest, Level1MatchAndMismatch) {
+  const auto v1 = block_vec(0, 2);
+  const auto key = scheme_.gen_key(msk_, v1, rng_);
+  EXPECT_EQ(key.level, 1u);
+  EXPECT_EQ(key.del.size(), 5u);  // blocks 2 and 3 only
+  const auto x = orthogonal_to_all({v1});
+  EXPECT_EQ(scheme_.decrypt(scheme_.encrypt(pk_, x, msg_, rng_), key), msg_);
+  std::vector<Fq> y(scheme_.n());
+  for (auto& c : y) c = fq_.random(rng_);
+  if (!inner_product(fq_, y, v1).is_zero()) {
+    EXPECT_NE(scheme_.decrypt(scheme_.encrypt(pk_, y, msg_, rng_), key),
+              msg_);
+  }
+}
+
+TEST_F(HpeHierTest, FullDelegationChain) {
+  const auto v1 = block_vec(0, 2);
+  const auto v2 = block_vec(2, 5);
+  const auto v3 = block_vec(5, 7);
+  const auto k1 = scheme_.gen_key(msk_, v1, rng_);
+  const auto k2 = scheme_.delegate(k1, v2, rng_);
+  const auto k3 = scheme_.delegate(k2, v3, rng_);
+  EXPECT_EQ(k2.level, 2u);
+  EXPECT_EQ(k2.del.size(), 2u);  // only block 3 left
+  EXPECT_EQ(k3.level, 3u);
+  EXPECT_TRUE(k3.del.empty());   // format exhausted: no further delegation
+  EXPECT_THROW((void)scheme_.delegate(k3, v3, rng_), std::invalid_argument);
+
+  // x satisfying all three blocks: every level matches.
+  const auto x = orthogonal_to_all({v1, v2, v3});
+  const auto ct = scheme_.encrypt(pk_, x, msg_, rng_);
+  EXPECT_EQ(scheme_.decrypt(ct, k1), msg_);
+  EXPECT_EQ(scheme_.decrypt(ct, k2), msg_);
+  EXPECT_EQ(scheme_.decrypt(ct, k3), msg_);
+
+  // x satisfying only blocks 1-2: k3 must reject.
+  auto y = orthogonal_to_all({v1, v2});
+  if (!inner_product(fq_, y, v3).is_zero()) {
+    const auto ct2 = scheme_.encrypt(pk_, y, msg_, rng_);
+    EXPECT_EQ(scheme_.decrypt(ct2, k2), msg_);
+    EXPECT_NE(scheme_.decrypt(ct2, k3), msg_);
+  }
+}
+
+TEST_F(HpeHierTest, FormatViolationsRejected) {
+  // Level-1 vector touching block 2.
+  auto bad = block_vec(0, 2);
+  bad[3] = fq_.one();
+  EXPECT_THROW((void)scheme_.gen_key(msk_, bad, rng_), std::invalid_argument);
+  // Zero block.
+  std::vector<Fq> zero(scheme_.n(), fq_.zero());
+  EXPECT_THROW((void)scheme_.gen_key(msk_, zero, rng_),
+               std::invalid_argument);
+  // Delegation with a vector on the wrong block.
+  const auto k1 = scheme_.gen_key(msk_, block_vec(0, 2), rng_);
+  EXPECT_THROW((void)scheme_.delegate(k1, block_vec(5, 7), rng_),
+               std::invalid_argument);
+  // Malformed constructions.
+  EXPECT_THROW(HpeHierarchical(e_, HierFormat{{}}), std::invalid_argument);
+  EXPECT_THROW(HpeHierarchical(e_, HierFormat{{2, 0}}),
+               std::invalid_argument);
+}
+
+TEST_F(HpeHierTest, SmallerKeysThanGeneralScheme) {
+  // The general scheme's level-1 key carries n delegation components; the
+  // hierarchical one only n - d_1.
+  const Hpe general(e_, scheme_.n());
+  HpePublicKey gpk;
+  HpeMasterKey gmsk;
+  general.setup(rng_, gpk, gmsk);
+  std::vector<Fq> v(scheme_.n(), fq_.zero());
+  v[0] = fq_.one();
+  v[1] = fq_.one();
+  const auto gkey = general.gen_key(gmsk, v, rng_);
+  const auto hkey = scheme_.gen_key(msk_, v, rng_);
+  EXPECT_EQ(gkey.del.size(), scheme_.n());
+  EXPECT_LT(hkey.del.size(), gkey.del.size());
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,311 @@
+// Correctness tests for HPE: match/non-match decryption, multi-level
+// delegation semantics (AND restriction), randomizer structure, and the
+// HPE+ proxy transformation.
+#include <gtest/gtest.h>
+
+#include "hpe/hpe_plus.h"
+
+namespace apks {
+namespace {
+
+class HpeTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 4;
+  HpeTest()
+      : e_(default_type_a_params()),
+        hpe_(e_, kN),
+        fq_(e_.fq()),
+        rng_("hpe-test") {
+    hpe_.setup(rng_, pk_, msk_);
+    msg_ = e_.gt_random(rng_);
+  }
+
+  // Builds an x-vector orthogonal to v by construction:
+  // x = (x1.., xn) with random entries except the last, solved so x.v = 0.
+  std::vector<Fq> orthogonal_to(const std::vector<Fq>& v) {
+    std::vector<Fq> x(kN);
+    // Find an index with nonzero v to solve for.
+    std::size_t pivot = kN;
+    for (std::size_t i = 0; i < kN; ++i) {
+      if (!v[i].is_zero()) pivot = i;
+    }
+    EXPECT_LT(pivot, kN) << "v must be nonzero";
+    Fq acc = fq_.zero();
+    for (std::size_t i = 0; i < kN; ++i) {
+      if (i == pivot) continue;
+      x[i] = fq_.random(rng_);
+      acc = fq_.add(acc, fq_.mul(x[i], v[i]));
+    }
+    x[pivot] = fq_.neg(fq_.mul(acc, fq_.inv(v[pivot])));
+    EXPECT_TRUE(inner_product(fq_, x, v).is_zero());
+    return x;
+  }
+
+  std::vector<Fq> random_vec() {
+    std::vector<Fq> v(kN);
+    for (auto& c : v) c = fq_.random(rng_);
+    return v;
+  }
+
+  Pairing e_;
+  Hpe hpe_;
+  const FqField& fq_;
+  ChaChaRng rng_;
+  HpePublicKey pk_;
+  HpeMasterKey msk_;
+  GtEl msg_;
+};
+
+TEST_F(HpeTest, DecryptsOnMatch) {
+  const auto v = random_vec();
+  const auto x = orthogonal_to(v);
+  const auto key = hpe_.gen_key(msk_, v, rng_);
+  const auto ct = hpe_.encrypt(pk_, x, msg_, rng_);
+  EXPECT_EQ(hpe_.decrypt(ct, key), msg_);
+}
+
+TEST_F(HpeTest, RejectsOnMismatch) {
+  const auto v = random_vec();
+  const auto x = random_vec();  // x.v != 0 with overwhelming probability
+  ASSERT_FALSE(inner_product(fq_, x, v).is_zero());
+  const auto key = hpe_.gen_key(msk_, v, rng_);
+  const auto ct = hpe_.encrypt(pk_, x, msg_, rng_);
+  EXPECT_NE(hpe_.decrypt(ct, key), msg_);
+}
+
+TEST_F(HpeTest, FreshKeysAndCiphertextsAreRandomized) {
+  const auto v = random_vec();
+  const auto x = orthogonal_to(v);
+  const auto k1 = hpe_.gen_key(msk_, v, rng_);
+  const auto k2 = hpe_.gen_key(msk_, v, rng_);
+  EXPECT_NE(k1.dec, k2.dec);
+  const auto c1 = hpe_.encrypt(pk_, x, msg_, rng_);
+  const auto c2 = hpe_.encrypt(pk_, x, msg_, rng_);
+  EXPECT_NE(c1.c1, c2.c1);
+  // Both still decrypt.
+  EXPECT_EQ(hpe_.decrypt(c1, k2), msg_);
+  EXPECT_EQ(hpe_.decrypt(c2, k1), msg_);
+}
+
+TEST_F(HpeTest, DelegatedKeyRequiresBothPredicates) {
+  const auto v1 = random_vec();
+  const auto v2 = random_vec();
+  const auto key1 = hpe_.gen_key(msk_, v1, rng_);
+  const auto key12 = hpe_.delegate(key1, v2, rng_);
+  EXPECT_EQ(key12.level, 2u);
+  EXPECT_EQ(key12.ran.size(), 3u);
+
+  // x orthogonal to both (solve two constraints on 4 unknowns).
+  // Build from v1's orthogonal space then adjust: easier—random x with two
+  // pivots solved. Use a direct solve: pick x3, x4 random, solve x1, x2.
+  const auto& q = fq_;
+  std::vector<Fq> x(kN);
+  x[2] = q.random(rng_);
+  x[3] = q.random(rng_);
+  // Solve [v1_0 v1_1; v2_0 v2_1] [x0;x1] = -[c1; c2].
+  const Fq c1 = q.add(q.mul(x[2], v1[2]), q.mul(x[3], v1[3]));
+  const Fq c2 = q.add(q.mul(x[2], v2[2]), q.mul(x[3], v2[3]));
+  const Fq det =
+      q.sub(q.mul(v1[0], v2[1]), q.mul(v1[1], v2[0]));
+  ASSERT_FALSE(det.is_zero());
+  const Fq dinv = q.inv(det);
+  x[0] = q.mul(q.sub(q.mul(v1[1], c2), q.mul(v2[1], c1)), dinv);
+  x[1] = q.mul(q.sub(q.mul(v2[0], c1), q.mul(v1[0], c2)), dinv);
+  ASSERT_TRUE(inner_product(q, x, v1).is_zero());
+  ASSERT_TRUE(inner_product(q, x, v2).is_zero());
+
+  const auto ct_both = hpe_.encrypt(pk_, x, msg_, rng_);
+  EXPECT_EQ(hpe_.decrypt(ct_both, key1), msg_);
+  EXPECT_EQ(hpe_.decrypt(ct_both, key12), msg_);
+
+  // x orthogonal to v1 only: parent decrypts, child must not.
+  const auto x1only = orthogonal_to(v1);
+  if (!inner_product(q, x1only, v2).is_zero()) {
+    const auto ct1 = hpe_.encrypt(pk_, x1only, msg_, rng_);
+    EXPECT_EQ(hpe_.decrypt(ct1, key1), msg_);
+    EXPECT_NE(hpe_.decrypt(ct1, key12), msg_);
+  }
+}
+
+TEST_F(HpeTest, TwoLevelDelegation) {
+  // Use vectors with disjoint support so a common orthogonal x is easy.
+  // v1 = (a, b, 0, 0), v2 = (0, 0, c, d); x = (-b', a', -d', c') style.
+  std::vector<Fq> v1(kN, fq_.zero()), v2(kN, fq_.zero()), v3(kN, fq_.zero());
+  v1[0] = fq_.from_u64(3);
+  v1[1] = fq_.from_u64(5);
+  v2[2] = fq_.from_u64(7);
+  v2[3] = fq_.from_u64(11);
+  v3[0] = fq_.from_u64(1);
+  v3[1] = fq_.zero();
+
+  const auto k1 = hpe_.gen_key(msk_, v1, rng_);
+  const auto k12 = hpe_.delegate(k1, v2, rng_);
+  const auto k123 = hpe_.delegate(k12, v3, rng_);
+  EXPECT_EQ(k123.level, 3u);
+  EXPECT_EQ(k123.ran.size(), 4u);
+
+  // x = (0, 0, 11, -7): orthogonal to v1 (trivially), v2, and v3.
+  std::vector<Fq> x(kN, fq_.zero());
+  x[2] = fq_.from_u64(11);
+  x[3] = fq_.neg(fq_.from_u64(7));
+  const auto ct = hpe_.encrypt(pk_, x, msg_, rng_);
+  EXPECT_EQ(hpe_.decrypt(ct, k1), msg_);
+  EXPECT_EQ(hpe_.decrypt(ct, k12), msg_);
+  EXPECT_EQ(hpe_.decrypt(ct, k123), msg_);
+
+  // y = (5, -3, 11, -7): orthogonal to v1 and v2 but not v3.
+  std::vector<Fq> y = x;
+  y[0] = fq_.from_u64(5);
+  y[1] = fq_.neg(fq_.from_u64(3));
+  const auto ct2 = hpe_.encrypt(pk_, y, msg_, rng_);
+  EXPECT_EQ(hpe_.decrypt(ct2, k12), msg_);
+  EXPECT_NE(hpe_.decrypt(ct2, k123), msg_);
+}
+
+TEST_F(HpeTest, PreprocessedDecryptMatches) {
+  const auto v = random_vec();
+  const auto x = orthogonal_to(v);
+  const auto key = hpe_.gen_key(msk_, v, rng_);
+  const auto pre = hpe_.preprocess_key(key);
+  const auto ct = hpe_.encrypt(pk_, x, msg_, rng_);
+  EXPECT_EQ(hpe_.decrypt_pre(ct, pre), hpe_.decrypt(ct, key));
+  const auto ct_bad = hpe_.encrypt(pk_, random_vec(), msg_, rng_);
+  EXPECT_EQ(hpe_.decrypt_pre(ct_bad, pre), hpe_.decrypt(ct_bad, key));
+}
+
+TEST_F(HpeTest, NaiveGenKeyIsEquivalent) {
+  // Same correctness behaviour as the shared-sum path, on sparse and dense
+  // predicate vectors.
+  std::vector<Fq> sparse(kN, fq_.zero());
+  sparse[1] = fq_.random_nonzero(rng_);
+  for (const auto& v : {random_vec(), sparse}) {
+    const auto key = hpe_.gen_key_naive(msk_, v, rng_);
+    EXPECT_EQ(key.level, 1u);
+    EXPECT_EQ(key.ran.size(), 2u);
+    EXPECT_EQ(key.del.size(), kN);
+    const auto x = orthogonal_to(v);
+    EXPECT_EQ(hpe_.decrypt(hpe_.encrypt(pk_, x, msg_, rng_), key), msg_);
+    const auto y = random_vec();
+    if (!inner_product(fq_, y, v).is_zero()) {
+      EXPECT_NE(hpe_.decrypt(hpe_.encrypt(pk_, y, msg_, rng_), key), msg_);
+    }
+  }
+}
+
+TEST_F(HpeTest, NaiveDelegateIsEquivalent) {
+  std::vector<Fq> v1(kN, fq_.zero()), v2(kN, fq_.zero());
+  v1[0] = fq_.from_u64(3);
+  v1[1] = fq_.from_u64(5);
+  v2[2] = fq_.from_u64(7);
+  v2[3] = fq_.from_u64(11);
+  // Mix naive and shared paths across the chain; they must interoperate.
+  const auto k1 = hpe_.gen_key_naive(msk_, v1, rng_);
+  const auto k12 = hpe_.delegate_naive(k1, v2, rng_);
+  const auto k12b = hpe_.delegate(k1, v2, rng_);
+  std::vector<Fq> x(kN, fq_.zero());
+  x[0] = fq_.from_u64(5);
+  x[1] = fq_.neg(fq_.from_u64(3));
+  x[2] = fq_.from_u64(11);
+  x[3] = fq_.neg(fq_.from_u64(7));
+  const auto ct = hpe_.encrypt(pk_, x, msg_, rng_);
+  EXPECT_EQ(hpe_.decrypt(ct, k12), msg_);
+  EXPECT_EQ(hpe_.decrypt(ct, k12b), msg_);
+  // Violate v2 only.
+  auto y = x;
+  y[2] = fq_.random_nonzero(rng_);
+  const auto ct2 = hpe_.encrypt(pk_, y, msg_, rng_);
+  EXPECT_EQ(hpe_.decrypt(ct2, k1), msg_);
+  EXPECT_NE(hpe_.decrypt(ct2, k12), msg_);
+}
+
+TEST_F(HpeTest, InputValidation) {
+  EXPECT_THROW(Hpe(e_, 0), std::invalid_argument);
+  std::vector<Fq> short_vec(kN - 1, fq_.zero());
+  EXPECT_THROW((void)hpe_.gen_key(msk_, short_vec, rng_),
+               std::invalid_argument);
+  EXPECT_THROW((void)hpe_.encrypt(pk_, short_vec, msg_, rng_),
+               std::invalid_argument);
+  const auto key = hpe_.gen_key(msk_, random_vec(), rng_);
+  EXPECT_THROW((void)hpe_.delegate(key, short_vec, rng_),
+               std::invalid_argument);
+}
+
+class HpePlusTest : public HpeTest {
+ protected:
+  HpePlusTest() : plus_(e_, kN) { setup_ = plus_.setup(rng_); }
+  HpePlus plus_;
+  HpePlusSetupResult setup_;
+};
+
+TEST_F(HpePlusTest, ProxyTransformedCiphertextDecrypts) {
+  const auto v = random_vec();
+  const auto x = orthogonal_to(v);
+  const auto key = plus_.base().gen_key(setup_.msk, v, rng_);
+  const auto partial = plus_.partial_enc(setup_.pk, x, msg_, rng_);
+  const auto full = plus_.proxy_transform(fq_.inv(setup_.r), partial);
+  EXPECT_EQ(plus_.base().decrypt(full, key), msg_);
+}
+
+TEST_F(HpePlusTest, PartialCiphertextDoesNotMatch) {
+  // The dictionary attack: a ciphertext built from pk alone (never proxied)
+  // must not decrypt under a real capability even on a predicate match.
+  const auto v = random_vec();
+  const auto x = orthogonal_to(v);
+  const auto key = plus_.base().gen_key(setup_.msk, v, rng_);
+  const auto partial = plus_.partial_enc(setup_.pk, x, msg_, rng_);
+  EXPECT_NE(plus_.base().decrypt(partial, key), msg_);
+}
+
+TEST_F(HpePlusTest, NonMatchStillRejectedAfterTransform) {
+  const auto v = random_vec();
+  const auto key = plus_.base().gen_key(setup_.msk, v, rng_);
+  const auto partial = plus_.partial_enc(setup_.pk, random_vec(), msg_, rng_);
+  const auto full = plus_.proxy_transform(fq_.inv(setup_.r), partial);
+  EXPECT_NE(plus_.base().decrypt(full, key), msg_);
+}
+
+TEST_F(HpePlusTest, MultiProxyChain) {
+  const auto v = random_vec();
+  const auto x = orthogonal_to(v);
+  const auto key = plus_.base().gen_key(setup_.msk, v, rng_);
+  for (const std::size_t parts : {1u, 2u, 4u}) {
+    const auto shares = HpePlus::split_secret(fq_, setup_.r, parts, rng_);
+    ASSERT_EQ(shares.size(), parts);
+    // Product of shares is r.
+    Fq prod = fq_.one();
+    for (const auto& s : shares) prod = fq_.mul(prod, s);
+    EXPECT_EQ(prod, setup_.r);
+    // Chain the transformations through every proxy.
+    auto ct = plus_.partial_enc(setup_.pk, x, msg_, rng_);
+    for (const auto& s : shares) {
+      ct = plus_.proxy_transform(fq_.inv(s), ct);
+    }
+    EXPECT_EQ(plus_.base().decrypt(ct, key), msg_);
+  }
+}
+
+TEST_F(HpePlusTest, DelegationWorksOnBlindedKeys) {
+  std::vector<Fq> v1(kN, fq_.zero()), v2(kN, fq_.zero());
+  v1[0] = fq_.from_u64(2);
+  v1[1] = fq_.from_u64(3);
+  v2[2] = fq_.from_u64(5);
+  v2[3] = fq_.from_u64(7);
+  const auto k1 = plus_.base().gen_key(setup_.msk, v1, rng_);
+  const auto k12 = plus_.base().delegate(k1, v2, rng_);
+  std::vector<Fq> x(kN, fq_.zero());
+  x[0] = fq_.from_u64(3);
+  x[1] = fq_.neg(fq_.from_u64(2));
+  x[2] = fq_.from_u64(7);
+  x[3] = fq_.neg(fq_.from_u64(5));
+  auto ct = plus_.partial_enc(setup_.pk, x, msg_, rng_);
+  ct = plus_.proxy_transform(fq_.inv(setup_.r), ct);
+  EXPECT_EQ(plus_.base().decrypt(ct, k12), msg_);
+}
+
+TEST_F(HpePlusTest, SplitSecretValidation) {
+  EXPECT_THROW((void)HpePlus::split_secret(fq_, setup_.r, 0, rng_),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,112 @@
+// Tests for matrix algebra over F_q, the substrate of DPVS dual bases.
+#include <gtest/gtest.h>
+
+#include "math/matrix_fq.h"
+
+namespace apks {
+namespace {
+
+FqInt test_q() {
+  FqInt q;
+  q.w[0] = static_cast<std::uint64_t>(-47);  // 2^160 - 47
+  q.w[1] = ~std::uint64_t{0};
+  q.w[2] = 0xFFFFFFFFull;
+  return q;
+}
+
+class MatrixTest : public ::testing::Test {
+ protected:
+  MatrixTest() : fq_(test_q()), rng_("matrix") {}
+  FqField fq_;
+  ChaChaRng rng_;
+};
+
+TEST_F(MatrixTest, IdentityActsAsIdentity) {
+  const auto id = MatrixFq::identity(5, fq_);
+  const auto m = MatrixFq::random(5, 5, fq_, rng_);
+  EXPECT_EQ(id.mul(m, fq_), m);
+  EXPECT_EQ(m.mul(id, fq_), m);
+}
+
+TEST_F(MatrixTest, TransposeInvolution) {
+  const auto m = MatrixFq::random(3, 7, fq_, rng_);
+  EXPECT_EQ(m.transpose().transpose(), m);
+  EXPECT_EQ(m.transpose().rows(), 7u);
+  EXPECT_EQ(m.transpose().cols(), 3u);
+}
+
+TEST_F(MatrixTest, TransposeOfProduct) {
+  const auto a = MatrixFq::random(4, 4, fq_, rng_);
+  const auto b = MatrixFq::random(4, 4, fq_, rng_);
+  EXPECT_EQ(a.mul(b, fq_).transpose(),
+            b.transpose().mul(a.transpose(), fq_));
+}
+
+TEST_F(MatrixTest, InverseTimesSelfIsIdentity) {
+  for (const std::size_t n : {1u, 2u, 5u, 13u}) {
+    const auto m = MatrixFq::random_invertible(n, fq_, rng_);
+    MatrixFq inv;
+    ASSERT_TRUE(m.inverse(fq_, inv));
+    EXPECT_EQ(m.mul(inv, fq_), MatrixFq::identity(n, fq_)) << "n=" << n;
+    EXPECT_EQ(inv.mul(m, fq_), MatrixFq::identity(n, fq_)) << "n=" << n;
+  }
+}
+
+TEST_F(MatrixTest, SingularMatrixHasNoInverse) {
+  MatrixFq m(3, 3, fq_);  // zero matrix
+  MatrixFq inv;
+  EXPECT_FALSE(m.inverse(fq_, inv));
+  // Rank-deficient: duplicate rows.
+  auto r = MatrixFq::random(3, 3, fq_, rng_);
+  for (std::size_t j = 0; j < 3; ++j) r.at(2, j) = r.at(0, j);
+  EXPECT_FALSE(r.inverse(fq_, inv));
+}
+
+TEST_F(MatrixTest, InverseTransposeCommutes) {
+  // (X^T)^{-1} == (X^{-1})^T — the identity DPVS setup relies on.
+  const auto x = MatrixFq::random_invertible(6, fq_, rng_);
+  MatrixFq xinv, xt_inv;
+  ASSERT_TRUE(x.inverse(fq_, xinv));
+  ASSERT_TRUE(x.transpose().inverse(fq_, xt_inv));
+  EXPECT_EQ(xt_inv, xinv.transpose());
+}
+
+TEST_F(MatrixTest, ApplyMatchesMul) {
+  const auto m = MatrixFq::random(4, 6, fq_, rng_);
+  std::vector<Fq> x;
+  for (int i = 0; i < 6; ++i) x.push_back(fq_.random(rng_));
+  const auto y = m.apply(x, fq_);
+  ASSERT_EQ(y.size(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    Fq acc = fq_.zero();
+    for (std::size_t c = 0; c < 6; ++c) {
+      acc = fq_.add(acc, fq_.mul(m.at(r, c), x[c]));
+    }
+    EXPECT_EQ(y[r], acc);
+  }
+}
+
+TEST_F(MatrixTest, LinearityOfApply) {
+  const auto m = MatrixFq::random(5, 5, fq_, rng_);
+  std::vector<Fq> x, y, xy;
+  for (int i = 0; i < 5; ++i) {
+    x.push_back(fq_.random(rng_));
+    y.push_back(fq_.random(rng_));
+    xy.push_back(fq_.add(x.back(), y.back()));
+  }
+  const auto mx = m.apply(x, fq_);
+  const auto my = m.apply(y, fq_);
+  const auto mxy = m.apply(xy, fq_);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(mxy[i], fq_.add(mx[i], my[i]));
+  }
+}
+
+TEST_F(MatrixTest, MulDimensionMismatchThrows) {
+  const auto a = MatrixFq::random(2, 3, fq_, rng_);
+  const auto b = MatrixFq::random(4, 2, fq_, rng_);
+  EXPECT_THROW((void)a.mul(b, fq_), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,141 @@
+// Bilinearity, non-degeneracy and preprocessing tests for the Tate pairing.
+#include <gtest/gtest.h>
+
+#include "pairing/pairing.h"
+
+namespace apks {
+namespace {
+
+class PairingTest : public ::testing::Test {
+ protected:
+  PairingTest() : e_(default_type_a_params()), rng_("pairing-test") {}
+  Pairing e_;
+  ChaChaRng rng_;
+};
+
+TEST_F(PairingTest, NonDegenerate) {
+  EXPECT_FALSE(e_.gt_is_one(e_.gt_generator()));
+}
+
+TEST_F(PairingTest, GtGeneratorHasOrderQ) {
+  const auto& fq = e_.fq();
+  // g_T^q == 1.
+  const GtEl gq = e_.fp2().pow(e_.gt_generator(), e_.curve().params().q);
+  EXPECT_TRUE(e_.gt_is_one(gq));
+  // g_T^k != 1 for small k (q prime).
+  EXPECT_FALSE(e_.gt_is_one(e_.gt_pow(e_.gt_generator(), fq.from_u64(12345))));
+}
+
+TEST_F(PairingTest, SymmetricOnRandomPoints) {
+  const auto p = e_.curve().random_point(rng_);
+  const auto q = e_.curve().random_point(rng_);
+  EXPECT_EQ(e_.pair(p, q), e_.pair(q, p));
+}
+
+TEST_F(PairingTest, BilinearInScalars) {
+  const auto& fq = e_.fq();
+  const auto& g = e_.curve().generator();
+  const Fq a = fq.random(rng_);
+  const Fq b = fq.random(rng_);
+  const auto ag = e_.curve().mul_fq(g, a);
+  const auto bg = e_.curve().mul_fq(g, b);
+  // e(aP, bP) == e(P, P)^{ab}
+  const GtEl lhs = e_.pair(ag, bg);
+  const GtEl rhs = e_.gt_pow(e_.gt_generator(), fq.mul(a, b));
+  EXPECT_EQ(lhs, rhs);
+  // e(aP, P) == e(P, aP) == e(P,P)^a
+  EXPECT_EQ(e_.pair(ag, g), e_.gt_pow(e_.gt_generator(), a));
+  EXPECT_EQ(e_.pair(g, ag), e_.gt_pow(e_.gt_generator(), a));
+}
+
+TEST_F(PairingTest, AdditiveInFirstArgument) {
+  const auto p = e_.curve().random_point(rng_);
+  const auto r = e_.curve().random_point(rng_);
+  const auto q = e_.curve().random_point(rng_);
+  const GtEl lhs = e_.pair(e_.curve().add(p, r), q);
+  const GtEl rhs = e_.gt_mul(e_.pair(p, q), e_.pair(r, q));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(PairingTest, AdditiveInSecondArgument) {
+  const auto p = e_.curve().random_point(rng_);
+  const auto q = e_.curve().random_point(rng_);
+  const auto s = e_.curve().random_point(rng_);
+  const GtEl lhs = e_.pair(p, e_.curve().add(q, s));
+  const GtEl rhs = e_.gt_mul(e_.pair(p, q), e_.pair(p, s));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(PairingTest, InfinityPairsToOne) {
+  const auto p = e_.curve().random_point(rng_);
+  EXPECT_TRUE(e_.gt_is_one(e_.pair(AffinePoint::infinity(), p)));
+  EXPECT_TRUE(e_.gt_is_one(e_.pair(p, AffinePoint::infinity())));
+}
+
+TEST_F(PairingTest, NegationInverts) {
+  const auto p = e_.curve().random_point(rng_);
+  const auto q = e_.curve().random_point(rng_);
+  const GtEl ab = e_.pair(p, q);
+  const GtEl ab_neg = e_.pair(e_.curve().neg(p), q);
+  EXPECT_TRUE(e_.gt_is_one(e_.gt_mul(ab, ab_neg)));
+  // gt_inv (conjugation) agrees.
+  EXPECT_EQ(ab_neg, e_.gt_inv(ab));
+}
+
+TEST_F(PairingTest, GtElementsAreUnitary) {
+  const auto p = e_.curve().random_point(rng_);
+  const auto q = e_.curve().random_point(rng_);
+  const GtEl v = e_.pair(p, q);
+  EXPECT_EQ(e_.fp().to_int(e_.fp2().norm(v)), FpInt{1});
+}
+
+TEST_F(PairingTest, PreprocessingMatchesPlain) {
+  const auto p = e_.curve().random_point(rng_);
+  const auto pre = e_.preprocess(p);
+  for (int i = 0; i < 4; ++i) {
+    const auto q = e_.curve().random_point(rng_);
+    EXPECT_EQ(pre.pair_with(q), e_.pair(p, q));
+  }
+  EXPECT_TRUE(e_.gt_is_one(pre.pair_with(AffinePoint::infinity())));
+}
+
+TEST_F(PairingTest, PreprocessInfinity) {
+  const auto pre = e_.preprocess(AffinePoint::infinity());
+  const auto q = e_.curve().random_point(rng_);
+  EXPECT_TRUE(e_.gt_is_one(pre.pair_with(q)));
+}
+
+TEST_F(PairingTest, GtPowHomomorphism) {
+  const auto& fq = e_.fq();
+  const Fq a = fq.random(rng_);
+  const Fq b = fq.random(rng_);
+  const GtEl g = e_.gt_generator();
+  EXPECT_EQ(e_.gt_mul(e_.gt_pow(g, a), e_.gt_pow(g, b)),
+            e_.gt_pow(g, fq.add(a, b)));
+}
+
+TEST_F(PairingTest, GtSerializeRoundTrip) {
+  for (int i = 0; i < 5; ++i) {
+    const GtEl v = e_.gt_random(rng_);
+    std::array<std::uint8_t, Pairing::kGtCompressedSize> buf{};
+    e_.gt_serialize(v, buf);
+    EXPECT_EQ(e_.gt_deserialize(buf), v);
+  }
+}
+
+TEST_F(PairingTest, GtDeserializeRejectsGarbage) {
+  std::array<std::uint8_t, Pairing::kGtCompressedSize> buf{};
+  buf[0] = 7;
+  EXPECT_THROW((void)e_.gt_deserialize(buf), std::invalid_argument);
+}
+
+TEST_F(PairingTest, FinalExpKillsSubfield) {
+  // Any element of F_p* (embedded in F_p^2) must map to 1 — this is what
+  // justifies denominator elimination.
+  const Fp a = e_.fp().random(rng_);
+  const Fp2El sub = e_.fp2().from_base(a);
+  EXPECT_TRUE(e_.gt_is_one(e_.final_exp(sub)));
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,75 @@
+// Parameterized over freshly generated type-A parameter sets: the whole
+// stack (curve, pairing, DPVS, HPE, APKS) must be correct for any valid
+// parameters, not just the embedded defaults.
+#include <gtest/gtest.h>
+
+#include "core/apks.h"
+
+namespace apks {
+namespace {
+
+class ParamDiversity : public ::testing::TestWithParam<const char*> {
+ protected:
+  ParamDiversity()
+      : params_(make_params(GetParam())),
+        e_(params_),
+        rng_(std::string("param-div-") + GetParam()) {}
+
+  static TypeAParams make_params(const char* seed) {
+    ChaChaRng rng(seed);
+    return generate_type_a(rng);
+  }
+
+  TypeAParams params_;
+  Pairing e_;
+  ChaChaRng rng_;
+};
+
+TEST_P(ParamDiversity, ParamsValidate) {
+  ChaChaRng check("param-check");
+  EXPECT_NO_THROW(validate_params(params_, check));
+  EXPECT_EQ(params_.q.bit_length(), 160u);
+  EXPECT_GE(params_.p.bit_length(), 510u);
+  EXPECT_NE(params_.q, default_type_a_params().q);
+}
+
+TEST_P(ParamDiversity, PairingBilinear) {
+  const auto& fq = e_.fq();
+  const Fq a = fq.random(rng_);
+  const Fq b = fq.random(rng_);
+  const auto& g = e_.curve().generator();
+  EXPECT_EQ(e_.pair(e_.curve().mul_fq(g, a), e_.curve().mul_fq(g, b)),
+            e_.gt_pow(e_.gt_generator(), fq.mul(a, b)));
+  EXPECT_FALSE(e_.gt_is_one(e_.gt_generator()));
+}
+
+TEST_P(ParamDiversity, FixedBaseCombAgrees) {
+  const Fq k = e_.fq().random(rng_);
+  EXPECT_EQ(e_.curve().mul_base_fq(k),
+            e_.curve().mul_fq(e_.curve().generator(), k));
+}
+
+TEST_P(ParamDiversity, ApksEndToEnd) {
+  const Schema schema({{"a", nullptr, 1}, {"b", nullptr, 1}});
+  const Apks scheme(e_, schema);
+  ApksPublicKey pk;
+  ApksMasterKey msk;
+  scheme.setup(rng_, pk, msk);
+  const PlainIndex row{{"x", "y"}};
+  const auto enc = scheme.gen_index(pk, row, rng_);
+  const auto hit = scheme.gen_cap(
+      msk, Query{{QueryTerm::equals("x"), QueryTerm::any()}}, rng_);
+  const auto miss = scheme.gen_cap(
+      msk, Query{{QueryTerm::equals("z"), QueryTerm::any()}}, rng_);
+  EXPECT_TRUE(scheme.search(hit, enc));
+  EXPECT_FALSE(scheme.search(miss, enc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParamDiversity,
+                         ::testing::Values("alpha", "beta", "gamma"),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,280 @@
+// Parameterized property tests for the APKS core: for every (d, corpus)
+// configuration, encrypted search must agree exactly with the plaintext
+// reference semantics over randomized workloads, and the encodings must
+// satisfy their algebraic invariants.
+#include <gtest/gtest.h>
+
+#include "core/apks.h"
+#include "data/workload.h"
+#include "ec/params.h"
+
+namespace apks {
+namespace {
+
+// ---------- encoding invariants over an (m', d) grid ----------
+
+struct EncodingParam {
+  std::size_t fields;
+  std::size_t degree;
+};
+
+class EncodingProperty : public ::testing::TestWithParam<EncodingParam> {
+ protected:
+  EncodingProperty()
+      : fq_(default_type_a_params().q),
+        schema_(make_schema(GetParam())),
+        rng_("encoding-property") {}
+
+  static Schema make_schema(const EncodingParam& p) {
+    std::vector<Dimension> dims;
+    for (std::size_t i = 0; i < p.fields; ++i) {
+      dims.push_back({"f" + std::to_string(i), nullptr, p.degree});
+    }
+    return Schema(std::move(dims));
+  }
+
+  PlainIndex random_index() {
+    PlainIndex idx;
+    for (std::size_t i = 0; i < schema_.original_dims(); ++i) {
+      idx.values.push_back("v" + std::to_string(rng_.next_below(6)));
+    }
+    return idx;
+  }
+
+  // Random query: each dim is any / equality / subset of <= d values.
+  Query random_query() {
+    Query q;
+    for (std::size_t i = 0; i < schema_.original_dims(); ++i) {
+      const std::uint64_t mode = rng_.next_below(3);
+      if (mode == 0) {
+        q.terms.push_back(QueryTerm::any());
+      } else {
+        const std::size_t count =
+            1 + rng_.next_below(std::min<std::uint64_t>(
+                    GetParam().degree, 3));
+        std::vector<std::string> vals;
+        for (std::size_t j = 0; j < count; ++j) {
+          vals.push_back("v" + std::to_string((rng_.next_below(6) + j) % 6));
+        }
+        // Deduplicate (repeated roots are legal but make matching odd).
+        std::sort(vals.begin(), vals.end());
+        vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+        q.terms.push_back(QueryTerm::subset(vals));
+      }
+    }
+    return q;
+  }
+
+  FqField fq_;
+  Schema schema_;
+  ChaChaRng rng_;
+};
+
+TEST_P(EncodingProperty, InnerProductZeroIffPlainMatch) {
+  for (int trial = 0; trial < 25; ++trial) {
+    const PlainIndex idx = random_index();
+    const Query q = random_query();
+    const auto x = psi_encode(
+        fq_, schema_, hash_index(fq_, schema_, schema_.convert_index(idx)));
+    const auto v = phi_encode(
+        fq_, schema_, hash_query(fq_, schema_, schema_.convert_query(q)),
+        rng_);
+    ASSERT_EQ(x.size(), schema_.vector_length());
+    ASSERT_EQ(v.size(), schema_.vector_length());
+    EXPECT_EQ(inner_product(fq_, x, v).is_zero(),
+              schema_.matches_plain(idx, q))
+        << "trial " << trial;
+  }
+}
+
+TEST_P(EncodingProperty, PredicateVectorIsFreshlyRandomized) {
+  const Query q = random_query();
+  const auto pred = hash_query(fq_, schema_, schema_.convert_query(q));
+  bool any_active = false;
+  for (const auto& p : pred) any_active = any_active || !p.dont_care;
+  if (!any_active) GTEST_SKIP() << "all don't-care: deterministic zero";
+  const auto v1 = phi_encode(fq_, schema_, pred, rng_);
+  const auto v2 = phi_encode(fq_, schema_, pred, rng_);
+  EXPECT_NE(v1, v2);  // random multipliers r_i
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EncodingProperty,
+    ::testing::Values(EncodingParam{1, 1}, EncodingParam{1, 4},
+                      EncodingParam{3, 2}, EncodingParam{5, 1},
+                      EncodingParam{9, 3}),
+    [](const auto& param_info) {
+      return "m" + std::to_string(param_info.param.fields) + "d" +
+             std::to_string(param_info.param.degree);
+    });
+
+// ---------- hierarchy invariants over (branching, depth) ----------
+
+struct TreeParam {
+  std::size_t branching;
+  std::size_t depth;
+  std::uint64_t domain;
+};
+
+class HierarchyProperty : public ::testing::TestWithParam<TreeParam> {
+ protected:
+  HierarchyProperty()
+      : tree_(AttributeHierarchy::numeric("t", 0, GetParam().domain - 1,
+                                          GetParam().branching,
+                                          GetParam().depth)),
+        rng_("hierarchy-property") {}
+  AttributeHierarchy tree_;
+  ChaChaRng rng_;
+};
+
+TEST_P(HierarchyProperty, EveryValueHasFullPathContainingIt) {
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t v = rng_.next_below(GetParam().domain);
+    const auto path = tree_.path_for_value(v);
+    ASSERT_EQ(path.size(), tree_.height());
+    for (const auto& label : path) {
+      const auto idx = tree_.find(label);
+      ASSERT_TRUE(idx.has_value());
+      EXPECT_LE(tree_.node(*idx).lo, v);
+      EXPECT_GE(tree_.node(*idx).hi, v);
+    }
+  }
+}
+
+TEST_P(HierarchyProperty, EachLevelPartitionsDomain) {
+  for (std::size_t level = 1; level <= tree_.height(); ++level) {
+    std::uint64_t total = 0;
+    std::uint64_t prev_hi = 0;
+    bool first = true;
+    for (const auto& label : tree_.labels_at_level(level)) {
+      const auto idx = tree_.find(label);
+      ASSERT_TRUE(idx.has_value());
+      const auto& node = tree_.node(*idx);
+      total += node.hi - node.lo + 1;
+      if (!first) {
+        EXPECT_EQ(node.lo, prev_hi + 1);  // contiguous in order
+      }
+      prev_hi = node.hi;
+      first = false;
+    }
+    EXPECT_EQ(total, GetParam().domain) << "level " << level;
+  }
+}
+
+TEST_P(HierarchyProperty, CoverContainsValueIffInRange) {
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t a = rng_.next_below(GetParam().domain);
+    const std::uint64_t b = rng_.next_below(GetParam().domain);
+    const std::uint64_t lo = std::min(a, b), hi = std::max(a, b);
+    const std::size_t level = 1 + rng_.next_below(tree_.height());
+    const auto cover = tree_.cover_range(lo, hi, level);
+    const std::uint64_t v = rng_.next_below(GetParam().domain);
+    // Copy, not reference: the path vector is a temporary.
+    const std::string level_label = tree_.path_for_value(v)[level - 1];
+    const bool in_cover =
+        std::find(cover.begin(), cover.end(), level_label) != cover.end();
+    // Covers may over-approximate at node granularity, but they can never
+    // miss a value actually inside the range.
+    if (v >= lo && v <= hi) {
+      EXPECT_TRUE(in_cover);
+    }
+    if (!in_cover) {
+      EXPECT_TRUE(v < lo || v > hi);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HierarchyProperty,
+    ::testing::Values(TreeParam{2, 4, 16}, TreeParam{3, 3, 27},
+                      TreeParam{4, 3, 100}, TreeParam{2, 6, 50},
+                      TreeParam{5, 2, 9}),
+    [](const auto& param_info) {
+      return "b" + std::to_string(param_info.param.branching) + "d" +
+             std::to_string(param_info.param.depth) + "n" +
+             std::to_string(param_info.param.domain);
+    });
+
+// ---------- end-to-end encrypted search consistency over d ----------
+
+class ApksSearchProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  ApksSearchProperty()
+      : e_(default_type_a_params()),
+        schema_(small_nursery_schema(GetParam())),
+        apks_(e_, schema_),
+        rng_("apks-property-" + std::to_string(GetParam())) {
+    apks_.setup(rng_, pk_, msk_);
+  }
+
+  // First 4 nursery attributes only, to keep n small and tests quick.
+  static Schema small_nursery_schema(std::size_t d) {
+    std::vector<Dimension> dims;
+    const auto& attrs = nursery_attributes();
+    for (std::size_t i = 0; i < 4; ++i) {
+      dims.push_back({attrs[i].name, nullptr, d});
+    }
+    return Schema(std::move(dims));
+  }
+
+  PlainIndex random_row() {
+    PlainIndex row;
+    const auto& attrs = nursery_attributes();
+    for (std::size_t i = 0; i < 4; ++i) {
+      row.values.push_back(
+          attrs[i].values[rng_.next_below(attrs[i].values.size())]);
+    }
+    return row;
+  }
+
+  Query random_query() {
+    Query q;
+    const auto& attrs = nursery_attributes();
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (rng_.next_below(2) == 0) {
+        q.terms.push_back(QueryTerm::any());
+      } else {
+        const std::size_t count =
+            1 + rng_.next_below(std::min(GetParam(),
+                                         attrs[i].values.size()));
+        q.terms.push_back(
+            QueryTerm::subset(sample_values(attrs[i].values, count, rng_)));
+      }
+    }
+    return q;
+  }
+
+  Pairing e_;
+  Schema schema_;
+  Apks apks_;
+  ChaChaRng rng_;
+  ApksPublicKey pk_;
+  ApksMasterKey msk_;
+};
+
+TEST_P(ApksSearchProperty, EncryptedSearchEqualsPlaintextSemantics) {
+  std::vector<PlainIndex> corpus;
+  std::vector<EncryptedIndex> encrypted;
+  for (int i = 0; i < 3; ++i) {
+    corpus.push_back(random_row());
+    encrypted.push_back(apks_.gen_index(pk_, corpus.back(), rng_));
+  }
+  for (int trial = 0; trial < 3; ++trial) {
+    const Query q = random_query();
+    const auto cap = apks_.gen_cap(msk_, q, rng_);
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_EQ(apks_.search(cap, encrypted[i]),
+                apks_.schema().matches_plain(corpus[i], q))
+          << "trial " << trial << " row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OrBudgets, ApksSearchProperty,
+                         ::testing::Values(1, 2, 3),
+                         [](const auto& param_info) {
+                           return "d" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace apks

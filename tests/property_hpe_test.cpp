@@ -1,0 +1,136 @@
+// Parameterized property tests for HPE across predicate-vector lengths and
+// delegation depths: decryption correctness must hold for every n, and
+// delegation must implement exact AND semantics at every level.
+#include <gtest/gtest.h>
+
+#include "hpe/hpe.h"
+
+namespace apks {
+namespace {
+
+class HpeProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  HpeProperty()
+      : e_(default_type_a_params()),
+        hpe_(e_, GetParam()),
+        fq_(e_.fq()),
+        rng_("hpe-property-" + std::to_string(GetParam())) {
+    hpe_.setup(rng_, pk_, msk_);
+    msg_ = e_.gt_random(rng_);
+  }
+
+  std::vector<Fq> random_vec() {
+    std::vector<Fq> v(hpe_.n());
+    for (auto& c : v) c = fq_.random(rng_);
+    return v;
+  }
+
+  // Solves the last nonzero coordinate so that x . v == 0.
+  std::vector<Fq> orthogonal_to(const std::vector<Fq>& v) {
+    std::vector<Fq> x(hpe_.n(), fq_.zero());
+    std::size_t pivot = hpe_.n();
+    for (std::size_t i = 0; i < hpe_.n(); ++i) {
+      if (!v[i].is_zero()) pivot = i;
+    }
+    if (pivot == hpe_.n()) return x;  // v == 0: anything is orthogonal
+    Fq acc = fq_.zero();
+    for (std::size_t i = 0; i < hpe_.n(); ++i) {
+      if (i == pivot) continue;
+      x[i] = fq_.random(rng_);
+      acc = fq_.add(acc, fq_.mul(x[i], v[i]));
+    }
+    x[pivot] = fq_.neg(fq_.mul(acc, fq_.inv(v[pivot])));
+    return x;
+  }
+
+  Pairing e_;
+  Hpe hpe_;
+  const FqField& fq_;
+  ChaChaRng rng_;
+  HpePublicKey pk_;
+  HpeMasterKey msk_;
+  GtEl msg_;
+};
+
+TEST_P(HpeProperty, MatchAndMismatchSweep) {
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto v = random_vec();
+    const auto key = hpe_.gen_key(msk_, v, rng_);
+    const auto x_match = orthogonal_to(v);
+    EXPECT_EQ(hpe_.decrypt(hpe_.encrypt(pk_, x_match, msg_, rng_), key),
+              msg_);
+    const auto x_miss = random_vec();
+    if (!inner_product(fq_, x_miss, v).is_zero()) {
+      EXPECT_NE(hpe_.decrypt(hpe_.encrypt(pk_, x_miss, msg_, rng_), key),
+                msg_);
+    }
+  }
+}
+
+TEST_P(HpeProperty, ScalingPredicateVectorKeepsSemantics) {
+  // v and c*v define the same predicate.
+  const auto v = random_vec();
+  const Fq c = fq_.random_nonzero(rng_);
+  std::vector<Fq> cv(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) cv[i] = fq_.mul(c, v[i]);
+  const auto key = hpe_.gen_key(msk_, cv, rng_);
+  const auto x = orthogonal_to(v);
+  EXPECT_EQ(hpe_.decrypt(hpe_.encrypt(pk_, x, msg_, rng_), key), msg_);
+}
+
+TEST_P(HpeProperty, DelegationChainIsCumulativeAnd) {
+  if (hpe_.n() < 2) GTEST_SKIP() << "need n >= 2 for two constraints";
+  // Build a chain of keys for e_1-like vectors with disjoint support and
+  // an x that zeroes all of them.
+  const std::size_t depth = std::min<std::size_t>(3, hpe_.n());
+  std::vector<std::vector<Fq>> vs;
+  for (std::size_t l = 0; l < depth; ++l) {
+    std::vector<Fq> v(hpe_.n(), fq_.zero());
+    v[l] = fq_.random_nonzero(rng_);  // constrains x[l] == 0
+    vs.push_back(std::move(v));
+  }
+  HpeKey key = hpe_.gen_key(msk_, vs[0], rng_);
+  std::vector<HpeKey> chain{key};
+  for (std::size_t l = 1; l < depth; ++l) {
+    key = hpe_.delegate(key, vs[l], rng_);
+    chain.push_back(key);
+    EXPECT_EQ(key.level, l + 1);
+    EXPECT_EQ(key.ran.size(), l + 2);
+  }
+  // x zero on the first `depth` coords, random elsewhere: all levels match.
+  std::vector<Fq> x(hpe_.n(), fq_.zero());
+  for (std::size_t i = depth; i < hpe_.n(); ++i) x[i] = fq_.random(rng_);
+  const auto ct = hpe_.encrypt(pk_, x, msg_, rng_);
+  for (const auto& k : chain) {
+    EXPECT_EQ(hpe_.decrypt(ct, k), msg_) << "level " << k.level;
+  }
+  // Violating only the deepest constraint: all ancestors match, leaf fails.
+  if (depth >= 2) {
+    auto y = x;
+    y[depth - 1] = fq_.random_nonzero(rng_);
+    const auto ct2 = hpe_.encrypt(pk_, y, msg_, rng_);
+    for (std::size_t l = 0; l + 1 < depth; ++l) {
+      EXPECT_EQ(hpe_.decrypt(ct2, chain[l]), msg_) << "level " << l + 1;
+    }
+    EXPECT_NE(hpe_.decrypt(ct2, chain[depth - 1]), msg_);
+  }
+}
+
+TEST_P(HpeProperty, PreprocessedAgreesOnBothOutcomes) {
+  const auto v = random_vec();
+  const auto key = hpe_.gen_key(msk_, v, rng_);
+  const auto pre = hpe_.preprocess_key(key);
+  const auto hit = hpe_.encrypt(pk_, orthogonal_to(v), msg_, rng_);
+  const auto miss = hpe_.encrypt(pk_, random_vec(), msg_, rng_);
+  EXPECT_EQ(hpe_.decrypt_pre(hit, pre), hpe_.decrypt(hit, key));
+  EXPECT_EQ(hpe_.decrypt_pre(miss, pre), hpe_.decrypt(miss, key));
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorLengths, HpeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8),
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,93 @@
+// Parameterized property tests for MRQED^D over a (dimensions, tree-depth)
+// grid: encrypted hyper-rectangle matching must agree with plaintext
+// interval containment for randomized points and ranges.
+#include <gtest/gtest.h>
+
+#include "mrqed/mrqed.h"
+
+namespace apks {
+namespace {
+
+struct MrqedParam {
+  std::size_t dims;
+  std::size_t depth;
+};
+
+class MrqedProperty : public ::testing::TestWithParam<MrqedParam> {
+ protected:
+  MrqedProperty()
+      : e_(default_type_a_params()),
+        scheme_(e_, GetParam().dims, GetParam().depth),
+        rng_("mrqed-property-" + std::to_string(GetParam().dims) + "-" +
+             std::to_string(GetParam().depth)) {
+    scheme_.setup(rng_, pk_, msk_);
+  }
+
+  [[nodiscard]] std::uint64_t domain() const {
+    return std::uint64_t{1} << GetParam().depth;
+  }
+
+  Pairing e_;
+  Mrqed scheme_;
+  ChaChaRng rng_;
+  MrqedPublicKey pk_;
+  MrqedMasterKey msk_;
+};
+
+TEST_P(MrqedProperty, RandomizedMatchConsistency) {
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<std::uint64_t> point;
+    std::vector<MrqedRange> ranges;
+    bool expect = true;
+    for (std::size_t d = 0; d < GetParam().dims; ++d) {
+      point.push_back(rng_.next_below(domain()));
+      const std::uint64_t a = rng_.next_below(domain());
+      const std::uint64_t b = rng_.next_below(domain());
+      const MrqedRange r{std::min(a, b), std::max(a, b)};
+      ranges.push_back(r);
+      expect = expect && point[d] >= r.lo && point[d] <= r.hi;
+    }
+    const auto ct = scheme_.encrypt(pk_, point, rng_);
+    const auto key = scheme_.gen_key(pk_, msk_, ranges, rng_);
+    EXPECT_EQ(scheme_.match(ct, key), expect) << "trial " << trial;
+  }
+}
+
+TEST_P(MrqedProperty, BoundaryRangesBehave) {
+  // Point at the domain edges against single-point ranges.
+  const std::uint64_t edge = domain() - 1;
+  std::vector<std::uint64_t> point(GetParam().dims, edge);
+  const auto ct = scheme_.encrypt(pk_, point, rng_);
+  std::vector<MrqedRange> exact(GetParam().dims, {edge, edge});
+  EXPECT_TRUE(scheme_.match(ct, scheme_.gen_key(pk_, msk_, exact, rng_)));
+  std::vector<MrqedRange> adjacent(GetParam().dims, {0, edge - 1});
+  EXPECT_FALSE(
+      scheme_.match(ct, scheme_.gen_key(pk_, msk_, adjacent, rng_)));
+}
+
+TEST_P(MrqedProperty, PairingBudgetBounded) {
+  // The probe count never exceeds 5 * (cover size + 1) per dimension —
+  // the bound behind the paper's "5n pairings" cost model.
+  std::vector<std::uint64_t> point(GetParam().dims, domain() - 1);
+  std::vector<MrqedRange> ranges(GetParam().dims,
+                                 {domain() > 2 ? 1u : 0u, domain() - 1});
+  const auto ct = scheme_.encrypt(pk_, point, rng_);
+  const auto key = scheme_.gen_key(pk_, msk_, ranges, rng_);
+  std::size_t cover_nodes = 0;
+  for (const auto& dim : key.dims) cover_nodes += dim.size();
+  Mrqed::MatchStats stats;
+  EXPECT_TRUE(scheme_.match(ct, key, &stats));
+  EXPECT_LE(stats.pairings, 5 * (cover_nodes + GetParam().dims));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MrqedProperty,
+    ::testing::Values(MrqedParam{1, 2}, MrqedParam{2, 3}, MrqedParam{3, 4},
+                      MrqedParam{4, 2}),
+    [](const auto& param_info) {
+      return "D" + std::to_string(param_info.param.dims) + "L" +
+             std::to_string(param_info.param.depth);
+    });
+
+}  // namespace
+}  // namespace apks

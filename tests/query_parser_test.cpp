@@ -1,0 +1,112 @@
+// Tests for the textual query syntax.
+#include <gtest/gtest.h>
+
+#include "core/query_parser.h"
+#include "data/phr.h"
+
+namespace apks {
+namespace {
+
+class QueryParserTest : public ::testing::Test {
+ protected:
+  QueryParserTest() : schema_(phr_schema({.max_or = 2})) {}
+  Schema schema_;
+};
+
+TEST_F(QueryParserTest, Equality) {
+  const Query q = parse_query(schema_, "sex = Male");
+  EXPECT_EQ(q.terms[1].kind, QueryTerm::Kind::kEquality);
+  EXPECT_EQ(q.terms[1].values, std::vector<std::string>{"Male"});
+  for (const std::size_t i : {0u, 2u, 3u, 4u}) {
+    EXPECT_EQ(q.terms[i].kind, QueryTerm::Kind::kAny) << i;
+  }
+}
+
+TEST_F(QueryParserTest, SubsetAndSpaces) {
+  const Query q = parse_query(schema_, "  illness in diabetes , asthma  ");
+  EXPECT_EQ(q.terms[3].kind, QueryTerm::Kind::kSubset);
+  EXPECT_EQ(q.terms[3].values,
+            (std::vector<std::string>{"diabetes", "asthma"}));
+}
+
+TEST_F(QueryParserTest, RangeWithAndWithoutLevel) {
+  const Query q = parse_query(schema_, "age : 34-100 @ 2");
+  EXPECT_EQ(q.terms[0].kind, QueryTerm::Kind::kRange);
+  EXPECT_EQ(q.terms[0].lo, 34u);
+  EXPECT_EQ(q.terms[0].hi, 100u);
+  EXPECT_EQ(q.terms[0].level, 2u);
+  // Default level = hierarchy height (leaf level).
+  const Query q2 = parse_query(schema_, "age:40-41");
+  EXPECT_EQ(q2.terms[0].level, phr_age_tree()->height());
+}
+
+TEST_F(QueryParserTest, Semantic) {
+  const Query q = parse_query(schema_, "region under East MA");
+  EXPECT_EQ(q.terms[2].kind, QueryTerm::Kind::kSemantic);
+  EXPECT_EQ(q.terms[2].values, std::vector<std::string>{"East MA"});
+}
+
+TEST_F(QueryParserTest, MultiTermConjunction) {
+  const Query q = parse_query(
+      schema_,
+      "age : 34-100 @ 2; sex = Male; illness in diabetes, hypertension");
+  EXPECT_EQ(q.terms[0].kind, QueryTerm::Kind::kRange);
+  EXPECT_EQ(q.terms[1].kind, QueryTerm::Kind::kEquality);
+  EXPECT_EQ(q.terms[3].kind, QueryTerm::Kind::kSubset);
+  EXPECT_EQ(q.terms[4].kind, QueryTerm::Kind::kAny);
+  // The parsed query converts cleanly against the schema.
+  EXPECT_NO_THROW((void)schema_.convert_query(q));
+}
+
+TEST_F(QueryParserTest, ExplicitDontCareAndEmpty) {
+  const Query q = parse_query(schema_, "sex = *;; ;");
+  for (const auto& t : q.terms) {
+    EXPECT_EQ(t.kind, QueryTerm::Kind::kAny);
+  }
+  const Query q2 = parse_query(schema_, "");
+  EXPECT_EQ(q2.terms.size(), schema_.original_dims());
+}
+
+TEST_F(QueryParserTest, Errors) {
+  EXPECT_THROW((void)parse_query(schema_, "bogus = 1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_query(schema_, "sex Male"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_query(schema_, "sex ="), std::invalid_argument);
+  EXPECT_THROW((void)parse_query(schema_, "sex = Male; sex = Female"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_query(schema_, "age : 10"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_query(schema_, "age : x-y"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_query(schema_, "illness in "),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_query(schema_, "sex : 1-2"),
+               std::invalid_argument);  // range on flat dim
+}
+
+TEST_F(QueryParserTest, FormatRoundTrip) {
+  const std::string text =
+      "age : 34-100 @ 2; sex = Male; illness in diabetes, hypertension";
+  const Query q = parse_query(schema_, text);
+  const std::string rendered = format_query(schema_, q);
+  const Query q2 = parse_query(schema_, rendered);
+  // Round-trip through text preserves semantics (compare conversions).
+  const auto c1 = schema_.convert_query(q);
+  const auto c2 = schema_.convert_query(q2);
+  EXPECT_EQ(c1.per_field, c2.per_field);
+}
+
+TEST_F(QueryParserTest, ParseIndex) {
+  const PlainIndex idx =
+      parse_index(schema_, "61, Male, Boston, diabetes, Hospital B");
+  EXPECT_EQ(idx.values.size(), 5u);
+  EXPECT_EQ(idx.values[0], "61");
+  EXPECT_EQ(idx.values[4], "Hospital B");
+  EXPECT_NO_THROW((void)schema_.convert_index(idx));
+  EXPECT_THROW((void)parse_index(schema_, "61, Male"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,76 @@
+// Tests for the ChaCha20 deterministic generator and rejection sampling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/hex.h"
+#include "common/rng.h"
+
+namespace apks {
+namespace {
+
+TEST(ChaChaRng, Rfc8439KeystreamBlock) {
+  // RFC 8439 section 2.3.2 test vector uses a specific key/nonce/counter;
+  // our RNG fixes nonce=0 and counter=0, so instead verify the all-zero-key
+  // stream is deterministic and matches itself across instances.
+  std::array<std::uint8_t, 32> seed{};
+  ChaChaRng a(seed), b(seed);
+  std::array<std::uint8_t, 128> s1{}, s2{};
+  a.fill(s1);
+  b.fill(s2);
+  EXPECT_EQ(s1, s2);
+  // And is not all zeros (the block function actually ran).
+  EXPECT_TRUE(std::any_of(s1.begin(), s1.end(),
+                          [](std::uint8_t v) { return v != 0; }));
+}
+
+TEST(ChaChaRng, DifferentSeedsDiverge) {
+  ChaChaRng a("seed-a"), b("seed-b");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(ChaChaRng, SameLabelSameStream) {
+  ChaChaRng a("label", 7), b("label", 7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  ChaChaRng c("label", 8);
+  EXPECT_NE(ChaChaRng("label", 7).next_u64(), c.next_u64());
+}
+
+TEST(ChaChaRng, UnalignedFills) {
+  ChaChaRng a("unaligned"), b("unaligned");
+  std::vector<std::uint8_t> one(200), parts(200);
+  a.fill(one);
+  b.fill(std::span<std::uint8_t>(parts.data(), 3));
+  b.fill(std::span<std::uint8_t>(parts.data() + 3, 64));
+  b.fill(std::span<std::uint8_t>(parts.data() + 67, 133));
+  EXPECT_EQ(one, parts);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  ChaChaRng rng("below");
+  std::array<int, 10> seen{};
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    seen[v]++;
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_GT(seen[static_cast<std::size_t>(i)], 0) << i;
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  ChaChaRng rng("one");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(SystemRng, ProducesBytes) {
+  SystemRng rng;
+  std::array<std::uint8_t, 32> a{}, b{};
+  rng.fill(a);
+  rng.fill(b);
+  EXPECT_NE(a, b);  // astronomically unlikely to collide
+}
+
+}  // namespace
+}  // namespace apks

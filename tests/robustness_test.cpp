@@ -1,0 +1,136 @@
+// Failure-injection tests: tampered ciphertexts/keys, malformed objects and
+// cross-instance misuse must fail safely (no match / explicit error), never
+// silently succeed.
+#include <gtest/gtest.h>
+
+#include "core/apks_plus.h"
+#include "ec/params.h"
+#include "hpe/serialize.h"
+
+namespace apks {
+namespace {
+
+Schema tiny_schema() {
+  return Schema({{"a", nullptr, 1}, {"b", nullptr, 1}});
+}
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  RobustnessTest()
+      : e_(default_type_a_params()),
+        apks_(e_, tiny_schema()),
+        rng_("robustness") {
+    apks_.setup(rng_, pk_, msk_);
+    row_ = {{"x", "y"}};
+    query_ = Query{{QueryTerm::equals("x"), QueryTerm::equals("y")}};
+    enc_ = apks_.gen_index(pk_, row_, rng_);
+    cap_ = apks_.gen_cap(msk_, query_, rng_);
+  }
+
+  Pairing e_;
+  Apks apks_;
+  ChaChaRng rng_;
+  ApksPublicKey pk_;
+  ApksMasterKey msk_;
+  PlainIndex row_;
+  Query query_;
+  EncryptedIndex enc_;
+  Capability cap_;
+};
+
+TEST_F(RobustnessTest, BaselineMatches) {
+  ASSERT_TRUE(apks_.search(cap_, enc_));
+}
+
+TEST_F(RobustnessTest, TamperedCiphertextVectorFailsToMatch) {
+  // Corrupt each c1 coordinate in turn by adding the curve generator.
+  for (std::size_t i = 0; i < enc_.ct.c1.size(); ++i) {
+    EncryptedIndex tampered = enc_;
+    tampered.ct.c1[i] =
+        e_.curve().add(tampered.ct.c1[i], e_.curve().generator());
+    EXPECT_FALSE(apks_.search(cap_, tampered)) << "coordinate " << i;
+  }
+}
+
+TEST_F(RobustnessTest, TamperedGtComponentFailsToMatch) {
+  EncryptedIndex tampered = enc_;
+  tampered.ct.c2 = e_.gt_mul(tampered.ct.c2, e_.gt_generator());
+  EXPECT_FALSE(apks_.search(cap_, tampered));
+}
+
+TEST_F(RobustnessTest, TamperedCapabilityFailsToMatch) {
+  Capability tampered = cap_;
+  tampered.key.dec[0] =
+      e_.curve().add(tampered.key.dec[0], e_.curve().generator());
+  EXPECT_FALSE(apks_.search(tampered, enc_));
+}
+
+TEST_F(RobustnessTest, CrossInstanceObjectsNeverMatch) {
+  // A second, independently set-up system: its capabilities must not match
+  // indexes of the first (different master keys, same schema).
+  ApksPublicKey pk2;
+  ApksMasterKey msk2;
+  apks_.setup(rng_, pk2, msk2);
+  const auto foreign_cap = apks_.gen_cap(msk2, query_, rng_);
+  EXPECT_FALSE(apks_.search(foreign_cap, enc_));
+  const auto foreign_enc = apks_.gen_index(pk2, row_, rng_);
+  EXPECT_FALSE(apks_.search(cap_, foreign_enc));
+}
+
+TEST_F(RobustnessTest, DimensionMismatchedObjectsThrow) {
+  const Apks bigger(e_, Schema({{"a", nullptr, 2}, {"b", nullptr, 2}}));
+  ApksPublicKey pk_big;
+  ApksMasterKey msk_big;
+  bigger.setup(rng_, pk_big, msk_big);
+  // Encrypting with a key of the wrong dimension must throw, not UB.
+  EXPECT_THROW((void)apks_.gen_index({pk_big.hpe}, row_, rng_),
+               std::invalid_argument);
+  EXPECT_THROW((void)apks_.gen_cap({msk_big.hpe}, query_, rng_),
+               std::invalid_argument);
+}
+
+TEST_F(RobustnessTest, CorruptedSerializedKeyRejectedOrHarmless) {
+  auto data = serialize_key(e_, cap_.key);
+  // Flip one byte inside a point encoding; either deserialization rejects
+  // it (x not on curve / bad tag) or the resulting key fails to match.
+  bool rejected_or_mismatch = false;
+  data[40] ^= 0x5A;
+  try {
+    Capability mangled;
+    mangled.key = deserialize_key(e_, data);
+    rejected_or_mismatch = !apks_.search(mangled, enc_);
+  } catch (const std::invalid_argument&) {
+    rejected_or_mismatch = true;
+  } catch (const std::out_of_range&) {
+    rejected_or_mismatch = true;
+  }
+  EXPECT_TRUE(rejected_or_mismatch);
+}
+
+TEST_F(RobustnessTest, ProxyTransformWithWrongShareBreaksSearch) {
+  const ApksPlus plus(e_, tiny_schema());
+  const auto setup = plus.setup_plus(rng_);
+  const auto cap = plus.gen_cap(setup.msk, query_, rng_);
+  auto enc = plus.partial_gen_index(setup.pk, row_, rng_);
+  // Transform with an unrelated scalar instead of r^{-1}.
+  const Fq wrong = e_.fq().random_nonzero(rng_);
+  enc = plus.proxy_transform(wrong, enc);
+  EXPECT_FALSE(plus.search(cap, enc));
+}
+
+TEST_F(RobustnessTest, DoubleProxyTransformBreaksSearch) {
+  // Applying the (correct) single-proxy transformation twice must not
+  // yield a searchable index either.
+  const ApksPlus plus(e_, tiny_schema());
+  const auto setup = plus.setup_plus(rng_);
+  const auto cap = plus.gen_cap(setup.msk, query_, rng_);
+  auto enc = plus.partial_gen_index(setup.pk, row_, rng_);
+  const Fq rinv = e_.fq().inv(setup.r);
+  enc = plus.proxy_transform(rinv, enc);
+  ASSERT_TRUE(plus.search(cap, enc));
+  enc = plus.proxy_transform(rinv, enc);
+  EXPECT_FALSE(plus.search(cap, enc));
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,210 @@
+// Tests for index/query conversion (paper Fig. 4) and plaintext reference
+// matching semantics.
+#include <gtest/gtest.h>
+
+#include "core/schema.h"
+#include "core/time_attr.h"
+
+namespace apks {
+namespace {
+
+std::shared_ptr<const AttributeHierarchy> age_h() {
+  return std::make_shared<AttributeHierarchy>(
+      AttributeHierarchy::numeric("age", 0, 100, 3, 3));
+}
+
+std::shared_ptr<const AttributeHierarchy> region_h() {
+  AttributeHierarchy::Spec spec{
+      "MA",
+      {{"East MA", {{"Boston", {}}, {"Quincy", {}}}},
+       {"Central MA", {{"Worcester", {}}, {"Framingham", {}}}},
+       {"West MA", {{"Springfield", {}}, {"Pittsfield", {}}}}}};
+  return std::make_shared<AttributeHierarchy>(
+      AttributeHierarchy::semantic("region", spec));
+}
+
+// The paper's running example: age (hier), sex (flat), region (hier),
+// illness (flat), provider (flat).
+Schema phr_schema() {
+  return Schema({{"age", age_h(), 2},
+                 {"sex", nullptr, 1},
+                 {"region", region_h(), 2},
+                 {"illness", nullptr, 2},
+                 {"provider", nullptr, 1}});
+}
+
+PlainIndex alice() {
+  return {{"25", "Female", "Worcester", "Flu", "Hospital A"}};
+}
+PlainIndex bob() {
+  return {{"61", "Male", "Boston", "Diabetes", "Hospital B"}};
+}
+
+TEST(Schema, ConvertedLayout) {
+  const Schema s = phr_schema();
+  EXPECT_EQ(s.original_dims(), 5u);
+  // age expands to 3, region to 3, flats to 1 each: m' = 3+1+3+1+1 = 9.
+  EXPECT_EQ(s.converted_dims(), 9u);
+  // n = sum d_i + 1 = (3*2) + 1 + (3*2) + 2 + 1 + 1 = 17.
+  EXPECT_EQ(s.vector_length(), 17u);
+  EXPECT_EQ(s.fields()[0].name, "age#1");
+  EXPECT_EQ(s.fields()[3].name, "sex");
+  EXPECT_EQ(s.fields()[4].name, "region#1");
+  EXPECT_EQ(s.fields()[8].name, "provider");
+}
+
+TEST(Schema, IndexConversionExpandsPaths) {
+  const Schema s = phr_schema();
+  const auto ci = s.convert_index(alice());
+  ASSERT_EQ(ci.keywords.size(), 9u);
+  EXPECT_EQ(ci.keywords[0], "0-100");  // age#1
+  EXPECT_EQ(ci.keywords[3], "Female");
+  EXPECT_EQ(ci.keywords[4], "MA");
+  EXPECT_EQ(ci.keywords[5], "Central MA");
+  EXPECT_EQ(ci.keywords[6], "Worcester");
+  EXPECT_EQ(ci.keywords[8], "Hospital A");
+}
+
+TEST(Schema, QueryConversionRange) {
+  const Schema s = phr_schema();
+  Query q{{QueryTerm::range(0, 66, 2), QueryTerm::any(), QueryTerm::any(),
+           QueryTerm::any(), QueryTerm::any()}};
+  const auto cq = s.convert_query(q);
+  // age#2 (field index 1) gets the two level-2 covers; everything else is
+  // don't care.
+  EXPECT_TRUE(cq.per_field[0].empty());
+  EXPECT_EQ(cq.per_field[1].size(), 2u);
+  EXPECT_TRUE(cq.per_field[2].empty());
+  for (std::size_t f = 3; f < 9; ++f) EXPECT_TRUE(cq.per_field[f].empty());
+}
+
+TEST(Schema, QueryConversionSemantic) {
+  const Schema s = phr_schema();
+  Query q{{QueryTerm::any(), QueryTerm::equals("Male"),
+           QueryTerm::semantic({"East MA"}), QueryTerm::any(),
+           QueryTerm::any()}};
+  const auto cq = s.convert_query(q);
+  EXPECT_EQ(cq.per_field[3], std::vector<std::string>{"Male"});
+  // region#2 is field index 5.
+  EXPECT_EQ(cq.per_field[5], std::vector<std::string>{"East MA"});
+  EXPECT_TRUE(cq.per_field[4].empty());
+  EXPECT_TRUE(cq.per_field[6].empty());
+}
+
+TEST(Schema, EqualityOnHierarchicalFieldTargetsLeaf) {
+  const Schema s = phr_schema();
+  Query q{{QueryTerm::equals("25"), QueryTerm::any(), QueryTerm::any(),
+           QueryTerm::any(), QueryTerm::any()}};
+  const auto cq = s.convert_query(q);
+  EXPECT_TRUE(cq.per_field[0].empty());
+  EXPECT_TRUE(cq.per_field[1].empty());
+  EXPECT_EQ(cq.per_field[2].size(), 1u);  // age#3 leaf bucket containing 25
+}
+
+TEST(Schema, MatchesPlainReferenceSemantics) {
+  const Schema s = phr_schema();
+  // The paper's example query: (31<=age<=100) & sex=Male & region in
+  // East MA & provider=Hospital A — adjusted to our tree boundaries.
+  Query q{{QueryTerm::range(34, 100, 2), QueryTerm::equals("Male"),
+           QueryTerm::semantic({"East MA"}), QueryTerm::any(),
+           QueryTerm::any()}};
+  EXPECT_FALSE(s.matches_plain(alice(), q));  // female, 25, Central MA
+  // Bob: 61 in [34,100], Male, Boston in East MA.
+  EXPECT_TRUE(s.matches_plain(bob(), q));
+}
+
+TEST(Schema, SubsetQueryOnFlatField) {
+  const Schema s = phr_schema();
+  Query q{{QueryTerm::any(), QueryTerm::any(), QueryTerm::any(),
+           QueryTerm::subset({"Flu", "Diabetes"}), QueryTerm::any()}};
+  EXPECT_TRUE(s.matches_plain(alice(), q));
+  EXPECT_TRUE(s.matches_plain(bob(), q));
+  Query q2{{QueryTerm::any(), QueryTerm::any(), QueryTerm::any(),
+            QueryTerm::subset({"Cancer", "Asthma"}), QueryTerm::any()}};
+  EXPECT_FALSE(s.matches_plain(alice(), q2));
+}
+
+TEST(Schema, OrBudgetEnforced) {
+  const Schema s = phr_schema();
+  // illness has d=2; three ORs must be rejected.
+  Query q{{QueryTerm::any(), QueryTerm::any(), QueryTerm::any(),
+           QueryTerm::subset({"a", "b", "c"}), QueryTerm::any()}};
+  EXPECT_THROW((void)s.convert_query(q), std::invalid_argument);
+  // A range needing 3 level-3 nodes on age (d=2) must be rejected too.
+  Query q2{{QueryTerm::range(0, 100, 3), QueryTerm::any(), QueryTerm::any(),
+            QueryTerm::any(), QueryTerm::any()}};
+  EXPECT_THROW((void)s.convert_query(q2), std::invalid_argument);
+  // The same range at level 1 is a single node: fine.
+  Query q3{{QueryTerm::range(0, 100, 1), QueryTerm::any(), QueryTerm::any(),
+            QueryTerm::any(), QueryTerm::any()}};
+  EXPECT_NO_THROW((void)s.convert_query(q3));
+}
+
+TEST(Schema, KindMismatchesRejected) {
+  const Schema s = phr_schema();
+  // Range on a flat field.
+  Query q{{QueryTerm::any(), QueryTerm::range(0, 1, 1), QueryTerm::any(),
+           QueryTerm::any(), QueryTerm::any()}};
+  EXPECT_THROW((void)s.convert_query(q), std::invalid_argument);
+  // Semantic on a flat field.
+  Query q2{{QueryTerm::any(), QueryTerm::semantic({"x"}), QueryTerm::any(),
+            QueryTerm::any(), QueryTerm::any()}};
+  EXPECT_THROW((void)s.convert_query(q2), std::invalid_argument);
+  // Semantic with mixed levels.
+  Query q3{{QueryTerm::any(), QueryTerm::any(),
+            QueryTerm::semantic({"MA", "Boston"}), QueryTerm::any(),
+            QueryTerm::any()}};
+  EXPECT_THROW((void)s.convert_query(q3), std::invalid_argument);
+  // Unknown semantic node.
+  Query q4{{QueryTerm::any(), QueryTerm::any(),
+            QueryTerm::semantic({"Mars"}), QueryTerm::any(),
+            QueryTerm::any()}};
+  EXPECT_THROW((void)s.convert_query(q4), std::invalid_argument);
+}
+
+TEST(Schema, ArityMismatchesRejected) {
+  const Schema s = phr_schema();
+  EXPECT_THROW((void)s.convert_index(PlainIndex{{"25"}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)s.convert_query(Query{{QueryTerm::any()}}),
+               std::invalid_argument);
+  EXPECT_THROW(Schema({}), std::invalid_argument);
+  EXPECT_THROW(Schema({{"x", nullptr, 0}}), std::invalid_argument);
+}
+
+TEST(Schema, NonNumericValueOnNumericDimRejected) {
+  const Schema s = phr_schema();
+  EXPECT_THROW((void)s.convert_index(PlainIndex{
+                   {"old", "Male", "Boston", "Flu", "A"}}),
+               std::invalid_argument);
+}
+
+TEST(TimeAttr, MonthIndexAndPeriods) {
+  EXPECT_EQ(month_index(2000, 1), 0u);
+  EXPECT_EQ(month_index(2010, 3), 122u);
+  EXPECT_THROW((void)month_index(1999, 12), std::invalid_argument);
+  EXPECT_THROW((void)month_index(2090, 1), std::invalid_argument);
+
+  Schema s({make_time_dimension(4), {"illness", nullptr, 1}});
+  // Index created March 2010; capability valid for all of 2010 at leaf
+  // level needs 12 leaves > d... use a coarser level instead.
+  const PlainIndex idx{{time_value(2010, 3), "Flu"}};
+  const auto h = make_time_hierarchy();
+  // Find a level where [Jan2010, Dec2010] has a small cover.
+  const std::uint64_t lo = month_index(2010, 1);
+  const std::uint64_t hi = month_index(2010, 12);
+  std::size_t level = kTimeHierarchyDepth;
+  while (level > 1 && h->cover_range(lo, hi, level).size() > 4) --level;
+  Query in_period{{QueryTerm::range(lo, hi, level), QueryTerm::any()}};
+  EXPECT_TRUE(s.matches_plain(idx, in_period));
+
+  // A 2012-only capability must not match (pick an exactly-representable
+  // 2012 window at the same coarse level if possible; fall back to leaf).
+  const std::uint64_t lo2 = month_index(2012, 1);
+  Query later{{QueryTerm::range(lo2, lo2, kTimeHierarchyDepth),
+               QueryTerm::any()}};
+  EXPECT_FALSE(s.matches_plain(idx, later));
+}
+
+}  // namespace
+}  // namespace apks

@@ -1,0 +1,127 @@
+// Round-trip tests for HPE wire encodings, plus checks that serialized
+// object sizes follow the paper's element-count formulas.
+#include <gtest/gtest.h>
+
+#include "hpe/serialize.h"
+
+namespace apks {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 3;
+  SerializeTest()
+      : e_(default_type_a_params()), hpe_(e_, kN), rng_("serialize-test") {
+    hpe_.setup(rng_, pk_, msk_);
+  }
+
+  std::vector<Fq> random_vec() {
+    std::vector<Fq> v(kN);
+    for (auto& c : v) c = e_.fq().random(rng_);
+    return v;
+  }
+
+  Pairing e_;
+  Hpe hpe_;
+  ChaChaRng rng_;
+  HpePublicKey pk_;
+  HpeMasterKey msk_;
+};
+
+TEST_F(SerializeTest, FqRoundTrip) {
+  for (int i = 0; i < 20; ++i) {
+    const Fq v = e_.fq().random(rng_);
+    ByteWriter w;
+    write_fq(e_.fq(), v, w);
+    EXPECT_EQ(w.size(), 20u);  // the paper's 20-byte scalars
+    const auto data = w.take();
+    ByteReader r(data);
+    EXPECT_EQ(read_fq(e_.fq(), r), v);
+  }
+}
+
+TEST_F(SerializeTest, PointRoundTripIncludingInfinity) {
+  ByteWriter w;
+  write_point(e_.curve(), AffinePoint::infinity(), w);
+  const auto p = e_.curve().random_point(rng_);
+  write_point(e_.curve(), p, w);
+  const auto data = w.take();
+  ByteReader r(data);
+  EXPECT_TRUE(read_point(e_.curve(), r).inf);
+  EXPECT_EQ(read_point(e_.curve(), r), p);
+}
+
+TEST_F(SerializeTest, CiphertextRoundTripAndSize) {
+  const auto ct = hpe_.encrypt(pk_, random_vec(), e_.gt_random(rng_), rng_);
+  const auto data = serialize_ciphertext(e_, ct);
+  const auto back = deserialize_ciphertext(e_, data);
+  EXPECT_EQ(back.c1, ct.c1);
+  EXPECT_EQ(back.c2, ct.c2);
+  // Paper: 65(n0 + 1) payload bytes; we add a 4-byte length header.
+  const std::size_t n0 = kN + 3;
+  EXPECT_EQ(data.size(), 65 * (n0 + 1) + 4);
+}
+
+TEST_F(SerializeTest, KeyRoundTripAndLevelGrowth) {
+  const auto v = random_vec();
+  const auto key = hpe_.gen_key(msk_, v, rng_);
+  const auto data = serialize_key(e_, key);
+  const auto back = deserialize_key(e_, data);
+  EXPECT_EQ(back.level, key.level);
+  EXPECT_EQ(back.dec, key.dec);
+  EXPECT_EQ(back.ran.size(), key.ran.size());
+  EXPECT_EQ(back.del.size(), key.del.size());
+  for (std::size_t i = 0; i < key.del.size(); ++i) {
+    EXPECT_EQ(back.del[i], key.del[i]);
+  }
+
+  // A delegated key is strictly larger (one more randomizer).
+  const auto child = hpe_.delegate(key, random_vec(), rng_);
+  EXPECT_GT(serialize_key(e_, child).size(), data.size());
+}
+
+TEST_F(SerializeTest, DeserializedKeyStillDecrypts) {
+  // v = (1, t, 0) ⊥ x = (-t, 1, 0).
+  const Fq t = e_.fq().random(rng_);
+  std::vector<Fq> v{e_.fq().one(), t, e_.fq().zero()};
+  std::vector<Fq> x{e_.fq().neg(t), e_.fq().one(), e_.fq().zero()};
+  const auto key = hpe_.gen_key(msk_, v, rng_);
+  const GtEl msg = e_.gt_random(rng_);
+  const auto ct = hpe_.encrypt(pk_, x, msg, rng_);
+  const auto key2 = deserialize_key(e_, serialize_key(e_, key));
+  const auto ct2 = deserialize_ciphertext(e_, serialize_ciphertext(e_, ct));
+  EXPECT_EQ(hpe_.decrypt(ct2, key2), msg);
+}
+
+TEST_F(SerializeTest, PublicKeyRoundTrip) {
+  const auto data = serialize_public_key(e_, pk_);
+  const auto back = deserialize_public_key(e_, data);
+  EXPECT_EQ(back.n, pk_.n);
+  ASSERT_EQ(back.bhat.size(), pk_.bhat.size());
+  for (std::size_t i = 0; i < pk_.bhat.size(); ++i) {
+    EXPECT_EQ(back.bhat[i], pk_.bhat[i]);
+  }
+}
+
+TEST_F(SerializeTest, MasterKeyRoundTrip) {
+  const auto data = serialize_master_key(e_, msk_);
+  const auto back = deserialize_master_key(e_, data);
+  EXPECT_EQ(back.x, msk_.x);
+  ASSERT_EQ(back.bstar.size(), msk_.bstar.size());
+  for (std::size_t i = 0; i < msk_.bstar.size(); ++i) {
+    EXPECT_EQ(back.bstar[i], msk_.bstar[i]);
+  }
+}
+
+TEST_F(SerializeTest, TruncatedInputsRejected) {
+  const auto ct = hpe_.encrypt(pk_, random_vec(), e_.gt_random(rng_), rng_);
+  auto data = serialize_ciphertext(e_, ct);
+  data.pop_back();
+  EXPECT_THROW((void)deserialize_ciphertext(e_, data), std::out_of_range);
+  data.push_back(0);
+  data.push_back(0);  // trailing garbage
+  EXPECT_THROW((void)deserialize_ciphertext(e_, data), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apks

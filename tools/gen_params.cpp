@@ -1,0 +1,24 @@
+// Generates a type-A pairing parameter set and prints it as the hex block
+// embedded in src/ec/params.cpp. Deterministic for a fixed --seed.
+#include <cstdio>
+#include <string>
+
+#include "ec/params.h"
+
+int main(int argc, char** argv) {
+  std::string seed = "apks-type-a-default";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--seed") seed = argv[i + 1];
+  }
+  apks::ChaChaRng rng(seed);
+  const auto params = apks::generate_type_a(rng);
+  apks::ChaChaRng check_rng(seed + "-validate");
+  apks::validate_params(params, check_rng);
+  std::printf("seed: %s\n", seed.c_str());
+  std::printf("q  = %s\n", apks::to_hex(params.q).c_str());
+  std::printf("h  = %s\n", apks::to_hex(params.h).c_str());
+  std::printf("p  = %s\n", apks::to_hex(params.p).c_str());
+  std::printf("gx = %s\n", apks::to_hex(params.gx).c_str());
+  std::printf("gy = %s\n", apks::to_hex(params.gy).c_str());
+  return 0;
+}
