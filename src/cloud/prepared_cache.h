@@ -1,0 +1,93 @@
+// LRU cache of server-side capability preprocessing (Apks::prepare output),
+// keyed by the capability digest. Repeated queries with the same capability
+// — the hot-key case under heavy multi-user traffic — skip the per-query
+// preprocessing entirely; see SearchEngine for the serving layer that uses
+// this.
+//
+// Entries are handed out as shared_ptr so an eviction never invalidates a
+// prepared capability a scan is still using. All operations are internally
+// locked: get/put may be called from concurrent serving threads.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/capability_digest.h"
+
+namespace apks {
+
+class PreparedCapabilityCache {
+ public:
+  // capacity == 0 disables caching (every get misses, put is a no-op).
+  explicit PreparedCapabilityCache(std::size_t capacity)
+      : capacity_(capacity) {}
+
+  // Returns the cached preprocessing, refreshing its recency, or nullptr.
+  [[nodiscard]] std::shared_ptr<const PreparedCapability> get(
+      const CapabilityDigest& digest) {
+    std::lock_guard lock(mutex_);
+    const auto it = map_.find(digest);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return it->second->second;
+  }
+
+  // Inserts (or refreshes) an entry, evicting the least recently used one
+  // when over capacity. Returns the shared entry for immediate use.
+  std::shared_ptr<const PreparedCapability> put(
+      const CapabilityDigest& digest, PreparedCapability prepared) {
+    auto entry =
+        std::make_shared<const PreparedCapability>(std::move(prepared));
+    if (capacity_ == 0) return entry;
+    std::lock_guard lock(mutex_);
+    const auto it = map_.find(digest);
+    if (it != map_.end()) {
+      it->second->second = entry;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return entry;
+    }
+    lru_.emplace_front(digest, entry);
+    map_[digest] = lru_.begin();
+    if (map_.size() > capacity_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+    return entry;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return map_.size();
+  }
+  [[nodiscard]] std::size_t hits() const {
+    std::lock_guard lock(mutex_);
+    return hits_;
+  }
+  [[nodiscard]] std::size_t misses() const {
+    std::lock_guard lock(mutex_);
+    return misses_;
+  }
+
+ private:
+  using Entry =
+      std::pair<CapabilityDigest, std::shared_ptr<const PreparedCapability>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<CapabilityDigest, std::list<Entry>::iterator,
+                     CapabilityDigestHash>
+      map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace apks

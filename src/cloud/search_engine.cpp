@@ -1,0 +1,228 @@
+#include "cloud/search_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace apks {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// A worker's span of unscanned blocks, packed into one atomic word so the
+// owner can pop from the front and thieves can carve off the back with a
+// single CAS each: high 32 bits = next block, low 32 bits = one past the
+// last block.
+constexpr std::uint64_t pack_range(std::uint32_t next,
+                                   std::uint32_t end) noexcept {
+  return (static_cast<std::uint64_t>(next) << 32) | end;
+}
+constexpr std::uint32_t range_next(std::uint64_t r) noexcept {
+  return static_cast<std::uint32_t>(r >> 32);
+}
+constexpr std::uint32_t range_end(std::uint64_t r) noexcept {
+  return static_cast<std::uint32_t>(r);
+}
+constexpr std::uint32_t range_avail(std::uint64_t r) noexcept {
+  const std::uint32_t next = range_next(r);
+  const std::uint32_t end = range_end(r);
+  return next < end ? end - next : 0;
+}
+
+struct alignas(64) WorkerSlot {
+  std::atomic<std::uint64_t> range{0};
+};
+
+}  // namespace
+
+std::vector<std::vector<std::string>> SearchEngine::search_batch(
+    std::span<const SignedCapability> caps, BatchMetrics* metrics) const {
+  std::vector<const Capability*> raw(caps.size());
+  std::vector<char> serve(caps.size());
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    raw[i] = &caps[i].cap;
+    serve[i] = server_->verifier_.verify(caps[i]) ? 1 : 0;
+  }
+  return run_batch(raw, serve, /*checked=*/true, metrics);
+}
+
+std::vector<std::vector<std::string>> SearchEngine::search_batch_unchecked(
+    std::span<const Capability> caps, BatchMetrics* metrics) const {
+  std::vector<const Capability*> raw(caps.size());
+  const std::vector<char> serve(caps.size(), 1);
+  for (std::size_t i = 0; i < caps.size(); ++i) raw[i] = &caps[i];
+  return run_batch(raw, serve, /*checked=*/false, metrics);
+}
+
+std::vector<std::string> SearchEngine::search(const SignedCapability& cap,
+                                              ServerMetrics* metrics) const {
+  BatchMetrics batch;
+  auto out = search_batch({&cap, 1}, metrics != nullptr ? &batch : nullptr);
+  if (metrics != nullptr) *metrics = batch.per_query[0];
+  return std::move(out[0]);
+}
+
+std::vector<std::vector<std::string>> SearchEngine::run_batch(
+    std::span<const Capability* const> caps, std::span<const char> serve,
+    bool checked, BatchMetrics* metrics) const {
+  const Apks& scheme = server_->scheme();
+  const Pairing& pairing = scheme.hpe().pairing();
+
+  BatchMetrics bm;
+  bm.queries = caps.size();
+  bm.per_query.resize(caps.size());
+  const auto batch_t0 = Clock::now();
+  const PairingOpCounts batch_c0 = pairing.op_counts();
+
+  // --- Phase 1: per-capability preprocessing through the LRU cache. ------
+  std::vector<std::shared_ptr<const PreparedCapability>> prepared(caps.size());
+  std::vector<std::size_t> active;  // indices of queries that will scan
+  active.reserve(caps.size());
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    ServerMetrics& m = bm.per_query[i];
+    m.authorized = checked && serve[i] != 0;
+    if (serve[i] == 0) continue;  // rejected: never prepared, never scanned
+    const auto t0 = Clock::now();
+    const PairingOpCounts c0 = pairing.op_counts();
+    const CapabilityDigest digest = capability_digest(pairing, *caps[i]);
+    auto entry = cache_.get(digest);
+    if (entry != nullptr) {
+      m.cache_hit = true;
+    } else {
+      entry = cache_.put(digest, scheme.prepare(*caps[i]));
+      m.prepare_calls = 1;
+    }
+    prepared[i] = std::move(entry);
+    active.push_back(i);
+    m.ops += pairing.op_counts() - c0;
+    m.wall_s += seconds_since(t0);
+  }
+
+  // --- Phase 2: one blocked pass over the store for the whole batch. -----
+  std::vector<std::vector<std::string>> results(caps.size());
+  if (!active.empty()) {
+    std::shared_lock lock(server_->mutex_);
+    const auto& records = server_->records_;
+    const std::size_t n = records.size();
+    bm.records = n;
+    const std::size_t block = std::max<std::size_t>(1, options_.block_records);
+    const std::size_t n_blocks = (n + block - 1) / block;
+
+    std::vector<std::vector<char>> hits(active.size(),
+                                        std::vector<char>(n, 0));
+    auto run_block = [&](std::size_t b) {
+      const std::size_t lo = b * block;
+      const std::size_t hi = std::min(n, lo + block);
+      for (std::size_t r = lo; r < hi; ++r) {
+        const EncryptedIndex& index = records[r].index;
+        for (std::size_t q = 0; q < active.size(); ++q) {
+          hits[q][r] =
+              scheme.search_prepared(*prepared[active[q]], index) ? 1 : 0;
+        }
+      }
+    };
+
+    std::size_t threads =
+        options_.threads != 0
+            ? options_.threads
+            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = std::min(threads, std::max<std::size_t>(1, n_blocks));
+    bm.threads = threads;
+
+    const auto scan_t0 = Clock::now();
+    const PairingOpCounts scan_c0 = pairing.op_counts();
+    if (threads <= 1) {
+      for (std::size_t b = 0; b < n_blocks; ++b) run_block(b);
+    } else {
+      // Contiguous initial partition; idle workers steal the back half of
+      // the most loaded victim's remaining range.
+      std::vector<WorkerSlot> slots(threads);
+      for (std::size_t w = 0; w < threads; ++w) {
+        slots[w].range.store(
+            pack_range(static_cast<std::uint32_t>(n_blocks * w / threads),
+                       static_cast<std::uint32_t>(n_blocks * (w + 1) /
+                                                  threads)));
+      }
+      auto worker = [&](std::size_t self) {
+        for (;;) {
+          // Pop the front of our own range.
+          std::uint64_t cur = slots[self].range.load();
+          bool ran = false;
+          while (range_avail(cur) != 0) {
+            const std::uint64_t next_range =
+                pack_range(range_next(cur) + 1, range_end(cur));
+            if (slots[self].range.compare_exchange_weak(cur, next_range)) {
+              run_block(range_next(cur));
+              ran = true;
+              break;
+            }
+          }
+          if (ran) continue;
+          // Empty: steal half of the largest remaining range.
+          std::size_t victim = threads;
+          std::uint32_t best = 0;
+          for (std::size_t v = 0; v < threads; ++v) {
+            if (v == self) continue;
+            const std::uint32_t avail =
+                range_avail(slots[v].range.load());
+            if (avail > best) {
+              best = avail;
+              victim = v;
+            }
+          }
+          if (victim == threads) return;  // no work anywhere
+          std::uint64_t r = slots[victim].range.load();
+          const std::uint32_t avail = range_avail(r);
+          if (avail == 0) continue;  // raced with the victim; rescan
+          const std::uint32_t take = (avail + 1) / 2;
+          const std::uint32_t end = range_end(r);
+          if (slots[victim].range.compare_exchange_strong(
+                  r, pack_range(range_next(r), end - take))) {
+            // Our own slot is empty, so nobody can race this store.
+            slots[self].range.store(pack_range(end - take, end));
+          }
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+      for (auto& t : pool) t.join();
+    }
+    const PairingOpCounts scan_ops = pairing.op_counts() - scan_c0;
+    const double scan_wall = seconds_since(scan_t0);
+
+    for (std::size_t q = 0; q < active.size(); ++q) {
+      ServerMetrics& m = bm.per_query[active[q]];
+      m.scanned = n;
+      m.ops += {scan_ops.miller / active.size(),
+                scan_ops.final_exp / active.size()};
+      m.wall_s += scan_wall;
+      auto& out = results[active[q]];
+      for (std::size_t r = 0; r < n; ++r) {
+        if (hits[q][r] != 0) {
+          ++m.matched;
+          out.push_back(records[r].doc_ref);
+        }
+      }
+    }
+  }
+
+  for (const ServerMetrics& m : bm.per_query) {
+    bm.authorized += m.authorized ? 1 : 0;
+    bm.prepare_calls += m.prepare_calls;
+    bm.cache_hits += m.cache_hit ? 1 : 0;
+  }
+  bm.ops = pairing.op_counts() - batch_c0;
+  bm.wall_s = seconds_since(batch_t0);
+  if (metrics != nullptr) *metrics = std::move(bm);
+  return results;
+}
+
+}  // namespace apks

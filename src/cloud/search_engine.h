@@ -1,0 +1,116 @@
+// Batched multi-query serving layer over CloudServer (the ROADMAP's
+// heavy-traffic path).
+//
+// The paper's search protocol is a per-capability linear scan (Sec. 5.2,
+// Fig. 6); under many concurrent users the server should amortize that scan
+// across queries instead of repeating it per query. SearchEngine serves a
+// batch of Q signed capabilities over a SINGLE pass of the record store:
+//
+//   1. verify all authority signatures up front (unauthorized queries are
+//      never scanned),
+//   2. preprocess each capability once (Apks::prepare), consulting an LRU
+//      cache keyed by the capability digest so repeated identical
+//      capabilities — the hot-key case — skip preprocessing entirely,
+//   3. scan records in blocks, evaluating every query against a block
+//      while it is cache-hot, with a work-stealing pool of worker threads
+//      shared across all queries of the batch.
+//
+// Results are per query, in record order, and bit-identical to Q
+// independent CloudServer::search calls. ServerMetrics extends the plain
+// SearchStats with wall time, pairing-operation counts (Miller loops and
+// final exponentiations, the paper's cost unit), and cache behaviour.
+//
+// Naming rule (same as CloudServer): entry points that skip the signature
+// check carry "unchecked" in their name and exist for benchmarks/CLI use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cloud/prepared_cache.h"
+#include "cloud/server.h"
+
+namespace apks {
+
+// Per-query serving metrics. The authorization layer owns `authorized`;
+// the preprocessing layer owns `cache_hit`/`prepare_calls`; the scan layer
+// owns `scanned`/`matched`. `ops` and `wall_s` are exact for single-query
+// calls; in a batch the shared scan cost is attributed evenly across the
+// authorized queries (they scan identical record sets, so per-query cost is
+// uniform by construction) and the scan wall time is the batch's — the
+// queries finish together.
+struct ServerMetrics {
+  bool authorized = false;
+  bool cache_hit = false;
+  std::size_t scanned = 0;
+  std::size_t matched = 0;
+  std::size_t prepare_calls = 0;
+  double wall_s = 0.0;
+  PairingOpCounts ops;
+};
+
+// Whole-batch metrics; `ops` and `wall_s` are exact totals.
+struct BatchMetrics {
+  std::size_t queries = 0;
+  std::size_t authorized = 0;
+  std::size_t prepare_calls = 0;  // cache misses that ran Apks::prepare
+  std::size_t cache_hits = 0;
+  std::size_t records = 0;  // store size at scan time
+  std::size_t threads = 0;  // workers actually used for the scan
+  double wall_s = 0.0;
+  PairingOpCounts ops;
+  std::vector<ServerMetrics> per_query;  // one entry per input capability
+};
+
+class SearchEngine {
+ public:
+  struct Options {
+    // Scan worker threads; 0 = hardware concurrency.
+    std::size_t threads = 0;
+    // Records per work unit. Each block is evaluated against every query of
+    // the batch before moving on (one touch per EncryptedIndex per batch).
+    std::size_t block_records = 8;
+    // LRU capacity of the prepared-capability cache; 0 disables caching.
+    std::size_t cache_capacity = 64;
+  };
+
+  explicit SearchEngine(const CloudServer& server)
+      : SearchEngine(server, Options()) {}
+  SearchEngine(const CloudServer& server, Options options)
+      : server_(&server),
+        options_(options),
+        cache_(options.cache_capacity) {}
+
+  // Serve a batch: one result vector per capability, in record order,
+  // identical to independent CloudServer::search calls. Unauthorized
+  // capabilities yield an empty result with zero records scanned.
+  [[nodiscard]] std::vector<std::vector<std::string>> search_batch(
+      std::span<const SignedCapability> caps,
+      BatchMetrics* metrics = nullptr) const;
+
+  // Single verified query through the same cache + scan machinery.
+  [[nodiscard]] std::vector<std::string> search(
+      const SignedCapability& cap, ServerMetrics* metrics = nullptr) const;
+
+  // Bench/CLI-only: serve raw capabilities, skipping the authorization
+  // layer. `authorized` stays false in the metrics (the layer never ran).
+  [[nodiscard]] std::vector<std::vector<std::string>> search_batch_unchecked(
+      std::span<const Capability> caps, BatchMetrics* metrics = nullptr) const;
+
+  // Lifetime cache counters (across all batches served by this engine).
+  [[nodiscard]] std::size_t cache_hits() const { return cache_.hits(); }
+  [[nodiscard]] std::size_t cache_misses() const { return cache_.misses(); }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  [[nodiscard]] std::vector<std::vector<std::string>> run_batch(
+      std::span<const Capability* const> caps,
+      std::span<const char> authorized, bool checked,
+      BatchMetrics* metrics) const;
+
+  const CloudServer* server_;
+  Options options_;
+  mutable PreparedCapabilityCache cache_;
+};
+
+}  // namespace apks

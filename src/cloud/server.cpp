@@ -1,11 +1,13 @@
 #include "cloud/server.h"
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 namespace apks {
 
 std::uint64_t CloudServer::store(EncryptedIndex index, std::string doc_ref) {
+  std::unique_lock lock(mutex_);
   const std::uint64_t id = next_id_++;
   records_.push_back({id, std::move(doc_ref), std::move(index)});
   return id;
@@ -13,41 +15,62 @@ std::uint64_t CloudServer::store(EncryptedIndex index, std::string doc_ref) {
 
 std::vector<std::string> CloudServer::search(const SignedCapability& cap,
                                              SearchStats* stats) const {
-  SearchStats local;
-  if (!verifier_.verify(cap)) {
-    if (stats != nullptr) *stats = local;
-    return {};
-  }
-  local.authorized = true;
-  auto out = search_unchecked(cap.cap, &local);
-  local.authorized = true;  // search_unchecked resets the flag
-  if (stats != nullptr) *stats = local;
-  return out;
+  if (stats != nullptr) *stats = SearchStats{};
+  if (!verifier_.verify(cap)) return {};
+  if (stats != nullptr) stats->authorized = true;
+  std::shared_lock lock(mutex_);
+  return scan_locked(cap.cap, stats);
+}
+
+std::vector<std::string> CloudServer::search_parallel(
+    const SignedCapability& cap, std::size_t threads,
+    SearchStats* stats) const {
+  if (stats != nullptr) *stats = SearchStats{};
+  if (!verifier_.verify(cap)) return {};
+  if (stats != nullptr) stats->authorized = true;
+  std::shared_lock lock(mutex_);
+  return scan_parallel_locked(cap.cap, threads, stats);
 }
 
 std::vector<std::string> CloudServer::search_unchecked(
     const Capability& cap, SearchStats* stats) const {
-  SearchStats local;
+  std::shared_lock lock(mutex_);
+  return scan_locked(cap, stats);
+}
+
+std::vector<std::string> CloudServer::search_parallel_unchecked(
+    const Capability& cap, std::size_t threads, SearchStats* stats) const {
+  std::shared_lock lock(mutex_);
+  return scan_parallel_locked(cap, threads, stats);
+}
+
+std::vector<std::string> CloudServer::scan_locked(const Capability& cap,
+                                                  SearchStats* stats) const {
+  std::size_t scanned = 0;
+  std::size_t matched = 0;
   const PreparedCapability prepared = scheme_->prepare(cap);
   std::vector<std::string> matches;
   for (const auto& record : records_) {
-    ++local.scanned;
+    ++scanned;
     if (scheme_->search_prepared(prepared, record.index)) {
-      ++local.matched;
+      ++matched;
       matches.push_back(record.doc_ref);
     }
   }
-  if (stats != nullptr) *stats = local;
+  if (stats != nullptr) {
+    stats->scanned = scanned;
+    stats->matched = matched;
+  }
   return matches;
 }
 
-std::vector<std::string> CloudServer::search_parallel(
+std::vector<std::string> CloudServer::scan_parallel_locked(
     const Capability& cap, std::size_t threads, SearchStats* stats) const {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   threads = std::min(threads, std::max<std::size_t>(1, records_.size()));
-  if (threads <= 1) return search_unchecked(cap, stats);
+  if (threads <= 1) return scan_locked(cap, stats);
 
   const PreparedCapability prepared = scheme_->prepare(cap);
   std::vector<char> hit(records_.size(), 0);
@@ -64,16 +87,18 @@ std::vector<std::string> CloudServer::search_parallel(
   for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
   for (auto& t : pool) t.join();
 
-  SearchStats local;
-  local.scanned = records_.size();
+  std::size_t matched = 0;
   std::vector<std::string> matches;
   for (std::size_t i = 0; i < records_.size(); ++i) {
     if (hit[i] != 0) {
-      ++local.matched;
+      ++matched;
       matches.push_back(records_[i].doc_ref);
     }
   }
-  if (stats != nullptr) *stats = local;
+  if (stats != nullptr) {
+    stats->scanned = records_.size();
+    stats->matched = matched;
+  }
   return matches;
 }
 

@@ -5,9 +5,22 @@
 // the capability's pairing argument once, then scans the whole database
 // (searchable encryption reveals nothing that would allow sub-linear
 // filtering). Returns the document references of matching records.
+//
+// Concurrency contract: `store` is a writer and may run concurrently with
+// any number of searches — the record store is guarded by a shared_mutex
+// (searches hold it shared for the whole scan, including the worker threads
+// of the parallel paths, so a scan always sees a consistent snapshot).
+// Batched multi-query serving lives in SearchEngine (search_engine.h).
+//
+// API naming rule: every public search entry point that skips the
+// authority-signature check carries "unchecked" in its name. The unchecked
+// variants exist for benchmarks (timing the cryptographic scan in
+// isolation) and for deployments that check authorization out of band —
+// production callers use the SignedCapability overloads.
 #pragma once
 
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +28,8 @@
 #include "core/apks.h"
 
 namespace apks {
+
+class SearchEngine;
 
 class CloudServer {
  public:
@@ -24,6 +39,8 @@ class CloudServer {
     EncryptedIndex index;
   };
 
+  // Layered stats: the authorization layer owns `authorized`; the scan
+  // layer owns `scanned`/`matched` and never touches the former.
   struct SearchStats {
     bool authorized = false;
     std::size_t scanned = 0;
@@ -33,11 +50,18 @@ class CloudServer {
   CloudServer(const Apks& scheme, CapabilityVerifier verifier)
       : scheme_(&scheme), verifier_(std::move(verifier)) {}
 
-  // Owner upload. Returns the record id.
+  // Owner upload. Returns the record id. Safe to call concurrently with
+  // searches (exclusive lock; a running scan finishes on its snapshot).
   std::uint64_t store(EncryptedIndex index, std::string doc_ref);
 
-  [[nodiscard]] std::size_t record_count() const noexcept {
+  [[nodiscard]] std::size_t record_count() const {
+    std::shared_lock lock(mutex_);
     return records_.size();
+  }
+
+  [[nodiscard]] const Apks& scheme() const noexcept { return *scheme_; }
+  [[nodiscard]] const CapabilityVerifier& verifier() const noexcept {
+    return verifier_;
   }
 
   // Full search protocol: signature check, preprocessing, linear scan.
@@ -47,22 +71,36 @@ class CloudServer {
                                                 SearchStats* stats = nullptr)
       const;
 
-  // Search with a raw capability (no authorization layer) — used by
-  // benchmarks to time the cryptographic scan in isolation.
+  // Verified parallel scan across `threads` workers (the paper notes the
+  // linear scan parallelizes trivially across server cores). threads == 0
+  // uses the hardware concurrency. Results are in record order regardless
+  // of the thread count.
+  [[nodiscard]] std::vector<std::string> search_parallel(
+      const SignedCapability& cap, std::size_t threads,
+      SearchStats* stats = nullptr) const;
+
+  // Bench-only: search with a raw capability, skipping the authorization
+  // layer entirely. Fills only the scan-layer stats fields.
   [[nodiscard]] std::vector<std::string> search_unchecked(
       const Capability& cap, SearchStats* stats = nullptr) const;
 
-  // Parallel scan across `threads` workers (the paper notes the linear
-  // scan parallelizes trivially across server cores). threads == 0 uses
-  // the hardware concurrency. Results are in record order regardless of
-  // the thread count.
-  [[nodiscard]] std::vector<std::string> search_parallel(
+  // Bench-only parallel variant of search_unchecked.
+  [[nodiscard]] std::vector<std::string> search_parallel_unchecked(
       const Capability& cap, std::size_t threads,
       SearchStats* stats = nullptr) const;
 
  private:
+  friend class SearchEngine;  // scans records_ under mutex_ directly
+
+  // Scan body; caller must hold mutex_ (shared).
+  [[nodiscard]] std::vector<std::string> scan_locked(
+      const Capability& cap, SearchStats* stats) const;
+  [[nodiscard]] std::vector<std::string> scan_parallel_locked(
+      const Capability& cap, std::size_t threads, SearchStats* stats) const;
+
   const Apks* scheme_;
   CapabilityVerifier verifier_;
+  mutable std::shared_mutex mutex_;
   std::vector<Record> records_;
   std::uint64_t next_id_ = 1;
 };

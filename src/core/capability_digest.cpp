@@ -1,0 +1,12 @@
+#include "core/capability_digest.h"
+
+#include "hpe/serialize.h"
+
+namespace apks {
+
+CapabilityDigest capability_digest(const Pairing& pairing,
+                                   const Capability& cap) {
+  return Sha256::hash(serialize_key(pairing, cap.key));
+}
+
+}  // namespace apks

@@ -1,0 +1,32 @@
+// A stable digest of a capability's HPE key, used by the cloud server to
+// key caches of server-side preprocessing (Apks::prepare output). Two
+// capabilities digest equal iff their wire-format keys are byte-identical,
+// so a repeated query from the same capability (the hot-key case) hits the
+// cache while fresh GenCap randomness — even for the same predicate —
+// produces a distinct digest.
+#pragma once
+
+#include "common/sha256.h"
+#include "core/apks.h"
+
+namespace apks {
+
+using CapabilityDigest = Sha256::Digest;
+
+[[nodiscard]] CapabilityDigest capability_digest(const Pairing& pairing,
+                                                 const Capability& cap);
+
+// Hash functor so a CapabilityDigest can key unordered containers. The
+// digest is already uniform, so the first eight bytes suffice.
+struct CapabilityDigestHash {
+  [[nodiscard]] std::size_t operator()(
+      const CapabilityDigest& d) const noexcept {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < sizeof(out); ++i) {
+      out = (out << 8) | d[i];
+    }
+    return out;
+  }
+};
+
+}  // namespace apks

@@ -36,6 +36,30 @@ struct LineCoeffs {
 
 class PreprocessedPairing;
 
+// A snapshot of the pairing-operation counters (the cost unit of
+// Fig. 8(d) / Table III). Subtract two snapshots to attribute the work of
+// a region: `auto before = e.op_counts(); ...; auto cost = e.op_counts() -
+// before;`. Counters are process-wide per Pairing instance and atomically
+// updated, so deltas are exact even when worker threads pair concurrently.
+struct PairingOpCounts {
+  std::uint64_t miller = 0;
+  std::uint64_t final_exp = 0;
+
+  PairingOpCounts& operator+=(const PairingOpCounts& o) noexcept {
+    miller += o.miller;
+    final_exp += o.final_exp;
+    return *this;
+  }
+  friend PairingOpCounts operator-(const PairingOpCounts& a,
+                                   const PairingOpCounts& b) noexcept {
+    return {a.miller - b.miller, a.final_exp - b.final_exp};
+  }
+  friend bool operator==(const PairingOpCounts& a,
+                         const PairingOpCounts& b) noexcept {
+    return a.miller == b.miller && a.final_exp == b.final_exp;
+  }
+};
+
 class Pairing {
  public:
   explicit Pairing(const TypeAParams& params);
@@ -88,6 +112,9 @@ class Pairing {
   }
   [[nodiscard]] std::uint64_t final_exp_count() const noexcept {
     return final_exp_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] PairingOpCounts op_counts() const noexcept {
+    return {miller_count(), final_exp_count()};
   }
 
   // Raw Miller loop without the final exponentiation. A product of Miller

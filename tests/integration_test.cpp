@@ -117,7 +117,7 @@ TEST_F(SystemIntegrationTest, FullApksPlusDeployment) {
   // erin-2012: outside the authorized time window (revoked) -> no.
   ASSERT_EQ(docs.size(), 1u);
   EXPECT_EQ(docs[0], "bob");
-  EXPECT_EQ(server.search_parallel(cap->cap, 3), docs);
+  EXPECT_EQ(server.search_parallel(*cap, 3), docs);
 
   // --- The policy refuses overly broad requests. --------------------------
   Query broad = q6();

@@ -134,13 +134,14 @@ TEST_F(ParallelScanTest, ParallelMatchesSequential) {
   CloudServer::SearchStats seq_stats, par_stats;
   const auto seq = server_->search_unchecked(cap.cap, &seq_stats);
   for (const std::size_t threads : {1u, 2u, 4u}) {
-    const auto par = server_->search_parallel(cap.cap, threads, &par_stats);
+    const auto par =
+        server_->search_parallel_unchecked(cap.cap, threads, &par_stats);
     EXPECT_EQ(par, seq) << threads;  // same order, same contents
     EXPECT_EQ(par_stats.scanned, seq_stats.scanned);
     EXPECT_EQ(par_stats.matched, seq_stats.matched);
   }
   // threads == 0 resolves to hardware concurrency.
-  EXPECT_EQ(server_->search_parallel(cap.cap, 0), seq);
+  EXPECT_EQ(server_->search_parallel_unchecked(cap.cap, 0), seq);
 }
 
 }  // namespace

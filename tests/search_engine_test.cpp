@@ -1,0 +1,228 @@
+// SearchEngine: batched multi-query serving must be observationally
+// identical to independent CloudServer::search calls, with the metrics
+// layers (authorization / preprocessing-cache / scan) each filling only
+// their own fields.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cloud/search_engine.h"
+#include "cloud/server.h"
+
+namespace apks {
+namespace {
+
+Schema small_schema() {
+  return Schema({{"illness", nullptr, 2},
+                 {"sex", nullptr, 1},
+                 {"provider", nullptr, 1}});
+}
+
+Query q3(QueryTerm a = QueryTerm::any(), QueryTerm b = QueryTerm::any(),
+         QueryTerm c = QueryTerm::any()) {
+  return Query{{std::move(a), std::move(b), std::move(c)}};
+}
+
+class SearchEngineTest : public ::testing::Test {
+ protected:
+  SearchEngineTest()
+      : e_(default_type_a_params()),
+        apks_(e_, small_schema()),
+        rng_("search-engine-test"),
+        ta_(apks_, rng_) {
+    lta_ = ta_.make_lta("hospital-A",
+                        q3(QueryTerm::any(), QueryTerm::any(),
+                           QueryTerm::equals("Hospital A")),
+                        rng_);
+    UserAttributes peter;
+    peter.values["illness"] = {"Diabetes", "Flu"};
+    peter.values["sex"] = {"Male"};
+    peter.values["provider"] = {"Hospital A"};
+    lta_->register_user("peter", peter);
+
+    CapabilityVerifier verifier(e_, ta_.ibs_params());
+    verifier.register_authority("hospital-A");
+    server_ = std::make_unique<CloudServer>(apks_, std::move(verifier));
+
+    store({"Diabetes", "Male", "Hospital A"}, "doc-bob");
+    store({"Diabetes", "Female", "Hospital A"}, "doc-carol");
+    store({"Flu", "Male", "Hospital A"}, "doc-dave");
+    store({"Diabetes", "Male", "Hospital B"}, "doc-erin");
+    store({"Flu", "Female", "Hospital A"}, "doc-fay");
+  }
+
+  void store(std::vector<std::string> values, std::string ref) {
+    (void)server_->store(
+        apks_.gen_index(ta_.public_key(), PlainIndex{std::move(values)}, rng_),
+        std::move(ref));
+  }
+
+  [[nodiscard]] SignedCapability issue(const Query& q) {
+    auto cap = lta_->delegate_for_user("peter", q, rng_);
+    EXPECT_TRUE(cap.has_value());
+    return *cap;
+  }
+
+  Pairing e_;
+  Apks apks_;
+  ChaChaRng rng_;
+  TrustedAuthority ta_;
+  std::unique_ptr<LocalAuthority> lta_;
+  std::unique_ptr<CloudServer> server_;
+};
+
+TEST_F(SearchEngineTest, BatchMatchesIndependentSearches) {
+  std::vector<SignedCapability> caps;
+  caps.push_back(issue(q3(QueryTerm::equals("Diabetes"))));
+  caps.push_back(issue(q3(QueryTerm::any(), QueryTerm::equals("Male"))));
+  caps.push_back(ta_.issue(q3(), rng_));  // "TA" is not registered: rejected
+  caps.push_back(issue(q3()));
+  caps.push_back(caps[0]);  // duplicate of the first (hot key)
+
+  SearchEngine engine(*server_, {.threads = 2, .block_records = 2});
+  BatchMetrics metrics;
+  const auto batch = engine.search_batch(caps, &metrics);
+
+  ASSERT_EQ(batch.size(), caps.size());
+  ASSERT_EQ(metrics.per_query.size(), caps.size());
+  EXPECT_EQ(metrics.queries, caps.size());
+  EXPECT_EQ(metrics.authorized, caps.size() - 1);
+  EXPECT_EQ(metrics.records, server_->record_count());
+
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    CloudServer::SearchStats stats;
+    const auto expect = server_->search(caps[i], &stats);
+    EXPECT_EQ(batch[i], expect) << "query " << i;  // same docs, same order
+    EXPECT_EQ(metrics.per_query[i].authorized, stats.authorized);
+    EXPECT_EQ(metrics.per_query[i].scanned, stats.scanned);
+    EXPECT_EQ(metrics.per_query[i].matched, stats.matched);
+  }
+}
+
+TEST_F(SearchEngineTest, UnauthorizedQueryIsNeverScanned) {
+  const SignedCapability forged = ta_.issue(q3(), rng_);
+  SearchEngine engine(*server_);
+  ServerMetrics m;
+  const auto docs = engine.search(forged, &m);
+  EXPECT_TRUE(docs.empty());
+  EXPECT_FALSE(m.authorized);
+  EXPECT_EQ(m.scanned, 0u);
+  EXPECT_EQ(m.matched, 0u);
+  EXPECT_EQ(m.prepare_calls, 0u);
+  EXPECT_EQ(m.ops.miller, 0u);
+  EXPECT_EQ(m.ops.final_exp, 0u);
+}
+
+TEST_F(SearchEngineTest, RepeatedCapabilitySkipsPreprocessing) {
+  const SignedCapability cap = issue(q3(QueryTerm::equals("Diabetes")));
+  std::vector<SignedCapability> caps(4, cap);
+
+  SearchEngine engine(*server_, {.threads = 2});
+  BatchMetrics metrics;
+  const auto batch = engine.search_batch(caps, &metrics);
+
+  EXPECT_EQ(metrics.prepare_calls, 1u);  // one miss, Q-1 hits
+  EXPECT_EQ(metrics.cache_hits, caps.size() - 1);
+  for (std::size_t i = 1; i < batch.size(); ++i) EXPECT_EQ(batch[i], batch[0]);
+
+  // A later batch with the same capability hits the cache across batches.
+  BatchMetrics again;
+  (void)engine.search_batch({&cap, 1}, &again);
+  EXPECT_EQ(again.prepare_calls, 0u);
+  EXPECT_EQ(again.cache_hits, 1u);
+  EXPECT_EQ(engine.cache_misses(), 1u);
+  EXPECT_EQ(engine.cache_hits(), caps.size());
+}
+
+TEST_F(SearchEngineTest, DeterministicAcrossThreadAndBlockCounts) {
+  std::vector<SignedCapability> caps;
+  caps.push_back(issue(q3(QueryTerm::equals("Diabetes"))));
+  caps.push_back(issue(q3(QueryTerm::equals("Flu"))));
+
+  std::vector<std::vector<std::string>> reference;
+  for (const auto& cap : caps) reference.push_back(server_->search(cap));
+
+  for (const std::size_t threads : {1u, 2u, 4u, 0u}) {
+    for (const std::size_t block : {1u, 3u, 16u}) {
+      SearchEngine engine(*server_,
+                          {.threads = threads, .block_records = block});
+      EXPECT_EQ(engine.search_batch(caps), reference)
+          << "threads=" << threads << " block=" << block;
+    }
+  }
+}
+
+TEST_F(SearchEngineTest, MetricsReportPairingWork) {
+  const SignedCapability cap = issue(q3(QueryTerm::equals("Diabetes")));
+  SearchEngine engine(*server_, {.threads = 1});
+  ServerMetrics m;
+  const auto docs = engine.search(cap, &m);
+  // Diabetes at Hospital A (LTA scope): bob and carol, not erin (B).
+  EXPECT_EQ(docs.size(), 2u);
+  EXPECT_TRUE(m.authorized);
+  EXPECT_EQ(m.scanned, server_->record_count());
+  EXPECT_EQ(m.matched, docs.size());
+  EXPECT_EQ(m.prepare_calls, 1u);
+  // The scan pairs every record (n+3 Miller loops each, >= 1 final exp).
+  EXPECT_GE(m.ops.miller, server_->record_count());
+  EXPECT_GE(m.ops.final_exp, server_->record_count());
+  EXPECT_GT(m.wall_s, 0.0);
+}
+
+TEST_F(SearchEngineTest, VerifiedParallelServerPathChecksSignature) {
+  const SignedCapability good = issue(q3(QueryTerm::equals("Diabetes")));
+  const SignedCapability forged = ta_.issue(q3(), rng_);
+
+  CloudServer::SearchStats stats;
+  const auto docs = server_->search_parallel(good, 3, &stats);
+  EXPECT_TRUE(stats.authorized);
+  EXPECT_EQ(stats.scanned, server_->record_count());
+  EXPECT_EQ(docs, server_->search(good));
+
+  // Stale values in the caller's struct must not leak through either layer.
+  stats = {true, 999, 999};
+  const auto rejected = server_->search_parallel(forged, 3, &stats);
+  EXPECT_TRUE(rejected.empty());
+  EXPECT_FALSE(stats.authorized);
+  EXPECT_EQ(stats.scanned, 0u);
+  EXPECT_EQ(stats.matched, 0u);
+}
+
+TEST_F(SearchEngineTest, StatsLayersFillOnlyTheirOwnFields) {
+  const SignedCapability cap = issue(q3(QueryTerm::equals("Diabetes")));
+  CloudServer::SearchStats stats{true, 999, 999};
+  (void)server_->search(cap, &stats);
+  EXPECT_TRUE(stats.authorized);
+  EXPECT_EQ(stats.scanned, server_->record_count());
+
+  // The unchecked scan owns only scanned/matched: authorized is untouched.
+  stats = {};
+  (void)server_->search_unchecked(cap.cap, &stats);
+  EXPECT_FALSE(stats.authorized);
+  EXPECT_EQ(stats.scanned, server_->record_count());
+}
+
+TEST_F(SearchEngineTest, ConcurrentStoreAndSearchAreSerialized) {
+  // Writer uploads while readers scan: the shared_mutex must keep every
+  // scan on a consistent snapshot (this is the TSan target of tools/ci.sh).
+  const SignedCapability cap = issue(q3(QueryTerm::equals("Diabetes")));
+  auto extra = apks_.gen_index(ta_.public_key(),
+                               PlainIndex{{"Diabetes", "Male", "Hospital A"}},
+                               rng_);
+  const std::size_t before = server_->record_count();
+
+  std::thread writer([&] {
+    (void)server_->store(std::move(extra), "doc-late");
+  });
+  for (int i = 0; i < 3; ++i) {
+    CloudServer::SearchStats stats;
+    (void)server_->search_parallel(cap, 2, &stats);
+    EXPECT_TRUE(stats.authorized);
+    EXPECT_TRUE(stats.scanned == before || stats.scanned == before + 1);
+  }
+  writer.join();
+  EXPECT_EQ(server_->record_count(), before + 1);
+}
+
+}  // namespace
+}  // namespace apks

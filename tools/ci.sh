@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI gate: the tier-1 verify (full build + test suite) followed by a
+# ThreadSanitizer build of the cloud/server concurrency tests. Run from the
+# repository root:
+#
+#   tools/ci.sh            # tier-1 + TSan cloud tests
+#   tools/ci.sh --tsan     # TSan cloud tests only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+TSAN_ONLY=0
+[[ "${1:-}" == "--tsan" ]] && TSAN_ONLY=1
+
+if [[ $TSAN_ONLY -eq 0 ]]; then
+  echo "=== tier-1: full build + ctest ==="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  (cd build && ctest --output-on-failure -j "$JOBS")
+fi
+
+echo "=== TSan: cloud server / search engine tests ==="
+cmake -B build-tsan -S . -DAPKS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS" \
+  --target cloud_test policy_test integration_test search_engine_test
+for t in cloud_test policy_test integration_test search_engine_test; do
+  echo "--- $t (TSan) ---"
+  ./build-tsan/tests/"$t"
+done
+echo "CI OK"
