@@ -11,8 +11,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/apks.h"
@@ -67,6 +70,139 @@ inline std::vector<std::size_t> paper_n_values(std::size_t max_k) {
   std::vector<std::size_t> out;
   for (std::size_t k = 1; k <= max_k; ++k) out.push_back(9 * k + 1);
   return out;
+}
+
+// Command-line switches shared by the bench binaries:
+//   --smoke        shrink parameter sweeps + iteration budgets so the binary
+//                  finishes in seconds (CI gate, not a measurement)
+//   --json[=path]  additionally write the measured series as JSON (default
+//                  path is per-binary, e.g. BENCH_msm.json)
+struct BenchArgs {
+  bool smoke = false;
+  bool json = false;
+  std::string json_path;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv,
+                                  const std::string& default_json_path) {
+  BenchArgs args;
+  args.json_path = default_json_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(a, "--json") == 0) {
+      args.json = true;
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      args.json = true;
+      args.json_path = a + 7;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --smoke, --json[=path])\n",
+                   a);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+// A number-or-string JSON scalar. The benches only ever emit flat rows of
+// these, so a tagged pair beats pulling in a JSON library.
+struct JsonValue {
+  enum class Kind { kNumber, kString } kind;
+  double num = 0;
+  std::string str;
+  JsonValue(double v) : kind(Kind::kNumber), num(v) {}                // NOLINT
+  JsonValue(int v) : kind(Kind::kNumber), num(v) {}                   // NOLINT
+  JsonValue(unsigned v) : kind(Kind::kNumber), num(v) {}              // NOLINT
+  JsonValue(std::size_t v)                                            // NOLINT
+      : kind(Kind::kNumber), num(static_cast<double>(v)) {}
+  JsonValue(const char* s) : kind(Kind::kString), str(s) {}           // NOLINT
+  JsonValue(std::string s) : kind(Kind::kString), str(std::move(s)) {}// NOLINT
+};
+
+// Machine-readable bench output: one object with ordered meta fields and an
+// ordered list of flat rows. Numbers render with %.9g, which round-trips
+// timings and every integer the benches produce.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void set_meta(const std::string& key, JsonValue value) {
+    meta_.emplace_back(key, std::move(value));
+  }
+  void add_row(std::vector<std::pair<std::string, JsonValue>> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  // Returns false (and reports) when the file cannot be written.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": ");
+    write_string(f, bench_);
+    std::fprintf(f, ",\n  \"meta\": {");
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "%s", i == 0 ? "" : ", ");
+      write_string(f, meta_[i].first);
+      std::fprintf(f, ": ");
+      write_value(f, meta_[i].second);
+    }
+    std::fprintf(f, "},\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {");
+      for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+        std::fprintf(f, "%s", j == 0 ? "" : ", ");
+        write_string(f, rows_[i][j].first);
+        std::fprintf(f, ": ");
+        write_value(f, rows_[i][j].second);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    const bool ok = std::fclose(f) == 0;
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  static void write_string(std::FILE* f, const std::string& s) {
+    std::fputc('"', f);
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        std::fputc('\\', f);
+        std::fputc(c, f);
+      } else if (c == '\n') {
+        std::fputs("\\n", f);
+      } else {
+        std::fputc(c, f);
+      }
+    }
+    std::fputc('"', f);
+  }
+  static void write_value(std::FILE* f, const JsonValue& v) {
+    if (v.kind == JsonValue::Kind::kString) {
+      write_string(f, v.str);
+    } else {
+      std::fprintf(f, "%.9g", v.num);
+    }
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, JsonValue>> meta_;
+  std::vector<std::vector<std::pair<std::string, JsonValue>>> rows_;
+};
+
+// The engine triple every comparison bench sweeps, in report order.
+inline const char* engine_name(ScalarEngine e) {
+  switch (e) {
+    case ScalarEngine::kNaive: return "naive";
+    case ScalarEngine::kWindowed: return "windowed";
+    case ScalarEngine::kPrecomputed: return "precomputed";
+  }
+  return "?";
 }
 
 }  // namespace apks::bench

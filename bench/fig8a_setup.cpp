@@ -3,16 +3,21 @@
 // Paper: APKS setup is O(n0^2) exponentiations (~40 s at n=46 on its 2011
 // hardware); MRQED setup is O(n) (~4.6 s at n=46). Expected shape: APKS
 // grows quadratically and is one-plus orders of magnitude slower than
-// MRQED at n=46.
+// MRQED at n=46. Setup is generator exponentiations (base_mul) only, so the
+// scalar-multiplication engine does not move this figure — see bench_msm
+// and fig8b/fig8c for the engine comparison.
 #include "bench/bench_util.h"
 #include "mrqed/mrqed.h"
 
 using namespace apks;
 using namespace apks::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv, "BENCH_fig8a.json");
   const Pairing pairing(default_type_a_params());
   ChaChaRng rng("fig8a");
+  JsonReport report("fig8a_setup");
+  report.set_meta("smoke", args.smoke ? 1 : 0);
 
   print_header("Fig. 8(a): Setup time vs n",
                "APKS ~40s at n=46 (O(n^2) exps); MRQED ~4.6s (O(n) exps); "
@@ -20,8 +25,9 @@ int main() {
   std::printf("%6s %6s %14s %15s %12s\n", "n", "k", "APKS_setup_s",
               "MRQED_setup_s", "APKS/MRQED");
 
+  const std::size_t max_k = args.smoke ? 2 : 5;
   std::size_t k = 0;
-  for (const std::size_t n : paper_n_values(5)) {
+  for (const std::size_t n : paper_n_values(max_k)) {
     ++k;
     const Apks scheme(pairing, nursery_expanded_schema(k, 1));
     const double apks_s = time_op(
@@ -30,7 +36,7 @@ int main() {
           ApksMasterKey msk;
           scheme.setup(rng, pk, msk);
         },
-        2000, 3);
+        args.smoke ? 1 : 2000, args.smoke ? 1 : 3);
 
     // MRQED sized to the same comparison parameter: 9 dimensions, k+1 path
     // nodes per dimension (9(k+1) = n + 8 total node ids ~ n).
@@ -41,12 +47,18 @@ int main() {
           MrqedMasterKey msk;
           mrqed.setup(rng, pk, msk);
         },
-        1000, 5);
+        args.smoke ? 1 : 1000, args.smoke ? 1 : 5);
 
     std::printf("%6zu %6zu %14.3f %15.3f %12.1f\n", n, k, apks_s, mrqed_s,
                 apks_s / mrqed_s);
+    report.add_row({{"n", n},
+                    {"k", k},
+                    {"apks_setup_s", apks_s},
+                    {"mrqed_setup_s", mrqed_s}});
   }
   std::printf("expectation: APKS column grows ~quadratically in n, MRQED "
               "~linearly; APKS slower throughout.\n");
+
+  if (args.json && !report.write(args.json_path)) return 1;
   return 0;
 }

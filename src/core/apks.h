@@ -42,9 +42,9 @@ struct PreparedCapability {
 
 class Apks {
  public:
-  Apks(const Pairing& pairing, Schema schema)
+  Apks(const Pairing& pairing, Schema schema, HpeOptions opts = {})
       : schema_(std::move(schema)),
-        hpe_(pairing, schema_.vector_length()) {}
+        hpe_(pairing, schema_.vector_length(), opts) {}
 
   [[nodiscard]] const Schema& schema() const noexcept { return schema_; }
   [[nodiscard]] const Hpe& hpe() const noexcept { return hpe_; }
@@ -55,6 +55,15 @@ class Apks {
 
   void setup(Rng& rng, ApksPublicKey& pk, ApksMasterKey& msk) const {
     hpe_.setup(rng, pk.hpe, msk.hpe);
+  }
+
+  // Force the lazy fixed-base table builds now, so the first gen_index /
+  // gen_cap doesn't pay them (no-ops unless the engine is kPrecomputed).
+  void warm_precomp(const ApksPublicKey& pk) const {
+    hpe_.warm_precomp(pk.hpe);
+  }
+  void warm_precomp(const ApksMasterKey& msk) const {
+    hpe_.warm_precomp(msk.hpe);
   }
 
   [[nodiscard]] EncryptedIndex gen_index(const ApksPublicKey& pk,

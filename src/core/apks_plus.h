@@ -20,9 +20,9 @@ struct ApksPlusSetupResult {
 
 class ApksPlus : public Apks {
  public:
-  ApksPlus(const Pairing& pairing, Schema schema)
-      : Apks(pairing, std::move(schema)),
-        plus_(pairing, schema_.vector_length()) {}
+  ApksPlus(const Pairing& pairing, Schema schema, HpeOptions opts = {})
+      : Apks(pairing, std::move(schema), opts),
+        plus_(pairing, schema_.vector_length(), opts) {}
 
   [[nodiscard]] ApksPlusSetupResult setup_plus(Rng& rng) const {
     auto s = plus_.setup(rng);

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "dpvs/precomp_basis.h"
+#include "ec/fixed_base.h"
+
 namespace apks {
 
 std::vector<GVec> Dpvs::basis_from_matrix(const MatrixFq& m) const {
@@ -47,9 +50,12 @@ GVec Dpvs::add(const GVec& a, const GVec& b) const {
     throw std::invalid_argument("Dpvs::add: dimension mismatch");
   }
   const Curve& curve = e_->curve();
-  GVec r(dim_);
-  for (std::size_t i = 0; i < dim_; ++i) r[i] = curve.add(a[i], b[i]);
-  return r;
+  std::vector<JacPoint> jac;
+  jac.reserve(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    jac.push_back(curve.jac_add_mixed(curve.to_jac(a[i]), b[i]));
+  }
+  return curve.batch_normalize(jac);
 }
 
 GVec Dpvs::scale(const Fq& k, const GVec& a) const {
@@ -57,13 +63,116 @@ GVec Dpvs::scale(const Fq& k, const GVec& a) const {
     throw std::invalid_argument("Dpvs::scale: dimension mismatch");
   }
   const Curve& curve = e_->curve();
-  GVec r(dim_);
-  for (std::size_t i = 0; i < dim_; ++i) r[i] = curve.mul_fq(a[i], k);
-  return r;
+  const FqInt kp = e_->fq().to_int(k);
+  std::vector<JacPoint> jac;
+  jac.reserve(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) jac.push_back(curve.mul_jac(a[i], kp));
+  return curve.batch_normalize(jac);
+}
+
+GVec Dpvs::lincomb_terms(std::span<const LcTerm> terms,
+                         ScalarEngine engine) const {
+  for (const LcTerm& t : terms) {
+    if (t.basis == nullptr && t.vec == nullptr) {
+      throw std::invalid_argument("Dpvs::lincomb_terms: empty term");
+    }
+    const std::size_t tdim = t.basis ? t.basis->dim() : t.vec->size();
+    if (tdim != dim_ || (t.basis && t.row >= t.basis->size())) {
+      throw std::invalid_argument("Dpvs::lincomb_terms: bad term");
+    }
+  }
+  if (engine == ScalarEngine::kNaive) {
+    std::vector<Fq> coeffs;
+    std::vector<const GVec*> vecs;
+    coeffs.reserve(terms.size());
+    vecs.reserve(terms.size());
+    for (const LcTerm& t : terms) {
+      coeffs.push_back(t.coeff);
+      vecs.push_back(t.basis ? &t.basis->row(t.row) : t.vec);
+    }
+    return lincomb_naive(coeffs, vecs);
+  }
+
+  const Curve& curve = e_->curve();
+  const FqField& fq = e_->fq();
+  if (terms.empty()) return zero_vec();
+
+  // Resolve each term to a (tables, flat point index) source. Terms without
+  // cached tables — loose vectors, table-less bases, or everything when the
+  // engine is kWindowed — share one ephemeral narrow-window table built for
+  // just this call.
+  struct Source {
+    const WindowTables* tables = nullptr;
+    std::size_t base = 0;  // index of the term's coordinate-0 point
+  };
+  std::vector<Source> sources(terms.size());
+  std::vector<AffinePoint> loose;
+  std::vector<std::size_t> loose_term;  // term index per loose row
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    const LcTerm& t = terms[i];
+    if (engine == ScalarEngine::kPrecomputed && t.basis &&
+        t.basis->has_tables()) {
+      sources[i] = {t.basis->tables(), t.basis->point_index(t.row, 0)};
+    } else {
+      const GVec& row = t.basis ? t.basis->row(t.row) : *t.vec;
+      loose.insert(loose.end(), row.begin(), row.end());
+      loose_term.push_back(i);
+    }
+  }
+  constexpr unsigned kEphemeralWindow = 4;
+  std::unique_ptr<const WindowTables> eph;
+  if (!loose.empty()) {
+    eph = std::make_unique<const WindowTables>(curve, loose, kEphemeralWindow,
+                                               /*precomputed=*/false);
+    for (std::size_t r = 0; r < loose_term.size(); ++r) {
+      sources[loose_term[r]] = {eph.get(), r * dim_};
+    }
+  }
+
+  // Paper accounting: one exponentiation per term per coordinate, however
+  // it is served; table-served terms additionally count as precomputed.
+  std::uint64_t npre = 0;
+  for (const Source& s : sources) {
+    if (s.tables->precomputed()) ++npre;
+  }
+  curve.note_scalar_muls(terms.size() * dim_);
+  curve.note_precomp_base_muls(npre * dim_);
+
+  // Recode every coefficient once at its source's window width; the digits
+  // are reused by all dim coordinate chains.
+  std::vector<RecodedScalar> recoded;
+  recoded.reserve(terms.size());
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    recoded.push_back(RecodedScalar::recode(fq.to_int(terms[i].coeff),
+                                            sources[i].tables->wbits()));
+  }
+
+  std::vector<ChainTerm> chain(terms.size());
+  std::vector<JacPoint> jac;
+  jac.reserve(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      chain[i] = {sources[i].tables, sources[i].base + j, &recoded[i]};
+    }
+    jac.push_back(windowed_chain(curve, chain));
+  }
+  return curve.batch_normalize(jac);
 }
 
 GVec Dpvs::lincomb(const std::vector<Fq>& coeffs,
                    const std::vector<const GVec*>& vecs) const {
+  if (coeffs.size() != vecs.size()) {
+    throw std::invalid_argument("Dpvs::lincomb: size mismatch");
+  }
+  std::vector<LcTerm> terms(coeffs.size());
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    terms[i] = {coeffs[i], nullptr, 0, vecs[i]};
+  }
+  return lincomb_terms(terms, ScalarEngine::kWindowed);
+}
+
+GVec Dpvs::lincomb_naive(const std::vector<Fq>& coeffs,
+                         const std::vector<const GVec*>& vecs) const {
   if (coeffs.size() != vecs.size()) {
     throw std::invalid_argument("Dpvs::lincomb: size mismatch");
   }
@@ -77,7 +186,7 @@ GVec Dpvs::lincomb(const std::vector<Fq>& coeffs,
       }
       column[i] = (*vecs[i])[j];
     }
-    r[j] = curve.msm(column, coeffs);
+    r[j] = curve.msm_naive(column, coeffs);
   }
   return r;
 }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "math/matrix_fq.h"
@@ -21,6 +22,17 @@ namespace apks {
 
 // A vector in V: N points of E(F_p)[q].
 using GVec = std::vector<AffinePoint>;
+
+class PrecomputedBasis;
+
+// Which scalar-multiplication engine serves linear combinations. All three
+// produce bit-identical vectors and the same paper-facing exponentiation
+// counts; only wall-clock differs.
+enum class ScalarEngine {
+  kNaive,        // per-coordinate interleaved double-and-add (reference)
+  kWindowed,     // shared-chain signed windows, ephemeral per-call tables
+  kPrecomputed,  // windowed, served from cached PrecomputedBasis tables
+};
 
 class Dpvs {
  public:
@@ -48,12 +60,36 @@ class Dpvs {
     return GVec(dim_, AffinePoint::infinity());
   }
 
+  // Coordinate-wise sum / scalar multiple. Both run in Jacobian coordinates
+  // and batch-normalize the whole vector: one field inversion per call
+  // instead of one per coordinate.
   [[nodiscard]] GVec add(const GVec& a, const GVec& b) const;
   [[nodiscard]] GVec scale(const Fq& k, const GVec& a) const;
 
-  // sum_i coeffs[i] * vecs[i], one MSM per coordinate.
+  // One term of a linear combination: coeff * (basis row | loose vector).
+  // Exactly one of (basis, vec) is set; `row` indexes into `basis`.
+  struct LcTerm {
+    Fq coeff{};
+    const PrecomputedBasis* basis = nullptr;
+    std::size_t row = 0;
+    const GVec* vec = nullptr;
+  };
+
+  // sum over terms, dispatched to the selected engine. The windowed and
+  // precomputed engines run one shared doubling chain per coordinate and a
+  // single batch normalization for the whole output vector; kPrecomputed
+  // serves basis-backed terms from their cached tables (counted as
+  // precomp_base_mul on top of the engine-independent scalar_mul).
+  [[nodiscard]] GVec lincomb_terms(std::span<const LcTerm> terms,
+                                   ScalarEngine engine) const;
+
+  // sum_i coeffs[i] * vecs[i] via the windowed engine.
   [[nodiscard]] GVec lincomb(const std::vector<Fq>& coeffs,
                              const std::vector<const GVec*>& vecs) const;
+  // Reference implementation: one naive MSM per coordinate, one inversion
+  // per coordinate.
+  [[nodiscard]] GVec lincomb_naive(const std::vector<Fq>& coeffs,
+                                   const std::vector<const GVec*>& vecs) const;
 
   // prod_i e(x_i, y_i)  == gT^{<exponents(x), exponents(y)>}; N Miller loops
   // plus a single shared final exponentiation.

@@ -1,0 +1,86 @@
+#include "dpvs/precomp_basis.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+unsigned PrecomputedBasis::pick_window(std::size_t npts,
+                                       std::size_t budget) noexcept {
+  unsigned best = 0;
+  for (unsigned w = WindowTables::kMinWindow; w <= WindowTables::kMaxWindow;
+       ++w) {
+    if (WindowTables::table_bytes(npts, w) <= budget) best = w;
+  }
+  return best;
+}
+
+PrecomputedBasis::PrecomputedBasis(const Dpvs& dpvs, std::vector<GVec> rows,
+                                   const Options& opts)
+    : dim_(dpvs.dim()), rows_(std::move(rows)) {
+  for (const GVec& r : rows_) {
+    if (r.size() != dim_) {
+      throw std::invalid_argument("PrecomputedBasis: row dim mismatch");
+    }
+  }
+  if (!opts.build_tables || rows_.empty()) return;
+  const std::size_t npts = rows_.size() * dim_;
+  unsigned w = opts.window;
+  if (w == 0) w = pick_window(npts, opts.max_table_bytes);
+  if (w == 0) return;  // budget too small even for the narrowest window
+  std::vector<AffinePoint> flat;
+  flat.reserve(npts);
+  for (const GVec& r : rows_) flat.insert(flat.end(), r.begin(), r.end());
+  tables_ = std::make_unique<const WindowTables>(dpvs.pairing().curve(), flat,
+                                                 w, /*precomputed=*/true);
+}
+
+std::shared_ptr<const PrecomputedBasis> PrecomputedBasis::build(
+    const Dpvs& dpvs, std::vector<GVec> rows, const Options& opts) {
+  return std::shared_ptr<const PrecomputedBasis>(
+      new PrecomputedBasis(dpvs, std::move(rows), opts));
+}
+
+std::shared_ptr<const PrecomputedBasis> PrecomputedBasis::build(
+    const Dpvs& dpvs, std::initializer_list<const GVec*> rows,
+    const Options& opts) {
+  std::vector<GVec> copy;
+  copy.reserve(rows.size());
+  for (const GVec* r : rows) copy.push_back(*r);
+  return build(dpvs, std::move(copy), opts);
+}
+
+namespace {
+
+// Does the cached snapshot still describe `rows`? Spot-checks the first
+// coordinate of every row: catches in-place basis mutation (HPE+ rescales
+// B* after setup) without a full O(rows*dim) comparison.
+bool basis_matches(const PrecomputedBasis& cached, const Dpvs& dpvs,
+                   const std::vector<GVec>& rows) {
+  if (cached.size() != rows.size() || cached.dim() != dpvs.dim()) return false;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].empty() || !(cached.row(r)[0] == rows[r][0])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<const PrecomputedBasis> BasisPrecompCache::get_or_build(
+    const Dpvs& dpvs, const std::vector<GVec>& rows,
+    const PrecomputedBasis::Options& opts) const {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (cached_ && basis_matches(*cached_, dpvs, rows)) return cached_;
+  }
+  // Build outside the lock: table construction is the expensive part and
+  // concurrent first callers would otherwise serialize on it. Losing the
+  // race costs one redundant build; everyone converges on the pointer the
+  // winner installed.
+  auto built = PrecomputedBasis::build(dpvs, rows, opts);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (cached_ && basis_matches(*cached_, dpvs, rows)) return cached_;
+  cached_ = std::move(built);
+  return cached_;
+}
+
+}  // namespace apks

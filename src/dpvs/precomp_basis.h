@@ -1,0 +1,112 @@
+// Precomputed fixed-basis tables for DPVS linear combinations.
+//
+// HPE's hot paths (encrypt, gen_key, delegate) all take linear combinations
+// over bases that are FIXED across calls: the public Bhat, the master B*,
+// or a parent key's components. PrecomputedBasis snapshots such a basis and
+// builds signed fixed-window tables (src/ec/fixed_base.h) for every one of
+// its rows*dim points, normalized with a single inversion. A lincomb served
+// from the tables skips the per-term table build and runs wider windows —
+// the generalization of the paper's "pairing preprocessing" (Fig. 8d) to
+// the owner/authority side.
+//
+// Memory is bounded: the window width is auto-sized to the largest w whose
+// table footprint fits `max_table_bytes`, and table building is skipped
+// entirely when even the narrowest window does not fit (lincombs then fall
+// back to ephemeral tables — still correct, just not amortized).
+//
+// BasisPrecompCache makes the precomputation lazy and thread-safe so it can
+// live on copyable key material (HpePublicKey/HpeMasterKey): the first
+// lincomb against a basis builds the tables, concurrent callers share them,
+// and copies of the key start with a cold cache.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dpvs/dpvs.h"
+#include "ec/fixed_base.h"
+
+namespace apks {
+
+class PrecomputedBasis {
+ public:
+  // 64 MiB default: w = 7 tables for the Nursery-size bases (~75 vectors of
+  // dimension ~76) of the paper's Fig. 8 evaluation.
+  static constexpr std::size_t kDefaultMaxTableBytes = 64ull << 20;
+
+  struct Options {
+    unsigned window = 0;  // fixed window width; 0 = widest fitting the budget
+    std::size_t max_table_bytes = kDefaultMaxTableBytes;
+    bool build_tables = true;  // false: snapshot rows only (naive/windowed)
+  };
+
+  [[nodiscard]] static std::shared_ptr<const PrecomputedBasis> build(
+      const Dpvs& dpvs, std::vector<GVec> rows, const Options& opts);
+  // Convenience for ad-hoc bases ({&t, &w}, a parent key's components, ...).
+  [[nodiscard]] static std::shared_ptr<const PrecomputedBasis> build(
+      const Dpvs& dpvs, std::initializer_list<const GVec*> rows,
+      const Options& opts);
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] const GVec& row(std::size_t i) const { return rows_[i]; }
+  [[nodiscard]] bool has_tables() const noexcept { return tables_ != nullptr; }
+  [[nodiscard]] const WindowTables* tables() const noexcept {
+    return tables_.get();
+  }
+  [[nodiscard]] unsigned window() const noexcept {
+    return tables_ ? tables_->wbits() : 0;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return tables_ ? tables_->memory_bytes() : 0;
+  }
+  // Flattened index of point j of row r in `tables()`.
+  [[nodiscard]] std::size_t point_index(std::size_t r,
+                                        std::size_t j) const noexcept {
+    return r * dim_ + j;
+  }
+
+  // Widest window in [kMinWindow, kMaxWindow] whose tables for npts points
+  // fit `budget`; 0 when none fits.
+  [[nodiscard]] static unsigned pick_window(std::size_t npts,
+                                            std::size_t budget) noexcept;
+
+ private:
+  PrecomputedBasis(const Dpvs& dpvs, std::vector<GVec> rows,
+                   const Options& opts);
+
+  std::size_t dim_ = 0;
+  std::vector<GVec> rows_;
+  std::unique_ptr<const WindowTables> tables_;
+};
+
+// Lazy, thread-safe, copy-resets cache of one PrecomputedBasis. Lives on
+// key structs; copying a key (or assigning over it) yields a cold cache, so
+// mutated copies (e.g. HPE+ rescaling B*) never see stale tables. As a
+// second guard, get_or_build() spot-checks the cached snapshot against the
+// caller's rows and rebuilds on any mismatch.
+class BasisPrecompCache {
+ public:
+  BasisPrecompCache() = default;
+  BasisPrecompCache(const BasisPrecompCache&) noexcept {}
+  BasisPrecompCache& operator=(const BasisPrecompCache&) noexcept {
+    reset();
+    return *this;
+  }
+
+  [[nodiscard]] std::shared_ptr<const PrecomputedBasis> get_or_build(
+      const Dpvs& dpvs, const std::vector<GVec>& rows,
+      const PrecomputedBasis::Options& opts) const;
+
+  void reset() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    cached_.reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const PrecomputedBasis> cached_;
+};
+
+}  // namespace apks

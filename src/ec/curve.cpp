@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/sha256.h"
+#include "ec/fixed_base.h"
 
 namespace apks {
 
@@ -180,16 +181,20 @@ AffinePoint Curve::dbl(const AffinePoint& a) const {
   return to_affine(jac_dbl(to_jac(a)));
 }
 
-AffinePoint Curve::mul(const AffinePoint& pt, const FqInt& k) const {
+JacPoint Curve::mul_jac(const AffinePoint& pt, const FqInt& k) const {
   scalar_mul_count_.fetch_add(1, std::memory_order_relaxed);
-  if (pt.inf || k.is_zero()) return AffinePoint::infinity();
   JacPoint acc{fp_.one(), fp_.one(), fp_.zero()};
+  if (pt.inf || k.is_zero()) return acc;
   const std::size_t bits = k.bit_length();
   for (std::size_t i = bits; i-- > 0;) {
     acc = jac_dbl(acc);
     if (k.bit(i)) acc = jac_add_mixed(acc, pt);
   }
-  return to_affine(acc);
+  return acc;
+}
+
+AffinePoint Curve::mul(const AffinePoint& pt, const FqInt& k) const {
+  return to_affine(mul_jac(pt, k));
 }
 
 AffinePoint Curve::mul_fq(const AffinePoint& pt, const Fq& k) const {
@@ -201,8 +206,32 @@ AffinePoint Curve::msm(const std::vector<AffinePoint>& pts,
   if (pts.size() != ks.size()) {
     throw std::invalid_argument("Curve::msm: size mismatch");
   }
-  // Interleaved double-and-add: one shared doubling chain. Counts as one
-  // exponentiation per term (the paper's accounting unit).
+  // Counts as one exponentiation per term (the paper's accounting unit)
+  // regardless of the engine that serves it.
+  scalar_mul_count_.fetch_add(pts.size(), std::memory_order_relaxed);
+  if (pts.empty()) return AffinePoint::infinity();
+  // Ephemeral signed-window tables: narrow width since the build cost is
+  // paid by this single chain.
+  constexpr unsigned kWindow = 4;
+  const WindowTables tables(*this, pts, kWindow, /*precomputed=*/false);
+  std::vector<RecodedScalar> recoded;
+  recoded.reserve(ks.size());
+  for (const auto& k : ks) {
+    recoded.push_back(RecodedScalar::recode(fq_.to_int(k), kWindow));
+  }
+  std::vector<ChainTerm> terms(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    terms[i] = {&tables, i, &recoded[i]};
+  }
+  return to_affine(windowed_chain(*this, terms));
+}
+
+AffinePoint Curve::msm_naive(const std::vector<AffinePoint>& pts,
+                             const std::vector<Fq>& ks) const {
+  if (pts.size() != ks.size()) {
+    throw std::invalid_argument("Curve::msm_naive: size mismatch");
+  }
+  // Interleaved double-and-add: one shared doubling chain.
   scalar_mul_count_.fetch_add(pts.size(), std::memory_order_relaxed);
   std::vector<FqInt> scalars;
   scalars.reserve(ks.size());
@@ -224,14 +253,15 @@ AffinePoint Curve::msm(const std::vector<AffinePoint>& pts,
 }
 
 AffinePoint Curve::clear_cofactor(const AffinePoint& pt) const {
-  // h * pt via double-and-add over the (wide) cofactor bits.
-  JacPoint acc{fp_.one(), fp_.one(), fp_.zero()};
-  const std::size_t bits = params_.h.bit_length();
-  for (std::size_t i = bits; i-- > 0;) {
-    acc = jac_dbl(acc);
-    if (params_.h.bit(i)) acc = jac_add_mixed(acc, pt);
-  }
-  return to_affine(acc);
+  cofactor_mul_count_.fetch_add(1, std::memory_order_relaxed);
+  // h * pt with a signed fixed window over the wide cofactor: ~|h|/w mixed
+  // additions instead of |h|/2 for plain double-and-add.
+  constexpr unsigned kWindow = 5;
+  const WindowTables tables(*this, std::span<const AffinePoint>(&pt, 1),
+                            kWindow, /*precomputed=*/false);
+  const RecodedScalar k = RecodedScalar::recode(params_.h, kWindow);
+  const ChainTerm term{&tables, 0, &k};
+  return to_affine(windowed_chain(*this, std::span<const ChainTerm>(&term, 1)));
 }
 
 AffinePoint Curve::random_point(Rng& rng) const {

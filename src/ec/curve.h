@@ -39,6 +39,12 @@ struct JacPoint {
 struct OpCounts {
   std::uint64_t scalar_mul = 0;  // variable-base scalar multiplications
   std::uint64_t base_mul = 0;    // fixed-base (generator) multiplications
+  // Of the scalar_mul above, how many were served from cached per-point
+  // window tables (PrecomputedBasis). Always <= scalar_mul: the paper-facing
+  // exponentiation count is engine-independent; this tracks how much of it
+  // the fixed-base tables absorbed.
+  std::uint64_t precomp_base_mul = 0;
+  std::uint64_t cofactor_mul = 0;  // cofactor clearings (hash/sample to G)
   std::uint64_t miller = 0;      // Miller loops (pairings before final exp)
   std::uint64_t final_exp = 0;
 };
@@ -64,11 +70,19 @@ class Curve {
   [[nodiscard]] AffinePoint mul(const AffinePoint& pt, const FqInt& k) const;
   // Scalar given as a Montgomery-form F_q element.
   [[nodiscard]] AffinePoint mul_fq(const AffinePoint& pt, const Fq& k) const;
+  // Jacobian result (no normalization) — callers producing many points
+  // combine this with batch_normalize to share one inversion.
+  [[nodiscard]] JacPoint mul_jac(const AffinePoint& pt, const FqInt& k) const;
 
-  // Multi-scalar multiplication sum_i k_i * pts_i (simple interleaved
-  // double-and-add; scalars are Montgomery-form F_q elements).
+  // Multi-scalar multiplication sum_i k_i * pts_i (scalars are
+  // Montgomery-form F_q elements). Runs the windowed shared-chain engine
+  // (src/ec/fixed_base.h) with ephemeral per-call tables.
   [[nodiscard]] AffinePoint msm(const std::vector<AffinePoint>& pts,
                                 const std::vector<Fq>& ks) const;
+  // Reference interleaved double-and-add MSM (the pre-engine
+  // implementation); same group result and the same op-count accounting.
+  [[nodiscard]] AffinePoint msm_naive(const std::vector<AffinePoint>& pts,
+                                      const std::vector<Fq>& ks) const;
 
   // Jacobian internals (exposed for the pairing's Miller loop).
   [[nodiscard]] JacPoint to_jac(const AffinePoint& pt) const;
@@ -99,12 +113,32 @@ class Curve {
   void reset_op_counts() const noexcept {
     scalar_mul_count_.store(0, std::memory_order_relaxed);
     base_mul_count_.store(0, std::memory_order_relaxed);
+    precomp_base_mul_count_.store(0, std::memory_order_relaxed);
+    cofactor_mul_count_.store(0, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t scalar_mul_count() const noexcept {
     return scalar_mul_count_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t base_mul_count() const noexcept {
     return base_mul_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t precomp_base_mul_count() const noexcept {
+    return precomp_base_mul_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cofactor_mul_count() const noexcept {
+    return cofactor_mul_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] OpCounts op_counts() const noexcept {
+    return {scalar_mul_count(), base_mul_count(), precomp_base_mul_count(),
+            cofactor_mul_count(), 0, 0};
+  }
+  // Accounting hooks for the engine layers (Dpvs::lincomb_terms attributes
+  // each lincomb term here; the engine itself never counts).
+  void note_scalar_muls(std::uint64_t k) const noexcept {
+    scalar_mul_count_.fetch_add(k, std::memory_order_relaxed);
+  }
+  void note_precomp_base_muls(std::uint64_t k) const noexcept {
+    precomp_base_mul_count_.fetch_add(k, std::memory_order_relaxed);
   }
 
   // Uniformly random point of order q (random x with cofactor clearing).
@@ -124,6 +158,8 @@ class Curve {
 
  private:
   [[nodiscard]] Fp rhs(const Fp& x) const;  // x^3 + x
+  // h * pt via a signed fixed-window ladder over the wide cofactor; counted
+  // by cofactor_mul_count_ (separate from the paper's exponentiation unit).
   [[nodiscard]] AffinePoint clear_cofactor(const AffinePoint& pt) const;
   void build_base_table() const;
 
@@ -140,6 +176,8 @@ class Curve {
 
   mutable std::atomic<std::uint64_t> scalar_mul_count_{0};
   mutable std::atomic<std::uint64_t> base_mul_count_{0};
+  mutable std::atomic<std::uint64_t> precomp_base_mul_count_{0};
+  mutable std::atomic<std::uint64_t> cofactor_mul_count_{0};
 };
 
 }  // namespace apks

@@ -1,0 +1,55 @@
+#include "ec/fixed_base.h"
+
+#include <stdexcept>
+
+namespace apks {
+
+WindowTables::WindowTables(const Curve& curve,
+                           std::span<const AffinePoint> pts, unsigned wbits,
+                           bool precomputed)
+    : wbits_(wbits),
+      half_(std::size_t{1} << (wbits - 1)),
+      precomputed_(precomputed) {
+  if (wbits < kMinWindow || wbits > kMaxWindow) {
+    throw std::invalid_argument("WindowTables: window width out of range");
+  }
+  // Row i holds {P_i, 2P_i, ..., half * P_i}: one mixed addition per entry
+  // (even multiples reuse the running sum), one batch inversion overall.
+  std::vector<JacPoint> jac;
+  jac.reserve(pts.size() * half_);
+  for (const AffinePoint& p : pts) {
+    JacPoint acc = curve.to_jac(p);
+    jac.push_back(acc);
+    for (std::size_t m = 2; m <= half_; ++m) {
+      acc = curve.jac_add_mixed(acc, p);
+      jac.push_back(acc);
+    }
+  }
+  entries_ = curve.batch_normalize(jac);
+}
+
+JacPoint windowed_chain(const Curve& curve,
+                        std::span<const ChainTerm> terms) {
+  std::ptrdiff_t start = -1;
+  for (const ChainTerm& t : terms) {
+    if (t.k->top_pos > start) start = t.k->top_pos;
+  }
+  JacPoint acc = curve.to_jac(AffinePoint::infinity());
+  for (std::ptrdiff_t pos = start; pos >= 0; --pos) {
+    if (!acc.is_infinity()) acc = curve.jac_dbl(acc);
+    for (const ChainTerm& t : terms) {
+      const auto w = static_cast<std::ptrdiff_t>(t.k->wbits);
+      if (pos % w != 0) continue;
+      const std::size_t j = static_cast<std::size_t>(pos / w);
+      if (j >= t.k->digits.size()) continue;
+      const std::int32_t d = t.k->digits[j];
+      if (d == 0) continue;
+      const auto m = static_cast<std::uint32_t>(d > 0 ? d : -d);
+      const AffinePoint& e = t.tables->entry(t.index, m);
+      acc = curve.jac_add_mixed(acc, d > 0 ? e : curve.neg(e));
+    }
+  }
+  return acc;
+}
+
+}  // namespace apks

@@ -1,11 +1,14 @@
 #include "hpe/hpe.h"
 
+#include <optional>
 #include <stdexcept>
 
 namespace apks {
 
-Hpe::Hpe(const Pairing& pairing, std::size_t n)
-    : e_(&pairing), n_(n), dpvs_(pairing, n + 3) {
+using LcTerm = Dpvs::LcTerm;
+
+Hpe::Hpe(const Pairing& pairing, std::size_t n, HpeOptions opts)
+    : e_(&pairing), n_(n), dpvs_(pairing, n + 3), opts_(opts) {
   if (n == 0) throw std::invalid_argument("Hpe: n must be positive");
 }
 
@@ -18,13 +21,20 @@ void Hpe::setup(Rng& rng, HpePublicKey& pk, HpeMasterKey& msk) const {
   // d_{n+1} = b_{n+1} + b_{n+2}.
   pk.bhat.push_back(dpvs_.add(bases.b[n_], bases.b[n_ + 1]));
   pk.bhat.push_back(bases.b[n_ + 2]);
+  pk.precomp.reset();
   msk.x = std::move(bases.x);
   msk.bstar = std::move(bases.bstar);
+  msk.precomp.reset();
 }
 
-GVec Hpe::key_component(const Fq& sigma, const GVec& t, const Fq& eta,
-                        const GVec& w) const {
-  return dpvs_.lincomb({sigma, eta}, {&t, &w});
+void Hpe::warm_precomp(const HpePublicKey& pk) const {
+  if (opts_.engine != ScalarEngine::kPrecomputed) return;
+  (void)pk.precomp.get_or_build(dpvs_, pk.bhat, table_opts());
+}
+
+void Hpe::warm_precomp(const HpeMasterKey& msk) const {
+  if (opts_.engine != ScalarEngine::kPrecomputed) return;
+  (void)msk.precomp.get_or_build(dpvs_, msk.bstar, table_opts());
 }
 
 HpeKey Hpe::gen_key(const HpeMasterKey& msk, const std::vector<Fq>& v,
@@ -34,34 +44,61 @@ HpeKey Hpe::gen_key(const HpeMasterKey& msk, const std::vector<Fq>& v,
     throw std::invalid_argument("Hpe::gen_key: malformed master key");
   }
   const FqField& fq = e_->fq();
+  const bool pre = opts_.engine == ScalarEngine::kPrecomputed;
+  std::shared_ptr<const PrecomputedBasis> mb;
+  if (pre) mb = msk.precomp.get_or_build(dpvs_, msk.bstar, table_opts());
+  auto bstar_term = [&](const Fq& c, std::size_t i) {
+    return mb ? LcTerm{c, mb.get(), i, nullptr}
+              : LcTerm{c, nullptr, 0, &msk.bstar[i]};
+  };
 
   // T = sum_i v_i b*_i — shared by every component.
-  std::vector<const GVec*> brows;
-  brows.reserve(n_);
-  for (std::size_t i = 0; i < n_; ++i) brows.push_back(&msk.bstar[i]);
-  const GVec t = dpvs_.lincomb(v, brows);
+  std::vector<LcTerm> tt;
+  tt.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) tt.push_back(bstar_term(v[i], i));
+  const GVec t = dpvs_.lincomb_terms(tt, opts_.engine);
 
   // W = b*_{n+1} - b*_{n+2}: the decryption-slot pair with coefficient sum 0.
-  const GVec w = dpvs_.lincomb({fq.one(), fq.neg(fq.one())},
-                               {&msk.bstar[n_], &msk.bstar[n_ + 1]});
+  const std::vector<LcTerm> wt{bstar_term(fq.one(), n_),
+                               bstar_term(fq.neg(fq.one()), n_ + 1)};
+  const GVec w = dpvs_.lincomb_terms(wt, opts_.engine);
+
+  // Every component below combines {T, W} (+ a basis row); give the pair
+  // its own per-call tables so the n+4 component lincombs share them.
+  std::shared_ptr<const PrecomputedBasis> tw;
+  if (pre) {
+    tw = PrecomputedBasis::build(dpvs_, {&t, &w}, table_opts(kPerCallWindow));
+  }
+  auto t_term = [&](const Fq& c) {
+    return tw ? LcTerm{c, tw.get(), 0, nullptr} : LcTerm{c, nullptr, 0, &t};
+  };
+  auto w_term = [&](const Fq& c) {
+    return tw ? LcTerm{c, tw.get(), 1, nullptr} : LcTerm{c, nullptr, 0, &w};
+  };
+  // sigma * T + eta * W, the common shape of all key components.
+  auto component = [&](const Fq& sigma, const Fq& eta) {
+    const std::vector<LcTerm> terms{t_term(sigma), w_term(eta)};
+    return dpvs_.lincomb_terms(terms, opts_.engine);
+  };
 
   HpeKey key;
   key.level = 1;
   // k_dec = sigma_dec T + eta_dec W + b*_{n+2}: slot sum (n+1)+(n+2) is 1,
   // which is what pairs against the zeta d_{n+1} ciphertext slot.
-  key.dec = dpvs_.add(key_component(fq.random(rng), t, fq.random(rng), w),
+  key.dec = dpvs_.add(component(fq.random(rng), fq.random(rng)),
                       msk.bstar[n_ + 1]);
   // Two randomizers (slot sum 0: decrypt to gT^0 on a predicate match).
-  key.ran.push_back(key_component(fq.random(rng), t, fq.random(rng), w));
-  key.ran.push_back(key_component(fq.random(rng), t, fq.random(rng), w));
+  key.ran.push_back(component(fq.random(rng), fq.random(rng)));
+  key.ran.push_back(component(fq.random(rng), fq.random(rng)));
   // Delegation components share one phi so a child's appended vector is
   // scaled consistently across coordinates.
   const Fq phi = fq.random_nonzero(rng);
   key.del.reserve(n_);
   for (std::size_t j = 0; j < n_; ++j) {
-    key.del.push_back(dpvs_.lincomb(
-        {fq.random(rng), phi, fq.random(rng)},
-        {&t, &msk.bstar[j], &w}));
+    const std::vector<LcTerm> terms{t_term(fq.random(rng)),
+                                    bstar_term(phi, j),
+                                    w_term(fq.random(rng))};
+    key.del.push_back(dpvs_.lincomb_terms(terms, opts_.engine));
   }
   return key;
 }
@@ -75,45 +112,56 @@ HpeKey Hpe::gen_key_naive(const HpeMasterKey& msk, const std::vector<Fq>& v,
     throw std::invalid_argument("Hpe::gen_key_naive: malformed master key");
   }
   const FqField& fq = e_->fq();
+  const bool pre = opts_.engine == ScalarEngine::kPrecomputed;
+  std::shared_ptr<const PrecomputedBasis> mb;
+  if (pre) mb = msk.precomp.get_or_build(dpvs_, msk.bstar, table_opts());
+  auto bstar_term = [&](const Fq& c, std::size_t i) {
+    return mb ? LcTerm{c, mb.get(), i, nullptr}
+              : LcTerm{c, nullptr, 0, &msk.bstar[i]};
+  };
 
   // Per-component combination sigma * (sum_i v_i b*_i) + eta * W [+ extra],
   // recomputed from the sparse v every time (no shared T). Zero entries of
   // v are skipped, so "don't care" dimensions shrink every component's MSM.
-  const GVec w = dpvs_.lincomb({fq.one(), fq.neg(fq.one())},
-                               {&msk.bstar[n_], &msk.bstar[n_ + 1]});
+  const std::vector<LcTerm> wt{bstar_term(fq.one(), n_),
+                               bstar_term(fq.neg(fq.one()), n_ + 1)};
+  const GVec w = dpvs_.lincomb_terms(wt, opts_.engine);
+  std::shared_ptr<const PrecomputedBasis> wb;
+  if (pre) {
+    wb = PrecomputedBasis::build(dpvs_, {&w}, table_opts(kPerCallWindow));
+  }
+  auto w_term = [&](const Fq& c) {
+    return wb ? LcTerm{c, wb.get(), 0, nullptr} : LcTerm{c, nullptr, 0, &w};
+  };
   auto component = [&](const Fq& sigma, const Fq& eta, const GVec* extra,
-                       const Fq& extra_coeff) {
-    std::vector<Fq> coeffs;
-    std::vector<const GVec*> vecs;
-    coeffs.reserve(n_ + 2);
-    vecs.reserve(n_ + 2);
+                       std::size_t extra_row, const Fq& extra_coeff) {
+    std::vector<LcTerm> terms;
+    terms.reserve(n_ + 2);
     for (std::size_t i = 0; i < n_; ++i) {
       if (v[i].is_zero()) continue;
-      coeffs.push_back(fq.mul(sigma, v[i]));
-      vecs.push_back(&msk.bstar[i]);
+      terms.push_back(bstar_term(fq.mul(sigma, v[i]), i));
     }
-    coeffs.push_back(eta);
-    vecs.push_back(&w);
+    terms.push_back(w_term(eta));
     if (extra != nullptr) {
-      coeffs.push_back(extra_coeff);
-      vecs.push_back(extra);
+      // All extras are rows of B*, addressable through the master cache.
+      terms.push_back(bstar_term(extra_coeff, extra_row));
     }
-    return dpvs_.lincomb(coeffs, vecs);
+    return dpvs_.lincomb_terms(terms, opts_.engine);
   };
 
   HpeKey key;
   key.level = 1;
   key.dec = component(fq.random(rng), fq.random(rng), &msk.bstar[n_ + 1],
-                      fq.one());
-  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr,
+                      n_ + 1, fq.one());
+  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr, 0,
                               fq.zero()));
-  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr,
+  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr, 0,
                               fq.zero()));
   const Fq phi = fq.random_nonzero(rng);
   key.del.reserve(n_);
   for (std::size_t j = 0; j < n_; ++j) {
     key.del.push_back(component(fq.random(rng), fq.random(rng),
-                                &msk.bstar[j], phi));
+                                &msk.bstar[j], j, phi));
   }
   return key;
 }
@@ -128,42 +176,63 @@ HpeKey Hpe::delegate_naive(const HpeKey& parent, const std::vector<Fq>& v_next,
   }
   const FqField& fq = e_->fq();
   const std::size_t nran = parent.ran.size();
+  const bool pre = opts_.engine == ScalarEngine::kPrecomputed;
+
+  // Every component combines the same parent material (ran, del, dec);
+  // build one per-call table set over all of it.
+  std::shared_ptr<const PrecomputedBasis> pb;
+  if (pre) {
+    std::vector<GVec> rows;
+    rows.reserve(nran + n_ + 1);
+    for (const GVec& rv : parent.ran) rows.push_back(rv);
+    for (const GVec& dv : parent.del) rows.push_back(dv);
+    rows.push_back(parent.dec);
+    pb = PrecomputedBasis::build(dpvs_, std::move(rows),
+                                 table_opts(kPerCallWindow));
+  }
+  auto ran_term = [&](const Fq& c, std::size_t j) {
+    return pb ? LcTerm{c, pb.get(), j, nullptr}
+              : LcTerm{c, nullptr, 0, &parent.ran[j]};
+  };
+  auto del_term = [&](const Fq& c, std::size_t i) {
+    return pb ? LcTerm{c, pb.get(), nran + i, nullptr}
+              : LcTerm{c, nullptr, 0, &parent.del[i]};
+  };
+  auto dec_term = [&](const Fq& c) {
+    return pb ? LcTerm{c, pb.get(), nran + n_, nullptr}
+              : LcTerm{c, nullptr, 0, &parent.dec};
+  };
 
   // sum_j alpha_j ran_j + sigma * (sum_i v_i k*_del,i) [+ extra], with the
   // appended-vector sum recomputed per component from the sparse v_next.
-  auto component = [&](const Fq& sigma, const GVec* extra,
+  enum class Extra { kNone, kDec, kDel };
+  auto component = [&](const Fq& sigma, Extra extra, std::size_t extra_i,
                        const Fq& extra_coeff) {
-    std::vector<Fq> coeffs;
-    std::vector<const GVec*> vecs;
-    coeffs.reserve(nran + n_ + 1);
-    vecs.reserve(nran + n_ + 1);
+    std::vector<LcTerm> terms;
+    terms.reserve(nran + n_ + 1);
     for (std::size_t j = 0; j < nran; ++j) {
-      coeffs.push_back(fq.random(rng));
-      vecs.push_back(&parent.ran[j]);
+      terms.push_back(ran_term(fq.random(rng), j));
     }
     for (std::size_t i = 0; i < n_; ++i) {
       if (v_next[i].is_zero()) continue;
-      coeffs.push_back(fq.mul(sigma, v_next[i]));
-      vecs.push_back(&parent.del[i]);
+      terms.push_back(del_term(fq.mul(sigma, v_next[i]), i));
     }
-    if (extra != nullptr) {
-      coeffs.push_back(extra_coeff);
-      vecs.push_back(extra);
-    }
-    return dpvs_.lincomb(coeffs, vecs);
+    if (extra == Extra::kDec) terms.push_back(dec_term(extra_coeff));
+    if (extra == Extra::kDel) terms.push_back(del_term(extra_coeff, extra_i));
+    return dpvs_.lincomb_terms(terms, opts_.engine);
   };
 
   HpeKey child;
   child.level = parent.level + 1;
-  child.dec = component(fq.random(rng), &parent.dec, fq.one());
+  child.dec = component(fq.random(rng), Extra::kDec, 0, fq.one());
   child.ran.reserve(child.level + 1);
   for (std::size_t j = 0; j < child.level + 1; ++j) {
-    child.ran.push_back(component(fq.random(rng), nullptr, fq.zero()));
+    child.ran.push_back(component(fq.random(rng), Extra::kNone, 0, fq.zero()));
   }
   const Fq phi_next = fq.random_nonzero(rng);
   child.del.reserve(n_);
   for (std::size_t j = 0; j < n_; ++j) {
-    child.del.push_back(component(fq.random(rng), &parent.del[j], phi_next));
+    child.del.push_back(component(fq.random(rng), Extra::kDel, j, phi_next));
   }
   return child;
 }
@@ -179,21 +248,24 @@ HpeCiphertext Hpe::encrypt(const HpePublicKey& pk, const std::vector<Fq>& x,
   const Fq delta2 = fq.random(rng);
   const Fq zeta = fq.random(rng);
 
-  std::vector<Fq> coeffs;
-  std::vector<const GVec*> vecs;
-  coeffs.reserve(n_ + 2);
-  vecs.reserve(n_ + 2);
-  for (std::size_t i = 0; i < n_; ++i) {
-    coeffs.push_back(fq.mul(delta1, x[i]));
-    vecs.push_back(&pk.bhat[i]);
+  std::shared_ptr<const PrecomputedBasis> basis;
+  if (opts_.engine == ScalarEngine::kPrecomputed) {
+    basis = pk.precomp.get_or_build(dpvs_, pk.bhat, table_opts());
   }
-  coeffs.push_back(zeta);
-  vecs.push_back(&pk.bhat[n_]);  // d_{n+1}
-  coeffs.push_back(delta2);
-  vecs.push_back(&pk.bhat[n_ + 1]);  // b_{n+3}
+  auto bhat_term = [&](const Fq& c, std::size_t i) {
+    return basis ? LcTerm{c, basis.get(), i, nullptr}
+                 : LcTerm{c, nullptr, 0, &pk.bhat[i]};
+  };
+  std::vector<LcTerm> terms;
+  terms.reserve(n_ + 2);
+  for (std::size_t i = 0; i < n_; ++i) {
+    terms.push_back(bhat_term(fq.mul(delta1, x[i]), i));
+  }
+  terms.push_back(bhat_term(zeta, n_));        // d_{n+1}
+  terms.push_back(bhat_term(delta2, n_ + 1));  // b_{n+3}
 
   HpeCiphertext ct;
-  ct.c1 = dpvs_.lincomb(coeffs, vecs);
+  ct.c1 = dpvs_.lincomb_terms(terms, opts_.engine);
   ct.c2 = e_->gt_mul(e_->gt_pow(e_->gt_generator(), zeta), m);
   return ct;
 }
@@ -221,49 +293,67 @@ HpeKey Hpe::delegate(const HpeKey& parent, const std::vector<Fq>& v_next,
   }
   const FqField& fq = e_->fq();
   const std::size_t nran = parent.ran.size();
+  const bool pre = opts_.engine == ScalarEngine::kPrecomputed;
+
+  std::shared_ptr<const PrecomputedBasis> pb;
+  if (pre) {
+    std::vector<GVec> rows;
+    rows.reserve(nran + n_);
+    for (const GVec& rv : parent.ran) rows.push_back(rv);
+    for (const GVec& dv : parent.del) rows.push_back(dv);
+    pb = PrecomputedBasis::build(dpvs_, std::move(rows),
+                                 table_opts(kPerCallWindow));
+  }
+  auto ran_term = [&](const Fq& c, std::size_t j) {
+    return pb ? LcTerm{c, pb.get(), j, nullptr}
+              : LcTerm{c, nullptr, 0, &parent.ran[j]};
+  };
+  auto del_term = [&](const Fq& c, std::size_t i) {
+    return pb ? LcTerm{c, pb.get(), nran + i, nullptr}
+              : LcTerm{c, nullptr, 0, &parent.del[i]};
+  };
 
   // S = sum_i v_{next,i} k*_del,i — the appended predicate, shared below.
-  std::vector<const GVec*> drows;
-  drows.reserve(n_);
-  for (std::size_t i = 0; i < n_; ++i) drows.push_back(&parent.del[i]);
-  const GVec s = dpvs_.lincomb(v_next, drows);
+  std::vector<LcTerm> st;
+  st.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) st.push_back(del_term(v_next[i], i));
+  const GVec s = dpvs_.lincomb_terms(st, opts_.engine);
+  std::shared_ptr<const PrecomputedBasis> sb;
+  if (pre) {
+    sb = PrecomputedBasis::build(dpvs_, {&s}, table_opts(kPerCallWindow));
+  }
+  auto s_term = [&](const Fq& c) {
+    return sb ? LcTerm{c, sb.get(), 0, nullptr} : LcTerm{c, nullptr, 0, &s};
+  };
 
   // Helper assembling  sum_j alpha_j ran_j + sigma S (+ extras).
-  auto combine = [&](const Fq& sigma, const GVec* extra,
+  auto combine = [&](const Fq& sigma, std::optional<std::size_t> extra_del,
                      const Fq& extra_coeff) {
-    std::vector<Fq> coeffs;
-    std::vector<const GVec*> vecs;
-    coeffs.reserve(nran + 2);
-    vecs.reserve(nran + 2);
+    std::vector<LcTerm> terms;
+    terms.reserve(nran + 2);
     for (std::size_t j = 0; j < nran; ++j) {
-      coeffs.push_back(fq.random(rng));
-      vecs.push_back(&parent.ran[j]);
+      terms.push_back(ran_term(fq.random(rng), j));
     }
-    coeffs.push_back(sigma);
-    vecs.push_back(&s);
-    if (extra != nullptr) {
-      coeffs.push_back(extra_coeff);
-      vecs.push_back(extra);
-    }
-    return dpvs_.lincomb(coeffs, vecs);
+    terms.push_back(s_term(sigma));
+    if (extra_del) terms.push_back(del_term(extra_coeff, *extra_del));
+    return dpvs_.lincomb_terms(terms, opts_.engine);
   };
 
   HpeKey child;
   child.level = parent.level + 1;
   // k'_dec = k_dec + sum alpha_j ran_j + sigma_dec S.
   child.dec =
-      dpvs_.add(parent.dec, combine(fq.random(rng), nullptr, fq.zero()));
+      dpvs_.add(parent.dec, combine(fq.random(rng), std::nullopt, fq.zero()));
   // level+2 fresh randomizers.
   child.ran.reserve(child.level + 1);
   for (std::size_t j = 0; j < child.level + 1; ++j) {
-    child.ran.push_back(combine(fq.random(rng), nullptr, fq.zero()));
+    child.ran.push_back(combine(fq.random(rng), std::nullopt, fq.zero()));
   }
   // Delegation components keep a shared phi' on the parent's del_j.
   const Fq phi_next = fq.random_nonzero(rng);
   child.del.reserve(n_);
   for (std::size_t j = 0; j < n_; ++j) {
-    child.del.push_back(
-        combine(fq.random(rng), &parent.del[j], phi_next));
+    child.del.push_back(combine(fq.random(rng), j, phi_next));
   }
   return child;
 }

@@ -22,13 +22,27 @@
 #include <vector>
 
 #include "dpvs/dpvs.h"
+#include "dpvs/precomp_basis.h"
 
 namespace apks {
+
+// How the scheme's linear combinations are served. The engines are
+// output-equivalent (bit-identical ciphertexts/keys under the same RNG) and
+// count the same paper-facing exponentiations; kPrecomputed additionally
+// caches signed-window tables for the fixed bases (Bhat, B*) on the key
+// structs, which is where encrypt/gen_key/delegate spend their time.
+struct HpeOptions {
+  ScalarEngine engine = ScalarEngine::kPrecomputed;
+  // Table budget per cached basis (see PrecomputedBasis).
+  std::size_t precomp_table_bytes = PrecomputedBasis::kDefaultMaxTableBytes;
+};
 
 struct HpePublicKey {
   std::size_t n = 0;  // predicate/plaintext vector length
   // Bhat = (b_1, ..., b_n, d_{n+1}, b_{n+3}) — n+2 vectors of dimension n+3.
   std::vector<GVec> bhat;
+  // Lazily built window tables over bhat (cold on copies).
+  BasisPrecompCache precomp;
 
   [[nodiscard]] std::size_t dim() const noexcept { return n + 3; }
 };
@@ -36,6 +50,8 @@ struct HpePublicKey {
 struct HpeMasterKey {
   MatrixFq x;               // basis-change matrix X (GL(n+3, F_q))
   std::vector<GVec> bstar;  // dual basis B* (n+3 vectors; HPE+ stores r*B*)
+  // Lazily built window tables over bstar (cold on copies).
+  BasisPrecompCache precomp;
 };
 
 struct HpeCiphertext {
@@ -52,13 +68,32 @@ struct HpeKey {
 
 class Hpe {
  public:
+  // Window width for per-call bases (a gen_key's {T, W}, a delegation's
+  // parent components): wide enough to win within one key generation, cheap
+  // enough that the build amortizes over the n+4 component lincombs.
+  static constexpr unsigned kPerCallWindow = 5;
+
   // n: length of predicate vectors. The DPVS dimension is n+3.
-  Hpe(const Pairing& pairing, std::size_t n);
+  Hpe(const Pairing& pairing, std::size_t n, HpeOptions opts = {});
 
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
   [[nodiscard]] std::size_t dim() const noexcept { return n_ + 3; }
   [[nodiscard]] const Pairing& pairing() const noexcept { return *e_; }
   [[nodiscard]] const Dpvs& dpvs() const noexcept { return dpvs_; }
+  [[nodiscard]] const HpeOptions& options() const noexcept { return opts_; }
+
+  // PrecomputedBasis options honoring this instance's table budget;
+  // window = 0 auto-sizes (used for the cached Bhat/B* tables).
+  [[nodiscard]] PrecomputedBasis::Options table_opts(
+      unsigned window = 0) const noexcept {
+    return {window, opts_.precomp_table_bytes,
+            opts_.engine == ScalarEngine::kPrecomputed};
+  }
+
+  // Force the lazy table builds now (e.g. before benchmarking or serving).
+  // No-ops unless the engine is kPrecomputed.
+  void warm_precomp(const HpePublicKey& pk) const;
+  void warm_precomp(const HpeMasterKey& msk) const;
 
   // Samples X <- GL(n+3, F_q), builds B and B*, publishes Bhat.
   void setup(Rng& rng, HpePublicKey& pk, HpeMasterKey& msk) const;
@@ -104,14 +139,10 @@ class Hpe {
                                       Rng& rng) const;
 
  private:
-  // sigma * T + eta * W [+ extra], the common shape of all key components;
-  // T = sum_i v_i b*_i and W = b*_{n+1} - b*_{n+2}.
-  [[nodiscard]] GVec key_component(const Fq& sigma, const GVec& t,
-                                   const Fq& eta, const GVec& w) const;
-
   const Pairing* e_;
   std::size_t n_;
   Dpvs dpvs_;
+  HpeOptions opts_;
 };
 
 }  // namespace apks

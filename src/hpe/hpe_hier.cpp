@@ -13,8 +13,9 @@ std::size_t HierFormat::block_offset(std::size_t level) const {
   return off;
 }
 
-HpeHierarchical::HpeHierarchical(const Pairing& pairing, HierFormat format)
-    : hpe_(pairing, format.n()), format_(std::move(format)) {
+HpeHierarchical::HpeHierarchical(const Pairing& pairing, HierFormat format,
+                                 HpeOptions opts)
+    : hpe_(pairing, format.n(), opts), format_(std::move(format)) {
   if (format_.block_sizes.empty()) {
     throw std::invalid_argument("HpeHierarchical: empty format");
   }
@@ -49,37 +50,56 @@ HpeHierKey HpeHierarchical::gen_key(const HpeMasterKey& msk,
   const FqField& fq = hpe_.pairing().fq();
   const Dpvs& dpvs = hpe_.dpvs();
   const std::size_t nn = n();
+  const ScalarEngine engine = hpe_.options().engine;
+  const bool pre = engine == ScalarEngine::kPrecomputed;
+  std::shared_ptr<const PrecomputedBasis> mb;
+  if (pre) mb = msk.precomp.get_or_build(dpvs, msk.bstar, hpe_.table_opts());
+  auto bstar_term = [&](const Fq& c, std::size_t i) {
+    return mb ? Dpvs::LcTerm{c, mb.get(), i, nullptr}
+              : Dpvs::LcTerm{c, nullptr, 0, &msk.bstar[i]};
+  };
 
   // T = sum_i v_i b*_i over block 1; W = b*_{n+1} - b*_{n+2}.
-  std::vector<Fq> coeffs;
-  std::vector<const GVec*> vecs;
+  std::vector<Dpvs::LcTerm> tt;
   for (std::size_t i = 0; i < nn; ++i) {
     if (v[i].is_zero()) continue;
-    coeffs.push_back(v[i]);
-    vecs.push_back(&msk.bstar[i]);
+    tt.push_back(bstar_term(v[i], i));
   }
-  const GVec t = dpvs.lincomb(coeffs, vecs);
-  const GVec w = dpvs.lincomb({fq.one(), fq.neg(fq.one())},
-                              {&msk.bstar[nn], &msk.bstar[nn + 1]});
+  const GVec t = dpvs.lincomb_terms(tt, engine);
+  const std::vector<Dpvs::LcTerm> wt{bstar_term(fq.one(), nn),
+                                     bstar_term(fq.neg(fq.one()), nn + 1)};
+  const GVec w = dpvs.lincomb_terms(wt, engine);
 
+  // Per-call tables for the {T, W} pair every component combines.
+  std::shared_ptr<const PrecomputedBasis> tw;
+  if (pre) {
+    tw = PrecomputedBasis::build(dpvs, {&t, &w},
+                                 hpe_.table_opts(Hpe::kPerCallWindow));
+  }
+  auto t_term = [&](const Fq& c) {
+    return tw ? Dpvs::LcTerm{c, tw.get(), 0, nullptr}
+              : Dpvs::LcTerm{c, nullptr, 0, &t};
+  };
+  auto w_term = [&](const Fq& c) {
+    return tw ? Dpvs::LcTerm{c, tw.get(), 1, nullptr}
+              : Dpvs::LcTerm{c, nullptr, 0, &w};
+  };
   auto component = [&](const Fq& sigma, const Fq& eta, const GVec* extra,
-                       const Fq& extra_coeff) {
-    std::vector<Fq> cs{sigma, eta};
-    std::vector<const GVec*> vs{&t, &w};
+                       std::size_t extra_row, const Fq& extra_coeff) {
+    std::vector<Dpvs::LcTerm> terms{t_term(sigma), w_term(eta)};
     if (extra != nullptr) {
-      cs.push_back(extra_coeff);
-      vs.push_back(extra);
+      terms.push_back(bstar_term(extra_coeff, extra_row));
     }
-    return dpvs.lincomb(cs, vs);
+    return dpvs.lincomb_terms(terms, engine);
   };
 
   HpeHierKey key;
   key.level = 1;
   key.dec = component(fq.random(rng), fq.random(rng), &msk.bstar[nn + 1],
-                      fq.one());
-  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr,
+                      nn + 1, fq.one());
+  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr, 0,
                               fq.zero()));
-  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr,
+  key.ran.push_back(component(fq.random(rng), fq.random(rng), nullptr, 0,
                               fq.zero()));
   // Delegation components only for the remaining blocks' coordinates —
   // the size saving over the general scheme.
@@ -88,7 +108,7 @@ HpeHierKey HpeHierarchical::gen_key(const HpeMasterKey& msk,
   key.del.reserve(nn - future_lo);
   for (std::size_t j = future_lo; j < nn; ++j) {
     key.del.push_back(component(fq.random(rng), fq.random(rng),
-                                &msk.bstar[j], phi));
+                                &msk.bstar[j], j, phi));
   }
   return key;
 }
@@ -110,46 +130,78 @@ HpeHierKey HpeHierarchical::delegate(const HpeHierKey& parent,
   }
   const FqField& fq = hpe_.pairing().fq();
   const Dpvs& dpvs = hpe_.dpvs();
+  const ScalarEngine engine = hpe_.options().engine;
+  const bool pre = engine == ScalarEngine::kPrecomputed;
+  const std::size_t nran = parent.ran.size();
+  const std::size_t ndel = parent.del.size();
+
+  // Per-call tables over all the parent material the components combine.
+  std::shared_ptr<const PrecomputedBasis> pb;
+  if (pre) {
+    std::vector<GVec> rows;
+    rows.reserve(nran + ndel + 1);
+    for (const GVec& rv : parent.ran) rows.push_back(rv);
+    for (const GVec& dv : parent.del) rows.push_back(dv);
+    rows.push_back(parent.dec);
+    pb = PrecomputedBasis::build(dpvs, std::move(rows),
+                                 hpe_.table_opts(Hpe::kPerCallWindow));
+  }
+  auto ran_term = [&](const Fq& c, std::size_t j) {
+    return pb ? Dpvs::LcTerm{c, pb.get(), j, nullptr}
+              : Dpvs::LcTerm{c, nullptr, 0, &parent.ran[j]};
+  };
+  auto del_term = [&](const Fq& c, std::size_t i) {
+    return pb ? Dpvs::LcTerm{c, pb.get(), nran + i, nullptr}
+              : Dpvs::LcTerm{c, nullptr, 0, &parent.del[i]};
+  };
+  auto dec_term = [&](const Fq& c) {
+    return pb ? Dpvs::LcTerm{c, pb.get(), nran + ndel, nullptr}
+              : Dpvs::LcTerm{c, nullptr, 0, &parent.dec};
+  };
 
   // S = sum over the next block of v_next[j] * parent.del[j - parent_lo].
-  std::vector<Fq> coeffs;
-  std::vector<const GVec*> vecs;
+  std::vector<Dpvs::LcTerm> st;
   for (std::size_t j = block_lo; j < block_hi; ++j) {
     if (v_next[j].is_zero()) continue;
-    coeffs.push_back(v_next[j]);
-    vecs.push_back(&parent.del[j - parent_lo]);
+    st.push_back(del_term(v_next[j], j - parent_lo));
   }
-  const GVec s = dpvs.lincomb(coeffs, vecs);
+  const GVec s = dpvs.lincomb_terms(st, engine);
+  std::shared_ptr<const PrecomputedBasis> sb;
+  if (pre) {
+    sb = PrecomputedBasis::build(dpvs, {&s},
+                                 hpe_.table_opts(Hpe::kPerCallWindow));
+  }
+  auto s_term = [&](const Fq& c) {
+    return sb ? Dpvs::LcTerm{c, sb.get(), 0, nullptr}
+              : Dpvs::LcTerm{c, nullptr, 0, &s};
+  };
 
-  auto combine = [&](const Fq& sigma, const GVec* extra,
+  enum class Extra { kNone, kDec, kDel };
+  auto combine = [&](const Fq& sigma, Extra extra, std::size_t extra_i,
                      const Fq& extra_coeff) {
-    std::vector<Fq> cs;
-    std::vector<const GVec*> vs;
-    for (const auto& rvec : parent.ran) {
-      cs.push_back(fq.random(rng));
-      vs.push_back(&rvec);
+    std::vector<Dpvs::LcTerm> terms;
+    terms.reserve(nran + 2);
+    for (std::size_t j = 0; j < nran; ++j) {
+      terms.push_back(ran_term(fq.random(rng), j));
     }
-    cs.push_back(sigma);
-    vs.push_back(&s);
-    if (extra != nullptr) {
-      cs.push_back(extra_coeff);
-      vs.push_back(extra);
-    }
-    return dpvs.lincomb(cs, vs);
+    terms.push_back(s_term(sigma));
+    if (extra == Extra::kDec) terms.push_back(dec_term(extra_coeff));
+    if (extra == Extra::kDel) terms.push_back(del_term(extra_coeff, extra_i));
+    return dpvs.lincomb_terms(terms, engine);
   };
 
   HpeHierKey child;
   child.level = next_level;
-  child.dec = combine(fq.random(rng), &parent.dec, fq.one());
+  child.dec = combine(fq.random(rng), Extra::kDec, 0, fq.one());
   for (std::size_t j = 0; j < child.level + 1; ++j) {
-    child.ran.push_back(combine(fq.random(rng), nullptr, fq.zero()));
+    child.ran.push_back(combine(fq.random(rng), Extra::kNone, 0, fq.zero()));
   }
   // Only the blocks beyond next_level keep delegation components.
   const Fq phi_next = fq.random_nonzero(rng);
   child.del.reserve(n() - block_hi);
   for (std::size_t j = block_hi; j < n(); ++j) {
     child.del.push_back(
-        combine(fq.random(rng), &parent.del[j - parent_lo], phi_next));
+        combine(fq.random(rng), Extra::kDel, j - parent_lo, phi_next));
   }
   return child;
 }

@@ -40,7 +40,8 @@ struct HpeHierKey {
 
 class HpeHierarchical {
  public:
-  HpeHierarchical(const Pairing& pairing, HierFormat format);
+  HpeHierarchical(const Pairing& pairing, HierFormat format,
+                  HpeOptions opts = {});
 
   [[nodiscard]] const HierFormat& format() const noexcept { return format_; }
   [[nodiscard]] std::size_t n() const noexcept { return hpe_.n(); }

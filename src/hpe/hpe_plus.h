@@ -21,7 +21,8 @@ struct HpePlusSetupResult {
 
 class HpePlus {
  public:
-  HpePlus(const Pairing& pairing, std::size_t n) : hpe_(pairing, n) {}
+  HpePlus(const Pairing& pairing, std::size_t n, HpeOptions opts = {})
+      : hpe_(pairing, n, opts) {}
 
   // Key generation, delegation and decryption are inherited unchanged: they
   // operate on the blinded basis transparently.

@@ -100,6 +100,87 @@ TEST_P(CostModelTest, NaiveGenCapCostsMoreThanShared) {
   EXPECT_GE(shared, n0);  // and not trivially cheap
 }
 
+// The scalar-multiplication engine must not move the paper-facing counts:
+// naive, windowed and precomputed serve the SAME exponentiations (the
+// accounting unit of Fig. 8), only wall-clock differs. precomp_base_mul is
+// bookkeeping on top — it records how many of those exponentiations the
+// cached tables absorbed, and never exceeds them.
+TEST_P(CostModelTest, EngineDoesNotChangeExponentiationCounts) {
+  struct Counts {
+    std::uint64_t setup_base, enc_scalar, cap_scalar, del_scalar;
+  };
+  auto run = [&](ScalarEngine engine) {
+    const Apks scheme(e_, nursery_expanded_schema(GetParam(), 1),
+                      HpeOptions{engine});
+    ChaChaRng rng("cost-engine");
+    ApksPublicKey pk;
+    ApksMasterKey msk;
+    Counts c{};
+    e_.reset_op_counts();
+    scheme.setup(rng, pk, msk);
+    c.setup_base = e_.curve().base_mul_count();
+    const auto row = expand_nursery_row(nursery_rows()[0], GetParam());
+    e_.reset_op_counts();
+    (void)scheme.gen_index(pk, row, rng);
+    c.enc_scalar = e_.curve().scalar_mul_count();
+    Query q;
+    q.terms.assign(scheme.schema().original_dims(), QueryTerm::any());
+    q.terms[0] = QueryTerm::equals("usual");
+    e_.reset_op_counts();
+    const auto cap = scheme.gen_cap_naive(msk, q, rng);
+    c.cap_scalar = e_.curve().scalar_mul_count();
+    EXPECT_LE(e_.curve().precomp_base_mul_count(), c.cap_scalar);
+    Query q2;
+    q2.terms.assign(scheme.schema().original_dims(), QueryTerm::any());
+    q2.terms[1] = QueryTerm::equals("proper");
+    e_.reset_op_counts();
+    (void)scheme.delegate_cap_naive(cap, q2, rng);
+    c.del_scalar = e_.curve().scalar_mul_count();
+    return c;
+  };
+
+  const Counts naive = run(ScalarEngine::kNaive);
+  const std::size_t n0 = apks_.n() + 3;
+  EXPECT_EQ(naive.setup_base, 2 * n0 * n0);
+  EXPECT_EQ(naive.enc_scalar, n0 * (n0 - 1));
+  for (const ScalarEngine engine :
+       {ScalarEngine::kWindowed, ScalarEngine::kPrecomputed}) {
+    const Counts c = run(engine);
+    EXPECT_EQ(c.setup_base, naive.setup_base);
+    EXPECT_EQ(c.enc_scalar, naive.enc_scalar);
+    EXPECT_EQ(c.cap_scalar, naive.cap_scalar);
+    EXPECT_EQ(c.del_scalar, naive.del_scalar);
+  }
+}
+
+// precomp_base_mul moves with the engine: zero unless tables serve the
+// work, positive (and bounded by scalar_mul) when they do.
+TEST_P(CostModelTest, PrecompCounterTracksTableServedWork) {
+  auto encrypt_counts = [&](ScalarEngine engine) {
+    const Apks scheme(e_, nursery_expanded_schema(GetParam(), 1),
+                      HpeOptions{engine});
+    ChaChaRng rng("cost-precomp");
+    ApksPublicKey pk;
+    ApksMasterKey msk;
+    scheme.setup(rng, pk, msk);
+    scheme.warm_precomp(pk);  // table build itself must not count
+    const auto row = expand_nursery_row(nursery_rows()[0], GetParam());
+    e_.reset_op_counts();
+    (void)scheme.gen_index(pk, row, rng);
+    return std::pair{e_.curve().scalar_mul_count(),
+                     e_.curve().precomp_base_mul_count()};
+  };
+  const auto [nsc, npre] = encrypt_counts(ScalarEngine::kNaive);
+  EXPECT_EQ(npre, 0u);
+  const auto [wsc, wpre] = encrypt_counts(ScalarEngine::kWindowed);
+  EXPECT_EQ(wpre, 0u);
+  const auto [psc, ppre] = encrypt_counts(ScalarEngine::kPrecomputed);
+  EXPECT_GT(ppre, 0u);
+  EXPECT_EQ(ppre, psc);  // every encrypt term is served from Bhat's tables
+  EXPECT_EQ(nsc, psc);
+  EXPECT_EQ(wsc, psc);
+}
+
 INSTANTIATE_TEST_SUITE_P(Factors, CostModelTest, ::testing::Values(1, 2),
                          [](const auto& param_info) {
                            return "k" + std::to_string(param_info.param);

@@ -17,6 +17,11 @@ if [[ $TSAN_ONLY -eq 0 ]]; then
   cmake -B build -S .
   cmake --build build -j "$JOBS"
   (cd build && ctest --output-on-failure -j "$JOBS")
+
+  echo "=== bench smoke: MSM engine comparison + JSON artifact ==="
+  ./build/bench/bench_msm --smoke --json=BENCH_msm.json
+  [[ -s BENCH_msm.json ]] || { echo "BENCH_msm.json missing/empty"; exit 1; }
+  ./build/bench/fig8b_encrypt --smoke >/dev/null
 fi
 
 echo "=== TSan: cloud server / search engine tests ==="
