@@ -1,5 +1,7 @@
 #include "auth/authority.h"
 
+#include "core/serialize_apks.h"
+
 namespace apks {
 
 std::vector<std::uint8_t> capability_message(const Pairing& pairing,
@@ -14,7 +16,10 @@ std::vector<std::uint8_t> capability_message(const Pairing& pairing,
 std::vector<std::uint8_t> serialize_signed_capability(
     const Pairing& pairing, const SignedCapability& cap) {
   ByteWriter w;
-  w.bytes(serialize_key(pairing, cap.cap.key));
+  // Layered on the APKS capability codec so the delegation history (the
+  // LTAs' audit trail) survives the wire; the signature still covers
+  // capability_message (key + issuer) only, as issued.
+  w.bytes(serialize_capability(pairing, cap.cap));
   w.str(cap.issuer);
   write_point(pairing.curve(), cap.sig.u, w);
   write_point(pairing.curve(), cap.sig.v, w);
@@ -25,7 +30,7 @@ SignedCapability deserialize_signed_capability(
     const Pairing& pairing, std::span<const std::uint8_t> data) {
   ByteReader r(data);
   SignedCapability cap;
-  cap.cap.key = deserialize_key(pairing, r.bytes());
+  cap.cap = deserialize_capability(pairing, r.bytes());
   cap.issuer = r.str();
   cap.sig.u = read_point(pairing.curve(), r);
   cap.sig.v = read_point(pairing.curve(), r);

@@ -1,0 +1,50 @@
+#include "cloud/docstore.h"
+
+#include <stdexcept>
+
+#include "common/bytes.h"
+#include "store/segment.h"
+
+namespace apks {
+
+// Blob frame payload: [str doc_ref] [raw nonce] [bytes sealed].
+void DocumentStore::persist(const std::filesystem::path& file) const {
+  std::shared_lock lock(mutex_);
+  SegmentWriter w(file, /*shard_id=*/0, /*seq=*/1);
+  for (const auto& [doc_ref, blob] : blobs_) {
+    ByteWriter payload;
+    payload.str(doc_ref);
+    payload.raw(blob.nonce);
+    payload.bytes(blob.sealed);
+    w.append(payload.data());
+  }
+  w.sync();
+}
+
+std::size_t DocumentStore::load(const std::filesystem::path& file) {
+  std::map<std::string, Blob> loaded;
+  const SegmentScanResult scan =
+      scan_segment(file, [&](std::span<const std::uint8_t> payload) {
+        ByteReader r(payload);
+        const std::string doc_ref = r.str();
+        Blob blob;
+        const auto nonce = r.raw(blob.nonce.size());
+        std::copy(nonce.begin(), nonce.end(), blob.nonce.begin());
+        const auto sealed = r.bytes();
+        blob.sealed.assign(sealed.begin(), sealed.end());
+        if (!r.done()) {
+          throw std::runtime_error("document blob: trailing bytes");
+        }
+        loaded[doc_ref] = std::move(blob);
+      });
+  if (scan.torn_tail()) {
+    // Fully-committed blobs before the tear are kept — same recovery rule
+    // as the index store's active segment.
+    std::filesystem::resize_file(file, scan.valid_bytes);
+  }
+  std::unique_lock lock(mutex_);
+  blobs_ = std::move(loaded);
+  return blobs_.size();
+}
+
+}  // namespace apks

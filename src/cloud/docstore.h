@@ -7,10 +7,27 @@
 // that searches return. Key distribution for documents (e.g. via ABE)
 // remains the deployment's choice — owners keep their document keys and
 // hand them to authorized users out of band.
+//
+// Concurrency contract (same shape as CloudServer's): put/load are writers
+// under an exclusive lock; get/get_text/size/persist take the lock shared
+// and may run concurrently with each other. find() hands out a pointer for
+// the tests' tamper-injection path — callers must not race it against
+// writers (std::map pointers stay valid across inserts, so a find()
+// followed by in-place tampering is safe as long as nobody load()s).
+//
+// Persistence rides the storage engine's segment format (store/segment.h):
+// persist() writes every blob as one CRC-framed record, load() replays a
+// segment file back — the same writer/reader and crash-recovery rules as
+// the encrypted-index store.
 #pragma once
 
+#include <filesystem>
 #include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/aead.h"
 #include "common/rng.h"
@@ -56,7 +73,19 @@ class DocumentStore {
     return std::string(bytes->begin(), bytes->end());
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return blobs_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock lock(mutex_);
+    return blobs_.size();
+  }
+
+  // Writes all sealed blobs (still sealed — persistence never sees
+  // plaintext) to `file` as one segment of CRC-framed records, fsynced.
+  void persist(const std::filesystem::path& file) const;
+
+  // Replaces the store's contents with the blobs of a persisted segment
+  // file, truncating any torn tail first (crash recovery). Returns the
+  // number of blobs loaded.
+  std::size_t load(const std::filesystem::path& file);
 
   // The cloud's view of a stored blob (for tamper-injection in tests).
   struct Blob {
@@ -64,11 +93,13 @@ class DocumentStore {
     std::vector<std::uint8_t> sealed;
   };
   [[nodiscard]] Blob* find(const std::string& doc_ref) {
+    std::shared_lock lock(mutex_);
     const auto it = blobs_.find(doc_ref);
     return it == blobs_.end() ? nullptr : &it->second;
   }
 
  private:
+  mutable std::shared_mutex mutex_;
   std::map<std::string, Blob> blobs_;
 };
 
@@ -81,11 +112,13 @@ inline void DocumentStore::put(const std::string& doc_ref,
   const std::span<const std::uint8_t> aad(
       reinterpret_cast<const std::uint8_t*>(doc_ref.data()), doc_ref.size());
   blob.sealed = aead_seal(key.key, blob.nonce, aad, content);
+  std::unique_lock lock(mutex_);
   blobs_[doc_ref] = std::move(blob);
 }
 
 inline std::optional<std::vector<std::uint8_t>> DocumentStore::get(
     const std::string& doc_ref, const DocumentKey& key) const {
+  std::shared_lock lock(mutex_);
   const auto it = blobs_.find(doc_ref);
   if (it == blobs_.end()) return std::nullopt;
   const std::span<const std::uint8_t> aad(

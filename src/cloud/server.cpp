@@ -8,9 +8,49 @@ namespace apks {
 
 std::uint64_t CloudServer::store(EncryptedIndex index, std::string doc_ref) {
   std::unique_lock lock(mutex_);
-  const std::uint64_t id = next_id_++;
+  std::uint64_t id;
+  if (backing_ != nullptr) {
+    // The store assigns the id so the on-disk sequence stays authoritative
+    // across restarts; persist before the record becomes searchable.
+    id = backing_->append(doc_ref, index);
+    next_id_ = id + 1;
+  } else {
+    id = next_id_++;
+  }
   records_.push_back({id, std::move(doc_ref), std::move(index)});
   return id;
+}
+
+void CloudServer::attach_store(ShardedStore* store) {
+  std::unique_lock lock(mutex_);
+  backing_ = store;
+  if (store != nullptr) {
+    next_id_ = std::max(next_id_, store->next_id());
+  }
+}
+
+void CloudServer::restore(std::uint64_t id, EncryptedIndex index,
+                          std::string doc_ref) {
+  std::unique_lock lock(mutex_);
+  if (!records_.empty() && records_.back().id >= id) {
+    throw std::invalid_argument(
+        "CloudServer::restore: record ids must be ascending");
+  }
+  records_.push_back({id, std::move(doc_ref), std::move(index)});
+  next_id_ = std::max(next_id_, id + 1);
+}
+
+std::size_t CloudServer::load_from(ShardedStore& store) {
+  std::vector<StoredIndexRecord> loaded = store.load_all();
+  std::unique_lock lock(mutex_);
+  records_.clear();
+  records_.reserve(loaded.size());
+  for (StoredIndexRecord& rec : loaded) {
+    records_.push_back(
+        {rec.id, std::move(rec.doc_ref), std::move(rec.index)});
+    next_id_ = std::max(next_id_, rec.id + 1);
+  }
+  return records_.size();
 }
 
 std::vector<std::string> CloudServer::search(const SignedCapability& cap,

@@ -26,6 +26,7 @@
 
 #include "auth/authority.h"
 #include "core/apks.h"
+#include "store/sharded_store.h"
 
 namespace apks {
 
@@ -52,7 +53,27 @@ class CloudServer {
 
   // Owner upload. Returns the record id. Safe to call concurrently with
   // searches (exclusive lock; a running scan finishes on its snapshot).
+  // With a persistent store attached (attach_store), the record is also
+  // appended to disk under the same id before the call returns.
   std::uint64_t store(EncryptedIndex index, std::string doc_ref);
+
+  // Attaches a persistent backing store: subsequent store() calls write
+  // through to it, and record ids are drawn from its id counter so a
+  // restarted server continues the same id sequence. Pass nullptr to
+  // detach. Not thread-safe against concurrent store()/search() — call
+  // during setup. The store must outlive the server (or be detached).
+  void attach_store(ShardedStore* store);
+
+  // Replaces the in-memory record set with the store's contents (ascending
+  // id — the original upload order), so a restarted server serves
+  // byte-identical results to the server that originally populated the
+  // store. Returns the number of records loaded.
+  std::size_t load_from(ShardedStore& store);
+
+  // Reinserts a single persisted record under its original id (records
+  // must arrive in ascending-id order to preserve the scan order
+  // contract; load_from does this for you).
+  void restore(std::uint64_t id, EncryptedIndex index, std::string doc_ref);
 
   [[nodiscard]] std::size_t record_count() const {
     std::shared_lock lock(mutex_);
@@ -103,6 +124,7 @@ class CloudServer {
   mutable std::shared_mutex mutex_;
   std::vector<Record> records_;
   std::uint64_t next_id_ = 1;
+  ShardedStore* backing_ = nullptr;  // optional write-through persistence
 };
 
 }  // namespace apks

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Frame checksum of the storage engine's segment files (src/store/): cheap
+// enough to run on every append, and strong enough to detect the torn and
+// bit-rotted records crash recovery must refuse to replay. Not a MAC —
+// integrity against an adversary comes from the cryptographic layers above.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace apks {
+
+// One-shot CRC of `data`, or a running CRC when chaining: pass the previous
+// return value as `seed` to extend a checksum across multiple buffers.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0);
+
+}  // namespace apks

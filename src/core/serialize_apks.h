@@ -1,0 +1,42 @@
+// Versioned wire formats for APKS-level objects, layered on the HPE
+// encodings of src/hpe/serialize.h.
+//
+// The HPE codecs cover the raw cryptographic objects (ciphertexts, keys);
+// these add the scheme-level wrappers the storage engine and the authority
+// protocol ship around: an owner's EncryptedIndex (what the cloud persists
+// in src/store/ segment files) and a Capability including its query
+// history (what an issuing authority archives — the cloud-transit form
+// with the IBS signature is serialize_signed_capability in
+// auth/authority.h). Every format opens with a one-byte codec version so
+// on-disk stores survive future layout changes.
+//
+// All deserializers validate counts against the bytes actually present
+// (hostile length fields must not drive allocations) and throw
+// std::invalid_argument / std::out_of_range on malformed input — never UB.
+#pragma once
+
+#include "core/apks.h"
+#include "hpe/serialize.h"
+
+namespace apks {
+
+inline constexpr std::uint8_t kIndexCodecVersion = 1;
+inline constexpr std::uint8_t kCapabilityCodecVersion = 1;
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_index(
+    const Pairing& e, const EncryptedIndex& index);
+[[nodiscard]] EncryptedIndex deserialize_index(
+    const Pairing& e, std::span<const std::uint8_t> data);
+
+// Capability with its full delegation history (one Query per level).
+[[nodiscard]] std::vector<std::uint8_t> serialize_capability(
+    const Pairing& e, const Capability& cap);
+[[nodiscard]] Capability deserialize_capability(
+    const Pairing& e, std::span<const std::uint8_t> data);
+
+// Query/term codecs (shared by serialize_capability; exposed for tests and
+// for authorities that archive query audit logs).
+void write_query(const Query& q, ByteWriter& w);
+[[nodiscard]] Query read_query(ByteReader& r);
+
+}  // namespace apks

@@ -31,6 +31,17 @@ AffinePoint read_point(const Curve& curve, ByteReader& r) {
   const auto bytes = r.raw(Curve::kCompressedSize);
   std::array<std::uint8_t, Curve::kCompressedSize> buf{};
   std::copy(bytes.begin(), bytes.end(), buf.begin());
+  if (buf[0] == 0) {
+    // Curve::deserialize only inspects the tag for infinity; insist on the
+    // canonical all-zero encoding here so every group element has exactly
+    // one accepted byte representation (corrupt tags must not silently
+    // alias the identity).
+    for (std::size_t i = 1; i < buf.size(); ++i) {
+      if (buf[i] != 0) {
+        throw std::invalid_argument("read_point: non-canonical infinity");
+      }
+    }
+  }
   return curve.deserialize(buf);
 }
 
@@ -98,6 +109,13 @@ HpeKey deserialize_key(const Pairing& e, std::span<const std::uint8_t> data) {
   ByteReader r(data);
   HpeKey key;
   key.level = r.u32();
+  // Every honest key carries level+1 randomizer vectors, each at least one
+  // point: a level field the payload cannot possibly back is corrupt (and
+  // would otherwise only surface as an out-of-range index much later, at
+  // delegation time).
+  if (key.level >= r.remaining() / Curve::kCompressedSize) {
+    throw std::invalid_argument("key: level field exceeds payload");
+  }
   key.dec = read_gvec(e.curve(), r);
   const std::uint32_t nran = r.u32();
   if (nran > r.remaining() / Curve::kCompressedSize) {
@@ -105,6 +123,12 @@ HpeKey deserialize_key(const Pairing& e, std::span<const std::uint8_t> data) {
   }
   for (std::uint32_t i = 0; i < nran; ++i) {
     key.ran.push_back(read_gvec(e.curve(), r));
+  }
+  if (key.ran.size() != key.level + 1) {
+    // Invariant of every issued key (gen_key and delegate both maintain
+    // it); enforcing it here turns a delayed delegation failure into a
+    // clean parse error.
+    throw std::invalid_argument("key: randomizer count != level + 1");
   }
   const std::uint32_t ndel = r.u32();
   if (ndel > r.remaining() / Curve::kCompressedSize) {

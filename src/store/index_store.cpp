@@ -1,0 +1,247 @@
+#include "store/index_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace apks {
+namespace {
+
+constexpr char kManifestMagic[8] = {'A', 'P', 'K', 'S', 'M', 'A', 'N', '1'};
+constexpr std::uint32_t kManifestVersion = 1;
+
+std::vector<std::uint8_t> read_whole_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path.string());
+  }
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+IndexStore::IndexStore(std::filesystem::path dir, std::uint32_t shard_id,
+                       IndexStoreOptions options)
+    : dir_(std::move(dir)), shard_id_(shard_id), options_(options) {
+  std::filesystem::create_directories(dir_);
+  const std::filesystem::path manifest = dir_ / "MANIFEST";
+  if (!std::filesystem::exists(manifest)) {
+    // Fresh store: one empty active segment, committed before first use.
+    active_.emplace(segment_path(1), shard_id_, 1);
+    active_->sync();
+    next_seq_ = 2;
+    write_manifest();
+    recovery_.segments = 1;
+    return;
+  }
+  load_manifest();
+}
+
+std::filesystem::path IndexStore::segment_path(std::uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%08" PRIu64 ".apks", seq);
+  return dir_ / name;
+}
+
+void IndexStore::write_manifest() const {
+  ByteWriter w;
+  w.raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kManifestMagic),
+      sizeof(kManifestMagic)));
+  w.u32(kManifestVersion);
+  w.u32(shard_id_);
+  w.u64(active_->info().seq);
+  w.u64(next_seq_);
+  w.u32(static_cast<std::uint32_t>(sealed_.size()));
+  for (const SealedSegment& s : sealed_) {
+    w.u64(s.seq);
+    w.u64(s.records);
+    w.u64(s.bytes);
+  }
+  w.u32(crc32(w.data()));
+
+  // Atomic replacement: the old manifest stays valid until the rename.
+  const std::filesystem::path tmp = dir_ / "MANIFEST.tmp";
+  const std::filesystem::path manifest = dir_ / "MANIFEST";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      throw std::runtime_error("cannot write " + tmp.string());
+    }
+    const bool ok =
+        std::fwrite(w.data().data(), 1, w.size(), f) == w.size() &&
+        std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+    std::fclose(f);
+    if (!ok) {
+      throw std::runtime_error("manifest write failed: " + tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, manifest);
+  sync_directory(dir_);
+}
+
+void IndexStore::load_manifest() {
+  const std::vector<std::uint8_t> data =
+      read_whole_file(dir_ / "MANIFEST");
+  if (data.size() < sizeof(kManifestMagic) + 4 ||
+      std::memcmp(data.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    throw std::runtime_error("not a manifest: " + (dir_ / "MANIFEST").string());
+  }
+  const std::span<const std::uint8_t> body(data.data(), data.size() - 4);
+  ByteReader r(body);
+  (void)r.raw(sizeof(kManifestMagic));
+  if (crc32(body) != ByteReader(std::span<const std::uint8_t>(
+                                    data.data() + data.size() - 4, 4))
+                         .u32()) {
+    throw std::runtime_error("manifest checksum mismatch: " +
+                             (dir_ / "MANIFEST").string());
+  }
+  if (r.u32() != kManifestVersion) {
+    throw std::runtime_error("unsupported manifest version");
+  }
+  if (r.u32() != shard_id_) {
+    throw std::runtime_error("manifest shard id mismatch");
+  }
+  const std::uint64_t active_seq = r.u64();
+  next_seq_ = r.u64();
+  const std::uint32_t nsealed = r.u32();
+  if (nsealed > r.remaining() / 24) {
+    throw std::runtime_error("manifest sealed count exceeds payload");
+  }
+  sealed_.clear();
+  records_ = 0;
+  for (std::uint32_t i = 0; i < nsealed; ++i) {
+    SealedSegment s;
+    s.seq = r.u64();
+    s.records = r.u64();
+    s.bytes = r.u64();
+    sealed_.push_back(s);
+  }
+  if (!r.done()) {
+    throw std::runtime_error("manifest: trailing bytes");
+  }
+
+  // Sealed segments were fsynced before the manifest committed them: any
+  // mismatch now is real corruption, not a crash artifact.
+  recovery_ = RecoveryStats{};
+  for (const SealedSegment& s : sealed_) {
+    const SegmentScanResult scan = scan_segment(segment_path(s.seq));
+    if (scan.torn_tail() || scan.records != s.records ||
+        scan.valid_bytes != s.bytes || scan.info.shard_id != shard_id_) {
+      throw std::runtime_error("sealed segment corrupt: " +
+                               segment_path(s.seq).string());
+    }
+    records_ += scan.records;
+    ++recovery_.segments;
+  }
+
+  // The active segment is where a crashed writer leaves its mark: truncate
+  // the torn tail (if any) and resume. A missing file means the crash hit
+  // between manifest commit and segment creation — recreate it empty.
+  const std::filesystem::path active_path = segment_path(active_seq);
+  if (!std::filesystem::exists(active_path)) {
+    active_.emplace(active_path, shard_id_, active_seq);
+    active_->sync();
+  } else {
+    SegmentScanResult scan;
+    active_ = SegmentWriter::open_for_append(active_path, &scan);
+    if (scan.info.shard_id != shard_id_ || scan.info.seq != active_seq) {
+      throw std::runtime_error("active segment header mismatch: " +
+                               active_path.string());
+    }
+    recovery_.torn_tail = scan.torn_tail();
+    recovery_.torn_bytes = scan.file_bytes - scan.valid_bytes;
+    records_ += scan.records;
+  }
+  ++recovery_.segments;
+  recovery_.records = records_;
+}
+
+void IndexStore::put(std::span<const std::uint8_t> payload) {
+  if (options_.segment_max_bytes != 0 &&
+      active_->bytes() + kFrameHeaderSize + payload.size() >
+          options_.segment_max_bytes &&
+      active_->records() > 0) {
+    rotate();
+  }
+  active_->append(payload);
+  ++records_;
+  if (options_.sync_every_put) active_->sync();
+}
+
+void IndexStore::flush() { active_->flush(); }
+
+void IndexStore::sync() { active_->sync(); }
+
+void IndexStore::rotate() {
+  active_->sync();
+  const SealedSegment sealed{active_->info().seq, active_->records(),
+                             active_->bytes()};
+  active_->close();
+  const std::uint64_t seq = next_seq_++;
+  active_.emplace(segment_path(seq), shard_id_, seq);
+  active_->sync();
+  sealed_.push_back(sealed);
+  write_manifest();
+}
+
+void IndexStore::for_each(
+    const std::function<void(std::span<const std::uint8_t>)>& fn) {
+  active_->flush();
+  for (const SealedSegment& s : sealed_) {
+    const SegmentScanResult scan = scan_segment(segment_path(s.seq), fn);
+    if (scan.records != s.records) {
+      throw std::runtime_error("sealed segment corrupt: " +
+                               segment_path(s.seq).string());
+    }
+  }
+  (void)scan_segment(active_->path(), fn);
+}
+
+std::uint64_t IndexStore::bytes() const noexcept {
+  std::uint64_t total = active_->bytes();
+  for (const SealedSegment& s : sealed_) total += s.bytes;
+  return total;
+}
+
+std::uint64_t IndexStore::compact() {
+  const std::uint64_t before = bytes();
+  std::vector<std::uint64_t> old_seqs;
+  old_seqs.reserve(sealed_.size() + 1);
+  for (const SealedSegment& s : sealed_) old_seqs.push_back(s.seq);
+  old_seqs.push_back(active_->info().seq);
+
+  // Stream every record into one fresh sealed segment.
+  const std::uint64_t merged_seq = next_seq_++;
+  SegmentWriter merged(segment_path(merged_seq), shard_id_, merged_seq);
+  for_each([&](std::span<const std::uint8_t> payload) {
+    merged.append(payload);
+  });
+  merged.sync();
+  const SealedSegment entry{merged_seq, merged.records(), merged.bytes()};
+  merged.close();
+
+  // Commit the new chain (merged sealed + fresh active), then drop the old
+  // files — a crash before the manifest rename keeps the old chain live.
+  active_->close();
+  const std::uint64_t active_seq = next_seq_++;
+  active_.emplace(segment_path(active_seq), shard_id_, active_seq);
+  active_->sync();
+  sealed_.assign(1, entry);
+  write_manifest();
+  for (const std::uint64_t seq : old_seqs) {
+    std::filesystem::remove(segment_path(seq));
+  }
+  const std::uint64_t after = bytes();
+  return before > after ? before - after : 0;
+}
+
+}  // namespace apks

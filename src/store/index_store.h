@@ -1,0 +1,119 @@
+// IndexStore — one shard's persistent record log: a manifest plus a chain
+// of segment files (segment.h) in one directory.
+//
+// Directory layout:
+//
+//   <dir>/MANIFEST            checksummed list of segments, atomically
+//                             replaced (tmp + rename) on every rotation
+//   <dir>/seg-00000001.apks   sealed segment (never written again)
+//   <dir>/seg-00000002.apks   ...
+//   <dir>/seg-00000003.apks   active segment (append target)
+//
+// Invariants and recovery rules:
+//  - Sealed segments were fsynced before the manifest naming them sealed
+//    was committed; a torn frame inside one is real corruption and open()
+//    throws. The *active* segment may legitimately carry a torn tail after
+//    a crash; open() truncates it and resumes appending (RecoveryStats
+//    reports what was dropped).
+//  - Rotation order: sync active -> create+sync new segment -> commit new
+//    manifest (tmp, fsync, rename, fsync dir). A crash between any two
+//    steps leaves the previous manifest pointing at the previous active
+//    segment, which is still valid; the orphan new file is truncated and
+//    reused when its sequence number is reached again.
+//  - Payloads are opaque bytes; ShardedStore (sharded_store.h) defines the
+//    record encoding. Not thread-safe — callers serialize access
+//    (ShardedStore guards each shard with a shared_mutex).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "store/segment.h"
+
+namespace apks {
+
+struct IndexStoreOptions {
+  // Rotate the active segment once it exceeds this many bytes (header
+  // included). Small values are useful in tests to force multi-segment
+  // chains; 0 means never rotate.
+  std::uint64_t segment_max_bytes = 4u << 20;
+  // fsync on every put (durability over throughput). Off by default:
+  // callers batch with flush()/sync().
+  bool sync_every_put = false;
+};
+
+struct RecoveryStats {
+  std::size_t segments = 0;        // segments opened (sealed + active)
+  std::size_t records = 0;         // committed records recovered
+  std::uint64_t torn_bytes = 0;    // bytes truncated off the active tail
+  bool torn_tail = false;          // active segment had a torn tail
+};
+
+class IndexStore {
+ public:
+  // Opens (creating the directory, first segment and manifest if absent)
+  // and runs crash recovery. `shard_id` is stamped into segment headers and
+  // cross-checked against existing files.
+  IndexStore(std::filesystem::path dir, std::uint32_t shard_id,
+             IndexStoreOptions options = {});
+
+  IndexStore(IndexStore&&) = default;
+  IndexStore& operator=(IndexStore&&) = default;
+
+  // Appends one record payload; buffered until flush()/sync().
+  void put(std::span<const std::uint8_t> payload);
+
+  void flush();  // push buffered frames to the OS
+  void sync();   // fsync the active segment (durability barrier)
+
+  // Streams every committed record, sealed segments first, in append
+  // order. Flushes the writer first so the scan sees all records.
+  void for_each(
+      const std::function<void(std::span<const std::uint8_t>)>& fn);
+
+  // Rewrites the whole chain into a single fresh sealed segment and a new
+  // empty active segment, dropping nothing (compaction reclaims the space
+  // of torn tails and lets a long chain of small segments collapse).
+  // Returns bytes reclaimed (old chain size - new chain size).
+  std::uint64_t compact();
+
+  [[nodiscard]] std::size_t record_count() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return sealed_.size() + 1;
+  }
+  [[nodiscard]] std::uint64_t bytes() const noexcept;
+  [[nodiscard]] const RecoveryStats& recovery() const noexcept {
+    return recovery_;
+  }
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+
+ private:
+  struct SealedSegment {
+    std::uint64_t seq = 0;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  [[nodiscard]] std::filesystem::path segment_path(std::uint64_t seq) const;
+  void write_manifest() const;
+  void load_manifest();
+  void rotate();
+
+  std::filesystem::path dir_;
+  std::uint32_t shard_id_ = 0;
+  IndexStoreOptions options_;
+  std::vector<SealedSegment> sealed_;
+  std::uint64_t next_seq_ = 1;  // sequence number for the *next* rotation
+  std::optional<SegmentWriter> active_;
+  std::size_t records_ = 0;
+  RecoveryStats recovery_;
+};
+
+}  // namespace apks

@@ -1,0 +1,187 @@
+#include "store/segment.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+
+namespace apks {
+namespace {
+
+[[noreturn]] void fail(const std::string& what,
+                       const std::filesystem::path& path) {
+  throw std::runtime_error(what + ": " + path.string() + " (" +
+                           std::strerror(errno) + ")");
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+SegmentScanResult scan_segment(
+    const std::filesystem::path& path,
+    const std::function<void(std::span<const std::uint8_t>)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail("scan_segment: cannot open", path);
+  SegmentScanResult out;
+  try {
+    std::uint8_t header[kSegmentHeaderSize];
+    if (std::fread(header, 1, sizeof(header), f) != sizeof(header) ||
+        std::memcmp(header, kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+      throw std::runtime_error("scan_segment: not a segment file: " +
+                               path.string());
+    }
+    out.info.shard_id = load_u32(header + 8);
+    out.info.seq = load_u64(header + 12);
+    out.valid_bytes = kSegmentHeaderSize;
+
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+      std::uint8_t fh[kFrameHeaderSize];
+      const std::size_t got = std::fread(fh, 1, sizeof(fh), f);
+      if (got != sizeof(fh)) break;  // EOF or partial frame header
+      const std::uint32_t len = load_u32(fh);
+      const std::uint32_t crc = load_u32(fh + 4);
+      if (len > kMaxFramePayload) break;  // corrupt length field
+      payload.resize(len);
+      if (len != 0 && std::fread(payload.data(), 1, len, f) != len) {
+        break;  // torn payload
+      }
+      if (crc32(payload) != crc) break;  // bit rot / torn write over old data
+      out.valid_bytes += kFrameHeaderSize + len;
+      ++out.records;
+      if (fn) fn(payload);
+    }
+    out.file_bytes = std::filesystem::file_size(path);
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
+  std::fclose(f);
+  return out;
+}
+
+SegmentWriter::SegmentWriter(const std::filesystem::path& path,
+                             std::uint32_t shard_id, std::uint64_t seq) {
+  path_ = path;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) fail("SegmentWriter: cannot create", path);
+  info_ = {shard_id, seq};
+  ByteWriter w;
+  w.raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kSegmentMagic),
+      sizeof(kSegmentMagic)));
+  w.u32(shard_id);
+  w.u64(seq);
+  if (std::fwrite(w.data().data(), 1, w.size(), file_) != w.size()) {
+    fail("SegmentWriter: header write failed", path);
+  }
+  bytes_ = w.size();
+}
+
+SegmentWriter SegmentWriter::open_for_append(const std::filesystem::path& path,
+                                             SegmentScanResult* recovered) {
+  const SegmentScanResult scan = scan_segment(path);
+  if (scan.torn_tail()) {
+    std::filesystem::resize_file(path, scan.valid_bytes);
+  }
+  if (recovered != nullptr) *recovered = scan;
+  SegmentWriter w;
+  w.path_ = path;
+  w.file_ = std::fopen(path.c_str(), "ab");
+  if (w.file_ == nullptr) fail("SegmentWriter: cannot append to", path);
+  w.info_ = scan.info;
+  w.bytes_ = scan.valid_bytes;
+  w.records_ = scan.records;
+  return w;
+}
+
+SegmentWriter::SegmentWriter(SegmentWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      file_(other.file_),
+      info_(other.info_),
+      bytes_(other.bytes_),
+      records_(other.records_) {
+  other.file_ = nullptr;
+}
+
+SegmentWriter& SegmentWriter::operator=(SegmentWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    info_ = other.info_;
+    bytes_ = other.bytes_;
+    records_ = other.records_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+SegmentWriter::~SegmentWriter() { close(); }
+
+void SegmentWriter::append(std::span<const std::uint8_t> payload) {
+  if (file_ == nullptr) {
+    throw std::logic_error("SegmentWriter: append after close");
+  }
+  if (payload.size() > kMaxFramePayload) {
+    throw std::invalid_argument("SegmentWriter: payload exceeds frame limit");
+  }
+  ByteWriter fh;
+  fh.u32(static_cast<std::uint32_t>(payload.size()));
+  fh.u32(crc32(payload));
+  if (std::fwrite(fh.data().data(), 1, fh.size(), file_) != fh.size() ||
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), file_) !=
+           payload.size())) {
+    fail("SegmentWriter: frame write failed", path_);
+  }
+  bytes_ += kFrameHeaderSize + payload.size();
+  ++records_;
+}
+
+void SegmentWriter::flush() {
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    fail("SegmentWriter: flush failed", path_);
+  }
+}
+
+void SegmentWriter::sync() {
+  flush();
+  if (file_ != nullptr && ::fsync(::fileno(file_)) != 0) {
+    fail("SegmentWriter: fsync failed", path_);
+  }
+}
+
+void SegmentWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void sync_directory(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail("sync_directory: cannot open", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail("sync_directory: fsync failed", dir);
+}
+
+}  // namespace apks

@@ -1,0 +1,336 @@
+#include "store/sharded_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "core/serialize_apks.h"
+
+namespace apks {
+namespace {
+
+constexpr char kStoreMagic[8] = {'A', 'P', 'K', 'S', 'S', 'T', 'R', '1'};
+constexpr std::uint32_t kStoreVersion = 1;
+
+std::filesystem::path shard_dir(const std::filesystem::path& dir,
+                                std::uint32_t shard) {
+  char name[24];
+  std::snprintf(name, sizeof(name), "shard-%03u", shard);
+  return dir / name;
+}
+
+void write_store_meta(const std::filesystem::path& dir,
+                      std::uint32_t shards) {
+  ByteWriter w;
+  w.raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kStoreMagic),
+      sizeof(kStoreMagic)));
+  w.u32(kStoreVersion);
+  w.u32(shards);
+  w.u32(crc32(w.data()));
+  const std::filesystem::path tmp = dir / "STORE.tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot write " + tmp.string());
+  }
+  const bool ok = std::fwrite(w.data().data(), 1, w.size(), f) == w.size() &&
+                  std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  std::fclose(f);
+  if (!ok) {
+    throw std::runtime_error("store meta write failed: " + tmp.string());
+  }
+  std::filesystem::rename(tmp, dir / "STORE");
+  sync_directory(dir);
+}
+
+std::uint32_t read_store_meta(const std::filesystem::path& dir) {
+  std::ifstream in(dir / "STORE", std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + (dir / "STORE").string());
+  }
+  const std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(in),
+                                       std::istreambuf_iterator<char>()};
+  if (data.size() != sizeof(kStoreMagic) + 12 ||
+      std::memcmp(data.data(), kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    throw std::runtime_error("not a store: " + dir.string());
+  }
+  const std::span<const std::uint8_t> body(data.data(), data.size() - 4);
+  ByteReader r(body);
+  (void)r.raw(sizeof(kStoreMagic));
+  const std::uint32_t version = r.u32();
+  const std::uint32_t shards = r.u32();
+  ByteReader crc_r(
+      std::span<const std::uint8_t>(data.data() + data.size() - 4, 4));
+  if (crc32(body) != crc_r.u32()) {
+    throw std::runtime_error("store meta checksum mismatch: " + dir.string());
+  }
+  if (version != kStoreVersion) {
+    throw std::runtime_error("unsupported store version");
+  }
+  if (shards == 0 || shards > 4096) {
+    throw std::runtime_error("store meta: implausible shard count");
+  }
+  return shards;
+}
+
+// Record payload header (everything except the encrypted index itself).
+struct RecordHead {
+  std::uint64_t id;
+  std::string doc_ref;
+  std::span<const std::uint8_t> index_bytes;
+};
+
+RecordHead decode_head(std::span<const std::uint8_t> payload) {
+  try {
+    ByteReader r(payload);
+    RecordHead head;
+    head.id = r.u64();
+    head.doc_ref = r.str();
+    head.index_bytes = r.bytes();
+    if (!r.done()) {
+      throw std::invalid_argument("trailing bytes");
+    }
+    return head;
+  } catch (const std::exception& ex) {
+    // A frame that passed its CRC but does not decode is not a crash
+    // artifact — it is a codec mismatch or a store bug. Surface loudly.
+    throw std::runtime_error(std::string("store record corrupt: ") +
+                             ex.what());
+  }
+}
+
+}  // namespace
+
+ShardedStore::ShardedStore(const Pairing& e, std::filesystem::path dir,
+                           ShardedStoreOptions options)
+    : pairing_(&e), dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+  std::uint32_t shards = options.shards;
+  if (std::filesystem::exists(dir_ / "STORE")) {
+    shards = read_store_meta(dir_);
+  } else {
+    if (shards == 0) {
+      throw std::invalid_argument("ShardedStore: shard count must be > 0");
+    }
+    write_store_meta(dir_, shards);
+  }
+  shards_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(
+        IndexStore(shard_dir(dir_, s), s, options.segment)));
+  }
+  // Seed the id counter past everything on disk. Replaying every frame
+  // here also re-verifies every checksum of the store at open time.
+  std::uint64_t max_id = 0;
+  for (const auto& shard : shards_) {
+    shard->store.for_each([&](std::span<const std::uint8_t> payload) {
+      max_id = std::max(max_id, decode_head(payload).id);
+    });
+  }
+  next_id_.store(max_id + 1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint8_t> ShardedStore::encode(
+    std::uint64_t id, const std::string& doc_ref,
+    const EncryptedIndex& index) const {
+  ByteWriter w;
+  w.u64(id);
+  w.str(doc_ref);
+  w.bytes(serialize_index(*pairing_, index));
+  return w.take();
+}
+
+std::uint64_t ShardedStore::append(std::string doc_ref,
+                                   const EncryptedIndex& index) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<std::uint8_t> payload = encode(id, doc_ref, index);
+  Shard& shard = shard_for(id);
+  std::unique_lock lock(shard.mutex);
+  shard.store.put(payload);
+  return id;
+}
+
+void ShardedStore::put(std::uint64_t id, const std::string& doc_ref,
+                       const EncryptedIndex& index) {
+  // Keep the counter strictly ahead so a later append never reuses `id`.
+  std::uint64_t expected = next_id_.load(std::memory_order_relaxed);
+  while (expected <= id && !next_id_.compare_exchange_weak(
+                               expected, id + 1, std::memory_order_relaxed)) {
+  }
+  const std::vector<std::uint8_t> payload = encode(id, doc_ref, index);
+  Shard& shard = shard_for(id);
+  std::unique_lock lock(shard.mutex);
+  shard.store.put(payload);
+}
+
+void ShardedStore::flush() {
+  for (const auto& shard : shards_) {
+    std::unique_lock lock(shard->mutex);
+    shard->store.flush();
+  }
+}
+
+void ShardedStore::sync() {
+  for (const auto& shard : shards_) {
+    std::unique_lock lock(shard->mutex);
+    shard->store.sync();
+  }
+}
+
+void ShardedStore::for_each_record(
+    const std::function<void(StoredIndexRecord&&)>& fn) {
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    shard->store.for_each([&](std::span<const std::uint8_t> payload) {
+      RecordHead head = decode_head(payload);
+      StoredIndexRecord rec;
+      rec.id = head.id;
+      rec.doc_ref = std::move(head.doc_ref);
+      rec.index = deserialize_index(*pairing_, head.index_bytes);
+      fn(std::move(rec));
+    });
+  }
+}
+
+std::vector<StoredIndexRecord> ShardedStore::load_all() {
+  std::vector<StoredIndexRecord> out;
+  out.reserve(record_count());
+  for_each_record([&](StoredIndexRecord&& rec) {
+    out.push_back(std::move(rec));
+  });
+  // Each shard streams in ascending-id order already; a global sort by id
+  // restores the original upload order across shards.
+  std::sort(out.begin(), out.end(),
+            [](const StoredIndexRecord& a, const StoredIndexRecord& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<std::string> ShardedStore::search(const Apks& scheme,
+                                              const Capability& cap,
+                                              std::size_t threads,
+                                              StoreScanStats* stats) {
+  const PreparedCapability prepared = scheme.prepare(cap);
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, shards_.size());
+
+  struct ShardResult {
+    std::vector<std::pair<std::uint64_t, std::string>> matches;
+    std::size_t scanned = 0;
+  };
+  std::vector<ShardResult> results(shards_.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(threads);
+  auto worker = [&](std::size_t t) {
+    try {
+      for (;;) {
+        const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
+        if (s >= shards_.size()) return;
+        Shard& shard = *shards_[s];
+        std::shared_lock lock(shard.mutex);
+        shard.store.for_each([&](std::span<const std::uint8_t> payload) {
+          RecordHead head = decode_head(payload);
+          const EncryptedIndex index =
+              deserialize_index(*pairing_, head.index_bytes);
+          ++results[s].scanned;
+          if (scheme.search_prepared(prepared, index)) {
+            results[s].matches.emplace_back(head.id,
+                                            std::move(head.doc_ref));
+          }
+        });
+      }
+    } catch (...) {
+      errors[t] = std::current_exception();
+    }
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& t : pool) t.join();
+  }
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  std::vector<std::pair<std::uint64_t, std::string>> merged;
+  std::size_t scanned = 0;
+  for (ShardResult& r : results) {
+    scanned += r.scanned;
+    merged.insert(merged.end(), std::make_move_iterator(r.matches.begin()),
+                  std::make_move_iterator(r.matches.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (stats != nullptr) {
+    stats->scanned = scanned;
+    stats->matched = merged.size();
+  }
+  std::vector<std::string> refs;
+  refs.reserve(merged.size());
+  for (auto& [id, ref] : merged) refs.push_back(std::move(ref));
+  return refs;
+}
+
+std::uint64_t ShardedStore::compact() {
+  std::uint64_t reclaimed = 0;
+  for (const auto& shard : shards_) {
+    std::unique_lock lock(shard->mutex);
+    reclaimed += shard->store.compact();
+  }
+  return reclaimed;
+}
+
+std::size_t ShardedStore::record_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    n += shard->store.record_count();
+  }
+  return n;
+}
+
+std::uint64_t ShardedStore::bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    n += shard->store.bytes();
+  }
+  return n;
+}
+
+std::size_t ShardedStore::segment_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    n += shard->store.segment_count();
+  }
+  return n;
+}
+
+RecoveryStats ShardedStore::recovery() const {
+  RecoveryStats total;
+  for (const auto& shard : shards_) {
+    const RecoveryStats& r = shard->store.recovery();
+    total.segments += r.segments;
+    total.records += r.records;
+    total.torn_bytes += r.torn_bytes;
+    total.torn_tail = total.torn_tail || r.torn_tail;
+  }
+  return total;
+}
+
+}  // namespace apks

@@ -1,0 +1,132 @@
+// ShardedStore — the cloud server's persistent record source: S IndexStore
+// shards (each its own segment chain + shared_mutex) under one directory,
+// holding the encrypted-index records of CloudServer in the
+// serialize_index wire format.
+//
+// Directory layout:
+//
+//   <dir>/STORE          shard count + codec version (checksummed,
+//                        written once at creation)
+//   <dir>/shard-000/     IndexStore chain (MANIFEST + seg-*.apks)
+//   <dir>/shard-001/     ...
+//
+// Record payload (one segment frame): [u64 id] [str doc_ref]
+// [bytes serialize_index(...)]. Records route to shard id % S, so every
+// shard holds an id-ascending subsequence and a k-way merge by id restores
+// the exact upload order — which is what makes a reloaded CloudServer
+// return byte-identical results (same doc_refs, same order) to the server
+// that never restarted.
+//
+// Concurrency: append/put take the target shard's lock exclusively;
+// streaming reads (load_all, search, for_each_record) hold every shard
+// they touch shared — same contract as CloudServer's record store. Ids
+// come from one atomic counter, seeded past the largest id on disk at
+// open (open replays every committed frame, which doubles as an
+// end-to-end checksum validation of the whole store).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/apks.h"
+#include "store/index_store.h"
+
+namespace apks {
+
+struct StoredIndexRecord {
+  std::uint64_t id = 0;
+  std::string doc_ref;
+  EncryptedIndex index;
+};
+
+struct ShardedStoreOptions {
+  // Shard count used when creating a fresh store; an existing store's
+  // STORE file wins on reopen (the on-disk partitioning is fixed).
+  std::uint32_t shards = 4;
+  IndexStoreOptions segment;
+};
+
+struct StoreScanStats {
+  std::size_t scanned = 0;
+  std::size_t matched = 0;
+};
+
+class ShardedStore {
+ public:
+  // Opens (creating if absent) and crash-recovers every shard.
+  ShardedStore(const Pairing& e, std::filesystem::path dir,
+               ShardedStoreOptions options = {});
+
+  // Owner upload: assigns the next id, persists, returns the id.
+  std::uint64_t append(std::string doc_ref, const EncryptedIndex& index);
+
+  // Write-through path for CloudServer: persist under a caller-chosen id
+  // (the server's record id). Keeps the id counter ahead of `id`.
+  void put(std::uint64_t id, const std::string& doc_ref,
+           const EncryptedIndex& index);
+
+  void flush();  // all shards
+  void sync();   // all shards (durability barrier)
+
+  // Every committed record, decoded and k-way-merged into ascending-id
+  // (i.e. original upload) order.
+  [[nodiscard]] std::vector<StoredIndexRecord> load_all();
+
+  // Streams records shard-by-shard (ascending id within a shard, shard
+  // order unspecified) without materializing the whole store.
+  void for_each_record(
+      const std::function<void(StoredIndexRecord&&)>& fn);
+
+  // Linear scan directly over the on-disk segments, shard-parallel:
+  // decodes and tests each record as it streams, never holding more than
+  // one record per worker in memory. Results are in ascending-id order —
+  // identical to CloudServer::search over the same records. threads == 0
+  // uses hardware concurrency (capped at the shard count).
+  [[nodiscard]] std::vector<std::string> search(
+      const Apks& scheme, const Capability& cap, std::size_t threads = 0,
+      StoreScanStats* stats = nullptr);
+
+  // Compacts every shard chain; returns total bytes reclaimed.
+  std::uint64_t compact();
+
+  [[nodiscard]] std::size_t record_count() const;
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] std::uint64_t bytes() const;
+  [[nodiscard]] std::size_t segment_count() const;
+  [[nodiscard]] std::uint64_t next_id() const noexcept {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+  // Aggregated crash-recovery report from open (sums over shards).
+  [[nodiscard]] RecoveryStats recovery() const;
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(IndexStore s) : store(std::move(s)) {}
+    IndexStore store;
+    mutable std::shared_mutex mutex;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t id) {
+    return *shards_[id % shards_.size()];
+  }
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::uint64_t id, const std::string& doc_ref,
+      const EncryptedIndex& index) const;
+
+  const Pairing* pairing_;
+  std::filesystem::path dir_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+}  // namespace apks

@@ -137,6 +137,8 @@ TEST_F(AuthorityTest, SignedCapabilityWireRoundTrip) {
   const auto wire = serialize_signed_capability(e_, *cap);
   const auto back = deserialize_signed_capability(e_, wire);
   EXPECT_EQ(back.issuer, cap->issuer);
+  // The delegation history (the LTAs' audit trail) survives the wire.
+  EXPECT_EQ(back.cap.history.size(), cap->cap.history.size());
   // Still verifies and still searches after the round trip.
   CapabilityVerifier verifier(e_, ta_.ibs_params());
   verifier.register_authority("hospital-A");
@@ -145,7 +147,7 @@ TEST_F(AuthorityTest, SignedCapabilityWireRoundTrip) {
                                            "Hospital A"}})));
   // Corrupting the issuer breaks verification but not parsing.
   auto wire2 = wire;
-  wire2[wire2.size() - 200] ^= 1;  // inside a signature point
+  wire2[wire2.size() - 10] ^= 1;  // inside the trailing signature point
   bool rejected = false;
   try {
     rejected = !verifier.verify(deserialize_signed_capability(e_, wire2));

@@ -5,6 +5,7 @@
 
 #include "common/hex.h"
 #include "core/query_parser.h"
+#include "core/serialize_apks.h"
 #include "data/phr.h"
 #include "hpe/serialize.h"
 #include "mrqed/serialize.h"
@@ -96,6 +97,86 @@ TEST_F(DeserializerFuzz, RandomBuffersRejected) {
     expect_no_crash([&] { (void)deserialize_master_key(e_, data); });
     expect_no_crash([&] { (void)deserialize_mrqed_key(e_, data); });
     expect_no_crash([&] { (void)deserialize_mrqed_ciphertext(e_, data); });
+    expect_no_crash([&] { (void)deserialize_index(e_, data); });
+    expect_no_crash([&] { (void)deserialize_capability(e_, data); });
+  }
+}
+
+// Bit-flip and truncation sweeps over the APKS-level codecs
+// (serialize_index / serialize_capability): every mutation must either be
+// rejected with a std:: exception or yield an object that is still safely
+// usable — never crash or corrupt memory.
+class ApksCodecFuzz : public DeserializerFuzz {
+ protected:
+  ApksCodecFuzz()
+      : scheme_(e_, Schema({{"a", nullptr, 2}, {"b", nullptr, 1}})) {
+    scheme_.setup(rng_, pk_, msk_);
+  }
+  Apks scheme_;
+  ApksPublicKey pk_;
+  ApksMasterKey msk_;
+};
+
+TEST_F(ApksCodecFuzz, IndexBitFlipAndTruncationSweep) {
+  const EncryptedIndex enc =
+      scheme_.gen_index(pk_, PlainIndex{{"u", "v"}}, rng_);
+  const Capability cap = scheme_.gen_cap(
+      msk_, Query{{QueryTerm::equals("u"), QueryTerm::any()}}, rng_);
+  const auto good = serialize_index(e_, enc);
+  // Truncation sweep: every prefix length.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    expect_no_crash([&] {
+      (void)deserialize_index(
+          e_, std::span<const std::uint8_t>(good.data(), len));
+    });
+  }
+  // Bit-flip sweep: every byte gets one deterministic single-bit flip,
+  // plus random multi-byte mutations.
+  for (std::size_t pos = 0; pos < good.size(); ++pos) {
+    auto bad = good;
+    bad[pos] ^= static_cast<std::uint8_t>(1u << (pos % 8));
+    expect_no_crash([&] {
+      const EncryptedIndex parsed = deserialize_index(e_, bad);
+      (void)scheme_.search(cap, parsed);
+    });
+  }
+  for (int i = 0; i < 60; ++i) {
+    auto bad = good;
+    const std::size_t mutations = 1 + rng_.next_below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      bad[rng_.next_below(bad.size())] ^=
+          static_cast<std::uint8_t>(1 + rng_.next_below(255));
+    }
+    expect_no_crash([&] {
+      const EncryptedIndex parsed = deserialize_index(e_, bad);
+      (void)scheme_.search(cap, parsed);
+    });
+  }
+}
+
+TEST_F(ApksCodecFuzz, CapabilityBitFlipAndTruncationSweep) {
+  Capability cap = scheme_.gen_cap(
+      msk_, Query{{QueryTerm::subset({"u", "w"}), QueryTerm::any()}}, rng_);
+  cap = scheme_.delegate_cap(
+      cap, Query{{QueryTerm::any(), QueryTerm::equals("v")}}, rng_);
+  const EncryptedIndex enc =
+      scheme_.gen_index(pk_, PlainIndex{{"u", "v"}}, rng_);
+  const auto good = serialize_capability(e_, cap);
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    expect_no_crash([&] {
+      (void)deserialize_capability(
+          e_, std::span<const std::uint8_t>(good.data(), len));
+    });
+  }
+  // The full sweep would be slow (each surviving parse may run a search);
+  // stride through the buffer instead, hitting every region.
+  for (std::size_t pos = 0; pos < good.size(); pos += 7) {
+    auto bad = good;
+    bad[pos] ^= static_cast<std::uint8_t>(1u << (pos % 8));
+    expect_no_crash([&] {
+      const Capability parsed = deserialize_capability(e_, bad);
+      (void)scheme_.search(parsed, enc);
+    });
   }
 }
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/apks_plus.h"
+#include "core/serialize_apks.h"
 #include "ec/params.h"
 #include "hpe/serialize.h"
 
@@ -105,6 +106,84 @@ TEST_F(RobustnessTest, CorruptedSerializedKeyRejectedOrHarmless) {
     rejected_or_mismatch = true;
   }
   EXPECT_TRUE(rejected_or_mismatch);
+}
+
+TEST_F(RobustnessTest, CorruptedSerializedIndexRejectedOrHarmless) {
+  const auto good = serialize_index(e_, enc_);
+  // Sweep a byte flip across the whole encoding (version byte, point tags,
+  // coordinates, the Gt component): every mutation must either be rejected
+  // at parse time or produce an index the capability no longer matches.
+  for (std::size_t pos = 0; pos < good.size(); pos += 11) {
+    auto bad = good;
+    bad[pos] ^= 0x5A;
+    bool rejected_or_mismatch = false;
+    try {
+      const EncryptedIndex mangled = deserialize_index(e_, bad);
+      rejected_or_mismatch = !apks_.search(cap_, mangled);
+    } catch (const std::exception&) {
+      rejected_or_mismatch = true;
+    }
+    EXPECT_TRUE(rejected_or_mismatch) << "byte " << pos;
+  }
+  // Truncation anywhere must be an explicit parse error, never a partial
+  // object.
+  for (std::size_t len = 0; len < good.size(); len += 13) {
+    EXPECT_THROW((void)deserialize_index(
+                     e_, std::span<const std::uint8_t>(good.data(), len)),
+                 std::exception)
+        << "length " << len;
+  }
+}
+
+TEST_F(RobustnessTest, CorruptedSerializedCapabilityRejectedOrHarmless) {
+  const auto good = serialize_capability(e_, cap_);
+  const EncryptedIndex miss = apks_.gen_index(pk_, {{"x", "z"}}, rng_);
+  // Only the key's decryption vector participates in search; flips in the
+  // ran/del components or the query history parse fine and leave behavior
+  // unchanged. Layout: version u8 | keylen u32 | level u32 | dec count u32
+  // | dec points...
+  const std::size_t dec_begin = 1 + 4 + 4 + 4;
+  const std::size_t dec_end =
+      dec_begin + cap_.key.dec.size() * Curve::kCompressedSize;
+  for (std::size_t pos = 0; pos < good.size(); pos += 11) {
+    auto bad = good;
+    bad[pos] ^= 0x5A;
+    bool rejected_or_mismatch = false;
+    bool false_positive = false;
+    try {
+      const Capability mangled = deserialize_capability(e_, bad);
+      rejected_or_mismatch = !apks_.search(mangled, enc_);
+      false_positive = apks_.search(mangled, miss);
+    } catch (const std::exception&) {
+      rejected_or_mismatch = true;
+    }
+    // A tampered capability must never match a row the original missed.
+    EXPECT_FALSE(false_positive) << "byte " << pos;
+    if (pos >= dec_begin && pos < dec_end) {
+      // Inside the decryption vector, the flip must also break the match
+      // (or be rejected outright).
+      EXPECT_TRUE(rejected_or_mismatch) << "byte " << pos;
+    }
+  }
+  for (std::size_t len = 0; len < good.size(); len += 13) {
+    EXPECT_THROW(
+        (void)deserialize_capability(
+            e_, std::span<const std::uint8_t>(good.data(), len)),
+        std::exception)
+        << "length " << len;
+  }
+}
+
+TEST_F(RobustnessTest, CodecRoundTripPreservesSearchBehavior) {
+  // A round-tripped index/capability pair must behave exactly like the
+  // originals: same match on the real row, same non-match elsewhere.
+  const EncryptedIndex enc2 = deserialize_index(e_, serialize_index(e_, enc_));
+  const Capability cap2 =
+      deserialize_capability(e_, serialize_capability(e_, cap_));
+  EXPECT_TRUE(apks_.search(cap2, enc2));
+  const auto miss = apks_.gen_index(pk_, {{"x", "z"}}, rng_);
+  EXPECT_FALSE(apks_.search(cap2, miss));
+  ASSERT_EQ(cap2.history.size(), cap_.history.size());
 }
 
 TEST_F(RobustnessTest, ProxyTransformWithWrongShareBreaksSearch) {

@@ -6,12 +6,21 @@
 //   apks_cli delegate --schema phr --cap cap.bin --query "provider = Hospital B" --out cap2.bin
 //   apks_cli search   --schema phr --cap cap.bin idx1.bin idx2.bin ...
 //   apks_cli batchsearch --schema phr --caps cap1.bin,cap2.bin [--threads T] idx1.bin ...
+//   apks_cli ingest   --schema phr --store DB [--shards N] idx1.bin idx2.bin ...
+//   apks_cli serve    --schema phr --store DB --caps cap1.bin,cap2.bin [--threads T]
+//   apks_cli compact  --store DB
 //
 // `batchsearch` serves all capabilities over a single pass of the indexes
 // through the cloud SearchEngine (batched scan + prepared-capability
 // cache, signature layer skipped: the CLI works with raw capability
 // files) and prints the per-query server metrics — records scanned,
 // matches, Miller-loop / final-exponentiation counts, cache behaviour.
+//
+// `ingest` appends encrypted-index files into a persistent ShardedStore
+// (creating it with --shards partitions on first use); `serve` reopens the
+// store — reporting crash recovery if the last writer died mid-append —
+// loads it into a CloudServer and answers a capability batch; `compact`
+// collapses each shard's segment chain and reports the bytes reclaimed.
 //
 // Schemas: "phr" (the paper's PHR case study), "phr-time" (with the
 // revocation time dimension), "nursery" (UCI Nursery, d = 2).
@@ -30,6 +39,7 @@
 #include "data/nursery.h"
 #include "data/phr.h"
 #include "hpe/serialize.h"
+#include "store/sharded_store.h"
 
 namespace {
 
@@ -70,6 +80,8 @@ struct Args {
   std::string query;
   std::string values;
   std::string seed;
+  std::string store;
+  std::size_t shards = 4;
   std::size_t threads = 1;
   std::vector<std::string> positional;
 };
@@ -77,8 +89,8 @@ struct Args {
 Args parse_args(int argc, char** argv) {
   Args a;
   if (argc < 2) {
-    die("usage: apks_cli <setup|genindex|gencap|delegate|search|batchsearch>"
-        " [options]");
+    die("usage: apks_cli <setup|genindex|gencap|delegate|search|batchsearch"
+        "|ingest|serve|compact> [options]");
   }
   a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -108,6 +120,16 @@ Args parse_args(int argc, char** argv) {
       } catch (const std::exception&) {
         die("--threads needs a number, got '" + v + "'");
       }
+    } else if (arg == "--store") {
+      a.store = next();
+    } else if (arg == "--shards") {
+      const std::string v = next();
+      try {
+        a.shards = static_cast<std::size_t>(std::stoul(v));
+      } catch (const std::exception&) {
+        die("--shards needs a number, got '" + v + "'");
+      }
+      if (a.shards == 0) die("--shards must be at least 1");
     }
     else if (arg == "--query") a.query = next();
     else if (arg == "--values") a.values = next();
@@ -236,6 +258,85 @@ int cmd_batchsearch(const Apks& scheme, const Pairing& e, const Args& a) {
   return 0;
 }
 
+std::unique_ptr<ShardedStore> open_store(const Pairing& e, const Args& a) {
+  if (a.store.empty()) die(a.command + " needs --store DIR");
+  ShardedStoreOptions opts;
+  opts.shards = static_cast<std::uint32_t>(a.shards);
+  auto store = std::make_unique<ShardedStore>(e, a.store, opts);
+  const RecoveryStats rec = store->recovery();
+  if (rec.torn_tail) {
+    std::printf(
+        "recovery: truncated a torn tail (%" PRIu64
+        " bytes) left by a crashed writer\n",
+        rec.torn_bytes);
+  }
+  std::printf("store %s: %u shards, %zu segments, %zu records, %" PRIu64
+              " bytes\n",
+              a.store.c_str(), store->shard_count(), store->segment_count(),
+              store->record_count(), store->bytes());
+  return store;
+}
+
+int cmd_ingest(const Pairing& e, const Args& a) {
+  if (a.positional.empty()) die("ingest needs at least one index file");
+  const auto store_ptr = open_store(e, a);
+  ShardedStore& store = *store_ptr;
+  for (const auto& path : a.positional) {
+    EncryptedIndex enc;
+    enc.ct = deserialize_ciphertext(e, read_file(path));
+    const std::uint64_t id = store.append(path, enc);
+    std::printf("  %s -> record %" PRIu64 "\n", path.c_str(), id);
+  }
+  store.sync();
+  std::printf("ingested %zu indexes; store now holds %zu records (%" PRIu64
+              " bytes)\n",
+              a.positional.size(), store.record_count(), store.bytes());
+  return 0;
+}
+
+int cmd_serve(const Apks& scheme, const Pairing& e, const Args& a) {
+  if (a.caps.empty()) die("serve needs --caps FILE[,FILE...]");
+  const auto store_ptr = open_store(e, a);
+  ShardedStore& store = *store_ptr;
+
+  // Restart path: rebuild the in-memory server from disk, then serve the
+  // capability batch through the SearchEngine (raw capability files, so
+  // the signature layer is skipped as in batchsearch).
+  CloudServer server(scheme, CapabilityVerifier(e, IbsPublicParams{}));
+  const std::size_t loaded = server.load_from(store);
+  std::printf("loaded %zu records into the cloud server\n", loaded);
+
+  std::vector<Capability> caps(a.caps.size());
+  for (std::size_t i = 0; i < a.caps.size(); ++i) {
+    caps[i].key = deserialize_key(e, read_file(a.caps[i]));
+  }
+  SearchEngine engine(server, {.threads = a.threads});
+  BatchMetrics metrics;
+  const auto results = engine.search_batch_unchecked(caps, &metrics);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%s: %zu / %zu matched\n", a.caps[i].c_str(),
+                results[i].size(), metrics.records);
+    for (const auto& ref : results[i]) std::printf("  %s\n", ref.c_str());
+  }
+  std::printf("batch: %zu queries, %zu records, %zu threads, %.4f s\n",
+              metrics.queries, metrics.records, metrics.threads,
+              metrics.wall_s);
+  return 0;
+}
+
+int cmd_compact(const Pairing& e, const Args& a) {
+  const auto store_ptr = open_store(e, a);
+  ShardedStore& store = *store_ptr;
+  const std::uint64_t before = store.bytes();
+  const std::size_t segments_before = store.segment_count();
+  const std::uint64_t reclaimed = store.compact();
+  std::printf("compacted: %zu -> %zu segments, %" PRIu64 " -> %" PRIu64
+              " bytes (%" PRIu64 " reclaimed)\n",
+              segments_before, store.segment_count(), before, store.bytes(),
+              reclaimed);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,6 +362,15 @@ int main(int argc, char** argv) {
     }
     if (args.command == "batchsearch") {
       return cmd_batchsearch(scheme, pairing, args);
+    }
+    if (args.command == "ingest") {
+      return cmd_ingest(pairing, args);
+    }
+    if (args.command == "serve") {
+      return cmd_serve(scheme, pairing, args);
+    }
+    if (args.command == "compact") {
+      return cmd_compact(pairing, args);
     }
     die("unknown command '" + args.command + "'");
   } catch (const std::exception& ex) {

@@ -1,20 +1,48 @@
 #!/usr/bin/env bash
-# CI gate: the tier-1 verify (full build + test suite) followed by a
-# ThreadSanitizer build of the cloud/server concurrency tests. Run from the
-# repository root:
+# CI gate: the tier-1 verify (full build + test suite), an ASan build of the
+# storage-engine tests (segment format, crash recovery) plus the store bench
+# artifact, and a ThreadSanitizer build of the cloud/server concurrency
+# tests. Run from the repository root:
 #
-#   tools/ci.sh            # tier-1 + TSan cloud tests
+#   tools/ci.sh            # tier-1 + store stage + TSan cloud tests
+#   tools/ci.sh --store    # store stage only (ASan + crash recovery + bench)
 #   tools/ci.sh --tsan     # TSan cloud tests only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
-TSAN_ONLY=0
-[[ "${1:-}" == "--tsan" ]] && TSAN_ONLY=1
+STAGE=all
+[[ "${1:-}" == "--tsan" ]] && STAGE=tsan
+[[ "${1:-}" == "--store" ]] && STAGE=store
 
-if [[ $TSAN_ONLY -eq 0 ]]; then
+# configure DIR [extra cmake args...]
+#
+# Wraps `cmake -B DIR` with a staleness check: a build directory configured
+# with a *different* APKS_SANITIZE value poisons incremental builds (objects
+# compiled with the old flags link silently into new binaries), so wipe it
+# and configure from scratch when the cached value disagrees.
+configure() {
+  local dir=$1
+  shift
+  local want=""
+  for arg in "$@"; do
+    [[ "$arg" == -DAPKS_SANITIZE=* ]] && want="${arg#-DAPKS_SANITIZE=}"
+  done
+  if [[ -f "$dir/CMakeCache.txt" ]]; then
+    local have
+    have=$(sed -n 's/^APKS_SANITIZE:[^=]*=//p' "$dir/CMakeCache.txt")
+    if [[ "$have" != "$want" ]]; then
+      echo "--- $dir: cached APKS_SANITIZE='$have' != wanted '$want'," \
+           "reconfiguring from scratch ---"
+      rm -rf "$dir"
+    fi
+  fi
+  cmake -B "$dir" -S . "$@"
+}
+
+if [[ $STAGE == all ]]; then
   echo "=== tier-1: full build + ctest ==="
-  cmake -B build -S .
+  configure build
   cmake --build build -j "$JOBS"
   (cd build && ctest --output-on-failure -j "$JOBS")
 
@@ -24,12 +52,27 @@ if [[ $TSAN_ONLY -eq 0 ]]; then
   ./build/bench/fig8b_encrypt --smoke >/dev/null
 fi
 
-echo "=== TSan: cloud server / search engine tests ==="
-cmake -B build-tsan -S . -DAPKS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j "$JOBS" \
-  --target cloud_test policy_test integration_test search_engine_test
-for t in cloud_test policy_test integration_test search_engine_test; do
-  echo "--- $t (TSan) ---"
-  ./build-tsan/tests/"$t"
-done
+if [[ $STAGE == all || $STAGE == store ]]; then
+  echo "=== store: ASan storage-engine tests + crash recovery + bench ==="
+  configure build-asan -DAPKS_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS" \
+    --target store_test store_recovery_test bench_store
+  for t in store_test store_recovery_test; do
+    echo "--- $t (ASan) ---"
+    ./build-asan/tests/"$t"
+  done
+  ./build-asan/bench/bench_store --smoke --json=BENCH_store.json
+  [[ -s BENCH_store.json ]] || { echo "BENCH_store.json missing/empty"; exit 1; }
+fi
+
+if [[ $STAGE == all || $STAGE == tsan ]]; then
+  echo "=== TSan: cloud server / search engine tests ==="
+  configure build-tsan -DAPKS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$JOBS" \
+    --target cloud_test policy_test integration_test search_engine_test
+  for t in cloud_test policy_test integration_test search_engine_test; do
+    echo "--- $t (TSan) ---"
+    ./build-tsan/tests/"$t"
+  done
+fi
 echo "CI OK"
