@@ -77,6 +77,16 @@ SignedCapability TrustedAuthority::issue(const Query& query, Rng& rng) {
   return sign_capability(scheme_->gen_cap(msk_, query, rng), ta_sig_key_, rng);
 }
 
+SignedQuery TrustedAuthority::issue_query(const SearchBackend& backend,
+                                          AnyQuery query, Rng& rng) const {
+  SignedQuery out;
+  out.issuer = ta_sig_key_.identity;
+  const auto msg = backend.query_message(query, out.issuer);
+  out.sig = ibs_.sign(ta_sig_key_, msg, rng);
+  out.query = std::move(query);
+  return out;
+}
+
 std::unique_ptr<LocalAuthority> TrustedAuthority::make_lta(
     const std::string& name, const Query& basic_scope, Rng& rng) {
   Capability root = scheme_->gen_cap(msk_, basic_scope, rng);
@@ -133,9 +143,21 @@ std::unique_ptr<LocalAuthority> LocalAuthority::make_sub_lta(
 }
 
 bool CapabilityVerifier::verify(const SignedCapability& cap) const {
-  if (registered_.find(cap.issuer) == registered_.end()) return false;
   const auto msg = capability_message(*pairing_, cap.cap, cap.issuer);
-  return ibs_.verify(params_, cap.issuer, msg, cap.sig);
+  return verify_message(msg, cap.issuer, cap.sig);
+}
+
+bool CapabilityVerifier::verify(const SearchBackend& backend,
+                                const SignedQuery& q) const {
+  return verify_message(backend.query_message(q.query, q.issuer), q.issuer,
+                        q.sig);
+}
+
+bool CapabilityVerifier::verify_message(std::span<const std::uint8_t> message,
+                                        const std::string& issuer,
+                                        const IbsSignature& sig) const {
+  if (registered_.find(issuer) == registered_.end()) return false;
+  return ibs_.verify(params_, issuer, message, sig);
 }
 
 }  // namespace apks

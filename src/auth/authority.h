@@ -20,6 +20,7 @@
 #include "auth/ibs.h"
 #include "auth/policy.h"
 #include "core/apks.h"
+#include "core/backend.h"
 #include "hpe/serialize.h"
 
 namespace apks {
@@ -29,6 +30,17 @@ struct SignedCapability {
   Capability cap;
   std::string issuer;  // authority identity the server checks registration of
   IbsSignature sig;    // over serialize_key(cap.key) || issuer
+};
+
+// The scheme-agnostic counterpart: any backend's query (APKS capability,
+// MRQED range key, ...) plus the issuing authority's signature over that
+// backend's query_message. For the APKS family query_message is
+// byte-identical to capability_message, so a SignedCapability re-wrapped as
+// a SignedQuery verifies against the same signature bytes.
+struct SignedQuery {
+  AnyQuery query;
+  std::string issuer;
+  IbsSignature sig;  // over backend.query_message(query, issuer)
 };
 
 // Attribute values a user possesses, per original schema dimension name.
@@ -63,6 +75,13 @@ class TrustedAuthority {
 
   // Direct issuance by the TA itself (used rarely; the TA is semi-offline).
   [[nodiscard]] SignedCapability issue(const Query& query, Rng& rng);
+
+  // Scheme-agnostic issuance: signs `backend.query_message(query, "TA")`
+  // with the TA's IBS key. Used for non-APKS backends (MRQED^D range keys)
+  // where gen_cap/delegate do not apply; the APKS family keeps the richer
+  // typed path above.
+  [[nodiscard]] SignedQuery issue_query(const SearchBackend& backend,
+                                        AnyQuery query, Rng& rng) const;
 
   [[nodiscard]] const Apks& scheme() const noexcept { return *scheme_; }
 
@@ -142,6 +161,18 @@ class CapabilityVerifier {
   }
 
   [[nodiscard]] bool verify(const SignedCapability& cap) const;
+
+  // Scheme-agnostic admission check: the signature must cover
+  // backend.query_message(q.query, q.issuer). For APKS-family backends this
+  // accepts exactly the signatures `verify(SignedCapability)` accepts.
+  [[nodiscard]] bool verify(const SearchBackend& backend,
+                            const SignedQuery& q) const;
+
+  // Shared core of both verify overloads: registered-issuer check plus IBS
+  // verification over an already-built message.
+  [[nodiscard]] bool verify_message(std::span<const std::uint8_t> message,
+                                    const std::string& issuer,
+                                    const IbsSignature& sig) const;
 
  private:
   Ibs ibs_;

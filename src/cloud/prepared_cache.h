@@ -1,39 +1,38 @@
-// LRU cache of server-side capability preprocessing (Apks::prepare output),
-// keyed by the capability digest. Repeated queries with the same capability
-// — the hot-key case under heavy multi-user traffic — skip the per-query
-// preprocessing entirely; see SearchEngine for the serving layer that uses
-// this.
+// LRU cache of server-side query preprocessing (SearchBackend::prepare
+// output), keyed by the backend's query digest. Repeated queries with the
+// same capability/key — the hot-key case under heavy multi-user traffic —
+// skip the per-query preprocessing entirely; see SearchEngine for the
+// serving layer that uses this.
 //
-// Entries are handed out as shared_ptr so an eviction never invalidates a
-// prepared capability a scan is still using. All operations are internally
-// locked: get/put may be called from concurrent serving threads.
+// Entries are AnyPrepared handles (shared ownership), so an eviction never
+// invalidates a prepared query a scan is still using. All operations are
+// internally locked: get/put may be called from concurrent serving threads.
 #pragma once
 
 #include <cstddef>
 #include <list>
-#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "core/backend.h"
 #include "core/capability_digest.h"
 
 namespace apks {
 
-class PreparedCapabilityCache {
+class PreparedQueryCache {
  public:
   // capacity == 0 disables caching (every get misses, put is a no-op).
-  explicit PreparedCapabilityCache(std::size_t capacity)
-      : capacity_(capacity) {}
+  explicit PreparedQueryCache(std::size_t capacity) : capacity_(capacity) {}
 
-  // Returns the cached preprocessing, refreshing its recency, or nullptr.
-  [[nodiscard]] std::shared_ptr<const PreparedCapability> get(
-      const CapabilityDigest& digest) {
+  // Returns the cached preprocessing, refreshing its recency, or an empty
+  // handle on a miss.
+  [[nodiscard]] AnyPrepared get(const QueryDigest& digest) {
     std::lock_guard lock(mutex_);
     const auto it = map_.find(digest);
     if (it == map_.end()) {
       ++misses_;
-      return nullptr;
+      return {};
     }
     lru_.splice(lru_.begin(), lru_, it->second);
     ++hits_;
@@ -42,25 +41,22 @@ class PreparedCapabilityCache {
 
   // Inserts (or refreshes) an entry, evicting the least recently used one
   // when over capacity. Returns the shared entry for immediate use.
-  std::shared_ptr<const PreparedCapability> put(
-      const CapabilityDigest& digest, PreparedCapability prepared) {
-    auto entry =
-        std::make_shared<const PreparedCapability>(std::move(prepared));
-    if (capacity_ == 0) return entry;
+  AnyPrepared put(const QueryDigest& digest, AnyPrepared prepared) {
+    if (capacity_ == 0) return prepared;
     std::lock_guard lock(mutex_);
     const auto it = map_.find(digest);
     if (it != map_.end()) {
-      it->second->second = entry;
+      it->second->second = prepared;
       lru_.splice(lru_.begin(), lru_, it->second);
-      return entry;
+      return prepared;
     }
-    lru_.emplace_front(digest, entry);
+    lru_.emplace_front(digest, prepared);
     map_[digest] = lru_.begin();
     if (map_.size() > capacity_) {
       map_.erase(lru_.back().first);
       lru_.pop_back();
     }
-    return entry;
+    return prepared;
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -77,13 +73,12 @@ class PreparedCapabilityCache {
   }
 
  private:
-  using Entry =
-      std::pair<CapabilityDigest, std::shared_ptr<const PreparedCapability>>;
+  using Entry = std::pair<QueryDigest, AnyPrepared>;
 
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<CapabilityDigest, std::list<Entry>::iterator,
+  std::unordered_map<QueryDigest, std::list<Entry>::iterator,
                      CapabilityDigestHash>
       map_;
   std::size_t hits_ = 0;

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/apks_backend.h"
 #include "core/apks_plus.h"
 
 namespace apks {
@@ -63,6 +64,19 @@ class ProxyPipeline {
  private:
   std::vector<ProxyServer> proxies_;
 };
+
+// Installs the pipeline as the backend's ingest stage, making the proxy
+// chain part of the unified serving path: every index handed to
+// CloudServer::store traverses all P proxies (rate limits included) before
+// validate_ingest and persistence, instead of owners calling
+// pipeline.process as a separate side door. The pipeline must outlive the
+// backend's use; transformations are counted against each proxy's budget.
+inline void attach_ingest_pipeline(ApksPlusBackend& backend,
+                                   ProxyPipeline& pipeline) {
+  backend.set_ingest_stage([&pipeline](const EncryptedIndex& partial) {
+    return pipeline.process(partial);
+  });
+}
 
 // Convenience wiring for a full APKS+ deployment: TA secret split across P
 // proxies, ready for owners to push partial indexes through.

@@ -44,21 +44,41 @@ struct alignas(64) WorkerSlot {
 
 std::vector<std::vector<std::string>> SearchEngine::search_batch(
     std::span<const SignedCapability> caps, BatchMetrics* metrics) const {
-  std::vector<const Capability*> raw(caps.size());
+  std::vector<AnyQuery> raw(caps.size());
   std::vector<char> serve(caps.size());
   for (std::size_t i = 0; i < caps.size(); ++i) {
-    raw[i] = &caps[i].cap;
+    raw[i] = server_->borrow_capability(caps[i].cap);
     serve[i] = server_->verifier_.verify(caps[i]) ? 1 : 0;
+  }
+  return run_batch(raw, serve, /*checked=*/true, metrics);
+}
+
+std::vector<std::vector<std::string>> SearchEngine::search_batch_signed(
+    std::span<const SignedQuery> queries, BatchMetrics* metrics) const {
+  const SearchBackend& backend = server_->backend();
+  std::vector<AnyQuery> raw(queries.size());
+  std::vector<char> serve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    raw[i] = queries[i].query;
+    serve[i] = server_->verifier_.verify(backend, queries[i]) ? 1 : 0;
   }
   return run_batch(raw, serve, /*checked=*/true, metrics);
 }
 
 std::vector<std::vector<std::string>> SearchEngine::search_batch_unchecked(
     std::span<const Capability> caps, BatchMetrics* metrics) const {
-  std::vector<const Capability*> raw(caps.size());
+  std::vector<AnyQuery> raw(caps.size());
   const std::vector<char> serve(caps.size(), 1);
-  for (std::size_t i = 0; i < caps.size(); ++i) raw[i] = &caps[i];
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    raw[i] = server_->borrow_capability(caps[i]);
+  }
   return run_batch(raw, serve, /*checked=*/false, metrics);
+}
+
+std::vector<std::vector<std::string>> SearchEngine::search_batch_unchecked_any(
+    std::span<const AnyQuery> queries, BatchMetrics* metrics) const {
+  const std::vector<char> serve(queries.size(), 1);
+  return run_batch(queries, serve, /*checked=*/false, metrics);
 }
 
 std::vector<std::string> SearchEngine::search(const SignedCapability& cap,
@@ -70,33 +90,33 @@ std::vector<std::string> SearchEngine::search(const SignedCapability& cap,
 }
 
 std::vector<std::vector<std::string>> SearchEngine::run_batch(
-    std::span<const Capability* const> caps, std::span<const char> serve,
+    std::span<const AnyQuery> queries, std::span<const char> serve,
     bool checked, BatchMetrics* metrics) const {
-  const Apks& scheme = server_->scheme();
-  const Pairing& pairing = scheme.hpe().pairing();
+  const SearchBackend& backend = server_->backend();
+  const Pairing& pairing = backend.pairing();
 
   BatchMetrics bm;
-  bm.queries = caps.size();
-  bm.per_query.resize(caps.size());
+  bm.queries = queries.size();
+  bm.per_query.resize(queries.size());
   const auto batch_t0 = Clock::now();
   const PairingOpCounts batch_c0 = pairing.op_counts();
 
-  // --- Phase 1: per-capability preprocessing through the LRU cache. ------
-  std::vector<std::shared_ptr<const PreparedCapability>> prepared(caps.size());
+  // --- Phase 1: per-query preprocessing through the LRU cache. -----------
+  std::vector<AnyPrepared> prepared(queries.size());
   std::vector<std::size_t> active;  // indices of queries that will scan
-  active.reserve(caps.size());
-  for (std::size_t i = 0; i < caps.size(); ++i) {
+  active.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
     ServerMetrics& m = bm.per_query[i];
     m.authorized = checked && serve[i] != 0;
     if (serve[i] == 0) continue;  // rejected: never prepared, never scanned
     const auto t0 = Clock::now();
     const PairingOpCounts c0 = pairing.op_counts();
-    const CapabilityDigest digest = capability_digest(pairing, *caps[i]);
-    auto entry = cache_.get(digest);
-    if (entry != nullptr) {
+    const QueryDigest digest = backend.digest(queries[i]);
+    AnyPrepared entry = cache_.get(digest);
+    if (!entry.empty()) {
       m.cache_hit = true;
     } else {
-      entry = cache_.put(digest, scheme.prepare(*caps[i]));
+      entry = cache_.put(digest, backend.prepare(queries[i]));
       m.prepare_calls = 1;
     }
     prepared[i] = std::move(entry);
@@ -106,7 +126,7 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
   }
 
   // --- Phase 2: one blocked pass over the store for the whole batch. -----
-  std::vector<std::vector<std::string>> results(caps.size());
+  std::vector<std::vector<std::string>> results(queries.size());
   if (!active.empty()) {
     std::shared_lock lock(server_->mutex_);
     const auto& records = server_->records_;
@@ -121,10 +141,9 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
       const std::size_t lo = b * block;
       const std::size_t hi = std::min(n, lo + block);
       for (std::size_t r = lo; r < hi; ++r) {
-        const EncryptedIndex& index = records[r].index;
+        const AnyIndex& index = records[r].index;
         for (std::size_t q = 0; q < active.size(); ++q) {
-          hits[q][r] =
-              scheme.search_prepared(*prepared[active[q]], index) ? 1 : 0;
+          hits[q][r] = backend.match(prepared[active[q]], index) ? 1 : 0;
         }
       }
     };

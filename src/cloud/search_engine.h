@@ -4,16 +4,21 @@
 // The paper's search protocol is a per-capability linear scan (Sec. 5.2,
 // Fig. 6); under many concurrent users the server should amortize that scan
 // across queries instead of repeating it per query. SearchEngine serves a
-// batch of Q signed capabilities over a SINGLE pass of the record store:
+// batch of Q signed queries over a SINGLE pass of the record store:
 //
 //   1. verify all authority signatures up front (unauthorized queries are
 //      never scanned),
-//   2. preprocess each capability once (Apks::prepare), consulting an LRU
-//      cache keyed by the capability digest so repeated identical
-//      capabilities — the hot-key case — skip preprocessing entirely,
+//   2. preprocess each query once (SearchBackend::prepare), consulting an
+//      LRU cache keyed by the backend's query digest so repeated identical
+//      queries — the hot-key case — skip preprocessing entirely,
 //   3. scan records in blocks, evaluating every query against a block
 //      while it is cache-hot, with a work-stealing pool of worker threads
 //      shared across all queries of the batch.
+//
+// The engine is scheme-agnostic: it drives the server's SearchBackend, so
+// APKS, APKS+ and MRQED^D batches all flow through this identical path
+// (which is what makes the cross-scheme comparison honest). The
+// Capability-typed entry points are thin wrappers for APKS-family servers.
 //
 // Results are per query, in record order, and bit-identical to Q
 // independent CloudServer::search calls. ServerMetrics extends the plain
@@ -53,13 +58,13 @@ struct ServerMetrics {
 struct BatchMetrics {
   std::size_t queries = 0;
   std::size_t authorized = 0;
-  std::size_t prepare_calls = 0;  // cache misses that ran Apks::prepare
+  std::size_t prepare_calls = 0;  // cache misses that ran prepare
   std::size_t cache_hits = 0;
   std::size_t records = 0;  // store size at scan time
   std::size_t threads = 0;  // workers actually used for the scan
   double wall_s = 0.0;
   PairingOpCounts ops;
-  std::vector<ServerMetrics> per_query;  // one entry per input capability
+  std::vector<ServerMetrics> per_query;  // one entry per input query
 };
 
 class SearchEngine {
@@ -68,9 +73,9 @@ class SearchEngine {
     // Scan worker threads; 0 = hardware concurrency.
     std::size_t threads = 0;
     // Records per work unit. Each block is evaluated against every query of
-    // the batch before moving on (one touch per EncryptedIndex per batch).
+    // the batch before moving on (one touch per encrypted index per batch).
     std::size_t block_records = 8;
-    // LRU capacity of the prepared-capability cache; 0 disables caching.
+    // LRU capacity of the prepared-query cache; 0 disables caching.
     std::size_t cache_capacity = 64;
   };
 
@@ -84,18 +89,30 @@ class SearchEngine {
   // Serve a batch: one result vector per capability, in record order,
   // identical to independent CloudServer::search calls. Unauthorized
   // capabilities yield an empty result with zero records scanned.
+  // Requires an APKS-family server backend.
   [[nodiscard]] std::vector<std::vector<std::string>> search_batch(
       std::span<const SignedCapability> caps,
+      BatchMetrics* metrics = nullptr) const;
+
+  // Scheme-agnostic batch: signatures are verified over the backend's
+  // query_message (identical acceptance to search_batch for APKS-family
+  // backends).
+  [[nodiscard]] std::vector<std::vector<std::string>> search_batch_signed(
+      std::span<const SignedQuery> queries,
       BatchMetrics* metrics = nullptr) const;
 
   // Single verified query through the same cache + scan machinery.
   [[nodiscard]] std::vector<std::string> search(
       const SignedCapability& cap, ServerMetrics* metrics = nullptr) const;
 
-  // Bench/CLI-only: serve raw capabilities, skipping the authorization
-  // layer. `authorized` stays false in the metrics (the layer never ran).
+  // Bench/CLI-only: serve raw capabilities/queries, skipping the
+  // authorization layer. `authorized` stays false in the metrics (the
+  // layer never ran).
   [[nodiscard]] std::vector<std::vector<std::string>> search_batch_unchecked(
       std::span<const Capability> caps, BatchMetrics* metrics = nullptr) const;
+  [[nodiscard]] std::vector<std::vector<std::string>>
+  search_batch_unchecked_any(std::span<const AnyQuery> queries,
+                             BatchMetrics* metrics = nullptr) const;
 
   // Lifetime cache counters (across all batches served by this engine).
   [[nodiscard]] std::size_t cache_hits() const { return cache_.hits(); }
@@ -104,13 +121,12 @@ class SearchEngine {
 
  private:
   [[nodiscard]] std::vector<std::vector<std::string>> run_batch(
-      std::span<const Capability* const> caps,
-      std::span<const char> authorized, bool checked,
-      BatchMetrics* metrics) const;
+      std::span<const AnyQuery> queries, std::span<const char> authorized,
+      bool checked, BatchMetrics* metrics) const;
 
   const CloudServer* server_;
   Options options_;
-  mutable PreparedCapabilityCache cache_;
+  mutable PreparedQueryCache cache_;
 };
 
 }  // namespace apks

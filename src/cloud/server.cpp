@@ -6,13 +6,64 @@
 
 namespace apks {
 
+namespace {
+
+[[nodiscard]] bool is_apks_family(SchemeKind kind) noexcept {
+  return kind == SchemeKind::kApks || kind == SchemeKind::kApksPlus;
+}
+
+void require_scheme_match(const SearchBackend& backend,
+                          const ShardedStore& store, const char* what) {
+  if (store.scheme() != backend.kind()) {
+    throw std::invalid_argument(
+        std::string(what) + ": store at " + store.dir().string() +
+        " holds '" + std::string(scheme_name(store.scheme())) +
+        "' records, server backend serves '" + std::string(backend.name()) +
+        "'");
+  }
+}
+
+}  // namespace
+
+const Apks& CloudServer::scheme() const {
+  const auto* apks = dynamic_cast<const ApksBackend*>(backend_);
+  if (apks == nullptr) {
+    throw std::logic_error("CloudServer::scheme: backend '" +
+                           std::string(backend_->name()) +
+                           "' is not APKS-family");
+  }
+  return apks->scheme();
+}
+
+AnyQuery CloudServer::borrow_capability(const Capability& cap) const {
+  if (!is_apks_family(backend_->kind())) {
+    throw std::invalid_argument(
+        "CloudServer: typed APKS capability on a '" +
+        std::string(backend_->name()) + "' backend");
+  }
+  return AnyQuery::ref(backend_->kind(), &cap);
+}
+
 std::uint64_t CloudServer::store(EncryptedIndex index, std::string doc_ref) {
+  if (!is_apks_family(backend_->kind())) {
+    throw std::invalid_argument("CloudServer: typed APKS index on a '" +
+                                std::string(backend_->name()) + "' backend");
+  }
+  return store_any(AnyIndex::own(backend_->kind(), std::move(index)),
+                   std::move(doc_ref));
+}
+
+std::uint64_t CloudServer::store_any(AnyIndex index, std::string doc_ref) {
+  // Ingest stage outside the lock: the proxy transformation chain (APKS+)
+  // and the admission check are pairing work, not record-store mutation.
+  index = backend_->ingest_transform(std::move(index));
+  backend_->validate_ingest(index);
   std::unique_lock lock(mutex_);
   std::uint64_t id;
   if (backing_ != nullptr) {
     // The store assigns the id so the on-disk sequence stays authoritative
     // across restarts; persist before the record becomes searchable.
-    id = backing_->append(doc_ref, index);
+    id = backing_->append_any(doc_ref, index);
     next_id_ = id + 1;
   } else {
     id = next_id_++;
@@ -22,6 +73,9 @@ std::uint64_t CloudServer::store(EncryptedIndex index, std::string doc_ref) {
 }
 
 void CloudServer::attach_store(ShardedStore* store) {
+  if (store != nullptr) {
+    require_scheme_match(*backend_, *store, "CloudServer::attach_store");
+  }
   std::unique_lock lock(mutex_);
   backing_ = store;
   if (store != nullptr) {
@@ -31,6 +85,22 @@ void CloudServer::attach_store(ShardedStore* store) {
 
 void CloudServer::restore(std::uint64_t id, EncryptedIndex index,
                           std::string doc_ref) {
+  if (!is_apks_family(backend_->kind())) {
+    throw std::invalid_argument("CloudServer: typed APKS index on a '" +
+                                std::string(backend_->name()) + "' backend");
+  }
+  restore_any(id, AnyIndex::own(backend_->kind(), std::move(index)),
+              std::move(doc_ref));
+}
+
+void CloudServer::restore_any(std::uint64_t id, AnyIndex index,
+                              std::string doc_ref) {
+  if (index.kind() != backend_->kind()) {
+    throw std::invalid_argument(
+        "CloudServer::restore: record of scheme '" +
+        std::string(scheme_name(index.kind())) + "' on a '" +
+        std::string(backend_->name()) + "' backend");
+  }
   std::unique_lock lock(mutex_);
   if (!records_.empty() && records_.back().id >= id) {
     throw std::invalid_argument(
@@ -41,11 +111,12 @@ void CloudServer::restore(std::uint64_t id, EncryptedIndex index,
 }
 
 std::size_t CloudServer::load_from(ShardedStore& store) {
-  std::vector<StoredIndexRecord> loaded = store.load_all();
+  require_scheme_match(*backend_, store, "CloudServer::load_from");
+  std::vector<StoredAnyRecord> loaded = store.load_all_any();
   std::unique_lock lock(mutex_);
   records_.clear();
   records_.reserve(loaded.size());
-  for (StoredIndexRecord& rec : loaded) {
+  for (StoredAnyRecord& rec : loaded) {
     records_.push_back(
         {rec.id, std::move(rec.doc_ref), std::move(rec.index)});
     next_id_ = std::max(next_id_, rec.id + 1);
@@ -59,7 +130,16 @@ std::vector<std::string> CloudServer::search(const SignedCapability& cap,
   if (!verifier_.verify(cap)) return {};
   if (stats != nullptr) stats->authorized = true;
   std::shared_lock lock(mutex_);
-  return scan_locked(cap.cap, stats);
+  return scan_locked(borrow_capability(cap.cap), stats);
+}
+
+std::vector<std::string> CloudServer::search_signed(const SignedQuery& query,
+                                                    SearchStats* stats) const {
+  if (stats != nullptr) *stats = SearchStats{};
+  if (!verifier_.verify(*backend_, query)) return {};
+  if (stats != nullptr) stats->authorized = true;
+  std::shared_lock lock(mutex_);
+  return scan_locked(query.query, stats);
 }
 
 std::vector<std::string> CloudServer::search_parallel(
@@ -69,30 +149,42 @@ std::vector<std::string> CloudServer::search_parallel(
   if (!verifier_.verify(cap)) return {};
   if (stats != nullptr) stats->authorized = true;
   std::shared_lock lock(mutex_);
-  return scan_parallel_locked(cap.cap, threads, stats);
+  return scan_parallel_locked(borrow_capability(cap.cap), threads, stats);
 }
 
 std::vector<std::string> CloudServer::search_unchecked(
     const Capability& cap, SearchStats* stats) const {
   std::shared_lock lock(mutex_);
-  return scan_locked(cap, stats);
+  return scan_locked(borrow_capability(cap), stats);
+}
+
+std::vector<std::string> CloudServer::search_unchecked_any(
+    const AnyQuery& query, SearchStats* stats) const {
+  std::shared_lock lock(mutex_);
+  return scan_locked(query, stats);
 }
 
 std::vector<std::string> CloudServer::search_parallel_unchecked(
     const Capability& cap, std::size_t threads, SearchStats* stats) const {
   std::shared_lock lock(mutex_);
-  return scan_parallel_locked(cap, threads, stats);
+  return scan_parallel_locked(borrow_capability(cap), threads, stats);
 }
 
-std::vector<std::string> CloudServer::scan_locked(const Capability& cap,
+std::vector<std::string> CloudServer::search_parallel_unchecked_any(
+    const AnyQuery& query, std::size_t threads, SearchStats* stats) const {
+  std::shared_lock lock(mutex_);
+  return scan_parallel_locked(query, threads, stats);
+}
+
+std::vector<std::string> CloudServer::scan_locked(const AnyQuery& query,
                                                   SearchStats* stats) const {
   std::size_t scanned = 0;
   std::size_t matched = 0;
-  const PreparedCapability prepared = scheme_->prepare(cap);
+  const AnyPrepared prepared = backend_->prepare(query);
   std::vector<std::string> matches;
   for (const auto& record : records_) {
     ++scanned;
-    if (scheme_->search_prepared(prepared, record.index)) {
+    if (backend_->match(prepared, record.index)) {
       ++matched;
       matches.push_back(record.doc_ref);
     }
@@ -105,21 +197,21 @@ std::vector<std::string> CloudServer::scan_locked(const Capability& cap,
 }
 
 std::vector<std::string> CloudServer::scan_parallel_locked(
-    const Capability& cap, std::size_t threads, SearchStats* stats) const {
+    const AnyQuery& query, std::size_t threads, SearchStats* stats) const {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   threads = std::min(threads, std::max<std::size_t>(1, records_.size()));
-  if (threads <= 1) return scan_locked(cap, stats);
+  if (threads <= 1) return scan_locked(query, stats);
 
-  const PreparedCapability prepared = scheme_->prepare(cap);
+  const AnyPrepared prepared = backend_->prepare(query);
   std::vector<char> hit(records_.size(), 0);
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= records_.size()) return;
-      hit[i] = scheme_->search_prepared(prepared, records_[i].index) ? 1 : 0;
+      hit[i] = backend_->match(prepared, records_[i].index) ? 1 : 0;
     }
   };
   std::vector<std::thread> pool;

@@ -1,10 +1,17 @@
 // The honest-but-curious cloud server of the system model (Fig. 1 / Fig. 6).
 //
 // Stores encrypted indexes contributed by multiple owners and serves
-// searches: it verifies the capability's authority signature, preprocesses
-// the capability's pairing argument once, then scans the whole database
-// (searchable encryption reveals nothing that would allow sub-linear
-// filtering). Returns the document references of matching records.
+// searches: it verifies the query's authority signature, preprocesses the
+// query's pairing argument once, then scans the whole database (searchable
+// encryption reveals nothing that would allow sub-linear filtering).
+// Returns the document references of matching records.
+//
+// The server is scheme-agnostic: all crypto goes through a SearchBackend
+// (core/backend.h), so the same store -> prepare -> match -> stats path
+// serves APKS, APKS+ (whose proxy transformation chain rides the backend's
+// ingest hooks) and the MRQED^D comparison baseline. The APKS-typed entry
+// points below are thin wrappers kept for the basic deployment and the
+// existing tests/benches; they require an APKS-family backend.
 //
 // Concurrency contract: `store` is a writer and may run concurrently with
 // any number of searches — the record store is guarded by a shared_mutex
@@ -16,16 +23,19 @@
 // authority-signature check carries "unchecked" in its name. The unchecked
 // variants exist for benchmarks (timing the cryptographic scan in
 // isolation) and for deployments that check authorization out of band —
-// production callers use the SignedCapability overloads.
+// production callers use the SignedCapability/SignedQuery overloads.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "auth/authority.h"
 #include "core/apks.h"
+#include "core/apks_backend.h"
+#include "core/backend.h"
 #include "store/sharded_store.h"
 
 namespace apks {
@@ -37,7 +47,7 @@ class CloudServer {
   struct Record {
     std::uint64_t id;
     std::string doc_ref;  // opaque handle to the (separately encrypted) docs
-    EncryptedIndex index;
+    AnyIndex index;
   };
 
   // Layered stats: the authorization layer owns `authorized`; the scan
@@ -48,39 +58,63 @@ class CloudServer {
     std::size_t matched = 0;
   };
 
+  // Basic-APKS deployment: the server owns an ApksBackend over `scheme`.
+  // (Also accepts an ApksPlus passed as its Apks base — that preserves the
+  // pre-backend behaviour where the server applies no ingest validation;
+  // deployments that want the APKS+ ingest hooks construct an
+  // ApksPlusBackend and use the backend ctor.)
   CloudServer(const Apks& scheme, CapabilityVerifier verifier)
-      : scheme_(&scheme), verifier_(std::move(verifier)) {}
+      : owned_backend_(std::make_unique<ApksBackend>(scheme)),
+        backend_(owned_backend_.get()),
+        verifier_(std::move(verifier)) {}
 
-  // Owner upload. Returns the record id. Safe to call concurrently with
-  // searches (exclusive lock; a running scan finishes on its snapshot).
-  // With a persistent store attached (attach_store), the record is also
-  // appended to disk under the same id before the call returns.
+  // Scheme-agnostic deployment; the backend must outlive the server.
+  CloudServer(const SearchBackend& backend, CapabilityVerifier verifier)
+      : backend_(&backend), verifier_(std::move(verifier)) {}
+
+  // Owner upload. Runs the backend's ingest stage (ingest_transform, then
+  // validate_ingest — which throws to refuse the record) and returns the
+  // record id. Safe to call concurrently with searches (exclusive lock; a
+  // running scan finishes on its snapshot). With a persistent store
+  // attached (attach_store), the record is also appended to disk under the
+  // same id before the call returns.
   std::uint64_t store(EncryptedIndex index, std::string doc_ref);
+  std::uint64_t store_any(AnyIndex index, std::string doc_ref);
 
   // Attaches a persistent backing store: subsequent store() calls write
   // through to it, and record ids are drawn from its id counter so a
-  // restarted server continues the same id sequence. Pass nullptr to
-  // detach. Not thread-safe against concurrent store()/search() — call
-  // during setup. The store must outlive the server (or be detached).
+  // restarted server continues the same id sequence. The store's scheme
+  // tag must match the backend's. Pass nullptr to detach. Not thread-safe
+  // against concurrent store()/search() — call during setup. The store
+  // must outlive the server (or be detached).
   void attach_store(ShardedStore* store);
 
   // Replaces the in-memory record set with the store's contents (ascending
   // id — the original upload order), so a restarted server serves
   // byte-identical results to the server that originally populated the
-  // store. Returns the number of records loaded.
+  // store. The store's scheme tag must match the backend's. Returns the
+  // number of records loaded. Persisted records were validated at original
+  // ingest, so the ingest hooks do not run again here.
   std::size_t load_from(ShardedStore& store);
 
   // Reinserts a single persisted record under its original id (records
   // must arrive in ascending-id order to preserve the scan order
-  // contract; load_from does this for you).
+  // contract; load_from does this for you). Skips the ingest hooks, like
+  // load_from.
   void restore(std::uint64_t id, EncryptedIndex index, std::string doc_ref);
+  void restore_any(std::uint64_t id, AnyIndex index, std::string doc_ref);
 
   [[nodiscard]] std::size_t record_count() const {
     std::shared_lock lock(mutex_);
     return records_.size();
   }
 
-  [[nodiscard]] const Apks& scheme() const noexcept { return *scheme_; }
+  [[nodiscard]] const SearchBackend& backend() const noexcept {
+    return *backend_;
+  }
+  // The APKS scheme behind an APKS-family backend; throws std::logic_error
+  // for other backends (MRQED has no Apks).
+  [[nodiscard]] const Apks& scheme() const;
   [[nodiscard]] const CapabilityVerifier& verifier() const noexcept {
     return verifier_;
   }
@@ -92,6 +126,12 @@ class CloudServer {
                                                 SearchStats* stats = nullptr)
       const;
 
+  // Scheme-agnostic full protocol: the signature is verified over the
+  // backend's query_message (identical bytes to the SignedCapability path
+  // for APKS-family backends).
+  [[nodiscard]] std::vector<std::string> search_signed(
+      const SignedQuery& query, SearchStats* stats = nullptr) const;
+
   // Verified parallel scan across `threads` workers (the paper notes the
   // linear scan parallelizes trivially across server cores). threads == 0
   // uses the hardware concurrency. Results are in record order regardless
@@ -100,26 +140,36 @@ class CloudServer {
       const SignedCapability& cap, std::size_t threads,
       SearchStats* stats = nullptr) const;
 
-  // Bench-only: search with a raw capability, skipping the authorization
-  // layer entirely. Fills only the scan-layer stats fields.
+  // Bench-only: search with a raw capability/query, skipping the
+  // authorization layer entirely. Fills only the scan-layer stats fields.
   [[nodiscard]] std::vector<std::string> search_unchecked(
       const Capability& cap, SearchStats* stats = nullptr) const;
+  [[nodiscard]] std::vector<std::string> search_unchecked_any(
+      const AnyQuery& query, SearchStats* stats = nullptr) const;
 
-  // Bench-only parallel variant of search_unchecked.
+  // Bench-only parallel variants.
   [[nodiscard]] std::vector<std::string> search_parallel_unchecked(
       const Capability& cap, std::size_t threads,
+      SearchStats* stats = nullptr) const;
+  [[nodiscard]] std::vector<std::string> search_parallel_unchecked_any(
+      const AnyQuery& query, std::size_t threads,
       SearchStats* stats = nullptr) const;
 
  private:
   friend class SearchEngine;  // scans records_ under mutex_ directly
 
+  // Wraps a typed APKS capability for the scan path; throws for non-APKS
+  // backends. The returned handle borrows `cap` — scan-call lifetime only.
+  [[nodiscard]] AnyQuery borrow_capability(const Capability& cap) const;
+
   // Scan body; caller must hold mutex_ (shared).
   [[nodiscard]] std::vector<std::string> scan_locked(
-      const Capability& cap, SearchStats* stats) const;
+      const AnyQuery& query, SearchStats* stats) const;
   [[nodiscard]] std::vector<std::string> scan_parallel_locked(
-      const Capability& cap, std::size_t threads, SearchStats* stats) const;
+      const AnyQuery& query, std::size_t threads, SearchStats* stats) const;
 
-  const Apks* scheme_;
+  std::unique_ptr<ApksBackend> owned_backend_;  // legacy-ctor ownership
+  const SearchBackend* backend_;
   CapabilityVerifier verifier_;
   mutable std::shared_mutex mutex_;
   std::vector<Record> records_;

@@ -1,0 +1,84 @@
+#include "core/apks_backend.h"
+
+#include <stdexcept>
+
+#include "core/capability_digest.h"
+#include "core/serialize_apks.h"
+#include "hpe/serialize.h"
+
+namespace apks {
+
+std::vector<std::uint8_t> ApksBackend::encode_index(
+    const AnyIndex& index) const {
+  require_index(index);
+  return serialize_index(pairing(), index.as<EncryptedIndex>());
+}
+
+AnyIndex ApksBackend::decode_index(std::span<const std::uint8_t> data) const {
+  return AnyIndex::own(kind(), deserialize_index(pairing(), data));
+}
+
+std::vector<std::uint8_t> ApksBackend::encode_query(
+    const AnyQuery& query) const {
+  require_query(query);
+  return serialize_capability(pairing(), query.as<Capability>());
+}
+
+AnyQuery ApksBackend::decode_query(std::span<const std::uint8_t> data) const {
+  return AnyQuery::own(kind(), deserialize_capability(pairing(), data));
+}
+
+QueryDigest ApksBackend::digest(const AnyQuery& query) const {
+  require_query(query);
+  return capability_digest(pairing(), query.as<Capability>());
+}
+
+AnyPrepared ApksBackend::prepare(const AnyQuery& query) const {
+  require_query(query);
+  return AnyPrepared::own(kind(), scheme_->prepare(query.as<Capability>()));
+}
+
+bool ApksBackend::match(const AnyPrepared& prepared,
+                        const AnyIndex& index) const {
+  require_prepared(prepared);
+  require_index(index);
+  return scheme_->search_prepared(prepared.as<PreparedCapability>(),
+                                  index.as<EncryptedIndex>());
+}
+
+std::vector<std::uint8_t> ApksBackend::query_message(
+    const AnyQuery& query, const std::string& issuer) const {
+  require_query(query);
+  // Byte-identical to capability_message (auth/authority.h) so signatures
+  // issued through the typed authority API verify through this path too.
+  ByteWriter w;
+  w.bytes(serialize_key(pairing(), query.as<Capability>().key));
+  w.str(issuer);
+  return w.take();
+}
+
+AnyIndex ApksPlusBackend::ingest_transform(AnyIndex index) const {
+  require_index(index);
+  if (!ingest_stage_) return index;
+  return AnyIndex::own(kind(), ingest_stage_(index.as<EncryptedIndex>()));
+}
+
+void ApksPlusBackend::validate_ingest(const AnyIndex& index) const {
+  require_index(index);
+  if (!has_canary_) return;
+  if (!scheme().search_prepared(canary_, index.as<EncryptedIndex>())) {
+    throw std::invalid_argument(
+        "apks+: rejecting partial (untransformed) index at ingest — the "
+        "ciphertext does not decrypt under the blinded basis, which is the "
+        "signature of an owner upload that skipped the proxy chain (or of "
+        "a dictionary-attack forgery from pk alone)");
+  }
+}
+
+Query make_canary_query(const Schema& schema) {
+  Query q;
+  q.terms.assign(schema.original_dims(), QueryTerm::any());
+  return q;
+}
+
+}  // namespace apks

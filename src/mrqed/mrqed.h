@@ -64,6 +64,7 @@ class Mrqed {
   Mrqed(const Pairing& pairing, std::size_t dims, std::size_t depth);
 
   [[nodiscard]] std::size_t dims() const noexcept { return dims_; }
+  [[nodiscard]] const Pairing& pairing() const noexcept { return *e_; }
   [[nodiscard]] const IntervalTree& tree() const noexcept { return tree_; }
   // The paper's comparison parameter: n ~ D * (depth + 1) path nodes.
   [[nodiscard]] std::size_t path_nodes_total() const noexcept {

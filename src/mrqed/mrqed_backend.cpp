@@ -1,0 +1,60 @@
+#include "mrqed/mrqed_backend.h"
+
+#include "common/bytes.h"
+#include "mrqed/serialize.h"
+
+namespace apks {
+
+std::vector<std::uint8_t> MrqedBackend::encode_index(
+    const AnyIndex& index) const {
+  require_index(index);
+  return serialize_mrqed_ciphertext(pairing(), index.as<MrqedCiphertext>());
+}
+
+AnyIndex MrqedBackend::decode_index(std::span<const std::uint8_t> data) const {
+  return AnyIndex::own(kind(), deserialize_mrqed_ciphertext(pairing(), data));
+}
+
+std::vector<std::uint8_t> MrqedBackend::encode_query(
+    const AnyQuery& query) const {
+  require_query(query);
+  return serialize_mrqed_key(pairing(), query.as<MrqedKey>());
+}
+
+AnyQuery MrqedBackend::decode_query(std::span<const std::uint8_t> data) const {
+  return AnyQuery::own(kind(), deserialize_mrqed_key(pairing(), data));
+}
+
+QueryDigest MrqedBackend::digest(const AnyQuery& query) const {
+  require_query(query);
+  // Same contract as the APKS capability digest: equal iff the wire-format
+  // keys are byte-identical, so a reused range key hits the prepared cache.
+  return Sha256::hash(std::span<const std::uint8_t>(
+      serialize_mrqed_key(pairing(), query.as<MrqedKey>())));
+}
+
+AnyPrepared MrqedBackend::prepare(const AnyQuery& query) const {
+  require_query(query);
+  return AnyPrepared::own(kind(), scheme_->prepare(query.as<MrqedKey>()));
+}
+
+bool MrqedBackend::match(const AnyPrepared& prepared,
+                         const AnyIndex& index) const {
+  require_prepared(prepared);
+  require_index(index);
+  return scheme_->match_prepared(index.as<MrqedCiphertext>(),
+                                 prepared.as<Mrqed::PreparedKey>());
+}
+
+std::vector<std::uint8_t> MrqedBackend::query_message(
+    const AnyQuery& query, const std::string& issuer) const {
+  require_query(query);
+  // Same layout as the APKS capability_message: wire key bytes, then the
+  // issuer name, so one verifier serves every scheme.
+  ByteWriter w;
+  w.bytes(serialize_mrqed_key(pairing(), query.as<MrqedKey>()));
+  w.str(issuer);
+  return w.take();
+}
+
+}  // namespace apks

@@ -178,4 +178,28 @@ MrqedPublicKey deserialize_mrqed_public_key(
   return pk;
 }
 
+std::vector<std::uint8_t> serialize_mrqed_master_key(
+    const Pairing& e, const MrqedMasterKey& msk) {
+  ByteWriter w;
+  for (const auto* s : {&msk.aibe.w, &msk.aibe.t1, &msk.aibe.t2,
+                        &msk.aibe.t3, &msk.aibe.t4}) {
+    write_fq(e.fq(), *s, w);
+  }
+  return w.take();
+}
+
+MrqedMasterKey deserialize_mrqed_master_key(
+    const Pairing& e, std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  MrqedMasterKey msk;
+  for (auto* s : {&msk.aibe.w, &msk.aibe.t1, &msk.aibe.t2, &msk.aibe.t3,
+                  &msk.aibe.t4}) {
+    *s = read_fq(e.fq(), r);
+  }
+  if (!r.done()) {
+    throw std::invalid_argument("mrqed master key: trailing bytes");
+  }
+  return msk;
+}
+
 }  // namespace apks

@@ -22,4 +22,9 @@ namespace apks {
 [[nodiscard]] MrqedPublicKey deserialize_mrqed_public_key(
     const Pairing& e, std::span<const std::uint8_t> data);
 
+[[nodiscard]] std::vector<std::uint8_t> serialize_mrqed_master_key(
+    const Pairing& e, const MrqedMasterKey& msk);
+[[nodiscard]] MrqedMasterKey deserialize_mrqed_master_key(
+    const Pairing& e, std::span<const std::uint8_t> data);
+
 }  // namespace apks

@@ -15,7 +15,22 @@ namespace apks {
 namespace {
 
 constexpr char kManifestMagic[8] = {'A', 'P', 'K', 'S', 'M', 'A', 'N', '1'};
-constexpr std::uint32_t kManifestVersion = 1;
+// Version 1: no scheme tag (every record is basic-APKS serialize_index).
+// Version 2: adds one scheme byte (SchemeKind) after the shard id.
+constexpr std::uint32_t kManifestVersionLegacy = 1;
+constexpr std::uint32_t kManifestVersion = 2;
+
+SchemeKind decode_scheme_byte(std::uint8_t raw, const std::string& what) {
+  switch (raw) {
+    case static_cast<std::uint8_t>(SchemeKind::kApks):
+    case static_cast<std::uint8_t>(SchemeKind::kApksPlus):
+    case static_cast<std::uint8_t>(SchemeKind::kMrqed):
+      return static_cast<SchemeKind>(raw);
+    default:
+      throw std::runtime_error(what + ": unknown scheme tag " +
+                               std::to_string(raw));
+  }
+}
 
 std::vector<std::uint8_t> read_whole_file(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
@@ -29,8 +44,11 @@ std::vector<std::uint8_t> read_whole_file(const std::filesystem::path& path) {
 }  // namespace
 
 IndexStore::IndexStore(std::filesystem::path dir, std::uint32_t shard_id,
-                       IndexStoreOptions options)
-    : dir_(std::move(dir)), shard_id_(shard_id), options_(options) {
+                       IndexStoreOptions options, SchemeKind scheme)
+    : dir_(std::move(dir)),
+      shard_id_(shard_id),
+      scheme_(scheme),
+      options_(options) {
   std::filesystem::create_directories(dir_);
   const std::filesystem::path manifest = dir_ / "MANIFEST";
   if (!std::filesystem::exists(manifest)) {
@@ -58,6 +76,7 @@ void IndexStore::write_manifest() const {
       sizeof(kManifestMagic)));
   w.u32(kManifestVersion);
   w.u32(shard_id_);
+  w.u8(static_cast<std::uint8_t>(scheme_));
   w.u64(active_->info().seq);
   w.u64(next_seq_);
   w.u32(static_cast<std::uint32_t>(sealed_.size()));
@@ -104,11 +123,24 @@ void IndexStore::load_manifest() {
     throw std::runtime_error("manifest checksum mismatch: " +
                              (dir_ / "MANIFEST").string());
   }
-  if (r.u32() != kManifestVersion) {
+  const std::uint32_t version = r.u32();
+  if (version != kManifestVersionLegacy && version != kManifestVersion) {
     throw std::runtime_error("unsupported manifest version");
   }
   if (r.u32() != shard_id_) {
     throw std::runtime_error("manifest shard id mismatch");
+  }
+  // Pre-tag manifests predate every non-basic scheme: they can only hold
+  // basic-APKS records, so they load as SchemeKind::kApks.
+  const SchemeKind on_disk =
+      version == kManifestVersionLegacy
+          ? SchemeKind::kApks
+          : decode_scheme_byte(r.u8(), "manifest " + dir_.string());
+  if (on_disk != scheme_) {
+    throw std::runtime_error(
+        "scheme mismatch: shard at " + dir_.string() + " holds '" +
+        std::string(scheme_name(on_disk)) + "' records, opened as '" +
+        std::string(scheme_name(scheme_)) + "'");
   }
   const std::uint64_t active_seq = r.u64();
   next_seq_ = r.u64();

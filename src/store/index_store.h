@@ -31,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/backend.h"
 #include "store/segment.h"
 
 namespace apks {
@@ -56,9 +57,13 @@ class IndexStore {
  public:
   // Opens (creating the directory, first segment and manifest if absent)
   // and runs crash recovery. `shard_id` is stamped into segment headers and
-  // cross-checked against existing files.
+  // cross-checked against existing files. `scheme` is stamped into the
+  // manifest (v2) so a shard ingested under one scheme's codec is refused
+  // by another; version-1 manifests (written before the tag existed) load
+  // as legacy basic APKS.
   IndexStore(std::filesystem::path dir, std::uint32_t shard_id,
-             IndexStoreOptions options = {});
+             IndexStoreOptions options = {},
+             SchemeKind scheme = SchemeKind::kApks);
 
   IndexStore(IndexStore&&) = default;
   IndexStore& operator=(IndexStore&&) = default;
@@ -90,6 +95,7 @@ class IndexStore {
   [[nodiscard]] const RecoveryStats& recovery() const noexcept {
     return recovery_;
   }
+  [[nodiscard]] SchemeKind scheme() const noexcept { return scheme_; }
   [[nodiscard]] const std::filesystem::path& dir() const noexcept {
     return dir_;
   }
@@ -108,6 +114,7 @@ class IndexStore {
 
   std::filesystem::path dir_;
   std::uint32_t shard_id_ = 0;
+  SchemeKind scheme_ = SchemeKind::kApks;
   IndexStoreOptions options_;
   std::vector<SealedSegment> sealed_;
   std::uint64_t next_seq_ = 1;  // sequence number for the *next* rotation

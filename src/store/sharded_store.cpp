@@ -17,7 +17,10 @@ namespace apks {
 namespace {
 
 constexpr char kStoreMagic[8] = {'A', 'P', 'K', 'S', 'S', 'T', 'R', '1'};
-constexpr std::uint32_t kStoreVersion = 1;
+// Version 1: no scheme tag (every record is basic-APKS serialize_index).
+// Version 2: adds one scheme byte (SchemeKind) after the shard count.
+constexpr std::uint32_t kStoreVersionLegacy = 1;
+constexpr std::uint32_t kStoreVersion = 2;
 
 std::filesystem::path shard_dir(const std::filesystem::path& dir,
                                 std::uint32_t shard) {
@@ -26,14 +29,15 @@ std::filesystem::path shard_dir(const std::filesystem::path& dir,
   return dir / name;
 }
 
-void write_store_meta(const std::filesystem::path& dir,
-                      std::uint32_t shards) {
+void write_store_meta(const std::filesystem::path& dir, std::uint32_t shards,
+                      SchemeKind scheme) {
   ByteWriter w;
   w.raw(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(kStoreMagic),
       sizeof(kStoreMagic)));
   w.u32(kStoreVersion);
   w.u32(shards);
+  w.u8(static_cast<std::uint8_t>(scheme));
   w.u32(crc32(w.data()));
   const std::filesystem::path tmp = dir / "STORE.tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
@@ -50,14 +54,21 @@ void write_store_meta(const std::filesystem::path& dir,
   sync_directory(dir);
 }
 
-std::uint32_t read_store_meta(const std::filesystem::path& dir) {
+struct StoreMeta {
+  std::uint32_t shards = 0;
+  SchemeKind scheme = SchemeKind::kApks;
+};
+
+StoreMeta read_store_meta(const std::filesystem::path& dir) {
   std::ifstream in(dir / "STORE", std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot open " + (dir / "STORE").string());
   }
   const std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(in),
                                        std::istreambuf_iterator<char>()};
-  if (data.size() != sizeof(kStoreMagic) + 12 ||
+  // v1: magic + version + shards + crc; v2 adds one scheme byte.
+  if ((data.size() != sizeof(kStoreMagic) + 12 &&
+       data.size() != sizeof(kStoreMagic) + 13) ||
       std::memcmp(data.data(), kStoreMagic, sizeof(kStoreMagic)) != 0) {
     throw std::runtime_error("not a store: " + dir.string());
   }
@@ -65,19 +76,37 @@ std::uint32_t read_store_meta(const std::filesystem::path& dir) {
   ByteReader r(body);
   (void)r.raw(sizeof(kStoreMagic));
   const std::uint32_t version = r.u32();
-  const std::uint32_t shards = r.u32();
+  StoreMeta meta;
+  meta.shards = r.u32();
   ByteReader crc_r(
       std::span<const std::uint8_t>(data.data() + data.size() - 4, 4));
   if (crc32(body) != crc_r.u32()) {
     throw std::runtime_error("store meta checksum mismatch: " + dir.string());
   }
-  if (version != kStoreVersion) {
+  if (version == kStoreVersionLegacy) {
+    // Pre-tag stores predate every non-basic scheme: legacy basic APKS.
+    if (!r.done()) {
+      throw std::runtime_error("store meta: trailing bytes");
+    }
+  } else if (version == kStoreVersion) {
+    const std::uint8_t raw = r.u8();
+    if (raw != static_cast<std::uint8_t>(SchemeKind::kApks) &&
+        raw != static_cast<std::uint8_t>(SchemeKind::kApksPlus) &&
+        raw != static_cast<std::uint8_t>(SchemeKind::kMrqed)) {
+      throw std::runtime_error("store meta: unknown scheme tag " +
+                               std::to_string(raw));
+    }
+    meta.scheme = static_cast<SchemeKind>(raw);
+    if (!r.done()) {
+      throw std::runtime_error("store meta: trailing bytes");
+    }
+  } else {
     throw std::runtime_error("unsupported store version");
   }
-  if (shards == 0 || shards > 4096) {
+  if (meta.shards == 0 || meta.shards > 4096) {
     throw std::runtime_error("store meta: implausible shard count");
   }
-  return shards;
+  return meta;
 }
 
 // Record payload header (everything except the encrypted index itself).
@@ -110,21 +139,39 @@ RecordHead decode_head(std::span<const std::uint8_t> payload) {
 
 ShardedStore::ShardedStore(const Pairing& e, std::filesystem::path dir,
                            ShardedStoreOptions options)
-    : pairing_(&e), dir_(std::move(dir)) {
+    : ShardedStore(e, nullptr, SchemeKind::kApks, std::move(dir), options) {}
+
+ShardedStore::ShardedStore(const SearchBackend& backend,
+                           std::filesystem::path dir,
+                           ShardedStoreOptions options)
+    : ShardedStore(backend.pairing(), &backend, backend.kind(),
+                   std::move(dir), options) {}
+
+ShardedStore::ShardedStore(const Pairing& e, const SearchBackend* backend,
+                           SchemeKind scheme, std::filesystem::path dir,
+                           ShardedStoreOptions options)
+    : pairing_(&e), backend_(backend), scheme_(scheme), dir_(std::move(dir)) {
   std::filesystem::create_directories(dir_);
   std::uint32_t shards = options.shards;
   if (std::filesystem::exists(dir_ / "STORE")) {
-    shards = read_store_meta(dir_);
+    const StoreMeta meta = read_store_meta(dir_);
+    if (meta.scheme != scheme_) {
+      throw std::invalid_argument(
+          "scheme mismatch: store at " + dir_.string() + " holds '" +
+          std::string(scheme_name(meta.scheme)) + "' records, opened as '" +
+          std::string(scheme_name(scheme_)) + "'");
+    }
+    shards = meta.shards;
   } else {
     if (shards == 0) {
       throw std::invalid_argument("ShardedStore: shard count must be > 0");
     }
-    write_store_meta(dir_, shards);
+    write_store_meta(dir_, shards, scheme_);
   }
   shards_.reserve(shards);
   for (std::uint32_t s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(
-        IndexStore(shard_dir(dir_, s), s, options.segment)));
+        IndexStore(shard_dir(dir_, s), s, options.segment, scheme_)));
   }
   // Seed the id counter past everything on disk. Replaying every frame
   // here also re-verifies every checksum of the store at open time.
@@ -137,18 +184,52 @@ ShardedStore::ShardedStore(const Pairing& e, std::filesystem::path dir,
   next_id_.store(max_id + 1, std::memory_order_relaxed);
 }
 
+void ShardedStore::require_apks_family(const char* what) const {
+  if (scheme_ == SchemeKind::kMrqed) {
+    throw std::invalid_argument(
+        std::string(what) + ": store holds '" +
+        std::string(scheme_name(scheme_)) +
+        "' records; use the scheme-agnostic (_any) API");
+  }
+}
+
+std::vector<std::uint8_t> ShardedStore::index_bytes(
+    const AnyIndex& index) const {
+  if (backend_ != nullptr) return backend_->encode_index(index);
+  // Legacy basic-APKS codec (identical bytes to what a backend-opened
+  // kApks store writes, so the two open modes interoperate).
+  if (index.kind() != SchemeKind::kApks) {
+    throw std::invalid_argument(
+        "legacy store given an index of scheme '" +
+        std::string(scheme_name(index.kind())) + "'");
+  }
+  return serialize_index(*pairing_, index.as<EncryptedIndex>());
+}
+
+AnyIndex ShardedStore::decode_index_bytes(
+    std::span<const std::uint8_t> data) const {
+  if (backend_ != nullptr) return backend_->decode_index(data);
+  return AnyIndex::own(SchemeKind::kApks, deserialize_index(*pairing_, data));
+}
+
 std::vector<std::uint8_t> ShardedStore::encode(
     std::uint64_t id, const std::string& doc_ref,
-    const EncryptedIndex& index) const {
+    const AnyIndex& index) const {
   ByteWriter w;
   w.u64(id);
   w.str(doc_ref);
-  w.bytes(serialize_index(*pairing_, index));
+  w.bytes(index_bytes(index));
   return w.take();
 }
 
 std::uint64_t ShardedStore::append(std::string doc_ref,
                                    const EncryptedIndex& index) {
+  require_apks_family("ShardedStore::append");
+  return append_any(std::move(doc_ref), AnyIndex::ref(scheme_, &index));
+}
+
+std::uint64_t ShardedStore::append_any(std::string doc_ref,
+                                       const AnyIndex& index) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   const std::vector<std::uint8_t> payload = encode(id, doc_ref, index);
   Shard& shard = shard_for(id);
@@ -159,6 +240,12 @@ std::uint64_t ShardedStore::append(std::string doc_ref,
 
 void ShardedStore::put(std::uint64_t id, const std::string& doc_ref,
                        const EncryptedIndex& index) {
+  require_apks_family("ShardedStore::put");
+  put_any(id, doc_ref, AnyIndex::ref(scheme_, &index));
+}
+
+void ShardedStore::put_any(std::uint64_t id, const std::string& doc_ref,
+                           const AnyIndex& index) {
   // Keep the counter strictly ahead so a later append never reuses `id`.
   std::uint64_t expected = next_id_.load(std::memory_order_relaxed);
   while (expected <= id && !next_id_.compare_exchange_weak(
@@ -186,6 +273,7 @@ void ShardedStore::sync() {
 
 void ShardedStore::for_each_record(
     const std::function<void(StoredIndexRecord&&)>& fn) {
+  require_apks_family("ShardedStore::for_each_record");
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mutex);
     shard->store.for_each([&](std::span<const std::uint8_t> payload) {
@@ -199,7 +287,23 @@ void ShardedStore::for_each_record(
   }
 }
 
+void ShardedStore::for_each_record_any(
+    const std::function<void(StoredAnyRecord&&)>& fn) {
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    shard->store.for_each([&](std::span<const std::uint8_t> payload) {
+      RecordHead head = decode_head(payload);
+      StoredAnyRecord rec;
+      rec.id = head.id;
+      rec.doc_ref = std::move(head.doc_ref);
+      rec.index = decode_index_bytes(head.index_bytes);
+      fn(std::move(rec));
+    });
+  }
+}
+
 std::vector<StoredIndexRecord> ShardedStore::load_all() {
+  require_apks_family("ShardedStore::load_all");
   std::vector<StoredIndexRecord> out;
   out.reserve(record_count());
   for_each_record([&](StoredIndexRecord&& rec) {
@@ -214,10 +318,98 @@ std::vector<StoredIndexRecord> ShardedStore::load_all() {
   return out;
 }
 
+std::vector<StoredAnyRecord> ShardedStore::load_all_any() {
+  std::vector<StoredAnyRecord> out;
+  out.reserve(record_count());
+  for_each_record_any([&](StoredAnyRecord&& rec) {
+    out.push_back(std::move(rec));
+  });
+  std::sort(out.begin(), out.end(),
+            [](const StoredAnyRecord& a, const StoredAnyRecord& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<std::string> ShardedStore::search_any(const AnyQuery& query,
+                                                  std::size_t threads,
+                                                  StoreScanStats* stats) {
+  if (backend_ == nullptr) {
+    throw std::logic_error(
+        "ShardedStore::search_any: store was opened without a backend");
+  }
+  const SearchBackend& backend = *backend_;
+  const AnyPrepared prepared = backend.prepare(query);
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, shards_.size());
+
+  struct ShardResult {
+    std::vector<std::pair<std::uint64_t, std::string>> matches;
+    std::size_t scanned = 0;
+  };
+  std::vector<ShardResult> results(shards_.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(threads);
+  auto worker = [&](std::size_t t) {
+    try {
+      for (;;) {
+        const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
+        if (s >= shards_.size()) return;
+        Shard& shard = *shards_[s];
+        std::shared_lock lock(shard.mutex);
+        shard.store.for_each([&](std::span<const std::uint8_t> payload) {
+          RecordHead head = decode_head(payload);
+          const AnyIndex index = backend.decode_index(head.index_bytes);
+          ++results[s].scanned;
+          if (backend.match(prepared, index)) {
+            results[s].matches.emplace_back(head.id,
+                                            std::move(head.doc_ref));
+          }
+        });
+      }
+    } catch (...) {
+      errors[t] = std::current_exception();
+    }
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& t : pool) t.join();
+  }
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  std::vector<std::pair<std::uint64_t, std::string>> merged;
+  std::size_t scanned = 0;
+  for (ShardResult& r : results) {
+    scanned += r.scanned;
+    merged.insert(merged.end(), std::make_move_iterator(r.matches.begin()),
+                  std::make_move_iterator(r.matches.end()));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (stats != nullptr) {
+    stats->scanned = scanned;
+    stats->matched = merged.size();
+  }
+  std::vector<std::string> refs;
+  refs.reserve(merged.size());
+  for (auto& [id, ref] : merged) refs.push_back(std::move(ref));
+  return refs;
+}
+
 std::vector<std::string> ShardedStore::search(const Apks& scheme,
                                               const Capability& cap,
                                               std::size_t threads,
                                               StoreScanStats* stats) {
+  require_apks_family("ShardedStore::search");
   const PreparedCapability prepared = scheme.prepare(cap);
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/apks.h"
+#include "core/backend.h"
 #include "store/index_store.h"
 
 namespace apks {
@@ -42,6 +43,14 @@ struct StoredIndexRecord {
   std::uint64_t id = 0;
   std::string doc_ref;
   EncryptedIndex index;
+};
+
+// Scheme-agnostic record view: the index stays behind the type-erased
+// handle its scheme's backend decoded it into.
+struct StoredAnyRecord {
+  std::uint64_t id = 0;
+  std::string doc_ref;
+  AnyIndex index;
 };
 
 struct ShardedStoreOptions {
@@ -58,29 +67,47 @@ struct StoreScanStats {
 
 class ShardedStore {
  public:
-  // Opens (creating if absent) and crash-recovers every shard.
+  // Opens (creating if absent) and crash-recovers every shard as a legacy
+  // basic-APKS store (serialize_index codec, SchemeKind::kApks tag).
   ShardedStore(const Pairing& e, std::filesystem::path dir,
+               ShardedStoreOptions options = {});
+
+  // Scheme-aware open: records are encoded/decoded through the backend's
+  // codec and the backend's SchemeKind is stamped into the STORE metadata
+  // (and each shard manifest). Opening an existing store whose tag differs
+  // from the backend's scheme throws — a store ingested under one scheme
+  // is refused, never silently mis-parsed, by another. Untagged stores
+  // (written before the tag existed) load as basic APKS. The backend must
+  // outlive the store.
+  ShardedStore(const SearchBackend& backend, std::filesystem::path dir,
                ShardedStoreOptions options = {});
 
   // Owner upload: assigns the next id, persists, returns the id.
   std::uint64_t append(std::string doc_ref, const EncryptedIndex& index);
+  std::uint64_t append_any(std::string doc_ref, const AnyIndex& index);
 
   // Write-through path for CloudServer: persist under a caller-chosen id
   // (the server's record id). Keeps the id counter ahead of `id`.
   void put(std::uint64_t id, const std::string& doc_ref,
            const EncryptedIndex& index);
+  void put_any(std::uint64_t id, const std::string& doc_ref,
+               const AnyIndex& index);
 
   void flush();  // all shards
   void sync();   // all shards (durability barrier)
 
   // Every committed record, decoded and k-way-merged into ascending-id
-  // (i.e. original upload) order.
+  // (i.e. original upload) order. The typed variant requires an
+  // APKS-family store (EncryptedIndex payloads).
   [[nodiscard]] std::vector<StoredIndexRecord> load_all();
+  [[nodiscard]] std::vector<StoredAnyRecord> load_all_any();
 
   // Streams records shard-by-shard (ascending id within a shard, shard
   // order unspecified) without materializing the whole store.
   void for_each_record(
       const std::function<void(StoredIndexRecord&&)>& fn);
+  void for_each_record_any(
+      const std::function<void(StoredAnyRecord&&)>& fn);
 
   // Linear scan directly over the on-disk segments, shard-parallel:
   // decodes and tests each record as it streams, never holding more than
@@ -89,6 +116,13 @@ class ShardedStore {
   // uses hardware concurrency (capped at the shard count).
   [[nodiscard]] std::vector<std::string> search(
       const Apks& scheme, const Capability& cap, std::size_t threads = 0,
+      StoreScanStats* stats = nullptr);
+
+  // Scheme-agnostic variant of the disk scan: prepares the query with the
+  // store's backend and matches each record as it streams. Requires the
+  // store to have been opened with a backend.
+  [[nodiscard]] std::vector<std::string> search_any(
+      const AnyQuery& query, std::size_t threads = 0,
       StoreScanStats* stats = nullptr);
 
   // Compacts every shard chain; returns total bytes reclaimed.
@@ -108,6 +142,13 @@ class ShardedStore {
   [[nodiscard]] const std::filesystem::path& dir() const noexcept {
     return dir_;
   }
+  // The scheme this store's records belong to (from the STORE metadata;
+  // untagged legacy stores report kApks).
+  [[nodiscard]] SchemeKind scheme() const noexcept { return scheme_; }
+  // The codec backend, or nullptr when opened through the legacy ctor.
+  [[nodiscard]] const SearchBackend* backend() const noexcept {
+    return backend_;
+  }
 
  private:
   struct Shard {
@@ -116,14 +157,25 @@ class ShardedStore {
     mutable std::shared_mutex mutex;
   };
 
+  ShardedStore(const Pairing& e, const SearchBackend* backend,
+               SchemeKind scheme, std::filesystem::path dir,
+               ShardedStoreOptions options);
+
   [[nodiscard]] Shard& shard_for(std::uint64_t id) {
     return *shards_[id % shards_.size()];
   }
   [[nodiscard]] std::vector<std::uint8_t> encode(
       std::uint64_t id, const std::string& doc_ref,
-      const EncryptedIndex& index) const;
+      const AnyIndex& index) const;
+  [[nodiscard]] std::vector<std::uint8_t> index_bytes(
+      const AnyIndex& index) const;
+  [[nodiscard]] AnyIndex decode_index_bytes(
+      std::span<const std::uint8_t> data) const;
+  void require_apks_family(const char* what) const;
 
   const Pairing* pairing_;
+  const SearchBackend* backend_ = nullptr;
+  SchemeKind scheme_ = SchemeKind::kApks;
   std::filesystem::path dir_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_id_{1};

@@ -1,0 +1,373 @@
+// Tests for the scheme-agnostic serving core (core/backend.h): all three
+// constructions — APKS, APKS+, MRQED^D — through the one CloudServer /
+// SearchEngine / ShardedStore path, the APKS+ ingest guard, the
+// signed-query admission check, scheme-tag enforcement on persistent
+// stores, and the legacy (untagged v1) on-disk migration.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cloud/proxy.h"
+#include "cloud/search_engine.h"
+#include "cloud/server.h"
+#include "common/crc32.h"
+#include "core/apks_backend.h"
+#include "core/apks_plus.h"
+#include "data/nursery.h"
+#include "data/workload.h"
+#include "mrqed/mrqed_backend.h"
+#include "store/sharded_store.h"
+
+namespace apks {
+namespace {
+
+namespace fs = std::filesystem;
+
+ShardedStoreOptions two_shards() {
+  ShardedStoreOptions opts;
+  opts.shards = 2;
+  return opts;
+}
+
+class BackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("apks-backend-") + info->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+// For the APKS family the backend's query_message must be byte-identical
+// to capability_message, so a SignedCapability re-wrapped as a SignedQuery
+// verifies against the very same signature bytes.
+TEST_F(BackendTest, SignedCapabilityVerifiesAsSignedQuery) {
+  const Pairing e(default_type_a_params());
+  const Apks scheme(e, nursery_schema(1));
+  ChaChaRng rng("backend-signed");
+  TrustedAuthority ta(scheme, rng);
+  CapabilityVerifier verifier(e, ta.ibs_params());
+  verifier.register_authority("TA");
+
+  const ApksBackend backend(scheme);
+  const std::vector<PlainIndex> rows = nursery_rows();
+  const SignedCapability cap = ta.issue(nursery_point_query(rows[7]), rng);
+
+  const AnyQuery query = AnyQuery::ref(SchemeKind::kApks, &cap.cap);
+  EXPECT_EQ(backend.query_message(query, cap.issuer),
+            capability_message(e, cap.cap, cap.issuer));
+
+  // The very same signature object admits the re-wrapped query...
+  SignedQuery sq{AnyQuery::ref(SchemeKind::kApks, &cap.cap), cap.issuer,
+                 cap.sig};
+  EXPECT_TRUE(verifier.verify(cap));
+  EXPECT_TRUE(verifier.verify(backend, sq));
+  // ...and an unregistered issuer is still refused.
+  sq.issuer = "rogue";
+  EXPECT_FALSE(verifier.verify(backend, sq));
+}
+
+// The typed (SignedCapability) and scheme-agnostic (SignedQuery) serving
+// paths return identical results and stats over the same record set.
+TEST_F(BackendTest, ApksSignedQueryPathMatchesTypedPath) {
+  const Pairing e(default_type_a_params());
+  const Apks scheme(e, nursery_schema(1));
+  ChaChaRng rng("backend-apks");
+  TrustedAuthority ta(scheme, rng);
+  CapabilityVerifier verifier(e, ta.ibs_params());
+  verifier.register_authority("TA");
+
+  const ApksBackend backend(scheme);
+  CloudServer server(backend, verifier);
+  const std::vector<PlainIndex> rows = nursery_rows();
+  for (std::size_t i = 0; i < 8; ++i) {
+    const PlainIndex& row = rows[(i * 769) % rows.size()];
+    (void)server.store(scheme.gen_index(ta.public_key(), row, rng),
+                       "row-" + std::to_string(i));
+  }
+
+  const SignedCapability cap =
+      ta.issue(nursery_point_query(rows[769 % rows.size()]), rng);
+  CloudServer::SearchStats typed_stats;
+  const auto typed = server.search(cap, &typed_stats);
+  ASSERT_FALSE(typed.empty());
+
+  const SignedQuery sq{AnyQuery::ref(SchemeKind::kApks, &cap.cap), cap.issuer,
+                       cap.sig};
+  CloudServer::SearchStats generic_stats;
+  EXPECT_EQ(server.search_signed(sq, &generic_stats), typed);
+  EXPECT_TRUE(generic_stats.authorized);
+  EXPECT_EQ(generic_stats.scanned, typed_stats.scanned);
+  EXPECT_EQ(generic_stats.matched, typed_stats.matched);
+}
+
+// MRQED^D through the identical serving path: signed admission, correct
+// range-match results and per-query stats, and the engine's blocked
+// parallel batch agreeing with sequential scans.
+TEST_F(BackendTest, MrqedServesThroughUnifiedServerAndEngine) {
+  const Pairing e(default_type_a_params());
+  const Mrqed mrqed(e, 2, 3);  // 2 dims over [0, 8)
+  ChaChaRng rng("backend-mrqed");
+  MrqedPublicKey pk;
+  MrqedMasterKey msk;
+  mrqed.setup(rng, pk, msk);
+
+  // The TA's IBS layer is scheme-independent; an Apks instance only seeds
+  // its capability side, which this test never touches.
+  const Apks ibs_host(e, nursery_schema(1));
+  TrustedAuthority ta(ibs_host, rng);
+  CapabilityVerifier verifier(e, ta.ibs_params());
+  verifier.register_authority("TA");
+
+  const MrqedBackend backend(mrqed);
+  CloudServer server(backend, verifier);
+  const std::vector<std::vector<std::uint64_t>> points = {
+      {0, 0}, {1, 5}, {3, 3}, {4, 7}, {6, 2}, {7, 7}};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    (void)server.store_any(
+        AnyIndex::own(SchemeKind::kMrqed, mrqed.encrypt(pk, points[i], rng)),
+        "pt-" + std::to_string(i));
+  }
+
+  struct Case {
+    std::vector<MrqedRange> ranges;
+    std::vector<std::string> expect;
+  };
+  const std::vector<Case> cases = {
+      {{{0, 3}, {0, 7}}, {"pt-0", "pt-1", "pt-2"}},  // half-plane
+      {{{4, 4}, {7, 7}}, {"pt-3"}},                  // point query
+      {{{0, 7}, {0, 7}}, {"pt-0", "pt-1", "pt-2", "pt-3", "pt-4", "pt-5"}},
+      {{{5, 5}, {0, 1}}, {}},                        // empty rectangle
+  };
+
+  std::vector<AnyQuery> queries;
+  std::vector<std::vector<std::string>> sequential;
+  std::vector<CloudServer::SearchStats> seq_stats(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    queries.push_back(AnyQuery::own(
+        SchemeKind::kMrqed, mrqed.gen_key(pk, msk, cases[i].ranges, rng)));
+    sequential.push_back(
+        server.search_unchecked_any(queries[i], &seq_stats[i]));
+    EXPECT_EQ(sequential[i], cases[i].expect) << "case " << i;
+  }
+
+  // Signed path: the authority signs the backend's query_message.
+  const SignedQuery sq = ta.issue_query(backend, queries[0], rng);
+  CloudServer::SearchStats signed_stats;
+  EXPECT_EQ(server.search_signed(sq, &signed_stats), sequential[0]);
+  EXPECT_TRUE(signed_stats.authorized);
+  EXPECT_EQ(signed_stats.scanned, points.size());
+
+  // Batch (parallel, blocked, cached) == sequential, with per-query stats.
+  SearchEngine engine(server, {.threads = 3});
+  BatchMetrics metrics;
+  const auto batched = engine.search_batch_unchecked_any(queries, &metrics);
+  ASSERT_EQ(batched.size(), cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(batched[i], sequential[i]) << "case " << i;
+    EXPECT_EQ(metrics.per_query[i].scanned, seq_stats[i].scanned);
+    EXPECT_EQ(metrics.per_query[i].matched, seq_stats[i].matched);
+  }
+  EXPECT_EQ(metrics.records, points.size());
+}
+
+// APKS+ through the unified ingest stage: owner-partial indexes traverse
+// the proxy chain installed on the backend, the transformed records match
+// under blinded-basis capabilities, and the canary refuses what a
+// dictionary attacker can forge from pk alone.
+TEST_F(BackendTest, ApksPlusIngestStageTransformsAndGuards) {
+  const Pairing e(default_type_a_params());
+  const ApksPlus plus(e, nursery_schema(1));
+  ChaChaRng rng("backend-plus");
+  const ApksPlusSetupResult setup = plus.setup_plus(rng);
+  TrustedAuthority ta(plus, setup.pk, setup.msk, rng);
+  CapabilityVerifier verifier(e, ta.ibs_params());
+  verifier.register_authority("TA");
+
+  ApksPlusBackend backend(plus);
+  ProxyPipeline pipeline = make_proxy_pipeline(plus, setup.r, 2, rng);
+  attach_ingest_pipeline(backend, pipeline);
+  backend.set_ingest_canary(
+      plus.gen_cap(setup.msk, make_canary_query(plus.schema()), rng));
+
+  CloudServer server(backend, verifier);
+  const std::vector<PlainIndex> rows = nursery_rows();
+  for (std::size_t i = 0; i < 6; ++i) {
+    const PlainIndex& row = rows[(i * 1201) % rows.size()];
+    // partial_gen_index: what an owner can produce from pk alone.
+    (void)server.store(plus.partial_gen_index(setup.pk, row, rng),
+                       "row-" + std::to_string(i));
+  }
+  EXPECT_EQ(pipeline.size(), 2u);
+  EXPECT_EQ(server.record_count(), 6u);
+
+  const PlainIndex& target = rows[1201 % rows.size()];
+  const SignedCapability cap = ta.issue(nursery_point_query(target), rng);
+  CloudServer::SearchStats stats;
+  const auto hits = server.search(cap, &stats);
+  EXPECT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0], "row-1");
+  EXPECT_EQ(stats.scanned, 6u);
+
+  // A forged (never-transformed) ciphertext is refused at ingest: detach
+  // the pipeline as an attacker bypassing the proxies would.
+  ApksPlusBackend bypass(plus);
+  bypass.set_ingest_canary(
+      plus.gen_cap(setup.msk, make_canary_query(plus.schema()), rng));
+  CloudServer open_door(bypass, verifier);
+  EXPECT_THROW((void)open_door.store(
+                   plus.partial_gen_index(setup.pk, target, rng), "forged"),
+               std::invalid_argument);
+  EXPECT_EQ(open_door.record_count(), 0u);
+
+  // Even force-restored past the guard, the partial ciphertext stays dead:
+  // it never matches a blinded-basis capability, so the dictionary attack
+  // learns nothing from search results either.
+  CloudServer unguarded(static_cast<const Apks&>(plus), verifier);
+  unguarded.restore(1, plus.partial_gen_index(setup.pk, target, rng),
+                    "forged");
+  EXPECT_TRUE(unguarded.search(cap).empty());
+}
+
+// A store written under one scheme must be refused — with an error naming
+// both schemes — when opened under another.
+TEST_F(BackendTest, StoreSchemeMismatchRefused) {
+  const Pairing e(default_type_a_params());
+  const Apks scheme(e, nursery_schema(1));
+  const Mrqed mrqed(e, 2, 3);
+  ChaChaRng rng("backend-mismatch");
+  ApksPublicKey pk;
+  ApksMasterKey msk;
+  scheme.setup(rng, pk, msk);
+
+  const ApksBackend apks_backend(scheme);
+  {
+    ShardedStore store(apks_backend, dir_, two_shards());
+    (void)store.append_any(
+        "row",
+        AnyIndex::own(SchemeKind::kApks,
+                      scheme.gen_index(pk, nursery_rows()[0], rng)));
+    store.sync();
+  }
+
+  const MrqedBackend mrqed_backend(mrqed);
+  try {
+    ShardedStore reopened(mrqed_backend, dir_, two_shards());
+    FAIL() << "mrqed open of an apks store must throw";
+  } catch (const std::invalid_argument& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("apks"), std::string::npos) << what;
+    EXPECT_NE(what.find("mrqed"), std::string::npos) << what;
+  }
+
+  // Same-family confusion is refused too (apks+ records are on a blinded
+  // basis; silently serving them as basic apks would mis-match).
+  const ApksPlus plus(e, nursery_schema(1));
+  const ApksPlusBackend plus_backend(plus);
+  EXPECT_THROW(ShardedStore(plus_backend, dir_, two_shards()),
+               std::invalid_argument);
+
+  // The matching scheme still opens.
+  ShardedStore again(apks_backend, dir_, two_shards());
+  EXPECT_EQ(again.record_count(), 1u);
+}
+
+// Rewrites a v2 STORE/MANIFEST file as the pre-scheme-tag v1 layout: the
+// version field drops to 1 and the scheme byte (immediately after the u32
+// following the version) is removed; the trailing CRC is recomputed.
+void downgrade_to_v1(const fs::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  ASSERT_TRUE(in) << file;
+  const std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(in),
+                                       std::istreambuf_iterator<char>()};
+  in.close();
+  ASSERT_GE(data.size(), 8u + 4 + 4 + 1 + 4);
+  ByteReader r(std::span<const std::uint8_t>(data.data(), data.size() - 4));
+  const auto magic = r.raw(8);
+  ASSERT_EQ(r.u32(), 2u) << file << " is not a v2 file";
+  const std::uint32_t id_field = r.u32();  // shard count / shard id
+  (void)r.u8();                            // scheme byte: dropped in v1
+  const auto rest = r.raw(r.remaining());
+
+  ByteWriter w;
+  w.raw(magic);
+  w.u32(1);  // v1
+  w.u32(id_field);
+  w.raw(rest);
+  w.u32(crc32(w.data()));
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << file;
+  out.write(reinterpret_cast<const char*>(w.data().data()),
+            static_cast<std::streamsize>(w.size()));
+}
+
+// Pre-refactor stores carry no scheme tag. They must keep loading — as
+// legacy basic APKS, serving byte-identical results — and must still be
+// refused by non-APKS backends.
+TEST_F(BackendTest, UntaggedV1StoreLoadsAsLegacyApks) {
+  const Pairing e(default_type_a_params());
+  const Apks scheme(e, nursery_schema(1));
+  ChaChaRng rng("backend-v1");
+  TrustedAuthority ta(scheme, rng);
+  CapabilityVerifier verifier(e, ta.ibs_params());
+  verifier.register_authority("TA");
+
+  constexpr std::size_t kRecords = 6;
+  const std::vector<PlainIndex> rows = nursery_rows();
+  const SignedCapability cap =
+      ta.issue(nursery_point_query(rows[997 % rows.size()]), rng);
+  std::vector<std::string> original;
+  CloudServer::SearchStats original_stats;
+  {
+    // Written through the pre-backend (Pairing-based) path, as PR 3 did.
+    ShardedStore store(e, dir_, two_shards());
+    CloudServer writer(scheme, verifier);
+    writer.attach_store(&store);
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      (void)writer.store(
+          scheme.gen_index(ta.public_key(), rows[(i * 997) % rows.size()],
+                           rng),
+          "row-" + std::to_string(i));
+    }
+    store.sync();
+    original = writer.search(cap, &original_stats);
+    ASSERT_FALSE(original.empty());
+  }
+
+  // Strip the scheme tags, as if the store had been written pre-refactor.
+  downgrade_to_v1(dir_ / "STORE");
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.is_directory()) downgrade_to_v1(entry.path() / "MANIFEST");
+  }
+
+  // Legacy open path and backend open path both accept it as basic APKS.
+  const ApksBackend backend(scheme);
+  for (const bool use_backend : {false, true}) {
+    const ShardedStoreOptions opts = two_shards();
+    auto reopened = use_backend
+                        ? std::make_unique<ShardedStore>(backend, dir_, opts)
+                        : std::make_unique<ShardedStore>(e, dir_, opts);
+    EXPECT_EQ(reopened->scheme(), SchemeKind::kApks);
+    EXPECT_EQ(reopened->record_count(), kRecords);
+    CloudServer restarted(scheme, verifier);
+    EXPECT_EQ(restarted.load_from(*reopened), kRecords);
+    CloudServer::SearchStats stats;
+    EXPECT_EQ(restarted.search(cap, &stats), original);
+    EXPECT_EQ(stats.scanned, original_stats.scanned);
+    EXPECT_EQ(stats.matched, original_stats.matched);
+  }
+
+  // A v1 store is still not up for grabs by other schemes.
+  const Mrqed mrqed(e, 2, 3);
+  const MrqedBackend mrqed_backend(mrqed);
+  EXPECT_THROW(ShardedStore(mrqed_backend, dir_, two_shards()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace apks

@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "cloud/proxy.h"
 #include "cloud/server.h"
+#include "core/apks_backend.h"
 #include "data/nursery.h"
 #include "data/workload.h"
 #include "store/sharded_store.h"
@@ -136,6 +138,93 @@ TEST_F(StoreRecoveryTest, TornWriteRecoveryMatchesPreCrashServer) {
 
   // And the next upload starts where the pre-crash sequence left off.
   EXPECT_EQ(recovered.next_id(), kRecords + 1);
+}
+
+// The same acceptance scenario for APKS+ served through the backend
+// interface: owner-partial indexes traverse the proxy chain at ingest, the
+// *transformed* ciphertexts are persisted (the proxy transformation is
+// randomized, so byte-identical restart results prove the store holds the
+// transformed bytes, not re-derived ones), a crash leaves torn tails, and
+// the recovered store serves byte-identical results and SearchStats.
+TEST_F(StoreRecoveryTest, ApksPlusRestartServesIdenticalResults) {
+  const Pairing e(default_type_a_params());
+  const ApksPlus plus(e, nursery_schema(1));
+  ChaChaRng rng("plus-recovery");
+  const ApksPlusSetupResult setup = plus.setup_plus(rng);
+  TrustedAuthority ta(plus, setup.pk, setup.msk, rng);
+  auto make_verifier = [&] {
+    CapabilityVerifier v(e, ta.ibs_params());
+    v.register_authority("TA");
+    return v;
+  };
+
+  ApksPlusBackend backend(plus);
+  ProxyPipeline pipeline = make_proxy_pipeline(plus, setup.r, 2, rng);
+  attach_ingest_pipeline(backend, pipeline);
+  backend.set_ingest_canary(
+      plus.gen_cap(setup.msk, make_canary_query(plus.schema()), rng));
+
+  const std::vector<PlainIndex> rows = nursery_rows();
+  constexpr std::size_t kRecords = 12;
+  ShardedStoreOptions opts;
+  opts.shards = 2;
+  opts.segment.segment_max_bytes = 16 << 10;
+
+  CloudServer pre_crash(backend, make_verifier());
+  ShardedStore store(backend, dir_, opts);
+  pre_crash.attach_store(&store);
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    const PlainIndex& row = rows[(i * 433) % rows.size()];
+    (void)pre_crash.store(plus.partial_gen_index(setup.pk, row, rng),
+                          "row-" + std::to_string(i));
+  }
+  store.sync();
+  ASSERT_EQ(pipeline.size(), 2u);
+
+  std::vector<SignedCapability> caps;
+  caps.push_back(ta.issue(nursery_point_query(rows[433 % rows.size()]), rng));
+  caps.push_back(
+      ta.issue(nursery_point_query(rows[(7 * 433) % rows.size()]), rng));
+  caps.push_back(ta.issue(nursery_worst_case_query(1, rng), rng));
+  std::vector<std::vector<std::string>> pre_results;
+  std::vector<CloudServer::SearchStats> pre_stats(caps.size());
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    pre_results.push_back(pre_crash.search(caps[i], &pre_stats[i]));
+  }
+  ASSERT_FALSE(pre_results[0].empty());  // the transformed index matches
+
+  // Crash mid-append: torn tails on both shards.
+  pre_crash.attach_store(nullptr);
+  const std::uint8_t partial_frame[7] = {64, 0, 0, 0, 9, 9, 9};
+  const std::uint8_t garbage[2] = {0xBA, 0xD1};
+  append_bytes(active_segment(dir_ / "shard-000"), partial_frame);
+  append_bytes(active_segment(dir_ / "shard-001"), garbage);
+
+  // Reopen under the same backend: the scheme tag matches, recovery
+  // truncates the tails, and the persisted-transformed records serve
+  // byte-identical results without re-running the proxy chain.
+  ShardedStore recovered(backend, dir_, opts);
+  EXPECT_EQ(recovered.scheme(), SchemeKind::kApksPlus);
+  EXPECT_TRUE(recovered.recovery().torn_tail);
+  EXPECT_EQ(recovered.record_count(), kRecords);
+
+  CloudServer restarted(backend, make_verifier());
+  EXPECT_EQ(restarted.load_from(recovered), kRecords);
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    CloudServer::SearchStats stats;
+    EXPECT_EQ(restarted.search(caps[i], &stats), pre_results[i]) << i;
+    EXPECT_EQ(stats.authorized, pre_stats[i].authorized);
+    EXPECT_EQ(stats.scanned, pre_stats[i].scanned);
+    EXPECT_EQ(stats.matched, pre_stats[i].matched);
+  }
+
+  // The shard-level parallel scan through the backend agrees too.
+  StoreScanStats disk_stats;
+  EXPECT_EQ(recovered.search_any(
+                AnyQuery::ref(SchemeKind::kApksPlus, &caps[0].cap), 2,
+                &disk_stats),
+            pre_results[0]);
+  EXPECT_EQ(disk_stats.scanned, kRecords);
 }
 
 // Byte-level truncation sweep (payload-agnostic, no crypto): for a cut at

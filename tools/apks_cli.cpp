@@ -1,4 +1,8 @@
-// apks_cli — file-based command-line front end for the APKS scheme.
+// apks_cli — file-based command-line front end for the serving stack.
+//
+// Every command takes --scheme apks|apks+|mrqed (default apks) and runs
+// through the scheme's SearchBackend, so all three constructions share the
+// same ingest/serve/batch machinery:
 //
 //   apks_cli setup    --schema phr --dir KEYS
 //   apks_cli genindex --schema phr --dir KEYS --values "61, Male, Boston, diabetes, Hospital B" --out idx.bin
@@ -10,17 +14,23 @@
 //   apks_cli serve    --schema phr --store DB --caps cap1.bin,cap2.bin [--threads T]
 //   apks_cli compact  --store DB
 //
-// `batchsearch` serves all capabilities over a single pass of the indexes
-// through the cloud SearchEngine (batched scan + prepared-capability
-// cache, signature layer skipped: the CLI works with raw capability
-// files) and prints the per-query server metrics — records scanned,
-// matches, Miller-loop / final-exponentiation counts, cache behaviour.
+// MRQED^D replaces --schema with --dims D --depth K; --values is a point
+// ("3, 1") and --query one range per dimension ("0-3; 1" — `lo-hi`, a
+// single value, or `*` for the full domain).
+//
+// APKS+ uses the same file formats as APKS, but `ingest` runs the backend's
+// ingest stage: if KEYS/r.bin (written by `setup --scheme apks+`) is
+// readable, every input traverses an in-process proxy pipeline holding
+// shares of r; if KEYS/msk.bin is readable, an all-wildcard ingest canary
+// is installed and owner-partial (untransformed) indexes are refused.
 //
 // `ingest` appends encrypted-index files into a persistent ShardedStore
-// (creating it with --shards partitions on first use); `serve` reopens the
-// store — reporting crash recovery if the last writer died mid-append —
-// loads it into a CloudServer and answers a capability batch; `compact`
-// collapses each shard's segment chain and reports the bytes reclaimed.
+// (creating it with --shards partitions on first use) stamped with the
+// scheme tag; reopening a store under a different --scheme is refused.
+// `serve` reopens the store — reporting crash recovery if the last writer
+// died mid-append — loads it into a CloudServer and answers a query batch;
+// `compact` collapses each shard's segment chain and reports the bytes
+// reclaimed.
 //
 // Schemas: "phr" (the paper's PHR case study), "phr-time" (with the
 // revocation time dimension), "nursery" (UCI Nursery, d = 2).
@@ -28,17 +38,23 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
 
+#include "cloud/proxy.h"
 #include "cloud/search_engine.h"
 #include "cloud/server.h"
 #include "core/apks.h"
+#include "core/apks_backend.h"
+#include "core/apks_plus.h"
 #include "core/query_parser.h"
 #include "data/nursery.h"
 #include "data/phr.h"
 #include "hpe/serialize.h"
+#include "mrqed/mrqed_backend.h"
+#include "mrqed/serialize.h"
 #include "store/sharded_store.h"
 
 namespace {
@@ -72,6 +88,7 @@ Schema make_schema(const std::string& name) {
 
 struct Args {
   std::string command;
+  std::string scheme = "apks";
   std::string schema = "phr";
   std::string dir = ".";
   std::string out;
@@ -83,14 +100,25 @@ struct Args {
   std::string store;
   std::size_t shards = 4;
   std::size_t threads = 1;
+  std::size_t dims = 2;   // mrqed only
+  std::size_t depth = 4;  // mrqed only: domain [0, 2^depth)
+  std::size_t proxies = 2;  // apks+ ingest pipeline size
   std::vector<std::string> positional;
 };
+
+std::size_t parse_count(const std::string& arg, const std::string& v) {
+  try {
+    return static_cast<std::size_t>(std::stoul(v));
+  } catch (const std::exception&) {
+    die(arg + " needs a number, got '" + v + "'");
+  }
+}
 
 Args parse_args(int argc, char** argv) {
   Args a;
   if (argc < 2) {
     die("usage: apks_cli <setup|genindex|gencap|delegate|search|batchsearch"
-        "|ingest|serve|compact> [options]");
+        "|ingest|serve|compact> [--scheme apks|apks+|mrqed] [options]");
   }
   a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -99,7 +127,8 @@ Args parse_args(int argc, char** argv) {
       if (i + 1 >= argc) die("missing value after " + arg);
       return argv[++i];
     };
-    if (arg == "--schema") a.schema = next();
+    if (arg == "--scheme") a.scheme = next();
+    else if (arg == "--schema") a.schema = next();
     else if (arg == "--dir") a.dir = next();
     else if (arg == "--out") a.out = next();
     else if (arg == "--cap") a.cap = next();
@@ -114,22 +143,21 @@ Args parse_args(int argc, char** argv) {
         pos = comma == std::string::npos ? comma : comma + 1;
       }
     } else if (arg == "--threads") {
-      const std::string v = next();
-      try {
-        a.threads = static_cast<std::size_t>(std::stoul(v));
-      } catch (const std::exception&) {
-        die("--threads needs a number, got '" + v + "'");
-      }
+      a.threads = parse_count(arg, next());
     } else if (arg == "--store") {
       a.store = next();
     } else if (arg == "--shards") {
-      const std::string v = next();
-      try {
-        a.shards = static_cast<std::size_t>(std::stoul(v));
-      } catch (const std::exception&) {
-        die("--shards needs a number, got '" + v + "'");
-      }
+      a.shards = parse_count(arg, next());
       if (a.shards == 0) die("--shards must be at least 1");
+    } else if (arg == "--dims") {
+      a.dims = parse_count(arg, next());
+      if (a.dims == 0) die("--dims must be at least 1");
+    } else if (arg == "--depth") {
+      a.depth = parse_count(arg, next());
+      if (a.depth == 0 || a.depth > 32) die("--depth must be in [1, 32]");
+    } else if (arg == "--proxies") {
+      a.proxies = parse_count(arg, next());
+      if (a.proxies == 0) die("--proxies must be at least 1");
     }
     else if (arg == "--query") a.query = next();
     else if (arg == "--values") a.values = next();
@@ -145,32 +173,243 @@ std::unique_ptr<Rng> make_rng(const Args& a) {
   return std::make_unique<SystemRng>();
 }
 
-int cmd_setup(const Apks& scheme, const Pairing& e, const Args& a, Rng& rng) {
+// The CLI's per-scheme bundle: the scheme object plus its SearchBackend.
+// The typed pointers stay alive for commands that need scheme-specific
+// operations (key generation, delegation); everything downstream of the
+// crypto goes through `backend`.
+struct Runtime {
+  SchemeKind kind = SchemeKind::kApks;
+  const Pairing* e = nullptr;
+  std::unique_ptr<Apks> apks;       // kApks
+  std::unique_ptr<ApksPlus> plus;   // kApksPlus
+  std::unique_ptr<Mrqed> mrqed;     // kMrqed
+  std::unique_ptr<SearchBackend> backend;
+
+  [[nodiscard]] const Apks& apks_scheme() const {
+    if (plus != nullptr) return *plus;
+    if (apks != nullptr) return *apks;
+    die("this command supports only --scheme apks or apks+");
+  }
+};
+
+Runtime make_runtime(const Pairing& e, const Args& a) {
+  Runtime rt;
+  rt.e = &e;
+  rt.kind = parse_scheme_kind(a.scheme);
+  switch (rt.kind) {
+    case SchemeKind::kApks:
+      rt.apks = std::make_unique<Apks>(e, make_schema(a.schema));
+      rt.backend = std::make_unique<ApksBackend>(*rt.apks);
+      break;
+    case SchemeKind::kApksPlus:
+      rt.plus = std::make_unique<ApksPlus>(e, make_schema(a.schema));
+      rt.backend = std::make_unique<ApksPlusBackend>(*rt.plus);
+      break;
+    case SchemeKind::kMrqed:
+      rt.mrqed = std::make_unique<Mrqed>(e, a.dims, a.depth);
+      rt.backend = std::make_unique<MrqedBackend>(*rt.mrqed);
+      break;
+  }
+  return rt;
+}
+
+// --- CLI file codecs ------------------------------------------------------
+// APKS-family index/cap files stay at the HPE level (serialize_ciphertext /
+// serialize_key — the formats earlier CLI versions wrote); MRQED files use
+// the backend's wire codec directly.
+
+AnyIndex load_index_file(const Runtime& rt, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  if (rt.kind == SchemeKind::kMrqed) return rt.backend->decode_index(bytes);
+  EncryptedIndex enc;
+  enc.ct = deserialize_ciphertext(*rt.e, bytes);
+  return AnyIndex::own(rt.kind, std::move(enc));
+}
+
+AnyQuery load_query_file(const Runtime& rt, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  if (rt.kind == SchemeKind::kMrqed) return rt.backend->decode_query(bytes);
+  Capability cap;
+  cap.key = deserialize_key(*rt.e, bytes);
+  return AnyQuery::own(rt.kind, std::move(cap));
+}
+
+// --- MRQED text formats ---------------------------------------------------
+
+std::vector<std::uint64_t> parse_mrqed_point(const Mrqed& scheme,
+                                             const std::string& text) {
+  std::vector<std::uint64_t> point;
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    try {
+      point.push_back(std::stoull(item));
+    } catch (const std::exception&) {
+      die("mrqed --values: expected a number, got '" + item + "'");
+    }
+    pos = comma == std::string::npos ? comma : comma + 1;
+  }
+  if (point.size() != scheme.dims()) {
+    die("mrqed --values: expected " + std::to_string(scheme.dims()) +
+        " coordinates, got " + std::to_string(point.size()));
+  }
+  return point;
+}
+
+std::vector<MrqedRange> parse_mrqed_query(const Mrqed& scheme,
+                                          const std::string& text) {
+  const std::uint64_t domain_max =
+      (scheme.tree().depth() >= 64)
+          ? ~0ull
+          : (1ull << scheme.tree().depth()) - 1;
+  std::vector<MrqedRange> ranges;
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t semi = text.find(';', pos);
+    std::string item = text.substr(
+        pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    // Trim surrounding spaces.
+    const std::size_t b = item.find_first_not_of(" \t");
+    const std::size_t f = item.find_last_not_of(" \t");
+    item = b == std::string::npos ? "" : item.substr(b, f - b + 1);
+    MrqedRange range;
+    try {
+      if (item == "*") {
+        range = {0, domain_max};
+      } else if (const std::size_t dash = item.find('-');
+                 dash != std::string::npos) {
+        range.lo = std::stoull(item.substr(0, dash));
+        range.hi = std::stoull(item.substr(dash + 1));
+      } else {
+        range.lo = range.hi = std::stoull(item);
+      }
+    } catch (const std::exception&) {
+      die("mrqed --query: expected `lo-hi`, a value, or `*`; got '" + item +
+          "'");
+    }
+    if (range.lo > range.hi || range.hi > domain_max) {
+      die("mrqed --query: range out of domain [0, " +
+          std::to_string(domain_max) + "]");
+    }
+    ranges.push_back(range);
+    pos = semi == std::string::npos ? semi : semi + 1;
+  }
+  if (ranges.size() != scheme.dims()) {
+    die("mrqed --query: expected " + std::to_string(scheme.dims()) +
+        " ranges, got " + std::to_string(ranges.size()));
+  }
+  return ranges;
+}
+
+// --- APKS+ ingest hooks ---------------------------------------------------
+// Installed from whatever key material --dir holds: r.bin arms the proxy
+// transformation stage, msk.bin arms the admission canary.
+
+void install_plus_ingest_hooks(Runtime& rt, const Args& a, Rng& rng,
+                               std::unique_ptr<ProxyPipeline>& pipeline) {
+  if (rt.kind != SchemeKind::kApksPlus) return;
+  auto& backend = static_cast<ApksPlusBackend&>(*rt.backend);
+  if (std::filesystem::exists(a.dir + "/r.bin")) {
+    const std::vector<std::uint8_t> r_bytes = read_file(a.dir + "/r.bin");
+    ByteReader reader{std::span<const std::uint8_t>(r_bytes)};
+    const Fq r = read_fq(rt.e->fq(), reader);
+    pipeline = std::make_unique<ProxyPipeline>(
+        make_proxy_pipeline(*rt.plus, r, a.proxies, rng));
+    attach_ingest_pipeline(backend, *pipeline);
+    std::printf("apks+: proxy pipeline armed (%zu proxies)\n", a.proxies);
+  }
+  if (std::filesystem::exists(a.dir + "/msk.bin")) {
+    const ApksMasterKey msk{
+        deserialize_master_key(*rt.e, read_file(a.dir + "/msk.bin"))};
+    const Query canary_q = make_canary_query(rt.plus->schema());
+    backend.set_ingest_canary(rt.plus->gen_cap(msk, canary_q, rng));
+    std::printf("apks+: ingest canary armed (partial indexes refused)\n");
+  }
+}
+
+// --- commands -------------------------------------------------------------
+
+int cmd_setup(Runtime& rt, const Args& a, Rng& rng) {
+  const Pairing& e = *rt.e;
+  if (rt.kind == SchemeKind::kMrqed) {
+    MrqedPublicKey pk;
+    MrqedMasterKey msk;
+    rt.mrqed->setup(rng, pk, msk);
+    write_file(a.dir + "/pk.bin", serialize_mrqed_public_key(e, pk));
+    write_file(a.dir + "/msk.bin", serialize_mrqed_master_key(e, msk));
+    std::printf("setup (mrqed): dims=%zu depth=%zu, wrote %s/{pk,msk}.bin\n",
+                rt.mrqed->dims(), rt.mrqed->tree().depth(), a.dir.c_str());
+    return 0;
+  }
+  if (rt.kind == SchemeKind::kApksPlus) {
+    const ApksPlusSetupResult s = rt.plus->setup_plus(rng);
+    write_file(a.dir + "/pk.bin", serialize_public_key(e, s.pk.hpe));
+    write_file(a.dir + "/msk.bin", serialize_master_key(e, s.msk.hpe));
+    ByteWriter w;
+    write_fq(e.fq(), s.r, w);
+    write_file(a.dir + "/r.bin", w.data());
+    std::printf(
+        "setup (apks+): n=%zu, wrote %s/{pk,msk,r}.bin (msk is blinded; r "
+        "is the TA transformation secret)\n",
+        rt.plus->n(), a.dir.c_str());
+    return 0;
+  }
   ApksPublicKey pk;
   ApksMasterKey msk;
-  scheme.setup(rng, pk, msk);
+  rt.apks->setup(rng, pk, msk);
   write_file(a.dir + "/pk.bin", serialize_public_key(e, pk.hpe));
   write_file(a.dir + "/msk.bin", serialize_master_key(e, msk.hpe));
-  std::printf("setup: n=%zu, wrote %s/pk.bin and %s/msk.bin\n", scheme.n(),
+  std::printf("setup: n=%zu, wrote %s/pk.bin and %s/msk.bin\n", rt.apks->n(),
               a.dir.c_str(), a.dir.c_str());
   return 0;
 }
 
-int cmd_genindex(const Apks& scheme, const Pairing& e, const Args& a,
-                 Rng& rng) {
+int cmd_genindex(Runtime& rt, const Args& a, Rng& rng) {
   if (a.values.empty() || a.out.empty()) die("genindex needs --values and --out");
+  const Pairing& e = *rt.e;
+  if (rt.kind == SchemeKind::kMrqed) {
+    const MrqedPublicKey pk =
+        deserialize_mrqed_public_key(e, read_file(a.dir + "/pk.bin"));
+    const auto point = parse_mrqed_point(*rt.mrqed, a.values);
+    const MrqedCiphertext ct = rt.mrqed->encrypt(pk, point, rng);
+    const auto bytes = serialize_mrqed_ciphertext(e, ct);
+    write_file(a.out, bytes);
+    std::printf("encrypted point -> %s (%zu bytes)\n", a.out.c_str(),
+                bytes.size());
+    return 0;
+  }
+  const Apks& scheme = rt.apks_scheme();
   const ApksPublicKey pk{
       deserialize_public_key(e, read_file(a.dir + "/pk.bin"))};
   const PlainIndex row = parse_index(scheme.schema(), a.values);
   const EncryptedIndex enc = scheme.gen_index(pk, row, rng);
-  write_file(a.out, serialize_ciphertext(e, enc.ct));
-  std::printf("encrypted index -> %s (%zu bytes)\n", a.out.c_str(),
-              serialize_ciphertext(e, enc.ct).size());
+  const auto bytes = serialize_ciphertext(e, enc.ct);
+  write_file(a.out, bytes);
+  std::printf("encrypted index%s -> %s (%zu bytes)\n",
+              rt.kind == SchemeKind::kApksPlus ? " (owner-partial)" : "",
+              a.out.c_str(), bytes.size());
   return 0;
 }
 
-int cmd_gencap(const Apks& scheme, const Pairing& e, const Args& a, Rng& rng) {
+int cmd_gencap(Runtime& rt, const Args& a, Rng& rng) {
   if (a.query.empty() || a.out.empty()) die("gencap needs --query and --out");
+  const Pairing& e = *rt.e;
+  if (rt.kind == SchemeKind::kMrqed) {
+    const MrqedPublicKey pk =
+        deserialize_mrqed_public_key(e, read_file(a.dir + "/pk.bin"));
+    const MrqedMasterKey msk =
+        deserialize_mrqed_master_key(e, read_file(a.dir + "/msk.bin"));
+    const auto ranges = parse_mrqed_query(*rt.mrqed, a.query);
+    const MrqedKey key = rt.mrqed->gen_key(pk, msk, ranges, rng);
+    const auto bytes = serialize_mrqed_key(e, key);
+    write_file(a.out, bytes);
+    std::printf("range key for [%s] -> %s (%zu bytes)\n", a.query.c_str(),
+                a.out.c_str(), bytes.size());
+    return 0;
+  }
+  const Apks& scheme = rt.apks_scheme();
   const ApksMasterKey msk{
       deserialize_master_key(e, read_file(a.dir + "/msk.bin"))};
   const Query q = parse_query(scheme.schema(), a.query);
@@ -182,11 +421,12 @@ int cmd_gencap(const Apks& scheme, const Pairing& e, const Args& a, Rng& rng) {
   return 0;
 }
 
-int cmd_delegate(const Apks& scheme, const Pairing& e, const Args& a,
-                 Rng& rng) {
+int cmd_delegate(Runtime& rt, const Args& a, Rng& rng) {
   if (a.cap.empty() || a.query.empty() || a.out.empty()) {
     die("delegate needs --cap, --query and --out");
   }
+  const Apks& scheme = rt.apks_scheme();  // delegation is APKS-family only
+  const Pairing& e = *rt.e;
   Capability parent;
   parent.key = deserialize_key(e, read_file(a.cap));
   const Query q = parse_query(scheme.schema(), a.query);
@@ -197,18 +437,16 @@ int cmd_delegate(const Apks& scheme, const Pairing& e, const Args& a,
   return 0;
 }
 
-int cmd_search(const Apks& scheme, const Pairing& e, const Args& a) {
+int cmd_search(const Runtime& rt, const Args& a) {
   if (a.cap.empty() || a.positional.empty()) {
     die("search needs --cap and at least one index file");
   }
-  Capability cap;
-  cap.key = deserialize_key(e, read_file(a.cap));
-  const PreparedCapability prepared = scheme.prepare(cap);
+  const AnyQuery query = load_query_file(rt, a.cap);
+  const AnyPrepared prepared = rt.backend->prepare(query);
   std::size_t hits = 0;
   for (const auto& path : a.positional) {
-    EncryptedIndex enc;
-    enc.ct = deserialize_ciphertext(e, read_file(path));
-    const bool match = scheme.search_prepared(prepared, enc);
+    const AnyIndex index = load_index_file(rt, path);
+    const bool match = rt.backend->match(prepared, index);
     hits += match ? 1 : 0;
     std::printf("%s: %s\n", path.c_str(), match ? "MATCH" : "no match");
   }
@@ -216,27 +454,9 @@ int cmd_search(const Apks& scheme, const Pairing& e, const Args& a) {
   return 0;
 }
 
-int cmd_batchsearch(const Apks& scheme, const Pairing& e, const Args& a) {
-  if (a.caps.empty() || a.positional.empty()) {
-    die("batchsearch needs --caps FILE[,FILE...] and at least one index file");
-  }
-  // The CLI works with raw capability files (no authority signatures), so
-  // the server's verifier is a stub and the engine runs the unchecked path.
-  CloudServer server(scheme, CapabilityVerifier(e, IbsPublicParams{}));
-  for (const auto& path : a.positional) {
-    EncryptedIndex enc;
-    enc.ct = deserialize_ciphertext(e, read_file(path));
-    (void)server.store(std::move(enc), path);
-  }
-  std::vector<Capability> caps(a.caps.size());
-  for (std::size_t i = 0; i < a.caps.size(); ++i) {
-    caps[i].key = deserialize_key(e, read_file(a.caps[i]));
-  }
-
-  SearchEngine engine(server, {.threads = a.threads});
-  BatchMetrics metrics;
-  const auto results = engine.search_batch_unchecked(caps, &metrics);
-
+void print_batch(const Args& a,
+                 const std::vector<std::vector<std::string>>& results,
+                 const BatchMetrics& metrics) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::printf("%s: %zu / %zu matched\n", a.caps[i].c_str(),
                 results[i].size(), metrics.records);
@@ -247,7 +467,7 @@ int cmd_batchsearch(const Apks& scheme, const Pairing& e, const Args& a) {
               metrics.wall_s);
   std::printf("prepare calls: %zu, cache hits: %zu\n", metrics.prepare_calls,
               metrics.cache_hits);
-  std::printf("%-24s %8s %8s %10s %10s %6s %10s\n", "capability", "scanned",
+  std::printf("%-24s %8s %8s %10s %10s %6s %10s\n", "query", "scanned",
               "matched", "miller", "final_exp", "cache", "wall_s");
   for (std::size_t i = 0; i < metrics.per_query.size(); ++i) {
     const ServerMetrics& m = metrics.per_query[i];
@@ -255,14 +475,40 @@ int cmd_batchsearch(const Apks& scheme, const Pairing& e, const Args& a) {
                 a.caps[i].c_str(), m.scanned, m.matched, m.ops.miller,
                 m.ops.final_exp, m.cache_hit ? "hit" : "miss", m.wall_s);
   }
+}
+
+std::vector<AnyQuery> load_query_files(const Runtime& rt, const Args& a) {
+  std::vector<AnyQuery> queries;
+  queries.reserve(a.caps.size());
+  for (const auto& path : a.caps) queries.push_back(load_query_file(rt, path));
+  return queries;
+}
+
+int cmd_batchsearch(Runtime& rt, const Args& a) {
+  if (a.caps.empty() || a.positional.empty()) {
+    die("batchsearch needs --caps FILE[,FILE...] and at least one index file");
+  }
+  // The CLI works with raw capability/key files (no authority signatures),
+  // so the server's verifier is a stub and the engine runs the unchecked
+  // path.
+  CloudServer server(*rt.backend,
+                     CapabilityVerifier(*rt.e, IbsPublicParams{}));
+  for (const auto& path : a.positional) {
+    (void)server.store_any(load_index_file(rt, path), path);
+  }
+  const std::vector<AnyQuery> queries = load_query_files(rt, a);
+  SearchEngine engine(server, {.threads = a.threads});
+  BatchMetrics metrics;
+  const auto results = engine.search_batch_unchecked_any(queries, &metrics);
+  print_batch(a, results, metrics);
   return 0;
 }
 
-std::unique_ptr<ShardedStore> open_store(const Pairing& e, const Args& a) {
+std::unique_ptr<ShardedStore> open_store(const Runtime& rt, const Args& a) {
   if (a.store.empty()) die(a.command + " needs --store DIR");
   ShardedStoreOptions opts;
   opts.shards = static_cast<std::uint32_t>(a.shards);
-  auto store = std::make_unique<ShardedStore>(e, a.store, opts);
+  auto store = std::make_unique<ShardedStore>(*rt.backend, a.store, opts);
   const RecoveryStats rec = store->recovery();
   if (rec.torn_tail) {
     std::printf(
@@ -270,62 +516,64 @@ std::unique_ptr<ShardedStore> open_store(const Pairing& e, const Args& a) {
         " bytes) left by a crashed writer\n",
         rec.torn_bytes);
   }
-  std::printf("store %s: %u shards, %zu segments, %zu records, %" PRIu64
+  std::printf("store %s [%s]: %u shards, %zu segments, %zu records, %" PRIu64
               " bytes\n",
-              a.store.c_str(), store->shard_count(), store->segment_count(),
+              a.store.c_str(), std::string(scheme_name(store->scheme())).c_str(),
+              store->shard_count(), store->segment_count(),
               store->record_count(), store->bytes());
   return store;
 }
 
-int cmd_ingest(const Pairing& e, const Args& a) {
+int cmd_ingest(Runtime& rt, const Args& a, Rng& rng) {
   if (a.positional.empty()) die("ingest needs at least one index file");
-  const auto store_ptr = open_store(e, a);
+  std::unique_ptr<ProxyPipeline> pipeline;  // must outlive the backend hooks
+  install_plus_ingest_hooks(rt, a, rng, pipeline);
+  const auto store_ptr = open_store(rt, a);
   ShardedStore& store = *store_ptr;
+  std::size_t accepted = 0;
   for (const auto& path : a.positional) {
-    EncryptedIndex enc;
-    enc.ct = deserialize_ciphertext(e, read_file(path));
-    const std::uint64_t id = store.append(path, enc);
+    AnyIndex index = rt.backend->ingest_transform(load_index_file(rt, path));
+    try {
+      rt.backend->validate_ingest(index);
+    } catch (const std::exception& ex) {
+      std::printf("  %s REFUSED: %s\n", path.c_str(), ex.what());
+      continue;
+    }
+    const std::uint64_t id = store.append_any(path, index);
+    ++accepted;
     std::printf("  %s -> record %" PRIu64 "\n", path.c_str(), id);
   }
   store.sync();
-  std::printf("ingested %zu indexes; store now holds %zu records (%" PRIu64
+  std::printf("ingested %zu/%zu indexes; store now holds %zu records (%" PRIu64
               " bytes)\n",
-              a.positional.size(), store.record_count(), store.bytes());
+              accepted, a.positional.size(), store.record_count(),
+              store.bytes());
   return 0;
 }
 
-int cmd_serve(const Apks& scheme, const Pairing& e, const Args& a) {
+int cmd_serve(Runtime& rt, const Args& a) {
   if (a.caps.empty()) die("serve needs --caps FILE[,FILE...]");
-  const auto store_ptr = open_store(e, a);
+  const auto store_ptr = open_store(rt, a);
   ShardedStore& store = *store_ptr;
 
   // Restart path: rebuild the in-memory server from disk, then serve the
-  // capability batch through the SearchEngine (raw capability files, so
-  // the signature layer is skipped as in batchsearch).
-  CloudServer server(scheme, CapabilityVerifier(e, IbsPublicParams{}));
+  // query batch through the SearchEngine (raw capability/key files, so the
+  // signature layer is skipped as in batchsearch).
+  CloudServer server(*rt.backend,
+                     CapabilityVerifier(*rt.e, IbsPublicParams{}));
   const std::size_t loaded = server.load_from(store);
   std::printf("loaded %zu records into the cloud server\n", loaded);
 
-  std::vector<Capability> caps(a.caps.size());
-  for (std::size_t i = 0; i < a.caps.size(); ++i) {
-    caps[i].key = deserialize_key(e, read_file(a.caps[i]));
-  }
+  const std::vector<AnyQuery> queries = load_query_files(rt, a);
   SearchEngine engine(server, {.threads = a.threads});
   BatchMetrics metrics;
-  const auto results = engine.search_batch_unchecked(caps, &metrics);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    std::printf("%s: %zu / %zu matched\n", a.caps[i].c_str(),
-                results[i].size(), metrics.records);
-    for (const auto& ref : results[i]) std::printf("  %s\n", ref.c_str());
-  }
-  std::printf("batch: %zu queries, %zu records, %zu threads, %.4f s\n",
-              metrics.queries, metrics.records, metrics.threads,
-              metrics.wall_s);
+  const auto results = engine.search_batch_unchecked_any(queries, &metrics);
+  print_batch(a, results, metrics);
   return 0;
 }
 
-int cmd_compact(const Pairing& e, const Args& a) {
-  const auto store_ptr = open_store(e, a);
+int cmd_compact(const Runtime& rt, const Args& a) {
+  const auto store_ptr = open_store(rt, a);
   ShardedStore& store = *store_ptr;
   const std::uint64_t before = store.bytes();
   const std::size_t segments_before = store.segment_count();
@@ -343,34 +591,34 @@ int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
     const Pairing pairing(default_type_a_params());
-    const Apks scheme(pairing, make_schema(args.schema));
+    Runtime rt = make_runtime(pairing, args);
     const auto rng = make_rng(args);
     if (args.command == "setup") {
-      return cmd_setup(scheme, pairing, args, *rng);
+      return cmd_setup(rt, args, *rng);
     }
     if (args.command == "genindex") {
-      return cmd_genindex(scheme, pairing, args, *rng);
+      return cmd_genindex(rt, args, *rng);
     }
     if (args.command == "gencap") {
-      return cmd_gencap(scheme, pairing, args, *rng);
+      return cmd_gencap(rt, args, *rng);
     }
     if (args.command == "delegate") {
-      return cmd_delegate(scheme, pairing, args, *rng);
+      return cmd_delegate(rt, args, *rng);
     }
     if (args.command == "search") {
-      return cmd_search(scheme, pairing, args);
+      return cmd_search(rt, args);
     }
     if (args.command == "batchsearch") {
-      return cmd_batchsearch(scheme, pairing, args);
+      return cmd_batchsearch(rt, args);
     }
     if (args.command == "ingest") {
-      return cmd_ingest(pairing, args);
+      return cmd_ingest(rt, args, *rng);
     }
     if (args.command == "serve") {
-      return cmd_serve(scheme, pairing, args);
+      return cmd_serve(rt, args);
     }
     if (args.command == "compact") {
-      return cmd_compact(pairing, args);
+      return cmd_compact(rt, args);
     }
     die("unknown command '" + args.command + "'");
   } catch (const std::exception& ex) {

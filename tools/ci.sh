@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # CI gate: the tier-1 verify (full build + test suite), an ASan build of the
 # storage-engine tests (segment format, crash recovery) plus the store bench
-# artifact, and a ThreadSanitizer build of the cloud/server concurrency
-# tests. Run from the repository root:
+# artifact, a ThreadSanitizer build of the cloud/server concurrency tests,
+# and a UBSan build of the scheme-backend surface (mrqed, proxy ingest,
+# backend type-erasure). Run from the repository root:
 #
-#   tools/ci.sh            # tier-1 + store stage + TSan cloud tests
+#   tools/ci.sh            # tier-1 + store stage + TSan + UBSan
 #   tools/ci.sh --store    # store stage only (ASan + crash recovery + bench)
 #   tools/ci.sh --tsan     # TSan cloud tests only
+#   tools/ci.sh --ubsan    # UBSan backend/mrqed/proxy tests only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,6 +16,7 @@ JOBS=${JOBS:-$(nproc)}
 STAGE=all
 [[ "${1:-}" == "--tsan" ]] && STAGE=tsan
 [[ "${1:-}" == "--store" ]] && STAGE=store
+[[ "${1:-}" == "--ubsan" ]] && STAGE=ubsan
 
 # configure DIR [extra cmake args...]
 #
@@ -50,6 +53,10 @@ if [[ $STAGE == all ]]; then
   ./build/bench/bench_msm --smoke --json=BENCH_msm.json
   [[ -s BENCH_msm.json ]] || { echo "BENCH_msm.json missing/empty"; exit 1; }
   ./build/bench/fig8b_encrypt --smoke >/dev/null
+
+  echo "=== bench smoke: cross-scheme serving comparison + JSON artifact ==="
+  ./build/bench/bench_schemes --smoke --json=BENCH_schemes.json
+  [[ -s BENCH_schemes.json ]] || { echo "BENCH_schemes.json missing/empty"; exit 1; }
 fi
 
 if [[ $STAGE == all || $STAGE == store ]]; then
@@ -73,6 +80,17 @@ if [[ $STAGE == all || $STAGE == tsan ]]; then
   for t in cloud_test policy_test integration_test search_engine_test; do
     echo "--- $t (TSan) ---"
     ./build-tsan/tests/"$t"
+  done
+fi
+
+if [[ $STAGE == all || $STAGE == ubsan ]]; then
+  echo "=== UBSan: scheme backends (mrqed + proxy ingest + type erasure) ==="
+  configure build-ubsan -DAPKS_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ubsan -j "$JOBS" \
+    --target mrqed_test property_mrqed_test backend_test integration_test
+  for t in mrqed_test property_mrqed_test backend_test integration_test; do
+    echo "--- $t (UBSan) ---"
+    ./build-ubsan/tests/"$t"
   done
 fi
 echo "CI OK"
