@@ -6,11 +6,19 @@
 // will ever match it; compromising any proper subset reveals nothing about
 // r. Proxies also rate-limit transformations as the paper's (coarse)
 // defence against probe-response attacks.
+//
+// Charging rule: a proxy's rate budget counts *successful* transformations
+// only, and the unit of charging is the whole chain — if a later proxy
+// fails mid-chain, ProxyPipeline refunds the proxies that already ran, so
+// a retry of the same upload is not double-billed. (The replicated,
+// fault-tolerant deployment lives in cloud/proxy_pool.h.)
 #pragma once
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "core/apks_backend.h"
 #include "core/apks_plus.h"
 
@@ -19,30 +27,45 @@ namespace apks {
 class ProxyServer {
  public:
   // `share` is this proxy's share r_i of r = r_1 ... r_P; the proxy stores
-  // and applies r_i^{-1}.
+  // and applies r_i^{-1}. `site` names this proxy's failpoint (chaos tests
+  // kill or degrade individual proxies by arming it).
   ProxyServer(const ApksPlus& scheme, const Fq& share,
-              std::size_t rate_limit = 0)
+              std::size_t rate_limit = 0,
+              std::string site = "proxy.transform")
       : scheme_(&scheme),
         inv_share_(scheme.hpe().pairing().fq().inv(share)),
-        rate_limit_(rate_limit) {}
+        rate_limit_(rate_limit),
+        site_(std::move(site)) {}
 
   [[nodiscard]] EncryptedIndex transform(const EncryptedIndex& partial) {
     if (rate_limit_ != 0 && transformed_ >= rate_limit_) {
-      throw std::runtime_error(
+      throw ServingError(
+          ErrorCode::kExhausted,
           "proxy: transformation budget exhausted (probe-response defence)");
     }
-    ++transformed_;
-    return scheme_->proxy_transform(inv_share_, partial);
+    (void)failpoint(site_);  // armed `throw` = dead/flaky proxy
+    EncryptedIndex out = scheme_->proxy_transform(inv_share_, partial);
+    ++transformed_;  // charge on success only
+    return out;
+  }
+
+  // Returns one successful transformation to the budget (the chain it was
+  // part of failed downstream and will be retried as a whole).
+  void refund() noexcept {
+    if (transformed_ > 0) --transformed_;
   }
 
   [[nodiscard]] std::size_t transformed_count() const noexcept {
     return transformed_;
   }
+  [[nodiscard]] std::size_t rate_limit() const noexcept { return rate_limit_; }
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
 
  private:
   const ApksPlus* scheme_;
   Fq inv_share_;
   std::size_t rate_limit_;  // 0 = unlimited
+  std::string site_;
   std::size_t transformed_ = 0;
 };
 
@@ -53,10 +76,22 @@ class ProxyPipeline {
   void add(ProxyServer proxy) { proxies_.push_back(std::move(proxy)); }
 
   [[nodiscard]] std::size_t size() const noexcept { return proxies_.size(); }
+  [[nodiscard]] ProxyServer& proxy(std::size_t i) { return proxies_.at(i); }
+  [[nodiscard]] const ProxyServer& proxy(std::size_t i) const {
+    return proxies_.at(i);
+  }
 
   [[nodiscard]] EncryptedIndex process(EncryptedIndex partial) {
-    for (auto& proxy : proxies_) {
-      partial = proxy.transform(partial);
+    for (std::size_t i = 0; i < proxies_.size(); ++i) {
+      try {
+        partial = proxies_[i].transform(partial);
+      } catch (...) {
+        // The chain is the unit of charging: a mid-chain failure means the
+        // upload never completes, so the proxies that already transformed
+        // it get their budget back (the retry will charge them again).
+        for (std::size_t j = 0; j < i; ++j) proxies_[j].refund();
+        throw;
+      }
     }
     return partial;
   }
@@ -87,9 +122,11 @@ inline void attach_ingest_pipeline(ApksPlusBackend& backend,
                                                        std::size_t rate_limit =
                                                            0) {
   ProxyPipeline pipeline;
+  std::size_t i = 0;
   for (const auto& share : HpePlus::split_secret(
            scheme.hpe().pairing().fq(), r, proxies, rng)) {
-    pipeline.add(ProxyServer(scheme, share, rate_limit));
+    pipeline.add(ProxyServer(scheme, share, rate_limit,
+                             "proxy.p" + std::to_string(i++)));
   }
   return pipeline;
 }

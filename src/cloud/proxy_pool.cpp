@@ -1,0 +1,239 @@
+#include "cloud/proxy_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace apks {
+namespace {
+
+// Same deterministic stream generator the failpoint framework uses: the
+// backoff jitter must replay exactly under a fixed seed.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string replica_site(std::size_t share, std::size_t replica) {
+  return "proxy.s" + std::to_string(share) + ".r" + std::to_string(replica);
+}
+
+}  // namespace
+
+ResilientProxyPipeline::ResilientProxyPipeline(const ApksPlus& scheme,
+                                               const std::vector<Fq>& shares,
+                                               ProxyPoolOptions options)
+    : scheme_(&scheme),
+      options_(options),
+      jitter_state_(options.jitter_seed ^ 0x6a09e667f3bcc908ULL) {
+  if (shares.empty()) {
+    throw std::invalid_argument("ResilientProxyPipeline: no shares");
+  }
+  if (options_.replicas == 0) options_.replicas = 1;
+  if (options_.attempts_per_replica == 0) options_.attempts_per_replica = 1;
+  shares_.resize(shares.size());
+  for (std::size_t si = 0; si < shares.size(); ++si) {
+    shares_[si].replicas.reserve(options_.replicas);
+    for (std::size_t ri = 0; ri < options_.replicas; ++ri) {
+      shares_[si].replicas.emplace_back(scheme, shares[si],
+                                        options_.rate_limit,
+                                        replica_site(si, ri));
+    }
+  }
+}
+
+void ResilientProxyPipeline::backoff_locked(std::size_t failures_so_far) {
+  if (options_.backoff_base_ms == 0 || failures_so_far == 0) return;
+  const unsigned shift =
+      failures_so_far > 16 ? 16U : static_cast<unsigned>(failures_so_far - 1);
+  std::uint64_t ms = static_cast<std::uint64_t>(options_.backoff_base_ms)
+                     << shift;
+  ms = std::min<std::uint64_t>(ms, options_.backoff_max_ms);
+  // Deterministic jitter in [ms/2, ms] — decorrelates replicas retrying
+  // against a shared dependency without losing replayability.
+  if (ms > 1) ms = ms / 2 + splitmix64(jitter_state_) % (ms / 2 + 1);
+  if (ms != 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool ResilientProxyPipeline::apply_share_locked(std::size_t si,
+                                                EncryptedIndex& cur,
+                                                std::size_t* served_replica) {
+  Share& share = shares_[si];
+  std::size_t failures = 0;
+  std::size_t last_tried = static_cast<std::size_t>(-1);
+  for (std::size_t round = 0; round < options_.attempts_per_replica; ++round) {
+    for (std::size_t ri = 0; ri < share.replicas.size(); ++ri) {
+      Replica& rep = share.replicas[ri];
+      if (rep.open) {
+        if (op_counter_ < rep.open_until) continue;  // still cooling down
+        ++stats_.breaker_probes;                     // half-open probe
+      }
+      if (last_tried != static_cast<std::size_t>(-1) && last_tried != ri) {
+        ++stats_.failovers;
+      }
+      last_tried = ri;
+      try {
+        EncryptedIndex out = rep.proxy.transform(cur);
+        ++rep.successes;
+        rep.consecutive = 0;
+        rep.open = false;  // a successful probe closes the breaker
+        cur = std::move(out);
+        if (served_replica != nullptr) *served_replica = ri;
+        return true;
+      } catch (const std::exception&) {
+        ++rep.failures;
+        ++rep.consecutive;
+        ++stats_.retries;
+        ++failures;
+        if (rep.open) {
+          // Failed half-open probe: start a fresh cooldown window.
+          rep.open_until = op_counter_ + options_.breaker_cooldown_ops;
+        } else if (options_.breaker_threshold != 0 &&
+                   rep.consecutive >= options_.breaker_threshold) {
+          rep.open = true;
+          rep.open_until = op_counter_ + options_.breaker_cooldown_ops;
+          ++stats_.breaker_opens;
+        }
+        backoff_locked(failures);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::size_t> ResilientProxyPipeline::apply_all_locked(
+    EncryptedIndex& cur, std::vector<char>& applied,
+    std::vector<std::pair<std::size_t, std::size_t>>* served) {
+  // Shares commute, so a failing share never blocks the later ones: apply
+  // everything that can make progress and report only what remains.
+  std::vector<std::size_t> pending;
+  for (std::size_t si = 0; si < shares_.size(); ++si) {
+    if (applied[si] != 0) continue;
+    std::size_t ri = 0;
+    if (apply_share_locked(si, cur, &ri)) {
+      applied[si] = 1;
+      if (served != nullptr) served->emplace_back(si, ri);
+    } else {
+      pending.push_back(si);
+    }
+  }
+  return pending;
+}
+
+std::optional<EncryptedIndex> ResilientProxyPipeline::process(
+    const EncryptedIndex& partial, std::string tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++op_counter_;
+  EncryptedIndex cur = partial;
+  std::vector<char> applied(shares_.size(), 0);
+  const std::vector<std::size_t> pending =
+      apply_all_locked(cur, applied, nullptr);
+  if (pending.empty()) {
+    ++stats_.transformed;
+    return cur;
+  }
+  if (parked_.size() >= options_.parking_capacity) {
+    ++stats_.rejected;
+    throw ProxyUnavailable(
+        pending.front(),
+        "proxy pool: share " + std::to_string(pending.front()) +
+            " has no live replica and the parking queue is full (" +
+            std::to_string(parked_.size()) + "/" +
+            std::to_string(options_.parking_capacity) + ")");
+  }
+  parked_.push_back({std::move(tag), std::move(cur), std::move(applied)});
+  ++stats_.parked;
+  return std::nullopt;
+}
+
+EncryptedIndex ResilientProxyPipeline::process_strict(
+    const EncryptedIndex& partial) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++op_counter_;
+  EncryptedIndex cur = partial;
+  std::vector<char> applied(shares_.size(), 0);
+  std::vector<std::pair<std::size_t, std::size_t>> served;
+  const std::vector<std::size_t> pending =
+      apply_all_locked(cur, applied, &served);
+  if (pending.empty()) {
+    ++stats_.transformed;
+    return cur;
+  }
+  // The upload is the unit of charging (same rule as ProxyPipeline): the
+  // shares that did transform give their budget back before the typed
+  // failure propagates to CloudServer::store's caller.
+  for (const auto& [si, ri] : served) {
+    shares_[si].replicas[ri].proxy.refund();
+  }
+  throw ProxyUnavailable(
+      pending.front(),
+      "proxy pool: share " + std::to_string(pending.front()) +
+          " has no live replica (strict ingest path cannot park)");
+}
+
+std::size_t ResilientProxyPipeline::drain(
+    const std::function<void(const std::string& tag,
+                             EncryptedIndex transformed)>& sink) {
+  std::vector<std::pair<std::string, EncryptedIndex>> done;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = parked_.begin(); it != parked_.end();) {
+      ++op_counter_;
+      const std::vector<std::size_t> pending =
+          apply_all_locked(it->partial, it->applied, nullptr);
+      if (pending.empty()) {
+        ++stats_.transformed;
+        ++stats_.drained;
+        done.emplace_back(std::move(it->tag), std::move(it->partial));
+        it = parked_.erase(it);
+      } else {
+        ++it;  // still blocked; progress (if any) stays in it->applied
+      }
+    }
+  }
+  // The sink runs outside the lock: it typically appends to a store and
+  // may re-enter the pool (e.g. stats()) from its own call chain.
+  for (auto& [tag, index] : done) {
+    if (sink) sink(tag, std::move(index));
+  }
+  return done.size();
+}
+
+std::size_t ResilientProxyPipeline::parked_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return parked_.size();
+}
+
+ProxyPoolStats ResilientProxyPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<ProxyReplicaHealth> ResilientProxyPipeline::health() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ProxyReplicaHealth> out;
+  out.reserve(shares_.size() * options_.replicas);
+  for (std::size_t si = 0; si < shares_.size(); ++si) {
+    for (std::size_t ri = 0; ri < shares_[si].replicas.size(); ++ri) {
+      const Replica& rep = shares_[si].replicas[ri];
+      out.push_back({si, ri, rep.successes, rep.failures, rep.consecutive,
+                     rep.open && op_counter_ < rep.open_until});
+    }
+  }
+  return out;
+}
+
+ResilientProxyPipeline make_resilient_pipeline(const ApksPlus& scheme,
+                                               const Fq& r, std::size_t shares,
+                                               Rng& rng,
+                                               ProxyPoolOptions options) {
+  return ResilientProxyPipeline(
+      scheme,
+      HpePlus::split_secret(scheme.hpe().pairing().fq(), r, shares, rng),
+      options);
+}
+
+}  // namespace apks

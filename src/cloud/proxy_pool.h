@@ -1,0 +1,195 @@
+// ResilientProxyPipeline — the fault-tolerant APKS+ proxy deployment.
+//
+// The paper's Section V splits the TA secret r = r_1 r_2 ... r_P across P
+// semi-trusted proxies, which makes every proxy a single point of failure
+// for ingest: one dead proxy (or one exhausted rate budget) and no upload
+// can ever complete. This pool removes the single point of failure while
+// preserving the scheme's security split:
+//
+//   - every share r_i is held by R *replicas* (replicating a share reveals
+//     nothing new — each replica of share i stores the same r_i^{-1}, and
+//     compromising replicas of a proper subset of shares still reveals
+//     nothing about r);
+//   - an upload applies each pending share by trying that share's replicas
+//     in health order, retrying with exponential backoff + deterministic
+//     jitter and failing over between replicas;
+//   - a replica that keeps failing trips a per-replica circuit breaker:
+//     it is skipped for a cooldown window (measured in pipeline operations
+//     — the in-process stand-in for wall-clock cooldowns) and then probed
+//     half-open;
+//   - when *no* replica of some share is live, the upload is *parked*: the
+//     partially-transformed ciphertext and the set of shares already
+//     applied go into a bounded parking queue (progress is never thrown
+//     away — shares commute, so the remaining shares can be applied in any
+//     later order), and drain() completes parked uploads once replicas
+//     recover. A full queue rejects with a typed ProxyUnavailable.
+//
+// Charging: each replica's rate budget is charged on success only. Parked
+// progress stays charged (the transformations really happened and are
+// retained in the parked ciphertext); the *strict* path — the backend
+// ingest hook, which cannot park because CloudServer::store must return a
+// record id synchronously — refunds the shares it already applied before
+// rethrowing, so a retried upload is not double-billed (same rule as
+// ProxyPipeline).
+//
+// Failures are injected through each replica's failpoint site
+// ("proxy.s<share>.r<replica>", see common/failpoint.h) or arise naturally
+// from exhausted rate budgets. All decisions (replica order, backoff
+// jitter) are deterministic given the options' jitter_seed, so chaos
+// schedules replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cloud/proxy.h"
+
+namespace apks {
+
+struct ProxyPoolOptions {
+  // Replicas per share; every replica of share i holds the same r_i.
+  std::size_t replicas = 2;
+  // Transformation attempts per replica per operation before failing over.
+  std::size_t attempts_per_replica = 1;
+  // Exponential backoff between attempts: min(base << failures, max), with
+  // up to 50% deterministic jitter. base 0 disables sleeping (tests).
+  std::uint32_t backoff_base_ms = 0;
+  std::uint32_t backoff_max_ms = 50;
+  // Consecutive failures that trip a replica's circuit breaker, and how
+  // many pipeline operations the breaker stays open before a half-open
+  // probe. threshold 0 disables the breaker.
+  std::size_t breaker_threshold = 3;
+  std::uint64_t breaker_cooldown_ops = 4;
+  // Bounded parking queue; a park beyond capacity throws ProxyUnavailable.
+  std::size_t parking_capacity = 64;
+  // Per-replica rate budget (0 = unlimited), as in ProxyServer.
+  std::size_t rate_limit = 0;
+  // Seed for the deterministic jitter stream.
+  std::uint64_t jitter_seed = 42;
+};
+
+struct ProxyReplicaHealth {
+  std::size_t share = 0;
+  std::size_t replica = 0;
+  std::size_t successes = 0;
+  std::size_t failures = 0;
+  std::size_t consecutive_failures = 0;
+  bool breaker_open = false;
+};
+
+struct ProxyPoolStats {
+  std::size_t transformed = 0;  // uploads fully transformed (incl. drained)
+  std::size_t parked = 0;       // uploads that entered the parking queue
+  std::size_t drained = 0;      // parked uploads later completed
+  std::size_t rejected = 0;     // parks refused: queue full
+  std::size_t retries = 0;      // failed share-application attempts
+  std::size_t failovers = 0;    // replica switches after a failure
+  std::size_t breaker_opens = 0;
+  std::size_t breaker_probes = 0;  // half-open probe attempts
+};
+
+class ResilientProxyPipeline {
+ public:
+  // `shares[i]` is r_i (r = prod shares); each is replicated
+  // options.replicas times. Replica failpoint sites: "proxy.s<i>.r<j>".
+  ResilientProxyPipeline(const ApksPlus& scheme,
+                         const std::vector<Fq>& shares,
+                         ProxyPoolOptions options = {});
+
+  // Applies every share of r to `partial`, failing over between replicas.
+  // Returns the fully transformed ciphertext, or std::nullopt after
+  // parking the upload under `tag` (some share had no live replica; the
+  // shares that did succeed are retained in the parked ciphertext). Throws
+  // ProxyUnavailable when the upload would park but the queue is full.
+  [[nodiscard]] std::optional<EncryptedIndex> process(
+      const EncryptedIndex& partial, std::string tag);
+
+  // Synchronous variant for the backend ingest hook (CloudServer::store
+  // must return an id, so parking is not an option): same failover, but a
+  // share with no live replica refunds the shares already applied and
+  // throws ProxyUnavailable.
+  [[nodiscard]] EncryptedIndex process_strict(const EncryptedIndex& partial);
+
+  // Retries every parked upload; each one that now completes is handed to
+  // `sink(tag, transformed)` and leaves the queue (still-blocked uploads
+  // stay parked). Returns the number completed.
+  std::size_t drain(
+      const std::function<void(const std::string& tag,
+                               EncryptedIndex transformed)>& sink);
+
+  [[nodiscard]] std::size_t share_count() const noexcept {
+    return shares_.size();
+  }
+  [[nodiscard]] std::size_t replica_count() const noexcept {
+    return options_.replicas;
+  }
+  [[nodiscard]] std::size_t parked_count() const;
+  [[nodiscard]] ProxyPoolStats stats() const;
+  [[nodiscard]] std::vector<ProxyReplicaHealth> health() const;
+
+ private:
+  struct Replica {
+    Replica(const ApksPlus& scheme, const Fq& share, std::size_t rate_limit,
+            std::string site)
+        : proxy(scheme, share, rate_limit, std::move(site)) {}
+    ProxyServer proxy;
+    std::size_t successes = 0;
+    std::size_t failures = 0;
+    std::size_t consecutive = 0;
+    bool open = false;              // circuit breaker
+    std::uint64_t open_until = 0;   // op counter at which a probe is allowed
+  };
+  struct Share {
+    std::vector<Replica> replicas;
+  };
+  struct ParkedUpload {
+    std::string tag;
+    EncryptedIndex partial;
+    std::vector<char> applied;  // applied[i]: share i already transformed
+  };
+
+  // Tries to apply share `si` to `cur` (caller holds mutex_). On success
+  // records the replica that served it in `*served_replica`. Returns false
+  // when every replica is down/exhausted.
+  bool apply_share_locked(std::size_t si, EncryptedIndex& cur,
+                          std::size_t* served_replica);
+  // Applies every unapplied share; returns indexes of shares still
+  // pending. `served` (optional) collects (share, replica) pairs that
+  // succeeded — process_strict refunds them on failure.
+  std::vector<std::size_t> apply_all_locked(
+      EncryptedIndex& cur, std::vector<char>& applied,
+      std::vector<std::pair<std::size_t, std::size_t>>* served);
+  void backoff_locked(std::size_t failures_so_far);
+
+  const ApksPlus* scheme_;
+  ProxyPoolOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<Share> shares_;
+  std::deque<ParkedUpload> parked_;
+  ProxyPoolStats stats_;
+  std::uint64_t op_counter_ = 0;
+  std::uint64_t jitter_state_;
+};
+
+// Deployment wiring: split r into `shares` multiplicative shares and stand
+// up a replicated pool over them.
+[[nodiscard]] ResilientProxyPipeline make_resilient_pipeline(
+    const ApksPlus& scheme, const Fq& r, std::size_t shares, Rng& rng,
+    ProxyPoolOptions options = {});
+
+// Installs the pool as the backend's synchronous ingest stage (strict
+// path: no parking — see process_strict). The pool must outlive the
+// backend's use.
+inline void attach_ingest_pipeline(ApksPlusBackend& backend,
+                                   ResilientProxyPipeline& pool) {
+  backend.set_ingest_stage([&pool](const EncryptedIndex& partial) {
+    return pool.process_strict(partial);
+  });
+}
+
+}  // namespace apks

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "common/failpoint.h"
+
 namespace apks {
 
 namespace {
@@ -40,21 +42,38 @@ struct alignas(64) WorkerSlot {
   std::atomic<std::uint64_t> range{0};
 };
 
+// Why the scan stopped early (block-boundary cooperative checks).
+enum StopReason : int { kRun = 0, kStopDeadline = 1, kStopCancelled = 2 };
+
+// RAII in-flight slot for admission control.
+struct InflightGuard {
+  explicit InflightGuard(std::atomic<std::size_t>* counter)
+      : counter_(counter) {}
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+  ~InflightGuard() {
+    if (counter_ != nullptr) counter_->fetch_sub(1, std::memory_order_relaxed);
+  }
+  std::atomic<std::size_t>* counter_;
+};
+
 }  // namespace
 
 std::vector<std::vector<std::string>> SearchEngine::search_batch(
-    std::span<const SignedCapability> caps, BatchMetrics* metrics) const {
+    std::span<const SignedCapability> caps, BatchMetrics* metrics,
+    const ServeControl& control) const {
   std::vector<AnyQuery> raw(caps.size());
   std::vector<char> serve(caps.size());
   for (std::size_t i = 0; i < caps.size(); ++i) {
     raw[i] = server_->borrow_capability(caps[i].cap);
     serve[i] = server_->verifier_.verify(caps[i]) ? 1 : 0;
   }
-  return run_batch(raw, serve, /*checked=*/true, metrics);
+  return run_batch(raw, serve, /*checked=*/true, metrics, control);
 }
 
 std::vector<std::vector<std::string>> SearchEngine::search_batch_signed(
-    std::span<const SignedQuery> queries, BatchMetrics* metrics) const {
+    std::span<const SignedQuery> queries, BatchMetrics* metrics,
+    const ServeControl& control) const {
   const SearchBackend& backend = server_->backend();
   std::vector<AnyQuery> raw(queries.size());
   std::vector<char> serve(queries.size());
@@ -62,43 +81,80 @@ std::vector<std::vector<std::string>> SearchEngine::search_batch_signed(
     raw[i] = queries[i].query;
     serve[i] = server_->verifier_.verify(backend, queries[i]) ? 1 : 0;
   }
-  return run_batch(raw, serve, /*checked=*/true, metrics);
+  return run_batch(raw, serve, /*checked=*/true, metrics, control);
 }
 
 std::vector<std::vector<std::string>> SearchEngine::search_batch_unchecked(
-    std::span<const Capability> caps, BatchMetrics* metrics) const {
+    std::span<const Capability> caps, BatchMetrics* metrics,
+    const ServeControl& control) const {
   std::vector<AnyQuery> raw(caps.size());
   const std::vector<char> serve(caps.size(), 1);
   for (std::size_t i = 0; i < caps.size(); ++i) {
     raw[i] = server_->borrow_capability(caps[i]);
   }
-  return run_batch(raw, serve, /*checked=*/false, metrics);
+  return run_batch(raw, serve, /*checked=*/false, metrics, control);
 }
 
 std::vector<std::vector<std::string>> SearchEngine::search_batch_unchecked_any(
-    std::span<const AnyQuery> queries, BatchMetrics* metrics) const {
+    std::span<const AnyQuery> queries, BatchMetrics* metrics,
+    const ServeControl& control) const {
   const std::vector<char> serve(queries.size(), 1);
-  return run_batch(queries, serve, /*checked=*/false, metrics);
+  return run_batch(queries, serve, /*checked=*/false, metrics, control);
 }
 
 std::vector<std::string> SearchEngine::search(const SignedCapability& cap,
-                                              ServerMetrics* metrics) const {
+                                              ServerMetrics* metrics,
+                                              const ServeControl& control)
+    const {
   BatchMetrics batch;
-  auto out = search_batch({&cap, 1}, metrics != nullptr ? &batch : nullptr);
+  auto out = search_batch({&cap, 1}, metrics != nullptr ? &batch : nullptr,
+                          control);
   if (metrics != nullptr) *metrics = batch.per_query[0];
   return std::move(out[0]);
 }
 
 std::vector<std::vector<std::string>> SearchEngine::run_batch(
     std::span<const AnyQuery> queries, std::span<const char> serve,
-    bool checked, BatchMetrics* metrics) const {
+    bool checked, BatchMetrics* metrics, const ServeControl& control) const {
   const SearchBackend& backend = server_->backend();
   const Pairing& pairing = backend.pairing();
+
+  // --- Phase 0: admission. A shed batch runs no crypto at all. -----------
+  const std::size_t now_inflight =
+      inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  InflightGuard guard(&inflight_);
+  if (options_.max_inflight != 0 && now_inflight > options_.max_inflight) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    throw Overloaded("search engine overloaded: " +
+                     std::to_string(now_inflight) + " batches in flight, limit " +
+                     std::to_string(options_.max_inflight));
+  }
+
+  const std::uint64_t deadline_ms =
+      control.deadline_ms != 0 ? control.deadline_ms : options_.deadline_ms;
+  const bool has_deadline = deadline_ms != 0;
+  const auto batch_t0 = Clock::now();
+  const Clock::time_point deadline_at =
+      batch_t0 + std::chrono::milliseconds(deadline_ms);
+  // Cooperative stop flag, polled at block boundaries by every worker.
+  std::atomic<int> stop{kRun};
+  auto should_stop = [&]() -> bool {
+    if (stop.load(std::memory_order_relaxed) != kRun) return true;
+    if (control.cancel != nullptr &&
+        control.cancel->load(std::memory_order_relaxed)) {
+      stop.store(kStopCancelled, std::memory_order_relaxed);
+      return true;
+    }
+    if (has_deadline && Clock::now() >= deadline_at) {
+      stop.store(kStopDeadline, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
 
   BatchMetrics bm;
   bm.queries = queries.size();
   bm.per_query.resize(queries.size());
-  const auto batch_t0 = Clock::now();
   const PairingOpCounts batch_c0 = pairing.op_counts();
 
   // --- Phase 1: per-query preprocessing through the LRU cache. -----------
@@ -109,6 +165,7 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
     ServerMetrics& m = bm.per_query[i];
     m.authorized = checked && serve[i] != 0;
     if (serve[i] == 0) continue;  // rejected: never prepared, never scanned
+    if (should_stop()) break;     // deadline blew during preprocessing
     const auto t0 = Clock::now();
     const PairingOpCounts c0 = pairing.op_counts();
     const QueryDigest digest = backend.digest(queries[i]);
@@ -137,7 +194,11 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
 
     std::vector<std::vector<char>> hits(active.size(),
                                         std::vector<char>(n, 0));
+    std::atomic<std::size_t> scanned_records{0};
     auto run_block = [&](std::size_t b) {
+      // Chaos tests arm this site with a delay to force deadlines
+      // deterministically mid-scan.
+      (void)failpoint("engine.scan_block");
       const std::size_t lo = b * block;
       const std::size_t hi = std::min(n, lo + block);
       for (std::size_t r = lo; r < hi; ++r) {
@@ -146,6 +207,7 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
           hits[q][r] = backend.match(prepared[active[q]], index) ? 1 : 0;
         }
       }
+      scanned_records.fetch_add(hi - lo, std::memory_order_relaxed);
     };
 
     std::size_t threads =
@@ -158,7 +220,10 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
     const auto scan_t0 = Clock::now();
     const PairingOpCounts scan_c0 = pairing.op_counts();
     if (threads <= 1) {
-      for (std::size_t b = 0; b < n_blocks; ++b) run_block(b);
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        if (should_stop()) break;
+        run_block(b);
+      }
     } else {
       // Contiguous initial partition; idle workers steal the back half of
       // the most loaded victim's remaining range.
@@ -171,6 +236,8 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
       }
       auto worker = [&](std::size_t self) {
         for (;;) {
+          // Block boundary: the only place a worker gives up its scan.
+          if (should_stop()) return;
           // Pop the front of our own range.
           std::uint64_t cur = slots[self].range.load();
           bool ran = false;
@@ -216,10 +283,14 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
     }
     const PairingOpCounts scan_ops = pairing.op_counts() - scan_c0;
     const double scan_wall = seconds_since(scan_t0);
+    const std::size_t covered =
+        stop.load(std::memory_order_relaxed) == kRun
+            ? n
+            : scanned_records.load(std::memory_order_relaxed);
 
     for (std::size_t q = 0; q < active.size(); ++q) {
       ServerMetrics& m = bm.per_query[active[q]];
-      m.scanned = n;
+      m.scanned = covered;
       m.ops += {scan_ops.miller / active.size(),
                 scan_ops.final_exp / active.size()};
       m.wall_s += scan_wall;
@@ -240,6 +311,29 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
   }
   bm.ops = pairing.op_counts() - batch_c0;
   bm.wall_s = seconds_since(batch_t0);
+
+  const int outcome = stop.load(std::memory_order_relaxed);
+  if (outcome != kRun) {
+    bm.deadline_exceeded = outcome == kStopDeadline;
+    bm.cancelled = outcome == kStopCancelled;
+    for (const std::size_t q : active) {
+      bm.per_query[q].deadline_exceeded = bm.deadline_exceeded;
+      bm.per_query[q].cancelled = bm.cancelled;
+    }
+    (outcome == kStopDeadline ? deadline_exceeded_ : cancelled_)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (metrics != nullptr) *metrics = bm;
+    if (!control.partial_ok) {
+      if (outcome == kStopCancelled) {
+        throw ServingError(ErrorCode::kCancelled,
+                           "batch cancelled at a block boundary");
+      }
+      throw DeadlineExceeded("batch deadline (" + std::to_string(deadline_ms) +
+                             " ms) exceeded at a block boundary");
+    }
+    return results;
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
   if (metrics != nullptr) *metrics = std::move(bm);
   return results;
 }

@@ -29,6 +29,8 @@
 // check carry "unchecked" in their name and exist for benchmarks/CLI use.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -50,6 +52,11 @@ struct ServerMetrics {
   std::size_t scanned = 0;
   std::size_t matched = 0;
   std::size_t prepare_calls = 0;
+  // Deadline/cancellation outcome: the scan stopped at a block boundary
+  // before covering the store, so `scanned` < store size and the results
+  // are the matches from the blocks that did run.
+  bool deadline_exceeded = false;
+  bool cancelled = false;
   double wall_s = 0.0;
   PairingOpCounts ops;
 };
@@ -62,9 +69,20 @@ struct BatchMetrics {
   std::size_t cache_hits = 0;
   std::size_t records = 0;  // store size at scan time
   std::size_t threads = 0;  // workers actually used for the scan
+  bool deadline_exceeded = false;  // the batch deadline fired mid-scan
+  bool cancelled = false;          // the caller's token fired mid-scan
   double wall_s = 0.0;
   PairingOpCounts ops;
   std::vector<ServerMetrics> per_query;  // one entry per input query
+};
+
+// Lifetime serving outcomes across every batch an engine has seen (the
+// counters behind `apks_cli serve` and the fault benches).
+struct EngineCounters {
+  std::uint64_t served = 0;             // batches that ran to completion
+  std::uint64_t shed = 0;               // rejected by admission control
+  std::uint64_t deadline_exceeded = 0;  // batches stopped by their deadline
+  std::uint64_t cancelled = 0;          // batches stopped by a cancel token
 };
 
 class SearchEngine {
@@ -74,9 +92,18 @@ class SearchEngine {
     std::size_t threads = 0;
     // Records per work unit. Each block is evaluated against every query of
     // the batch before moving on (one touch per encrypted index per batch).
+    // Also the deadline/cancellation granularity: controls are polled at
+    // block boundaries only.
     std::size_t block_records = 8;
     // LRU capacity of the prepared-query cache; 0 disables caching.
     std::size_t cache_capacity = 64;
+    // Default per-batch deadline (0 = none); a ServeControl with a nonzero
+    // deadline_ms overrides it per call.
+    std::uint64_t deadline_ms = 0;
+    // Load shedding: batches admitted concurrently beyond this limit are
+    // rejected up front with Overloaded (0 = unlimited). Shed batches run
+    // no crypto at all.
+    std::size_t max_inflight = 0;
   };
 
   explicit SearchEngine(const CloudServer& server)
@@ -90,43 +117,70 @@ class SearchEngine {
   // identical to independent CloudServer::search calls. Unauthorized
   // capabilities yield an empty result with zero records scanned.
   // Requires an APKS-family server backend.
+  //
+  // Serving limits (all entry points): a batch beyond Options::max_inflight
+  // throws Overloaded before any crypto runs. A deadline (control's, else
+  // Options::deadline_ms) or the control's cancel token stops the scan at
+  // the next block boundary; the batch then throws DeadlineExceeded /
+  // ServingError(kCancelled) — with metrics already filled — unless
+  // control.partial_ok, in which case the partial results are returned and
+  // the metrics carry the outcome flags.
   [[nodiscard]] std::vector<std::vector<std::string>> search_batch(
-      std::span<const SignedCapability> caps,
-      BatchMetrics* metrics = nullptr) const;
+      std::span<const SignedCapability> caps, BatchMetrics* metrics = nullptr,
+      const ServeControl& control = {}) const;
 
   // Scheme-agnostic batch: signatures are verified over the backend's
   // query_message (identical acceptance to search_batch for APKS-family
   // backends).
   [[nodiscard]] std::vector<std::vector<std::string>> search_batch_signed(
-      std::span<const SignedQuery> queries,
-      BatchMetrics* metrics = nullptr) const;
+      std::span<const SignedQuery> queries, BatchMetrics* metrics = nullptr,
+      const ServeControl& control = {}) const;
 
   // Single verified query through the same cache + scan machinery.
   [[nodiscard]] std::vector<std::string> search(
-      const SignedCapability& cap, ServerMetrics* metrics = nullptr) const;
+      const SignedCapability& cap, ServerMetrics* metrics = nullptr,
+      const ServeControl& control = {}) const;
 
   // Bench/CLI-only: serve raw capabilities/queries, skipping the
   // authorization layer. `authorized` stays false in the metrics (the
   // layer never ran).
   [[nodiscard]] std::vector<std::vector<std::string>> search_batch_unchecked(
-      std::span<const Capability> caps, BatchMetrics* metrics = nullptr) const;
+      std::span<const Capability> caps, BatchMetrics* metrics = nullptr,
+      const ServeControl& control = {}) const;
   [[nodiscard]] std::vector<std::vector<std::string>>
   search_batch_unchecked_any(std::span<const AnyQuery> queries,
-                             BatchMetrics* metrics = nullptr) const;
+                             BatchMetrics* metrics = nullptr,
+                             const ServeControl& control = {}) const;
 
   // Lifetime cache counters (across all batches served by this engine).
   [[nodiscard]] std::size_t cache_hits() const { return cache_.hits(); }
   [[nodiscard]] std::size_t cache_misses() const { return cache_.misses(); }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
 
+  // Lifetime serving outcomes (admission + deadline/cancel results).
+  [[nodiscard]] EngineCounters counters() const noexcept {
+    return {served_.load(std::memory_order_relaxed),
+            shed_.load(std::memory_order_relaxed),
+            deadline_exceeded_.load(std::memory_order_relaxed),
+            cancelled_.load(std::memory_order_relaxed)};
+  }
+  [[nodiscard]] std::size_t inflight() const noexcept {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
  private:
   [[nodiscard]] std::vector<std::vector<std::string>> run_batch(
       std::span<const AnyQuery> queries, std::span<const char> authorized,
-      bool checked, BatchMetrics* metrics) const;
+      bool checked, BatchMetrics* metrics, const ServeControl& control) const;
 
   const CloudServer* server_;
   Options options_;
   mutable PreparedQueryCache cache_;
+  mutable std::atomic<std::size_t> inflight_{0};
+  mutable std::atomic<std::uint64_t> served_{0};
+  mutable std::atomic<std::uint64_t> shed_{0};
+  mutable std::atomic<std::uint64_t> deadline_exceeded_{0};
+  mutable std::atomic<std::uint64_t> cancelled_{0};
 };
 
 }  // namespace apks

@@ -1,12 +1,20 @@
 #include "cloud/server.h"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
+
+#include "common/failpoint.h"
 
 namespace apks {
 
 namespace {
+
+// How often the single-query scan polls its ServeControl: every block of
+// this many records (one pairing-based match per record, so the overshoot
+// past a deadline is at most this many match calls).
+constexpr std::size_t kScanCheckRecords = 8;
 
 [[nodiscard]] bool is_apks_family(SchemeKind kind) noexcept {
   return kind == SchemeKind::kApks || kind == SchemeKind::kApksPlus;
@@ -142,6 +150,26 @@ std::vector<std::string> CloudServer::search_signed(const SignedQuery& query,
   return scan_locked(query.query, stats);
 }
 
+std::vector<std::string> CloudServer::search(const SignedCapability& cap,
+                                             const ServeControl& control,
+                                             SearchStats* stats) const {
+  if (stats != nullptr) *stats = SearchStats{};
+  if (!verifier_.verify(cap)) return {};
+  if (stats != nullptr) stats->authorized = true;
+  std::shared_lock lock(mutex_);
+  return scan_locked(borrow_capability(cap.cap), stats, &control);
+}
+
+std::vector<std::string> CloudServer::search_signed(const SignedQuery& query,
+                                                    const ServeControl& control,
+                                                    SearchStats* stats) const {
+  if (stats != nullptr) *stats = SearchStats{};
+  if (!verifier_.verify(*backend_, query)) return {};
+  if (stats != nullptr) stats->authorized = true;
+  std::shared_lock lock(mutex_);
+  return scan_locked(query.query, stats, &control);
+}
+
 std::vector<std::string> CloudServer::search_parallel(
     const SignedCapability& cap, std::size_t threads,
     SearchStats* stats) const {
@@ -176,13 +204,45 @@ std::vector<std::string> CloudServer::search_parallel_unchecked_any(
   return scan_parallel_locked(query, threads, stats);
 }
 
-std::vector<std::string> CloudServer::scan_locked(const AnyQuery& query,
-                                                  SearchStats* stats) const {
+std::vector<std::string> CloudServer::scan_locked(
+    const AnyQuery& query, SearchStats* stats,
+    const ServeControl* control) const {
+  using Clock = std::chrono::steady_clock;
+  const bool has_deadline = control != nullptr && control->deadline_ms != 0;
+  const Clock::time_point deadline_at =
+      has_deadline
+          ? Clock::now() + std::chrono::milliseconds(control->deadline_ms)
+          : Clock::time_point{};
+
   std::size_t scanned = 0;
   std::size_t matched = 0;
   const AnyPrepared prepared = backend_->prepare(query);
   std::vector<std::string> matches;
   for (const auto& record : records_) {
+    if (control != nullptr && scanned % kScanCheckRecords == 0) {
+      // Block boundary: the only place a request gives up. Chaos tests arm
+      // this site with a delay to force deadlines deterministically.
+      (void)failpoint("server.scan_block");
+      const bool cancelled = control->cancel != nullptr &&
+                             control->cancel->load(std::memory_order_relaxed);
+      if (cancelled || (has_deadline && Clock::now() >= deadline_at)) {
+        if (stats != nullptr) {
+          stats->scanned = scanned;
+          stats->matched = matched;
+          stats->cancelled = cancelled;
+          stats->deadline_exceeded = !cancelled;
+        }
+        if (cancelled) {
+          throw ServingError(ErrorCode::kCancelled,
+                             "search cancelled after " +
+                                 std::to_string(scanned) + " records");
+        }
+        throw DeadlineExceeded("search deadline (" +
+                               std::to_string(control->deadline_ms) +
+                               " ms) exceeded after " +
+                               std::to_string(scanned) + " records");
+      }
+    }
     ++scanned;
     if (backend_->match(prepared, record.index)) {
       ++matched;

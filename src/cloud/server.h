@@ -26,6 +26,7 @@
 // production callers use the SignedCapability/SignedQuery overloads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -42,6 +43,24 @@ namespace apks {
 
 class SearchEngine;
 
+// Per-request serving limits, honoured cooperatively at scan-block
+// boundaries (a pairing evaluation is never interrupted mid-flight; the
+// check runs between blocks, so overshoot is bounded by one block's worth
+// of match calls).
+struct ServeControl {
+  // Wall-clock budget for the request, from entry to results. 0 = none
+  // (SearchEngine falls back to its Options::deadline_ms default).
+  std::uint64_t deadline_ms = 0;
+  // Cooperative cancellation token: the caller sets it, the scan notices at
+  // the next block boundary. May be nullptr.
+  const std::atomic<bool>* cancel = nullptr;
+  // When true, a deadline/cancellation returns the matches found in the
+  // blocks already scanned (metrics flag the truncation) instead of
+  // throwing DeadlineExceeded / ServingError(kCancelled). SearchEngine
+  // only; CloudServer's single-query path always throws.
+  bool partial_ok = false;
+};
+
 class CloudServer {
  public:
   struct Record {
@@ -51,11 +70,15 @@ class CloudServer {
   };
 
   // Layered stats: the authorization layer owns `authorized`; the scan
-  // layer owns `scanned`/`matched` and never touches the former.
+  // layer owns `scanned`/`matched` and never touches the former. When a
+  // deadline-aware search throws, the stats out-param has already been
+  // filled with the partial progress and the matching outcome flag.
   struct SearchStats {
     bool authorized = false;
     std::size_t scanned = 0;
     std::size_t matched = 0;
+    bool deadline_exceeded = false;
+    bool cancelled = false;
   };
 
   // Basic-APKS deployment: the server owns an ApksBackend over `scheme`.
@@ -132,6 +155,19 @@ class CloudServer {
   [[nodiscard]] std::vector<std::string> search_signed(
       const SignedQuery& query, SearchStats* stats = nullptr) const;
 
+  // Deadline-aware variants: the scan checks `control` at block boundaries
+  // and throws DeadlineExceeded / ServingError(kCancelled) when it fires
+  // (stats, if given, hold the partial progress and the outcome flag).
+  // With a default-constructed control these behave exactly like the plain
+  // overloads. Batched deadline-aware serving lives in SearchEngine.
+  [[nodiscard]] std::vector<std::string> search(const SignedCapability& cap,
+                                                const ServeControl& control,
+                                                SearchStats* stats = nullptr)
+      const;
+  [[nodiscard]] std::vector<std::string> search_signed(
+      const SignedQuery& query, const ServeControl& control,
+      SearchStats* stats = nullptr) const;
+
   // Verified parallel scan across `threads` workers (the paper notes the
   // linear scan parallelizes trivially across server cores). threads == 0
   // uses the hardware concurrency. Results are in record order regardless
@@ -162,9 +198,11 @@ class CloudServer {
   // backends. The returned handle borrows `cap` — scan-call lifetime only.
   [[nodiscard]] AnyQuery borrow_capability(const Capability& cap) const;
 
-  // Scan body; caller must hold mutex_ (shared).
+  // Scan body; caller must hold mutex_ (shared). `control` (optional) is
+  // checked every kScanCheckRecords records.
   [[nodiscard]] std::vector<std::string> scan_locked(
-      const AnyQuery& query, SearchStats* stats) const;
+      const AnyQuery& query, SearchStats* stats,
+      const ServeControl* control = nullptr) const;
   [[nodiscard]] std::vector<std::string> scan_parallel_locked(
       const AnyQuery& query, std::size_t threads, SearchStats* stats) const;
 

@@ -1,0 +1,282 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace apks {
+
+std::atomic<int> Failpoints::armed_sites_{0};
+
+std::string_view fail_action_name(FailAction action) noexcept {
+  switch (action) {
+    case FailAction::kOff: return "off";
+    case FailAction::kError: return "error";
+    case FailAction::kThrow: return "throw";
+    case FailAction::kDelay: return "delay";
+    case FailAction::kShortWrite: return "short";
+  }
+  return "?";
+}
+
+namespace {
+
+// splitmix64 — deterministic, seedable, and good enough for fault
+// schedules (this is test machinery, not cryptography).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+struct SiteState {
+  FailpointPolicy policy;
+  bool armed = false;
+  std::uint64_t evaluations = 0;
+  std::uint64_t fires = 0;
+  std::uint64_t rng = 0;  // probability stream state
+};
+
+// Registry storage lives behind the singleton accessor so static
+// initialization order never bites callers that arm failpoints from other
+// static contexts.
+struct Registry {
+  mutable std::mutex mutex;
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+Failpoints& Failpoints::instance() {
+  static Failpoints fp;
+  return fp;
+}
+
+void Failpoints::set(std::string_view site, FailpointPolicy policy) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  SiteState& s = reg.sites[std::string(site)];
+  if (!s.armed && policy.action != FailAction::kOff) {
+    armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  } else if (s.armed && policy.action == FailAction::kOff) {
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  s.policy = policy;
+  s.armed = policy.action != FailAction::kOff;
+  s.evaluations = 0;
+  s.fires = 0;
+  s.rng = policy.seed;
+}
+
+void Failpoints::clear(std::string_view site) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return;
+  if (it->second.armed) {
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  reg.sites.erase(it);
+}
+
+void Failpoints::clear_all() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (const auto& [name, s] : reg.sites) {
+    if (s.armed) armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  reg.sites.clear();
+}
+
+FailpointFire Failpoints::evaluate(std::string_view site) {
+  FailpointFire fire;
+  std::uint32_t sleep_ms = 0;
+  bool thrown = false;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    const auto it = reg.sites.find(site);
+    if (it == reg.sites.end() || !it->second.armed) return {};
+    SiteState& s = it->second;
+    const FailpointPolicy& p = s.policy;
+    ++s.evaluations;
+    if (s.evaluations <= p.after) return {};
+    if (p.max_hits != 0 && s.fires >= p.max_hits) return {};
+    const std::uint64_t eligible = s.evaluations - p.after;
+    if (p.every > 1 && eligible % p.every != 0) return {};
+    if (p.probability < 1.0 && uniform01(s.rng) >= p.probability) return {};
+    ++s.fires;
+    switch (p.action) {
+      case FailAction::kOff:
+        return {};
+      case FailAction::kThrow:
+        thrown = true;
+        break;
+      case FailAction::kDelay:
+        sleep_ms = p.delay_ms;
+        break;
+      case FailAction::kError:
+      case FailAction::kShortWrite:
+        fire = {p.action, p.error_code, p.short_bytes};
+        break;
+    }
+  }
+  // Throw/sleep outside the lock so a slow or throwing site never blocks
+  // concurrent evaluations of other sites.
+  if (thrown) throw FailpointError(std::string(site));
+  if (sleep_ms != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return fire;
+}
+
+std::uint64_t Failpoints::evaluations(std::string_view site) const {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.evaluations;
+}
+
+std::uint64_t Failpoints::fires(std::string_view site) const {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<FailpointSiteStats> Failpoints::stats() const {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  std::vector<FailpointSiteStats> out;
+  out.reserve(reg.sites.size());
+  for (const auto& [name, s] : reg.sites) {
+    out.push_back({name, s.evaluations, s.fires});
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+  throw std::invalid_argument("failpoint spec '" + std::string(spec) +
+                              "': " + why);
+}
+
+std::uint64_t parse_u64(std::string_view spec, std::string_view v) {
+  std::uint64_t out = 0;
+  std::size_t used = 0;
+  try {
+    out = std::stoull(std::string(v), &used);
+  } catch (const std::exception&) {
+    bad_spec(spec, "expected a number, got '" + std::string(v) + "'");
+  }
+  if (used != v.size()) bad_spec(spec, "trailing junk in number");
+  return out;
+}
+
+double parse_prob(std::string_view spec, std::string_view v) {
+  double out = 0;
+  std::size_t used = 0;
+  try {
+    out = std::stod(std::string(v), &used);
+  } catch (const std::exception&) {
+    bad_spec(spec, "expected a probability, got '" + std::string(v) + "'");
+  }
+  if (used != v.size() || out < 0.0 || out > 1.0) {
+    bad_spec(spec, "probability must be in [0, 1]");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t Failpoints::configure(std::string_view spec) {
+  std::size_t armed = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string_view entry = spec.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      bad_spec(entry, "expected site=action[;field:value...]");
+    }
+    const std::string_view site = entry.substr(0, eq);
+    FailpointPolicy policy;
+    bool first = true;
+    std::size_t fpos = eq + 1;
+    while (fpos <= entry.size()) {
+      const std::size_t semi = entry.find(';', fpos);
+      const std::string_view field = entry.substr(
+          fpos, semi == std::string_view::npos ? std::string_view::npos
+                                               : semi - fpos);
+      fpos = semi == std::string_view::npos ? entry.size() + 1 : semi + 1;
+      if (field.empty()) continue;
+      const std::size_t colon = field.find(':');
+      const std::string_view key = field.substr(0, colon);
+      const std::string_view val =
+          colon == std::string_view::npos ? std::string_view{}
+                                          : field.substr(colon + 1);
+      if (first) {
+        first = false;
+        if (key == "off") policy.action = FailAction::kOff;
+        else if (key == "error") {
+          policy.action = FailAction::kError;
+          if (!val.empty()) {
+            policy.error_code = static_cast<int>(parse_u64(entry, val));
+          }
+        } else if (key == "throw") {
+          policy.action = FailAction::kThrow;
+        } else if (key == "delay") {
+          policy.action = FailAction::kDelay;
+          if (val.empty()) bad_spec(entry, "delay needs delay:MS");
+          policy.delay_ms = static_cast<std::uint32_t>(parse_u64(entry, val));
+        } else if (key == "short") {
+          policy.action = FailAction::kShortWrite;
+          if (val.empty()) bad_spec(entry, "short needs short:BYTES");
+          policy.short_bytes = parse_u64(entry, val);
+        } else {
+          bad_spec(entry, "unknown action '" + std::string(key) + "'");
+        }
+        continue;
+      }
+      if (val.empty()) bad_spec(entry, "field needs a value: " +
+                                           std::string(key));
+      if (key == "every") policy.every = parse_u64(entry, val);
+      else if (key == "after") policy.after = parse_u64(entry, val);
+      else if (key == "p") policy.probability = parse_prob(entry, val);
+      else if (key == "seed") policy.seed = parse_u64(entry, val);
+      else if (key == "limit") policy.max_hits = parse_u64(entry, val);
+      else bad_spec(entry, "unknown field '" + std::string(key) + "'");
+    }
+    if (first) bad_spec(entry, "missing action");
+    if (policy.every == 0) bad_spec(entry, "every must be at least 1");
+    set(site, policy);
+    if (policy.action != FailAction::kOff) ++armed;
+  }
+  return armed;
+}
+
+std::size_t Failpoints::configure_from_env() {
+  const char* spec = std::getenv("APKS_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return 0;
+  return configure(spec);
+}
+
+}  // namespace apks

@@ -1,0 +1,141 @@
+// Deterministic fault injection for chaos testing (the repo-wide failpoint
+// framework; see DESIGN.md §5e "Fault model & degradation").
+//
+// A *failpoint* is a named site compiled into production code paths —
+// "fs.write", "proxy.s0.r1", "engine.scan_block" — that normally does
+// nothing. Tests, the chaos suite and the CLI arm sites with a policy:
+//
+//   action   what happens when the site fires
+//              error[:errno]  report a failed syscall (I/O shims only)
+//              throw          throw FailpointError at the site
+//              delay:MS       sleep MS milliseconds, then continue
+//              short:BYTES    write only BYTES of the payload, then fail
+//                             (fs.write only — leaves a torn frame on disk)
+//   trigger  when it fires
+//              every:N        on every Nth eligible evaluation (default 1)
+//              after:N        skip the first N evaluations
+//              p:X            with probability X per evaluation, drawn from
+//                             a seeded deterministic stream (seed:S) — the
+//                             same seed always yields the same schedule
+//              limit:N        disarm after N fires (0 = unlimited)
+//
+// Configuration is programmatic (Failpoints::set / clear) or via the
+// APKS_FAILPOINTS environment variable, a comma-separated list of
+// `site=action;field:value;...` entries, e.g.
+//
+//   APKS_FAILPOINTS="fs.fsync=error;every:3,proxy.s0.r0=throw;p:0.5;seed:7"
+//
+// Cost model: a disarmed registry costs one relaxed atomic load per site
+// evaluation (no lock, no map lookup, no string hashing); only armed
+// registries take the registry mutex. Evaluation is thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apks {
+
+enum class FailAction : std::uint8_t {
+  kOff = 0,
+  kError,       // I/O shims report a failed call with `error_code` as errno
+  kThrow,       // the site throws FailpointError
+  kDelay,       // sleep `delay_ms`, then proceed normally
+  kShortWrite,  // fs.write persists only `short_bytes`, then reports failure
+};
+
+[[nodiscard]] std::string_view fail_action_name(FailAction action) noexcept;
+
+// Thrown by armed `throw` sites (and by I/O shims that translate injected
+// errors into exceptions further up).
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& site)
+      : std::runtime_error("failpoint fired: " + site), site_(site) {}
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+struct FailpointPolicy {
+  FailAction action = FailAction::kOff;
+  int error_code = 5;            // kError/kShortWrite: injected errno (EIO)
+  std::uint32_t delay_ms = 0;    // kDelay
+  std::uint64_t short_bytes = 0;  // kShortWrite: bytes actually persisted
+  // Trigger: an evaluation is *eligible* once `after` evaluations have
+  // passed; every `every`-th eligible evaluation fires, further gated by
+  // `probability` (drawn from a splitmix64 stream seeded with `seed`), and
+  // the site disarms after `max_hits` fires (0 = unlimited).
+  std::uint64_t every = 1;
+  std::uint64_t after = 0;
+  double probability = 1.0;
+  std::uint64_t seed = 0;
+  std::uint64_t max_hits = 0;
+};
+
+// What a site evaluation decided. kThrow and kDelay are handled inside
+// evaluate() (throw / sleep); callers only ever see kOff, kError or
+// kShortWrite and only the I/O shims interpret the latter two.
+struct FailpointFire {
+  FailAction action = FailAction::kOff;
+  int error_code = 0;
+  std::uint64_t short_bytes = 0;
+  [[nodiscard]] bool fired() const noexcept {
+    return action != FailAction::kOff;
+  }
+};
+
+struct FailpointSiteStats {
+  std::string site;
+  std::uint64_t evaluations = 0;
+  std::uint64_t fires = 0;
+};
+
+class Failpoints {
+ public:
+  [[nodiscard]] static Failpoints& instance();
+
+  // Arms (or re-arms, resetting trigger state) one site.
+  void set(std::string_view site, FailpointPolicy policy);
+  void clear(std::string_view site);
+  void clear_all();
+
+  // Parses the APKS_FAILPOINTS grammar above; returns the number of sites
+  // armed. Throws std::invalid_argument on a malformed spec.
+  std::size_t configure(std::string_view spec);
+  // Reads APKS_FAILPOINTS (no-op when unset); returns sites armed.
+  std::size_t configure_from_env();
+
+  // The per-site evaluation: counts the evaluation, decides whether the
+  // site fires, applies kThrow (throws FailpointError) and kDelay (sleeps)
+  // inline, and returns the fire record otherwise.
+  FailpointFire evaluate(std::string_view site);
+
+  [[nodiscard]] std::uint64_t evaluations(std::string_view site) const;
+  [[nodiscard]] std::uint64_t fires(std::string_view site) const;
+  // Counters of every site that has been armed or evaluated while armed.
+  [[nodiscard]] std::vector<FailpointSiteStats> stats() const;
+
+  // True when any site is armed — the one-load hot-path gate.
+  [[nodiscard]] static bool active() noexcept {
+    return armed_sites_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  Failpoints() = default;
+
+  static std::atomic<int> armed_sites_;
+};
+
+// The site macro-equivalent: free function so call sites stay one line.
+// Disarmed cost is the single atomic load in Failpoints::active().
+inline FailpointFire failpoint(std::string_view site) {
+  if (!Failpoints::active()) return {};
+  return Failpoints::instance().evaluate(site);
+}
+
+}  // namespace apks

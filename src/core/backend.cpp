@@ -14,6 +14,19 @@ namespace {
 
 }  // namespace
 
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kCorrupt: return "corrupt";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kExhausted: return "exhausted";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 std::string_view scheme_name(SchemeKind kind) noexcept {
   switch (kind) {
     case SchemeKind::kApks: return "apks";

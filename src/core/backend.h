@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +37,72 @@
 #include "pairing/pairing.h"
 
 namespace apks {
+
+// --- Serving error taxonomy -------------------------------------------------
+// Production failures cross layer boundaries as typed errors so callers can
+// route them (retry, fail over, park, shed) instead of pattern-matching
+// what() strings. Every class derives from std::runtime_error, so code
+// written against the old untyped throws keeps working.
+
+enum class ErrorCode : std::uint8_t {
+  kIo = 1,            // a syscall failed (disk full, EIO, ...)
+  kCorrupt,           // on-disk bytes fail validation (CRC, magic, counts)
+  kUnavailable,       // a dependency (proxy replica) has no live instance
+  kExhausted,         // a budget ran out (proxy rate limit)
+  kOverloaded,        // admission control shed the request
+  kDeadlineExceeded,  // the per-query deadline expired mid-serve
+  kCancelled,         // the caller's cancellation token fired
+};
+
+[[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;
+
+class ServingError : public std::runtime_error {
+ public:
+  ServingError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+// Store I/O and corruption (src/store). `path` names the file or directory
+// the failing operation touched.
+class StoreError : public ServingError {
+ public:
+  StoreError(ErrorCode code, const std::string& what, std::string path)
+      : ServingError(code, what), path_(std::move(path)) {}
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Admission control rejected the request before any work ran.
+class Overloaded : public ServingError {
+ public:
+  explicit Overloaded(const std::string& what)
+      : ServingError(ErrorCode::kOverloaded, what) {}
+};
+
+// The per-query deadline expired; the scan stopped at a block boundary.
+class DeadlineExceeded : public ServingError {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : ServingError(ErrorCode::kDeadlineExceeded, what) {}
+};
+
+// No live replica could apply a proxy share (r_i). `share` is the share's
+// position in the chain.
+class ProxyUnavailable : public ServingError {
+ public:
+  ProxyUnavailable(std::size_t share, const std::string& what)
+      : ServingError(ErrorCode::kUnavailable, what), share_(share) {}
+  [[nodiscard]] std::size_t share() const noexcept { return share_; }
+
+ private:
+  std::size_t share_;
+};
 
 // On-disk/scheme tags. Values are persisted (STORE meta, shard manifests);
 // never renumber.

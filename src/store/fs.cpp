@@ -1,0 +1,103 @@
+#include "store/fs.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/failpoint.h"
+#include "core/backend.h"
+
+namespace apks::storefs {
+
+namespace {
+
+[[noreturn]] void fail_io(const std::string& what,
+                          const std::filesystem::path& path) {
+  throw StoreError(ErrorCode::kIo,
+                   what + ": " + path.string() + " (" + std::strerror(errno) +
+                       ")",
+                   path.string());
+}
+
+}  // namespace
+
+std::FILE* open(const std::filesystem::path& path, const char* mode) {
+  if (const FailpointFire fire = failpoint(kSiteOpen); fire.fired()) {
+    errno = fire.error_code;
+    return nullptr;
+  }
+  return std::fopen(path.c_str(), mode);
+}
+
+bool write(std::FILE* f, const void* data, std::size_t len) {
+  if (const FailpointFire fire = failpoint(kSiteWrite); fire.fired()) {
+    if (fire.action == FailAction::kShortWrite && fire.short_bytes < len) {
+      // Persist the prefix for real — the torn-frame state a killed writer
+      // leaves — before reporting the failure.
+      (void)std::fwrite(data, 1, static_cast<std::size_t>(fire.short_bytes),
+                        f);
+      (void)std::fflush(f);
+    }
+    errno = fire.error_code;
+    return false;
+  }
+  return len == 0 || std::fwrite(data, 1, len, f) == len;
+}
+
+bool flush(std::FILE* f) {
+  if (const FailpointFire fire = failpoint(kSiteFlush); fire.fired()) {
+    errno = fire.error_code;
+    return false;
+  }
+  return std::fflush(f) == 0;
+}
+
+bool sync(std::FILE* f) {
+  if (!flush(f)) return false;
+  if (const FailpointFire fire = failpoint(kSiteFsync); fire.fired()) {
+    errno = fire.error_code;
+    return false;
+  }
+  return ::fsync(::fileno(f)) == 0;
+}
+
+bool close(std::FILE* f) {
+  return std::fclose(f) == 0;
+}
+
+void rename(const std::filesystem::path& from,
+            const std::filesystem::path& to) {
+  if (const FailpointFire fire = failpoint(kSiteRename); fire.fired()) {
+    errno = fire.error_code;
+    fail_io("rename failed", to);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    fail_io("rename failed", to);
+  }
+}
+
+void sync_directory(const std::filesystem::path& dir) {
+  if (const FailpointFire fire = failpoint(kSiteDirsync); fire.fired()) {
+    errno = fire.error_code;
+    fail_io("directory fsync failed", dir);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail_io("cannot open directory", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail_io("directory fsync failed", dir);
+}
+
+void truncate(const std::filesystem::path& path, std::uint64_t size) {
+  if (const FailpointFire fire = failpoint(kSiteTruncate); fire.fired()) {
+    errno = fire.error_code;
+    fail_io("truncate failed", path);
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    fail_io("truncate failed", path);
+  }
+}
+
+}  // namespace apks::storefs

@@ -1,0 +1,65 @@
+// storefs — the storage engine's thin syscall shim.
+//
+// Every file operation the store performs (open, buffered write, flush,
+// fsync, rename, directory sync, truncate) goes through one of these
+// wrappers instead of calling stdio/POSIX directly, for two reasons:
+//
+//   1. Fault injection: each wrapper evaluates a failpoint site
+//      ("fs.open", "fs.write", "fs.flush", "fs.fsync", "fs.rename",
+//      "fs.dirsync", "fs.truncate" — see common/failpoint.h), so chaos
+//      tests can drive the segment/manifest machinery through injected
+//      EIO/ENOSPC, short writes (a torn frame really lands on disk) and
+//      crash-before-fsync schedules without mocking the filesystem.
+//   2. Checked returns: wrappers return false and set errno (or throw
+//      StoreError for the path-level ops) so the layers above convert
+//      every failure into a typed StoreError — no silently ignored
+//      syscall results.
+//
+// A short-write injection persists `short_bytes` of the payload (flushed
+// through stdio so the bytes are really in the file) and then reports
+// failure — exactly the on-disk state a writer killed mid-write leaves.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+
+namespace apks::storefs {
+
+// Failpoint site names (armed via Failpoints / APKS_FAILPOINTS).
+inline constexpr const char* kSiteOpen = "fs.open";
+inline constexpr const char* kSiteWrite = "fs.write";
+inline constexpr const char* kSiteFlush = "fs.flush";
+inline constexpr const char* kSiteFsync = "fs.fsync";
+inline constexpr const char* kSiteRename = "fs.rename";
+inline constexpr const char* kSiteDirsync = "fs.dirsync";
+inline constexpr const char* kSiteTruncate = "fs.truncate";
+
+// fopen wrapper; nullptr + errno on failure (injected or real).
+[[nodiscard]] std::FILE* open(const std::filesystem::path& path,
+                              const char* mode);
+
+// Buffered write of exactly `len` bytes; false + errno on failure. An
+// injected short write persists a prefix first (see header comment).
+[[nodiscard]] bool write(std::FILE* f, const void* data, std::size_t len);
+
+[[nodiscard]] bool flush(std::FILE* f);
+
+// flush + fsync to the device; false + errno on failure.
+[[nodiscard]] bool sync(std::FILE* f);
+
+// fclose wrapper. Checked because closing a buffered writer flushes: a
+// false return means buffered frames never reached the OS.
+[[nodiscard]] bool close(std::FILE* f);
+
+// Atomic replace (::rename); throws StoreError(kIo) on failure.
+void rename(const std::filesystem::path& from,
+            const std::filesystem::path& to);
+
+// fsyncs the directory entry so a just-created/renamed file survives a
+// crash; throws StoreError(kIo) on failure.
+void sync_directory(const std::filesystem::path& dir);
+
+// Truncates `path` to `size` bytes; throws StoreError(kIo) on failure.
+void truncate(const std::filesystem::path& path, std::uint64_t size);
+
+}  // namespace apks::storefs

@@ -1,18 +1,32 @@
 #include "store/index_store.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 
-#include <unistd.h>
-
 #include "common/bytes.h"
 #include "common/crc32.h"
+#include "store/fs.h"
 
 namespace apks {
 namespace {
+
+[[noreturn]] void fail_io(const std::string& what,
+                          const std::filesystem::path& path) {
+  throw StoreError(ErrorCode::kIo,
+                   what + ": " + path.string() + " (" + std::strerror(errno) +
+                       ")",
+                   path.string());
+}
+
+[[noreturn]] void fail_corrupt(const std::string& what,
+                               const std::filesystem::path& path) {
+  throw StoreError(ErrorCode::kCorrupt, what + ": " + path.string(),
+                   path.string());
+}
 
 constexpr char kManifestMagic[8] = {'A', 'P', 'K', 'S', 'M', 'A', 'N', '1'};
 // Version 1: no scheme tag (every record is basic-APKS serialize_index).
@@ -27,15 +41,17 @@ SchemeKind decode_scheme_byte(std::uint8_t raw, const std::string& what) {
     case static_cast<std::uint8_t>(SchemeKind::kMrqed):
       return static_cast<SchemeKind>(raw);
     default:
-      throw std::runtime_error(what + ": unknown scheme tag " +
-                               std::to_string(raw));
+      throw StoreError(ErrorCode::kCorrupt,
+                       what + ": unknown scheme tag " + std::to_string(raw),
+                       what);
   }
 }
 
 std::vector<std::uint8_t> read_whole_file(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw std::runtime_error("cannot open " + path.string());
+    throw StoreError(ErrorCode::kIo, "cannot open " + path.string(),
+                     path.string());
   }
   return {std::istreambuf_iterator<char>(in),
           std::istreambuf_iterator<char>()};
@@ -91,20 +107,16 @@ void IndexStore::write_manifest() const {
   const std::filesystem::path tmp = dir_ / "MANIFEST.tmp";
   const std::filesystem::path manifest = dir_ / "MANIFEST";
   {
-    std::FILE* f = std::fopen(tmp.c_str(), "wb");
-    if (f == nullptr) {
-      throw std::runtime_error("cannot write " + tmp.string());
-    }
-    const bool ok =
-        std::fwrite(w.data().data(), 1, w.size(), f) == w.size() &&
-        std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
-    std::fclose(f);
-    if (!ok) {
-      throw std::runtime_error("manifest write failed: " + tmp.string());
+    std::FILE* f = storefs::open(tmp, "wb");
+    if (f == nullptr) fail_io("cannot write manifest", tmp);
+    const bool ok = storefs::write(f, w.data().data(), w.size()) &&
+                    storefs::sync(f);
+    if (!storefs::close(f) || !ok) {
+      fail_io("manifest write failed", tmp);
     }
   }
-  std::filesystem::rename(tmp, manifest);
-  sync_directory(dir_);
+  storefs::rename(tmp, manifest);
+  storefs::sync_directory(dir_);
 }
 
 void IndexStore::load_manifest() {
@@ -112,7 +124,7 @@ void IndexStore::load_manifest() {
       read_whole_file(dir_ / "MANIFEST");
   if (data.size() < sizeof(kManifestMagic) + 4 ||
       std::memcmp(data.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
-    throw std::runtime_error("not a manifest: " + (dir_ / "MANIFEST").string());
+    fail_corrupt("not a manifest", dir_ / "MANIFEST");
   }
   const std::span<const std::uint8_t> body(data.data(), data.size() - 4);
   ByteReader r(body);
@@ -120,15 +132,14 @@ void IndexStore::load_manifest() {
   if (crc32(body) != ByteReader(std::span<const std::uint8_t>(
                                     data.data() + data.size() - 4, 4))
                          .u32()) {
-    throw std::runtime_error("manifest checksum mismatch: " +
-                             (dir_ / "MANIFEST").string());
+    fail_corrupt("manifest checksum mismatch", dir_ / "MANIFEST");
   }
   const std::uint32_t version = r.u32();
   if (version != kManifestVersionLegacy && version != kManifestVersion) {
-    throw std::runtime_error("unsupported manifest version");
+    fail_corrupt("unsupported manifest version", dir_ / "MANIFEST");
   }
   if (r.u32() != shard_id_) {
-    throw std::runtime_error("manifest shard id mismatch");
+    fail_corrupt("manifest shard id mismatch", dir_ / "MANIFEST");
   }
   // Pre-tag manifests predate every non-basic scheme: they can only hold
   // basic-APKS records, so they load as SchemeKind::kApks.
@@ -146,7 +157,7 @@ void IndexStore::load_manifest() {
   next_seq_ = r.u64();
   const std::uint32_t nsealed = r.u32();
   if (nsealed > r.remaining() / 24) {
-    throw std::runtime_error("manifest sealed count exceeds payload");
+    fail_corrupt("manifest sealed count exceeds payload", dir_ / "MANIFEST");
   }
   sealed_.clear();
   records_ = 0;
@@ -158,7 +169,7 @@ void IndexStore::load_manifest() {
     sealed_.push_back(s);
   }
   if (!r.done()) {
-    throw std::runtime_error("manifest: trailing bytes");
+    fail_corrupt("manifest: trailing bytes", dir_ / "MANIFEST");
   }
 
   // Sealed segments were fsynced before the manifest committed them: any
@@ -168,8 +179,7 @@ void IndexStore::load_manifest() {
     const SegmentScanResult scan = scan_segment(segment_path(s.seq));
     if (scan.torn_tail() || scan.records != s.records ||
         scan.valid_bytes != s.bytes || scan.info.shard_id != shard_id_) {
-      throw std::runtime_error("sealed segment corrupt: " +
-                               segment_path(s.seq).string());
+      fail_corrupt("sealed segment corrupt", segment_path(s.seq));
     }
     records_ += scan.records;
     ++recovery_.segments;
@@ -186,8 +196,7 @@ void IndexStore::load_manifest() {
     SegmentScanResult scan;
     active_ = SegmentWriter::open_for_append(active_path, &scan);
     if (scan.info.shard_id != shard_id_ || scan.info.seq != active_seq) {
-      throw std::runtime_error("active segment header mismatch: " +
-                               active_path.string());
+      fail_corrupt("active segment header mismatch", active_path);
     }
     recovery_.torn_tail = scan.torn_tail();
     recovery_.torn_bytes = scan.file_bytes - scan.valid_bytes;
@@ -231,8 +240,7 @@ void IndexStore::for_each(
   for (const SealedSegment& s : sealed_) {
     const SegmentScanResult scan = scan_segment(segment_path(s.seq), fn);
     if (scan.records != s.records) {
-      throw std::runtime_error("sealed segment corrupt: " +
-                               segment_path(s.seq).string());
+      fail_corrupt("sealed segment corrupt", segment_path(s.seq));
     }
   }
   (void)scan_segment(active_->path(), fn);

@@ -2,22 +2,26 @@
 
 #include <cerrno>
 #include <cstring>
-#include <stdexcept>
-#include <string>
-
-#include <fcntl.h>
-#include <unistd.h>
 
 #include "common/bytes.h"
 #include "common/crc32.h"
+#include "store/fs.h"
 
 namespace apks {
 namespace {
 
-[[noreturn]] void fail(const std::string& what,
-                       const std::filesystem::path& path) {
-  throw std::runtime_error(what + ": " + path.string() + " (" +
-                           std::strerror(errno) + ")");
+[[noreturn]] void fail_io(const std::string& what,
+                          const std::filesystem::path& path) {
+  throw StoreError(ErrorCode::kIo,
+                   what + ": " + path.string() + " (" + std::strerror(errno) +
+                       ")",
+                   path.string());
+}
+
+[[noreturn]] void fail_corrupt(const std::string& what,
+                               const std::filesystem::path& path) {
+  throw StoreError(ErrorCode::kCorrupt, what + ": " + path.string(),
+                   path.string());
 }
 
 std::uint32_t load_u32(const std::uint8_t* p) {
@@ -38,14 +42,13 @@ SegmentScanResult scan_segment(
     const std::filesystem::path& path,
     const std::function<void(std::span<const std::uint8_t>)>& fn) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) fail("scan_segment: cannot open", path);
+  if (f == nullptr) fail_io("scan_segment: cannot open", path);
   SegmentScanResult out;
   try {
     std::uint8_t header[kSegmentHeaderSize];
     if (std::fread(header, 1, sizeof(header), f) != sizeof(header) ||
         std::memcmp(header, kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
-      throw std::runtime_error("scan_segment: not a segment file: " +
-                               path.string());
+      fail_corrupt("scan_segment: not a segment file", path);
     }
     out.info.shard_id = load_u32(header + 8);
     out.info.seq = load_u64(header + 12);
@@ -68,7 +71,12 @@ SegmentScanResult scan_segment(
       ++out.records;
       if (fn) fn(payload);
     }
-    out.file_bytes = std::filesystem::file_size(path);
+    std::error_code ec;
+    out.file_bytes = std::filesystem::file_size(path, ec);
+    if (ec) {
+      errno = ec.value();
+      fail_io("scan_segment: cannot stat", path);
+    }
   } catch (...) {
     std::fclose(f);
     throw;
@@ -80,8 +88,8 @@ SegmentScanResult scan_segment(
 SegmentWriter::SegmentWriter(const std::filesystem::path& path,
                              std::uint32_t shard_id, std::uint64_t seq) {
   path_ = path;
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) fail("SegmentWriter: cannot create", path);
+  file_ = storefs::open(path, "wb");
+  if (file_ == nullptr) fail_io("SegmentWriter: cannot create", path);
   info_ = {shard_id, seq};
   ByteWriter w;
   w.raw(std::span<const std::uint8_t>(
@@ -89,8 +97,8 @@ SegmentWriter::SegmentWriter(const std::filesystem::path& path,
       sizeof(kSegmentMagic)));
   w.u32(shard_id);
   w.u64(seq);
-  if (std::fwrite(w.data().data(), 1, w.size(), file_) != w.size()) {
-    fail("SegmentWriter: header write failed", path);
+  if (!storefs::write(file_, w.data().data(), w.size())) {
+    fail_io("SegmentWriter: header write failed", path);
   }
   bytes_ = w.size();
 }
@@ -99,13 +107,13 @@ SegmentWriter SegmentWriter::open_for_append(const std::filesystem::path& path,
                                              SegmentScanResult* recovered) {
   const SegmentScanResult scan = scan_segment(path);
   if (scan.torn_tail()) {
-    std::filesystem::resize_file(path, scan.valid_bytes);
+    storefs::truncate(path, scan.valid_bytes);
   }
   if (recovered != nullptr) *recovered = scan;
   SegmentWriter w;
   w.path_ = path;
-  w.file_ = std::fopen(path.c_str(), "ab");
-  if (w.file_ == nullptr) fail("SegmentWriter: cannot append to", path);
+  w.file_ = storefs::open(path, "ab");
+  if (w.file_ == nullptr) fail_io("SegmentWriter: cannot append to", path);
   w.info_ = scan.info;
   w.bytes_ = scan.valid_bytes;
   w.records_ = scan.records;
@@ -123,7 +131,7 @@ SegmentWriter::SegmentWriter(SegmentWriter&& other) noexcept
 
 SegmentWriter& SegmentWriter::operator=(SegmentWriter&& other) noexcept {
   if (this != &other) {
-    close();
+    abandon();
     path_ = std::move(other.path_);
     file_ = other.file_;
     info_ = other.info_;
@@ -134,7 +142,7 @@ SegmentWriter& SegmentWriter::operator=(SegmentWriter&& other) noexcept {
   return *this;
 }
 
-SegmentWriter::~SegmentWriter() { close(); }
+SegmentWriter::~SegmentWriter() { abandon(); }
 
 void SegmentWriter::append(std::span<const std::uint8_t> payload) {
   if (file_ == nullptr) {
@@ -146,42 +154,42 @@ void SegmentWriter::append(std::span<const std::uint8_t> payload) {
   ByteWriter fh;
   fh.u32(static_cast<std::uint32_t>(payload.size()));
   fh.u32(crc32(payload));
-  if (std::fwrite(fh.data().data(), 1, fh.size(), file_) != fh.size() ||
-      (!payload.empty() &&
-       std::fwrite(payload.data(), 1, payload.size(), file_) !=
-           payload.size())) {
-    fail("SegmentWriter: frame write failed", path_);
+  if (!storefs::write(file_, fh.data().data(), fh.size()) ||
+      !storefs::write(file_, payload.data(), payload.size())) {
+    fail_io("SegmentWriter: frame write failed", path_);
   }
   bytes_ += kFrameHeaderSize + payload.size();
   ++records_;
 }
 
 void SegmentWriter::flush() {
-  if (file_ != nullptr && std::fflush(file_) != 0) {
-    fail("SegmentWriter: flush failed", path_);
+  if (file_ != nullptr && !storefs::flush(file_)) {
+    fail_io("SegmentWriter: flush failed", path_);
   }
 }
 
 void SegmentWriter::sync() {
-  flush();
-  if (file_ != nullptr && ::fsync(::fileno(file_)) != 0) {
-    fail("SegmentWriter: fsync failed", path_);
+  if (file_ != nullptr && !storefs::sync(file_)) {
+    fail_io("SegmentWriter: fsync failed", path_);
   }
 }
 
 void SegmentWriter::close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+  if (file_ == nullptr) return;
+  std::FILE* f = file_;
+  file_ = nullptr;
+  if (!storefs::close(f)) {
+    // fclose flushes stdio buffers: a failure here means buffered frames
+    // never reached the OS — data loss, not a cleanup hiccup.
+    fail_io("SegmentWriter: close failed", path_);
   }
 }
 
-void sync_directory(const std::filesystem::path& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) fail("sync_directory: cannot open", dir);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) fail("sync_directory: fsync failed", dir);
+void SegmentWriter::abandon() noexcept {
+  if (file_ != nullptr) {
+    (void)std::fclose(file_);
+    file_ = nullptr;
+  }
 }
 
 }  // namespace apks

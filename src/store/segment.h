@@ -28,6 +28,8 @@
 #include <span>
 #include <vector>
 
+#include "core/backend.h"  // StoreError / ErrorCode
+
 namespace apks {
 
 inline constexpr char kSegmentMagic[8] = {'A', 'P', 'K', 'S',
@@ -58,8 +60,8 @@ struct SegmentScanResult {
 
 // Streams every committed frame of `path` through `fn` (which may be empty
 // to just validate), stopping at the first torn/corrupt frame. Throws
-// std::runtime_error if the file cannot be opened or its header is not a
-// segment header (a torn *tail* is not an error; a bad *header* is).
+// StoreError (kIo if the file cannot be opened, kCorrupt if its header is
+// not a segment header — a torn *tail* is not an error; a bad *header* is).
 SegmentScanResult scan_segment(
     const std::filesystem::path& path,
     const std::function<void(std::span<const std::uint8_t>)>& fn = {});
@@ -82,9 +84,14 @@ class SegmentWriter {
   SegmentWriter& operator=(const SegmentWriter&) = delete;
   ~SegmentWriter();
 
+  // All of these throw StoreError(kIo) when the underlying syscall fails
+  // (including injected faults — every file op goes through store/fs.h).
   void append(std::span<const std::uint8_t> payload);
   void flush();
   void sync();
+  // Checked close: fclose flushes stdio buffers, so a failure here is data
+  // loss and throws. The destructor closes unchecked (abandon()) instead —
+  // a writer being torn down mid-error must not throw again.
   void close();
 
   [[nodiscard]] const SegmentInfo& info() const noexcept { return info_; }
@@ -97,16 +104,13 @@ class SegmentWriter {
  private:
   SegmentWriter() = default;
 
+  void abandon() noexcept;  // close without error reporting (destructor)
+
   std::filesystem::path path_;
   std::FILE* file_ = nullptr;
   SegmentInfo info_;
   std::uint64_t bytes_ = 0;  // header + committed frames written so far
   std::size_t records_ = 0;
 };
-
-// Durability helper shared by segment rotation and manifest replacement:
-// fsyncs the directory entry so a just-created/renamed file survives a
-// crash (POSIX requires syncing the parent directory, not just the file).
-void sync_directory(const std::filesystem::path& dir);
 
 }  // namespace apks

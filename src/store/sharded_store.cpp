@@ -12,6 +12,7 @@
 #include "common/bytes.h"
 #include "common/crc32.h"
 #include "core/serialize_apks.h"
+#include "store/fs.h"
 
 namespace apks {
 namespace {
@@ -40,18 +41,19 @@ void write_store_meta(const std::filesystem::path& dir, std::uint32_t shards,
   w.u8(static_cast<std::uint8_t>(scheme));
   w.u32(crc32(w.data()));
   const std::filesystem::path tmp = dir / "STORE.tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  std::FILE* f = storefs::open(tmp, "wb");
   if (f == nullptr) {
-    throw std::runtime_error("cannot write " + tmp.string());
+    throw StoreError(ErrorCode::kIo, "cannot write " + tmp.string(),
+                     tmp.string());
   }
-  const bool ok = std::fwrite(w.data().data(), 1, w.size(), f) == w.size() &&
-                  std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
-  std::fclose(f);
-  if (!ok) {
-    throw std::runtime_error("store meta write failed: " + tmp.string());
+  const bool ok = storefs::write(f, w.data().data(), w.size()) &&
+                  storefs::sync(f);
+  if (!storefs::close(f) || !ok) {
+    throw StoreError(ErrorCode::kIo, "store meta write failed: " + tmp.string(),
+                     tmp.string());
   }
-  std::filesystem::rename(tmp, dir / "STORE");
-  sync_directory(dir);
+  storefs::rename(tmp, dir / "STORE");
+  storefs::sync_directory(dir);
 }
 
 struct StoreMeta {

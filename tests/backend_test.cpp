@@ -9,11 +9,14 @@
 #include <fstream>
 
 #include "cloud/proxy.h"
+#include "cloud/proxy_pool.h"
 #include "cloud/search_engine.h"
 #include "cloud/server.h"
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "core/apks_backend.h"
 #include "core/apks_plus.h"
+#include "core/serialize_apks.h"
 #include "data/nursery.h"
 #include "data/workload.h"
 #include "mrqed/mrqed_backend.h"
@@ -236,6 +239,98 @@ TEST_F(BackendTest, ApksPlusIngestStageTransformsAndGuards) {
 
 // A store written under one scheme must be refused — with an error naming
 // both schemes — when opened under another.
+// Regression: proxies charge their rate budget on *success* only, and the
+// chain is the unit of charging — when a later proxy refuses mid-chain,
+// the earlier proxies refund, so retrying the same upload is not
+// double-billed (the old code charged before transforming and leaked the
+// budget on a mid-chain throw).
+TEST_F(BackendTest, ProxyBudgetChargedOnSuccessOnlyWithMidChainRefund) {
+  const Pairing e(default_type_a_params());
+  const ApksPlus plus(e, nursery_schema(1));
+  ChaChaRng rng("backend-budget");
+  const ApksPlusSetupResult setup = plus.setup_plus(rng);
+  const std::vector<Fq> shares = plus.split_secret(setup.r, 2, rng);
+
+  ProxyPipeline pipeline;
+  pipeline.add(ProxyServer(plus, shares[0], /*rate_limit=*/2));
+  pipeline.add(ProxyServer(plus, shares[1], /*rate_limit=*/1));
+
+  const std::vector<PlainIndex> rows = nursery_rows();
+  const EncryptedIndex partial =
+      plus.partial_gen_index(setup.pk, rows[0], rng);
+
+  (void)pipeline.process(partial);
+  EXPECT_EQ(pipeline.proxy(0).transformed_count(), 1u);
+  EXPECT_EQ(pipeline.proxy(1).transformed_count(), 1u);
+
+  // Second upload: proxy 0 transforms (briefly charged to 2), proxy 1's
+  // budget of 1 is spent -> typed kExhausted, and proxy 0 refunds to 1.
+  try {
+    (void)pipeline.process(partial);
+    FAIL() << "proxy 1's budget of 1 must be exhausted";
+  } catch (const ServingError& err) {
+    EXPECT_EQ(err.code(), ErrorCode::kExhausted);
+  }
+  EXPECT_EQ(pipeline.proxy(0).transformed_count(), 1u)
+      << "mid-chain failure leaked proxy 0's budget";
+  EXPECT_EQ(pipeline.proxy(1).transformed_count(), 1u);
+}
+
+// The multiplicative shares commute: any application order — the canonical
+// chain, a permuted chain, an interleaved by-hand order, or a replicated
+// pool failing over around dead replicas — yields the byte-identical
+// transformed ciphertext. This is the property the resilient pool's
+// failover and park/resume machinery relies on.
+TEST_F(BackendTest, ProxyShareCommutativityUnderFailover) {
+  const Pairing e(default_type_a_params());
+  const ApksPlus plus(e, nursery_schema(1));
+  ChaChaRng rng("backend-commute");
+  const ApksPlusSetupResult setup = plus.setup_plus(rng);
+  const std::vector<Fq> shares = plus.split_secret(setup.r, 3, rng);
+
+  const std::vector<PlainIndex> rows = nursery_rows();
+  const EncryptedIndex partial =
+      plus.partial_gen_index(setup.pk, rows[42 % rows.size()], rng);
+
+  ProxyPipeline canonical;
+  for (const Fq& share : shares) canonical.add(ProxyServer(plus, share));
+  const std::vector<std::uint8_t> expected =
+      serialize_index(e, canonical.process(partial));
+
+  // Permuted chain order.
+  ProxyPipeline permuted;
+  permuted.add(ProxyServer(plus, shares[2]));
+  permuted.add(ProxyServer(plus, shares[0]));
+  permuted.add(ProxyServer(plus, shares[1]));
+  EXPECT_EQ(serialize_index(e, permuted.process(partial)), expected);
+
+  // Interleaved by hand: share 1 first, then 2, then 0.
+  ProxyServer p0(plus, shares[0]);
+  ProxyServer p1(plus, shares[1]);
+  ProxyServer p2(plus, shares[2]);
+  EXPECT_EQ(serialize_index(e, p0.transform(p2.transform(p1.transform(
+                                   partial)))),
+            expected);
+
+  // Replicated pool with replicas killed on different shares: failover
+  // changes which replica serves (and in what retry order), never the
+  // bytes. Clear the process-global failpoints even if an assertion fails.
+  struct FailpointGuard {
+    ~FailpointGuard() { Failpoints::instance().clear_all(); }
+  } guard;
+  FailpointPolicy dead;
+  dead.action = FailAction::kThrow;
+  Failpoints::instance().set("proxy.s0.r0", dead);
+  Failpoints::instance().set("proxy.s2.r1", dead);
+  ProxyPoolOptions opts;
+  opts.replicas = 2;
+  ResilientProxyPipeline pool(plus, shares, opts);
+  const auto via_pool = pool.process(partial, "commute");
+  ASSERT_TRUE(via_pool.has_value());
+  EXPECT_EQ(serialize_index(e, *via_pool), expected);
+  EXPECT_GE(pool.stats().failovers, 1u);
+}
+
 TEST_F(BackendTest, StoreSchemeMismatchRefused) {
   const Pairing e(default_type_a_params());
   const Apks scheme(e, nursery_schema(1));

@@ -10,8 +10,8 @@
 //   apks_cli delegate --schema phr --cap cap.bin --query "provider = Hospital B" --out cap2.bin
 //   apks_cli search   --schema phr --cap cap.bin idx1.bin idx2.bin ...
 //   apks_cli batchsearch --schema phr --caps cap1.bin,cap2.bin [--threads T] idx1.bin ...
-//   apks_cli ingest   --schema phr --store DB [--shards N] idx1.bin idx2.bin ...
-//   apks_cli serve    --schema phr --store DB --caps cap1.bin,cap2.bin [--threads T]
+//   apks_cli ingest   --schema phr --store DB [--shards N] [--proxy-replicas R] idx1.bin idx2.bin ...
+//   apks_cli serve    --schema phr --store DB --caps cap1.bin,cap2.bin [--threads T] [--deadline-ms MS] [--max-inflight N]
 //   apks_cli compact  --store DB
 //
 // MRQED^D replaces --schema with --dims D --depth K; --values is a point
@@ -23,6 +23,14 @@
 // readable, every input traverses an in-process proxy pipeline holding
 // shares of r; if KEYS/msk.bin is readable, an all-wildcard ingest canary
 // is installed and owner-partial (untransformed) indexes are refused.
+// With --proxy-replicas R (R > 1) the pipeline is the fault-tolerant
+// replicated pool (cloud/proxy_pool.h): uploads fail over between replicas
+// and park when a share has no live replica; ingest reports the
+// parked/retried counts and drains the queue before exiting.
+//
+// `serve` degradation knobs: --deadline-ms bounds each batch's scan (the
+// batch stops at a block boundary and reports DEADLINE) and --max-inflight
+// sheds concurrent batches beyond the limit before any crypto runs.
 //
 // `ingest` appends encrypted-index files into a persistent ShardedStore
 // (creating it with --shards partitions on first use) stamped with the
@@ -44,6 +52,8 @@
 #include <string>
 
 #include "cloud/proxy.h"
+#include "cloud/proxy_pool.h"
+#include "common/failpoint.h"
 #include "cloud/search_engine.h"
 #include "cloud/server.h"
 #include "core/apks.h"
@@ -103,6 +113,9 @@ struct Args {
   std::size_t dims = 2;   // mrqed only
   std::size_t depth = 4;  // mrqed only: domain [0, 2^depth)
   std::size_t proxies = 2;  // apks+ ingest pipeline size
+  std::size_t proxy_replicas = 1;  // >1: replicated fault-tolerant pool
+  std::uint64_t deadline_ms = 0;   // serve: per-batch scan budget (0 = none)
+  std::size_t max_inflight = 0;    // serve: admission limit (0 = unlimited)
   std::vector<std::string> positional;
 };
 
@@ -158,6 +171,13 @@ Args parse_args(int argc, char** argv) {
     } else if (arg == "--proxies") {
       a.proxies = parse_count(arg, next());
       if (a.proxies == 0) die("--proxies must be at least 1");
+    } else if (arg == "--proxy-replicas") {
+      a.proxy_replicas = parse_count(arg, next());
+      if (a.proxy_replicas == 0) die("--proxy-replicas must be at least 1");
+    } else if (arg == "--deadline-ms") {
+      a.deadline_ms = parse_count(arg, next());
+    } else if (arg == "--max-inflight") {
+      a.max_inflight = parse_count(arg, next());
     }
     else if (arg == "--query") a.query = next();
     else if (arg == "--values") a.values = next();
@@ -307,18 +327,37 @@ std::vector<MrqedRange> parse_mrqed_query(const Mrqed& scheme,
 // Installed from whatever key material --dir holds: r.bin arms the proxy
 // transformation stage, msk.bin arms the admission canary.
 
+// The two proxy deployments `ingest` can arm: the plain chain (attached as
+// the backend's synchronous ingest stage) or, with --proxy-replicas > 1,
+// the replicated fault-tolerant pool (driven directly by cmd_ingest so
+// uploads can park and drain instead of failing the whole run).
+struct PlusIngest {
+  std::unique_ptr<ProxyPipeline> chain;
+  std::unique_ptr<ResilientProxyPipeline> pool;
+};
+
 void install_plus_ingest_hooks(Runtime& rt, const Args& a, Rng& rng,
-                               std::unique_ptr<ProxyPipeline>& pipeline) {
+                               PlusIngest& ingest) {
   if (rt.kind != SchemeKind::kApksPlus) return;
   auto& backend = static_cast<ApksPlusBackend&>(*rt.backend);
   if (std::filesystem::exists(a.dir + "/r.bin")) {
     const std::vector<std::uint8_t> r_bytes = read_file(a.dir + "/r.bin");
     ByteReader reader{std::span<const std::uint8_t>(r_bytes)};
     const Fq r = read_fq(rt.e->fq(), reader);
-    pipeline = std::make_unique<ProxyPipeline>(
-        make_proxy_pipeline(*rt.plus, r, a.proxies, rng));
-    attach_ingest_pipeline(backend, *pipeline);
-    std::printf("apks+: proxy pipeline armed (%zu proxies)\n", a.proxies);
+    if (a.proxy_replicas > 1) {
+      ProxyPoolOptions opts;
+      opts.replicas = a.proxy_replicas;
+      ingest.pool = std::make_unique<ResilientProxyPipeline>(
+          *rt.plus, rt.plus->split_secret(r, a.proxies, rng), opts);
+      std::printf(
+          "apks+: resilient proxy pool armed (%zu proxies x %zu replicas)\n",
+          a.proxies, a.proxy_replicas);
+    } else {
+      ingest.chain = std::make_unique<ProxyPipeline>(
+          make_proxy_pipeline(*rt.plus, r, a.proxies, rng));
+      attach_ingest_pipeline(backend, *ingest.chain);
+      std::printf("apks+: proxy pipeline armed (%zu proxies)\n", a.proxies);
+    }
   }
   if (std::filesystem::exists(a.dir + "/msk.bin")) {
     const ApksMasterKey msk{
@@ -526,23 +565,62 @@ std::unique_ptr<ShardedStore> open_store(const Runtime& rt, const Args& a) {
 
 int cmd_ingest(Runtime& rt, const Args& a, Rng& rng) {
   if (a.positional.empty()) die("ingest needs at least one index file");
-  std::unique_ptr<ProxyPipeline> pipeline;  // must outlive the backend hooks
-  install_plus_ingest_hooks(rt, a, rng, pipeline);
+  PlusIngest hooks;  // must outlive the backend's ingest-stage hook
+  install_plus_ingest_hooks(rt, a, rng, hooks);
   const auto store_ptr = open_store(rt, a);
   ShardedStore& store = *store_ptr;
   std::size_t accepted = 0;
-  for (const auto& path : a.positional) {
-    AnyIndex index = rt.backend->ingest_transform(load_index_file(rt, path));
+
+  // Validate (canary) + append, shared by both proxy deployments.
+  const auto admit = [&](const std::string& path, AnyIndex index) {
     try {
       rt.backend->validate_ingest(index);
     } catch (const std::exception& ex) {
       std::printf("  %s REFUSED: %s\n", path.c_str(), ex.what());
-      continue;
+      return;
     }
     const std::uint64_t id = store.append_any(path, index);
     ++accepted;
     std::printf("  %s -> record %" PRIu64 "\n", path.c_str(), id);
+  };
+
+  for (const auto& path : a.positional) {
+    if (hooks.pool != nullptr) {
+      // Replicated pool: the upload fails over between replicas and parks
+      // (instead of failing the run) when a share has no live replica.
+      const std::vector<std::uint8_t> bytes = read_file(path);
+      EncryptedIndex partial;
+      partial.ct = deserialize_ciphertext(*rt.e, bytes);
+      try {
+        auto transformed = hooks.pool->process(partial, path);
+        if (!transformed.has_value()) {
+          std::printf("  %s PARKED (a proxy share has no live replica)\n",
+                      path.c_str());
+          continue;
+        }
+        admit(path, AnyIndex::own(rt.kind, std::move(*transformed)));
+      } catch (const ProxyUnavailable& ex) {
+        std::printf("  %s REFUSED: %s\n", path.c_str(), ex.what());
+      }
+    } else {
+      admit(path, rt.backend->ingest_transform(load_index_file(rt, path)));
+    }
   }
+
+  if (hooks.pool != nullptr) {
+    // Give parked uploads one recovery pass before reporting.
+    const std::size_t drained = hooks.pool->drain(
+        [&](const std::string& tag, EncryptedIndex transformed) {
+          admit(tag, AnyIndex::own(rt.kind, std::move(transformed)));
+        });
+    const ProxyPoolStats stats = hooks.pool->stats();
+    std::printf(
+        "proxy pool: %zu transformed, %zu retried, %zu failovers, %zu "
+        "parked (%zu drained, %zu still parked)\n",
+        stats.transformed, stats.retries, stats.failovers, stats.parked,
+        drained, hooks.pool->parked_count());
+  }
+
   store.sync();
   std::printf("ingested %zu/%zu indexes; store now holds %zu records (%" PRIu64
               " bytes)\n",
@@ -565,10 +643,29 @@ int cmd_serve(Runtime& rt, const Args& a) {
   std::printf("loaded %zu records into the cloud server\n", loaded);
 
   const std::vector<AnyQuery> queries = load_query_files(rt, a);
-  SearchEngine engine(server, {.threads = a.threads});
+  SearchEngine::Options opts;
+  opts.threads = a.threads;
+  opts.deadline_ms = a.deadline_ms;
+  opts.max_inflight = a.max_inflight;
+  SearchEngine engine(server, opts);
   BatchMetrics metrics;
-  const auto results = engine.search_batch_unchecked_any(queries, &metrics);
+  ServeControl control;
+  control.partial_ok = true;  // CLI: report truncation instead of throwing
+  const auto results =
+      engine.search_batch_unchecked_any(queries, &metrics, control);
   print_batch(a, results, metrics);
+  if (metrics.deadline_exceeded) {
+    std::printf("DEADLINE: scan stopped after %" PRIu64
+                " ms; results cover %zu of %zu records\n",
+                a.deadline_ms,
+                metrics.per_query.empty() ? std::size_t{0}
+                                          : metrics.per_query[0].scanned,
+                metrics.records);
+  }
+  const EngineCounters counters = engine.counters();
+  std::printf("serving outcomes: %" PRIu64 " served, %" PRIu64
+              " deadline-exceeded, %" PRIu64 " shed\n",
+              counters.served, counters.deadline_exceeded, counters.shed);
   return 0;
 }
 
@@ -590,6 +687,11 @@ int cmd_compact(const Runtime& rt, const Args& a) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    if (const std::size_t armed = Failpoints::instance().configure_from_env();
+        armed > 0) {
+      std::fprintf(stderr, "apks_cli: %zu failpoint site(s) armed from APKS_FAILPOINTS\n",
+                   armed);
+    }
     const Pairing pairing(default_type_a_params());
     Runtime rt = make_runtime(pairing, args);
     const auto rng = make_rng(args);

@@ -5,10 +5,11 @@
 # and a UBSan build of the scheme-backend surface (mrqed, proxy ingest,
 # backend type-erasure). Run from the repository root:
 #
-#   tools/ci.sh            # tier-1 + store stage + TSan + UBSan
+#   tools/ci.sh            # tier-1 + store stage + TSan + UBSan + chaos
 #   tools/ci.sh --store    # store stage only (ASan + crash recovery + bench)
 #   tools/ci.sh --tsan     # TSan cloud tests only
 #   tools/ci.sh --ubsan    # UBSan backend/mrqed/proxy tests only
+#   tools/ci.sh --chaos    # ASan fault-injection suite + fault bench artifact
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,6 +18,7 @@ STAGE=all
 [[ "${1:-}" == "--tsan" ]] && STAGE=tsan
 [[ "${1:-}" == "--store" ]] && STAGE=store
 [[ "${1:-}" == "--ubsan" ]] && STAGE=ubsan
+[[ "${1:-}" == "--chaos" ]] && STAGE=chaos
 
 # configure DIR [extra cmake args...]
 #
@@ -92,5 +94,17 @@ if [[ $STAGE == all || $STAGE == ubsan ]]; then
     echo "--- $t (UBSan) ---"
     ./build-ubsan/tests/"$t"
   done
+fi
+if [[ $STAGE == all || $STAGE == chaos ]]; then
+  echo "=== chaos: ASan fault-injection suite (fixed 100-seed schedule matrix) ==="
+  configure build-asan -DAPKS_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS" \
+    --target failpoint_test chaos_test bench_faults
+  for t in failpoint_test chaos_test; do
+    echo "--- $t (ASan) ---"
+    ./build-asan/tests/"$t"
+  done
+  ./build-asan/bench/bench_faults --smoke --json=BENCH_faults.json
+  [[ -s BENCH_faults.json ]] || { echo "BENCH_faults.json missing/empty"; exit 1; }
 fi
 echo "CI OK"
