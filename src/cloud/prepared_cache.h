@@ -9,6 +9,7 @@
 // internally locked: get/put may be called from concurrent serving threads.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <list>
 #include <mutex>
@@ -28,14 +29,21 @@ class PreparedQueryCache {
   // Returns the cached preprocessing, refreshing its recency, or an empty
   // handle on a miss.
   [[nodiscard]] AnyPrepared get(const QueryDigest& digest) {
+    if (capacity_ == 0) {
+      // Disabled cache: never holds entries, so don't take the lock on the
+      // hot path — but still count the miss so the hit/miss totals stay
+      // coherent with the caller's prepare_calls.
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return {};
+    }
     std::lock_guard lock(mutex_);
     const auto it = map_.find(digest);
     if (it == map_.end()) {
-      ++misses_;
+      misses_.fetch_add(1, std::memory_order_relaxed);
       return {};
     }
     lru_.splice(lru_.begin(), lru_, it->second);
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second->second;
   }
 
@@ -64,12 +72,10 @@ class PreparedQueryCache {
     return map_.size();
   }
   [[nodiscard]] std::size_t hits() const {
-    std::lock_guard lock(mutex_);
-    return hits_;
+    return hits_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::size_t misses() const {
-    std::lock_guard lock(mutex_);
-    return misses_;
+    return misses_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -81,8 +87,9 @@ class PreparedQueryCache {
   std::unordered_map<QueryDigest, std::list<Entry>::iterator,
                      CapabilityDigestHash>
       map_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  // Atomic so the capacity-0 fast path can count misses without the lock.
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
 };
 
 }  // namespace apks

@@ -1,8 +1,10 @@
 #include "cloud/search_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -124,7 +126,7 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
       inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
   InflightGuard guard(&inflight_);
   if (options_.max_inflight != 0 && now_inflight > options_.max_inflight) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    bump_counter(&EngineCounters::shed);
     throw Overloaded("search engine overloaded: " +
                      std::to_string(now_inflight) + " batches in flight, limit " +
                      std::to_string(options_.max_inflight));
@@ -159,6 +161,8 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
 
   // --- Phase 1: per-query preprocessing through the LRU cache. -----------
   std::vector<AnyPrepared> prepared(queries.size());
+  // Digests double as the verdict-cache key in phase 2 — computed once.
+  std::vector<QueryDigest> digests(queries.size());
   std::vector<std::size_t> active;  // indices of queries that will scan
   active.reserve(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -168,12 +172,12 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
     if (should_stop()) break;     // deadline blew during preprocessing
     const auto t0 = Clock::now();
     const PairingOpCounts c0 = pairing.op_counts();
-    const QueryDigest digest = backend.digest(queries[i]);
-    AnyPrepared entry = cache_.get(digest);
+    digests[i] = backend.digest(queries[i]);
+    AnyPrepared entry = cache_.get(digests[i]);
     if (!entry.empty()) {
       m.cache_hit = true;
     } else {
-      entry = cache_.put(digest, backend.prepare(queries[i]));
+      entry = cache_.put(digests[i], backend.prepare(queries[i]));
       m.prepare_calls = 1;
     }
     prepared[i] = std::move(entry);
@@ -187,10 +191,28 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
   if (!active.empty()) {
     std::shared_lock lock(server_->mutex_);
     const auto& records = server_->records_;
+    const auto& segtable = server_->segment_table_;
     const std::size_t n = records.size();
     bm.records = n;
     const std::size_t block = std::max<std::size_t>(1, options_.block_records);
     const std::size_t n_blocks = (n + block - 1) / block;
+
+    // Verdict-cache probe: one lookup per (active query, sealed segment).
+    // Records of a memoized segment answer with a binary id search instead
+    // of a pairing product; misses are memoized after a complete scan.
+    const bool use_vcache =
+        vcache_ != nullptr && vcache_->enabled() && !segtable.empty();
+    std::vector<std::vector<std::shared_ptr<const VerdictCache::MatchedIds>>>
+        verdicts;
+    if (use_vcache) {
+      verdicts.resize(active.size());
+      for (std::size_t q = 0; q < active.size(); ++q) {
+        verdicts[q].resize(segtable.size());
+        for (std::size_t s = 0; s < segtable.size(); ++s) {
+          verdicts[q][s] = vcache_->get(digests[active[q]], segtable[s]);
+        }
+      }
+    }
 
     std::vector<std::vector<char>> hits(active.size(),
                                         std::vector<char>(n, 0));
@@ -202,9 +224,22 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
       const std::size_t lo = b * block;
       const std::size_t hi = std::min(n, lo + block);
       for (std::size_t r = lo; r < hi; ++r) {
-        const AnyIndex& index = records[r].index;
+        const auto& record = records[r];
+        const std::int32_t slot = use_vcache ? record.segment : -1;
         for (std::size_t q = 0; q < active.size(); ++q) {
-          hits[q][r] = backend.match(prepared[active[q]], index) ? 1 : 0;
+          const auto* memo =
+              slot >= 0 ? verdicts[q][static_cast<std::size_t>(slot)].get()
+                        : nullptr;
+          if (memo != nullptr) {
+            hits[q][r] = std::binary_search(memo->begin(), memo->end(),
+                                            record.id)
+                             ? 1
+                             : 0;
+          } else {
+            hits[q][r] = backend.match(prepared[active[q]], record.index)
+                             ? 1
+                             : 0;
+          }
         }
       }
       scanned_records.fetch_add(hi - lo, std::memory_order_relaxed);
@@ -283,10 +318,41 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
     }
     const PairingOpCounts scan_ops = pairing.op_counts() - scan_c0;
     const double scan_wall = seconds_since(scan_t0);
+    const bool complete = stop.load(std::memory_order_relaxed) == kRun;
     const std::size_t covered =
-        stop.load(std::memory_order_relaxed) == kRun
-            ? n
-            : scanned_records.load(std::memory_order_relaxed);
+        complete ? n : scanned_records.load(std::memory_order_relaxed);
+
+    // Memoize the verdicts this batch just computed — but only from a
+    // complete pass (a partial/cancelled scan has holes in the hit
+    // matrix) and only for sealed segments (the only ones with slots).
+    if (use_vcache && complete) {
+      for (std::size_t q = 0; q < active.size(); ++q) {
+        std::vector<char> miss(segtable.size(), 0);
+        bool any_miss = false;
+        for (std::size_t s = 0; s < segtable.size(); ++s) {
+          if (verdicts[q][s] == nullptr) {
+            miss[s] = 1;
+            any_miss = true;
+          }
+        }
+        if (!any_miss) continue;
+        std::vector<VerdictCache::MatchedIds> fresh(segtable.size());
+        for (std::size_t r = 0; r < n; ++r) {
+          const std::int32_t slot = records[r].segment;
+          if (slot < 0 || miss[static_cast<std::size_t>(slot)] == 0) continue;
+          if (hits[q][r] != 0) {
+            // records_ is ascending by id, so each list stays sorted.
+            fresh[static_cast<std::size_t>(slot)].push_back(records[r].id);
+          }
+        }
+        for (std::size_t s = 0; s < segtable.size(); ++s) {
+          if (miss[s] == 0) continue;
+          // An empty list is a cached negative — just as valuable.
+          vcache_->put(digests[active[q]], segtable[s], std::move(fresh[s]));
+          ++bm.verdict_puts;
+        }
+      }
+    }
 
     for (std::size_t q = 0; q < active.size(); ++q) {
       ServerMetrics& m = bm.per_query[active[q]];
@@ -294,6 +360,17 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
       m.ops += {scan_ops.miller / active.size(),
                 scan_ops.final_exp / active.size()};
       m.wall_s += scan_wall;
+      if (use_vcache && complete) {
+        // Which blocks of a partial scan ran is not tracked per record, so
+        // verdict attribution is only exact for complete passes.
+        for (std::size_t r = 0; r < n; ++r) {
+          const std::int32_t slot = records[r].segment;
+          if (slot >= 0 &&
+              verdicts[q][static_cast<std::size_t>(slot)] != nullptr) {
+            ++m.verdict_hits;
+          }
+        }
+      }
       auto& out = results[active[q]];
       for (std::size_t r = 0; r < n; ++r) {
         if (hits[q][r] != 0) {
@@ -308,6 +385,7 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
     bm.authorized += m.authorized ? 1 : 0;
     bm.prepare_calls += m.prepare_calls;
     bm.cache_hits += m.cache_hit ? 1 : 0;
+    bm.verdict_hits += m.verdict_hits;
   }
   bm.ops = pairing.op_counts() - batch_c0;
   bm.wall_s = seconds_since(batch_t0);
@@ -320,8 +398,8 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
       bm.per_query[q].deadline_exceeded = bm.deadline_exceeded;
       bm.per_query[q].cancelled = bm.cancelled;
     }
-    (outcome == kStopDeadline ? deadline_exceeded_ : cancelled_)
-        .fetch_add(1, std::memory_order_relaxed);
+    bump_counter(outcome == kStopDeadline ? &EngineCounters::deadline_exceeded
+                                          : &EngineCounters::cancelled);
     if (metrics != nullptr) *metrics = bm;
     if (!control.partial_ok) {
       if (outcome == kStopCancelled) {
@@ -333,7 +411,7 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
     }
     return results;
   }
-  served_.fetch_add(1, std::memory_order_relaxed);
+  bump_counter(&EngineCounters::served);
   if (metrics != nullptr) *metrics = std::move(bm);
   return results;
 }

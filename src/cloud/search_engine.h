@@ -13,7 +13,12 @@
 //      queries — the hot-key case — skip preprocessing entirely,
 //   3. scan records in blocks, evaluating every query against a block
 //      while it is cache-hot, with a work-stealing pool of worker threads
-//      shared across all queries of the batch.
+//      shared across all queries of the batch. Records tagged with a
+//      sealed-segment identity (CloudServer::load_from) are first resolved
+//      against the per-segment verdict cache (verdict_cache.h): a memoized
+//      (digest, segment) verdict answers the record with a binary search
+//      instead of a pairing product, and a complete (non-partial,
+//      non-cancelled) scan memoizes the verdicts it just computed.
 //
 // The engine is scheme-agnostic: it drives the server's SearchBackend, so
 // APKS, APKS+ and MRQED^D batches all flow through this identical path
@@ -31,11 +36,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "cloud/prepared_cache.h"
 #include "cloud/server.h"
+#include "cloud/verdict_cache.h"
 
 namespace apks {
 
@@ -57,6 +65,10 @@ struct ServerMetrics {
   // are the matches from the blocks that did run.
   bool deadline_exceeded = false;
   bool cancelled = false;
+  // Records resolved from the per-segment verdict cache instead of a
+  // pairing match (a subset of `scanned` — memoized records still count as
+  // scanned, they were just answered without crypto).
+  std::size_t verdict_hits = 0;
   double wall_s = 0.0;
   PairingOpCounts ops;
 };
@@ -71,6 +83,8 @@ struct BatchMetrics {
   std::size_t threads = 0;  // workers actually used for the scan
   bool deadline_exceeded = false;  // the batch deadline fired mid-scan
   bool cancelled = false;          // the caller's token fired mid-scan
+  std::size_t verdict_hits = 0;  // records resolved from the verdict cache
+  std::size_t verdict_puts = 0;  // segment verdicts memoized by this batch
   double wall_s = 0.0;
   PairingOpCounts ops;
   std::vector<ServerMetrics> per_query;  // one entry per input query
@@ -104,6 +118,14 @@ class SearchEngine {
     // rejected up front with Overloaded (0 = unlimited). Shed batches run
     // no crypto at all.
     std::size_t max_inflight = 0;
+    // Byte budget of the per-segment verdict cache (0 disables it). Hot
+    // repeated queries over a server loaded from a sealed-segment-heavy
+    // store then answer with zero pairings beyond the active tail.
+    std::uint64_t verdict_cache_bytes = 0;
+    // Share an externally owned verdict cache instead (wins over
+    // verdict_cache_bytes) — lets the cache outlive one engine, e.g.
+    // across a server reload, and lets several engines pool verdicts.
+    std::shared_ptr<VerdictCache> verdict_cache = nullptr;
   };
 
   explicit SearchEngine(const CloudServer& server)
@@ -111,7 +133,13 @@ class SearchEngine {
   SearchEngine(const CloudServer& server, Options options)
       : server_(&server),
         options_(options),
-        cache_(options.cache_capacity) {}
+        cache_(options.cache_capacity),
+        vcache_(options.verdict_cache != nullptr
+                    ? options.verdict_cache
+                    : (options.verdict_cache_bytes != 0
+                           ? std::make_shared<VerdictCache>(
+                                 options.verdict_cache_bytes)
+                           : nullptr)) {}
 
   // Serve a batch: one result vector per capability, in record order,
   // identical to independent CloudServer::search calls. Unauthorized
@@ -157,12 +185,19 @@ class SearchEngine {
   [[nodiscard]] std::size_t cache_misses() const { return cache_.misses(); }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
 
-  // Lifetime serving outcomes (admission + deadline/cancel results).
-  [[nodiscard]] EngineCounters counters() const noexcept {
-    return {served_.load(std::memory_order_relaxed),
-            shed_.load(std::memory_order_relaxed),
-            deadline_exceeded_.load(std::memory_order_relaxed),
-            cancelled_.load(std::memory_order_relaxed)};
+  // The per-segment verdict cache, or nullptr when disabled. Exposed so
+  // callers can wire ShardedStore::set_invalidation_hook at it and read
+  // its stats.
+  [[nodiscard]] VerdictCache* verdict_cache() const noexcept {
+    return vcache_.get();
+  }
+
+  // Lifetime serving outcomes (admission + deadline/cancel results). The
+  // snapshot is taken under one lock, so concurrent observers never see a
+  // torn view (e.g. `served` lagging `deadline_exceeded` mid-update).
+  [[nodiscard]] EngineCounters counters() const {
+    std::lock_guard lock(counters_mutex_);
+    return counters_;
   }
   [[nodiscard]] std::size_t inflight() const noexcept {
     return inflight_.load(std::memory_order_relaxed);
@@ -173,14 +208,21 @@ class SearchEngine {
       std::span<const AnyQuery> queries, std::span<const char> authorized,
       bool checked, BatchMetrics* metrics, const ServeControl& control) const;
 
+  // One counter bump per batch outcome — a mutex is cheap at that rate and
+  // buys tear-free counters() snapshots (admission still uses the atomic
+  // inflight_ for its check-and-claim).
+  void bump_counter(std::uint64_t EngineCounters::* field) const {
+    std::lock_guard lock(counters_mutex_);
+    ++(counters_.*field);
+  }
+
   const CloudServer* server_;
   Options options_;
   mutable PreparedQueryCache cache_;
+  mutable std::shared_ptr<VerdictCache> vcache_;
   mutable std::atomic<std::size_t> inflight_{0};
-  mutable std::atomic<std::uint64_t> served_{0};
-  mutable std::atomic<std::uint64_t> shed_{0};
-  mutable std::atomic<std::uint64_t> deadline_exceeded_{0};
-  mutable std::atomic<std::uint64_t> cancelled_{0};
+  mutable std::mutex counters_mutex_;
+  mutable EngineCounters counters_;
 };
 
 }  // namespace apks

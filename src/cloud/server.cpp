@@ -1,9 +1,11 @@
 #include "cloud/server.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "common/failpoint.h"
 
@@ -120,14 +122,41 @@ void CloudServer::restore_any(std::uint64_t id, AnyIndex index,
 
 std::size_t CloudServer::load_from(ShardedStore& store) {
   require_scheme_match(*backend_, store, "CloudServer::load_from");
-  std::vector<StoredAnyRecord> loaded = store.load_all_any();
+  // Stream with segment identities so records from sealed (immutable)
+  // segments carry a slot into the segment table — that tag is what lets
+  // SearchEngine resolve them from the verdict cache. Active-tail records
+  // stay untagged (slot -1) and are always scanned live.
+  struct Loaded {
+    StoredAnyRecord rec;
+    std::int32_t slot = -1;
+  };
+  std::vector<Loaded> loaded;
+  std::vector<SegmentId> table;
+  std::unordered_map<SegmentId, std::int32_t, SegmentIdHash> slots;
+  store.for_each_record_any_segmented(
+      [&](StoredAnyRecord&& rec, const SegmentId& seg, bool sealed) {
+        std::int32_t slot = -1;
+        if (sealed) {
+          const auto [it, inserted] = slots.try_emplace(
+              seg, static_cast<std::int32_t>(table.size()));
+          if (inserted) table.push_back(seg);
+          slot = it->second;
+        }
+        loaded.push_back({std::move(rec), slot});
+      });
+  // Each shard streams in ascending-id order; the global sort restores the
+  // original upload order across shards (the scan-order contract).
+  std::sort(loaded.begin(), loaded.end(), [](const Loaded& a, const Loaded& b) {
+    return a.rec.id < b.rec.id;
+  });
   std::unique_lock lock(mutex_);
   records_.clear();
   records_.reserve(loaded.size());
-  for (StoredAnyRecord& rec : loaded) {
-    records_.push_back(
-        {rec.id, std::move(rec.doc_ref), std::move(rec.index)});
-    next_id_ = std::max(next_id_, rec.id + 1);
+  segment_table_ = std::move(table);
+  for (Loaded& l : loaded) {
+    records_.push_back({l.rec.id, std::move(l.rec.doc_ref),
+                        std::move(l.rec.index), l.slot});
+    next_id_ = std::max(next_id_, l.rec.id + 1);
   }
   return records_.size();
 }

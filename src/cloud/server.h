@@ -43,23 +43,9 @@ namespace apks {
 
 class SearchEngine;
 
-// Per-request serving limits, honoured cooperatively at scan-block
-// boundaries (a pairing evaluation is never interrupted mid-flight; the
-// check runs between blocks, so overshoot is bounded by one block's worth
-// of match calls).
-struct ServeControl {
-  // Wall-clock budget for the request, from entry to results. 0 = none
-  // (SearchEngine falls back to its Options::deadline_ms default).
-  std::uint64_t deadline_ms = 0;
-  // Cooperative cancellation token: the caller sets it, the scan notices at
-  // the next block boundary. May be nullptr.
-  const std::atomic<bool>* cancel = nullptr;
-  // When true, a deadline/cancellation returns the matches found in the
-  // blocks already scanned (metrics flag the truncation) instead of
-  // throwing DeadlineExceeded / ServingError(kCancelled). SearchEngine
-  // only; CloudServer's single-query path always throws.
-  bool partial_ok = false;
-};
+// ServeControl (per-request deadline / cancellation / partial_ok) lives in
+// core/backend.h so the storage layer's streamed disk scans honour the
+// same limits as the in-memory serving paths.
 
 class CloudServer {
  public:
@@ -67,6 +53,12 @@ class CloudServer {
     std::uint64_t id;
     std::string doc_ref;  // opaque handle to the (separately encrypted) docs
     AnyIndex index;
+    // Slot into the server's sealed-segment table (load_from fills it), or
+    // -1 when the record's segment identity is unknown or unsealed — such
+    // records are always scanned live, never resolved from the verdict
+    // cache. Write-through store() and restore() leave it at -1: those
+    // records land in the active tail, which is mutable by definition.
+    std::int32_t segment = -1;
   };
 
   // Layered stats: the authorization layer owns `authorized`; the scan
@@ -117,7 +109,9 @@ class CloudServer {
   // byte-identical results to the server that originally populated the
   // store. The store's scheme tag must match the backend's. Returns the
   // number of records loaded. Persisted records were validated at original
-  // ingest, so the ingest hooks do not run again here.
+  // ingest, so the ingest hooks do not run again here. Records from sealed
+  // segments are tagged with their durable segment identity (see
+  // Record::segment), which enables SearchEngine's verdict cache.
   std::size_t load_from(ShardedStore& store);
 
   // Reinserts a single persisted record under its original id (records
@@ -130,6 +124,15 @@ class CloudServer {
   [[nodiscard]] std::size_t record_count() const {
     std::shared_lock lock(mutex_);
     return records_.size();
+  }
+
+  // Sealed-segment identities the current in-memory records are tagged
+  // with (rebuilt by load_from; empty for a server populated purely
+  // through store()/restore()). SearchEngine keys its verdict cache on
+  // these.
+  [[nodiscard]] std::vector<SegmentId> segment_table() const {
+    std::shared_lock lock(mutex_);
+    return segment_table_;
   }
 
   [[nodiscard]] const SearchBackend& backend() const noexcept {
@@ -211,6 +214,9 @@ class CloudServer {
   CapabilityVerifier verifier_;
   mutable std::shared_mutex mutex_;
   std::vector<Record> records_;
+  // Sealed-segment identities referenced by Record::segment slots; rebuilt
+  // together with records_ by load_from (guarded by mutex_).
+  std::vector<SegmentId> segment_table_;
   std::uint64_t next_id_ = 1;
   ShardedStore* backing_ = nullptr;  // optional write-through persistence
 };

@@ -1,0 +1,88 @@
+#include "cloud/verdict_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace apks {
+
+std::shared_ptr<const VerdictCache::MatchedIds> VerdictCache::get(
+    const QueryDigest& digest, const SegmentId& segment) {
+  if (budget_ == 0) return nullptr;  // disabled: no lock, no stats
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(Key{digest, segment});
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->ids;
+}
+
+void VerdictCache::put(const QueryDigest& digest, const SegmentId& segment,
+                       MatchedIds ids) {
+  if (budget_ == 0) return;
+  const std::uint64_t cost = cost_of(ids);
+  if (cost > budget_) return;  // would evict everything and still not fit
+  auto shared = std::make_shared<const MatchedIds>(std::move(ids));
+  std::lock_guard lock(mutex_);
+  const Key key{digest, segment};
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh in place (same sealed segment + same query can only produce
+    // the same verdict; this path exists for idempotent re-population).
+    bytes_ -= it->second->cost;
+    it->second->ids = std::move(shared);
+    it->second->cost = cost;
+    bytes_ += cost;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(shared), cost});
+  map_.emplace(key, lru_.begin());
+  bytes_ += cost;
+  ++stats_.insertions;
+  while (bytes_ > budget_ && !lru_.empty()) {
+    ++stats_.evictions;
+    erase_locked(std::prev(lru_.end()));
+  }
+}
+
+void VerdictCache::invalidate(std::span<const SegmentId> segments) {
+  if (budget_ == 0 || segments.empty()) return;
+  std::lock_guard lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const auto next = std::next(it);
+    const bool retired =
+        std::find(segments.begin(), segments.end(), it->key.segment) !=
+        segments.end();
+    if (retired) {
+      ++stats_.invalidated;
+      erase_locked(it);
+    }
+    it = next;
+  }
+}
+
+void VerdictCache::clear() {
+  std::lock_guard lock(mutex_);
+  map_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+VerdictCacheStats VerdictCache::stats() const {
+  std::lock_guard lock(mutex_);
+  VerdictCacheStats out = stats_;
+  out.entries = map_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+void VerdictCache::erase_locked(std::list<Entry>::iterator it) {
+  bytes_ -= it->cost;
+  map_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace apks

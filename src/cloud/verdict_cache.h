@@ -1,0 +1,130 @@
+// Per-segment verdict memoization for hot queries (the ROADMAP's
+// "(query digest × segment) → verdict" cache — the single biggest lever
+// for heavy read traffic).
+//
+// Search is pairing-bound: every repeated hot-keyword query re-pays a full
+// pairing match per record even though a sealed segment's record set is
+// immutable. This cache remembers, per (QueryDigest, SegmentId), exactly
+// which record ids of that sealed segment matched — including the empty
+// set (negative caching: "nothing in this segment matches" is the common
+// verdict and exactly as valuable). A later batch with the same query
+// answers every record of a memoized segment with one binary search
+// instead of one pairing product.
+//
+// Correctness leans on three invariants, enforced by the layers around it:
+//  - Keys are durable segment identities (store/index_store.h SegmentId:
+//    store uid + shard + seq + seal epoch). Sealed record sets are
+//    immutable and two distinct sealed sets never share a SegmentId, so a
+//    cached verdict can never be served for different bytes than it was
+//    computed from.
+//  - Only *sealed* segments are memoized. The active tail is mutable and
+//    always scanned live (SearchEngine tags its records with no segment).
+//  - Only *complete* scans populate. A partial (deadline/cancelled) scan
+//    has holes in its hit matrix; SearchEngine skips population unless the
+//    batch ran to the end of the store.
+// Invalidation (rotation/compaction hooks) is therefore memory hygiene,
+// not a correctness requirement: retired ids are simply never probed
+// again once the server reloads.
+//
+// Bounded by a byte budget (entry overhead + 8 bytes per matched id),
+// LRU-evicted, internally locked; get() returns shared ownership so an
+// eviction never invalidates a verdict a scan is still applying.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/capability_digest.h"
+#include "store/index_store.h"
+
+namespace apks {
+
+struct VerdictCacheStats {
+  std::uint64_t hits = 0;         // get() found a verdict
+  std::uint64_t misses = 0;       // get() found nothing
+  std::uint64_t insertions = 0;   // put() stored a new verdict
+  std::uint64_t evictions = 0;    // entries dropped for the byte budget
+  std::uint64_t invalidated = 0;  // entries dropped by segment retirement
+  std::size_t entries = 0;        // current entry count
+  std::uint64_t bytes = 0;        // current charged bytes
+};
+
+class VerdictCache {
+ public:
+  // Matched record ids of one segment under one query, ascending (records
+  // stream in ascending-id order). An empty vector is a cached negative.
+  using MatchedIds = std::vector<std::uint64_t>;
+
+  // byte_budget == 0 disables the cache (get always misses, put drops).
+  explicit VerdictCache(std::uint64_t byte_budget) : budget_(byte_budget) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return budget_ != 0; }
+  [[nodiscard]] std::uint64_t byte_budget() const noexcept { return budget_; }
+
+  // The memoized verdict for (digest, segment), refreshing its recency, or
+  // nullptr on a miss. The returned vector is immutable and shared — safe
+  // to keep across a concurrent eviction/invalidation.
+  [[nodiscard]] std::shared_ptr<const MatchedIds> get(
+      const QueryDigest& digest, const SegmentId& segment);
+
+  // Memoizes a complete scan's verdict for one sealed segment, evicting
+  // LRU entries past the byte budget. An entry larger than the whole
+  // budget is not stored. Callers must only pass verdicts from complete
+  // (non-partial, non-cancelled) scans of sealed segments.
+  void put(const QueryDigest& digest, const SegmentId& segment,
+           MatchedIds ids);
+
+  // Drops every verdict cached under the given segment identities (the
+  // rotation/compaction invalidation hook target).
+  void invalidate(std::span<const SegmentId> segments);
+
+  void clear();
+
+  [[nodiscard]] VerdictCacheStats stats() const;
+
+ private:
+  struct Key {
+    QueryDigest digest;
+    SegmentId segment;
+    [[nodiscard]] bool operator==(const Key& o) const noexcept {
+      return segment == o.segment && digest == o.digest;
+    }
+  };
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& k) const noexcept {
+      // The digest is already uniform; fold the segment identity in.
+      std::size_t h = CapabilityDigestHash{}(k.digest);
+      h ^= SegmentIdHash{}(k.segment) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+      return h;
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const MatchedIds> ids;
+    std::uint64_t cost = 0;  // charged bytes
+  };
+
+  // Bookkeeping cost per entry: key + list/map node overhead, amortized.
+  static constexpr std::uint64_t kEntryOverhead = 128;
+
+  [[nodiscard]] static std::uint64_t cost_of(const MatchedIds& ids) noexcept {
+    return kEntryOverhead + static_cast<std::uint64_t>(ids.size()) * 8;
+  }
+  void erase_locked(std::list<Entry>::iterator it);
+
+  const std::uint64_t budget_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  std::uint64_t bytes_ = 0;
+  VerdictCacheStats stats_;
+};
+
+}  // namespace apks

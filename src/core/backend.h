@@ -25,6 +25,7 @@
 // std::invalid_argument on a mismatch — type confusion is an error, not UB.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -90,6 +91,25 @@ class DeadlineExceeded : public ServingError {
  public:
   explicit DeadlineExceeded(const std::string& what)
       : ServingError(ErrorCode::kDeadlineExceeded, what) {}
+};
+
+// Per-request serving limits, honoured cooperatively at scan-block (or,
+// for the disk scans, per-record) boundaries — a pairing evaluation is
+// never interrupted mid-flight, so overshoot is bounded by one block's
+// worth of match calls. Shared by CloudServer, SearchEngine, and
+// ShardedStore's streamed disk scans.
+struct ServeControl {
+  // Wall-clock budget for the request, from entry to results. 0 = none
+  // (SearchEngine falls back to its Options::deadline_ms default).
+  std::uint64_t deadline_ms = 0;
+  // Cooperative cancellation token: the caller sets it, the scan notices at
+  // the next boundary. May be nullptr.
+  const std::atomic<bool>* cancel = nullptr;
+  // When true, a deadline/cancellation returns the matches found so far
+  // (metrics flag the truncation) instead of throwing DeadlineExceeded /
+  // ServingError(kCancelled). SearchEngine and ShardedStore scans only;
+  // CloudServer's single-query path always throws.
+  bool partial_ok = false;
 };
 
 // No live replica could apply a proxy share (r_i). `share` is the share's

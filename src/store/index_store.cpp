@@ -1,5 +1,6 @@
 #include "store/index_store.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
@@ -31,8 +32,15 @@ namespace {
 constexpr char kManifestMagic[8] = {'A', 'P', 'K', 'S', 'M', 'A', 'N', '1'};
 // Version 1: no scheme tag (every record is basic-APKS serialize_index).
 // Version 2: adds one scheme byte (SchemeKind) after the shard id.
+// Version 3: adds the shard's u64 epoch counter after the scheme byte and
+//            a u64 seal epoch per sealed-segment entry (durable segment
+//            identity for the verdict cache). v1/v2 manifests still load —
+//            their sealed segments carry epoch 0 and the counter resumes
+//            at 0, which is correct because epoch 0 entries are never
+//            re-assigned (rotation pre-increments).
 constexpr std::uint32_t kManifestVersionLegacy = 1;
-constexpr std::uint32_t kManifestVersion = 2;
+constexpr std::uint32_t kManifestVersionScheme = 2;
+constexpr std::uint32_t kManifestVersion = 3;
 
 SchemeKind decode_scheme_byte(std::uint8_t raw, const std::string& what) {
   switch (raw) {
@@ -93,6 +101,7 @@ void IndexStore::write_manifest() const {
   w.u32(kManifestVersion);
   w.u32(shard_id_);
   w.u8(static_cast<std::uint8_t>(scheme_));
+  w.u64(epoch_);
   w.u64(active_->info().seq);
   w.u64(next_seq_);
   w.u32(static_cast<std::uint32_t>(sealed_.size()));
@@ -100,6 +109,7 @@ void IndexStore::write_manifest() const {
     w.u64(s.seq);
     w.u64(s.records);
     w.u64(s.bytes);
+    w.u64(s.epoch);
   }
   w.u32(crc32(w.data()));
 
@@ -135,7 +145,8 @@ void IndexStore::load_manifest() {
     fail_corrupt("manifest checksum mismatch", dir_ / "MANIFEST");
   }
   const std::uint32_t version = r.u32();
-  if (version != kManifestVersionLegacy && version != kManifestVersion) {
+  if (version != kManifestVersionLegacy &&
+      version != kManifestVersionScheme && version != kManifestVersion) {
     fail_corrupt("unsupported manifest version", dir_ / "MANIFEST");
   }
   if (r.u32() != shard_id_) {
@@ -153,10 +164,12 @@ void IndexStore::load_manifest() {
         std::string(scheme_name(on_disk)) + "' records, opened as '" +
         std::string(scheme_name(scheme_)) + "'");
   }
+  epoch_ = version >= kManifestVersion ? r.u64() : 0;
   const std::uint64_t active_seq = r.u64();
   next_seq_ = r.u64();
   const std::uint32_t nsealed = r.u32();
-  if (nsealed > r.remaining() / 24) {
+  const std::size_t entry_bytes = version >= kManifestVersion ? 32 : 24;
+  if (nsealed > r.remaining() / entry_bytes) {
     fail_corrupt("manifest sealed count exceeds payload", dir_ / "MANIFEST");
   }
   sealed_.clear();
@@ -166,6 +179,10 @@ void IndexStore::load_manifest() {
     s.seq = r.u64();
     s.records = r.u64();
     s.bytes = r.u64();
+    if (version >= kManifestVersion) {
+      s.epoch = r.u64();
+      epoch_ = std::max(epoch_, s.epoch);
+    }
     sealed_.push_back(s);
   }
   if (!r.done()) {
@@ -222,16 +239,26 @@ void IndexStore::flush() { active_->flush(); }
 
 void IndexStore::sync() { active_->sync(); }
 
+void IndexStore::fire_invalidation(
+    std::span<const SegmentId> retired) const {
+  if (invalidation_hook_ && !retired.empty()) invalidation_hook_(retired);
+}
+
 void IndexStore::rotate() {
   active_->sync();
   const SealedSegment sealed{active_->info().seq, active_->records(),
-                             active_->bytes()};
+                             active_->bytes(), ++epoch_};
   active_->close();
   const std::uint64_t seq = next_seq_++;
   active_.emplace(segment_path(seq), shard_id_, seq);
   active_->sync();
   sealed_.push_back(sealed);
   write_manifest();
+  // The just-sealed seq was the active (never-memoized) segment, so there
+  // is nothing cached under its new identity — announce it defensively so
+  // a listener that guessed identities ahead of the seal drops them.
+  const SegmentId announced[] = {id_of(sealed)};
+  fire_invalidation(announced);
 }
 
 void IndexStore::for_each(
@@ -246,6 +273,42 @@ void IndexStore::for_each(
   (void)scan_segment(active_->path(), fn);
 }
 
+bool IndexStore::for_each_segmented(
+    const std::function<bool(std::span<const std::uint8_t>, const SegmentId&,
+                             bool sealed)>& fn) {
+  active_->flush();
+  bool stopped = false;
+  for (const SealedSegment& s : sealed_) {
+    const SegmentId id = id_of(s);
+    const SegmentScanResult scan = scan_segment_until(
+        segment_path(s.seq),
+        [&](std::span<const std::uint8_t> payload) {
+          return fn(payload, id, /*sealed=*/true);
+        },
+        &stopped);
+    if (stopped) return false;
+    if (scan.records != s.records) {
+      fail_corrupt("sealed segment corrupt", segment_path(s.seq));
+    }
+  }
+  const SegmentId active_id{options_.store_uid, shard_id_,
+                            active_->info().seq, 0};
+  (void)scan_segment_until(
+      active_->path(),
+      [&](std::span<const std::uint8_t> payload) {
+        return fn(payload, active_id, /*sealed=*/false);
+      },
+      &stopped);
+  return !stopped;
+}
+
+std::vector<SegmentId> IndexStore::sealed_segment_ids() const {
+  std::vector<SegmentId> ids;
+  ids.reserve(sealed_.size());
+  for (const SealedSegment& s : sealed_) ids.push_back(id_of(s));
+  return ids;
+}
+
 std::uint64_t IndexStore::bytes() const noexcept {
   std::uint64_t total = active_->bytes();
   for (const SealedSegment& s : sealed_) total += s.bytes;
@@ -255,9 +318,16 @@ std::uint64_t IndexStore::bytes() const noexcept {
 std::uint64_t IndexStore::compact() {
   const std::uint64_t before = bytes();
   std::vector<std::uint64_t> old_seqs;
+  std::vector<SegmentId> retired;
   old_seqs.reserve(sealed_.size() + 1);
-  for (const SealedSegment& s : sealed_) old_seqs.push_back(s.seq);
+  retired.reserve(sealed_.size() + 1);
+  for (const SealedSegment& s : sealed_) {
+    old_seqs.push_back(s.seq);
+    retired.push_back(id_of(s));
+  }
   old_seqs.push_back(active_->info().seq);
+  retired.push_back(
+      SegmentId{options_.store_uid, shard_id_, active_->info().seq, 0});
 
   // Stream every record into one fresh sealed segment.
   const std::uint64_t merged_seq = next_seq_++;
@@ -266,7 +336,8 @@ std::uint64_t IndexStore::compact() {
     merged.append(payload);
   });
   merged.sync();
-  const SealedSegment entry{merged_seq, merged.records(), merged.bytes()};
+  const SealedSegment entry{merged_seq, merged.records(), merged.bytes(),
+                            ++epoch_};
   merged.close();
 
   // Commit the new chain (merged sealed + fresh active), then drop the old
@@ -277,6 +348,7 @@ std::uint64_t IndexStore::compact() {
   active_->sync();
   sealed_.assign(1, entry);
   write_manifest();
+  fire_invalidation(retired);
   for (const std::uint64_t seq : old_seqs) {
     std::filesystem::remove(segment_path(seq));
   }

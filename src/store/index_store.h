@@ -29,12 +29,54 @@
 #include <filesystem>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/backend.h"
 #include "store/segment.h"
 
 namespace apks {
+
+// Durable identity of one segment, stable across process restarts: the
+// owning store's uid (random at store creation; 0 for stores created
+// before the field existed), the shard, the segment's sequence number, and
+// the epoch assigned when the segment was *sealed* (from the shard's
+// monotonically increasing epoch counter, persisted in the v3 manifest).
+// Sequence numbers are never reused (next_seq_ is persisted before a seal
+// commits) and the epoch makes the identity robust even against manifests
+// hand-rolled to replay a seq: two distinct sealed record sets never share
+// a SegmentId, which is what lets layers above memoize per-segment
+// derivations (the verdict cache) keyed by it. The active segment has no
+// epoch yet — it is mutable and must never be memoized; it is reported
+// with epoch 0 and sealed=false by the streaming APIs.
+struct SegmentId {
+  std::uint64_t store_uid = 0;
+  std::uint32_t shard = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] bool operator==(const SegmentId& o) const noexcept {
+    return store_uid == o.store_uid && shard == o.shard && seq == o.seq &&
+           epoch == o.epoch;
+  }
+};
+
+struct SegmentIdHash {
+  [[nodiscard]] std::size_t operator()(const SegmentId& id) const noexcept {
+    std::uint64_t h = id.store_uid;
+    for (const std::uint64_t v : {static_cast<std::uint64_t>(id.shard),
+                                  id.seq, id.epoch}) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// Fired after a manifest commit that retires segment identities (compact;
+// rotate also announces the just-sealed seq defensively). Receivers drop
+// any per-segment derivations cached under these ids.
+using SegmentInvalidationHook =
+    std::function<void(std::span<const SegmentId>)>;
 
 struct IndexStoreOptions {
   // Rotate the active segment once it exceeds this many bytes (header
@@ -44,6 +86,9 @@ struct IndexStoreOptions {
   // fsync on every put (durability over throughput). Off by default:
   // callers batch with flush()/sync().
   bool sync_every_put = false;
+  // Store uid stamped into the SegmentIds this shard reports (ShardedStore
+  // passes its STORE-meta uid down; standalone shards default to 0).
+  std::uint64_t store_uid = 0;
 };
 
 struct RecoveryStats {
@@ -79,6 +124,16 @@ class IndexStore {
   void for_each(
       const std::function<void(std::span<const std::uint8_t>)>& fn);
 
+  // Segment-aware, stop-capable streaming: `fn` receives each committed
+  // payload together with the identity of the segment holding it and
+  // whether that segment is sealed (immutable — only sealed segments may
+  // be memoized by layers above; the active tail reports sealed=false and
+  // epoch 0). Returning false stops the stream; the method returns false
+  // iff it was stopped early.
+  bool for_each_segmented(
+      const std::function<bool(std::span<const std::uint8_t>,
+                               const SegmentId&, bool sealed)>& fn);
+
   // Rewrites the whole chain into a single fresh sealed segment and a new
   // empty active segment, dropping nothing (compaction reclaims the space
   // of torn tails and lets a long chain of small segments collapse).
@@ -100,17 +155,39 @@ class IndexStore {
     return dir_;
   }
 
+  // Identities of the sealed (immutable) segments, in chain order. Stable
+  // until the next compact() retires them.
+  [[nodiscard]] std::vector<SegmentId> sealed_segment_ids() const;
+  // Highest epoch assigned by this shard so far (0 for a shard that never
+  // sealed a segment, including shards loaded from pre-epoch manifests).
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  // Installs (or clears, with an empty function) the invalidation hook.
+  // Fired synchronously after the manifest commit of rotate()/compact(),
+  // i.e. while the caller's shard lock is held — the hook must not call
+  // back into the store.
+  void set_invalidation_hook(SegmentInvalidationHook hook) {
+    invalidation_hook_ = std::move(hook);
+  }
+
  private:
   struct SealedSegment {
     std::uint64_t seq = 0;
     std::uint64_t records = 0;
     std::uint64_t bytes = 0;
+    // Epoch assigned at seal time; 0 only for segments sealed before the
+    // v3 manifest existed (loaded from v1/v2 manifests).
+    std::uint64_t epoch = 0;
   };
 
   [[nodiscard]] std::filesystem::path segment_path(std::uint64_t seq) const;
+  [[nodiscard]] SegmentId id_of(const SealedSegment& s) const noexcept {
+    return {options_.store_uid, shard_id_, s.seq, s.epoch};
+  }
   void write_manifest() const;
   void load_manifest();
   void rotate();
+  void fire_invalidation(std::span<const SegmentId> retired) const;
 
   std::filesystem::path dir_;
   std::uint32_t shard_id_ = 0;
@@ -118,9 +195,11 @@ class IndexStore {
   IndexStoreOptions options_;
   std::vector<SealedSegment> sealed_;
   std::uint64_t next_seq_ = 1;  // sequence number for the *next* rotation
+  std::uint64_t epoch_ = 0;     // highest seal epoch assigned so far
   std::optional<SegmentWriter> active_;
   std::size_t records_ = 0;
   RecoveryStats recovery_;
+  SegmentInvalidationHook invalidation_hook_;
 };
 
 }  // namespace apks

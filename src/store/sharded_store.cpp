@@ -1,9 +1,11 @@
 #include "store/sharded_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <random>
 #include <stdexcept>
 #include <thread>
 
@@ -11,6 +13,7 @@
 
 #include "common/bytes.h"
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "core/serialize_apks.h"
 #include "store/fs.h"
 
@@ -20,8 +23,24 @@ namespace {
 constexpr char kStoreMagic[8] = {'A', 'P', 'K', 'S', 'S', 'T', 'R', '1'};
 // Version 1: no scheme tag (every record is basic-APKS serialize_index).
 // Version 2: adds one scheme byte (SchemeKind) after the shard count.
+// Version 3: adds a random u64 store uid after the scheme byte (stamped
+//            into SegmentIds so identities from different stores never
+//            collide in a shared verdict cache). The META is written once
+//            at creation: pre-v3 stores keep uid 0 for life.
 constexpr std::uint32_t kStoreVersionLegacy = 1;
-constexpr std::uint32_t kStoreVersion = 2;
+constexpr std::uint32_t kStoreVersionScheme = 2;
+constexpr std::uint32_t kStoreVersion = 3;
+
+// Random nonzero uid for a freshly created store. Non-cryptographic — the
+// uid only has to make accidental SegmentId collisions across distinct
+// stores vanishingly unlikely.
+std::uint64_t mint_store_uid() {
+  std::random_device rd;
+  std::uint64_t uid = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  uid ^= static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return uid != 0 ? uid : 1;
+}
 
 std::filesystem::path shard_dir(const std::filesystem::path& dir,
                                 std::uint32_t shard) {
@@ -31,7 +50,7 @@ std::filesystem::path shard_dir(const std::filesystem::path& dir,
 }
 
 void write_store_meta(const std::filesystem::path& dir, std::uint32_t shards,
-                      SchemeKind scheme) {
+                      SchemeKind scheme, std::uint64_t store_uid) {
   ByteWriter w;
   w.raw(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(kStoreMagic),
@@ -39,6 +58,7 @@ void write_store_meta(const std::filesystem::path& dir, std::uint32_t shards,
   w.u32(kStoreVersion);
   w.u32(shards);
   w.u8(static_cast<std::uint8_t>(scheme));
+  w.u64(store_uid);
   w.u32(crc32(w.data()));
   const std::filesystem::path tmp = dir / "STORE.tmp";
   std::FILE* f = storefs::open(tmp, "wb");
@@ -59,6 +79,7 @@ void write_store_meta(const std::filesystem::path& dir, std::uint32_t shards,
 struct StoreMeta {
   std::uint32_t shards = 0;
   SchemeKind scheme = SchemeKind::kApks;
+  std::uint64_t store_uid = 0;
 };
 
 StoreMeta read_store_meta(const std::filesystem::path& dir) {
@@ -68,9 +89,11 @@ StoreMeta read_store_meta(const std::filesystem::path& dir) {
   }
   const std::vector<std::uint8_t> data{std::istreambuf_iterator<char>(in),
                                        std::istreambuf_iterator<char>()};
-  // v1: magic + version + shards + crc; v2 adds one scheme byte.
+  // v1: magic + version + shards + crc; v2 adds one scheme byte; v3 adds
+  // the u64 store uid.
   if ((data.size() != sizeof(kStoreMagic) + 12 &&
-       data.size() != sizeof(kStoreMagic) + 13) ||
+       data.size() != sizeof(kStoreMagic) + 13 &&
+       data.size() != sizeof(kStoreMagic) + 21) ||
       std::memcmp(data.data(), kStoreMagic, sizeof(kStoreMagic)) != 0) {
     throw std::runtime_error("not a store: " + dir.string());
   }
@@ -90,7 +113,7 @@ StoreMeta read_store_meta(const std::filesystem::path& dir) {
     if (!r.done()) {
       throw std::runtime_error("store meta: trailing bytes");
     }
-  } else if (version == kStoreVersion) {
+  } else if (version == kStoreVersionScheme || version == kStoreVersion) {
     const std::uint8_t raw = r.u8();
     if (raw != static_cast<std::uint8_t>(SchemeKind::kApks) &&
         raw != static_cast<std::uint8_t>(SchemeKind::kApksPlus) &&
@@ -99,6 +122,7 @@ StoreMeta read_store_meta(const std::filesystem::path& dir) {
                                std::to_string(raw));
     }
     meta.scheme = static_cast<SchemeKind>(raw);
+    if (version == kStoreVersion) meta.store_uid = r.u64();
     if (!r.done()) {
       throw std::runtime_error("store meta: trailing bytes");
     }
@@ -164,16 +188,20 @@ ShardedStore::ShardedStore(const Pairing& e, const SearchBackend* backend,
           std::string(scheme_name(scheme_)) + "'");
     }
     shards = meta.shards;
+    store_uid_ = meta.store_uid;
   } else {
     if (shards == 0) {
       throw std::invalid_argument("ShardedStore: shard count must be > 0");
     }
-    write_store_meta(dir_, shards, scheme_);
+    store_uid_ = mint_store_uid();
+    write_store_meta(dir_, shards, scheme_, store_uid_);
   }
+  IndexStoreOptions shard_options = options.segment;
+  shard_options.store_uid = store_uid_;
   shards_.reserve(shards);
   for (std::uint32_t s = 0; s < shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(
-        IndexStore(shard_dir(dir_, s), s, options.segment, scheme_)));
+        IndexStore(shard_dir(dir_, s), s, shard_options, scheme_)));
   }
   // Seed the id counter past everything on disk. Replaying every frame
   // here also re-verifies every checksum of the store at open time.
@@ -304,6 +332,43 @@ void ShardedStore::for_each_record_any(
   }
 }
 
+void ShardedStore::for_each_record_any_segmented(
+    const std::function<void(StoredAnyRecord&&, const SegmentId&,
+                             bool sealed)>& fn) {
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    (void)shard->store.for_each_segmented(
+        [&](std::span<const std::uint8_t> payload, const SegmentId& seg,
+            bool sealed) {
+          RecordHead head = decode_head(payload);
+          StoredAnyRecord rec;
+          rec.id = head.id;
+          rec.doc_ref = std::move(head.doc_ref);
+          rec.index = decode_index_bytes(head.index_bytes);
+          fn(std::move(rec), seg, sealed);
+          return true;
+        });
+  }
+}
+
+std::vector<SegmentId> ShardedStore::sealed_segment_ids() const {
+  std::vector<SegmentId> ids;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    const std::vector<SegmentId> shard_ids =
+        shard->store.sealed_segment_ids();
+    ids.insert(ids.end(), shard_ids.begin(), shard_ids.end());
+  }
+  return ids;
+}
+
+void ShardedStore::set_invalidation_hook(SegmentInvalidationHook hook) {
+  for (const auto& shard : shards_) {
+    std::unique_lock lock(shard->mutex);
+    shard->store.set_invalidation_hook(hook);
+  }
+}
+
 std::vector<StoredIndexRecord> ShardedStore::load_all() {
   require_apks_family("ShardedStore::load_all");
   std::vector<StoredIndexRecord> out;
@@ -333,9 +398,76 @@ std::vector<StoredAnyRecord> ShardedStore::load_all_any() {
   return out;
 }
 
+namespace {
+
+// Shared shard-parallel streaming machinery of search()/search_any(): the
+// cooperative stop state (one atomic, polled once per streamed record by
+// every worker) plus the merge/outcome epilogue.
+struct ScanControlState {
+  using Clock = std::chrono::steady_clock;
+
+  explicit ScanControlState(const ServeControl& control)
+      : control_(control),
+        has_deadline_(control.deadline_ms != 0),
+        deadline_at_(Clock::now() +
+                     std::chrono::milliseconds(control.deadline_ms)) {}
+
+  // Why the scan stopped (mirrors SearchEngine's StopReason).
+  enum : int { kRun = 0, kStopDeadline = 1, kStopCancelled = 2 };
+
+  [[nodiscard]] bool should_stop() {
+    if (stop_.load(std::memory_order_relaxed) != kRun) return true;
+    if (control_.cancel != nullptr &&
+        control_.cancel->load(std::memory_order_relaxed)) {
+      stop_.store(kStopCancelled, std::memory_order_relaxed);
+      return true;
+    }
+    if (has_deadline_ && Clock::now() >= deadline_at_) {
+      stop_.store(kStopDeadline, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] int outcome() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  // Fills `stats`, then throws on a non-partial_ok truncation.
+  void finish(StoreScanStats* stats, std::size_t scanned,
+              std::size_t matched) const {
+    const int out = outcome();
+    if (stats != nullptr) {
+      stats->scanned = scanned;
+      stats->matched = matched;
+      stats->deadline_exceeded = out == kStopDeadline;
+      stats->cancelled = out == kStopCancelled;
+    }
+    if (out == kRun || control_.partial_ok) return;
+    if (out == kStopCancelled) {
+      throw ServingError(ErrorCode::kCancelled,
+                         "store scan cancelled after " +
+                             std::to_string(scanned) + " records");
+    }
+    throw DeadlineExceeded("store scan deadline (" +
+                           std::to_string(control_.deadline_ms) +
+                           " ms) exceeded after " + std::to_string(scanned) +
+                           " records");
+  }
+
+ private:
+  const ServeControl& control_;
+  const bool has_deadline_;
+  const Clock::time_point deadline_at_;
+  std::atomic<int> stop_{kRun};
+};
+
+}  // namespace
+
 std::vector<std::string> ShardedStore::search_any(const AnyQuery& query,
                                                   std::size_t threads,
-                                                  StoreScanStats* stats) {
+                                                  StoreScanStats* stats,
+                                                  const ServeControl& control) {
   if (backend_ == nullptr) {
     throw std::logic_error(
         "ShardedStore::search_any: store was opened without a backend");
@@ -347,6 +479,7 @@ std::vector<std::string> ShardedStore::search_any(const AnyQuery& query,
   }
   threads = std::min(threads, shards_.size());
 
+  ScanControlState scan_control(control);
   struct ShardResult {
     std::vector<std::pair<std::uint64_t, std::string>> matches;
     std::size_t scanned = 0;
@@ -357,19 +490,28 @@ std::vector<std::string> ShardedStore::search_any(const AnyQuery& query,
   auto worker = [&](std::size_t t) {
     try {
       for (;;) {
+        if (scan_control.should_stop()) return;
         const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
         if (s >= shards_.size()) return;
         Shard& shard = *shards_[s];
         std::shared_lock lock(shard.mutex);
-        shard.store.for_each([&](std::span<const std::uint8_t> payload) {
-          RecordHead head = decode_head(payload);
-          const AnyIndex index = backend.decode_index(head.index_bytes);
-          ++results[s].scanned;
-          if (backend.match(prepared, index)) {
-            results[s].matches.emplace_back(head.id,
-                                            std::move(head.doc_ref));
-          }
-        });
+        (void)shard.store.for_each_segmented(
+            [&](std::span<const std::uint8_t> payload, const SegmentId&,
+                bool) {
+              // Record boundary: the only place a disk scan gives up.
+              if (scan_control.should_stop()) return false;
+              // Chaos tests arm this site with a delay to force deadlines
+              // deterministically mid-shard.
+              (void)failpoint("store.scan_record");
+              RecordHead head = decode_head(payload);
+              const AnyIndex index = backend.decode_index(head.index_bytes);
+              ++results[s].scanned;
+              if (backend.match(prepared, index)) {
+                results[s].matches.emplace_back(head.id,
+                                                std::move(head.doc_ref));
+              }
+              return true;
+            });
       }
     } catch (...) {
       errors[t] = std::current_exception();
@@ -397,10 +539,7 @@ std::vector<std::string> ShardedStore::search_any(const AnyQuery& query,
   }
   std::sort(merged.begin(), merged.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (stats != nullptr) {
-    stats->scanned = scanned;
-    stats->matched = merged.size();
-  }
+  scan_control.finish(stats, scanned, merged.size());
   std::vector<std::string> refs;
   refs.reserve(merged.size());
   for (auto& [id, ref] : merged) refs.push_back(std::move(ref));
@@ -410,7 +549,8 @@ std::vector<std::string> ShardedStore::search_any(const AnyQuery& query,
 std::vector<std::string> ShardedStore::search(const Apks& scheme,
                                               const Capability& cap,
                                               std::size_t threads,
-                                              StoreScanStats* stats) {
+                                              StoreScanStats* stats,
+                                              const ServeControl& control) {
   require_apks_family("ShardedStore::search");
   const PreparedCapability prepared = scheme.prepare(cap);
   if (threads == 0) {
@@ -418,6 +558,7 @@ std::vector<std::string> ShardedStore::search(const Apks& scheme,
   }
   threads = std::min(threads, shards_.size());
 
+  ScanControlState scan_control(control);
   struct ShardResult {
     std::vector<std::pair<std::uint64_t, std::string>> matches;
     std::size_t scanned = 0;
@@ -428,20 +569,26 @@ std::vector<std::string> ShardedStore::search(const Apks& scheme,
   auto worker = [&](std::size_t t) {
     try {
       for (;;) {
+        if (scan_control.should_stop()) return;
         const std::size_t s = next.fetch_add(1, std::memory_order_relaxed);
         if (s >= shards_.size()) return;
         Shard& shard = *shards_[s];
         std::shared_lock lock(shard.mutex);
-        shard.store.for_each([&](std::span<const std::uint8_t> payload) {
-          RecordHead head = decode_head(payload);
-          const EncryptedIndex index =
-              deserialize_index(*pairing_, head.index_bytes);
-          ++results[s].scanned;
-          if (scheme.search_prepared(prepared, index)) {
-            results[s].matches.emplace_back(head.id,
-                                            std::move(head.doc_ref));
-          }
-        });
+        (void)shard.store.for_each_segmented(
+            [&](std::span<const std::uint8_t> payload, const SegmentId&,
+                bool) {
+              if (scan_control.should_stop()) return false;
+              (void)failpoint("store.scan_record");
+              RecordHead head = decode_head(payload);
+              const EncryptedIndex index =
+                  deserialize_index(*pairing_, head.index_bytes);
+              ++results[s].scanned;
+              if (scheme.search_prepared(prepared, index)) {
+                results[s].matches.emplace_back(head.id,
+                                                std::move(head.doc_ref));
+              }
+              return true;
+            });
       }
     } catch (...) {
       errors[t] = std::current_exception();
@@ -469,10 +616,7 @@ std::vector<std::string> ShardedStore::search(const Apks& scheme,
   }
   std::sort(merged.begin(), merged.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (stats != nullptr) {
-    stats->scanned = scanned;
-    stats->matched = merged.size();
-  }
+  scan_control.finish(stats, scanned, merged.size());
   std::vector<std::string> refs;
   refs.reserve(merged.size());
   for (auto& [id, ref] : merged) refs.push_back(std::move(ref));

@@ -63,6 +63,11 @@ struct ShardedStoreOptions {
 struct StoreScanStats {
   std::size_t scanned = 0;
   std::size_t matched = 0;
+  // Deadline/cancellation outcome of a controlled scan: the workers
+  // stopped mid-stream, so `scanned` covers only the records decoded
+  // before the stop and the matches are the prefix each shard reached.
+  bool deadline_exceeded = false;
+  bool cancelled = false;
 };
 
 class ShardedStore {
@@ -109,21 +114,37 @@ class ShardedStore {
   void for_each_record_any(
       const std::function<void(StoredAnyRecord&&)>& fn);
 
+  // Segment-aware streaming: each decoded record arrives with the durable
+  // identity of the segment holding it and whether that segment is sealed
+  // (immutable). CloudServer::load_from uses this to tag its in-memory
+  // records for the verdict cache — only sealed segments may be memoized.
+  void for_each_record_any_segmented(
+      const std::function<void(StoredAnyRecord&&, const SegmentId&,
+                               bool sealed)>& fn);
+
   // Linear scan directly over the on-disk segments, shard-parallel:
   // decodes and tests each record as it streams, never holding more than
   // one record per worker in memory. Results are in ascending-id order —
   // identical to CloudServer::search over the same records. threads == 0
   // uses hardware concurrency (capped at the shard count).
+  //
+  // `control` is polled per streamed record (the disk scan's block size is
+  // one record): a deadline or cancellation stops every shard worker
+  // mid-stream and the call throws DeadlineExceeded /
+  // ServingError(kCancelled) — with `stats` already filled with the
+  // partial progress and outcome flags — unless control.partial_ok, in
+  // which case the matches found so far come back with the flags set.
   [[nodiscard]] std::vector<std::string> search(
       const Apks& scheme, const Capability& cap, std::size_t threads = 0,
-      StoreScanStats* stats = nullptr);
+      StoreScanStats* stats = nullptr, const ServeControl& control = {});
 
   // Scheme-agnostic variant of the disk scan: prepares the query with the
   // store's backend and matches each record as it streams. Requires the
-  // store to have been opened with a backend.
+  // store to have been opened with a backend. Same control contract as
+  // search().
   [[nodiscard]] std::vector<std::string> search_any(
       const AnyQuery& query, std::size_t threads = 0,
-      StoreScanStats* stats = nullptr);
+      StoreScanStats* stats = nullptr, const ServeControl& control = {});
 
   // Compacts every shard chain; returns total bytes reclaimed.
   std::uint64_t compact();
@@ -149,6 +170,23 @@ class ShardedStore {
   [[nodiscard]] const SearchBackend* backend() const noexcept {
     return backend_;
   }
+  // Random uid minted when the STORE meta was first written (v3); 0 for
+  // stores created before the field existed. Stamped into every SegmentId
+  // so identities from different stores never collide in a shared cache.
+  [[nodiscard]] std::uint64_t store_uid() const noexcept {
+    return store_uid_;
+  }
+
+  // Identities of every sealed segment across all shards (unspecified
+  // order). Stable until the next compact().
+  [[nodiscard]] std::vector<SegmentId> sealed_segment_ids() const;
+
+  // Installs the segment-invalidation hook on every shard: fired after a
+  // rotation or compaction commits, with the retired SegmentIds. Runs with
+  // the shard's lock held — the hook must not call back into the store
+  // (dropping verdict-cache entries is the intended body). Call during
+  // setup; not thread-safe against concurrent writes.
+  void set_invalidation_hook(SegmentInvalidationHook hook);
 
  private:
   struct Shard {
@@ -177,6 +215,7 @@ class ShardedStore {
   const SearchBackend* backend_ = nullptr;
   SchemeKind scheme_ = SchemeKind::kApks;
   std::filesystem::path dir_;
+  std::uint64_t store_uid_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_id_{1};
 };

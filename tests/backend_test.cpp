@@ -5,6 +5,7 @@
 // stores, and the legacy (untagged v1) on-disk migration.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -384,16 +385,37 @@ void downgrade_to_v1(const fs::path& file) {
   ASSERT_GE(data.size(), 8u + 4 + 4 + 1 + 4);
   ByteReader r(std::span<const std::uint8_t>(data.data(), data.size() - 4));
   const auto magic = r.raw(8);
-  ASSERT_EQ(r.u32(), 2u) << file << " is not a v2 file";
+  const bool is_manifest = std::memcmp(magic.data(), "APKSMAN1", 8) == 0;
+  const std::uint32_t version = r.u32();
+  ASSERT_TRUE(version == 2 || version == 3) << file << " version " << version;
   const std::uint32_t id_field = r.u32();  // shard count / shard id
   (void)r.u8();                            // scheme byte: dropped in v1
-  const auto rest = r.raw(r.remaining());
 
   ByteWriter w;
   w.raw(magic);
   w.u32(1);  // v1
   w.u32(id_field);
-  w.raw(rest);
+  if (version == 3) {
+    // v3 added the segment-epoch machinery (manifest) and the store uid
+    // (STORE meta); both are dropped in v1.
+    if (is_manifest) {
+      (void)r.u64();   // epoch counter
+      w.u64(r.u64());  // active seq
+      w.u64(r.u64());  // next seq
+      const std::uint32_t nsealed = r.u32();
+      w.u32(nsealed);
+      for (std::uint32_t i = 0; i < nsealed; ++i) {
+        w.u64(r.u64());  // seq
+        w.u64(r.u64());  // records
+        w.u64(r.u64());  // bytes
+        (void)r.u64();   // seal epoch
+      }
+    } else {
+      (void)r.u64();  // store uid
+    }
+  } else {
+    w.raw(r.raw(r.remaining()));
+  }
   w.u32(crc32(w.data()));
   std::ofstream out(file, std::ios::binary | std::ios::trunc);
   ASSERT_TRUE(out) << file;

@@ -4,10 +4,14 @@
 // their own fields.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
 #include <thread>
 
 #include "cloud/search_engine.h"
 #include "cloud/server.h"
+#include "common/failpoint.h"
+#include "store/sharded_store.h"
 
 namespace apks {
 namespace {
@@ -200,6 +204,138 @@ TEST_F(SearchEngineTest, StatsLayersFillOnlyTheirOwnFields) {
   (void)server_->search_unchecked(cap.cap, &stats);
   EXPECT_FALSE(stats.authorized);
   EXPECT_EQ(stats.scanned, server_->record_count());
+}
+
+// A disabled prepared-query cache (capacity 0) must stay out of the way —
+// never cache, never hit — while keeping its hit/miss totals coherent with
+// the engine's prepare_calls (every get is a counted miss).
+TEST_F(SearchEngineTest, DisabledPreparedCacheCountsMissesWithoutCaching) {
+  const SignedCapability cap = issue(q3(QueryTerm::equals("Diabetes")));
+  std::vector<SignedCapability> caps(3, cap);
+
+  SearchEngine engine(*server_, {.threads = 1, .cache_capacity = 0});
+  BatchMetrics first;
+  const auto a = engine.search_batch(caps, &first);
+  EXPECT_EQ(first.prepare_calls, caps.size());  // every query re-prepares
+  EXPECT_EQ(first.cache_hits, 0u);
+
+  BatchMetrics second;
+  const auto b = engine.search_batch(caps, &second);
+  EXPECT_EQ(second.prepare_calls, caps.size());
+  EXPECT_EQ(second.cache_hits, 0u);
+  EXPECT_EQ(a, b);
+
+  EXPECT_EQ(engine.cache_size(), 0u);
+  EXPECT_EQ(engine.cache_hits(), 0u);
+  EXPECT_EQ(engine.cache_misses(), 2 * caps.size());  // misses still counted
+}
+
+// Regression: a partial (cancelled or deadline-stopped) batch has holes in
+// its hit matrix and must never memoize segment verdicts; only a complete
+// pass populates the verdict cache.
+TEST_F(SearchEngineTest, PartialScansNeverPopulateVerdictCache) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "apks-engine-vcache-partial";
+  fs::remove_all(dir);
+  ShardedStoreOptions sopts;
+  sopts.shards = 1;
+  sopts.segment.segment_max_bytes = 1;  // seal after every append
+  ShardedStore store(e_, dir, sopts);
+  auto put = [&](std::vector<std::string> values, std::string ref) {
+    (void)store.append(std::move(ref),
+                       apks_.gen_index(ta_.public_key(),
+                                       PlainIndex{std::move(values)}, rng_));
+  };
+  put({"Diabetes", "Male", "Hospital A"}, "doc-bob");
+  put({"Diabetes", "Female", "Hospital A"}, "doc-carol");
+  put({"Flu", "Male", "Hospital A"}, "doc-dave");
+  put({"Diabetes", "Male", "Hospital B"}, "doc-erin");
+  store.sync();
+
+  CapabilityVerifier verifier(e_, ta_.ibs_params());
+  verifier.register_authority("hospital-A");
+  CloudServer server(apks_, std::move(verifier));
+  ASSERT_EQ(server.load_from(store), 4u);
+  ASSERT_FALSE(server.segment_table().empty());
+
+  SearchEngine::Options opts;
+  opts.threads = 1;
+  opts.block_records = 1;
+  opts.verdict_cache_bytes = 1 << 20;
+  SearchEngine engine(server, opts);
+  ASSERT_NE(engine.verdict_cache(), nullptr);
+  const SignedCapability cap = issue(q3(QueryTerm::equals("Diabetes")));
+
+  // (a) Cancelled before any work: nothing may be memoized.
+  std::atomic<bool> cancel{true};
+  ServeControl ctl;
+  ctl.cancel = &cancel;
+  ctl.partial_ok = true;
+  BatchMetrics cm;
+  (void)engine.search_batch({&cap, 1}, &cm, ctl);
+  EXPECT_TRUE(cm.cancelled);
+  EXPECT_EQ(cm.verdict_puts, 0u);
+  EXPECT_EQ(engine.verdict_cache()->stats().insertions, 0u);
+
+  // (b) Deadline fires mid-scan (each block stalls 50 ms, budget 40 ms):
+  // the hit matrix is incomplete, so population must be skipped.
+  FailpointPolicy slow;
+  slow.action = FailAction::kDelay;
+  slow.delay_ms = 50;
+  Failpoints::instance().set("engine.scan_block", slow);
+  ServeControl tight;
+  tight.deadline_ms = 40;
+  tight.partial_ok = true;
+  BatchMetrics dm;
+  (void)engine.search_batch({&cap, 1}, &dm, tight);
+  Failpoints::instance().clear_all();
+  EXPECT_TRUE(dm.deadline_exceeded);
+  EXPECT_LT(dm.per_query[0].scanned, server.record_count());
+  EXPECT_EQ(dm.verdict_puts, 0u);
+  EXPECT_EQ(engine.verdict_cache()->stats().insertions, 0u);
+
+  // (c) A complete pass memoizes, and the repeat resolves from the cache
+  // with byte-identical results.
+  BatchMetrics full;
+  const auto want = engine.search_batch({&cap, 1}, &full);
+  EXPECT_GT(full.verdict_puts, 0u);
+  BatchMetrics hot;
+  const auto got = engine.search_batch({&cap, 1}, &hot);
+  EXPECT_EQ(got, want);
+  EXPECT_GT(hot.verdict_hits, 0u);
+  EXPECT_EQ(hot.verdict_puts, 0u);
+  fs::remove_all(dir);
+}
+
+// The lifetime counters are snapshotted under one lock; concurrent batches
+// must produce a final snapshot whose outcome counts exactly add up (a torn
+// view would undercount one field while overcounting another).
+TEST_F(SearchEngineTest, CountersSnapshotAddsUpUnderConcurrency) {
+  const SignedCapability cap = issue(q3(QueryTerm::equals("Diabetes")));
+  SearchEngine engine(*server_, {.threads = 1});
+
+  constexpr int kBatches = 3;
+  std::atomic<bool> cancel{true};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kBatches; ++t) {
+    pool.emplace_back([&] {
+      (void)engine.search_batch({&cap, 1});  // served
+      ServeControl ctl;
+      ctl.cancel = &cancel;
+      ctl.partial_ok = true;
+      (void)engine.search_batch({&cap, 1}, nullptr, ctl);  // cancelled
+      const EngineCounters mid = engine.counters();  // racing snapshot
+      EXPECT_LE(mid.served + mid.cancelled, 2u * kBatches);
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.served, static_cast<std::uint64_t>(kBatches));
+  EXPECT_EQ(counters.cancelled, static_cast<std::uint64_t>(kBatches));
+  EXPECT_EQ(counters.shed, 0u);
+  EXPECT_EQ(counters.deadline_exceeded, 0u);
 }
 
 TEST_F(SearchEngineTest, ConcurrentStoreAndSearchAreSerialized) {

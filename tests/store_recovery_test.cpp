@@ -8,8 +8,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 
 #include "cloud/proxy.h"
+#include "cloud/search_engine.h"
 #include "cloud/server.h"
 #include "core/apks_backend.h"
 #include "data/nursery.h"
@@ -225,6 +227,94 @@ TEST_F(StoreRecoveryTest, ApksPlusRestartServesIdenticalResults) {
                 &disk_stats),
             pre_results[0]);
   EXPECT_EQ(disk_stats.scanned, kRecords);
+}
+
+// Verdict-cache equivalence across the events that change segment
+// identities: a crash-reopen (identities survive — the cache keeps
+// serving) and a compaction (identities are retired — the cache must not
+// serve stale verdicts). One shared VerdictCache lives through all of it;
+// at every step a cached engine must return byte-identical results to an
+// uncached engine over the same server.
+TEST_F(StoreRecoveryTest, VerdictCacheEquivalentAcrossCrashAndCompaction) {
+  const Pairing e(default_type_a_params());
+  const Apks scheme(e, nursery_schema(1));
+  ChaChaRng rng("verdict-recovery");
+  TrustedAuthority ta(scheme, rng);
+
+  const std::vector<PlainIndex> rows = nursery_rows();
+  constexpr std::size_t kRecords = 12;
+  ShardedStoreOptions opts;
+  opts.shards = 2;
+  opts.segment.segment_max_bytes = 1;  // seal after every append
+
+  {
+    ShardedStore store(e, dir_, opts);
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      const PlainIndex& row = rows[(i * 541) % rows.size()];
+      (void)store.append("row-" + std::to_string(i),
+                         scheme.gen_index(ta.public_key(), row, rng));
+    }
+    store.sync();
+  }
+
+  const std::vector<Capability> caps = {
+      ta.issue(nursery_point_query(rows[541 % rows.size()]), rng).cap,
+      ta.issue(nursery_worst_case_query(1, rng), rng).cap,
+  };
+
+  const auto vcache = std::make_shared<VerdictCache>(1u << 20);
+  SearchEngine::Options copts;
+  copts.verdict_cache = vcache;
+
+  auto check_equivalent = [&](CloudServer& server, const char* what) {
+    const SearchEngine cached(server, copts);
+    const SearchEngine plain(server);
+    const auto want = plain.search_batch_unchecked(caps);
+    const auto got = cached.search_batch_unchecked(caps);
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << what << " query " << i;
+    }
+  };
+
+  // Populate: first cached batch memoizes every sealed segment's verdict.
+  {
+    ShardedStore store(e, dir_, opts);
+    CloudServer server(scheme, CapabilityVerifier(e, ta.ibs_params()));
+    ASSERT_EQ(server.load_from(store), kRecords);
+    ASSERT_FALSE(server.segment_table().empty());
+    check_equivalent(server, "initial");
+    EXPECT_GT(vcache->stats().insertions, 0u);
+  }
+
+  // Crash: torn tails on both shards, no shutdown ceremony. Sealed
+  // identities are durable, so the SAME cache keeps serving the reopened
+  // store — and must still match an uncached engine exactly.
+  const std::uint8_t garbage[5] = {0xBA, 0xD0, 0xCA, 0xFE, 0x01};
+  append_bytes(active_segment(dir_ / "shard-000"), garbage);
+  append_bytes(active_segment(dir_ / "shard-001"), garbage);
+  {
+    ShardedStore recovered(e, dir_, opts);
+    EXPECT_TRUE(recovered.recovery().torn_tail);
+    ASSERT_EQ(recovered.record_count(), kRecords);
+    CloudServer server(scheme, CapabilityVerifier(e, ta.ibs_params()));
+    ASSERT_EQ(server.load_from(recovered), kRecords);
+    const std::uint64_t hits_before = vcache->stats().hits;
+    check_equivalent(server, "after crash-reopen");
+    EXPECT_GT(vcache->stats().hits, hits_before);  // the cache did the work
+
+    // Compaction retires every segment identity; the invalidation hook
+    // drops the now-unreachable verdicts, and post-compaction identities
+    // (fresh epochs) must re-memoize — never alias the retired ones.
+    recovered.set_invalidation_hook(
+        [&](std::span<const SegmentId> retired) {
+          vcache->invalidate(retired);
+        });
+    (void)recovered.compact();
+    EXPECT_GT(vcache->stats().invalidated, 0u);
+    ASSERT_EQ(server.load_from(recovered), kRecords);
+    check_equivalent(server, "after compaction");
+  }
 }
 
 // Byte-level truncation sweep (payload-agnostic, no crypto): for a cut at

@@ -11,7 +11,7 @@
 //   apks_cli search   --schema phr --cap cap.bin idx1.bin idx2.bin ...
 //   apks_cli batchsearch --schema phr --caps cap1.bin,cap2.bin [--threads T] idx1.bin ...
 //   apks_cli ingest   --schema phr --store DB [--shards N] [--proxy-replicas R] idx1.bin idx2.bin ...
-//   apks_cli serve    --schema phr --store DB --caps cap1.bin,cap2.bin [--threads T] [--deadline-ms MS] [--max-inflight N]
+//   apks_cli serve    --schema phr --store DB --caps cap1.bin,cap2.bin [--threads T] [--deadline-ms MS] [--max-inflight N] [--verdict-cache-mb MB]
 //   apks_cli compact  --store DB
 //
 // MRQED^D replaces --schema with --dims D --depth K; --values is a point
@@ -31,6 +31,9 @@
 // `serve` degradation knobs: --deadline-ms bounds each batch's scan (the
 // batch stops at a block boundary and reports DEADLINE) and --max-inflight
 // sheds concurrent batches beyond the limit before any crypto runs.
+// --verdict-cache-mb MB enables the per-segment verdict cache: repeated
+// queries over sealed segments answer from memoized verdicts instead of
+// re-running the pairing scan (stats are printed after the batch).
 //
 // `ingest` appends encrypted-index files into a persistent ShardedStore
 // (creating it with --shards partitions on first use) stamped with the
@@ -116,6 +119,7 @@ struct Args {
   std::size_t proxy_replicas = 1;  // >1: replicated fault-tolerant pool
   std::uint64_t deadline_ms = 0;   // serve: per-batch scan budget (0 = none)
   std::size_t max_inflight = 0;    // serve: admission limit (0 = unlimited)
+  std::size_t verdict_cache_mb = 0;  // serve: verdict cache budget (0 = off)
   std::vector<std::string> positional;
 };
 
@@ -178,6 +182,8 @@ Args parse_args(int argc, char** argv) {
       a.deadline_ms = parse_count(arg, next());
     } else if (arg == "--max-inflight") {
       a.max_inflight = parse_count(arg, next());
+    } else if (arg == "--verdict-cache-mb") {
+      a.verdict_cache_mb = parse_count(arg, next());
     }
     else if (arg == "--query") a.query = next();
     else if (arg == "--values") a.values = next();
@@ -647,7 +653,18 @@ int cmd_serve(Runtime& rt, const Args& a) {
   opts.threads = a.threads;
   opts.deadline_ms = a.deadline_ms;
   opts.max_inflight = a.max_inflight;
+  opts.verdict_cache_bytes =
+      static_cast<std::uint64_t>(a.verdict_cache_mb) * 1024 * 1024;
   SearchEngine engine(server, opts);
+  if (VerdictCache* vcache = engine.verdict_cache(); vcache != nullptr) {
+    // Rotations/compactions through this store drop their retired segments'
+    // verdicts immediately (hygiene; correctness holds without it because
+    // segment identities are never reused).
+    store.set_invalidation_hook(
+        [vcache](std::span<const SegmentId> retired) {
+          vcache->invalidate(retired);
+        });
+  }
   BatchMetrics metrics;
   ServeControl control;
   control.partial_ok = true;  // CLI: report truncation instead of throwing
@@ -666,6 +683,15 @@ int cmd_serve(Runtime& rt, const Args& a) {
   std::printf("serving outcomes: %" PRIu64 " served, %" PRIu64
               " deadline-exceeded, %" PRIu64 " shed\n",
               counters.served, counters.deadline_exceeded, counters.shed);
+  if (const VerdictCache* vcache = engine.verdict_cache();
+      vcache != nullptr) {
+    const VerdictCacheStats vs = vcache->stats();
+    std::printf("verdict cache: %" PRIu64 " hits, %" PRIu64 " misses, %" PRIu64
+                " memoized (%zu entries, %" PRIu64 "/%" PRIu64 " bytes); "
+                "batch resolved %zu records from cache\n",
+                vs.hits, vs.misses, vs.insertions, vs.entries, vs.bytes,
+                vcache->byte_budget(), metrics.verdict_hits);
+  }
   return 0;
 }
 

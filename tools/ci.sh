@@ -59,6 +59,10 @@ if [[ $STAGE == all ]]; then
   echo "=== bench smoke: cross-scheme serving comparison + JSON artifact ==="
   ./build/bench/bench_schemes --smoke --json=BENCH_schemes.json
   [[ -s BENCH_schemes.json ]] || { echo "BENCH_schemes.json missing/empty"; exit 1; }
+
+  echo "=== bench smoke: verdict-cache speedup + equivalence + JSON artifact ==="
+  ./build/bench/bench_cache --smoke --json=BENCH_cache.json
+  [[ -s BENCH_cache.json ]] || { echo "BENCH_cache.json missing/empty"; exit 1; }
 fi
 
 if [[ $STAGE == all || $STAGE == store ]]; then
