@@ -55,6 +55,7 @@ struct SchemeRun {
   std::size_t queries = 0;
   std::size_t matched = 0;
   std::uint64_t miller = 0;
+  std::uint64_t multi_miller = 0;
   std::uint64_t final_exp = 0;
 };
 
@@ -62,10 +63,12 @@ void report_run(const SchemeRun& r, JsonReport& report) {
   const double probes = static_cast<double>(r.records * r.queries);
   std::printf(
       "%-6s setup %7.3fs  index %7.3fs  ingest %7.3fs  batch %7.3fs  "
-      "(%5.1f probes/s)  matched %3zu  miller %6llu  final_exp %5llu\n",
+      "(%5.1f probes/s)  matched %3zu  miller %6llu  multi %5llu  "
+      "final_exp %5llu\n",
       r.name, r.setup_s, r.index_s, r.ingest_s, r.batch_wall_s,
       r.batch_wall_s > 0 ? probes / r.batch_wall_s : 0.0, r.matched,
       static_cast<unsigned long long>(r.miller),
+      static_cast<unsigned long long>(r.multi_miller),
       static_cast<unsigned long long>(r.final_exp));
   report.add_row({{"scheme", r.name},
                   {"records", r.records},
@@ -78,6 +81,7 @@ void report_run(const SchemeRun& r, JsonReport& report) {
                    r.batch_wall_s > 0 ? probes / r.batch_wall_s : 0.0},
                   {"matched", r.matched},
                   {"miller", static_cast<double>(r.miller)},
+                  {"multi_miller", static_cast<double>(r.multi_miller)},
                   {"final_exp", static_cast<double>(r.final_exp)}});
 }
 
@@ -94,6 +98,7 @@ void serve_batch(const CloudServer& server, std::span<const AnyQuery> queries,
   for (std::size_t i = 0; i < results.size(); ++i) {
     run.matched += results[i].size();
     run.miller += metrics.per_query[i].ops.miller;
+    run.multi_miller += metrics.per_query[i].ops.multi_miller;
     run.final_exp += metrics.per_query[i].ops.final_exp;
   }
 }

@@ -223,10 +223,20 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
       (void)failpoint("engine.scan_block");
       const std::size_t lo = b * block;
       const std::size_t hi = std::min(n, lo + block);
-      for (std::size_t r = lo; r < hi; ++r) {
-        const auto& record = records[r];
-        const std::int32_t slot = use_vcache ? record.segment : -1;
-        for (std::size_t q = 0; q < active.size(); ++q) {
+      // Per query: resolve memoized records, then hand the rest to the
+      // backend as ONE block so lane-parallel kernels (match_block) can run
+      // the records side by side instead of one pairing product at a time.
+      std::vector<const AnyIndex*> pending;
+      std::vector<std::size_t> pending_r;
+      pending.reserve(hi - lo);
+      pending_r.reserve(hi - lo);
+      const auto verdict_buf = std::make_unique<bool[]>(hi - lo);
+      for (std::size_t q = 0; q < active.size(); ++q) {
+        pending.clear();
+        pending_r.clear();
+        for (std::size_t r = lo; r < hi; ++r) {
+          const auto& record = records[r];
+          const std::int32_t slot = use_vcache ? record.segment : -1;
           const auto* memo =
               slot >= 0 ? verdicts[q][static_cast<std::size_t>(slot)].get()
                         : nullptr;
@@ -236,9 +246,15 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
                              ? 1
                              : 0;
           } else {
-            hits[q][r] = backend.match(prepared[active[q]], record.index)
-                             ? 1
-                             : 0;
+            pending.push_back(&record.index);
+            pending_r.push_back(r);
+          }
+        }
+        if (!pending.empty()) {
+          backend.match_block(prepared[active[q]], pending.data(),
+                              pending.size(), verdict_buf.get());
+          for (std::size_t i = 0; i < pending.size(); ++i) {
+            hits[q][pending_r[i]] = verdict_buf[i] ? 1 : 0;
           }
         }
       }
@@ -358,6 +374,7 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
       ServerMetrics& m = bm.per_query[active[q]];
       m.scanned = covered;
       m.ops += {scan_ops.miller / active.size(),
+                scan_ops.multi_miller / active.size(),
                 scan_ops.final_exp / active.size()};
       m.wall_s += scan_wall;
       if (use_vcache && complete) {
@@ -389,6 +406,10 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
   }
   bm.ops = pairing.op_counts() - batch_c0;
   bm.wall_s = seconds_since(batch_t0);
+  {
+    std::lock_guard lock(counters_mutex_);
+    counters_.ops += bm.ops;
+  }
 
   const int outcome = stop.load(std::memory_order_relaxed);
   if (outcome != kRun) {

@@ -97,6 +97,10 @@ struct EngineCounters {
   std::uint64_t shed = 0;               // rejected by admission control
   std::uint64_t deadline_exceeded = 0;  // batches stopped by their deadline
   std::uint64_t cancelled = 0;          // batches stopped by a cancel token
+  // Lifetime pairing work (miller / multi_miller / final_exp) across every
+  // batch this engine served — engine-invariant, so the same workload
+  // reports the same counts whether the scan ran scalar or SIMD.
+  PairingOpCounts ops;
 };
 
 class SearchEngine {

@@ -1,0 +1,63 @@
+#include "common/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace apks {
+
+namespace {
+
+SimdLevel detect_hardware() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_cpu_init();
+  // The AVX-512 engine needs F (foundation), VL (256/128-bit forms), DQ
+  // (vpmullq for digit extraction) and IFMA (vpmadd52).
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512vl") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512ifma")) {
+    return SimdLevel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel apply_env(SimdLevel hw) noexcept {
+  const char* force = std::getenv("APKS_FORCE_SCALAR");
+  if (force != nullptr && force[0] == '1') return SimdLevel::kScalar;
+  const char* pin = std::getenv("APKS_SIMD");
+  if (pin == nullptr) return hw;
+  if (std::strcmp(pin, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(pin, "avx2") == 0) {
+    return hw >= SimdLevel::kAvx2 ? SimdLevel::kAvx2 : hw;
+  }
+  if (std::strcmp(pin, "avx512") == 0) return hw;  // never upgrades past hw
+  return hw;  // unknown value: ignore
+}
+
+}  // namespace
+
+SimdLevel simd_level_detected() noexcept {
+  static const SimdLevel hw = detect_hardware();
+  return hw;
+}
+
+SimdLevel simd_level() noexcept {
+  static const SimdLevel chosen = apply_env(simd_level_detected());
+  return chosen;
+}
+
+const char* simd_level_name(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+}  // namespace apks

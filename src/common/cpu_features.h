@@ -1,0 +1,36 @@
+// Runtime CPU capability detection for the SIMD lane engines.
+//
+// The lane engines (math/fp_lanes.h) are selected once per process from the
+// CPU's advertised extensions, overridable for testing and CI via
+// environment variables:
+//
+//   APKS_SIMD=scalar|avx2|avx512   pin the engine (downgrades only: asking
+//                                  for an engine the CPU lacks falls back
+//                                  to the best supported one below it)
+//   APKS_FORCE_SCALAR=1            shorthand for APKS_SIMD=scalar
+//
+// Every engine is bit-identical (canonical Montgomery residues at every
+// operation boundary), so the override is a performance knob, never a
+// correctness one — which is exactly what lets CI run the same tests under
+// both settings and diff nothing.
+#pragma once
+
+namespace apks {
+
+enum class SimdLevel {
+  kScalar = 0,  // portable reference path (always available)
+  kAvx2 = 1,    // 4-wide lanes, 32-bit-radix Montgomery
+  kAvx512 = 2,  // 8-wide lanes, 52-bit-radix IFMA Montgomery
+};
+
+// The engine selected for this process: min(CPU capability, compiled-in
+// support, environment override). Computed once, then cached.
+[[nodiscard]] SimdLevel simd_level() noexcept;
+
+// Raw CPU capability, ignoring the environment override (used by tests to
+// decide which cross-engine comparisons can run on this machine).
+[[nodiscard]] SimdLevel simd_level_detected() noexcept;
+
+[[nodiscard]] const char* simd_level_name(SimdLevel level) noexcept;
+
+}  // namespace apks

@@ -38,12 +38,24 @@ bool Apks::search(const Capability& cap, const EncryptedIndex& index) const {
 }
 
 PreparedCapability Apks::prepare(const Capability& cap) const {
-  return {hpe_.preprocess_key(cap.key)};
+  return {std::make_shared<BlockMultiPairing>(hpe_.pairing(),
+                                              hpe_.preprocess_key(cap.key))};
 }
 
 bool Apks::search_prepared(const PreparedCapability& cap,
                            const EncryptedIndex& index) const {
-  return hpe_.decrypt_pre(index.ct, cap.dec) == match_flag();
+  return hpe_.decrypt_pre(index.ct, cap.dec()) == match_flag();
+}
+
+void Apks::search_prepared_block(const PreparedCapability& cap,
+                                 const EncryptedIndex* const* indexes,
+                                 std::size_t n, bool* out) const {
+  const GtEl flag = match_flag();
+  std::vector<const HpeCiphertext*> cts(n);
+  for (std::size_t r = 0; r < n; ++r) cts[r] = &indexes[r]->ct;
+  std::vector<GtEl> dec(n);
+  hpe_.decrypt_pre_block(*cap.kernel, cts.data(), n, dec.data());
+  for (std::size_t r = 0; r < n; ++r) out[r] = dec[r] == flag;
 }
 
 Capability Apks::delegate_cap(const Capability& parent,

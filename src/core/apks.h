@@ -35,9 +35,16 @@ struct Capability {
   std::vector<Query> history;
 };
 
-// A capability with the server-side pairing preprocessing applied.
+// A capability with the server-side pairing preprocessing applied: the
+// compiled scan kernel owns the preprocessed line tables (in both scalar
+// and lane-engine form), so a prepared capability can serve records one at
+// a time (`search_prepared`) or in SIMD blocks (`search_prepared_block`).
 struct PreparedCapability {
-  std::vector<PreprocessedPairing> dec;
+  std::shared_ptr<const BlockMultiPairing> kernel;
+
+  [[nodiscard]] std::span<const PreprocessedPairing> dec() const noexcept {
+    return kernel->pres();
+  }
 };
 
 class Apks {
@@ -80,6 +87,11 @@ class Apks {
   [[nodiscard]] PreparedCapability prepare(const Capability& cap) const;
   [[nodiscard]] bool search_prepared(const PreparedCapability& cap,
                                      const EncryptedIndex& index) const;
+  // Block variant: out[r] = search_prepared(cap, *indexes[r]), with the
+  // pairing work running lane-parallel through the capability's kernel.
+  void search_prepared_block(const PreparedCapability& cap,
+                             const EncryptedIndex* const* indexes,
+                             std::size_t n, bool* out) const;
 
   [[nodiscard]] Capability delegate_cap(const Capability& parent,
                                         const Query& restriction,

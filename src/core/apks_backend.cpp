@@ -46,6 +46,19 @@ bool ApksBackend::match(const AnyPrepared& prepared,
                                   index.as<EncryptedIndex>());
 }
 
+void ApksBackend::match_block(const AnyPrepared& prepared,
+                              const AnyIndex* const* indexes, std::size_t n,
+                              bool* out) const {
+  require_prepared(prepared);
+  std::vector<const EncryptedIndex*> typed(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    require_index(*indexes[r]);
+    typed[r] = &indexes[r]->as<EncryptedIndex>();
+  }
+  scheme_->search_prepared_block(prepared.as<PreparedCapability>(),
+                                 typed.data(), n, out);
+}
+
 std::vector<std::uint8_t> ApksBackend::query_message(
     const AnyQuery& query, const std::string& issuer) const {
   require_query(query);

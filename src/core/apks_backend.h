@@ -62,6 +62,10 @@ class ApksBackend : public SearchBackend {
   [[nodiscard]] AnyPrepared prepare(const AnyQuery& query) const override;
   [[nodiscard]] bool match(const AnyPrepared& prepared,
                            const AnyIndex& index) const override;
+  // Routes through the prepared capability's lane-parallel scan kernel
+  // (search_prepared_block); verdicts byte-identical to match per record.
+  void match_block(const AnyPrepared& prepared, const AnyIndex* const* indexes,
+                   std::size_t n, bool* out) const override;
 
   [[nodiscard]] std::vector<std::uint8_t> query_message(
       const AnyQuery& query, const std::string& issuer) const override;

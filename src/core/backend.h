@@ -255,6 +255,18 @@ class SearchBackend {
   [[nodiscard]] virtual AnyPrepared prepare(const AnyQuery& query) const = 0;
   [[nodiscard]] virtual bool match(const AnyPrepared& prepared,
                                    const AnyIndex& index) const = 0;
+  // Batched match over one prepared query: out[r] = match(prepared,
+  // *indexes[r]). Semantically identical to the record-at-a-time loop (the
+  // default); backends whose verdict is a pure per-record pairing (APKS,
+  // APKS+) override it with the lane-parallel scan kernel. Backends with
+  // data-dependent early exits (MRQED) keep the default.
+  virtual void match_block(const AnyPrepared& prepared,
+                           const AnyIndex* const* indexes, std::size_t n,
+                           bool* out) const {
+    for (std::size_t r = 0; r < n; ++r) {
+      out[r] = match(prepared, *indexes[r]);
+    }
+  }
 
   // --- authorization ----------------------------------------------------
   // The byte string the issuing authority's IBS signature covers for this

@@ -195,12 +195,9 @@ GtEl Dpvs::pair_vec(const GVec& x, const GVec& y) const {
   if (x.size() != dim_ || y.size() != dim_) {
     throw std::invalid_argument("Dpvs::pair_vec: dimension mismatch");
   }
-  const Fp2& fp2 = e_->fp2();
-  Fp2El f = fp2.one();
-  for (std::size_t i = 0; i < dim_; ++i) {
-    f = fp2.mul(f, e_->miller(x[i], y[i]));
-  }
-  return e_->final_exp(f);
+  std::vector<MillerPair> pairs(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) pairs[i] = {x[i], y[i]};
+  return e_->final_exp(e_->multi_miller(pairs));
 }
 
 std::vector<PreprocessedPairing> Dpvs::preprocess_vec(const GVec& x) const {
@@ -213,17 +210,12 @@ std::vector<PreprocessedPairing> Dpvs::preprocess_vec(const GVec& x) const {
   return out;
 }
 
-GtEl Dpvs::pair_vec_pre(const std::vector<PreprocessedPairing>& x,
+GtEl Dpvs::pair_vec_pre(std::span<const PreprocessedPairing> x,
                         const GVec& y) const {
   if (x.size() != dim_ || y.size() != dim_) {
     throw std::invalid_argument("Dpvs::pair_vec_pre: dimension mismatch");
   }
-  const Fp2& fp2 = e_->fp2();
-  Fp2El f = fp2.one();
-  for (std::size_t i = 0; i < dim_; ++i) {
-    f = fp2.mul(f, x[i].miller_with(y[i]));
-  }
-  return e_->final_exp(f);
+  return e_->final_exp(e_->multi_miller_pre(x, y));
 }
 
 }  // namespace apks

@@ -91,15 +91,16 @@ class Dpvs {
   [[nodiscard]] GVec lincomb_naive(const std::vector<Fq>& coeffs,
                                    const std::vector<const GVec*>& vecs) const;
 
-  // prod_i e(x_i, y_i)  == gT^{<exponents(x), exponents(y)>}; N Miller loops
-  // plus a single shared final exponentiation.
+  // prod_i e(x_i, y_i)  == gT^{<exponents(x), exponents(y)>}. Runs the true
+  // multi-pairing: one shared Miller accumulator squared once per bit for
+  // all N slots, plus a single final exponentiation.
   [[nodiscard]] GtEl pair_vec(const GVec& x, const GVec& y) const;
 
   // Variant with preprocessed first argument (the cloud server preprocesses
   // a capability's decryption component once and reuses it per index).
   [[nodiscard]] std::vector<PreprocessedPairing> preprocess_vec(
       const GVec& x) const;
-  [[nodiscard]] GtEl pair_vec_pre(const std::vector<PreprocessedPairing>& x,
+  [[nodiscard]] GtEl pair_vec_pre(std::span<const PreprocessedPairing> x,
                                   const GVec& y) const;
 
  private:

@@ -279,8 +279,27 @@ std::vector<PreprocessedPairing> Hpe::preprocess_key(const HpeKey& key) const {
 }
 
 GtEl Hpe::decrypt_pre(const HpeCiphertext& ct,
-                      const std::vector<PreprocessedPairing>& pre) const {
+                      std::span<const PreprocessedPairing> pre) const {
   return e_->gt_mul(ct.c2, e_->gt_inv(dpvs_.pair_vec_pre(pre, ct.c1)));
+}
+
+void Hpe::decrypt_pre_block(const BlockMultiPairing& kernel,
+                            const HpeCiphertext* const* cts, std::size_t n,
+                            GtEl* out) const {
+  if (kernel.dim() != dim()) {
+    throw std::invalid_argument("Hpe::decrypt_pre_block: kernel dimension");
+  }
+  std::vector<const AffinePoint*> qvecs(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (cts[r]->c1.size() != kernel.dim()) {
+      throw std::invalid_argument("Hpe::decrypt_pre_block: ciphertext dim");
+    }
+    qvecs[r] = cts[r]->c1.data();
+  }
+  kernel.run(qvecs.data(), n, out);
+  for (std::size_t r = 0; r < n; ++r) {
+    out[r] = e_->gt_mul(cts[r]->c2, e_->gt_inv(out[r]));
+  }
 }
 
 HpeKey Hpe::delegate(const HpeKey& parent, const std::vector<Fq>& v_next,

@@ -23,6 +23,7 @@
 
 #include "dpvs/dpvs.h"
 #include "dpvs/precomp_basis.h"
+#include "pairing/pairing_block.h"
 
 namespace apks {
 
@@ -116,8 +117,15 @@ class Hpe {
   [[nodiscard]] std::vector<PreprocessedPairing> preprocess_key(
       const HpeKey& key) const;
   [[nodiscard]] GtEl decrypt_pre(const HpeCiphertext& ct,
-                                 const std::vector<PreprocessedPairing>& pre)
+                                 std::span<const PreprocessedPairing> pre)
       const;
+
+  // Block variant over a compiled scan kernel: out[r] = c2_r / kernel(c1_r)
+  // for each of the n ciphertexts. Byte-identical to decrypt_pre per record;
+  // the kernel runs the records lane-parallel where the engine allows.
+  void decrypt_pre_block(const BlockMultiPairing& kernel,
+                         const HpeCiphertext* const* cts, std::size_t n,
+                         GtEl* out) const;
 
   // Appends predicate vector v_next: the child key decrypts only ciphertexts
   // the parent could decrypt that additionally satisfy x.v_next = 0.

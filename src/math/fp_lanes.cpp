@@ -1,0 +1,101 @@
+#include "math/fp_lanes.h"
+
+#include <cstring>
+
+namespace apks {
+
+namespace {
+
+// Reference engine: 8 lanes, lane-major layout (lane l at w[8l..8l+8)),
+// each operation a per-lane call into the scalar field. This is the
+// bit-identity anchor the SIMD engines are tested against.
+class ScalarLanes final : public FpLaneEngine {
+ public:
+  explicit ScalarLanes(const LaneField& field) : fp_(&field) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "scalar"; }
+  [[nodiscard]] SimdLevel level() const noexcept override {
+    return SimdLevel::kScalar;
+  }
+  [[nodiscard]] std::size_t width() const noexcept override { return 8; }
+
+  void load(FpLaneVec& out, const LaneFp* vals,
+            std::size_t n) const override {
+    std::memset(out.w, 0, sizeof(out.w));
+    for (std::size_t l = 0; l < n; ++l) {
+      std::memcpy(out.w + 8 * l, vals[l].w.data(), sizeof(LaneFp));
+    }
+  }
+
+  void store(LaneFp* out, const FpLaneVec& in, std::size_t n) const override {
+    for (std::size_t l = 0; l < n; ++l) {
+      std::memcpy(out[l].w.data(), in.w + 8 * l, sizeof(LaneFp));
+    }
+  }
+
+  void to_scalar(FpLaneScalar& out, const LaneFp& v) const override {
+    std::memset(out.w, 0, sizeof(out.w));
+    std::memcpy(out.w, v.w.data(), sizeof(LaneFp));
+  }
+
+  void broadcast(FpLaneVec& out, const FpLaneScalar& s) const override {
+    for (std::size_t l = 0; l < 8; ++l) {
+      std::memcpy(out.w + 8 * l, s.w, sizeof(LaneFp));
+    }
+  }
+
+  void mul(FpLaneVec& r, const FpLaneVec& a,
+           const FpLaneVec& b) const override {
+    for (std::size_t l = 0; l < 8; ++l) {
+      LaneFp x, y;
+      std::memcpy(x.w.data(), a.w + 8 * l, sizeof(LaneFp));
+      std::memcpy(y.w.data(), b.w + 8 * l, sizeof(LaneFp));
+      const LaneFp z = fp_->mul(x, y);
+      std::memcpy(r.w + 8 * l, z.w.data(), sizeof(LaneFp));
+    }
+  }
+
+  void add(FpLaneVec& r, const FpLaneVec& a,
+           const FpLaneVec& b) const override {
+    for (std::size_t l = 0; l < 8; ++l) {
+      LaneFp x, y;
+      std::memcpy(x.w.data(), a.w + 8 * l, sizeof(LaneFp));
+      std::memcpy(y.w.data(), b.w + 8 * l, sizeof(LaneFp));
+      const LaneFp z = fp_->add(x, y);
+      std::memcpy(r.w + 8 * l, z.w.data(), sizeof(LaneFp));
+    }
+  }
+
+  void sub(FpLaneVec& r, const FpLaneVec& a,
+           const FpLaneVec& b) const override {
+    for (std::size_t l = 0; l < 8; ++l) {
+      LaneFp x, y;
+      std::memcpy(x.w.data(), a.w + 8 * l, sizeof(LaneFp));
+      std::memcpy(y.w.data(), b.w + 8 * l, sizeof(LaneFp));
+      const LaneFp z = fp_->sub(x, y);
+      std::memcpy(r.w + 8 * l, z.w.data(), sizeof(LaneFp));
+    }
+  }
+
+ private:
+  const LaneField* fp_;
+};
+
+}  // namespace
+
+std::unique_ptr<FpLaneEngine> make_fp_lane_engine(const LaneField& field,
+                                                  SimdLevel level) {
+  if (level >= SimdLevel::kAvx512) {
+    if (auto e = detail::make_fp_lanes_avx512(field)) return e;
+  }
+  if (level >= SimdLevel::kAvx2) {
+    if (auto e = detail::make_fp_lanes_avx2(field)) return e;
+  }
+  return std::make_unique<ScalarLanes>(field);
+}
+
+std::unique_ptr<FpLaneEngine> make_fp_lane_engine(const LaneField& field) {
+  return make_fp_lane_engine(field, simd_level());
+}
+
+}  // namespace apks

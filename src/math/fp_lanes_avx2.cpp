@@ -1,0 +1,236 @@
+// 4-wide AVX2 lane engine: CIOS Montgomery multiplication over sixteen
+// 32-bit limbs held in the 64-bit lanes of __m256i vectors (vpmuludq
+// multiplies the low halves, so one 32x32->64 product per lane per
+// instruction, with exact sequential carry propagation).
+//
+// R = 2^(32*16) = 2^512 equals the scalar Montgomery radix, so there is no
+// domain shift: load/store are pure digit repacking, and a lane value is
+// limb-for-limb the scalar engine's value at every step.
+#include "math/fp_lanes.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace apks::detail {
+
+namespace {
+
+constexpr int kL32 = 16;  // 32-bit limbs covering 512 bits
+constexpr std::uint64_t kMask32 = 0xffffffffu;
+
+void to_radix32(std::uint64_t out[kL32], const LaneFp& v) {
+  for (int k = 0; k < 8; ++k) {
+    out[2 * k] = v.w[static_cast<std::size_t>(k)] & kMask32;
+    out[2 * k + 1] = v.w[static_cast<std::size_t>(k)] >> 32;
+  }
+}
+
+void from_radix32(LaneFp& out, const std::uint64_t in[kL32]) {
+  for (int k = 0; k < 8; ++k) {
+    out.w[static_cast<std::size_t>(k)] = in[2 * k] | (in[2 * k + 1] << 32);
+  }
+}
+
+class Avx2Lanes final : public FpLaneEngine {
+ public:
+  explicit Avx2Lanes(const LaneField& field) {
+    const LaneFp& p = field.modulus();
+    to_radix32(m32_, p);
+    n0inv32_ = limb::mont_n0inv(p.w[0]) & kMask32;
+    for (int k = 0; k < kL32; ++k) {
+      vm_[k] = _mm256_set1_epi64x(static_cast<long long>(m32_[k]));
+    }
+    vn0_ = _mm256_set1_epi64x(static_cast<long long>(n0inv32_));
+    vmask_ = _mm256_set1_epi64x(static_cast<long long>(kMask32));
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "avx2"; }
+  [[nodiscard]] SimdLevel level() const noexcept override {
+    return SimdLevel::kAvx2;
+  }
+  [[nodiscard]] std::size_t width() const noexcept override { return 4; }
+
+  void load(FpLaneVec& out, const LaneFp* vals,
+            std::size_t n) const override {
+    std::memset(out.w, 0, sizeof(out.w));
+    std::uint64_t limbs[kL32];
+    for (std::size_t l = 0; l < n && l < 4; ++l) {
+      to_radix32(limbs, vals[l]);
+      for (int k = 0; k < kL32; ++k) {
+        out.w[static_cast<std::size_t>(k) * 4 + l] = limbs[k];
+      }
+    }
+  }
+
+  void store(LaneFp* out, const FpLaneVec& in, std::size_t n) const override {
+    std::uint64_t limbs[kL32];
+    for (std::size_t l = 0; l < n && l < 4; ++l) {
+      for (int k = 0; k < kL32; ++k) {
+        limbs[k] = in.w[static_cast<std::size_t>(k) * 4 + l];
+      }
+      from_radix32(out[l], limbs);
+    }
+  }
+
+  void to_scalar(FpLaneScalar& out, const LaneFp& v) const override {
+    std::memset(out.w, 0, sizeof(out.w));
+    std::memcpy(out.w, v.w.data(), sizeof(LaneFp));
+  }
+
+  void broadcast(FpLaneVec& out, const FpLaneScalar& s) const override {
+    LaneFp v;
+    std::memcpy(v.w.data(), s.w, sizeof(LaneFp));
+    std::uint64_t limbs[kL32];
+    to_radix32(limbs, v);
+    __m256i* o = vec(out);
+    for (int k = 0; k < kL32; ++k) {
+      o[k] = _mm256_set1_epi64x(static_cast<long long>(limbs[k]));
+    }
+  }
+
+  void mul(FpLaneVec& r, const FpLaneVec& a,
+           const FpLaneVec& b) const override {
+    const __m256i* va = cvec(a);
+    const __m256i* vb = cvec(b);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i t[2 * kL32 + 1];
+    for (int k = 0; k < 2 * kL32 + 1; ++k) t[k] = zero;
+    for (int j = 0; j < kL32; ++j) {
+      const __m256i bj = vb[j];
+      // t += a * b[j], exact sequential carries (each step fits 64 bits).
+      __m256i c = zero;
+      for (int k = 0; k < kL32; ++k) {
+        const __m256i s = _mm256_add_epi64(
+            _mm256_add_epi64(t[j + k], _mm256_mul_epu32(va[k], bj)), c);
+        t[j + k] = _mm256_and_si256(s, vmask_);
+        c = _mm256_srli_epi64(s, 32);
+      }
+      __m256i s = _mm256_add_epi64(t[j + kL32], c);
+      t[j + kL32] = _mm256_and_si256(s, vmask_);
+      t[j + kL32 + 1] = _mm256_add_epi64(t[j + kL32 + 1],
+                                         _mm256_srli_epi64(s, 32));
+      // Reduce one digit: q = t[j] * n0inv mod 2^32.
+      const __m256i q =
+          _mm256_and_si256(_mm256_mul_epu32(t[j], vn0_), vmask_);
+      c = zero;
+      for (int k = 0; k < kL32; ++k) {
+        const __m256i s2 = _mm256_add_epi64(
+            _mm256_add_epi64(t[j + k], _mm256_mul_epu32(vm_[k], q)), c);
+        t[j + k] = _mm256_and_si256(s2, vmask_);
+        c = _mm256_srli_epi64(s2, 32);
+      }
+      s = _mm256_add_epi64(t[j + kL32], c);
+      t[j + kL32] = _mm256_and_si256(s, vmask_);
+      t[j + kL32 + 1] = _mm256_add_epi64(t[j + kL32 + 1],
+                                         _mm256_srli_epi64(s, 32));
+      // t[j] is now zero; the window slides with j.
+    }
+    // Result digits t[16..31], plus a possible 2^512 bit in t[32].
+    __m256i out[kL32];
+    cond_sub(out, t + kL32, t[2 * kL32]);
+    std::memcpy(r.w, out, sizeof(out));
+  }
+
+  void add(FpLaneVec& r, const FpLaneVec& a,
+           const FpLaneVec& b) const override {
+    const __m256i* va = cvec(a);
+    const __m256i* vb = cvec(b);
+    __m256i s[kL32];
+    __m256i c = _mm256_setzero_si256();
+    for (int k = 0; k < kL32; ++k) {
+      const __m256i t = _mm256_add_epi64(_mm256_add_epi64(va[k], vb[k]), c);
+      s[k] = _mm256_and_si256(t, vmask_);
+      c = _mm256_srli_epi64(t, 32);
+    }
+    __m256i out[kL32];
+    cond_sub(out, s, c);
+    std::memcpy(r.w, out, sizeof(out));
+  }
+
+  void sub(FpLaneVec& r, const FpLaneVec& a,
+           const FpLaneVec& b) const override {
+    const __m256i* va = cvec(a);
+    const __m256i* vb = cvec(b);
+    __m256i d[kL32];
+    __m256i bor = _mm256_setzero_si256();
+    for (int k = 0; k < kL32; ++k) {
+      const __m256i t = _mm256_sub_epi64(_mm256_sub_epi64(va[k], vb[k]), bor);
+      bor = _mm256_srli_epi64(t, 63);
+      d[k] = _mm256_and_si256(t, vmask_);
+    }
+    // Where a < b: wrapped digits + p (final carry cancels the wrap).
+    __m256i dm[kL32];
+    __m256i c = _mm256_setzero_si256();
+    for (int k = 0; k < kL32; ++k) {
+      const __m256i t = _mm256_add_epi64(_mm256_add_epi64(d[k], vm_[k]), c);
+      dm[k] = _mm256_and_si256(t, vmask_);
+      c = _mm256_srli_epi64(t, 32);
+    }
+    const __m256i wrapped =
+        _mm256_xor_si256(_mm256_cmpeq_epi64(bor, _mm256_setzero_si256()),
+                         _mm256_set1_epi64x(-1));
+    __m256i out[kL32];
+    for (int k = 0; k < kL32; ++k) {
+      out[k] = _mm256_blendv_epi8(d[k], dm[k], wrapped);
+    }
+    std::memcpy(r.w, out, sizeof(out));
+  }
+
+ private:
+  static __m256i* vec(FpLaneVec& v) noexcept {
+    return reinterpret_cast<__m256i*>(v.w);
+  }
+  static const __m256i* cvec(const FpLaneVec& v) noexcept {
+    return reinterpret_cast<const __m256i*>(v.w);
+  }
+
+  // out = canonical(value), where value = hi * 2^512 + digits (< 2p).
+  void cond_sub(__m256i out[kL32], const __m256i digits[kL32],
+                const __m256i hi) const {
+    __m256i d[kL32];
+    __m256i bor = _mm256_setzero_si256();
+    for (int k = 0; k < kL32; ++k) {
+      const __m256i t =
+          _mm256_sub_epi64(_mm256_sub_epi64(digits[k], vm_[k]), bor);
+      bor = _mm256_srli_epi64(t, 63);
+      d[k] = _mm256_and_si256(t, vmask_);
+    }
+    const __m256i zero = _mm256_setzero_si256();
+    // Take the subtracted form when hi != 0 (value >= 2^512 > p) or when
+    // the low 512 bits alone are >= p (no final borrow).
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    const __m256i hi_nz = _mm256_xor_si256(_mm256_cmpeq_epi64(hi, zero), ones);
+    const __m256i no_borrow = _mm256_cmpeq_epi64(bor, zero);
+    const __m256i take_sub = _mm256_or_si256(hi_nz, no_borrow);
+    for (int k = 0; k < kL32; ++k) {
+      out[k] = _mm256_blendv_epi8(digits[k], d[k], take_sub);
+    }
+  }
+
+  std::uint64_t m32_[kL32];
+  std::uint64_t n0inv32_ = 0;
+  __m256i vm_[kL32];
+  __m256i vn0_;
+  __m256i vmask_;
+};
+
+}  // namespace
+
+std::unique_ptr<FpLaneEngine> make_fp_lanes_avx2(const LaneField& field) {
+  return std::make_unique<Avx2Lanes>(field);
+}
+
+}  // namespace apks::detail
+
+#else  // !__AVX2__
+
+namespace apks::detail {
+std::unique_ptr<FpLaneEngine> make_fp_lanes_avx2(const LaneField&) {
+  return nullptr;
+}
+}  // namespace apks::detail
+
+#endif

@@ -24,6 +24,8 @@ class PrimeField {
     if (!p.is_odd() || p < El{3}) {
       throw std::invalid_argument("PrimeField: modulus must be an odd prime");
     }
+    legendre_exp_ = (p - El{1}).shr(1);          // (p-1)/2
+    sqrt_exp_ = legendre_exp_.shr(1) + El{1};    // (p+1)/4 when p = 3 (mod 4)
   }
 
   [[nodiscard]] const El& modulus() const noexcept { return mont_.modulus(); }
@@ -122,25 +124,24 @@ class PrimeField {
     }
   }
 
-  // Legendre symbol: +1 (QR), -1 (non-residue), 0 (zero).
+  // Legendre symbol: +1 (QR), -1 (non-residue), 0 (zero). The exponent
+  // (p-1)/2 is fixed per field and cached at construction.
   [[nodiscard]] int legendre(const El& a) const {
     if (a.is_zero()) return 0;
-    const El e = (modulus() - El{1}).shr(1);
-    const El r = pow(a, e);
+    const El r = pow(a, legendre_exp_);
     if (r == one()) return 1;
     return -1;
   }
 
-  // Square root for p = 3 (mod 4): a^((p+1)/4). Returns false if `a` is a
-  // non-residue.
+  // Square root for p = 3 (mod 4): a^((p+1)/4), cached exponent. Returns
+  // false if `a` is a non-residue.
   [[nodiscard]] bool sqrt(const El& a, El& out) const {
     assert(modulus().w[0] % 4 == 3);
     if (a.is_zero()) {
       out = zero();
       return true;
     }
-    const El e = (modulus() + El{1}).shr(2);
-    const El r = pow(a, e);
+    const El r = pow(a, sqrt_exp_);
     if (sqr(r) != a) return false;
     out = r;
     return true;
@@ -148,6 +149,8 @@ class PrimeField {
 
  private:
   MontCtx<L> mont_;
+  El legendre_exp_{};  // (p-1)/2
+  El sqrt_exp_{};      // (p+1)/4 = (p-1)/4 + 1 for p = 3 (mod 4)
 };
 
 // Miller-Rabin primality test with `rounds` random bases.

@@ -1,11 +1,42 @@
 #include "pairing/pairing.h"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace apks {
 
+namespace {
+
+// Signed 4-bit recoding: e = sum_i d_i * 16^i with d_i in [-8, 8].
+// Negative digits let the unitary exponentiation use conjugation instead of
+// a second half of the multiplication table.
+std::vector<std::int8_t> recode_signed4(const FpInt& e) {
+  std::vector<std::int8_t> digits;
+  const std::size_t nibs = (e.bit_length() + 3) / 4;
+  digits.reserve(nibs + 1);
+  unsigned carry = 0;
+  for (std::size_t i = 0; i < nibs; ++i) {
+    unsigned bits = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      if (e.bit(4 * i + j)) bits |= 1u << j;
+    }
+    const unsigned nib = bits + carry;  // can reach 16 (digit 0, carry out)
+    if (nib > 8) {
+      digits.push_back(static_cast<std::int8_t>(static_cast<int>(nib) - 16));
+      carry = 1;
+    } else {
+      digits.push_back(static_cast<std::int8_t>(nib));
+      carry = 0;
+    }
+  }
+  if (carry != 0) digits.push_back(1);
+  return digits;
+}
+
+}  // namespace
+
 Pairing::Pairing(const TypeAParams& params)
-    : curve_(params), fp2_(curve_.fp()) {
+    : curve_(params), fp2_(curve_.fp()), h_digits_(recode_signed4(params.h)) {
   gt_gen_ = pair(curve_.generator(), curve_.generator());
   if (fp2_.is_one(gt_gen_)) {
     throw std::logic_error("Pairing: degenerate generator pairing");
@@ -82,9 +113,34 @@ Fp2El Pairing::eval_line(const LineCoeffs& line, const AffinePoint& q) const {
 
 GtEl Pairing::final_exp(const Fp2El& f) const {
   final_exp_count_.fetch_add(1, std::memory_order_relaxed);
-  // z^{p-1} = conj(z) * z^{-1}, then raise to h = (p+1)/q.
-  const Fp2El unitary = fp2_.mul(fp2_.conj(f), fp2_.inv(f));
-  return fp2_.pow(unitary, curve_.params().h);
+  // z^{p-1} = conj(z) * z^{-1} = conj(z)^2 * norm(z)^{-1}: one base-field
+  // inversion instead of a generic Fp2 inversion (which hides the same
+  // norm-inverse plus two more multiplications).
+  const FpField& fp = curve_.fp();
+  const Fp n_inv = fp.inv(fp2_.norm(f));
+  const Fp2El c2 = fp2_.sqr(fp2_.conj(f));
+  const Fp2El unitary = {fp.mul(c2.a, n_inv), fp.mul(c2.b, n_inv)};
+  return pow_unitary(unitary);
+}
+
+GtEl Pairing::pow_unitary(const Fp2El& u) const {
+  // u^h with h's fixed signed 4-bit recoding; u^{-k} = conj(u)^k since u is
+  // unitary. Table holds u^1..u^8.
+  Fp2El table[9];
+  table[1] = u;
+  for (std::size_t k = 2; k <= 8; ++k) table[k] = fp2_.mul(table[k - 1], u);
+  Fp2El acc = fp2_.one();
+  bool started = false;
+  for (std::size_t i = h_digits_.size(); i-- > 0;) {
+    if (started) acc = fp2_.sqr(fp2_.sqr(fp2_.sqr(fp2_.sqr(acc))));
+    const int d = h_digits_[i];
+    if (d == 0) continue;
+    const Fp2El& t = table[static_cast<std::size_t>(d > 0 ? d : -d)];
+    const Fp2El term = d > 0 ? t : fp2_.conj(t);
+    acc = started ? fp2_.mul(acc, term) : term;
+    started = true;
+  }
+  return acc;
 }
 
 GtEl Pairing::pair(const AffinePoint& p, const AffinePoint& q) const {
@@ -111,23 +167,120 @@ Fp2El Pairing::miller(const AffinePoint& p, const AffinePoint& q) const {
   return f;
 }
 
+Fp2El Pairing::multi_miller(std::span<const MillerPair> pairs) const {
+  miller_count_.fetch_add(pairs.size(), std::memory_order_relaxed);
+  multi_miller_count_.fetch_add(1, std::memory_order_relaxed);
+  // Active slots: infinity on either side contributes the factor 1.
+  std::vector<std::size_t> act;
+  std::vector<JacPoint> t;
+  act.reserve(pairs.size());
+  t.reserve(pairs.size());
+  for (std::size_t s = 0; s < pairs.size(); ++s) {
+    if (!pairs[s].p.inf && !pairs[s].q.inf) {
+      act.push_back(s);
+      t.push_back(curve_.to_jac(pairs[s].p));
+    }
+  }
+  Fp2El f = fp2_.one();
+  if (act.empty()) return f;
+  const FqInt& order = curve_.params().q;
+  const std::size_t bits = order.bit_length();
+  LineCoeffs line;
+  for (std::size_t i = bits - 1; i-- > 0;) {
+    f = fp2_.sqr(f);  // one shared squaring per bit, whatever the slot count
+    for (std::size_t j = 0; j < act.size(); ++j) {
+      const MillerPair& mp = pairs[act[j]];
+      t[j] = dbl_step(t[j], line);
+      if (!line.one) f = fp2_.mul(f, eval_line(line, mp.q));
+      if (order.bit(i)) {
+        t[j] = add_step(t[j], mp.p, line);
+        if (!line.one) f = fp2_.mul(f, eval_line(line, mp.q));
+      }
+    }
+  }
+  return f;
+}
+
+Fp2El Pairing::multi_miller_pre(std::span<const PreprocessedPairing> pres,
+                                std::span<const AffinePoint> qs) const {
+  assert(pres.size() == qs.size());
+  miller_count_.fetch_add(pres.size(), std::memory_order_relaxed);
+  multi_miller_count_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::size_t> act;
+  act.reserve(pres.size());
+  for (std::size_t s = 0; s < pres.size(); ++s) {
+    if (pres[s].line_count() > 0 && !qs[s].inf) act.push_back(s);
+  }
+  Fp2El f = fp2_.one();
+  if (act.empty()) return f;
+  const FpField& fp = curve_.fp();
+  const FqInt& order = curve_.params().q;
+  const std::size_t bits = order.bit_length();
+  // Every non-empty trace has the same step structure (it depends only on
+  // the bits of q), so one index walks all of them.
+  std::size_t idx = 0;
+  for (std::size_t i = bits - 1; i-- > 0;) {
+    f = fp2_.sqr(f);
+    for (const std::size_t s : act) {
+      const NormLine& dbl = pres[s].lines()[idx];
+      if (!dbl.one) {
+        f = fp2_.mul(f, {fp.add(fp.mul(dbl.A, qs[s].x), dbl.B), qs[s].y});
+      }
+    }
+    ++idx;
+    if (order.bit(i)) {
+      for (const std::size_t s : act) {
+        const NormLine& add = pres[s].lines()[idx];
+        if (!add.one) {
+          f = fp2_.mul(f, {fp.add(fp.mul(add.A, qs[s].x), add.B), qs[s].y});
+        }
+      }
+      ++idx;
+    }
+  }
+  return f;
+}
+
 PreprocessedPairing Pairing::preprocess(const AffinePoint& p) const {
-  std::vector<LineCoeffs> lines;
+  std::vector<NormLine> lines;
   if (p.inf) {
     return PreprocessedPairing(*this, std::move(lines));
   }
   const FqInt& order = curve_.params().q;
   const std::size_t bits = order.bit_length();
-  lines.reserve(2 * bits);
+  std::vector<LineCoeffs> raw;
+  raw.reserve(2 * bits);
   JacPoint t = curve_.to_jac(p);
   LineCoeffs line;
   for (std::size_t i = bits - 1; i-- > 0;) {
     t = dbl_step(t, line);
-    lines.push_back(line);
+    raw.push_back(line);
     if (order.bit(i)) {
       t = add_step(t, p, line);
-      lines.push_back(line);
+      raw.push_back(line);
     }
+  }
+  // Normalize by C^{-1} (one batch inversion for the whole trace). The
+  // scaling is an F_p factor per folded line, killed by final_exp, and it
+  // turns each eval into a single multiplication.
+  const FpField& fp = curve_.fp();
+  std::vector<Fp> cs;
+  cs.reserve(raw.size());
+  for (const LineCoeffs& l : raw) {
+    if (!l.one) cs.push_back(l.C);
+  }
+  fp.batch_inv(cs);
+  lines.reserve(raw.size());
+  std::size_t ci = 0;
+  for (const LineCoeffs& l : raw) {
+    NormLine n;
+    n.one = l.one;
+    if (!l.one) {
+      const Fp& cinv = cs[ci++];
+      n.A = fp.mul(l.A, cinv);
+      n.B = fp.mul(l.B, cinv);
+    }
+    lines.push_back(n);
   }
   return PreprocessedPairing(*this, std::move(lines));
 }
@@ -140,17 +293,22 @@ Fp2El PreprocessedPairing::miller_with(const AffinePoint& q) const {
   parent_->miller_count_.fetch_add(1, std::memory_order_relaxed);
   const Fp2& fp2 = parent_->fp2_;
   if (lines_.empty() || q.inf) return fp2.one();
+  const FpField& fp = parent_->curve_.fp();
   const FqInt& order = parent_->curve_.params().q;
   const std::size_t bits = order.bit_length();
   Fp2El f = fp2.one();
   std::size_t idx = 0;
   for (std::size_t i = bits - 1; i-- > 0;) {
     f = fp2.sqr(f);
-    const LineCoeffs& dbl = lines_[idx++];
-    if (!dbl.one) f = fp2.mul(f, parent_->eval_line(dbl, q));
+    const NormLine& dbl = lines_[idx++];
+    if (!dbl.one) {
+      f = fp2.mul(f, {fp.add(fp.mul(dbl.A, q.x), dbl.B), q.y});
+    }
     if (order.bit(i)) {
-      const LineCoeffs& add = lines_[idx++];
-      if (!add.one) f = fp2.mul(f, parent_->eval_line(add, q));
+      const NormLine& add = lines_[idx++];
+      if (!add.one) {
+        f = fp2.mul(f, {fp.add(fp.mul(add.A, q.x), add.B), q.y});
+      }
     }
   }
   return f;

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ec/curve.h"
@@ -34,7 +36,26 @@ struct LineCoeffs {
   bool one = false;  // line degenerated to a vertical; contributes 1
 };
 
+// A preprocessed line with the y-coefficient normalized away: the stored
+// (A, B) are the raw coefficients scaled by C^{-1}. C is an F_p (subfield)
+// factor, so the scaling is killed by the final exponentiation and the
+// evaluation at phi(Q) drops to a single multiplication:
+//   line(Q) = (A * x_Q + B) + y_Q * i.
+// All C's of a trace are inverted together with one batch_inv at
+// preprocessing time.
+struct NormLine {
+  Fp A{};
+  Fp B{};
+  bool one = false;  // vertical line; contributes a subfield factor only
+};
+
 class PreprocessedPairing;
+
+// One (P, Q) input slot of a multi-pairing.
+struct MillerPair {
+  AffinePoint p;
+  AffinePoint q;
+};
 
 // A snapshot of the pairing-operation counters (the cost unit of
 // Fig. 8(d) / Table III). Subtract two snapshots to attribute the work of
@@ -43,20 +64,27 @@ class PreprocessedPairing;
 // updated, so deltas are exact even when worker threads pair concurrently.
 struct PairingOpCounts {
   std::uint64_t miller = 0;
+  // Shared-accumulator multi-Miller evaluations. A multi-pairing of N slots
+  // counts N `miller` probes (the cost unit stays engine-invariant) plus one
+  // `multi_miller`, whichever engine — scalar or SIMD — ran it.
+  std::uint64_t multi_miller = 0;
   std::uint64_t final_exp = 0;
 
   PairingOpCounts& operator+=(const PairingOpCounts& o) noexcept {
     miller += o.miller;
+    multi_miller += o.multi_miller;
     final_exp += o.final_exp;
     return *this;
   }
   friend PairingOpCounts operator-(const PairingOpCounts& a,
                                    const PairingOpCounts& b) noexcept {
-    return {a.miller - b.miller, a.final_exp - b.final_exp};
+    return {a.miller - b.miller, a.multi_miller - b.multi_miller,
+            a.final_exp - b.final_exp};
   }
   friend bool operator==(const PairingOpCounts& a,
                          const PairingOpCounts& b) noexcept {
-    return a.miller == b.miller && a.final_exp == b.final_exp;
+    return a.miller == b.miller && a.multi_miller == b.multi_miller &&
+           a.final_exp == b.final_exp;
   }
 };
 
@@ -104,17 +132,21 @@ class Pairing {
   // Pairing-operation counters (the cost unit of Fig. 8(d) / Table III).
   void reset_op_counts() const noexcept {
     miller_count_.store(0, std::memory_order_relaxed);
+    multi_miller_count_.store(0, std::memory_order_relaxed);
     final_exp_count_.store(0, std::memory_order_relaxed);
     curve_.reset_op_counts();
   }
   [[nodiscard]] std::uint64_t miller_count() const noexcept {
     return miller_count_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t multi_miller_count() const noexcept {
+    return multi_miller_count_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t final_exp_count() const noexcept {
     return final_exp_count_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] PairingOpCounts op_counts() const noexcept {
-    return {miller_count(), final_exp_count()};
+    return {miller_count(), multi_miller_count(), final_exp_count()};
   }
 
   // Raw Miller loop without the final exponentiation. A product of Miller
@@ -124,8 +156,43 @@ class Pairing {
   // n+3 Miller loops and one exponentiation.
   [[nodiscard]] Fp2El miller(const AffinePoint& p, const AffinePoint& q) const;
 
+  // True multi-pairing: one shared accumulator squared once per scalar bit,
+  // every slot's line evaluations folded into it per step. Algebraically
+  // equal to prod_i miller(p_i, q_i) — and therefore bit-identical after
+  // final_exp, since canonical residues are unique. Infinity slots
+  // contribute 1. Counts pairs.size() `miller` probes + 1 `multi_miller`.
+  [[nodiscard]] Fp2El multi_miller(std::span<const MillerPair> pairs) const;
+
+  // Multi-pairing over preprocessed first arguments. pres[i] pairs with
+  // qs[i]; slots with an empty trace (P at infinity) or q at infinity
+  // contribute 1. All non-empty traces share one step structure (it depends
+  // only on the group order), so a single index walks them in lockstep.
+  [[nodiscard]] Fp2El multi_miller_pre(
+      std::span<const PreprocessedPairing> pres,
+      std::span<const AffinePoint> qs) const;
+
   // Final exponentiation z^{(p^2-1)/q}.
   [[nodiscard]] GtEl final_exp(const Fp2El& f) const;
+
+  // x^h for unitary x, via the precomputed signed 4-bit recoding of
+  // h = (p+1)/q (negative digits use conjugation). Exposed for the block
+  // scan kernel, which runs the same digit schedule lane-parallel.
+  [[nodiscard]] GtEl pow_unitary(const Fp2El& u) const;
+
+  // Signed 4-bit digits of h, least-significant first, each in [-8, 8].
+  [[nodiscard]] std::span<const std::int8_t> h_digits() const noexcept {
+    return h_digits_;
+  }
+
+  // Counter hook for external kernels (the SIMD block scan) that perform
+  // pairing work without routing through miller()/final_exp(). Keeps the
+  // cost model engine-invariant.
+  void note_block_ops(std::uint64_t millers, std::uint64_t multi_millers,
+                      std::uint64_t final_exps) const noexcept {
+    miller_count_.fetch_add(millers, std::memory_order_relaxed);
+    multi_miller_count_.fetch_add(multi_millers, std::memory_order_relaxed);
+    final_exp_count_.fetch_add(final_exps, std::memory_order_relaxed);
+  }
 
  private:
   friend class PreprocessedPairing;
@@ -142,33 +209,45 @@ class Pairing {
   Curve curve_;
   Fp2 fp2_;
   GtEl gt_gen_;
+  // Signed 4-bit digits of h = (p+1)/q, least-significant first.
+  std::vector<std::int8_t> h_digits_;
 
   mutable std::atomic<std::uint64_t> miller_count_{0};
+  mutable std::atomic<std::uint64_t> multi_miller_count_{0};
   mutable std::atomic<std::uint64_t> final_exp_count_{0};
 };
 
-// The Miller-loop trace of a fixed first argument.
+// The Miller-loop trace of a fixed first argument, with batch-normalized
+// line coefficients (see NormLine).
 class PreprocessedPairing {
  public:
   // e(P, q) for the fixed P.
   [[nodiscard]] GtEl pair_with(const AffinePoint& q) const;
 
-  // Raw Miller value for the fixed P (no final exponentiation).
+  // Raw Miller value for the fixed P (no final exponentiation). With
+  // normalized lines this differs from miller(P, q) by a subfield factor;
+  // the difference vanishes under final_exp.
   [[nodiscard]] Fp2El miller_with(const AffinePoint& q) const;
 
   [[nodiscard]] std::size_t line_count() const noexcept {
     return lines_.size();
   }
 
+  // Flattened step list: each Miller iteration contributes its doubling line
+  // and, when the scalar bit is set, the addition line, in order. Empty when
+  // the fixed P is the point at infinity.
+  [[nodiscard]] std::span<const NormLine> lines() const noexcept {
+    return lines_;
+  }
+  [[nodiscard]] const Pairing& parent() const noexcept { return *parent_; }
+
  private:
   friend class Pairing;
-  PreprocessedPairing(const Pairing& parent, std::vector<LineCoeffs> lines)
+  PreprocessedPairing(const Pairing& parent, std::vector<NormLine> lines)
       : parent_(&parent), lines_(std::move(lines)) {}
 
   const Pairing* parent_;
-  // Flattened step list: each Miller iteration contributes its doubling line
-  // and, when the scalar bit is set, the addition line, in order.
-  std::vector<LineCoeffs> lines_;
+  std::vector<NormLine> lines_;
 };
 
 }  // namespace apks

@@ -1,0 +1,85 @@
+// Lane-parallel multi-pairing scan kernel.
+//
+// A BlockMultiPairing is the server-side compiled form of a prepared
+// capability: the batch-normalized Miller line tables of its fixed first
+// arguments, converted once into the lane engine's internal domain
+// (FpLaneScalar), plus the engine itself. `run` drives a block of records —
+// each an (n+3)-point ciphertext vector — through one shared Miller loop
+// with every F_p operation executed across all lanes (records) at once,
+// then finishes with a blocked final exponentiation whose norm inversions
+// share a single batch_inv.
+//
+// Output contract: canonical Montgomery residues are unique, so the GT
+// value per record is byte-identical to the scalar path
+// final_exp(multi_miller_pre(...)) on every engine.
+//
+// Counters stay engine-invariant: each record costs dim() `miller` probes,
+// one `multi_miller`, one `final_exp`, exactly as the scalar path counts.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "math/fp_lanes.h"
+#include "pairing/pairing.h"
+
+namespace apks {
+
+class BlockMultiPairing {
+ public:
+  // Takes ownership of the preprocessed slots (slot i pairs with point i of
+  // each record vector). `level` pins the lane engine; the default follows
+  // the process-wide simd_level().
+  BlockMultiPairing(const Pairing& pairing,
+                    std::vector<PreprocessedPairing> pres, SimdLevel level);
+  BlockMultiPairing(const Pairing& pairing,
+                    std::vector<PreprocessedPairing> pres);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return pres_.size(); }
+  [[nodiscard]] std::span<const PreprocessedPairing> pres() const noexcept {
+    return pres_;
+  }
+  [[nodiscard]] const Pairing& pairing() const noexcept { return *e_; }
+  [[nodiscard]] const char* engine_name() const noexcept {
+    return engine_->name();
+  }
+  [[nodiscard]] SimdLevel engine_level() const noexcept {
+    return engine_->level();
+  }
+  // Records per lane pass (callers may batch in any block size; `run`
+  // chunks internally).
+  [[nodiscard]] std::size_t lane_width() const noexcept {
+    return engine_->width();
+  }
+
+  // out[r] = final_exp(prod_i miller(P_i, qvecs[r][i])) for r in [0, n).
+  // qvecs[r] must point at dim() affine points. Thread-safe (all state is
+  // read-only; scratch is per-call).
+  void run(const AffinePoint* const* qvecs, std::size_t n, GtEl* out) const;
+
+ private:
+  struct LaneLine {
+    FpLaneScalar a;
+    FpLaneScalar b;
+    bool one = false;
+  };
+
+  // Scalar-path fallback for chunks containing an infinity record point.
+  void run_scalar(const AffinePoint* const* qvecs, std::size_t n,
+                  GtEl* out) const;
+  void run_lanes(const AffinePoint* const* qvecs, std::size_t n,
+                 GtEl* out) const;
+
+  const Pairing* e_;
+  std::vector<PreprocessedPairing> pres_;
+  std::unique_ptr<FpLaneEngine> engine_;
+  // Slots with a non-empty trace (the others contribute the factor 1).
+  std::vector<std::size_t> active_;
+  // active_.size() x line_count lane-domain line tables, slot-major.
+  std::vector<std::vector<LaneLine>> lane_lines_;
+  FpLaneScalar one_s_{};   // engine-domain 1 (Montgomery R)
+  FpLaneScalar zero_s_{};  // engine-domain 0
+};
+
+}  // namespace apks

@@ -2,13 +2,16 @@
 # CI gate: the tier-1 verify (full build + test suite), an ASan build of the
 # storage-engine tests (segment format, crash recovery) plus the store bench
 # artifact, a ThreadSanitizer build of the cloud/server concurrency tests,
-# and a UBSan build of the scheme-backend surface (mrqed, proxy ingest,
-# backend type-erasure). Run from the repository root:
+# a UBSan build of the scheme-backend surface (mrqed, proxy ingest,
+# backend type-erasure), and a UBSan pairing stage that runs the
+# multi-pairing/SIMD-kernel tests with the lane engines forced on and off
+# (APKS_FORCE_SCALAR). Run from the repository root:
 #
-#   tools/ci.sh            # tier-1 + store stage + TSan + UBSan + chaos
+#   tools/ci.sh            # tier-1 + store stage + TSan + UBSan + pairing + chaos
 #   tools/ci.sh --store    # store stage only (ASan + crash recovery + bench)
 #   tools/ci.sh --tsan     # TSan cloud tests only
 #   tools/ci.sh --ubsan    # UBSan backend/mrqed/proxy tests only
+#   tools/ci.sh --pairing  # UBSan pairing/SIMD tests + pairing bench artifact
 #   tools/ci.sh --chaos    # ASan fault-injection suite + fault bench artifact
 set -euo pipefail
 
@@ -18,6 +21,7 @@ STAGE=all
 [[ "${1:-}" == "--tsan" ]] && STAGE=tsan
 [[ "${1:-}" == "--store" ]] && STAGE=store
 [[ "${1:-}" == "--ubsan" ]] && STAGE=ubsan
+[[ "${1:-}" == "--pairing" ]] && STAGE=pairing
 [[ "${1:-}" == "--chaos" ]] && STAGE=chaos
 
 # configure DIR [extra cmake args...]
@@ -60,6 +64,10 @@ if [[ $STAGE == all ]]; then
   ./build/bench/bench_schemes --smoke --json=BENCH_schemes.json
   [[ -s BENCH_schemes.json ]] || { echo "BENCH_schemes.json missing/empty"; exit 1; }
 
+  echo "=== bench smoke: pairing kernel / SIMD engines + JSON artifact ==="
+  ./build/bench/bench_pairing --smoke --json=BENCH_pairing.json
+  [[ -s BENCH_pairing.json ]] || { echo "BENCH_pairing.json missing/empty"; exit 1; }
+
   echo "=== bench smoke: verdict-cache speedup + equivalence + JSON artifact ==="
   ./build/bench/bench_cache --smoke --json=BENCH_cache.json
   [[ -s BENCH_cache.json ]] || { echo "BENCH_cache.json missing/empty"; exit 1; }
@@ -98,6 +106,19 @@ if [[ $STAGE == all || $STAGE == ubsan ]]; then
     echo "--- $t (UBSan) ---"
     ./build-ubsan/tests/"$t"
   done
+fi
+if [[ $STAGE == all || $STAGE == pairing ]]; then
+  echo "=== pairing: UBSan multi-pairing + SIMD lane engines (forced on/off) ==="
+  configure build-ubsan -DAPKS_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ubsan -j "$JOBS" \
+    --target pairing_test multi_pairing_test bench_pairing
+  for t in pairing_test multi_pairing_test; do
+    echo "--- $t (UBSan, SIMD auto) ---"
+    ./build-ubsan/tests/"$t"
+    echo "--- $t (UBSan, APKS_FORCE_SCALAR=1) ---"
+    APKS_FORCE_SCALAR=1 ./build-ubsan/tests/"$t"
+  done
+  ./build-ubsan/bench/bench_pairing --smoke >/dev/null
 fi
 if [[ $STAGE == all || $STAGE == chaos ]]; then
   echo "=== chaos: ASan fault-injection suite (fixed 100-seed schedule matrix) ==="
