@@ -189,6 +189,10 @@ class SearchEngine {
   [[nodiscard]] std::size_t cache_misses() const { return cache_.misses(); }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
 
+  // The server this engine scans (the network front end reads its record
+  // count, backend and verifier through this).
+  [[nodiscard]] const CloudServer& server() const noexcept { return *server_; }
+
   // The per-segment verdict cache, or nullptr when disabled. Exposed so
   // callers can wire ShardedStore::set_invalidation_hook at it and read
   // its stats.

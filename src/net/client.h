@@ -1,0 +1,97 @@
+// NetClient — the blocking counterpart of NetServer (DESIGN.md §5h), used
+// by `apks_cli rsearch` and the serving load generator.
+//
+// The client is deliberately simple: one TCP connection, synchronous
+// request/response, frames reassembled through the same FrameReassembler
+// the server uses (so both ends of the protocol share one hostile-input
+// path). The expected call sequence mirrors the session state machine:
+//
+//   NetClient c;
+//   c.connect(host, port);
+//   c.hello(scheme);                  // version + scheme handshake
+//   c.auth_unchecked(query_bytes);    // or auth_signed(...)
+//   RemoteResult r = c.search(...);   // repeatable; session query is sticky
+//
+// Server-refused steps (version mismatch, rejected signature, ...) return
+// their ack with a non-kOk status rather than throwing; transport failures
+// (connect/send/recv errors, malformed frames, a terminal kStatus frame)
+// throw ServingError so callers route them through the existing taxonomy.
+// Not thread-safe: one NetClient per thread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "auth/ibs.h"
+#include "net/wire.h"
+
+namespace apks::net {
+
+// The client-side view of one search: the terminal ResultEndMsg plus the
+// doc_refs accumulated from the kResultChunk stream. A deadline/cancelled
+// search with partial_ok carries the truncated prefix in `refs` with
+// kResultTruncated set in `flags`.
+struct RemoteResult {
+  WireStatus status = WireStatus::kOk;
+  std::uint8_t flags = 0;
+  std::vector<std::string> refs;
+  std::uint64_t scanned = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t wall_us = 0;  // server-side scan wall time
+  std::string message;
+};
+
+// Wire form of an authority's IBS signature (the `sig` bytes of AuthMsg):
+// the u and v points in the curve's point encoding.
+[[nodiscard]] std::vector<std::uint8_t> encode_signature(
+    const Curve& curve, const IbsSignature& sig);
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  // Connects and applies `timeout_ms` as the socket send/recv timeout
+  // (0 = block forever). Throws ServingError(kIo) on failure.
+  void connect(const std::string& host, std::uint16_t port,
+               std::uint64_t timeout_ms = 0);
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  // Version/scheme handshake; must be the first exchange. A non-kOk ack
+  // means the server refused the session (its message says why) and will
+  // close the connection.
+  HelloAckMsg hello(SchemeKind scheme);
+
+  // Establishes the session query. `query` is the backend wire codec
+  // (encode_query). Signed mode carries the issuing authority and the IBS
+  // signature over backend.query_message(query, issuer); unchecked mode is
+  // only honoured by servers that opt in (NetServerOptions::allow_unchecked).
+  AuthAckMsg auth_signed(std::span<const std::uint8_t> query,
+                         const std::string& issuer,
+                         std::span<const std::uint8_t> sig);
+  AuthAckMsg auth_unchecked(std::span<const std::uint8_t> query);
+
+  // Runs one search over the session query and blocks for the full result
+  // stream. deadline_ms = 0 uses the server default; partial_ok asks for
+  // prefix results when the deadline fires. The outcome (kOk,
+  // kDeadlineExceeded, kOverloaded, ...) is RemoteResult::status.
+  RemoteResult search(std::uint64_t deadline_ms = 0, bool partial_ok = false);
+
+ private:
+  void send_frame(std::span<const std::uint8_t> payload);
+  // Blocks for the next complete frame payload; throws ServingError on
+  // disconnect, timeout or a malformed stream.
+  std::vector<std::uint8_t> recv_frame();
+
+  int fd_ = -1;
+  FrameReassembler in_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace apks::net

@@ -1,0 +1,313 @@
+#include "net/wire.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/crc32.h"
+
+namespace apks::net {
+
+namespace {
+
+// Frame bodies may only carry these type values; anything else is a
+// protocol error at parse time.
+bool known_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         t <= static_cast<std::uint8_t>(MsgType::kStatus);
+}
+
+WireStatus checked_status(std::uint8_t v) {
+  if (v > static_cast<std::uint8_t>(WireStatus::kShutdown)) {
+    throw std::invalid_argument("wire: unknown status code " +
+                                std::to_string(v));
+  }
+  return static_cast<WireStatus>(v);
+}
+
+SchemeKind checked_scheme(std::uint8_t v) {
+  if (v < static_cast<std::uint8_t>(SchemeKind::kApks) ||
+      v > static_cast<std::uint8_t>(SchemeKind::kMrqed)) {
+    throw std::invalid_argument("wire: unknown scheme tag " +
+                                std::to_string(v));
+  }
+  return static_cast<SchemeKind>(v);
+}
+
+std::vector<std::uint8_t> finish(ByteWriter& w) { return w.take(); }
+
+ByteWriter begin_payload(MsgType type) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  return w;
+}
+
+}  // namespace
+
+std::string_view wire_status_name(WireStatus status) noexcept {
+  switch (status) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kIo: return "io";
+    case WireStatus::kCorrupt: return "corrupt";
+    case WireStatus::kUnavailable: return "unavailable";
+    case WireStatus::kExhausted: return "exhausted";
+    case WireStatus::kOverloaded: return "overloaded";
+    case WireStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case WireStatus::kCancelled: return "cancelled";
+    case WireStatus::kUnauthorized: return "unauthorized";
+    case WireStatus::kBadRequest: return "bad-request";
+    case WireStatus::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+WireStatus wire_status_from_error(ErrorCode code) noexcept {
+  // The enums are numerically aligned by construction; keep the switch so a
+  // new ErrorCode member fails to compile here instead of aliasing.
+  switch (code) {
+    case ErrorCode::kIo: return WireStatus::kIo;
+    case ErrorCode::kCorrupt: return WireStatus::kCorrupt;
+    case ErrorCode::kUnavailable: return WireStatus::kUnavailable;
+    case ErrorCode::kExhausted: return WireStatus::kExhausted;
+    case ErrorCode::kOverloaded: return WireStatus::kOverloaded;
+    case ErrorCode::kDeadlineExceeded: return WireStatus::kDeadlineExceeded;
+    case ErrorCode::kCancelled: return WireStatus::kCancelled;
+  }
+  return WireStatus::kBadRequest;
+}
+
+std::vector<std::uint8_t> encode_frame(std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxWirePayload) {
+    throw std::invalid_argument("wire: frame payload exceeds cap (" +
+                                std::to_string(payload.size()) + " bytes)");
+  }
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload));
+  w.raw(payload);
+  return w.take();
+}
+
+void FrameReassembler::feed(std::span<const std::uint8_t> data) {
+  if (error()) return;  // poisoned stream: drop everything
+  // Compact before growing: drop the consumed prefix once it dominates.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReassembler::next() {
+  if (error()) return std::nullopt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kWireFrameHeaderSize) return std::nullopt;
+  const std::uint8_t* p = buf_.data() + pos_;
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<std::uint32_t>(p[4 + i]) << (8 * i);
+  }
+  // The hostile-length check runs on header arrival — before any payload
+  // bytes are waited for, let alone buffered into an allocation.
+  if (len > kMaxWirePayload) {
+    error_ = "frame length " + std::to_string(len) + " exceeds cap";
+    return std::nullopt;
+  }
+  if (avail < kWireFrameHeaderSize + len) return std::nullopt;
+  const std::span<const std::uint8_t> payload(p + kWireFrameHeaderSize, len);
+  if (crc32(payload) != crc) {
+    error_ = "frame CRC mismatch";
+    return std::nullopt;
+  }
+  pos_ += kWireFrameHeaderSize + len;
+  return std::vector<std::uint8_t>(payload.begin(), payload.end());
+}
+
+// --- messages ---------------------------------------------------------------
+
+std::vector<std::uint8_t> HelloMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kHello);
+  w.raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kNetMagic), sizeof(kNetMagic)));
+  w.u8(version);
+  w.u8(static_cast<std::uint8_t>(scheme));
+  return finish(w);
+}
+
+HelloMsg HelloMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  const auto magic = r.raw(sizeof(kNetMagic));
+  if (std::memcmp(magic.data(), kNetMagic, sizeof(kNetMagic)) != 0) {
+    throw std::invalid_argument("wire: bad hello magic");
+  }
+  HelloMsg m;
+  m.version = r.u8();
+  m.scheme = checked_scheme(r.u8());
+  if (!r.done()) throw std::invalid_argument("wire: hello trailing bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> HelloAckMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kHelloAck);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u8(version);
+  w.u8(static_cast<std::uint8_t>(scheme));
+  w.u64(records);
+  w.str(message);
+  return finish(w);
+}
+
+HelloAckMsg HelloAckMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  HelloAckMsg m;
+  m.status = checked_status(r.u8());
+  m.version = r.u8();
+  m.scheme = checked_scheme(r.u8());
+  m.records = r.u64();
+  m.message = r.str();
+  if (!r.done()) throw std::invalid_argument("wire: hello-ack trailing bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> AuthMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kAuth);
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.bytes(query);
+  w.str(issuer);
+  w.bytes(sig);
+  return finish(w);
+}
+
+AuthMsg AuthMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  AuthMsg m;
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(Mode::kUnchecked)) {
+    throw std::invalid_argument("wire: unknown auth mode");
+  }
+  m.mode = static_cast<Mode>(mode);
+  const auto query = r.bytes();
+  m.query.assign(query.begin(), query.end());
+  m.issuer = r.str();
+  const auto sig = r.bytes();
+  m.sig.assign(sig.begin(), sig.end());
+  if (!r.done()) throw std::invalid_argument("wire: auth trailing bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> AuthAckMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kAuthAck);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.raw(digest);
+  w.str(message);
+  return finish(w);
+}
+
+AuthAckMsg AuthAckMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  AuthAckMsg m;
+  m.status = checked_status(r.u8());
+  const auto digest = r.raw(m.digest.size());
+  std::memcpy(m.digest.data(), digest.data(), m.digest.size());
+  m.message = r.str();
+  if (!r.done()) throw std::invalid_argument("wire: auth-ack trailing bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> SearchMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kSearch);
+  w.u64(request_id);
+  w.u64(deadline_ms);
+  w.u8(partial_ok ? 1 : 0);
+  return finish(w);
+}
+
+SearchMsg SearchMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  SearchMsg m;
+  m.request_id = r.u64();
+  m.deadline_ms = r.u64();
+  m.partial_ok = r.u8() != 0;
+  if (!r.done()) throw std::invalid_argument("wire: search trailing bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> ResultChunkMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kResultChunk);
+  w.u64(request_id);
+  w.u32(static_cast<std::uint32_t>(refs.size()));
+  for (const auto& ref : refs) w.str(ref);
+  return finish(w);
+}
+
+ResultChunkMsg ResultChunkMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  ResultChunkMsg m;
+  m.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  // Hostile-count validation: every ref needs at least its length prefix.
+  if (count > r.remaining() / 4) {
+    throw std::invalid_argument("wire: result chunk count exceeds payload");
+  }
+  m.refs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) m.refs.push_back(r.str());
+  if (!r.done()) throw std::invalid_argument("wire: chunk trailing bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> ResultEndMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kResultEnd);
+  w.u64(request_id);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u8(flags);
+  w.u64(scanned);
+  w.u64(matched);
+  w.u64(wall_us);
+  w.str(message);
+  return finish(w);
+}
+
+ResultEndMsg ResultEndMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  ResultEndMsg m;
+  m.request_id = r.u64();
+  m.status = checked_status(r.u8());
+  m.flags = r.u8();
+  m.scanned = r.u64();
+  m.matched = r.u64();
+  m.wall_us = r.u64();
+  m.message = r.str();
+  if (!r.done()) throw std::invalid_argument("wire: result-end trailing bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> StatusMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kStatus);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.str(message);
+  return finish(w);
+}
+
+StatusMsg StatusMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  StatusMsg m;
+  m.status = checked_status(r.u8());
+  m.message = r.str();
+  if (!r.done()) throw std::invalid_argument("wire: status trailing bytes");
+  return m;
+}
+
+ParsedFrame parse_frame(std::span<const std::uint8_t> payload) {
+  if (payload.empty()) {
+    throw std::invalid_argument("wire: empty frame payload");
+  }
+  if (!known_type(payload[0])) {
+    throw std::invalid_argument("wire: unknown message type " +
+                                std::to_string(payload[0]));
+  }
+  return {static_cast<MsgType>(payload[0]), payload.subspan(1)};
+}
+
+}  // namespace apks::net

@@ -14,11 +14,20 @@
 //  - Serving chaos: per-query deadlines and cancellation stop the scan at
 //    block boundaries (typed errors, partial-result mode) and admission
 //    control sheds batches beyond max_inflight with Overloaded.
+//  - Network chaos: torn frames, mid-search client disconnects, slow
+//    clients and injected accept/read/write faults against a live
+//    NetServer — a dying client must never leak an inflight slot or
+//    poison the engine for the sessions that follow.
 //
 // Every schedule is deterministic: faults fire from seeded splitmix64
 // streams and breaker cooldowns are measured in pipeline operations, so a
 // failing seed replays exactly.
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <array>
 #include <atomic>
@@ -39,6 +48,9 @@
 #include "core/serialize_apks.h"
 #include "data/nursery.h"
 #include "data/workload.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
 #include "store/fs.h"
 #include "store/index_store.h"
 #include "store/sharded_store.h"
@@ -655,6 +667,214 @@ TEST_F(ChaosTest, CloudServerDeadlineAndCancellationThrowTyped) {
   }
   EXPECT_TRUE(cancel_stats.cancelled);
   EXPECT_FALSE(cancel_stats.deadline_exceeded);
+}
+
+// --- Network serving chaos ---------------------------------------------------
+
+net::NetServerOptions net_unchecked() {
+  net::NetServerOptions opts;
+  opts.allow_unchecked = true;
+  return opts;
+}
+
+std::vector<std::uint8_t> rig_query_bytes(const ServingRig& rig) {
+  return rig.backend.encode_query(
+      AnyQuery::ref(SchemeKind::kApksPlus, &rig.caps[0]));
+}
+
+// A frame-level raw client: NetClient refuses to send torn frames, a
+// hostile (or dying) peer does not.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void raw_send(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// A client that dies mid-frame: the server sees the torn tail, closes the
+// connection, and keeps serving well-formed sessions bit-for-bit.
+TEST_F(ChaosTest, NetTornFrameDisconnectDoesNotPoisonServer) {
+  PlusEnv& env = plus_env();
+  ServingRig rig(env);
+  SearchEngine engine(rig.server, {.threads = 1});
+  const auto full = engine.search_batch_unchecked(rig.caps);
+  ASSERT_FALSE(full[0].empty());
+  net::NetServer server(engine, net_unchecked());
+
+  {
+    const int fd = raw_connect(server.port());
+    raw_send(fd, net::encode_frame(
+                     net::HelloMsg{net::kNetVersion, SchemeKind::kApksPlus}
+                         .encode()));
+    net::AuthMsg auth;
+    auth.mode = net::AuthMsg::Mode::kUnchecked;
+    auth.query = rig_query_bytes(rig);
+    const auto frame = net::encode_frame(auth.encode());
+    // Half an auth frame, then a hard close: the torn tail must evaporate.
+    raw_send(fd, std::span<const std::uint8_t>(frame.data(), frame.size() / 2));
+    ::close(fd);
+  }
+  for (int spin = 0; spin < 5000 && server.open_connections() != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.open_connections(), 0u);
+
+  net::NetClient client;
+  client.connect("127.0.0.1", server.port(), 10000);
+  ASSERT_EQ(client.hello(SchemeKind::kApksPlus).status, net::WireStatus::kOk);
+  ASSERT_EQ(client.auth_unchecked(rig_query_bytes(rig)).status,
+            net::WireStatus::kOk);
+  const net::RemoteResult r = client.search();
+  EXPECT_EQ(r.status, net::WireStatus::kOk);
+  EXPECT_EQ(r.refs, full[0]);
+  EXPECT_GE(server.stats().closed, 1u);
+}
+
+// A client that dies mid-batch: the disconnect fires the session's cancel
+// token, the engine abandons the scan at a block boundary, and neither the
+// engine inflight slot nor the server job slot leaks.
+TEST_F(ChaosTest, NetMidSearchDisconnectFreesInflightSlot) {
+  PlusEnv& env = plus_env();
+  ServingRig rig(env);
+  SearchEngine engine(rig.server,
+                      {.threads = 1, .block_records = 1, .max_inflight = 1});
+  const auto full = engine.search_batch_unchecked(rig.caps);
+  net::NetServer server(engine, net_unchecked());
+
+  FailpointPolicy slow;
+  slow.action = FailAction::kDelay;
+  slow.delay_ms = 30;
+  Failpoints::instance().set("engine.scan_block", slow);
+
+  const int fd = raw_connect(server.port());
+  raw_send(fd, net::encode_frame(
+                   net::HelloMsg{net::kNetVersion, SchemeKind::kApksPlus}
+                       .encode()));
+  net::AuthMsg auth;
+  auth.mode = net::AuthMsg::Mode::kUnchecked;
+  auth.query = rig_query_bytes(rig);
+  raw_send(fd, net::encode_frame(auth.encode()));
+  net::SearchMsg search;
+  search.request_id = 1;
+  search.partial_ok = true;
+  raw_send(fd, net::encode_frame(search.encode()));
+
+  for (int spin = 0; spin < 5000 && engine.inflight() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(engine.inflight(), 1u) << "remote search never started";
+  ::close(fd);  // mid-scan disconnect
+
+  // The cancel token stops the scan at the next block; both slots drain.
+  for (int spin = 0; spin < 5000 && engine.inflight() != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(engine.inflight(), 0u) << "engine inflight slot leaked";
+  for (int spin = 0; spin < 5000 && server.inflight_jobs() != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.inflight_jobs(), 0u) << "server job slot leaked";
+  Failpoints::instance().clear_all();
+
+  // max_inflight is 1: a leaked slot would shed this follow-up session.
+  net::NetClient client;
+  client.connect("127.0.0.1", server.port(), 10000);
+  ASSERT_EQ(client.hello(SchemeKind::kApksPlus).status, net::WireStatus::kOk);
+  ASSERT_EQ(client.auth_unchecked(rig_query_bytes(rig)).status,
+            net::WireStatus::kOk);
+  const net::RemoteResult r = client.search();
+  EXPECT_EQ(r.status, net::WireStatus::kOk);
+  EXPECT_EQ(r.refs, full[0]);
+  EXPECT_EQ(server.stats().searches_overloaded, 0u);
+}
+
+// A client that stops draining its socket while results stream: the write
+// buffer cap closes it (backpressure of last resort) instead of buffering
+// without bound.
+TEST_F(ChaosTest, NetSlowClientClosedAtWriteBufferCap) {
+  PlusEnv& env = plus_env();
+  ServingRig rig(env);
+  SearchEngine engine(rig.server, {.threads = 1});
+  net::NetServerOptions opts = net_unchecked();
+  opts.write_buffer_cap = 32;  // hello-ack fits; the auth-ack frame cannot
+  net::NetServer server(engine, opts);
+
+  net::NetClient client;
+  client.connect("127.0.0.1", server.port(), 10000);
+  ASSERT_EQ(client.hello(SchemeKind::kApksPlus).status, net::WireStatus::kOk);
+  EXPECT_THROW((void)client.auth_unchecked(rig_query_bytes(rig)),
+               ServingError);
+  for (int spin = 0; spin < 5000 && server.open_connections() != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.stats().slow_client_closes, 1u);
+  EXPECT_EQ(server.open_connections(), 0u);
+  EXPECT_FALSE(server.stopped());
+}
+
+// Injected socket faults on the accept/read/write sites: each one costs
+// exactly the affected connection, never the server.
+TEST_F(ChaosTest, NetSocketFailpointsCloseOnlyTheAffectedConnection) {
+  PlusEnv& env = plus_env();
+  ServingRig rig(env);
+  SearchEngine engine(rig.server, {.threads = 1});
+  const auto full = engine.search_batch_unchecked(rig.caps);
+  net::NetServer server(engine, net_unchecked());
+
+  FailpointPolicy fault;
+  fault.action = FailAction::kError;
+  fault.max_hits = 1;
+
+  // accept: the connection is accepted, then refused before any frame.
+  Failpoints::instance().set(net::kSiteAccept, fault);
+  {
+    net::NetClient client;
+    client.connect("127.0.0.1", server.port(), 10000);
+    EXPECT_THROW((void)client.hello(SchemeKind::kApksPlus), ServingError);
+  }
+  EXPECT_GE(server.stats().refused_connections, 1u);
+
+  // read: the session dies on its first readable event.
+  Failpoints::instance().set(net::kSiteRead, fault);
+  {
+    net::NetClient client;
+    client.connect("127.0.0.1", server.port(), 10000);
+    EXPECT_THROW((void)client.hello(SchemeKind::kApksPlus), ServingError);
+  }
+
+  // write: the hello is read fine; the ack write fails and closes.
+  Failpoints::instance().set(net::kSiteWrite, fault);
+  {
+    net::NetClient client;
+    client.connect("127.0.0.1", server.port(), 10000);
+    EXPECT_THROW((void)client.hello(SchemeKind::kApksPlus), ServingError);
+  }
+  Failpoints::instance().clear_all();
+
+  // The server itself never died: a clean session serves full results.
+  net::NetClient client;
+  client.connect("127.0.0.1", server.port(), 10000);
+  ASSERT_EQ(client.hello(SchemeKind::kApksPlus).status, net::WireStatus::kOk);
+  ASSERT_EQ(client.auth_unchecked(rig_query_bytes(rig)).status,
+            net::WireStatus::kOk);
+  const net::RemoteResult r = client.search();
+  EXPECT_EQ(r.status, net::WireStatus::kOk);
+  EXPECT_EQ(r.refs, full[0]);
 }
 
 }  // namespace

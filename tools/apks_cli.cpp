@@ -12,6 +12,8 @@
 //   apks_cli batchsearch --schema phr --caps cap1.bin,cap2.bin [--threads T] idx1.bin ...
 //   apks_cli ingest   --schema phr --store DB [--shards N] [--proxy-replicas R] idx1.bin idx2.bin ...
 //   apks_cli serve    --schema phr --store DB --caps cap1.bin,cap2.bin [--threads T] [--deadline-ms MS] [--max-inflight N] [--verdict-cache-mb MB]
+//   apks_cli serve    --schema phr --store DB --listen 127.0.0.1:7700 [--grace-ms MS] [--stats-interval-s S]
+//   apks_cli rsearch  --schema phr --connect 127.0.0.1:7700 --cap cap.bin [--deadline-ms MS] [--partial-ok]
 //   apks_cli compact  --store DB
 //
 // MRQED^D replaces --schema with --dims D --depth K; --values is a point
@@ -35,6 +37,15 @@
 // queries over sealed segments answer from memoized verdicts instead of
 // re-running the pairing scan (stats are printed after the batch).
 //
+// `serve --listen HOST:PORT` runs the epoll network front end (net/server.h)
+// over the loaded store instead of a one-shot batch: sessions authenticate
+// with the capability file's query bytes (unchecked mode — the CLI's raw
+// capability files carry no authority signature), searches stream back in
+// chunks, and SIGINT/SIGTERM drains inflight batches (--grace-ms) before
+// exiting 0. A stats thread prints one JSON line of engine/verdict-cache/
+// network counters every --stats-interval-s seconds and on shutdown.
+// `rsearch` is the matching remote client.
+//
 // `ingest` appends encrypted-index files into a persistent ShardedStore
 // (creating it with --shards partitions on first use) stamped with the
 // scheme tag; reopening a store under a different --scheme is refused.
@@ -46,6 +57,10 @@
 // Schemas: "phr" (the paper's PHR case study), "phr-time" (with the
 // revocation time dimension), "nursery" (UCI Nursery, d = 2).
 // Randomness comes from the OS; pass --seed LABEL for reproducible output.
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -53,6 +68,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "cloud/proxy.h"
 #include "cloud/proxy_pool.h"
@@ -68,6 +84,8 @@
 #include "hpe/serialize.h"
 #include "mrqed/mrqed_backend.h"
 #include "mrqed/serialize.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "store/sharded_store.h"
 
 namespace {
@@ -120,6 +138,11 @@ struct Args {
   std::uint64_t deadline_ms = 0;   // serve: per-batch scan budget (0 = none)
   std::size_t max_inflight = 0;    // serve: admission limit (0 = unlimited)
   std::size_t verdict_cache_mb = 0;  // serve: verdict cache budget (0 = off)
+  std::string listen;   // serve: HOST:PORT to run the network front end
+  std::string connect;  // rsearch: HOST:PORT of a serving apks_cli
+  std::uint64_t grace_ms = 2000;      // serve --listen: shutdown drain budget
+  std::uint64_t stats_interval_s = 10;  // serve --listen: JSON stats cadence
+  bool partial_ok = false;  // rsearch: accept prefix results on deadline
   std::vector<std::string> positional;
 };
 
@@ -135,7 +158,8 @@ Args parse_args(int argc, char** argv) {
   Args a;
   if (argc < 2) {
     die("usage: apks_cli <setup|genindex|gencap|delegate|search|batchsearch"
-        "|ingest|serve|compact> [--scheme apks|apks+|mrqed] [options]");
+        "|ingest|serve|rsearch|compact> [--scheme apks|apks+|mrqed] "
+        "[options]");
   }
   a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -184,6 +208,16 @@ Args parse_args(int argc, char** argv) {
       a.max_inflight = parse_count(arg, next());
     } else if (arg == "--verdict-cache-mb") {
       a.verdict_cache_mb = parse_count(arg, next());
+    } else if (arg == "--listen") {
+      a.listen = next();
+    } else if (arg == "--connect") {
+      a.connect = next();
+    } else if (arg == "--grace-ms") {
+      a.grace_ms = parse_count(arg, next());
+    } else if (arg == "--stats-interval-s") {
+      a.stats_interval_s = parse_count(arg, next());
+    } else if (arg == "--partial-ok") {
+      a.partial_ok = true;
     }
     else if (arg == "--query") a.query = next();
     else if (arg == "--values") a.values = next();
@@ -635,8 +669,149 @@ int cmd_ingest(Runtime& rt, const Args& a, Rng& rng) {
   return 0;
 }
 
+// --- network serving ------------------------------------------------------
+
+std::pair<std::string, std::uint16_t> parse_hostport(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  std::string host = "127.0.0.1";
+  std::string port_text = spec;
+  if (colon != std::string::npos) {
+    host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  try {
+    const unsigned long port = std::stoul(port_text);
+    if (port > 65535) throw std::out_of_range("port");
+    return {host, static_cast<std::uint16_t>(port)};
+  } catch (const std::exception&) {
+    die("expected HOST:PORT (or a bare PORT), got '" + spec + "'");
+  }
+}
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_shutdown_signal(int) { g_shutdown = 1; }
+
+// One line of JSON counters — engine outcomes, verdict-cache behaviour and
+// (in listen mode) the network front end — printed periodically and on
+// shutdown so a long-running server is observable without a debugger.
+void print_stats_json(const SearchEngine& engine, const net::NetServer* srv) {
+  const EngineCounters c = engine.counters();
+  std::printf("{\"stats\":\"apks_serve\",\"served\":%" PRIu64
+              ",\"shed\":%" PRIu64 ",\"deadline_exceeded\":%" PRIu64
+              ",\"cancelled\":%" PRIu64
+              ",\"prepared_cache_hits\":%zu,\"prepared_cache_misses\":%zu",
+              c.served, c.shed, c.deadline_exceeded, c.cancelled,
+              engine.cache_hits(), engine.cache_misses());
+  if (const VerdictCache* vcache = engine.verdict_cache(); vcache != nullptr) {
+    const VerdictCacheStats vs = vcache->stats();
+    std::printf(",\"verdict_hits\":%" PRIu64 ",\"verdict_misses\":%" PRIu64
+                ",\"verdict_insertions\":%" PRIu64
+                ",\"verdict_entries\":%zu,\"verdict_bytes\":%" PRIu64,
+                vs.hits, vs.misses, vs.insertions, vs.entries, vs.bytes);
+  }
+  if (srv != nullptr) {
+    const net::NetServerStats ns = srv->stats();
+    std::printf(",\"connections\":%zu,\"accepted\":%" PRIu64
+                ",\"closed\":%" PRIu64 ",\"auth_ok\":%" PRIu64
+                ",\"auth_rejected\":%" PRIu64 ",\"searches_ok\":%" PRIu64
+                ",\"searches_deadline\":%" PRIu64
+                ",\"searches_overloaded\":%" PRIu64
+                ",\"searches_cancelled\":%" PRIu64
+                ",\"searches_error\":%" PRIu64 ",\"protocol_errors\":%" PRIu64
+                ",\"slow_client_closes\":%" PRIu64 ",\"frames_in\":%" PRIu64
+                ",\"frames_out\":%" PRIu64 ",\"bytes_in\":%" PRIu64
+                ",\"bytes_out\":%" PRIu64 ",\"inflight\":%zu",
+                srv->open_connections(), ns.accepted, ns.closed, ns.auth_ok,
+                ns.auth_rejected, ns.searches_ok, ns.searches_deadline,
+                ns.searches_overloaded, ns.searches_cancelled,
+                ns.searches_error, ns.protocol_errors, ns.slow_client_closes,
+                ns.frames_in, ns.frames_out, ns.bytes_in, ns.bytes_out,
+                srv->inflight_jobs());
+  }
+  std::printf("}\n");
+  std::fflush(stdout);
+}
+
+// serve --listen: run the epoll front end until SIGINT/SIGTERM, then drain.
+int serve_listen(const SearchEngine& engine, const Args& a) {
+  const auto [host, port] = parse_hostport(a.listen);
+  net::NetServerOptions opts;
+  opts.host = host;
+  opts.port = port;
+  // The CLI's capability files carry no authority signature, so its remote
+  // sessions authenticate in unchecked mode (same trust model as the
+  // one-shot serve path).
+  opts.allow_unchecked = true;
+  opts.default_deadline_ms = a.deadline_ms;
+  net::NetServer server(engine, opts);
+  std::printf("listening on %s:%u (scheme %s, pid %ld); SIGINT/SIGTERM "
+              "drains and exits\n",
+              server.host().c_str(), server.port(),
+              std::string(engine.server().backend().name()).c_str(),
+              static_cast<long>(::getpid()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+
+  const auto interval = std::chrono::seconds(
+      a.stats_interval_s == 0 ? 10 : a.stats_interval_s);
+  auto next_stats = std::chrono::steady_clock::now() + interval;
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (std::chrono::steady_clock::now() >= next_stats) {
+      print_stats_json(engine, &server);
+      next_stats = std::chrono::steady_clock::now() + interval;
+    }
+  }
+
+  std::printf("shutdown signal received; draining (grace %" PRIu64 " ms)\n",
+              a.grace_ms);
+  std::fflush(stdout);
+  server.stop(a.grace_ms);
+  print_stats_json(engine, &server);
+  return 0;
+}
+
+int cmd_rsearch(const Runtime& rt, const Args& a) {
+  if (a.connect.empty() || a.cap.empty()) {
+    die("rsearch needs --connect HOST:PORT and --cap FILE");
+  }
+  const auto [host, port] = parse_hostport(a.connect);
+  const AnyQuery query = load_query_file(rt, a.cap);
+  const std::vector<std::uint8_t> query_bytes = rt.backend->encode_query(query);
+
+  net::NetClient client;
+  client.connect(host, port);
+  const net::HelloAckMsg hello = client.hello(rt.kind);
+  if (hello.status != net::WireStatus::kOk) {
+    die("server refused session: " + hello.message);
+  }
+  std::printf("connected to %s:%u (%s, %" PRIu64 " records)\n", host.c_str(),
+              port, std::string(scheme_name(hello.scheme)).c_str(),
+              hello.records);
+  const net::AuthAckMsg auth = client.auth_unchecked(query_bytes);
+  if (auth.status != net::WireStatus::kOk) {
+    die("server rejected query: " + auth.message);
+  }
+  const net::RemoteResult r = client.search(a.deadline_ms, a.partial_ok);
+  for (const auto& ref : r.refs) std::printf("  %s\n", ref.c_str());
+  std::printf("%s: %zu matched, %" PRIu64 " of %" PRIu64
+              " records scanned, %.4f s server-side\n",
+              std::string(net::wire_status_name(r.status)).c_str(),
+              r.refs.size(), r.scanned, hello.records,
+              static_cast<double>(r.wall_us) / 1e6);
+  if ((r.flags & net::kResultTruncated) != 0) {
+    std::printf("TRUNCATED: results cover the scanned prefix only\n");
+  }
+  return r.status == net::WireStatus::kOk ? 0 : 2;
+}
+
 int cmd_serve(Runtime& rt, const Args& a) {
-  if (a.caps.empty()) die("serve needs --caps FILE[,FILE...]");
+  if (a.caps.empty() && a.listen.empty()) {
+    die("serve needs --caps FILE[,FILE...] or --listen HOST:PORT");
+  }
   const auto store_ptr = open_store(rt, a);
   ShardedStore& store = *store_ptr;
 
@@ -648,7 +823,6 @@ int cmd_serve(Runtime& rt, const Args& a) {
   const std::size_t loaded = server.load_from(store);
   std::printf("loaded %zu records into the cloud server\n", loaded);
 
-  const std::vector<AnyQuery> queries = load_query_files(rt, a);
   SearchEngine::Options opts;
   opts.threads = a.threads;
   opts.deadline_ms = a.deadline_ms;
@@ -665,6 +839,9 @@ int cmd_serve(Runtime& rt, const Args& a) {
           vcache->invalidate(retired);
         });
   }
+  if (!a.listen.empty()) return serve_listen(engine, a);
+
+  const std::vector<AnyQuery> queries = load_query_files(rt, a);
   BatchMetrics metrics;
   ServeControl control;
   control.partial_ok = true;  // CLI: report truncation instead of throwing
@@ -692,6 +869,7 @@ int cmd_serve(Runtime& rt, const Args& a) {
                 vs.hits, vs.misses, vs.insertions, vs.entries, vs.bytes,
                 vcache->byte_budget(), metrics.verdict_hits);
   }
+  print_stats_json(engine, nullptr);
   return 0;
 }
 
@@ -744,6 +922,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "serve") {
       return cmd_serve(rt, args);
+    }
+    if (args.command == "rsearch") {
+      return cmd_rsearch(rt, args);
     }
     if (args.command == "compact") {
       return cmd_compact(rt, args);

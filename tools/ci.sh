@@ -3,16 +3,19 @@
 # storage-engine tests (segment format, crash recovery) plus the store bench
 # artifact, a ThreadSanitizer build of the cloud/server concurrency tests,
 # a UBSan build of the scheme-backend surface (mrqed, proxy ingest,
-# backend type-erasure), and a UBSan pairing stage that runs the
+# backend type-erasure), a UBSan pairing stage that runs the
 # multi-pairing/SIMD-kernel tests with the lane engines forced on and off
-# (APKS_FORCE_SCALAR). Run from the repository root:
+# (APKS_FORCE_SCALAR), and a serving stage for the network layer (TSan
+# server+client loopback tests, the ASan hostile-frame sweep, and the
+# serving load-generator smoke artifact). Run from the repository root:
 #
-#   tools/ci.sh            # tier-1 + store stage + TSan + UBSan + pairing + chaos
+#   tools/ci.sh            # tier-1 + store + TSan + UBSan + pairing + chaos + serving
 #   tools/ci.sh --store    # store stage only (ASan + crash recovery + bench)
 #   tools/ci.sh --tsan     # TSan cloud tests only
 #   tools/ci.sh --ubsan    # UBSan backend/mrqed/proxy tests only
 #   tools/ci.sh --pairing  # UBSan pairing/SIMD tests + pairing bench artifact
 #   tools/ci.sh --chaos    # ASan fault-injection suite + fault bench artifact
+#   tools/ci.sh --serving  # network layer: TSan + ASan net tests + bench artifact
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +26,7 @@ STAGE=all
 [[ "${1:-}" == "--ubsan" ]] && STAGE=ubsan
 [[ "${1:-}" == "--pairing" ]] && STAGE=pairing
 [[ "${1:-}" == "--chaos" ]] && STAGE=chaos
+[[ "${1:-}" == "--serving" ]] && STAGE=serving
 
 # configure DIR [extra cmake args...]
 #
@@ -131,5 +135,27 @@ if [[ $STAGE == all || $STAGE == chaos ]]; then
   done
   ./build-asan/bench/bench_faults --smoke --json=BENCH_faults.json
   [[ -s BENCH_faults.json ]] || { echo "BENCH_faults.json missing/empty"; exit 1; }
+fi
+if [[ $STAGE == all || $STAGE == serving ]]; then
+  echo "=== serving: TSan network server/client loopback tests ==="
+  configure build-tsan -DAPKS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$JOBS" --target net_test
+  echo "--- net_test (TSan) ---"
+  ./build-tsan/tests/net_test
+
+  echo "=== serving: ASan hostile-frame sweep + net chaos ==="
+  configure build-asan -DAPKS_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS" --target net_test chaos_test
+  echo "--- net_test (ASan, hostile frames) ---"
+  ./build-asan/tests/net_test \
+    --gtest_filter='*Hostile*:*Oversized*:*RawSocket*:*Mismatch*'
+  echo "--- chaos_test (ASan, net chaos) ---"
+  ./build-asan/tests/chaos_test --gtest_filter='ChaosTest.Net*'
+
+  echo "=== bench smoke: serving load generator + JSON artifact ==="
+  configure build
+  cmake --build build -j "$JOBS" --target bench_serving
+  ./build/bench/bench_serving --smoke --json=BENCH_serving.json
+  [[ -s BENCH_serving.json ]] || { echo "BENCH_serving.json missing/empty"; exit 1; }
 fi
 echo "CI OK"
