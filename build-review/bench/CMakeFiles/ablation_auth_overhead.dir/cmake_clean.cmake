@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_auth_overhead.dir/ablation_auth_overhead.cpp.o"
+  "CMakeFiles/ablation_auth_overhead.dir/ablation_auth_overhead.cpp.o.d"
+  "ablation_auth_overhead"
+  "ablation_auth_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_auth_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

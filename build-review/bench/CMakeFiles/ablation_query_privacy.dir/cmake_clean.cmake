@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_query_privacy.dir/ablation_query_privacy.cpp.o"
+  "CMakeFiles/ablation_query_privacy.dir/ablation_query_privacy.cpp.o.d"
+  "ablation_query_privacy"
+  "ablation_query_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_query_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_range_cover.dir/ablation_range_cover.cpp.o"
+  "CMakeFiles/ablation_range_cover.dir/ablation_range_cover.cpp.o.d"
+  "ablation_range_cover"
+  "ablation_range_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_range_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shared_sum.dir/ablation_shared_sum.cpp.o"
+  "CMakeFiles/ablation_shared_sum.dir/ablation_shared_sum.cpp.o.d"
+  "ablation_shared_sum"
+  "ablation_shared_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

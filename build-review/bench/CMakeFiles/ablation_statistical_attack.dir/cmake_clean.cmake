@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_statistical_attack.dir/ablation_statistical_attack.cpp.o"
+  "CMakeFiles/ablation_statistical_attack.dir/ablation_statistical_attack.cpp.o.d"
+  "ablation_statistical_attack"
+  "ablation_statistical_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_statistical_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_search.dir/bench_batch_search.cpp.o"
+  "CMakeFiles/bench_batch_search.dir/bench_batch_search.cpp.o.d"
+  "bench_batch_search"
+  "bench_batch_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

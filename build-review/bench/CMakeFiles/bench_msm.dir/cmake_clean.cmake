@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msm.dir/bench_msm.cpp.o"
+  "CMakeFiles/bench_msm.dir/bench_msm.cpp.o.d"
+  "bench_msm"
+  "bench_msm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

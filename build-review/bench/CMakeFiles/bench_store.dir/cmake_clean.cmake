@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_store.dir/bench_store.cpp.o"
+  "CMakeFiles/bench_store.dir/bench_store.cpp.o.d"
+  "bench_store"
+  "bench_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_model_check.dir/cost_model_check.cpp.o"
+  "CMakeFiles/cost_model_check.dir/cost_model_check.cpp.o.d"
+  "cost_model_check"
+  "cost_model_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_model_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_setup.dir/fig8a_setup.cpp.o"
+  "CMakeFiles/fig8a_setup.dir/fig8a_setup.cpp.o.d"
+  "fig8a_setup"
+  "fig8a_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_encrypt.dir/fig8b_encrypt.cpp.o"
+  "CMakeFiles/fig8b_encrypt.dir/fig8b_encrypt.cpp.o.d"
+  "fig8b_encrypt"
+  "fig8b_encrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_encrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

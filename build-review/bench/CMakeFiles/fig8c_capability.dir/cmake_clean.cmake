@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_capability.dir/fig8c_capability.cpp.o"
+  "CMakeFiles/fig8c_capability.dir/fig8c_capability.cpp.o.d"
+  "fig8c_capability"
+  "fig8c_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8d_search.dir/fig8d_search.cpp.o"
+  "CMakeFiles/fig8d_search.dir/fig8d_search.cpp.o.d"
+  "fig8d_search"
+  "fig8d_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8d_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pairing.dir/micro_pairing.cpp.o"
+  "CMakeFiles/micro_pairing.dir/micro_pairing.cpp.o.d"
+  "micro_pairing"
+  "micro_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

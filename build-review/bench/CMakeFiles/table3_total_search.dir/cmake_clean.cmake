@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_total_search.dir/table3_total_search.cpp.o"
+  "CMakeFiles/table3_total_search.dir/table3_total_search.cpp.o.d"
+  "table3_total_search"
+  "table3_total_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_total_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_sizes.dir/table_sizes.cpp.o"
+  "CMakeFiles/table_sizes.dir/table_sizes.cpp.o.d"
+  "table_sizes"
+  "table_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patient_matching.dir/patient_matching.cpp.o"
+  "CMakeFiles/patient_matching.dir/patient_matching.cpp.o.d"
+  "patient_matching"
+  "patient_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patient_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phr_search.dir/phr_search.cpp.o"
+  "CMakeFiles/phr_search.dir/phr_search.cpp.o.d"
+  "phr_search"
+  "phr_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phr_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

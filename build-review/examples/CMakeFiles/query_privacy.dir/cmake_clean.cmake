@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_privacy.dir/query_privacy.cpp.o"
+  "CMakeFiles/query_privacy.dir/query_privacy.cpp.o.d"
+  "query_privacy"
+  "query_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sealed_documents.dir/sealed_documents.cpp.o"
+  "CMakeFiles/sealed_documents.dir/sealed_documents.cpp.o.d"
+  "sealed_documents"
+  "sealed_documents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sealed_documents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("math")
+subdirs("ec")
+subdirs("pairing")
+subdirs("dpvs")
+subdirs("hpe")
+subdirs("core")
+subdirs("store")
+subdirs("auth")
+subdirs("cloud")
+subdirs("net")
+subdirs("data")
+subdirs("mrqed")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_auth.dir/authority.cpp.o"
+  "CMakeFiles/apks_auth.dir/authority.cpp.o.d"
+  "CMakeFiles/apks_auth.dir/ibs.cpp.o"
+  "CMakeFiles/apks_auth.dir/ibs.cpp.o.d"
+  "libapks_auth.a"
+  "libapks_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_cloud.dir/docstore.cpp.o"
+  "CMakeFiles/apks_cloud.dir/docstore.cpp.o.d"
+  "CMakeFiles/apks_cloud.dir/proxy_pool.cpp.o"
+  "CMakeFiles/apks_cloud.dir/proxy_pool.cpp.o.d"
+  "CMakeFiles/apks_cloud.dir/search_engine.cpp.o"
+  "CMakeFiles/apks_cloud.dir/search_engine.cpp.o.d"
+  "CMakeFiles/apks_cloud.dir/server.cpp.o"
+  "CMakeFiles/apks_cloud.dir/server.cpp.o.d"
+  "CMakeFiles/apks_cloud.dir/verdict_cache.cpp.o"
+  "CMakeFiles/apks_cloud.dir/verdict_cache.cpp.o.d"
+  "libapks_cloud.a"
+  "libapks_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/aead.cpp" "src/common/CMakeFiles/apks_common.dir/aead.cpp.o" "gcc" "src/common/CMakeFiles/apks_common.dir/aead.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/common/CMakeFiles/apks_common.dir/bytes.cpp.o" "gcc" "src/common/CMakeFiles/apks_common.dir/bytes.cpp.o.d"
+  "/root/repo/src/common/chacha.cpp" "src/common/CMakeFiles/apks_common.dir/chacha.cpp.o" "gcc" "src/common/CMakeFiles/apks_common.dir/chacha.cpp.o.d"
+  "/root/repo/src/common/chacha_rng.cpp" "src/common/CMakeFiles/apks_common.dir/chacha_rng.cpp.o" "gcc" "src/common/CMakeFiles/apks_common.dir/chacha_rng.cpp.o.d"
+  "/root/repo/src/common/cpu_features.cpp" "src/common/CMakeFiles/apks_common.dir/cpu_features.cpp.o" "gcc" "src/common/CMakeFiles/apks_common.dir/cpu_features.cpp.o.d"
+  "/root/repo/src/common/crc32.cpp" "src/common/CMakeFiles/apks_common.dir/crc32.cpp.o" "gcc" "src/common/CMakeFiles/apks_common.dir/crc32.cpp.o.d"
+  "/root/repo/src/common/failpoint.cpp" "src/common/CMakeFiles/apks_common.dir/failpoint.cpp.o" "gcc" "src/common/CMakeFiles/apks_common.dir/failpoint.cpp.o.d"
+  "/root/repo/src/common/hex.cpp" "src/common/CMakeFiles/apks_common.dir/hex.cpp.o" "gcc" "src/common/CMakeFiles/apks_common.dir/hex.cpp.o.d"
+  "/root/repo/src/common/limbs.cpp" "src/common/CMakeFiles/apks_common.dir/limbs.cpp.o" "gcc" "src/common/CMakeFiles/apks_common.dir/limbs.cpp.o.d"
+  "/root/repo/src/common/sha1.cpp" "src/common/CMakeFiles/apks_common.dir/sha1.cpp.o" "gcc" "src/common/CMakeFiles/apks_common.dir/sha1.cpp.o.d"
+  "/root/repo/src/common/sha256.cpp" "src/common/CMakeFiles/apks_common.dir/sha256.cpp.o" "gcc" "src/common/CMakeFiles/apks_common.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_common.dir/aead.cpp.o"
+  "CMakeFiles/apks_common.dir/aead.cpp.o.d"
+  "CMakeFiles/apks_common.dir/bytes.cpp.o"
+  "CMakeFiles/apks_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/apks_common.dir/chacha.cpp.o"
+  "CMakeFiles/apks_common.dir/chacha.cpp.o.d"
+  "CMakeFiles/apks_common.dir/chacha_rng.cpp.o"
+  "CMakeFiles/apks_common.dir/chacha_rng.cpp.o.d"
+  "CMakeFiles/apks_common.dir/cpu_features.cpp.o"
+  "CMakeFiles/apks_common.dir/cpu_features.cpp.o.d"
+  "CMakeFiles/apks_common.dir/crc32.cpp.o"
+  "CMakeFiles/apks_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/apks_common.dir/failpoint.cpp.o"
+  "CMakeFiles/apks_common.dir/failpoint.cpp.o.d"
+  "CMakeFiles/apks_common.dir/hex.cpp.o"
+  "CMakeFiles/apks_common.dir/hex.cpp.o.d"
+  "CMakeFiles/apks_common.dir/limbs.cpp.o"
+  "CMakeFiles/apks_common.dir/limbs.cpp.o.d"
+  "CMakeFiles/apks_common.dir/sha1.cpp.o"
+  "CMakeFiles/apks_common.dir/sha1.cpp.o.d"
+  "CMakeFiles/apks_common.dir/sha256.cpp.o"
+  "CMakeFiles/apks_common.dir/sha256.cpp.o.d"
+  "libapks_common.a"
+  "libapks_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apks.cpp" "src/core/CMakeFiles/apks_core.dir/apks.cpp.o" "gcc" "src/core/CMakeFiles/apks_core.dir/apks.cpp.o.d"
+  "/root/repo/src/core/apks_backend.cpp" "src/core/CMakeFiles/apks_core.dir/apks_backend.cpp.o" "gcc" "src/core/CMakeFiles/apks_core.dir/apks_backend.cpp.o.d"
+  "/root/repo/src/core/backend.cpp" "src/core/CMakeFiles/apks_core.dir/backend.cpp.o" "gcc" "src/core/CMakeFiles/apks_core.dir/backend.cpp.o.d"
+  "/root/repo/src/core/capability_digest.cpp" "src/core/CMakeFiles/apks_core.dir/capability_digest.cpp.o" "gcc" "src/core/CMakeFiles/apks_core.dir/capability_digest.cpp.o.d"
+  "/root/repo/src/core/encoding.cpp" "src/core/CMakeFiles/apks_core.dir/encoding.cpp.o" "gcc" "src/core/CMakeFiles/apks_core.dir/encoding.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/apks_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/apks_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/query_parser.cpp" "src/core/CMakeFiles/apks_core.dir/query_parser.cpp.o" "gcc" "src/core/CMakeFiles/apks_core.dir/query_parser.cpp.o.d"
+  "/root/repo/src/core/schema.cpp" "src/core/CMakeFiles/apks_core.dir/schema.cpp.o" "gcc" "src/core/CMakeFiles/apks_core.dir/schema.cpp.o.d"
+  "/root/repo/src/core/serialize_apks.cpp" "src/core/CMakeFiles/apks_core.dir/serialize_apks.cpp.o" "gcc" "src/core/CMakeFiles/apks_core.dir/serialize_apks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/hpe/CMakeFiles/apks_hpe.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dpvs/CMakeFiles/apks_dpvs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pairing/CMakeFiles/apks_pairing.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ec/CMakeFiles/apks_ec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/math/CMakeFiles/apks_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/apks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_core.dir/apks.cpp.o"
+  "CMakeFiles/apks_core.dir/apks.cpp.o.d"
+  "CMakeFiles/apks_core.dir/apks_backend.cpp.o"
+  "CMakeFiles/apks_core.dir/apks_backend.cpp.o.d"
+  "CMakeFiles/apks_core.dir/backend.cpp.o"
+  "CMakeFiles/apks_core.dir/backend.cpp.o.d"
+  "CMakeFiles/apks_core.dir/capability_digest.cpp.o"
+  "CMakeFiles/apks_core.dir/capability_digest.cpp.o.d"
+  "CMakeFiles/apks_core.dir/encoding.cpp.o"
+  "CMakeFiles/apks_core.dir/encoding.cpp.o.d"
+  "CMakeFiles/apks_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/apks_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/apks_core.dir/query_parser.cpp.o"
+  "CMakeFiles/apks_core.dir/query_parser.cpp.o.d"
+  "CMakeFiles/apks_core.dir/schema.cpp.o"
+  "CMakeFiles/apks_core.dir/schema.cpp.o.d"
+  "CMakeFiles/apks_core.dir/serialize_apks.cpp.o"
+  "CMakeFiles/apks_core.dir/serialize_apks.cpp.o.d"
+  "libapks_core.a"
+  "libapks_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_data.dir/nursery.cpp.o"
+  "CMakeFiles/apks_data.dir/nursery.cpp.o.d"
+  "CMakeFiles/apks_data.dir/phr.cpp.o"
+  "CMakeFiles/apks_data.dir/phr.cpp.o.d"
+  "CMakeFiles/apks_data.dir/workload.cpp.o"
+  "CMakeFiles/apks_data.dir/workload.cpp.o.d"
+  "libapks_data.a"
+  "libapks_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_dpvs.dir/dpvs.cpp.o"
+  "CMakeFiles/apks_dpvs.dir/dpvs.cpp.o.d"
+  "CMakeFiles/apks_dpvs.dir/precomp_basis.cpp.o"
+  "CMakeFiles/apks_dpvs.dir/precomp_basis.cpp.o.d"
+  "libapks_dpvs.a"
+  "libapks_dpvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_dpvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for apks_dpvs.
+# This may be replaced when dependencies are built.

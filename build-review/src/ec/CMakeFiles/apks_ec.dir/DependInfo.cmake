@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/curve.cpp" "src/ec/CMakeFiles/apks_ec.dir/curve.cpp.o" "gcc" "src/ec/CMakeFiles/apks_ec.dir/curve.cpp.o.d"
+  "/root/repo/src/ec/fixed_base.cpp" "src/ec/CMakeFiles/apks_ec.dir/fixed_base.cpp.o" "gcc" "src/ec/CMakeFiles/apks_ec.dir/fixed_base.cpp.o.d"
+  "/root/repo/src/ec/params.cpp" "src/ec/CMakeFiles/apks_ec.dir/params.cpp.o" "gcc" "src/ec/CMakeFiles/apks_ec.dir/params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/math/CMakeFiles/apks_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/apks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_ec.dir/curve.cpp.o"
+  "CMakeFiles/apks_ec.dir/curve.cpp.o.d"
+  "CMakeFiles/apks_ec.dir/fixed_base.cpp.o"
+  "CMakeFiles/apks_ec.dir/fixed_base.cpp.o.d"
+  "CMakeFiles/apks_ec.dir/params.cpp.o"
+  "CMakeFiles/apks_ec.dir/params.cpp.o.d"
+  "libapks_ec.a"
+  "libapks_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_hpe.dir/hpe.cpp.o"
+  "CMakeFiles/apks_hpe.dir/hpe.cpp.o.d"
+  "CMakeFiles/apks_hpe.dir/hpe_hier.cpp.o"
+  "CMakeFiles/apks_hpe.dir/hpe_hier.cpp.o.d"
+  "CMakeFiles/apks_hpe.dir/hpe_plus.cpp.o"
+  "CMakeFiles/apks_hpe.dir/hpe_plus.cpp.o.d"
+  "CMakeFiles/apks_hpe.dir/serialize.cpp.o"
+  "CMakeFiles/apks_hpe.dir/serialize.cpp.o.d"
+  "libapks_hpe.a"
+  "libapks_hpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_hpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for apks_hpe.
+# This may be replaced when dependencies are built.

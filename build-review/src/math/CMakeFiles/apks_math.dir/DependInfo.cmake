@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/fp_lanes.cpp" "src/math/CMakeFiles/apks_math.dir/fp_lanes.cpp.o" "gcc" "src/math/CMakeFiles/apks_math.dir/fp_lanes.cpp.o.d"
+  "/root/repo/src/math/fp_lanes_avx2.cpp" "src/math/CMakeFiles/apks_math.dir/fp_lanes_avx2.cpp.o" "gcc" "src/math/CMakeFiles/apks_math.dir/fp_lanes_avx2.cpp.o.d"
+  "/root/repo/src/math/fp_lanes_avx512.cpp" "src/math/CMakeFiles/apks_math.dir/fp_lanes_avx512.cpp.o" "gcc" "src/math/CMakeFiles/apks_math.dir/fp_lanes_avx512.cpp.o.d"
+  "/root/repo/src/math/matrix_fq.cpp" "src/math/CMakeFiles/apks_math.dir/matrix_fq.cpp.o" "gcc" "src/math/CMakeFiles/apks_math.dir/matrix_fq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/apks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

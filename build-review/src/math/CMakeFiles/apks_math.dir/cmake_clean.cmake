@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_math.dir/fp_lanes.cpp.o"
+  "CMakeFiles/apks_math.dir/fp_lanes.cpp.o.d"
+  "CMakeFiles/apks_math.dir/fp_lanes_avx2.cpp.o"
+  "CMakeFiles/apks_math.dir/fp_lanes_avx2.cpp.o.d"
+  "CMakeFiles/apks_math.dir/fp_lanes_avx512.cpp.o"
+  "CMakeFiles/apks_math.dir/fp_lanes_avx512.cpp.o.d"
+  "CMakeFiles/apks_math.dir/matrix_fq.cpp.o"
+  "CMakeFiles/apks_math.dir/matrix_fq.cpp.o.d"
+  "libapks_math.a"
+  "libapks_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

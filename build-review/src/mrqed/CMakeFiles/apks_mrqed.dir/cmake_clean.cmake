@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_mrqed.dir/aibe.cpp.o"
+  "CMakeFiles/apks_mrqed.dir/aibe.cpp.o.d"
+  "CMakeFiles/apks_mrqed.dir/interval_tree.cpp.o"
+  "CMakeFiles/apks_mrqed.dir/interval_tree.cpp.o.d"
+  "CMakeFiles/apks_mrqed.dir/mrqed.cpp.o"
+  "CMakeFiles/apks_mrqed.dir/mrqed.cpp.o.d"
+  "CMakeFiles/apks_mrqed.dir/mrqed_backend.cpp.o"
+  "CMakeFiles/apks_mrqed.dir/mrqed_backend.cpp.o.d"
+  "CMakeFiles/apks_mrqed.dir/serialize.cpp.o"
+  "CMakeFiles/apks_mrqed.dir/serialize.cpp.o.d"
+  "libapks_mrqed.a"
+  "libapks_mrqed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_mrqed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for apks_mrqed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/client.cpp" "src/net/CMakeFiles/apks_net.dir/client.cpp.o" "gcc" "src/net/CMakeFiles/apks_net.dir/client.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "src/net/CMakeFiles/apks_net.dir/server.cpp.o" "gcc" "src/net/CMakeFiles/apks_net.dir/server.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/net/CMakeFiles/apks_net.dir/wire.cpp.o" "gcc" "src/net/CMakeFiles/apks_net.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/cloud/CMakeFiles/apks_cloud.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/auth/CMakeFiles/apks_auth.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/store/CMakeFiles/apks_store.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/apks_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hpe/CMakeFiles/apks_hpe.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dpvs/CMakeFiles/apks_dpvs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pairing/CMakeFiles/apks_pairing.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ec/CMakeFiles/apks_ec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/math/CMakeFiles/apks_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/apks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

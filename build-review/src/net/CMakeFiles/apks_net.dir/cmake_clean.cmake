@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_net.dir/client.cpp.o"
+  "CMakeFiles/apks_net.dir/client.cpp.o.d"
+  "CMakeFiles/apks_net.dir/server.cpp.o"
+  "CMakeFiles/apks_net.dir/server.cpp.o.d"
+  "CMakeFiles/apks_net.dir/wire.cpp.o"
+  "CMakeFiles/apks_net.dir/wire.cpp.o.d"
+  "libapks_net.a"
+  "libapks_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_pairing.dir/pairing.cpp.o"
+  "CMakeFiles/apks_pairing.dir/pairing.cpp.o.d"
+  "CMakeFiles/apks_pairing.dir/pairing_block.cpp.o"
+  "CMakeFiles/apks_pairing.dir/pairing_block.cpp.o.d"
+  "libapks_pairing.a"
+  "libapks_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_store.dir/fs.cpp.o"
+  "CMakeFiles/apks_store.dir/fs.cpp.o.d"
+  "CMakeFiles/apks_store.dir/index_store.cpp.o"
+  "CMakeFiles/apks_store.dir/index_store.cpp.o.d"
+  "CMakeFiles/apks_store.dir/segment.cpp.o"
+  "CMakeFiles/apks_store.dir/segment.cpp.o.d"
+  "CMakeFiles/apks_store.dir/sharded_store.cpp.o"
+  "CMakeFiles/apks_store.dir/sharded_store.cpp.o.d"
+  "libapks_store.a"
+  "libapks_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapks_store.a"
+)

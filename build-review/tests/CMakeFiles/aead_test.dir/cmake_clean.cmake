@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aead_test.dir/aead_test.cpp.o"
+  "CMakeFiles/aead_test.dir/aead_test.cpp.o.d"
+  "aead_test"
+  "aead_test.pdb"
+  "aead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

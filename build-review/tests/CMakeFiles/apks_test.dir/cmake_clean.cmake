@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_test.dir/apks_test.cpp.o"
+  "CMakeFiles/apks_test.dir/apks_test.cpp.o.d"
+  "apks_test"
+  "apks_test.pdb"
+  "apks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authority_test.dir/authority_test.cpp.o"
+  "CMakeFiles/authority_test.dir/authority_test.cpp.o.d"
+  "authority_test"
+  "authority_test.pdb"
+  "authority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

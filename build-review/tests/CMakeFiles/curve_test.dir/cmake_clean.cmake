@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curve_test.dir/curve_test.cpp.o"
+  "CMakeFiles/curve_test.dir/curve_test.cpp.o.d"
+  "curve_test"
+  "curve_test.pdb"
+  "curve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

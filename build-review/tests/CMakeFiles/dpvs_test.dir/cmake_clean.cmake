@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpvs_test.dir/dpvs_test.cpp.o"
+  "CMakeFiles/dpvs_test.dir/dpvs_test.cpp.o.d"
+  "dpvs_test"
+  "dpvs_test.pdb"
+  "dpvs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpvs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/mrqed/CMakeFiles/apks_mrqed.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/apks_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/data/CMakeFiles/apks_data.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hpe/CMakeFiles/apks_hpe.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dpvs/CMakeFiles/apks_dpvs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pairing/CMakeFiles/apks_pairing.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ec/CMakeFiles/apks_ec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/math/CMakeFiles/apks_math.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/apks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

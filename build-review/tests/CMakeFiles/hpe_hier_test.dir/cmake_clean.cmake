@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpe_hier_test.dir/hpe_hier_test.cpp.o"
+  "CMakeFiles/hpe_hier_test.dir/hpe_hier_test.cpp.o.d"
+  "hpe_hier_test"
+  "hpe_hier_test.pdb"
+  "hpe_hier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpe_hier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

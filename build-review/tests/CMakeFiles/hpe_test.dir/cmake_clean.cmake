@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpe_test.dir/hpe_test.cpp.o"
+  "CMakeFiles/hpe_test.dir/hpe_test.cpp.o.d"
+  "hpe_test"
+  "hpe_test.pdb"
+  "hpe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibs_test.dir/ibs_test.cpp.o"
+  "CMakeFiles/ibs_test.dir/ibs_test.cpp.o.d"
+  "ibs_test"
+  "ibs_test.pdb"
+  "ibs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

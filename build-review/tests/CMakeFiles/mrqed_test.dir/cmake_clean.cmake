@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrqed_test.dir/mrqed_test.cpp.o"
+  "CMakeFiles/mrqed_test.dir/mrqed_test.cpp.o.d"
+  "mrqed_test"
+  "mrqed_test.pdb"
+  "mrqed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrqed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msm_test.dir/msm_test.cpp.o"
+  "CMakeFiles/msm_test.dir/msm_test.cpp.o.d"
+  "msm_test"
+  "msm_test.pdb"
+  "msm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

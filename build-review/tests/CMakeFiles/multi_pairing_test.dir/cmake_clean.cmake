@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_pairing_test.dir/multi_pairing_test.cpp.o"
+  "CMakeFiles/multi_pairing_test.dir/multi_pairing_test.cpp.o.d"
+  "multi_pairing_test"
+  "multi_pairing_test.pdb"
+  "multi_pairing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_pairing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_diversity_test.dir/param_diversity_test.cpp.o"
+  "CMakeFiles/param_diversity_test.dir/param_diversity_test.cpp.o.d"
+  "param_diversity_test"
+  "param_diversity_test.pdb"
+  "param_diversity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_diversity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_core_test.dir/property_core_test.cpp.o"
+  "CMakeFiles/property_core_test.dir/property_core_test.cpp.o.d"
+  "property_core_test"
+  "property_core_test.pdb"
+  "property_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_hpe_test.dir/property_hpe_test.cpp.o"
+  "CMakeFiles/property_hpe_test.dir/property_hpe_test.cpp.o.d"
+  "property_hpe_test"
+  "property_hpe_test.pdb"
+  "property_hpe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_hpe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_mrqed_test.dir/property_mrqed_test.cpp.o"
+  "CMakeFiles/property_mrqed_test.dir/property_mrqed_test.cpp.o.d"
+  "property_mrqed_test"
+  "property_mrqed_test.pdb"
+  "property_mrqed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_mrqed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apks_cli.dir/apks_cli.cpp.o"
+  "CMakeFiles/apks_cli.dir/apks_cli.cpp.o.d"
+  "apks_cli"
+  "apks_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apks_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

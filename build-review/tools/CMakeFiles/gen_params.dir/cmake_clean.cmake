@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_params.dir/gen_params.cpp.o"
+  "CMakeFiles/gen_params.dir/gen_params.cpp.o.d"
+  "gen_params"
+  "gen_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
