@@ -34,13 +34,15 @@ ResilientProxyPipeline::ResilientProxyPipeline(const ApksPlus& scheme,
   }
   if (options_.replicas == 0) options_.replicas = 1;
   if (options_.attempts_per_replica == 0) options_.attempts_per_replica = 1;
+  const BreakerOptions breaker{.threshold = options_.breaker_threshold,
+                               .cooldown_ops = options_.breaker_cooldown_ops};
   shares_.resize(shares.size());
   for (std::size_t si = 0; si < shares.size(); ++si) {
     shares_[si].replicas.reserve(options_.replicas);
     for (std::size_t ri = 0; ri < options_.replicas; ++ri) {
       shares_[si].replicas.emplace_back(scheme, shares[si],
                                         options_.rate_limit,
-                                        replica_site(si, ri));
+                                        replica_site(si, ri), breaker);
     }
   }
 }
@@ -67,9 +69,14 @@ bool ResilientProxyPipeline::apply_share_locked(std::size_t si,
   for (std::size_t round = 0; round < options_.attempts_per_replica; ++round) {
     for (std::size_t ri = 0; ri < share.replicas.size(); ++ri) {
       Replica& rep = share.replicas[ri];
-      if (rep.open) {
-        if (op_counter_ < rep.open_until) continue;  // still cooling down
-        ++stats_.breaker_probes;                     // half-open probe
+      switch (rep.breaker.admit(op_counter_)) {
+        case CircuitBreaker::Gate::kSkip:
+          continue;  // still cooling down
+        case CircuitBreaker::Gate::kProbe:
+          ++stats_.breaker_probes;  // half-open probe
+          break;
+        case CircuitBreaker::Gate::kClosed:
+          break;
       }
       if (last_tried != static_cast<std::size_t>(-1) && last_tried != ri) {
         ++stats_.failovers;
@@ -78,25 +85,15 @@ bool ResilientProxyPipeline::apply_share_locked(std::size_t si,
       try {
         EncryptedIndex out = rep.proxy.transform(cur);
         ++rep.successes;
-        rep.consecutive = 0;
-        rep.open = false;  // a successful probe closes the breaker
+        rep.breaker.on_success();
         cur = std::move(out);
         if (served_replica != nullptr) *served_replica = ri;
         return true;
       } catch (const std::exception&) {
         ++rep.failures;
-        ++rep.consecutive;
         ++stats_.retries;
         ++failures;
-        if (rep.open) {
-          // Failed half-open probe: start a fresh cooldown window.
-          rep.open_until = op_counter_ + options_.breaker_cooldown_ops;
-        } else if (options_.breaker_threshold != 0 &&
-                   rep.consecutive >= options_.breaker_threshold) {
-          rep.open = true;
-          rep.open_until = op_counter_ + options_.breaker_cooldown_ops;
-          ++stats_.breaker_opens;
-        }
+        if (rep.breaker.on_failure(op_counter_)) ++stats_.breaker_opens;
         backoff_locked(failures);
       }
     }
@@ -219,8 +216,9 @@ std::vector<ProxyReplicaHealth> ResilientProxyPipeline::health() const {
   for (std::size_t si = 0; si < shares_.size(); ++si) {
     for (std::size_t ri = 0; ri < shares_[si].replicas.size(); ++ri) {
       const Replica& rep = shares_[si].replicas[ri];
-      out.push_back({si, ri, rep.successes, rep.failures, rep.consecutive,
-                     rep.open && op_counter_ < rep.open_until});
+      out.push_back({si, ri, rep.successes, rep.failures,
+                     rep.breaker.consecutive_failures(),
+                     rep.breaker.open_now(op_counter_)});
     }
   }
   return out;

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "cloud/proxy.h"
+#include "common/breaker.h"
 
 namespace apks {
 
@@ -135,14 +136,13 @@ class ResilientProxyPipeline {
  private:
   struct Replica {
     Replica(const ApksPlus& scheme, const Fq& share, std::size_t rate_limit,
-            std::string site)
-        : proxy(scheme, share, rate_limit, std::move(site)) {}
+            std::string site, BreakerOptions breaker_options)
+        : proxy(scheme, share, rate_limit, std::move(site)),
+          breaker(breaker_options) {}
     ProxyServer proxy;
     std::size_t successes = 0;
     std::size_t failures = 0;
-    std::size_t consecutive = 0;
-    bool open = false;              // circuit breaker
-    std::uint64_t open_until = 0;   // op counter at which a probe is allowed
+    CircuitBreaker breaker;  // cooldowns measured in op_counter_ ticks
   };
   struct Share {
     std::vector<Replica> replicas;

@@ -104,6 +104,16 @@ std::vector<std::vector<std::string>> SearchEngine::search_batch_unchecked_any(
   return run_batch(queries, serve, /*checked=*/false, metrics, control);
 }
 
+std::vector<std::vector<std::string>>
+SearchEngine::search_batch_unchecked_any_ids(
+    std::span<const AnyQuery> queries,
+    std::vector<std::vector<std::uint64_t>>* match_ids, BatchMetrics* metrics,
+    const ServeControl& control) const {
+  const std::vector<char> serve(queries.size(), 1);
+  return run_batch(queries, serve, /*checked=*/false, metrics, control,
+                   match_ids);
+}
+
 std::vector<std::string> SearchEngine::search(const SignedCapability& cap,
                                               ServerMetrics* metrics,
                                               const ServeControl& control)
@@ -117,7 +127,11 @@ std::vector<std::string> SearchEngine::search(const SignedCapability& cap,
 
 std::vector<std::vector<std::string>> SearchEngine::run_batch(
     std::span<const AnyQuery> queries, std::span<const char> serve,
-    bool checked, BatchMetrics* metrics, const ServeControl& control) const {
+    bool checked, BatchMetrics* metrics, const ServeControl& control,
+    std::vector<std::vector<std::uint64_t>>* match_ids) const {
+  if (match_ids != nullptr) {
+    match_ids->assign(queries.size(), {});
+  }
   const SearchBackend& backend = server_->backend();
   const Pairing& pairing = backend.pairing();
 
@@ -393,6 +407,9 @@ std::vector<std::vector<std::string>> SearchEngine::run_batch(
         if (hits[q][r] != 0) {
           ++m.matched;
           out.push_back(records[r].doc_ref);
+          if (match_ids != nullptr) {
+            (*match_ids)[active[q]].push_back(records[r].id);
+          }
         }
       }
     }

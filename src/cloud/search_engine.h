@@ -184,6 +184,17 @@ class SearchEngine {
                              BatchMetrics* metrics = nullptr,
                              const ServeControl& control = {}) const;
 
+  // Cluster node role: identical scan to search_batch_unchecked_any, but
+  // `match_ids` (one vector per query, parallel to the results) receives
+  // the record id of every match. Ids are the merge key a coordinator
+  // needs to k-way merge per-shard results byte-identically to a
+  // single-node ShardedStore scan.
+  [[nodiscard]] std::vector<std::vector<std::string>>
+  search_batch_unchecked_any_ids(
+      std::span<const AnyQuery> queries,
+      std::vector<std::vector<std::uint64_t>>* match_ids,
+      BatchMetrics* metrics = nullptr, const ServeControl& control = {}) const;
+
   // Lifetime cache counters (across all batches served by this engine).
   [[nodiscard]] std::size_t cache_hits() const { return cache_.hits(); }
   [[nodiscard]] std::size_t cache_misses() const { return cache_.misses(); }
@@ -214,7 +225,8 @@ class SearchEngine {
  private:
   [[nodiscard]] std::vector<std::vector<std::string>> run_batch(
       std::span<const AnyQuery> queries, std::span<const char> authorized,
-      bool checked, BatchMetrics* metrics, const ServeControl& control) const;
+      bool checked, BatchMetrics* metrics, const ServeControl& control,
+      std::vector<std::vector<std::uint64_t>>* match_ids = nullptr) const;
 
   // One counter bump per batch outcome — a mutex is cheap at that rate and
   // buys tear-free counters() snapshots (admission still uses the atomic

@@ -1,0 +1,312 @@
+#include "cluster/coordinator.h"
+
+#include <chrono>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace apks::cluster {
+
+using net::WireStatus;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ms(Clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            since)
+          .count());
+}
+
+}  // namespace
+
+Coordinator::Coordinator(const SearchBackend& backend,
+                         CapabilityVerifier verifier, ClusterMap map,
+                         CoordinatorOptions options)
+    : backend_(&backend),
+      verifier_(std::move(verifier)),
+      map_(std::move(map)),
+      options_(options) {
+  nodes_.resize(map_.nodes().size());
+  for (NodeState& node : nodes_) {
+    node.breaker = CircuitBreaker(options_.breaker);
+  }
+}
+
+Coordinator::~Coordinator() = default;
+
+std::vector<NodeHealth> Coordinator::health() const {
+  std::vector<NodeHealth> out;
+  out.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out.push_back(NodeHealth{
+        map_.nodes()[i].name,
+        nodes_[i].breaker.consecutive_failures(),
+        nodes_[i].breaker.open_now(op_counter_),
+    });
+  }
+  return out;
+}
+
+std::vector<std::string> Coordinator::search_signed(
+    const SignedQuery& query, ClusterSearchStats* stats,
+    const ServeControl& control) {
+  ClusterSearchStats local;
+  ClusterSearchStats& s = stats != nullptr ? *stats : local;
+  if (!verifier_.verify(*backend_, query)) {
+    s = ClusterSearchStats{};  // authorized stays false; nothing scanned
+    return {};
+  }
+  std::vector<std::string> refs = search_any(query.query, &s, control);
+  s.authorized = true;
+  return refs;
+}
+
+std::vector<std::string> Coordinator::search_any(const AnyQuery& query,
+                                                 ClusterSearchStats* stats,
+                                                 const ServeControl& control) {
+  ClusterSearchStats local;
+  ClusterSearchStats& s = stats != nullptr ? *stats : local;
+  s = ClusterSearchStats{};
+  ++op_counter_;
+  const Clock::time_point t0 = Clock::now();
+  const std::vector<std::uint8_t> query_bytes = backend_->encode_query(query);
+
+  // The stale-coordinator drill: advertise a version the nodes don't
+  // hold, so every shard RPC comes back `stale cluster map`.
+  std::uint64_t advertised_version = map_.version();
+  try {
+    if (failpoint(kSiteStaleMap).fired()) ++advertised_version;
+  } catch (const FailpointError&) {
+    ++advertised_version;
+  }
+
+  // Per-shard failover cursor: index into the shard's replica set of the
+  // next node to try. A shard leaves `pending` when a node answered for
+  // it or every replica failed.
+  std::vector<std::size_t> next_replica(map_.total_shards(), 0);
+  std::vector<char> pending(map_.total_shards(), 1);
+  std::size_t pending_count = map_.total_shards();
+  std::vector<std::vector<net::ShardHit>> parts;
+  std::string last_error;
+
+  while (pending_count > 0) {
+    // Honour the caller's global budget between rounds (node-side engine
+    // deadlines handle mid-scan expiry).
+    std::uint64_t remaining_ms = control.deadline_ms;
+    if (control.deadline_ms != 0) {
+      const std::uint64_t spent = elapsed_ms(t0);
+      if (spent >= control.deadline_ms) {
+        if (!control.partial_ok) {
+          throw DeadlineExceeded("cluster search deadline exceeded");
+        }
+        s.deadline_exceeded = true;
+        s.partial = true;
+        s.shards_failed += pending_count;
+        break;
+      }
+      remaining_ms = control.deadline_ms - spent;
+    }
+    if (control.cancel != nullptr &&
+        control.cancel->load(std::memory_order_relaxed)) {
+      if (!control.partial_ok) {
+        throw ServingError(ErrorCode::kCancelled, "cluster search cancelled");
+      }
+      s.cancelled = true;
+      s.partial = true;
+      s.shards_failed += pending_count;
+      break;
+    }
+
+    // Assign every pending shard to its next untried replica, grouped by
+    // node (one RPC per node per round).
+    std::map<std::uint32_t, std::vector<std::uint32_t>> groups;
+    for (std::uint32_t shard = 0; shard < map_.total_shards(); ++shard) {
+      if (pending[shard] == 0) continue;
+      const std::vector<std::uint32_t>& replicas = map_.replicas_of(shard);
+      if (next_replica[shard] >= replicas.size()) {
+        // Every replica of this shard failed.
+        if (!control.partial_ok) {
+          throw ServingError(
+              ErrorCode::kUnavailable,
+              "shard " + std::to_string(shard) + " unavailable after " +
+                  std::to_string(replicas.size()) + " replica attempts" +
+                  (last_error.empty() ? "" : " (last error: " + last_error +
+                                                 ")"));
+        }
+        pending[shard] = 0;
+        --pending_count;
+        ++s.shards_failed;
+        s.partial = true;
+        continue;
+      }
+      if (next_replica[shard] > 0) ++s.failovers;
+      groups[replicas[next_replica[shard]]].push_back(shard);
+    }
+    if (groups.empty()) break;
+
+    // Breaker gate per node, then one RPC thread per admitted node.
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> batch;
+    for (auto& [node, shards] : groups) {
+      switch (nodes_[node].breaker.admit(op_counter_)) {
+        case CircuitBreaker::Gate::kSkip:
+          ++s.breaker_skips;
+          last_error = "node '" + map_.nodes()[node].name +
+                       "' skipped (breaker open)";
+          for (const std::uint32_t shard : shards) ++next_replica[shard];
+          continue;
+        case CircuitBreaker::Gate::kProbe:
+          ++s.breaker_probes;
+          break;
+        case CircuitBreaker::Gate::kClosed:
+          break;
+      }
+      batch.emplace_back(node, std::move(shards));
+    }
+    if (batch.empty()) continue;
+
+    std::vector<RpcOutcome> outcomes(batch.size());
+    std::vector<std::thread> threads;
+    threads.reserve(batch.size());
+    s.rpcs += batch.size();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      threads.emplace_back([&, i] {
+        run_node_rpc(batch[i].first, batch[i].second, query_bytes,
+                     advertised_version, remaining_ms, control.partial_ok,
+                     outcomes[i]);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::uint32_t node = batch[i].first;
+      const std::vector<std::uint32_t>& shards = batch[i].second;
+      RpcOutcome& out = outcomes[i];
+      if (!out.ok) {
+        ++s.retries;
+        last_error = out.error;
+        if (nodes_[node].breaker.on_failure(op_counter_)) ++s.breaker_opens;
+        for (const std::uint32_t shard : shards) ++next_replica[shard];
+        continue;
+      }
+      net::ShardRemoteResult& result = out.result;
+      switch (result.status) {
+        case WireStatus::kOk:
+          nodes_[node].breaker.on_success();
+          s.scanned += result.scanned;
+          s.matched += result.matched;
+          s.shards_ok += shards.size();
+          parts.push_back(std::move(result.hits));
+          for (const std::uint32_t shard : shards) {
+            pending[shard] = 0;
+            --pending_count;
+          }
+          break;
+        case WireStatus::kDeadlineExceeded: {
+          // The node answered properly; the request budget ran out. Not a
+          // node fault — no failover (a replica would be no faster). A
+          // kCancelled, by contrast, means the NODE abandoned the scan
+          // (shutdown / dying connection) — that is the default
+          // (failover) case below, since the coordinator never sends a
+          // cancellation over the wire.
+          nodes_[node].breaker.on_success();
+          if (!control.partial_ok) {
+            throw DeadlineExceeded(result.message.empty()
+                                       ? "cluster search deadline exceeded"
+                                       : result.message);
+          }
+          s.deadline_exceeded = true;
+          s.partial = true;
+          s.scanned += result.scanned;
+          s.matched += result.matched;
+          s.shards_ok += shards.size();
+          parts.push_back(std::move(result.hits));
+          for (const std::uint32_t shard : shards) {
+            pending[shard] = 0;
+            --pending_count;
+          }
+          break;
+        }
+        case WireStatus::kBadRequest:
+          // Protocol-level refusal (stale map, unowned shard): replicas
+          // cannot heal it — surface the typed error.
+          nodes_[node].breaker.on_success();
+          throw ServingError(ErrorCode::kUnavailable,
+                             "node '" + map_.nodes()[node].name +
+                                 "' refused: " + result.message);
+        default:
+          // kOverloaded / kShutdown / kUnavailable / kIo...: this
+          // replica can't serve right now; try the next.
+          ++s.retries;
+          last_error = "node '" + map_.nodes()[node].name + "' status " +
+                       result.message;
+          if (nodes_[node].breaker.on_failure(op_counter_)) {
+            ++s.breaker_opens;
+          }
+          for (const std::uint32_t shard : shards) ++next_replica[shard];
+          break;
+      }
+    }
+  }
+
+  // The scatter may have completed only after the caller's budget ran
+  // out (a slow replica stalls the whole round). A strict caller's
+  // deadline is a contract, not a hint — a late answer is still a miss.
+  if (control.deadline_ms != 0 && elapsed_ms(t0) >= control.deadline_ms) {
+    if (!control.partial_ok) {
+      throw DeadlineExceeded("cluster search deadline exceeded");
+    }
+    s.deadline_exceeded = true;
+  }
+
+  return merge_by_id(std::move(parts));
+}
+
+void Coordinator::run_node_rpc(std::uint32_t node,
+                               const std::vector<std::uint32_t>& shards,
+                               const std::vector<std::uint8_t>& query_bytes,
+                               std::uint64_t map_version,
+                               std::uint64_t deadline_ms, bool partial_ok,
+                               RpcOutcome& out) {
+  NodeState& state = nodes_[node];
+  const NodeInfo& info = map_.nodes()[node];
+  try {
+    (void)failpoint(kSiteScatter);  // kThrow fails the RPC, kDelay stalls it
+    if (state.client == nullptr || !state.client->connected()) {
+      auto client = std::make_unique<net::NetClient>();
+      client->connect(info.host, info.port, options_.node_timeout_ms);
+      const net::HelloAckMsg hello = client->hello(backend_->kind());
+      if (hello.status != WireStatus::kOk) {
+        throw ServingError(ErrorCode::kUnavailable,
+                           "hello refused: " + hello.message);
+      }
+      state.client = std::move(client);
+      state.authed = false;
+    }
+    if (!state.authed || state.session_query != query_bytes) {
+      const net::AuthAckMsg ack = state.client->auth_unchecked(query_bytes);
+      if (ack.status != WireStatus::kOk) {
+        throw ServingError(ErrorCode::kUnavailable,
+                           "auth refused: " + ack.message);
+      }
+      state.authed = true;
+      state.session_query = query_bytes;
+    }
+    out.result = state.client->shard_search(
+        shards, map_version, map_.total_shards(), deadline_ms, partial_ok);
+    out.ok = true;
+  } catch (const std::exception& ex) {
+    out.error = "node '" + info.name + "': " + ex.what();
+    // Drop the connection: a transport fault leaves the stream in an
+    // unknown state, and the next attempt redials cleanly.
+    state.client.reset();
+    state.authed = false;
+  }
+}
+
+}  // namespace apks::cluster

@@ -1,0 +1,152 @@
+// Coordinator — the scatter-gather edge of the cluster tier (DESIGN.md
+// §5i).
+//
+// One coordinator holds a ClusterMap and a persistent NetClient per node.
+// A search authenticates ONCE at the edge (the authority-signature check
+// of the paper's protocol), then fans out shard-scoped kShardSearch RPCs
+// to the owning nodes — the internal hop re-sends the query unchecked,
+// which only nodes opted into allow_unchecked accept (the trusted-tier
+// deployment). Per-shard hits come back with their record ids and are
+// merged ascending by id: byte-identical to ShardedStore::search_any over
+// the same records, because both sides run the identical concatenate-
+// then-sort merge and ids are unique.
+//
+// Failure handling is the proxy pool's pattern lifted to nodes:
+//
+//   * every node has a CircuitBreaker (common/breaker.h) ticked on one
+//     op counter per cluster search — a node that keeps failing is
+//     skipped for cooldown_ops searches, then probed;
+//   * a failed node RPC (dial/transport/refusal) moves its shards to the
+//     next replica in HRW order and redials lazily on the next use;
+//   * a shard whose every replica failed either fails the search
+//     (ServingError kUnavailable) or, under control.partial_ok,
+//     contributes nothing and is counted in shards_failed — the partial
+//     result is a correct union of per-shard prefixes, never silently
+//     wrong;
+//   * a node refusing with `stale cluster map` aborts the search with a
+//     typed error (refreshing the map is the caller's move — retrying
+//     replicas cannot heal a version mismatch).
+//
+// Failpoint sites: "cluster.scatter" fires per node RPC (throw = the RPC
+// fails and its shards fail over; delay = a slow replica), and
+// "cluster.stale_map" makes the coordinator advertise version+1 — the
+// stale-coordinator drill.
+//
+// Not thread-safe: one Coordinator per thread (the bench does exactly
+// that), matching NetClient's contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auth/authority.h"
+#include "cluster/placement.h"
+#include "common/breaker.h"
+#include "core/backend.h"
+#include "net/client.h"
+
+namespace apks::cluster {
+
+inline constexpr const char* kSiteScatter = "cluster.scatter";
+inline constexpr const char* kSiteStaleMap = "cluster.stale_map";
+
+struct CoordinatorOptions {
+  // Per-RPC socket budget: connect timeout and send/recv timeout on the
+  // node connections (0 = block — scans are seconds-long, so the default
+  // trusts the deadline machinery instead).
+  std::uint64_t node_timeout_ms = 0;
+  // Per-node circuit breaker (same semantics as the proxy pool's).
+  BreakerOptions breaker;
+};
+
+// One cluster search's outcome. scanned/matched sum the per-shard engine
+// figures, so a full scatter reports exactly the single-node numbers.
+struct ClusterSearchStats {
+  bool authorized = false;  // search_signed only
+  std::uint64_t scanned = 0;
+  std::uint64_t matched = 0;
+  bool deadline_exceeded = false;
+  bool cancelled = false;
+  // Any contribution was a prefix or a shard gave up: the result is a
+  // union of per-shard prefixes (partial_ok searches only).
+  bool partial = false;
+  std::size_t shards_ok = 0;      // shards that answered (fully or prefix)
+  std::size_t shards_failed = 0;  // partial_ok: every replica failed
+  std::size_t rpcs = 0;           // node RPCs issued
+  std::size_t retries = 0;        // node RPCs that failed
+  std::size_t failovers = 0;      // shard assignments moved to a later replica
+  std::size_t breaker_opens = 0;
+  std::size_t breaker_probes = 0;
+  std::size_t breaker_skips = 0;
+};
+
+// Per-node health snapshot (mirrors ProxyPool::health).
+struct NodeHealth {
+  std::string name;
+  std::size_t consecutive_failures = 0;
+  bool breaker_open = false;
+};
+
+class Coordinator {
+ public:
+  // The backend supplies the query codec for the internal hop; the
+  // verifier is the edge's authentication. Both must outlive the
+  // coordinator.
+  Coordinator(const SearchBackend& backend, CapabilityVerifier verifier,
+              ClusterMap map, CoordinatorOptions options = {});
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // Full protocol: verify the authority signature once, then scatter.
+  // An unauthorized query returns empty with stats.authorized == false
+  // and never touches the network (same contract as
+  // CloudServer::search_signed).
+  [[nodiscard]] std::vector<std::string> search_signed(
+      const SignedQuery& query, ClusterSearchStats* stats = nullptr,
+      const ServeControl& control = {});
+
+  // Trusted-edge path (CLI/bench): skip the signature check.
+  [[nodiscard]] std::vector<std::string> search_any(
+      const AnyQuery& query, ClusterSearchStats* stats = nullptr,
+      const ServeControl& control = {});
+
+  [[nodiscard]] const ClusterMap& map() const noexcept { return map_; }
+  [[nodiscard]] std::vector<NodeHealth> health() const;
+
+ private:
+  struct NodeState {
+    std::unique_ptr<net::NetClient> client;  // lazily dialed, persistent
+    CircuitBreaker breaker;
+    bool authed = false;  // session holds `session_query`
+    // The query bytes the node's session was last authorized for: a
+    // repeat search with the same query skips the auth round-trip (the
+    // node keeps its prepared session query between requests).
+    std::vector<std::uint8_t> session_query;
+  };
+  struct RpcOutcome {
+    bool ok = false;
+    net::ShardRemoteResult result;
+    std::string error;
+  };
+
+  // Dial (if needed), establish the session query, and run one
+  // shard-scoped RPC. Only ever called from one thread per node at a
+  // time (a scatter round assigns each node at most one group).
+  void run_node_rpc(std::uint32_t node, const std::vector<std::uint32_t>& shards,
+                    const std::vector<std::uint8_t>& query_bytes,
+                    std::uint64_t map_version, std::uint64_t deadline_ms,
+                    bool partial_ok, RpcOutcome& out);
+
+  const SearchBackend* backend_;
+  CapabilityVerifier verifier_;
+  ClusterMap map_;
+  CoordinatorOptions options_;
+  std::vector<NodeState> nodes_;
+  std::uint64_t op_counter_ = 0;
+};
+
+}  // namespace apks::cluster

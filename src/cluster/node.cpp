@@ -1,0 +1,73 @@
+#include "cluster/node.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace apks::cluster {
+
+ClusterNode::ClusterNode(const SearchBackend& backend,
+                         CapabilityVerifier verifier, ShardedStore& store,
+                         const ClusterMap& map, std::uint32_t node_index,
+                         ClusterNodeOptions options) {
+  if (node_index >= map.nodes().size()) {
+    throw std::invalid_argument("ClusterNode: node index " +
+                                std::to_string(node_index) +
+                                " out of range");
+  }
+  if (store.shard_count() != map.total_shards()) {
+    throw std::invalid_argument(
+        "ClusterNode: store has " + std::to_string(store.shard_count()) +
+        " shards but the cluster map expects " +
+        std::to_string(map.total_shards()) +
+        " — the on-disk partition IS the cluster partition");
+  }
+  owned_ = map.shards_of(node_index);
+
+  // One CloudServer per owned shard, restored in ascending-id order:
+  // for_each_record_any streams each store shard's records ascending, and
+  // store shard == id % total_shards == cluster shard.
+  for (std::size_t i = 0; i < owned_.size(); ++i) {
+    servers_.push_back(std::make_unique<CloudServer>(backend, verifier));
+    engines_.push_back(
+        std::make_unique<SearchEngine>(*servers_.back(), options.engine));
+  }
+  const std::uint64_t total = map.total_shards();
+  store.for_each_record_any([&](StoredAnyRecord&& record) {
+    const std::uint32_t shard =
+        static_cast<std::uint32_t>(record.id % total);
+    for (std::size_t i = 0; i < owned_.size(); ++i) {
+      if (owned_[i] == shard) {
+        servers_[i]->restore_any(record.id, std::move(record.index),
+                                 std::move(record.doc_ref));
+        break;
+      }
+    }
+  });
+
+  // A node the map assigns nothing still serves the session handshake —
+  // give NetServer an empty engine to hang the backend/verifier on.
+  if (engines_.empty()) {
+    servers_.push_back(std::make_unique<CloudServer>(backend, verifier));
+    engines_.push_back(
+        std::make_unique<SearchEngine>(*servers_.back(), options.engine));
+  }
+
+  set_.map_version = map.version();
+  set_.total_shards = map.total_shards();
+  for (std::size_t i = 0; i < owned_.size(); ++i) {
+    set_.shards.emplace_back(owned_[i], engines_[i].get());
+  }
+  options.net.shard_set = &set_;
+  net_ = std::make_unique<net::NetServer>(*engines_.front(), options.net);
+}
+
+std::uint64_t ClusterNode::record_count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < owned_.size(); ++i) {
+    total += servers_[i]->record_count();
+  }
+  return total;
+}
+
+}  // namespace apks::cluster

@@ -1,0 +1,75 @@
+// ClusterNode — one serving process of the scale-out tier (DESIGN.md §5i).
+//
+// A node takes a ClusterMap plus its own index in it, loads the shards
+// the map assigns to it from a ShardedStore (the store's on-disk
+// partitioning — id % S — must match the map's shard count, so a store
+// shard IS a cluster shard), and serves them over the PR-8 network layer:
+// one CloudServer + SearchEngine per owned shard, wired into NetServer
+// through a ShardEngineSet. v2 coordinators issue shard-scoped
+// kShardSearch RPCs; legacy v1 clients still get a plain kSearch answer
+// covering the node's subset of the store, merged by record id locally.
+//
+// Each shard's engine scans only that shard's records in ascending-id
+// order, so per-shard scanned/matched counts sum across the cluster to
+// exactly the single-node figures and the coordinator's merge-by-id
+// reproduces the single-node result bytes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cloud/search_engine.h"
+#include "cluster/placement.h"
+#include "net/server.h"
+
+namespace apks::cluster {
+
+struct ClusterNodeOptions {
+  // Per-shard engine options (threads apply per shard scan).
+  SearchEngine::Options engine;
+  // Network front end. host/port here are the BIND address (port 0 =
+  // ephemeral, read back via port()); the map's host/port entries are
+  // what coordinators dial, so tests can bind ephemerally and publish
+  // the bound ports in the map afterwards.
+  net::NetServerOptions net;
+};
+
+class ClusterNode {
+ public:
+  // Loads `store`'s records for every shard the map assigns to
+  // `node_index` and starts serving. Throws std::invalid_argument when
+  // the store's shard count differs from the map's (the partition would
+  // be mis-scoped) or node_index is out of range. The backend, verifier
+  // target, and store must outlive the node.
+  ClusterNode(const SearchBackend& backend, CapabilityVerifier verifier,
+              ShardedStore& store, const ClusterMap& map,
+              std::uint32_t node_index, ClusterNodeOptions options = {});
+
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return net_->port(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& owned_shards()
+      const noexcept {
+    return owned_;
+  }
+  // Records loaded across all owned shards.
+  [[nodiscard]] std::uint64_t record_count() const;
+  [[nodiscard]] net::NetServer& server() noexcept { return *net_; }
+  [[nodiscard]] const net::NetServer& server() const noexcept { return *net_; }
+
+  void stop(std::uint64_t grace_ms = 0) { net_->stop(grace_ms); }
+
+ private:
+  std::vector<std::uint32_t> owned_;
+  // One record set + engine per owned shard (index-aligned with owned_),
+  // plus a fallback empty pair when the map assigns this node nothing —
+  // NetServer still needs a session backend/verifier.
+  std::vector<std::unique_ptr<CloudServer>> servers_;
+  std::vector<std::unique_ptr<SearchEngine>> engines_;
+  net::ShardEngineSet set_;
+  std::unique_ptr<net::NetServer> net_;
+};
+
+}  // namespace apks::cluster

@@ -1,0 +1,195 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/crc32.h"
+#include "core/backend.h"
+
+namespace apks::cluster {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kMapMagic = {'A', 'P', 'K', 'S',
+                                                   'M', 'A', 'P', '1'};
+
+}  // namespace
+
+std::uint64_t placement_score(std::string_view node_name,
+                              std::uint32_t shard) {
+  // FNV-1a over the name, then a splitmix64 finalizer folding in the
+  // shard: cheap, stateless, and uniform enough that HRW spreads shards
+  // evenly across a handful of nodes.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : node_name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= 0x9e3779b97f4a7c15ULL + shard;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+ClusterMap::ClusterMap(std::vector<NodeInfo> nodes,
+                       std::uint32_t total_shards, std::uint32_t replicas,
+                       std::uint64_t version)
+    : version_(version),
+      total_shards_(total_shards),
+      replicas_(replicas),
+      nodes_(std::move(nodes)) {
+  if (nodes_.empty()) {
+    throw std::invalid_argument("ClusterMap: empty node list");
+  }
+  if (total_shards_ == 0) {
+    throw std::invalid_argument("ClusterMap: zero shards");
+  }
+  if (replicas_ == 0) {
+    throw std::invalid_argument("ClusterMap: zero replicas");
+  }
+  std::unordered_set<std::string> names;
+  for (const NodeInfo& node : nodes_) {
+    if (node.name.empty()) {
+      throw std::invalid_argument("ClusterMap: empty node name");
+    }
+    if (!names.insert(node.name).second) {
+      throw std::invalid_argument("ClusterMap: duplicate node name '" +
+                                  node.name + "'");
+    }
+  }
+  build_placement();
+}
+
+void ClusterMap::build_placement() {
+  const std::uint32_t n = static_cast<std::uint32_t>(nodes_.size());
+  const std::uint32_t r = std::min(replicas_, n);
+  placement_.assign(total_shards_, {});
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> scored(n);
+  for (std::uint32_t shard = 0; shard < total_shards_; ++shard) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      scored[i] = {placement_score(nodes_[i].name, shard), i};
+    }
+    // Best score first; a score tie (astronomically unlikely) breaks by
+    // node name so placement stays a pure function of the inputs.
+    std::sort(scored.begin(), scored.end(),
+              [&](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return nodes_[a.second].name < nodes_[b.second].name;
+              });
+    std::vector<std::uint32_t>& owners = placement_[shard];
+    owners.reserve(r);
+    for (std::uint32_t i = 0; i < r; ++i) {
+      owners.push_back(scored[i].second);
+    }
+  }
+}
+
+const std::vector<std::uint32_t>& ClusterMap::replicas_of(
+    std::uint32_t shard) const {
+  if (shard >= total_shards_) {
+    throw std::out_of_range("ClusterMap: shard " + std::to_string(shard) +
+                            " out of range (" +
+                            std::to_string(total_shards_) + " shards)");
+  }
+  return placement_[shard];
+}
+
+std::vector<std::uint32_t> ClusterMap::shards_of(std::uint32_t node) const {
+  std::vector<std::uint32_t> owned;
+  for (std::uint32_t shard = 0; shard < total_shards_; ++shard) {
+    const std::vector<std::uint32_t>& owners = placement_[shard];
+    if (std::find(owners.begin(), owners.end(), node) != owners.end()) {
+      owned.push_back(shard);
+    }
+  }
+  return owned;
+}
+
+std::vector<std::uint8_t> ClusterMap::serialize() const {
+  ByteWriter w;
+  w.raw(std::span<const std::uint8_t>(kMapMagic.data(), kMapMagic.size()));
+  ByteWriter body;
+  body.u64(version_);
+  body.u32(total_shards_);
+  body.u32(replicas_);
+  body.u32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const NodeInfo& node : nodes_) {
+    body.str(node.name);
+    body.str(node.host);
+    body.u32(node.port);
+  }
+  w.bytes(body.data());
+  w.u32(crc32(body.data()));
+  return w.take();
+}
+
+ClusterMap ClusterMap::deserialize(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const std::span<const std::uint8_t> magic = r.raw(kMapMagic.size());
+  if (!std::equal(magic.begin(), magic.end(), kMapMagic.begin())) {
+    throw ServingError(ErrorCode::kCorrupt, "ClusterMap: bad magic");
+  }
+  const std::span<const std::uint8_t> body = r.bytes();
+  const std::uint32_t crc = r.u32();
+  if (!r.done()) {
+    throw ServingError(ErrorCode::kCorrupt, "ClusterMap: trailing bytes");
+  }
+  if (crc32(body) != crc) {
+    throw ServingError(ErrorCode::kCorrupt, "ClusterMap: CRC mismatch");
+  }
+  ByteReader b(body);
+  const std::uint64_t version = b.u64();
+  const std::uint32_t total_shards = b.u32();
+  const std::uint32_t replicas = b.u32();
+  const std::uint32_t node_count = b.u32();
+  // Hostile count check: every node costs at least 12 bytes (three
+  // length/value fields), so a count beyond remaining/12 is a lie.
+  if (node_count > b.remaining() / 12) {
+    throw ServingError(ErrorCode::kCorrupt, "ClusterMap: node count");
+  }
+  std::vector<NodeInfo> nodes;
+  nodes.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    NodeInfo node;
+    node.name = b.str();
+    node.host = b.str();
+    const std::uint32_t port = b.u32();
+    if (port > 0xffff) {
+      throw std::invalid_argument("ClusterMap: port out of range");
+    }
+    node.port = static_cast<std::uint16_t>(port);
+    nodes.push_back(std::move(node));
+  }
+  if (!b.done()) {
+    throw ServingError(ErrorCode::kCorrupt, "ClusterMap: body trailing bytes");
+  }
+  return ClusterMap(std::move(nodes), total_shards, replicas, version);
+}
+
+std::vector<std::string> merge_by_id(
+    std::vector<std::vector<net::ShardHit>> parts) {
+  std::vector<net::ShardHit> all;
+  std::size_t total = 0;
+  for (const std::vector<net::ShardHit>& part : parts) total += part.size();
+  all.reserve(total);
+  for (std::vector<net::ShardHit>& part : parts) {
+    for (net::ShardHit& hit : part) all.push_back(std::move(hit));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const net::ShardHit& a, const net::ShardHit& b) {
+              return a.id < b.id;
+            });
+  std::vector<std::string> refs;
+  refs.reserve(all.size());
+  for (net::ShardHit& hit : all) refs.push_back(std::move(hit.ref));
+  return refs;
+}
+
+}  // namespace apks::cluster

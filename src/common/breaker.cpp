@@ -1,0 +1,37 @@
+#include "common/breaker.h"
+
+namespace apks {
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {}
+
+CircuitBreaker::Gate CircuitBreaker::admit(std::uint64_t now_op)
+    const noexcept {
+  if (!open_) return Gate::kClosed;
+  return now_op < open_until_ ? Gate::kSkip : Gate::kProbe;
+}
+
+void CircuitBreaker::on_success() noexcept {
+  consecutive_ = 0;
+  open_ = false;  // a successful probe closes the breaker
+}
+
+bool CircuitBreaker::on_failure(std::uint64_t now_op) noexcept {
+  ++consecutive_;
+  if (open_) {
+    // Failed half-open probe: start a fresh cooldown window.
+    open_until_ = now_op + options_.cooldown_ops;
+    return false;
+  }
+  if (options_.threshold != 0 && consecutive_ >= options_.threshold) {
+    open_ = true;
+    open_until_ = now_op + options_.cooldown_ops;
+    return true;
+  }
+  return false;
+}
+
+bool CircuitBreaker::open_now(std::uint64_t now_op) const noexcept {
+  return open_ && now_op < open_until_;
+}
+
+}  // namespace apks

@@ -1,0 +1,71 @@
+// CircuitBreaker — the per-endpoint failure-isolation state machine shared
+// by every failover path in the tree (the APKS+ proxy pool's replicas, the
+// cluster coordinator's shard owners).
+//
+// The breaker counts *consecutive* failures against an endpoint; at the
+// configured threshold it opens and the endpoint is skipped for a cooldown
+// window, after which exactly one half-open probe is admitted. A probe that
+// succeeds closes the breaker; a probe that fails re-arms a fresh cooldown
+// without counting as a new open.
+//
+// Cooldowns are measured in caller-supplied operation counts, not wall
+// time: the caller owns a monotone op counter (one tick per pipeline
+// operation / per cluster search) and passes it to every decision. That
+// keeps chaos schedules deterministic — a replayed failure sequence opens,
+// skips and probes at exactly the same operations every run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace apks {
+
+struct BreakerOptions {
+  // Consecutive failures that trip the breaker open. 0 disables tripping
+  // (the breaker then never skips an endpoint).
+  std::size_t threshold = 3;
+  // How many operations the breaker stays open before a half-open probe.
+  std::uint64_t cooldown_ops = 4;
+};
+
+class CircuitBreaker {
+ public:
+  // Admission verdict for one attempt against the guarded endpoint.
+  enum class Gate {
+    kClosed,  // breaker closed: attempt normally
+    kProbe,   // open past cooldown: attempt as the half-open probe
+    kSkip,    // open and cooling down: do not attempt
+  };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(BreakerOptions options);
+
+  [[nodiscard]] Gate admit(std::uint64_t now_op) const noexcept;
+
+  // A success closes the breaker (whether or not the attempt was a probe)
+  // and resets the consecutive-failure count.
+  void on_success() noexcept;
+
+  // Records a failure at operation `now_op`. Returns true when THIS
+  // failure tripped the breaker open (callers count their breaker_opens
+  // stat on it); a failed half-open probe re-arms a fresh cooldown without
+  // reporting a second open.
+  bool on_failure(std::uint64_t now_op) noexcept;
+
+  // Whether the breaker is open (still cooling down) as of `now_op`. A
+  // breaker whose cooldown has elapsed reports closed here — it admits a
+  // probe, which is the observable health contract.
+  [[nodiscard]] bool open_now(std::uint64_t now_op) const noexcept;
+
+  [[nodiscard]] std::size_t consecutive_failures() const noexcept {
+    return consecutive_;
+  }
+
+ private:
+  BreakerOptions options_{};
+  std::size_t consecutive_ = 0;
+  bool open_ = false;
+  std::uint64_t open_until_ = 0;  // op count at which a probe is allowed
+};
+
+}  // namespace apks

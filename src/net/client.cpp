@@ -1,11 +1,16 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
+
+#include <algorithm>
+#include <climits>
 
 #include <array>
 #include <cerrno>
@@ -70,13 +75,55 @@ void NetClient::connect(const std::string& host, std::uint16_t port,
     close();
     throw ServingError(ErrorCode::kIo, "net: bad host " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    close();
-    throw ServingError(ErrorCode::kIo, "net: connect to " + host + ":" +
-                                           std::to_string(port) +
-                                           " failed: " + err);
+  // With a timeout the connect runs nonblocking: start it, poll for
+  // writability under the budget, then read SO_ERROR for the real outcome.
+  // A blocking ::connect() against a dead or blackholed peer would
+  // otherwise hang for the kernel's SYN-retry budget (minutes) — fatal for
+  // replica failover, which needs dead nodes to fail fast.
+  const std::string peer = host + ":" + std::to_string(port);
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (timeout_ms != 0 && flags >= 0) {
+    (void)::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
   }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (timeout_ms == 0 || errno != EINPROGRESS) {
+      const std::string err = std::strerror(errno);
+      close();
+      throw ServingError(ErrorCode::kIo,
+                         "net: connect to " + peer + " failed: " + err);
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1,
+                  static_cast<int>(std::min<std::uint64_t>(timeout_ms,
+                                                           INT_MAX)));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      close();
+      throw ServingError(ErrorCode::kDeadlineExceeded,
+                         "net: connect to " + peer + " timed out after " +
+                             std::to_string(timeout_ms) + " ms");
+    }
+    int soerr = 0;
+    socklen_t soerr_len = sizeof(soerr);
+    if (rc < 0 ||
+        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) != 0) {
+      const std::string err = std::strerror(errno);
+      close();
+      throw ServingError(ErrorCode::kIo,
+                         "net: connect to " + peer + " failed: " + err);
+    }
+    if (soerr != 0) {
+      close();
+      throw ServingError(ErrorCode::kIo, "net: connect to " + peer +
+                                             " failed: " +
+                                             std::strerror(soerr));
+    }
+  }
+  if (timeout_ms != 0 && flags >= 0) (void)::fcntl(fd_, F_SETFL, flags);
   const int one = 1;
   (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (timeout_ms != 0) {
@@ -135,8 +182,9 @@ std::vector<std::uint8_t> NetClient::recv_frame() {
   }
 }
 
-HelloAckMsg NetClient::hello(SchemeKind scheme) {
+HelloAckMsg NetClient::hello(SchemeKind scheme, std::uint8_t version) {
   HelloMsg msg;
+  msg.version = version;
   msg.scheme = scheme;
   send_frame(msg.encode());
   const auto payload = recv_frame();
@@ -201,6 +249,57 @@ RemoteResult NetClient::search(std::uint64_t deadline_ms, bool partial_ok) {
         result.refs.insert(result.refs.end(),
                            std::make_move_iterator(chunk.refs.begin()),
                            std::make_move_iterator(chunk.refs.end()));
+        break;
+      }
+      case MsgType::kResultEnd: {
+        const ResultEndMsg end = ResultEndMsg::decode(frame.body);
+        if (end.request_id != msg.request_id) {
+          throw ServingError(ErrorCode::kCorrupt,
+                             "net: result end for unknown request");
+        }
+        result.status = end.status;
+        result.flags = end.flags;
+        result.scanned = end.scanned;
+        result.matched = end.matched;
+        result.wall_us = end.wall_us;
+        result.message = end.message;
+        return result;
+      }
+      case MsgType::kStatus:
+        throw_status(StatusMsg::decode(frame.body));
+      default:
+        throw ServingError(ErrorCode::kCorrupt,
+                           "net: unexpected frame mid-search");
+    }
+  }
+}
+
+ShardRemoteResult NetClient::shard_search(
+    std::span<const std::uint32_t> shards, std::uint64_t map_version,
+    std::uint32_t total_shards, std::uint64_t deadline_ms, bool partial_ok) {
+  ShardSearchMsg msg;
+  msg.request_id = next_request_id_++;
+  msg.deadline_ms = deadline_ms;
+  msg.partial_ok = partial_ok;
+  msg.map_version = map_version;
+  msg.total_shards = total_shards;
+  msg.shards.assign(shards.begin(), shards.end());
+  send_frame(msg.encode());
+
+  ShardRemoteResult result;
+  for (;;) {
+    const auto payload = recv_frame();
+    const ParsedFrame frame = parse_frame(payload);
+    switch (frame.type) {
+      case MsgType::kShardChunk: {
+        ShardChunkMsg chunk = ShardChunkMsg::decode(frame.body);
+        if (chunk.request_id != msg.request_id) {
+          throw ServingError(ErrorCode::kCorrupt,
+                             "net: shard chunk for unknown request");
+        }
+        result.hits.insert(result.hits.end(),
+                           std::make_move_iterator(chunk.hits.begin()),
+                           std::make_move_iterator(chunk.hits.end()));
         break;
       }
       case MsgType::kResultEnd: {

@@ -43,6 +43,18 @@ struct RemoteResult {
   std::string message;
 };
 
+// The client-side view of one shard-scoped search (cluster mode): the hits
+// keep their record ids so a coordinator can k-way merge across nodes.
+struct ShardRemoteResult {
+  WireStatus status = WireStatus::kOk;
+  std::uint8_t flags = 0;
+  std::vector<ShardHit> hits;
+  std::uint64_t scanned = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t wall_us = 0;
+  std::string message;
+};
+
 // Wire form of an authority's IBS signature (the `sig` bytes of AuthMsg):
 // the u and v points in the curve's point encoding.
 [[nodiscard]] std::vector<std::uint8_t> encode_signature(
@@ -56,8 +68,10 @@ class NetClient {
   NetClient(const NetClient&) = delete;
   NetClient& operator=(const NetClient&) = delete;
 
-  // Connects and applies `timeout_ms` as the socket send/recv timeout
-  // (0 = block forever). Throws ServingError(kIo) on failure.
+  // Connects and applies `timeout_ms` to the connect itself (nonblocking
+  // connect + poll, so a dead or blackholed peer fails with
+  // kDeadlineExceeded instead of hanging) and as the socket send/recv
+  // timeout afterwards (0 = block forever). Throws ServingError on failure.
   void connect(const std::string& host, std::uint16_t port,
                std::uint64_t timeout_ms = 0);
   void close();
@@ -65,8 +79,9 @@ class NetClient {
 
   // Version/scheme handshake; must be the first exchange. A non-kOk ack
   // means the server refused the session (its message says why) and will
-  // close the connection.
-  HelloAckMsg hello(SchemeKind scheme);
+  // close the connection. `version` lets compatibility tests speak the
+  // legacy protocol; cluster coordinators need the default (v2).
+  HelloAckMsg hello(SchemeKind scheme, std::uint8_t version = kNetVersion);
 
   // Establishes the session query. `query` is the backend wire codec
   // (encode_query). Signed mode carries the issuing authority and the IBS
@@ -82,6 +97,15 @@ class NetClient {
   // prefix results when the deadline fires. The outcome (kOk,
   // kDeadlineExceeded, kOverloaded, ...) is RemoteResult::status.
   RemoteResult search(std::uint64_t deadline_ms = 0, bool partial_ok = false);
+
+  // Cluster mode: one shard-scoped search against a node that owns
+  // `shards` under the (map_version, total_shards) placement. Requires a
+  // v2 session. Hits come back ascending by record id.
+  ShardRemoteResult shard_search(std::span<const std::uint32_t> shards,
+                                 std::uint64_t map_version,
+                                 std::uint32_t total_shards,
+                                 std::uint64_t deadline_ms = 0,
+                                 bool partial_ok = false);
 
  private:
   void send_frame(std::span<const std::uint8_t> payload);

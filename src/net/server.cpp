@@ -51,6 +51,9 @@ struct NetServer::Conn {
   std::size_t loop = 0;
   enum class State : std::uint8_t { kAwaitHello, kReady };
   State state = State::kAwaitHello;
+  // Negotiated at hello: the session speaks min(client, server) semantics.
+  // v1 sessions never see the v2 shard messages.
+  std::uint8_t version = kNetVersion;
   bool authed = false;
   bool failed = false;            // terminal status queued; input ignored
   bool close_after_flush = false;
@@ -308,11 +311,12 @@ void NetServer::handle_payload(IoLoop& loop, const std::shared_ptr<Conn>& conn,
         const HelloMsg hello = HelloMsg::decode(frame.body);
         HelloAckMsg ack;
         ack.scheme = backend_->kind();
-        ack.records = engine_->server().record_count();
-        if (hello.version != kNetVersion) {
+        ack.records = served_records();
+        if (hello.version < kNetVersionMin || hello.version > kNetVersion) {
           ack.status = WireStatus::kBadRequest;
           ack.message = "protocol version " + std::to_string(hello.version) +
                         " unsupported (server speaks " +
+                        std::to_string(kNetVersionMin) + ".." +
                         std::to_string(kNetVersion) + ")";
         } else if (hello.scheme != backend_->kind()) {
           ack.status = WireStatus::kBadRequest;
@@ -320,6 +324,12 @@ void NetServer::handle_payload(IoLoop& loop, const std::shared_ptr<Conn>& conn,
                         std::string(scheme_name(hello.scheme)) +
                         "', server '" +
                         std::string(scheme_name(backend_->kind())) + "'";
+        }
+        if (ack.status == WireStatus::kOk) {
+          // Speak the client's version for the rest of the session; the
+          // echoed ack version is the negotiation result.
+          conn->version = hello.version;
+          ack.version = hello.version;
         }
         send_frame(loop, conn, encode_frame(ack.encode()));
         if (ack.status != WireStatus::kOk) {
@@ -339,6 +349,14 @@ void NetServer::handle_payload(IoLoop& loop, const std::shared_ptr<Conn>& conn,
             return;
           case MsgType::kSearch:
             handle_search(loop, conn, SearchMsg::decode(frame.body));
+            return;
+          case MsgType::kShardSearch:
+            if (conn->version < 2) {
+              throw std::invalid_argument(
+                  "shard search requires protocol version 2");
+            }
+            handle_shard_search(loop, conn,
+                                ShardSearchMsg::decode(frame.body));
             return;
           default:
             throw std::invalid_argument("unexpected message type");
@@ -434,6 +452,72 @@ void NetServer::handle_search(IoLoop& loop, const std::shared_ptr<Conn>& conn,
   jobs_cv_.notify_one();
 }
 
+void NetServer::handle_shard_search(IoLoop& loop,
+                                    const std::shared_ptr<Conn>& conn,
+                                    const ShardSearchMsg& msg) {
+  const auto refuse = [&](WireStatus status, const std::string& why) {
+    ResultEndMsg end;
+    end.request_id = msg.request_id;
+    end.status = status;
+    end.message = why;
+    send_frame(loop, conn, encode_frame(end.encode()));
+  };
+  if (!conn->authed) {
+    refuse(WireStatus::kUnauthorized, "no authorized session query");
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    refuse(WireStatus::kShutdown, "server is draining");
+    return;
+  }
+  const ShardEngineSet* set = options_.shard_set;
+  if (set == nullptr) {
+    refuse(WireStatus::kBadRequest, "server does not serve shards");
+    return;
+  }
+  // A coordinator holding a different map than this node must never get a
+  // silently wrong (mis-scoped) answer: refuse and let it refresh.
+  if (msg.map_version != set->map_version ||
+      msg.total_shards != set->total_shards) {
+    refuse(WireStatus::kBadRequest,
+           "stale cluster map: request (v" + std::to_string(msg.map_version) +
+               ", " + std::to_string(msg.total_shards) + " shards), node (v" +
+               std::to_string(set->map_version) + ", " +
+               std::to_string(set->total_shards) + " shards)");
+    return;
+  }
+  for (const std::uint32_t shard : msg.shards) {
+    if (shard >= set->total_shards) {
+      refuse(WireStatus::kBadRequest,
+             "shard " + std::to_string(shard) + " out of range");
+      return;
+    }
+    if (set->engine_for(shard) == nullptr) {
+      refuse(WireStatus::kBadRequest,
+             "shard " + std::to_string(shard) + " not owned by this node");
+      return;
+    }
+  }
+  SearchJob job;
+  job.conn = conn;
+  job.request.request_id = msg.request_id;
+  job.request.deadline_ms = msg.deadline_ms;
+  job.request.partial_ok = msg.partial_ok;
+  job.query = conn->query;  // copy: a re-auth never races the scan
+  job.shard_scoped = true;
+  job.shards = msg.shards;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    if (jobs_closed_) {
+      refuse(WireStatus::kShutdown, "server is draining");
+      return;
+    }
+    inflight_jobs_.fetch_add(1, std::memory_order_relaxed);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+}
+
 // --- worker pool ------------------------------------------------------------
 
 void NetServer::worker_thread_main() {
@@ -470,17 +554,32 @@ void NetServer::run_search_job(const SearchJob& job) {
 
   ResultEndMsg end;
   end.request_id = job.request.request_id;
+  const bool sharded = options_.shard_set != nullptr;
   std::vector<std::vector<std::string>> results;
+  std::vector<ShardHit> hits;
   BatchMetrics metrics;
   try {
-    results = engine_->search_batch_unchecked_any({&job.query, 1}, &metrics,
-                                                  control);
-    if (metrics.deadline_exceeded) {
-      end.status = WireStatus::kDeadlineExceeded;
-      end.flags |= kResultDeadlineExceeded | kResultTruncated;
-    } else if (metrics.cancelled) {
-      end.status = WireStatus::kCancelled;
-      end.flags |= kResultCancelled | kResultTruncated;
+    if (sharded) {
+      // Shard-backed server: scan the requested shards — every owned shard
+      // for a legacy kSearch session — and merge the hits by record id.
+      std::vector<std::uint32_t> shards = job.shards;
+      if (!job.shard_scoped) {
+        shards.clear();
+        for (const auto& entry : options_.shard_set->shards) {
+          shards.push_back(entry.first);
+        }
+      }
+      hits = scan_shards(shards, job.query, control, end);
+    } else {
+      results = engine_->search_batch_unchecked_any({&job.query, 1}, &metrics,
+                                                    control);
+      if (metrics.deadline_exceeded) {
+        end.status = WireStatus::kDeadlineExceeded;
+        end.flags |= kResultDeadlineExceeded | kResultTruncated;
+      } else if (metrics.cancelled) {
+        end.status = WireStatus::kCancelled;
+        end.flags |= kResultCancelled | kResultTruncated;
+      }
     }
   } catch (const ServingError& ex) {
     end.status = wire_status_from_error(ex.code());
@@ -492,11 +591,13 @@ void NetServer::run_search_job(const SearchJob& job) {
     end.status = WireStatus::kUnavailable;
     end.message = ex.what();
   }
-  if (!metrics.per_query.empty()) {
-    end.scanned = metrics.per_query[0].scanned;
-    end.matched = metrics.per_query[0].matched;
+  if (!sharded) {
+    if (!metrics.per_query.empty()) {
+      end.scanned = metrics.per_query[0].scanned;
+      end.matched = metrics.per_query[0].matched;
+    }
+    end.wall_us = static_cast<std::uint64_t>(metrics.wall_s * 1e6);
   }
-  end.wall_us = static_cast<std::uint64_t>(metrics.wall_s * 1e6);
 
   switch (end.status) {
     case WireStatus::kOk:
@@ -522,7 +623,34 @@ void NetServer::run_search_job(const SearchJob& job) {
   const bool stream_results =
       end.status == WireStatus::kOk ||
       ((end.flags & kResultTruncated) != 0 && job.request.partial_ok);
-  if (stream_results && !results.empty()) {
+  if (stream_results && job.shard_scoped) {
+    // v2 shard response: id-carrying hit chunks.
+    for (std::size_t lo = 0; lo < hits.size();
+         lo += options_.result_chunk_refs) {
+      ShardChunkMsg chunk;
+      chunk.request_id = job.request.request_id;
+      const std::size_t hi =
+          std::min(hits.size(), lo + options_.result_chunk_refs);
+      for (std::size_t i = lo; i < hi; ++i) {
+        chunk.hits.push_back(std::move(hits[i]));
+      }
+      frames.push_back(encode_frame(chunk.encode()));
+    }
+  } else if (stream_results && sharded) {
+    // Legacy session against a shard-backed server: the merged hits drop
+    // their ids and stream as plain ref chunks.
+    for (std::size_t lo = 0; lo < hits.size();
+         lo += options_.result_chunk_refs) {
+      ResultChunkMsg chunk;
+      chunk.request_id = job.request.request_id;
+      const std::size_t hi =
+          std::min(hits.size(), lo + options_.result_chunk_refs);
+      for (std::size_t i = lo; i < hi; ++i) {
+        chunk.refs.push_back(std::move(hits[i].ref));
+      }
+      frames.push_back(encode_frame(chunk.encode()));
+    }
+  } else if (stream_results && !results.empty()) {
     const std::vector<std::string>& refs = results[0];
     for (std::size_t lo = 0; lo < refs.size();
          lo += options_.result_chunk_refs) {
@@ -549,6 +677,77 @@ void NetServer::run_search_job(const SearchJob& job) {
       send_frame(loop, c, std::move(f));
     }
   });
+}
+
+std::vector<ShardHit> NetServer::scan_shards(
+    std::span<const std::uint32_t> shards, const AnyQuery& query,
+    const ServeControl& control, ResultEndMsg& end) const {
+  const ShardEngineSet& set = *options_.shard_set;
+  std::vector<ShardHit> hits;
+  const auto t0 = std::chrono::steady_clock::now();
+  double wall_s = 0.0;
+  for (const std::uint32_t shard : shards) {
+    // One deadline budget across the whole request: each shard's engine
+    // gets whatever remains of it.
+    ServeControl sub = control;
+    if (control.deadline_ms != 0) {
+      const auto elapsed_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      if (elapsed_ms >= control.deadline_ms) {
+        end.status = WireStatus::kDeadlineExceeded;
+        end.flags |= kResultDeadlineExceeded | kResultTruncated;
+        break;
+      }
+      sub.deadline_ms = control.deadline_ms - elapsed_ms;
+    }
+    const SearchEngine* engine = set.engine_for(shard);  // validated upstream
+    BatchMetrics metrics;
+    std::vector<std::vector<std::uint64_t>> ids;
+    std::vector<std::vector<std::string>> refs =
+        engine->search_batch_unchecked_any_ids({&query, 1}, &ids, &metrics,
+                                               sub);
+    if (!metrics.per_query.empty()) {
+      end.scanned += metrics.per_query[0].scanned;
+      end.matched += metrics.per_query[0].matched;
+    }
+    wall_s += metrics.wall_s;
+    if (!refs.empty()) {
+      for (std::size_t i = 0; i < refs[0].size(); ++i) {
+        hits.push_back(ShardHit{ids[0][i], std::move(refs[0][i])});
+      }
+    }
+    if (metrics.deadline_exceeded) {
+      end.status = WireStatus::kDeadlineExceeded;
+      end.flags |= kResultDeadlineExceeded | kResultTruncated;
+      break;
+    }
+    if (metrics.cancelled) {
+      end.status = WireStatus::kCancelled;
+      end.flags |= kResultCancelled | kResultTruncated;
+      break;
+    }
+  }
+  end.wall_us = static_cast<std::uint64_t>(wall_s * 1e6);
+  // The same concatenate-then-sort-by-id merge ShardedStore::search_any
+  // performs (ids are unique across shards), so a coordinator gluing
+  // per-node hit streams back together reproduces the single-node byte
+  // order exactly.
+  std::sort(hits.begin(), hits.end(),
+            [](const ShardHit& a, const ShardHit& b) { return a.id < b.id; });
+  return hits;
+}
+
+std::uint64_t NetServer::served_records() const {
+  if (options_.shard_set == nullptr) {
+    return engine_->server().record_count();
+  }
+  std::uint64_t total = 0;
+  for (const auto& entry : options_.shard_set->shards) {
+    total += entry.second->server().record_count();
+  }
+  return total;
 }
 
 // --- write path -------------------------------------------------------------

@@ -43,9 +43,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "auth/authority.h"
@@ -61,6 +63,28 @@ namespace apks::net {
 inline constexpr const char* kSiteAccept = "net.accept";
 inline constexpr const char* kSiteRead = "net.read";
 inline constexpr const char* kSiteWrite = "net.write";
+
+// Cluster node role (DESIGN.md §5i): the shards this server instance owns
+// under one ClusterMap, each backed by its own SearchEngine over exactly
+// that shard's records. A server constructed with a ShardEngineSet answers
+// v2 kShardSearch requests shard-by-shard (hits keep their record ids so a
+// coordinator can k-way merge across nodes) and serves legacy v1 kSearch
+// sessions by scanning every owned shard and merging locally by id — old
+// clients keep working against a cluster node, they just see the node's
+// subset of the store. Engines and the set itself must outlive the server.
+struct ShardEngineSet {
+  std::uint64_t map_version = 0;
+  std::uint32_t total_shards = 0;
+  std::vector<std::pair<std::uint32_t, const SearchEngine*>> shards;
+
+  [[nodiscard]] const SearchEngine* engine_for(
+      std::uint32_t shard) const noexcept {
+    for (const auto& [owned, engine] : shards) {
+      if (owned == shard) return engine;
+    }
+    return nullptr;
+  }
+};
 
 struct NetServerOptions {
   std::string host = "127.0.0.1";
@@ -82,6 +106,11 @@ struct NetServerOptions {
   // Refuse new connections beyond this many concurrently open (0 =
   // unlimited); refused connections get a kOverloaded status frame.
   std::size_t max_connections = 0;
+  // Cluster node role: when set, this server owns the listed shards and
+  // serves kShardSearch (see ShardEngineSet above). The ctor engine is
+  // still the source of the session backend/verifier and should be one of
+  // the set's engines. nullptr = plain single-store server.
+  const ShardEngineSet* shard_set = nullptr;
 };
 
 // Lifetime counters, snapshot under one lock (same contract as
@@ -153,6 +182,11 @@ class NetServer {
     std::weak_ptr<Conn> conn;
     SearchMsg request;
     AnyQuery query;  // copied at dispatch: an auth swap never races a scan
+    // kShardSearch jobs: reply with ShardChunkMsg frames (id-carrying hits)
+    // for exactly these shards. Legacy jobs on a shard-backed server scan
+    // every owned shard instead and reply with plain ResultChunkMsg frames.
+    bool shard_scoped = false;
+    std::vector<std::uint32_t> shards;
   };
 
   void io_thread_main(std::size_t loop_index);
@@ -167,7 +201,19 @@ class NetServer {
                    const AuthMsg& msg);
   void handle_search(IoLoop& loop, const std::shared_ptr<Conn>& conn,
                      const SearchMsg& msg);
+  void handle_shard_search(IoLoop& loop, const std::shared_ptr<Conn>& conn,
+                           const ShardSearchMsg& msg);
   void run_search_job(const SearchJob& job);
+  // Scan the given owned shards' engines sequentially under one deadline
+  // budget, merging hits ascending by record id (the same
+  // concatenate-then-sort a single-node ShardedStore scan performs). Fills
+  // `end` with the aggregated outcome; throws what the engines throw.
+  [[nodiscard]] std::vector<ShardHit> scan_shards(
+      std::span<const std::uint32_t> shards, const AnyQuery& query,
+      const ServeControl& control, ResultEndMsg& end) const;
+  // Total records across the serving engines (summed over owned shards for
+  // a shard-backed server) — the hello ack's record count.
+  [[nodiscard]] std::uint64_t served_records() const;
 
   // Enqueue an encoded frame on the connection's write queue and try to
   // flush (loop thread only).

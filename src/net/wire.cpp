@@ -13,7 +13,7 @@ namespace {
 // protocol error at parse time.
 bool known_type(std::uint8_t t) noexcept {
   return t >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         t <= static_cast<std::uint8_t>(MsgType::kStatus);
+         t <= static_cast<std::uint8_t>(MsgType::kShardChunk);
 }
 
 WireStatus checked_status(std::uint8_t v) {
@@ -296,6 +296,70 @@ StatusMsg StatusMsg::decode(std::span<const std::uint8_t> body) {
   m.status = checked_status(r.u8());
   m.message = r.str();
   if (!r.done()) throw std::invalid_argument("wire: status trailing bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> ShardSearchMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kShardSearch);
+  w.u64(request_id);
+  w.u64(deadline_ms);
+  w.u8(partial_ok ? 1 : 0);
+  w.u64(map_version);
+  w.u32(total_shards);
+  w.u32(static_cast<std::uint32_t>(shards.size()));
+  for (const std::uint32_t s : shards) w.u32(s);
+  return finish(w);
+}
+
+ShardSearchMsg ShardSearchMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  ShardSearchMsg m;
+  m.request_id = r.u64();
+  m.deadline_ms = r.u64();
+  m.partial_ok = r.u8() != 0;
+  m.map_version = r.u64();
+  m.total_shards = r.u32();
+  const std::uint32_t count = r.u32();
+  // Hostile-count validation: every shard index is exactly 4 bytes.
+  if (count > r.remaining() / 4) {
+    throw std::invalid_argument("wire: shard-search count exceeds payload");
+  }
+  m.shards.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) m.shards.push_back(r.u32());
+  if (!r.done()) {
+    throw std::invalid_argument("wire: shard-search trailing bytes");
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> ShardChunkMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kShardChunk);
+  w.u64(request_id);
+  w.u32(static_cast<std::uint32_t>(hits.size()));
+  for (const auto& hit : hits) {
+    w.u64(hit.id);
+    w.str(hit.ref);
+  }
+  return finish(w);
+}
+
+ShardChunkMsg ShardChunkMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  ShardChunkMsg m;
+  m.request_id = r.u64();
+  const std::uint32_t count = r.u32();
+  // Hostile-count validation: every hit needs its id plus a length prefix.
+  if (count > r.remaining() / 12) {
+    throw std::invalid_argument("wire: shard chunk count exceeds payload");
+  }
+  m.hits.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ShardHit hit;
+    hit.id = r.u64();
+    hit.ref = r.str();
+    m.hits.push_back(std::move(hit));
+  }
+  if (!r.done()) throw std::invalid_argument("wire: shard chunk trailing bytes");
   return m;
 }
 

@@ -44,7 +44,12 @@
 namespace apks::net {
 
 inline constexpr char kNetMagic[8] = {'A', 'P', 'K', 'S', 'N', 'E', 'T', '1'};
-inline constexpr std::uint8_t kNetVersion = 1;
+// Version 2 adds the shard-scoped search messages of cluster mode
+// (kShardSearch / kShardChunk). The server still accepts version-1 hellos —
+// a session negotiates the client's version and v2-only messages on a v1
+// session are a kBadRequest, so pre-cluster clients keep working unchanged.
+inline constexpr std::uint8_t kNetVersion = 2;
+inline constexpr std::uint8_t kNetVersionMin = 1;
 inline constexpr std::size_t kWireFrameHeaderSize = 4 + 4;
 // One cap for disk frames and wire frames: no legitimate message (a query
 // key, a chunk of doc_refs) comes anywhere near it.
@@ -83,6 +88,9 @@ enum class MsgType : std::uint8_t {
   kResultChunk = 6,  // server -> client: request id, matched doc_refs
   kResultEnd = 7,    // server -> client: request id, status, stats
   kStatus = 8,       // server -> client: session-level error, then close
+  // Version-2 cluster messages (coordinator <-> shard-owning node).
+  kShardSearch = 9,  // client -> server: shard set + cluster-map version
+  kShardChunk = 10,  // server -> client: request id, matched (id, ref) pairs
 };
 
 // --- frame codec ------------------------------------------------------------
@@ -213,6 +221,47 @@ struct StatusMsg {
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] static StatusMsg decode(std::span<const std::uint8_t> body);
+};
+
+// --- version-2 cluster messages ---------------------------------------------
+// A coordinator scatters a search over shard-owning nodes. Unlike kSearch,
+// the response hits carry the record *id* next to every doc_ref: ids are
+// the merge key that makes the coordinator's k-way merge byte-identical to
+// a single-node ShardedStore scan (DESIGN.md §5i).
+
+// One matched record of a shard-scoped search.
+struct ShardHit {
+  std::uint64_t id = 0;
+  std::string ref;
+
+  friend bool operator==(const ShardHit&, const ShardHit&) = default;
+};
+
+struct ShardSearchMsg {
+  std::uint64_t request_id = 0;
+  std::uint64_t deadline_ms = 0;  // 0 = server default
+  bool partial_ok = false;
+  // Placement agreement: the node refuses the request (kBadRequest,
+  // "stale cluster map") unless both match its own ClusterMap — a stale
+  // coordinator can never harvest silently wrong shard routing.
+  std::uint64_t map_version = 0;
+  std::uint32_t total_shards = 0;
+  std::vector<std::uint32_t> shards;  // the shards this node must scan
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static ShardSearchMsg decode(
+      std::span<const std::uint8_t> body);
+};
+
+// Response stream of a kShardSearch: zero or more kShardChunk frames (hits
+// ascending by id) terminated by the same kResultEnd as a plain search.
+struct ShardChunkMsg {
+  std::uint64_t request_id = 0;
+  std::vector<ShardHit> hits;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static ShardChunkMsg decode(
+      std::span<const std::uint8_t> body);
 };
 
 // Splits a payload delivered by FrameReassembler into (type, body). Throws

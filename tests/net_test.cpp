@@ -333,10 +333,19 @@ std::vector<std::vector<std::uint8_t>> sample_payloads() {
   net::SearchMsg search;
   search.request_id = 7;
   net::StatusMsg status{WireStatus::kShutdown, "bye"};
+  net::ShardSearchMsg shard_search;
+  shard_search.request_id = 7;
+  shard_search.map_version = 3;
+  shard_search.total_shards = 4;
+  shard_search.shards = {0, 2};
+  net::ShardChunkMsg shard_chunk;
+  shard_chunk.request_id = 7;
+  shard_chunk.hits = {{1, "alpha"}, {5, "beta"}, {9, "gamma"}};
   return {net::HelloMsg{}.encode(),  net::HelloAckMsg{}.encode(),
           auth.encode(),             auth_ack.encode(),
           search.encode(),           chunk.encode(),
-          end.encode(),              status.encode()};
+          end.encode(),              status.encode(),
+          shard_search.encode(),     shard_chunk.encode()};
 }
 
 // Decoding a payload must either succeed or throw std::invalid_argument /
@@ -364,6 +373,12 @@ void decode_hostile(std::span<const std::uint8_t> payload) {
         break;
       case net::MsgType::kStatus:
         (void)net::StatusMsg::decode(frame.body);
+        break;
+      case net::MsgType::kShardSearch:
+        (void)net::ShardSearchMsg::decode(frame.body);
+        break;
+      case net::MsgType::kShardChunk:
+        (void)net::ShardChunkMsg::decode(frame.body);
         break;
     }
   } catch (const std::invalid_argument&) {

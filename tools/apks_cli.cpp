@@ -72,6 +72,8 @@
 
 #include "cloud/proxy.h"
 #include "cloud/proxy_pool.h"
+#include "cluster/coordinator.h"
+#include "cluster/node.h"
 #include "common/failpoint.h"
 #include "cloud/search_engine.h"
 #include "cloud/server.h"
@@ -143,6 +145,11 @@ struct Args {
   std::uint64_t grace_ms = 2000;      // serve --listen: shutdown drain budget
   std::uint64_t stats_interval_s = 10;  // serve --listen: JSON stats cadence
   bool partial_ok = false;  // rsearch: accept prefix results on deadline
+  std::string nodes;        // cluster: NAME=HOST:PORT[,NAME=HOST:PORT...]
+  std::size_t replicas = 2;     // cluster: replica factor R
+  std::size_t node_index = 0;   // cluster-serve: which map entry is me
+  std::uint64_t map_version = 1;  // cluster: map epoch (bump on reshape)
+  bool cluster = false;           // rsearch: scatter via the coordinator
   std::vector<std::string> positional;
 };
 
@@ -158,8 +165,8 @@ Args parse_args(int argc, char** argv) {
   Args a;
   if (argc < 2) {
     die("usage: apks_cli <setup|genindex|gencap|delegate|search|batchsearch"
-        "|ingest|serve|rsearch|compact> [--scheme apks|apks+|mrqed] "
-        "[options]");
+        "|ingest|serve|rsearch|cluster-serve|compact> "
+        "[--scheme apks|apks+|mrqed] [options]");
   }
   a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -218,6 +225,18 @@ Args parse_args(int argc, char** argv) {
       a.stats_interval_s = parse_count(arg, next());
     } else if (arg == "--partial-ok") {
       a.partial_ok = true;
+    } else if (arg == "--nodes") {
+      a.nodes = next();
+    } else if (arg == "--replicas") {
+      a.replicas = parse_count(arg, next());
+      if (a.replicas == 0) die("--replicas must be at least 1");
+    } else if (arg == "--node-index") {
+      a.node_index = parse_count(arg, next());
+    } else if (arg == "--map-version") {
+      a.map_version = parse_count(arg, next());
+      if (a.map_version == 0) die("--map-version must be at least 1");
+    } else if (arg == "--cluster") {
+      a.cluster = true;
     }
     else if (arg == "--query") a.query = next();
     else if (arg == "--values") a.values = next();
@@ -774,7 +793,145 @@ int serve_listen(const SearchEngine& engine, const Args& a) {
   return 0;
 }
 
+// --- cluster serving ------------------------------------------------------
+
+// --nodes NAME=HOST:PORT[,NAME=HOST:PORT...] -> the shared cluster map.
+// Every node and every coordinator must be launched with the same --nodes,
+// --replicas, --shards and --map-version: placement is derived from those
+// four inputs, so agreeing on them IS agreeing on who owns what.
+cluster::ClusterMap parse_cluster_map(const Args& a,
+                                      std::uint32_t total_shards) {
+  if (a.nodes.empty()) {
+    die(a.command + " needs --nodes NAME=HOST:PORT[,NAME=HOST:PORT...]");
+  }
+  std::vector<cluster::NodeInfo> nodes;
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t comma = a.nodes.find(',', pos);
+    const std::string item = a.nodes.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? comma : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      die("--nodes: expected NAME=HOST:PORT, got '" + item + "'");
+    }
+    const auto [host, port] = parse_hostport(item.substr(eq + 1));
+    nodes.push_back({item.substr(0, eq), host, port});
+  }
+  try {
+    return cluster::ClusterMap(std::move(nodes), total_shards,
+                               static_cast<std::uint32_t>(a.replicas),
+                               a.map_version);
+  } catch (const std::exception& ex) {
+    die(std::string("--nodes: ") + ex.what());
+  }
+}
+
+// cluster-serve: run ONE node of the scale-out tier. The store's on-disk
+// shard partition (id % --shards) is the cluster's shard space, so every
+// node opens the same store directory (shared filesystem or a copy) and
+// loads only the shards the map assigns to it.
+int cmd_cluster_serve(const Runtime& rt, const Args& a) {
+  const auto store_ptr = open_store(rt, a);
+  ShardedStore& store = *store_ptr;
+  const cluster::ClusterMap map = parse_cluster_map(a, store.shard_count());
+  if (a.node_index >= map.nodes().size()) {
+    die("--node-index " + std::to_string(a.node_index) + " out of range (" +
+        std::to_string(map.nodes().size()) + " nodes)");
+  }
+  const std::uint32_t self = static_cast<std::uint32_t>(a.node_index);
+
+  cluster::ClusterNodeOptions opts;
+  opts.engine.threads = a.threads;
+  opts.engine.deadline_ms = a.deadline_ms;
+  opts.engine.max_inflight = a.max_inflight;
+  // Bind where the map says coordinators will dial us, unless --listen
+  // overrides (e.g. bind 0.0.0.0 while the map advertises a routable IP).
+  opts.net.host = map.nodes()[self].host;
+  opts.net.port = map.nodes()[self].port;
+  if (!a.listen.empty()) {
+    const auto [host, port] = parse_hostport(a.listen);
+    opts.net.host = host;
+    opts.net.port = port;
+  }
+  // The internal hop re-sends the coordinator-verified query unchecked;
+  // cluster nodes are the trusted tier that accepts it.
+  opts.net.allow_unchecked = true;
+
+  cluster::ClusterNode node(*rt.backend,
+                            CapabilityVerifier(*rt.e, IbsPublicParams{}),
+                            store, map, self, std::move(opts));
+  std::string shard_list;
+  for (const std::uint32_t shard : node.owned_shards()) {
+    shard_list += (shard_list.empty() ? "" : ",") + std::to_string(shard);
+  }
+  std::printf("node '%s' (%zu of %zu) listening on %s:%u; owns shards [%s] "
+              "(%" PRIu64 " of %zu records), map v%" PRIu64 " R=%u; "
+              "SIGINT/SIGTERM drains and exits\n",
+              map.nodes()[self].name.c_str(), a.node_index + 1,
+              map.nodes().size(), node.server().host().c_str(), node.port(),
+              shard_list.c_str(), node.record_count(), store.record_count(),
+              map.version(), map.replicas());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_shutdown_signal);
+  std::signal(SIGTERM, on_shutdown_signal);
+  const auto interval = std::chrono::seconds(
+      a.stats_interval_s == 0 ? 10 : a.stats_interval_s);
+  auto next_stats = std::chrono::steady_clock::now() + interval;
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (std::chrono::steady_clock::now() >= next_stats) {
+      const net::NetServerStats ns = node.server().stats();
+      std::printf("{\"stats\":\"apks_cluster_node\",\"connections\":%zu"
+                  ",\"searches_ok\":%" PRIu64 ",\"searches_error\":%" PRIu64
+                  ",\"frames_in\":%" PRIu64 ",\"frames_out\":%" PRIu64 "}\n",
+                  node.server().open_connections(), ns.searches_ok,
+                  ns.searches_error, ns.frames_in, ns.frames_out);
+      std::fflush(stdout);
+      next_stats = std::chrono::steady_clock::now() + interval;
+    }
+  }
+  std::printf("shutdown signal received; draining (grace %" PRIu64 " ms)\n",
+              a.grace_ms);
+  std::fflush(stdout);
+  node.stop(a.grace_ms);
+  return 0;
+}
+
+// rsearch --cluster: scatter one query across the node fleet and merge.
+int cmd_rsearch_cluster(const Runtime& rt, const Args& a) {
+  if (a.cap.empty()) die("rsearch --cluster needs --cap FILE");
+  const cluster::ClusterMap map =
+      parse_cluster_map(a, static_cast<std::uint32_t>(a.shards));
+  const AnyQuery query = load_query_file(rt, a.cap);
+
+  cluster::Coordinator coord(*rt.backend,
+                             CapabilityVerifier(*rt.e, IbsPublicParams{}),
+                             map);
+  ServeControl control;
+  control.deadline_ms = a.deadline_ms;
+  control.partial_ok = a.partial_ok;
+  cluster::ClusterSearchStats stats;
+  const std::vector<std::string> refs =
+      coord.search_any(query, &stats, control);
+  for (const auto& ref : refs) std::printf("  %s\n", ref.c_str());
+  std::printf("%zu matched, %" PRIu64 " scanned across %zu/%u shards "
+              "(%zu rpcs, %zu retries, %zu failovers)\n",
+              refs.size(), stats.scanned, stats.shards_ok,
+              map.total_shards(), stats.rpcs, stats.retries, stats.failovers);
+  if (stats.partial) {
+    std::printf("PARTIAL: %zu shard(s) unavailable%s; results cover the "
+                "answering shards only\n",
+                stats.shards_failed,
+                stats.deadline_exceeded ? " or out of budget" : "");
+  }
+  return stats.partial ? 2 : 0;
+}
+
 int cmd_rsearch(const Runtime& rt, const Args& a) {
+  if (a.cluster) return cmd_rsearch_cluster(rt, a);
   if (a.connect.empty() || a.cap.empty()) {
     die("rsearch needs --connect HOST:PORT and --cap FILE");
   }
@@ -925,6 +1082,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "rsearch") {
       return cmd_rsearch(rt, args);
+    }
+    if (args.command == "cluster-serve") {
+      return cmd_cluster_serve(rt, args);
     }
     if (args.command == "compact") {
       return cmd_compact(rt, args);

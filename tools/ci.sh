@@ -16,6 +16,8 @@
 #   tools/ci.sh --pairing  # UBSan pairing/SIMD tests + pairing bench artifact
 #   tools/ci.sh --chaos    # ASan fault-injection suite + fault bench artifact
 #   tools/ci.sh --serving  # network layer: TSan + ASan net tests + bench artifact
+#   tools/ci.sh --cluster  # cluster tier: ASan multi-node loopback suite +
+#                          #   cluster chaos filters + bench artifact
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +29,7 @@ STAGE=all
 [[ "${1:-}" == "--pairing" ]] && STAGE=pairing
 [[ "${1:-}" == "--chaos" ]] && STAGE=chaos
 [[ "${1:-}" == "--serving" ]] && STAGE=serving
+[[ "${1:-}" == "--cluster" ]] && STAGE=cluster
 
 # configure DIR [extra cmake args...]
 #
@@ -157,5 +160,20 @@ if [[ $STAGE == all || $STAGE == serving ]]; then
   cmake --build build -j "$JOBS" --target bench_serving
   ./build/bench/bench_serving --smoke --json=BENCH_serving.json
   [[ -s BENCH_serving.json ]] || { echo "BENCH_serving.json missing/empty"; exit 1; }
+fi
+if [[ $STAGE == all || $STAGE == cluster ]]; then
+  echo "=== cluster: ASan multi-node loopback suite (placement + scatter-gather) ==="
+  configure build-asan -DAPKS_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j "$JOBS" --target cluster_test
+  echo "--- cluster_test (ASan) ---"
+  ./build-asan/tests/cluster_test
+  echo "--- cluster_test (ASan, chaos drills) ---"
+  ./build-asan/tests/cluster_test --gtest_filter='*ClusterChaos*'
+
+  echo "=== bench smoke: cluster scatter-gather + JSON artifact ==="
+  configure build
+  cmake --build build -j "$JOBS" --target bench_cluster
+  ./build/bench/bench_cluster --smoke --json=BENCH_cluster.json
+  [[ -s BENCH_cluster.json ]] || { echo "BENCH_cluster.json missing/empty"; exit 1; }
 fi
 echo "CI OK"
