@@ -24,13 +24,20 @@
 //            is where scatter-width itself shows: QPS scales ~Nx from
 //            1 to 3 nodes even on one core, because stalls overlap.
 //
-// A final failover row kills the primary of shard 0 mid-fleet and repeats
-// the load: every search still returns the full (byte-identical) result
-// via replicas, and the row reports the failover rate the breaker settles
+// A failover row kills the primary of shard 0 mid-fleet and repeats the
+// load: every search still returns the full (byte-identical) result via
+// replicas, and the row reports the failover rate the breaker settles
 // into.
 //
+// A final pair of slowtail rows stalls one node's scan per search
+// (engine.scan_block kDelay) and runs the load with hedged reads off,
+// then on: hedging races the shards' next replica after the node's
+// latency quantile, so the on-row's p99 drops from ~the stall to ~the
+// hedge delay while total RPCs stay within primaries + hedge budget.
+//
 // JSON artifact (BENCH_cluster.json): one row per (nodes, coordinators)
-// plus the failover row, each with p50/p99 latency (ms) and QPS.
+// plus the failover and slowtail rows, each with p50/p99 latency (ms)
+// and QPS.
 #include <unistd.h>
 
 #include <algorithm>
@@ -80,6 +87,8 @@ struct LoadStats {
   std::uint64_t rpcs = 0;
   std::uint64_t retries = 0;
   std::uint64_t failovers = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
 
   void finish() { std::sort(latencies_ms.begin(), latencies_ms.end()); }
   [[nodiscard]] double qps() const {
@@ -179,6 +188,71 @@ LoadStats closed_loop(const ApksBackend& backend, const Pairing& pairing,
                 "result\n");
   }
   return total;
+}
+
+// The hedged-read tail row: one coordinator, every search has exactly ONE
+// node scan stalled `stall_ms` server-side (engine.scan_block kDelay,
+// re-armed with max_hits=1 per search — the first node to reach a block
+// eats the delay, the rest run clean). The stall leaves the primary RPC
+// parked in recv — exactly the slow-replica shape hedging is for, and a
+// wait abort() can interrupt. With hedging off the stall IS the search's
+// latency; with hedging on the coordinator races the shards' next
+// replica after the node's latency quantile, the hedge wins, the stuck
+// loser is aborted, and p99 collapses to ~(hedge delay + scan) while the
+// per-search RPC count stays within primaries + hedge budget.
+LoadStats slowtail_loop(const ApksBackend& backend, const Pairing& pairing,
+                        const cluster::ClusterMap& map, const AnyQuery& query,
+                        std::size_t iters, std::uint32_t stall_ms,
+                        std::uint64_t hedge_delay_ms,
+                        const std::vector<std::string>& expected) {
+  const bool hedge_on = hedge_delay_ms != 0;
+  cluster::CoordinatorOptions copts;
+  if (hedge_on) {
+    copts.hedge.enabled = true;
+    // The delay window sits ABOVE a healthy scan (calibrated by the
+    // caller) and far below the stall: healthy primaries finish before
+    // their hedge deadline (no budget burned on them), the stalled one
+    // trips it. The max clamp keeps the adaptive quantile from chasing
+    // the very tail the hedges exist to cut once stall samples enter
+    // the latency ring.
+    copts.hedge.initial_delay_ms = hedge_delay_ms;
+    copts.hedge.min_delay_ms = hedge_delay_ms;
+    copts.hedge.max_delay_ms = hedge_delay_ms * 2;
+    copts.hedge.budget = 2;
+  }
+  cluster::Coordinator coord(
+      backend, CapabilityVerifier(pairing, IbsPublicParams{}), map,
+      std::move(copts));
+  (void)coord.search_any(query);  // warmup: dial + session auth, no stall
+  LoadStats s;
+  bool exact = true;
+  Timer loop;
+  for (std::size_t i = 0; i < iters; ++i) {
+    FailpointPolicy slow;
+    slow.action = FailAction::kDelay;
+    slow.delay_ms = stall_ms;
+    slow.max_hits = 1;
+    Failpoints::instance().set("engine.scan_block", slow);
+    Timer t;
+    cluster::ClusterSearchStats stats;
+    const std::vector<std::string> refs = coord.search_any(query, &stats);
+    s.latencies_ms.push_back(t.seconds() * 1e3);
+    ++s.searches;
+    s.rpcs += stats.rpcs;
+    s.retries += stats.retries;
+    s.failovers += stats.failovers;
+    s.hedges += stats.hedges;
+    s.hedge_wins += stats.hedge_wins;
+    exact = exact && refs == expected;
+  }
+  Failpoints::instance().clear_all();
+  s.wall_s = loop.seconds();
+  s.finish();
+  if (!exact) {
+    std::printf("  WARNING: a hedged cluster search diverged from the "
+                "single-node result\n");
+  }
+  return s;
 }
 
 void print_row(const char* mode, std::size_t nodes, std::size_t coords,
@@ -300,6 +374,86 @@ int main(int argc, char** argv) {
       std::printf("  note: expected failovers > 0 with the primary down\n");
     }
     fleet.stop();
+  }
+
+  // --- hedged-read rows: a slow replica's tail, hedge off vs on ------------
+  // Every search stalls exactly one primary RPC; see slowtail_loop. The
+  // off/on pair shares the fleet, so the p99 delta is the hedging.
+  {
+    const std::size_t kTailIters = args.smoke ? 6 : 16;
+    Fleet fleet = start_fleet(backend, pairing, store, 3, /*replicas=*/2);
+
+    // Calibrate the hedge deadline off THIS machine's healthy scatter
+    // latency (fixed numbers would hedge clean primaries on a slow box
+    // and never fire on a fast one): delay = 2x a healthy search, stall
+    // covers the delay with a wide margin so the p99 contrast is the
+    // hedging, not the calibration.
+    double healthy_ms = 0;
+    {
+      cluster::Coordinator cal(
+          backend, CapabilityVerifier(pairing, IbsPublicParams{}), fleet.map);
+      (void)cal.search_any(query);  // warmup: dial + session auth
+      constexpr std::size_t kCalIters = 3;
+      Timer t;
+      for (std::size_t i = 0; i < kCalIters; ++i) (void)cal.search_any(query);
+      healthy_ms = t.seconds() * 1e3 / kCalIters;
+    }
+    const auto hedge_delay_ms =
+        std::max<std::uint64_t>(30, static_cast<std::uint64_t>(2 * healthy_ms));
+    const auto stall_ms = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(8 * hedge_delay_ms, 300));
+    std::printf("  slowtail calibration: healthy=%.2f ms -> hedge delay %"
+                PRIu64 " ms, stall %u ms\n",
+                healthy_ms, hedge_delay_ms, stall_ms);
+
+    const LoadStats off =
+        slowtail_loop(backend, pairing, fleet.map, query, kTailIters,
+                      stall_ms, /*hedge_delay_ms=*/0, expected);
+    const LoadStats on =
+        slowtail_loop(backend, pairing, fleet.map, query, kTailIters,
+                      stall_ms, hedge_delay_ms, expected);
+    fleet.stop();
+    for (const auto* pair : {&off, &on}) {
+      const LoadStats& s = *pair;
+      const bool hedged = pair == &on;
+      std::printf("  %-8s nodes=3 coords=1  searches=%4" PRIu64
+                  "  qps=%7.2f  p50=%7.2f ms  p99=%7.2f ms"
+                  "  rpcs=%" PRIu64 " hedges=%" PRIu64 " wins=%" PRIu64 "\n",
+                  hedged ? "hedge-on" : "hedge-off", s.searches, s.qps(),
+                  percentile(s.latencies_ms, 0.50),
+                  percentile(s.latencies_ms, 0.99), s.rpcs, s.hedges,
+                  s.hedge_wins);
+      report.add_row({{"mode", "slowtail"},
+                      {"nodes", std::size_t{3}},
+                      {"coordinators", std::size_t{1}},
+                      {"hedge", hedged ? std::size_t{1} : std::size_t{0}},
+                      {"stall_ms", static_cast<std::size_t>(stall_ms)},
+                      {"searches", static_cast<std::size_t>(s.searches)},
+                      {"qps", s.qps()},
+                      {"p50_ms", percentile(s.latencies_ms, 0.50)},
+                      {"p99_ms", percentile(s.latencies_ms, 0.99)},
+                      {"rpcs", static_cast<std::size_t>(s.rpcs)},
+                      {"hedges", static_cast<std::size_t>(s.hedges)},
+                      {"hedge_wins", static_cast<std::size_t>(s.hedge_wins)}});
+    }
+    const double p99_off = percentile(off.latencies_ms, 0.99);
+    const double p99_on = percentile(on.latencies_ms, 0.99);
+    // The hedge budget bounds speculative extras: primaries (3 nodes) plus
+    // at most `budget` hedges per search.
+    const std::uint64_t rpc_cap = on.searches * (3 + 2);
+    if (p99_on >= p99_off) {
+      std::printf("  note: expected hedging to cut the slow-replica p99 "
+                  "(off %.2f ms, on %.2f ms)\n", p99_off, p99_on);
+    }
+    if (on.rpcs > rpc_cap) {
+      std::printf("  note: hedged RPCs (%" PRIu64 ") exceed the per-search "
+                  "budget cap (%" PRIu64 ")\n", on.rpcs, rpc_cap);
+    }
+    std::printf("  slow-replica tail: hedging cut p99 %.2f -> %.2f ms "
+                "(%.1fx) with %" PRIu64 " extra rpcs over %" PRIu64
+                " searches\n",
+                p99_off, p99_on, p99_on > 0 ? p99_off / p99_on : 0.0,
+                on.rpcs - off.rpcs, on.searches);
   }
 
   if (args.json) (void)report.write(args.json_path);

@@ -4,34 +4,93 @@ namespace apks {
 
 CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {}
 
+CircuitBreaker::CircuitBreaker(const CircuitBreaker& other) {
+  std::lock_guard lk(other.mu_);
+  options_ = other.options_;
+  consecutive_ = other.consecutive_;
+  open_ = other.open_;
+  open_until_ = other.open_until_;
+  jitter_state_ = other.jitter_state_;
+}
+
+CircuitBreaker& CircuitBreaker::operator=(const CircuitBreaker& other) {
+  if (this == &other) return *this;
+  // Consistent order is unnecessary here (no call site copies breakers in
+  // both directions concurrently) but scoped_lock is cheap and removes the
+  // question.
+  std::scoped_lock lk(mu_, other.mu_);
+  options_ = other.options_;
+  consecutive_ = other.consecutive_;
+  open_ = other.open_;
+  open_until_ = other.open_until_;
+  jitter_state_ = other.jitter_state_;
+  return *this;
+}
+
+void CircuitBreaker::seed_jitter(std::uint64_t seed) noexcept {
+  std::lock_guard lk(mu_);
+  jitter_state_ = seed * 0x9e3779b97f4a7c15ull + 0xbf58476d1ce4e5b9ull;
+}
+
+std::uint64_t CircuitBreaker::cooldown_span_locked() noexcept {
+  std::uint64_t span = options_.cooldown_ops;
+  if (options_.cooldown_jitter_ops != 0) {
+    // Deterministic per-instance LCG (Knuth MMIX constants); the high bits
+    // carry the quality.
+    jitter_state_ =
+        jitter_state_ * 6364136223846793005ull + 1442695040888963407ull;
+    span += (jitter_state_ >> 33) % (options_.cooldown_jitter_ops + 1);
+  }
+  return span;
+}
+
 CircuitBreaker::Gate CircuitBreaker::admit(std::uint64_t now_op)
     const noexcept {
+  std::lock_guard lk(mu_);
   if (!open_) return Gate::kClosed;
   return now_op < open_until_ ? Gate::kSkip : Gate::kProbe;
 }
 
 void CircuitBreaker::on_success() noexcept {
+  std::lock_guard lk(mu_);
   consecutive_ = 0;
   open_ = false;  // a successful probe closes the breaker
 }
 
 bool CircuitBreaker::on_failure(std::uint64_t now_op) noexcept {
+  std::lock_guard lk(mu_);
   ++consecutive_;
   if (open_) {
     // Failed half-open probe: start a fresh cooldown window.
-    open_until_ = now_op + options_.cooldown_ops;
+    open_until_ = now_op + cooldown_span_locked();
     return false;
   }
   if (options_.threshold != 0 && consecutive_ >= options_.threshold) {
     open_ = true;
-    open_until_ = now_op + options_.cooldown_ops;
+    open_until_ = now_op + cooldown_span_locked();
     return true;
   }
   return false;
 }
 
+bool CircuitBreaker::trip(std::uint64_t now_op) noexcept {
+  std::lock_guard lk(mu_);
+  if (options_.threshold == 0) return false;  // tripping disabled
+  const bool was_open = open_;
+  open_ = true;
+  if (consecutive_ < options_.threshold) consecutive_ = options_.threshold;
+  open_until_ = now_op + cooldown_span_locked();
+  return !was_open;
+}
+
 bool CircuitBreaker::open_now(std::uint64_t now_op) const noexcept {
+  std::lock_guard lk(mu_);
   return open_ && now_op < open_until_;
+}
+
+std::size_t CircuitBreaker::consecutive_failures() const noexcept {
+  std::lock_guard lk(mu_);
+  return consecutive_;
 }
 
 }  // namespace apks

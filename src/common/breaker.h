@@ -1,6 +1,6 @@
 // CircuitBreaker — the per-endpoint failure-isolation state machine shared
 // by every failover path in the tree (the APKS+ proxy pool's replicas, the
-// cluster coordinator's shard owners).
+// cluster coordinator's shard owners, the cluster health monitor).
 //
 // The breaker counts *consecutive* failures against an endpoint; at the
 // configured threshold it opens and the endpoint is skipped for a cooldown
@@ -13,10 +13,21 @@
 // operation / per cluster search) and passes it to every decision. That
 // keeps chaos schedules deterministic — a replayed failure sequence opens,
 // skips and probes at exactly the same operations every run.
+//
+// Thread safety: every method takes an internal lock, so concurrent
+// callers (the coordinator's scatter threads plus its heartbeat thread)
+// may share one breaker without external locking. The lock protects the
+// state machine's *consistency*; callers that need a check-then-act
+// sequence to be atomic (none in the tree do — admit/on_failure are
+// independently meaningful) still need their own coordination. Copying is
+// supported (the proxy pool and coordinator build breakers into vectors);
+// a copy snapshots the source's state under its lock and gets a fresh
+// lock of its own.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 
 namespace apks {
 
@@ -26,6 +37,14 @@ struct BreakerOptions {
   std::size_t threshold = 3;
   // How many operations the breaker stays open before a half-open probe.
   std::uint64_t cooldown_ops = 4;
+  // Uniform jitter added to every cooldown window: the actual cooldown is
+  // cooldown_ops + U[0, cooldown_jitter_ops]. Breakers guarding replicas
+  // of the same endpoint otherwise open and probe in lockstep, hammering
+  // a recovering node with simultaneous probes. 0 (the default) keeps the
+  // historical deterministic schedule; the jitter stream itself is a
+  // deterministic per-instance LCG, so chaos replays stay reproducible
+  // once seeded (see seed_jitter).
+  std::uint64_t cooldown_jitter_ops = 0;
 };
 
 class CircuitBreaker {
@@ -40,6 +59,15 @@ class CircuitBreaker {
   CircuitBreaker() = default;
   explicit CircuitBreaker(BreakerOptions options);
 
+  CircuitBreaker(const CircuitBreaker& other);
+  CircuitBreaker& operator=(const CircuitBreaker& other);
+
+  // Decorrelates this instance's jitter stream from its siblings (e.g. the
+  // coordinator seeds each node's breaker with the node index). Without a
+  // distinct seed, equal-option breakers draw identical jitter and still
+  // probe in lockstep.
+  void seed_jitter(std::uint64_t seed) noexcept;
+
   [[nodiscard]] Gate admit(std::uint64_t now_op) const noexcept;
 
   // A success closes the breaker (whether or not the attempt was a probe)
@@ -52,20 +80,28 @@ class CircuitBreaker {
   // reporting a second open.
   bool on_failure(std::uint64_t now_op) noexcept;
 
+  // Force-opens the breaker at `now_op` regardless of the failure count —
+  // the failure detector calls this when heartbeats declare the endpoint
+  // dead, so requests skip it *before* one has to fail. Returns true when
+  // the breaker transitioned open (false if it was already open).
+  bool trip(std::uint64_t now_op) noexcept;
+
   // Whether the breaker is open (still cooling down) as of `now_op`. A
   // breaker whose cooldown has elapsed reports closed here — it admits a
   // probe, which is the observable health contract.
   [[nodiscard]] bool open_now(std::uint64_t now_op) const noexcept;
 
-  [[nodiscard]] std::size_t consecutive_failures() const noexcept {
-    return consecutive_;
-  }
+  [[nodiscard]] std::size_t consecutive_failures() const noexcept;
 
  private:
+  [[nodiscard]] std::uint64_t cooldown_span_locked() noexcept;
+
+  mutable std::mutex mu_;
   BreakerOptions options_{};
   std::size_t consecutive_ = 0;
   bool open_ = false;
   std::uint64_t open_until_ = 0;  // op count at which a probe is allowed
+  std::uint64_t jitter_state_ = 0x9e3779b97f4a7c15ull;
 };
 
 }  // namespace apks

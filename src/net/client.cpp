@@ -54,6 +54,7 @@ std::vector<std::uint8_t> encode_signature(const Curve& curve,
 NetClient::~NetClient() { close(); }
 
 void NetClient::close() {
+  std::lock_guard lk(lifecycle_mu_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -323,6 +324,41 @@ ShardRemoteResult NetClient::shard_search(
                            "net: unexpected frame mid-search");
     }
   }
+}
+
+PongMsg NetClient::ping() {
+  PingMsg msg;
+  msg.seq = next_request_id_++;
+  send_frame(msg.encode());
+  const auto payload = recv_frame();
+  const ParsedFrame frame = parse_frame(payload);
+  if (frame.type == MsgType::kStatus) throw_status(StatusMsg::decode(frame.body));
+  if (frame.type != MsgType::kPong) {
+    throw ServingError(ErrorCode::kCorrupt, "net: expected pong");
+  }
+  const PongMsg pong = PongMsg::decode(frame.body);
+  if (pong.seq != msg.seq) {
+    throw ServingError(ErrorCode::kCorrupt, "net: pong for unknown ping");
+  }
+  return pong;
+}
+
+MapUpdateAckMsg NetClient::push_map(std::span<const std::uint8_t> map_bytes) {
+  MapUpdateMsg msg;
+  msg.map_bytes.assign(map_bytes.begin(), map_bytes.end());
+  send_frame(msg.encode());
+  const auto payload = recv_frame();
+  const ParsedFrame frame = parse_frame(payload);
+  if (frame.type == MsgType::kStatus) throw_status(StatusMsg::decode(frame.body));
+  if (frame.type != MsgType::kMapUpdateAck) {
+    throw ServingError(ErrorCode::kCorrupt, "net: expected map-update-ack");
+  }
+  return MapUpdateAckMsg::decode(frame.body);
+}
+
+void NetClient::abort() noexcept {
+  std::lock_guard lk(lifecycle_mu_);
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
 }
 
 }  // namespace apks::net

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -107,6 +108,26 @@ class NetClient {
                                  std::uint64_t deadline_ms = 0,
                                  bool partial_ok = false);
 
+  // Heartbeat round-trip (v3 session): sends kPing, blocks for the kPong.
+  // The pong carries the node's current map version and its in-flight job
+  // count — the health monitor's raw signal. Throws on transport failure.
+  PongMsg ping();
+
+  // Pushes a serialized ClusterMap to the node (v3 session). The node
+  // applies it iff its version is strictly newer than the node's own map
+  // and acks with its post-decision version either way; application
+  // (loading newly-assigned shards) happens on the node's worker pool, so
+  // this blocks until the handoff completed. Throws on transport failure.
+  MapUpdateAckMsg push_map(std::span<const std::uint8_t> map_bytes);
+
+  // Thread-safe cancellation hook: shuts down the socket (SHUT_RDWR)
+  // WITHOUT closing the fd, so a concurrent recv_frame in the owning
+  // thread fails fast with kIo. Only the owning thread ever closes the
+  // descriptor — abort() from another thread can never race a close() into
+  // a recycled fd. Used by the coordinator to cancel the losing side of a
+  // hedged read.
+  void abort() noexcept;
+
  private:
   void send_frame(std::span<const std::uint8_t> payload);
   // Blocks for the next complete frame payload; throws ServingError on
@@ -114,6 +135,10 @@ class NetClient {
   std::vector<std::uint8_t> recv_frame();
 
   int fd_ = -1;
+  // Serializes close() against abort(): without it, a cross-thread abort
+  // could land between ::close and a kernel fd reuse and shut down an
+  // unrelated descriptor.
+  mutable std::mutex lifecycle_mu_;
   FrameReassembler in_;
   std::uint64_t next_request_id_ = 1;
 };

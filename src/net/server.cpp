@@ -107,7 +107,8 @@ NetServer::NetServer(const SearchEngine& engine, NetServerOptions options)
     : engine_(&engine),
       verifier_(&engine.server().verifier()),
       backend_(&engine.server().backend()),
-      options_(options) {
+      options_(options),
+      shard_set_(options.shard_set) {
   if (options_.io_threads == 0) options_.io_threads = 1;
   if (options_.worker_threads == 0) options_.worker_threads = 1;
   if (options_.result_chunk_refs == 0) options_.result_chunk_refs = 256;
@@ -358,6 +359,31 @@ void NetServer::handle_payload(IoLoop& loop, const std::shared_ptr<Conn>& conn,
             handle_shard_search(loop, conn,
                                 ShardSearchMsg::decode(frame.body));
             return;
+          case MsgType::kPing: {
+            if (conn->version < 3) {
+              throw std::invalid_argument(
+                  "ping requires protocol version 3");
+            }
+            // Answered inline on the io thread, before auth: a heartbeat
+            // measures event-loop liveness, not scan backlog or session
+            // credentials.
+            const PingMsg ping = PingMsg::decode(frame.body);
+            PongMsg pong;
+            pong.seq = ping.seq;
+            const auto set = shard_set();
+            pong.map_version = set != nullptr ? set->map_version : 0;
+            pong.inflight = static_cast<std::uint32_t>(
+                inflight_jobs_.load(std::memory_order_relaxed));
+            send_frame(loop, conn, encode_frame(pong.encode()));
+            return;
+          }
+          case MsgType::kMapUpdate:
+            if (conn->version < 3) {
+              throw std::invalid_argument(
+                  "map update requires protocol version 3");
+            }
+            handle_map_update(loop, conn, MapUpdateMsg::decode(frame.body));
+            return;
           default:
             throw std::invalid_argument("unexpected message type");
         }
@@ -440,6 +466,7 @@ void NetServer::handle_search(IoLoop& loop, const std::shared_ptr<Conn>& conn,
   job.conn = conn;
   job.request = msg;
   job.query = conn->query;  // copy: a re-auth never races the scan
+  job.set = shard_set();    // snapshot: a map swap never races the scan
   {
     std::lock_guard lock(jobs_mutex_);
     if (jobs_closed_) {
@@ -470,7 +497,7 @@ void NetServer::handle_shard_search(IoLoop& loop,
     refuse(WireStatus::kShutdown, "server is draining");
     return;
   }
-  const ShardEngineSet* set = options_.shard_set;
+  const std::shared_ptr<const ShardEngineSet> set = shard_set();
   if (set == nullptr) {
     refuse(WireStatus::kBadRequest, "server does not serve shards");
     return;
@@ -506,6 +533,43 @@ void NetServer::handle_shard_search(IoLoop& loop,
   job.query = conn->query;  // copy: a re-auth never races the scan
   job.shard_scoped = true;
   job.shards = msg.shards;
+  job.set = set;  // the set the request was validated against
+  {
+    std::lock_guard lock(jobs_mutex_);
+    if (jobs_closed_) {
+      refuse(WireStatus::kShutdown, "server is draining");
+      return;
+    }
+    inflight_jobs_.fetch_add(1, std::memory_order_relaxed);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+}
+
+void NetServer::handle_map_update(IoLoop& loop,
+                                  const std::shared_ptr<Conn>& conn,
+                                  MapUpdateMsg msg) {
+  const auto refuse = [&](WireStatus status, const std::string& why) {
+    MapUpdateAckMsg ack;
+    ack.status = status;
+    const auto set = shard_set();
+    ack.version = set != nullptr ? set->map_version : 0;
+    ack.message = why;
+    send_frame(loop, conn, encode_frame(ack.encode()));
+  };
+  if (!options_.map_update_handler) {
+    refuse(WireStatus::kBadRequest, "server does not accept map updates");
+    return;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    refuse(WireStatus::kShutdown, "server is draining");
+    return;
+  }
+  // Applying a map loads shard engines from the store — worker-pool work.
+  SearchJob job;
+  job.conn = conn;
+  job.map_update = true;
+  job.map_bytes = std::move(msg.map_bytes);
   {
     std::lock_guard lock(jobs_mutex_);
     if (jobs_closed_) {
@@ -530,10 +594,35 @@ void NetServer::worker_thread_main() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
-    run_search_job(job);
+    if (job.map_update) {
+      run_map_update_job(job);
+    } else {
+      run_search_job(job);
+    }
     inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
     drain_cv_.notify_all();
   }
+}
+
+void NetServer::run_map_update_job(const SearchJob& job) {
+  MapUpdateAckMsg ack;
+  try {
+    ack = options_.map_update_handler(job.map_bytes);
+  } catch (const std::exception& ex) {
+    ack.status = WireStatus::kBadRequest;
+    const auto set = shard_set();
+    ack.version = set != nullptr ? set->map_version : 0;
+    ack.message = std::string("map update failed: ") + ex.what();
+  }
+  const std::shared_ptr<Conn> conn = job.conn.lock();
+  if (conn == nullptr || conn->closed.load(std::memory_order_acquire)) return;
+  std::weak_ptr<Conn> weak = conn;
+  loops_[conn->loop]->post(
+      [this, weak, frame = encode_frame(ack.encode())]() mutable {
+        const std::shared_ptr<Conn> c = weak.lock();
+        if (c == nullptr || c->closed.load(std::memory_order_relaxed)) return;
+        send_frame(*loops_[c->loop], c, std::move(frame));
+      });
 }
 
 void NetServer::run_search_job(const SearchJob& job) {
@@ -554,7 +643,7 @@ void NetServer::run_search_job(const SearchJob& job) {
 
   ResultEndMsg end;
   end.request_id = job.request.request_id;
-  const bool sharded = options_.shard_set != nullptr;
+  const bool sharded = job.set != nullptr;
   std::vector<std::vector<std::string>> results;
   std::vector<ShardHit> hits;
   BatchMetrics metrics;
@@ -562,14 +651,16 @@ void NetServer::run_search_job(const SearchJob& job) {
     if (sharded) {
       // Shard-backed server: scan the requested shards — every owned shard
       // for a legacy kSearch session — and merge the hits by record id.
+      // Everything goes through the job's snapshot of the set, so a map
+      // swap mid-scan is invisible here.
       std::vector<std::uint32_t> shards = job.shards;
       if (!job.shard_scoped) {
         shards.clear();
-        for (const auto& entry : options_.shard_set->shards) {
+        for (const auto& entry : job.set->shards) {
           shards.push_back(entry.first);
         }
       }
-      hits = scan_shards(shards, job.query, control, end);
+      hits = scan_shards(*job.set, shards, job.query, control, end);
     } else {
       results = engine_->search_batch_unchecked_any({&job.query, 1}, &metrics,
                                                     control);
@@ -680,9 +771,9 @@ void NetServer::run_search_job(const SearchJob& job) {
 }
 
 std::vector<ShardHit> NetServer::scan_shards(
-    std::span<const std::uint32_t> shards, const AnyQuery& query,
-    const ServeControl& control, ResultEndMsg& end) const {
-  const ShardEngineSet& set = *options_.shard_set;
+    const ShardEngineSet& set, std::span<const std::uint32_t> shards,
+    const AnyQuery& query, const ServeControl& control,
+    ResultEndMsg& end) const {
   std::vector<ShardHit> hits;
   const auto t0 = std::chrono::steady_clock::now();
   double wall_s = 0.0;
@@ -740,11 +831,10 @@ std::vector<ShardHit> NetServer::scan_shards(
 }
 
 std::uint64_t NetServer::served_records() const {
-  if (options_.shard_set == nullptr) {
-    return engine_->server().record_count();
-  }
+  const auto set = shard_set();
+  if (set == nullptr) return engine_->server().record_count();
   std::uint64_t total = 0;
-  for (const auto& entry : options_.shard_set->shards) {
+  for (const auto& entry : set->shards) {
     total += entry.second->server().record_count();
   }
   return total;

@@ -71,7 +71,15 @@ inline constexpr const char* kSiteWrite = "net.write";
 // coordinator can k-way merge across nodes) and serves legacy v1 kSearch
 // sessions by scanning every owned shard and merging locally by id — old
 // clients keep working against a cluster node, they just see the node's
-// subset of the store. Engines and the set itself must outlive the server.
+// subset of the store.
+//
+// The set is held by shared_ptr and swappable at runtime (set_shard_set):
+// every search job snapshots the pointer when it is dispatched, so a live
+// map reconfiguration lets in-flight scans finish against the engines they
+// started on while new requests see the new placement — the graceful
+// handoff of DESIGN.md §5j. The engines a set points at must stay alive as
+// long as any snapshot of that set exists (the cluster node bundles them
+// into one shared ownership block).
 struct ShardEngineSet {
   std::uint64_t map_version = 0;
   std::uint32_t total_shards = 0;
@@ -108,9 +116,19 @@ struct NetServerOptions {
   std::size_t max_connections = 0;
   // Cluster node role: when set, this server owns the listed shards and
   // serves kShardSearch (see ShardEngineSet above). The ctor engine is
-  // still the source of the session backend/verifier and should be one of
-  // the set's engines. nullptr = plain single-store server.
-  const ShardEngineSet* shard_set = nullptr;
+  // still the source of the session backend/verifier and must outlive
+  // every installed set (the cluster node anchors it separately from the
+  // per-shard engines precisely so set swaps never dangle it). nullptr =
+  // plain single-store server.
+  std::shared_ptr<const ShardEngineSet> shard_set;
+  // Live map reconfiguration hook (v3 kMapUpdate): called on a worker
+  // thread with the raw serialized-ClusterMap bytes; the handler validates
+  // and applies them (typically ending in set_shard_set) and returns the
+  // ack to send. Unset = the server refuses map updates with kBadRequest.
+  // The net layer deliberately treats the map as opaque bytes — it must
+  // not depend on cluster types.
+  std::function<MapUpdateAckMsg(const std::vector<std::uint8_t>&)>
+      map_update_handler;
 };
 
 // Lifetime counters, snapshot under one lock (same contract as
@@ -167,6 +185,21 @@ class NetServer {
     std::lock_guard lock(stats_mutex_);
     return stats_;
   }
+
+  // The shard set new requests are validated and served against (nullptr
+  // for a plain server). Thread-safe.
+  [[nodiscard]] std::shared_ptr<const ShardEngineSet> shard_set() const {
+    std::lock_guard lock(shard_set_mutex_);
+    return shard_set_;
+  }
+  // Installs a new shard set: requests dispatched after this see the new
+  // placement; jobs already dispatched finish against their snapshot of
+  // the old one. Thread-safe (the map-update handler calls it from a
+  // worker thread).
+  void set_shard_set(std::shared_ptr<const ShardEngineSet> set) {
+    std::lock_guard lock(shard_set_mutex_);
+    shard_set_ = std::move(set);
+  }
   // Search jobs currently running or queued on the worker pool.
   [[nodiscard]] std::size_t inflight_jobs() const noexcept {
     return inflight_jobs_.load(std::memory_order_relaxed);
@@ -187,6 +220,14 @@ class NetServer {
     // every owned shard instead and reply with plain ResultChunkMsg frames.
     bool shard_scoped = false;
     std::vector<std::uint32_t> shards;
+    // The shard set this job was validated against, snapshotted at
+    // dispatch: a concurrent set_shard_set never invalidates a running
+    // scan (graceful handoff).
+    std::shared_ptr<const ShardEngineSet> set;
+    // kMapUpdate jobs ride the same worker queue (applying a map loads
+    // shard engines — far too slow for an io loop thread).
+    bool map_update = false;
+    std::vector<std::uint8_t> map_bytes;
   };
 
   void io_thread_main(std::size_t loop_index);
@@ -203,14 +244,19 @@ class NetServer {
                      const SearchMsg& msg);
   void handle_shard_search(IoLoop& loop, const std::shared_ptr<Conn>& conn,
                            const ShardSearchMsg& msg);
+  void handle_map_update(IoLoop& loop, const std::shared_ptr<Conn>& conn,
+                         MapUpdateMsg msg);
   void run_search_job(const SearchJob& job);
-  // Scan the given owned shards' engines sequentially under one deadline
-  // budget, merging hits ascending by record id (the same
-  // concatenate-then-sort a single-node ShardedStore scan performs). Fills
-  // `end` with the aggregated outcome; throws what the engines throw.
+  void run_map_update_job(const SearchJob& job);
+  // Scan the given shards' engines (from `set`, the job's snapshot)
+  // sequentially under one deadline budget, merging hits ascending by
+  // record id (the same concatenate-then-sort a single-node ShardedStore
+  // scan performs). Fills `end` with the aggregated outcome; throws what
+  // the engines throw.
   [[nodiscard]] std::vector<ShardHit> scan_shards(
-      std::span<const std::uint32_t> shards, const AnyQuery& query,
-      const ServeControl& control, ResultEndMsg& end) const;
+      const ShardEngineSet& set, std::span<const std::uint32_t> shards,
+      const AnyQuery& query, const ServeControl& control,
+      ResultEndMsg& end) const;
   // Total records across the serving engines (summed over owned shards for
   // a shard-backed server) — the hello ack's record count.
   [[nodiscard]] std::uint64_t served_records() const;
@@ -260,6 +306,9 @@ class NetServer {
 
   mutable std::mutex stats_mutex_;
   mutable NetServerStats stats_;
+
+  mutable std::mutex shard_set_mutex_;
+  std::shared_ptr<const ShardEngineSet> shard_set_;
 };
 
 }  // namespace apks::net

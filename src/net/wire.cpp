@@ -13,7 +13,7 @@ namespace {
 // protocol error at parse time.
 bool known_type(std::uint8_t t) noexcept {
   return t >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         t <= static_cast<std::uint8_t>(MsgType::kShardChunk);
+         t <= static_cast<std::uint8_t>(MsgType::kMapUpdateAck);
 }
 
 WireStatus checked_status(std::uint8_t v) {
@@ -360,6 +360,75 @@ ShardChunkMsg ShardChunkMsg::decode(std::span<const std::uint8_t> body) {
     m.hits.push_back(std::move(hit));
   }
   if (!r.done()) throw std::invalid_argument("wire: shard chunk trailing bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> PingMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kPing);
+  w.u64(seq);
+  return finish(w);
+}
+
+PingMsg PingMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  PingMsg m;
+  m.seq = r.u64();
+  if (!r.done()) throw std::invalid_argument("wire: ping trailing bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> PongMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kPong);
+  w.u64(seq);
+  w.u64(map_version);
+  w.u32(inflight);
+  return finish(w);
+}
+
+PongMsg PongMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  PongMsg m;
+  m.seq = r.u64();
+  m.map_version = r.u64();
+  m.inflight = r.u32();
+  if (!r.done()) throw std::invalid_argument("wire: pong trailing bytes");
+  return m;
+}
+
+std::vector<std::uint8_t> MapUpdateMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kMapUpdate);
+  w.bytes(map_bytes);
+  return finish(w);
+}
+
+MapUpdateMsg MapUpdateMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  MapUpdateMsg m;
+  const auto bytes = r.bytes();
+  m.map_bytes.assign(bytes.begin(), bytes.end());
+  if (!r.done()) {
+    throw std::invalid_argument("wire: map-update trailing bytes");
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> MapUpdateAckMsg::encode() const {
+  ByteWriter w = begin_payload(MsgType::kMapUpdateAck);
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u64(version);
+  w.str(message);
+  return finish(w);
+}
+
+MapUpdateAckMsg MapUpdateAckMsg::decode(std::span<const std::uint8_t> body) {
+  ByteReader r(body);
+  MapUpdateAckMsg m;
+  m.status = checked_status(r.u8());
+  m.version = r.u64();
+  m.message = r.str();
+  if (!r.done()) {
+    throw std::invalid_argument("wire: map-update-ack trailing bytes");
+  }
   return m;
 }
 

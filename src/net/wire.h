@@ -45,10 +45,13 @@ namespace apks::net {
 
 inline constexpr char kNetMagic[8] = {'A', 'P', 'K', 'S', 'N', 'E', 'T', '1'};
 // Version 2 adds the shard-scoped search messages of cluster mode
-// (kShardSearch / kShardChunk). The server still accepts version-1 hellos —
-// a session negotiates the client's version and v2-only messages on a v1
-// session are a kBadRequest, so pre-cluster clients keep working unchanged.
-inline constexpr std::uint8_t kNetVersion = 2;
+// (kShardSearch / kShardChunk). Version 3 adds the self-healing control
+// plane: kPing/kPong heartbeats and kMapUpdate/kMapUpdateAck live
+// cluster-map propagation. The server still accepts version-1 hellos —
+// a session negotiates the client's version and newer-only messages on an
+// old session are a kBadRequest, so pre-cluster clients keep working
+// unchanged.
+inline constexpr std::uint8_t kNetVersion = 3;
 inline constexpr std::uint8_t kNetVersionMin = 1;
 inline constexpr std::size_t kWireFrameHeaderSize = 4 + 4;
 // One cap for disk frames and wire frames: no legitimate message (a query
@@ -91,6 +94,11 @@ enum class MsgType : std::uint8_t {
   // Version-2 cluster messages (coordinator <-> shard-owning node).
   kShardSearch = 9,  // client -> server: shard set + cluster-map version
   kShardChunk = 10,  // server -> client: request id, matched (id, ref) pairs
+  // Version-3 self-healing control plane (coordinator <-> node).
+  kPing = 11,          // client -> server: heartbeat probe
+  kPong = 12,          // server -> client: echo + node map version
+  kMapUpdate = 13,     // client -> server: serialized ClusterMap
+  kMapUpdateAck = 14,  // server -> client: status + node map version
 };
 
 // --- frame codec ------------------------------------------------------------
@@ -261,6 +269,51 @@ struct ShardChunkMsg {
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] static ShardChunkMsg decode(
+      std::span<const std::uint8_t> body);
+};
+
+// --- version-3 self-healing control plane ------------------------------------
+// Heartbeats and live map propagation are tiny, auth-free control messages:
+// a ping is answered on the io thread (no worker queue) so liveness probing
+// measures the event loop, not scan backlog, and a map update is applied on
+// the worker pool (shard loading is slow) and acknowledged with the node's
+// resulting map version either way.
+
+struct PingMsg {
+  std::uint64_t seq = 0;  // echoed in the pong; detects stale replies
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static PingMsg decode(std::span<const std::uint8_t> body);
+};
+
+struct PongMsg {
+  std::uint64_t seq = 0;
+  std::uint64_t map_version = 0;  // node's current ClusterMap version
+  std::uint32_t inflight = 0;     // queued + running search jobs
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static PongMsg decode(std::span<const std::uint8_t> body);
+};
+
+struct MapUpdateMsg {
+  // serialize()d ClusterMap (APKSMAP1 format, self-checksummed). The net
+  // layer treats it as opaque bytes; the cluster layer validates it.
+  std::vector<std::uint8_t> map_bytes;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static MapUpdateMsg decode(std::span<const std::uint8_t> body);
+};
+
+struct MapUpdateAckMsg {
+  // kOk: map applied (or already at that version). kBadRequest: refused —
+  // the node's own map is newer or the update is malformed; `version`
+  // always carries the node's post-decision map version.
+  WireStatus status = WireStatus::kOk;
+  std::uint64_t version = 0;
+  std::string message;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static MapUpdateAckMsg decode(
       std::span<const std::uint8_t> body);
 };
 

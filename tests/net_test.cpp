@@ -341,11 +341,21 @@ std::vector<std::vector<std::uint8_t>> sample_payloads() {
   net::ShardChunkMsg shard_chunk;
   shard_chunk.request_id = 7;
   shard_chunk.hits = {{1, "alpha"}, {5, "beta"}, {9, "gamma"}};
+  net::PingMsg ping{42};
+  net::PongMsg pong{42, 3, 2};
+  net::MapUpdateMsg map_update;
+  map_update.map_bytes = {5, 4, 3, 2, 1};
+  net::MapUpdateAckMsg map_ack;
+  map_ack.status = WireStatus::kBadRequest;
+  map_ack.version = 9;
+  map_ack.message = "not newer";
   return {net::HelloMsg{}.encode(),  net::HelloAckMsg{}.encode(),
           auth.encode(),             auth_ack.encode(),
           search.encode(),           chunk.encode(),
           end.encode(),              status.encode(),
-          shard_search.encode(),     shard_chunk.encode()};
+          shard_search.encode(),     shard_chunk.encode(),
+          ping.encode(),             pong.encode(),
+          map_update.encode(),       map_ack.encode()};
 }
 
 // Decoding a payload must either succeed or throw std::invalid_argument /
@@ -379,6 +389,14 @@ void decode_hostile(std::span<const std::uint8_t> payload) {
         break;
       case net::MsgType::kShardChunk:
         (void)net::ShardChunkMsg::decode(frame.body);
+        break;
+      case net::MsgType::kPing: (void)net::PingMsg::decode(frame.body); break;
+      case net::MsgType::kPong: (void)net::PongMsg::decode(frame.body); break;
+      case net::MsgType::kMapUpdate:
+        (void)net::MapUpdateMsg::decode(frame.body);
+        break;
+      case net::MsgType::kMapUpdateAck:
+        (void)net::MapUpdateAckMsg::decode(frame.body);
         break;
     }
   } catch (const std::invalid_argument&) {
@@ -617,6 +635,136 @@ TEST_F(NetTest, GracefulStopDrainsInflightAndRefusesNewConnections) {
   // stop() is idempotent (and the destructor tolerates a stopped server).
   net->stop(0);
   net.reset();
+}
+
+// --- client socket timeouts --------------------------------------------------
+
+// A server whose io loop stalls (net.read delay) must trip the client's
+// read timeout: the typed kDeadlineExceeded surfaces, and the connection
+// is torn down — never reused with a half-read frame in its buffer.
+TEST_F(NetTest, ClientReadTimeoutSurfacesTypedErrorAndDropsConnection) {
+  NetEnv& e = env();
+  SearchEngine engine(e.apks_server, {.threads = 1});
+  NetServer net(engine, unchecked_options());
+
+  NetClient client;
+  client.connect("127.0.0.1", net.port(), /*timeout_ms=*/200);
+  ASSERT_EQ(client.hello(SchemeKind::kApks).status, WireStatus::kOk);
+  ASSERT_EQ(client.auth_unchecked(e.apks_backend.encode_query(e.apks_query))
+                .status,
+            WireStatus::kOk);
+
+  // Every server-side read now stalls well past the client's 200 ms
+  // socket budget.
+  FailpointPolicy stall;
+  stall.action = FailAction::kDelay;
+  stall.delay_ms = 1500;
+  Failpoints::instance().set(net::kSiteRead, stall);
+
+  try {
+    (void)client.search();
+    FAIL() << "a stalled server must trip the client read timeout";
+  } catch (const ServingError& ex) {
+    EXPECT_EQ(ex.code(), ErrorCode::kDeadlineExceeded) << ex.what();
+  }
+  // The timed-out connection is NOT reusable: the socket was closed, and
+  // another call reports the disconnection instead of misparsing bytes
+  // from the abandoned exchange.
+  EXPECT_FALSE(client.connected());
+  try {
+    (void)client.search();
+    FAIL() << "a timed-out client must not silently reuse the socket";
+  } catch (const ServingError& ex) {
+    EXPECT_EQ(ex.code(), ErrorCode::kIo);
+  }
+
+  // A fresh connect (after the failpoint clears) works again.
+  Failpoints::instance().clear_all();
+  client.connect("127.0.0.1", net.port(), 10000);
+  EXPECT_EQ(client.hello(SchemeKind::kApks).status, WireStatus::kOk);
+}
+
+// A full accept queue (the listener never calls accept) must trip the
+// client's CONNECT timeout with the same typed error.
+TEST_F(NetTest, ClientConnectTimeoutSurfacesTypedError) {
+  // A raw listener with a minimal backlog that never accepts.
+  const int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, /*backlog=*/1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  // Fill the accept queue with throwaway connects so further SYNs are
+  // dropped and the poll below can only time out.
+  std::vector<int> fillers;
+  for (int i = 0; i < 16; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) break;
+    (void)::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    fillers.push_back(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  NetClient client;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    client.connect("127.0.0.1", port, /*timeout_ms=*/300);
+    // Kernels with a generous backlog may still take the connection —
+    // then there is nothing to assert against.
+  } catch (const ServingError& ex) {
+    EXPECT_EQ(ex.code(), ErrorCode::kDeadlineExceeded) << ex.what();
+    const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    EXPECT_GE(waited.count(), 250);   // the timeout actually gated the wait
+    EXPECT_LE(waited.count(), 5000);  // and it fired, not TCP's own timer
+    EXPECT_FALSE(client.connected());
+  }
+
+  for (const int fd : fillers) ::close(fd);
+  ::close(listener);
+}
+
+// abort() from another thread unblocks a client stuck reading a reply and
+// surfaces as a transport error on the owning thread — the hedged-read
+// loser-cancel path.
+TEST_F(NetTest, CrossThreadAbortUnblocksAStalledRead) {
+  NetEnv& e = env();
+  SearchEngine engine(e.apks_server, {.threads = 1});
+  NetServer net(engine, unchecked_options());
+
+  NetClient client;
+  client.connect("127.0.0.1", net.port(), /*timeout_ms=*/0);  // block forever
+  ASSERT_EQ(client.hello(SchemeKind::kApks).status, WireStatus::kOk);
+  ASSERT_EQ(client.auth_unchecked(e.apks_backend.encode_query(e.apks_query))
+                .status,
+            WireStatus::kOk);
+
+  FailpointPolicy stall;
+  stall.action = FailAction::kDelay;
+  stall.delay_ms = 2000;
+  Failpoints::instance().set(net::kSiteRead, stall);
+
+  std::thread aborter([&client] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    client.abort();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client.search(), ServingError);
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(waited.count(), 1900);  // unblocked by abort, not the failpoint
+  aborter.join();
+  client.close();
+  EXPECT_FALSE(client.connected());
 }
 
 }  // namespace

@@ -14,7 +14,15 @@
 //   apks_cli serve    --schema phr --store DB --caps cap1.bin,cap2.bin [--threads T] [--deadline-ms MS] [--max-inflight N] [--verdict-cache-mb MB]
 //   apks_cli serve    --schema phr --store DB --listen 127.0.0.1:7700 [--grace-ms MS] [--stats-interval-s S]
 //   apks_cli rsearch  --schema phr --connect 127.0.0.1:7700 --cap cap.bin [--deadline-ms MS] [--partial-ok]
+//   apks_cli cluster-serve --schema phr --store DB --nodes a=H:P,b=H:P --node-index 0 [--replicas R] [--map-version V]
+//   apks_cli rsearch  --schema phr --cluster --nodes a=H:P,b=H:P --cap cap.bin --shards N
+//                     [--heartbeat-ms MS] [--hedge-delay-ms MS] [--hedge-budget N]
+//                     [--node-timeout-ms MS] [--deadline-ms MS] [--partial-ok]
 //   apks_cli compact  --store DB
+//
+// `rsearch --cluster` exits 0 on a complete result, 1 on a fatal error
+// (unauthorized query, no live replica for a shard without --partial-ok),
+// and 2 on a partial result under --partial-ok.
 //
 // MRQED^D replaces --schema with --dims D --depth K; --values is a point
 // ("3, 1") and --query one range per dimension ("0-3; 1" — `lo-hi`, a
@@ -150,6 +158,10 @@ struct Args {
   std::size_t node_index = 0;   // cluster-serve: which map entry is me
   std::uint64_t map_version = 1;  // cluster: map epoch (bump on reshape)
   bool cluster = false;           // rsearch: scatter via the coordinator
+  std::uint64_t hedge_delay_ms = 0;   // rsearch --cluster: 0 = no hedging
+  std::size_t hedge_budget = 2;       // rsearch --cluster: extra RPCs/search
+  std::uint64_t heartbeat_ms = 0;     // rsearch --cluster: 0 = no monitor
+  std::uint64_t node_timeout_ms = 0;  // rsearch --cluster: per-RPC socket cap
   std::vector<std::string> positional;
 };
 
@@ -237,6 +249,14 @@ Args parse_args(int argc, char** argv) {
       if (a.map_version == 0) die("--map-version must be at least 1");
     } else if (arg == "--cluster") {
       a.cluster = true;
+    } else if (arg == "--hedge-delay-ms") {
+      a.hedge_delay_ms = parse_count(arg, next());
+    } else if (arg == "--hedge-budget") {
+      a.hedge_budget = parse_count(arg, next());
+    } else if (arg == "--heartbeat-ms") {
+      a.heartbeat_ms = parse_count(arg, next());
+    } else if (arg == "--node-timeout-ms") {
+      a.node_timeout_ms = parse_count(arg, next());
     }
     else if (arg == "--query") a.query = next();
     else if (arg == "--values") a.values = next();
@@ -901,15 +921,35 @@ int cmd_cluster_serve(const Runtime& rt, const Args& a) {
 }
 
 // rsearch --cluster: scatter one query across the node fleet and merge.
+//
+// Self-healing knobs: --heartbeat-ms N runs the background failure
+// detector (corpses are deprioritized and breaker-gated before the first
+// RPC pays for finding them); --hedge-delay-ms N arms hedged shard reads
+// (a primary slower than the node's latency quantile, seeded with N ms,
+// is raced against the next replica — at most --hedge-budget extras per
+// search); --node-timeout-ms caps each node RPC's socket waits.
+//
+// Exit codes: 0 = complete result; 1 = fatal (bad usage, unauthorized
+// query, or a shard with no live replica without --partial-ok — the
+// typed error is printed to stderr); 2 = partial result (--partial-ok
+// and at least one shard was unavailable or out of budget).
 int cmd_rsearch_cluster(const Runtime& rt, const Args& a) {
   if (a.cap.empty()) die("rsearch --cluster needs --cap FILE");
   const cluster::ClusterMap map =
       parse_cluster_map(a, static_cast<std::uint32_t>(a.shards));
   const AnyQuery query = load_query_file(rt, a.cap);
 
+  cluster::CoordinatorOptions copts;
+  copts.node_timeout_ms = a.node_timeout_ms;
+  copts.heartbeat_ms = a.heartbeat_ms;
+  if (a.hedge_delay_ms != 0) {
+    copts.hedge.enabled = true;
+    copts.hedge.initial_delay_ms = a.hedge_delay_ms;
+    copts.hedge.budget = a.hedge_budget;
+  }
   cluster::Coordinator coord(*rt.backend,
                              CapabilityVerifier(*rt.e, IbsPublicParams{}),
-                             map);
+                             map, std::move(copts));
   ServeControl control;
   control.deadline_ms = a.deadline_ms;
   control.partial_ok = a.partial_ok;
@@ -921,6 +961,10 @@ int cmd_rsearch_cluster(const Runtime& rt, const Args& a) {
               "(%zu rpcs, %zu retries, %zu failovers)\n",
               refs.size(), stats.scanned, stats.shards_ok,
               map.total_shards(), stats.rpcs, stats.retries, stats.failovers);
+  if (stats.hedges != 0) {
+    std::printf("hedging: %zu launched, %zu won, %zu cancelled\n",
+                stats.hedges, stats.hedge_wins, stats.hedge_cancelled);
+  }
   if (stats.partial) {
     std::printf("PARTIAL: %zu shard(s) unavailable%s; results cover the "
                 "answering shards only\n",

@@ -17,7 +17,8 @@
 #   tools/ci.sh --chaos    # ASan fault-injection suite + fault bench artifact
 #   tools/ci.sh --serving  # network layer: TSan + ASan net tests + bench artifact
 #   tools/ci.sh --cluster  # cluster tier: ASan multi-node loopback suite +
-#                          #   cluster chaos filters + bench artifact
+#                          #   cluster chaos filters, TSan self-healing suite
+#                          #   (heartbeats/reconfig/hedged reads) + bench artifact
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -164,11 +165,19 @@ fi
 if [[ $STAGE == all || $STAGE == cluster ]]; then
   echo "=== cluster: ASan multi-node loopback suite (placement + scatter-gather) ==="
   configure build-asan -DAPKS_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build build-asan -j "$JOBS" --target cluster_test
+  cmake --build build-asan -j "$JOBS" --target cluster_test cluster_health_test
   echo "--- cluster_test (ASan) ---"
   ./build-asan/tests/cluster_test
   echo "--- cluster_test (ASan, chaos drills) ---"
   ./build-asan/tests/cluster_test --gtest_filter='*ClusterChaos*'
+  echo "--- cluster_health_test (ASan, self-healing suite) ---"
+  ./build-asan/tests/cluster_health_test
+
+  echo "=== cluster: TSan self-healing suite (heartbeats + hedged reads + live rebalance) ==="
+  configure build-tsan -DAPKS_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$JOBS" --target cluster_health_test
+  echo "--- cluster_health_test (TSan) ---"
+  ./build-tsan/tests/cluster_health_test
 
   echo "=== bench smoke: cluster scatter-gather + JSON artifact ==="
   configure build
